@@ -1,0 +1,352 @@
+//! # kizzle-avsim — a baseline anti-virus engine with analyst reaction lag
+//!
+//! The paper compares Kizzle against a widely used commercial AV engine and
+//! explains its false-negative windows with the adversarial cycle of Fig. 1:
+//! the AV's hand-written signatures key on concrete artifacts of the current
+//! packer (a delimiter, an exposed exploit string), the kit author rotates
+//! that artifact, and the engine stays blind until an analyst writes and
+//! ships a new signature days later. That comparator is proprietary, so
+//! this crate models its *mechanism* directly:
+//!
+//! * per-family, hand-written [`AvSignature`]s whose required substrings are
+//!   derived from the kit's packer state (the delimiter-spliced strings of
+//!   Nuclear, the RIG delimiter declaration, Angler's exposed Java marker,
+//!   Sweet Orange's arithmetic identities);
+//! * an analyst **reaction delay**: on day *d* the engine runs the
+//!   signatures an analyst would have written from the kit as it looked on
+//!   day *d − delay* (the paper's Fig. 6 window is roughly six days);
+//! * one deliberately greedy legacy signature modeling the small but
+//!   nonzero false-positive rate of the commercial engine (Fig. 13(a)).
+//!
+//! The engine scans raw documents by substring match — exactly what byte
+//! signatures do — so it needs no access to the Kizzle pipeline.
+//!
+//! ## Example
+//!
+//! ```
+//! use kizzle_avsim::{AvConfig, AvEngine};
+//! use kizzle_corpus::{KitFamily, KitModel, SimDate};
+//! use rand::SeedableRng;
+//!
+//! let engine = AvEngine::new(AvConfig::default());
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+//! let date = SimDate::new(2014, 8, 5);
+//! let page = KitModel::new(KitFamily::Rig).generate_sample(date, &mut rng);
+//! assert_eq!(engine.scan(date, &page), Some(KitFamily::Rig));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use kizzle_corpus::packer::splice_delimiter;
+use kizzle_corpus::payload::ANGLER_JAVA_MARKER;
+use kizzle_corpus::{KitFamily, KitState, SimDate};
+use serde::Serialize;
+use std::fmt;
+
+/// Configuration of the simulated AV engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct AvConfig {
+    /// Days between a kit change appearing in the wild and the engine
+    /// shipping a signature for it. The Angler window of the paper's Fig. 6
+    /// spans roughly August 13–19, i.e. about six days.
+    pub reaction_delay_days: i64,
+    /// Include the over-broad legacy signature that produces the engine's
+    /// (small) false-positive rate.
+    pub greedy_legacy_signature: bool,
+}
+
+impl Default for AvConfig {
+    fn default() -> Self {
+        AvConfig {
+            reaction_delay_days: 6,
+            greedy_legacy_signature: true,
+        }
+    }
+}
+
+/// A hand-written AV signature: a family label plus substrings that must
+/// all be present in the raw document.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct AvSignature {
+    /// Analyst-facing signature name (e.g. `NEK.sig3`).
+    pub name: String,
+    /// The family the signature detects.
+    pub family: KitFamily,
+    /// Substrings that must all occur in the document.
+    pub required_substrings: Vec<String>,
+}
+
+impl AvSignature {
+    /// Does the signature match a raw document?
+    #[must_use]
+    pub fn matches(&self, document: &str) -> bool {
+        self.required_substrings
+            .iter()
+            .all(|needle| document.contains(needle.as_str()))
+    }
+}
+
+impl fmt::Display for AvSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}]: {}",
+            self.name,
+            self.family,
+            self.required_substrings.join(" AND ")
+        )
+    }
+}
+
+/// The simulated commercial AV engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct AvEngine {
+    config: AvConfig,
+}
+
+impl AvEngine {
+    /// Create an engine.
+    #[must_use]
+    pub fn new(config: AvConfig) -> Self {
+        AvEngine { config }
+    }
+
+    /// The engine configuration.
+    #[must_use]
+    pub fn config(&self) -> &AvConfig {
+        &self.config
+    }
+
+    /// The kit state the analyst had seen by `scan_date`: the state of the
+    /// kit `reaction_delay_days` earlier (clamped to the start of the
+    /// simulation window).
+    #[must_use]
+    pub fn analyst_view(&self, family: KitFamily, scan_date: SimDate) -> KitState {
+        let mut lag_date = SimDate::evolution_start();
+        for candidate in SimDate::evolution_start().range_inclusive(scan_date) {
+            if scan_date.days_since(candidate) >= self.config.reaction_delay_days {
+                lag_date = candidate;
+            }
+        }
+        KitState::on_date(family, lag_date)
+    }
+
+    /// The signatures deployed on `date`.
+    #[must_use]
+    pub fn signatures_on(&self, date: SimDate) -> Vec<AvSignature> {
+        let mut out = Vec::new();
+        for family in KitFamily::ALL {
+            let state = self.analyst_view(family, date);
+            out.push(self.signature_for(&state));
+        }
+        if self.config.greedy_legacy_signature {
+            // A years-old charcode-decoder heuristic: catches RIG-style
+            // unpacking loops but also fires on benign entity-decoding
+            // helpers, giving the engine its small false-positive floor.
+            out.push(AvSignature {
+                name: "GEN.heur.charcode".to_string(),
+                family: KitFamily::Rig,
+                required_substrings: vec![
+                    "String.fromCharCode(".to_string(),
+                    ".split(".to_string(),
+                ],
+            });
+        }
+        out
+    }
+
+    /// The hand-written signature an analyst derives from a given kit state.
+    ///
+    /// Each signature keys on the concrete packer artifact of that state —
+    /// which is exactly why it goes stale when the artifact rotates.
+    #[must_use]
+    pub fn signature_for(&self, state: &KitState) -> AvSignature {
+        let name = format!("{}.sig{}", state.family.short_code(), state.version + 1);
+        let required_substrings = match state.family {
+            KitFamily::Nuclear => vec![
+                splice_delimiter("document", &state.delimiter),
+                splice_delimiter("eval", &state.delimiter),
+            ],
+            KitFamily::Rig => vec![
+                format!("=\"{}\";", state.delimiter),
+                "String.fromCharCode(".to_string(),
+                "document.createElement(\"script\")".to_string(),
+            ],
+            KitFamily::SweetOrange => vec![
+                format!(".split(\"{}\")", state.delimiter),
+                if state.packer_revision == 0 {
+                    "Math.sqrt(0)".to_string()
+                } else {
+                    "Math.exp(1)".to_string()
+                },
+            ],
+            KitFamily::Angler => {
+                if state.java_marker_exposed {
+                    // The pre-August-13 signature the paper describes: it
+                    // matches the Java exploit string sitting in plain HTML.
+                    vec![format!("code=\"{ANGLER_JAVA_MARKER}\"")]
+                } else {
+                    // The analyst's eventual response: a structural match on
+                    // the hex-chunk decoder.
+                    vec![
+                        "window[\"ev\" + \"al\"]".to_string(),
+                        ", 16))".to_string(),
+                    ]
+                }
+            }
+        };
+        AvSignature {
+            name,
+            family: state.family,
+            required_substrings,
+        }
+    }
+
+    /// Scan a document with the signatures deployed on `date`. Returns the
+    /// family of the first matching signature.
+    #[must_use]
+    pub fn scan(&self, date: SimDate, document: &str) -> Option<KitFamily> {
+        self.signatures_on(date)
+            .into_iter()
+            .find(|sig| sig.matches(document))
+            .map(|sig| sig.family)
+    }
+}
+
+impl Default for AvEngine {
+    fn default() -> Self {
+        AvEngine::new(AvConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kizzle_corpus::benign::{generate_benign, BenignKind};
+    use kizzle_corpus::KitModel;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn page(family: KitFamily, month: u32, day: u32, seed: u64) -> String {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        KitModel::new(family).generate_sample(SimDate::new(2014, month, day), &mut rng)
+    }
+
+    #[test]
+    fn detects_stable_kits_on_quiet_days() {
+        let engine = AvEngine::default();
+        // Early August: no kit changed within the previous 6 days except RIG
+        // (which changed on 8/4), so pick 8/3.
+        let date = SimDate::new(2014, 8, 3);
+        for family in KitFamily::ALL {
+            let html = page(family, 8, 3, 11);
+            assert_eq!(engine.scan(date, &html), Some(family), "{family}");
+        }
+    }
+
+    #[test]
+    fn angler_window_of_vulnerability_opens_on_august_13() {
+        let engine = AvEngine::default();
+        // Before the change: detected via the exposed marker.
+        let before = page(KitFamily::Angler, 8, 12, 1);
+        assert_eq!(engine.scan(SimDate::new(2014, 8, 12), &before), Some(KitFamily::Angler));
+        // Right after the change: the deployed signature still expects the
+        // marker, which is gone -> false negative.
+        let after = page(KitFamily::Angler, 8, 14, 2);
+        assert_eq!(engine.scan(SimDate::new(2014, 8, 14), &after), None);
+        // Once the analyst reacts (delay days later), detection resumes.
+        let later = page(KitFamily::Angler, 8, 24, 3);
+        assert_eq!(engine.scan(SimDate::new(2014, 8, 24), &later), Some(KitFamily::Angler));
+    }
+
+    #[test]
+    fn nuclear_delimiter_rotation_causes_a_lagged_gap() {
+        let engine = AvEngine::default();
+        // Delimiter changed on 8/17 (sa1as) and again on 8/19; on 8/18 the
+        // engine still runs the signature for the pre-8/17 delimiter.
+        let html = page(KitFamily::Nuclear, 8, 18, 4);
+        assert_eq!(engine.scan(SimDate::new(2014, 8, 18), &html), None);
+        // A sample from before the rotation is still caught on that date.
+        let old_variant = page(KitFamily::Nuclear, 8, 10, 5);
+        assert_eq!(
+            engine.scan(SimDate::new(2014, 8, 10), &old_variant),
+            Some(KitFamily::Nuclear)
+        );
+    }
+
+    #[test]
+    fn reaction_delay_zero_tracks_the_kit_perfectly() {
+        let engine = AvEngine::new(AvConfig {
+            reaction_delay_days: 0,
+            greedy_legacy_signature: false,
+        });
+        for day in [5u32, 13, 18, 22, 27, 30] {
+            for family in KitFamily::ALL {
+                let html = page(family, 8, day, u64::from(day));
+                assert_eq!(
+                    engine.scan(SimDate::new(2014, 8, day), &html),
+                    Some(family),
+                    "{family} 8/{day}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_legacy_signature_fires_on_benign_decoder_helpers() {
+        let engine = AvEngine::default();
+        // The rare benign library variant that bundles an entity-decoding
+        // helper (String.fromCharCode over split segments).
+        let benign = "<script>function decodeEntities(text) { var parts = text.split(\";\"); \
+                      var out = \"\"; for (var i = 0; i < parts.length; i++) { \
+                      out += String.fromCharCode(parts[i].slice(2)); } return out; }</script>";
+        assert_eq!(
+            engine.scan(SimDate::new(2014, 8, 10), benign),
+            Some(KitFamily::Rig),
+            "the legacy heuristic should produce an AV false positive"
+        );
+        let strict = AvEngine::new(AvConfig {
+            reaction_delay_days: 6,
+            greedy_legacy_signature: false,
+        });
+        assert_eq!(strict.scan(SimDate::new(2014, 8, 10), benign), None);
+        // Ordinary library pages (no decoder helper) stay clean.
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let page = generate_benign(BenignKind::LibraryBoilerplate, &mut rng);
+        if !page.contains("decodeEntities") {
+            assert_eq!(engine.scan(SimDate::new(2014, 8, 10), &page), None);
+        }
+    }
+
+    #[test]
+    fn other_benign_kinds_are_clean() {
+        let engine = AvEngine::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        for kind in [BenignKind::PluginDetect, BenignKind::Analytics, BenignKind::FormGlue] {
+            let benign = generate_benign(kind, &mut rng);
+            assert_eq!(engine.scan(SimDate::new(2014, 8, 10), &benign), None, "{kind}");
+        }
+    }
+
+    #[test]
+    fn analyst_view_lags_by_the_configured_delay() {
+        let engine = AvEngine::default();
+        let view = engine.analyst_view(KitFamily::Nuclear, SimDate::new(2014, 8, 20));
+        // 8/20 - 6 days = 8/14: the delimiter change of 8/17 and 8/19 are
+        // not yet reflected.
+        assert_eq!(view, KitState::on_date(KitFamily::Nuclear, SimDate::new(2014, 8, 14)));
+    }
+
+    #[test]
+    fn signatures_on_returns_one_per_family_plus_legacy() {
+        let engine = AvEngine::default();
+        let sigs = engine.signatures_on(SimDate::new(2014, 8, 10));
+        assert_eq!(sigs.len(), KitFamily::ALL.len() + 1);
+        for family in KitFamily::ALL {
+            assert!(sigs.iter().any(|s| s.family == family));
+        }
+        assert!(sigs.iter().all(|s| !s.required_substrings.is_empty()));
+        assert!(sigs[0].to_string().contains("AND") || sigs[0].required_substrings.len() == 1);
+    }
+}

@@ -1,0 +1,89 @@
+//! Micro-benchmarks of the individual pipeline stages.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kizzle_bench::{packed_samples, tokenized};
+use kizzle_cluster::distance::{edit_distance, normalized_edit_distance_bounded};
+use kizzle_corpus::KitFamily;
+use kizzle_signature::{generate_signature, SignatureConfig};
+use kizzle_winnow::{Fingerprint, WinnowConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn group<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(20).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    g
+}
+
+fn bench_edit_distance(c: &mut Criterion) {
+    let mut g = group(c, "edit_distance");
+    let docs = packed_samples(KitFamily::Rig, 10, 2);
+    let streams = tokenized(&docs, 800);
+    let a = streams[0].class_codes();
+    let b_codes = streams[1].class_codes();
+    g.bench_function("full", |bench| {
+        bench.iter(|| black_box(edit_distance(&a, &b_codes)))
+    });
+    g.bench_function("bounded_at_paper_threshold", |bench| {
+        bench.iter(|| black_box(normalized_edit_distance_bounded(&a, &b_codes, 0.10)))
+    });
+    g.finish();
+}
+
+fn bench_winnowing(c: &mut Criterion) {
+    let mut g = group(c, "winnowing");
+    let payload = kizzle_corpus::KitModel::new(KitFamily::Angler)
+        .reference_payload(kizzle_corpus::SimDate::new(2014, 8, 15));
+    let cfg = WinnowConfig::default();
+    g.bench_function("fingerprint_unpacked_payload", |b| {
+        b.iter(|| black_box(Fingerprint::of_text(&payload, &cfg)).len())
+    });
+    let fp_a = Fingerprint::of_text(&payload, &cfg);
+    let other = kizzle_corpus::KitModel::new(KitFamily::Nuclear)
+        .reference_payload(kizzle_corpus::SimDate::new(2014, 8, 15));
+    let fp_b = Fingerprint::of_text(&other, &cfg);
+    g.bench_function("overlap", |b| b.iter(|| black_box(fp_a.overlap(&fp_b))));
+    g.finish();
+}
+
+fn bench_scanning(c: &mut Criterion) {
+    let mut g = group(c, "scanning");
+    let samples = tokenized(&packed_samples(KitFamily::Nuclear, 26, 6), 600);
+    let signature = generate_signature("bench.sig", &samples, &SignatureConfig::default())
+        .expect("signature");
+    let benign_doc = {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        kizzle_corpus::benign::generate_benign(kizzle_corpus::benign::BenignKind::PluginDetect, &mut rng)
+    };
+    let benign_stream = kizzle_js::tokenize_document(&benign_doc);
+    g.bench_function("match_hit", |b| {
+        b.iter(|| black_box(signature.matches_stream(&samples[0])))
+    });
+    g.bench_function("match_miss_benign", |b| {
+        b.iter(|| black_box(signature.matches_stream(&benign_stream)))
+    });
+    g.finish();
+}
+
+fn bench_unpackers(c: &mut Criterion) {
+    let mut g = group(c, "unpackers");
+    for family in KitFamily::ALL {
+        let doc = packed_samples(family, 20, 1).remove(0);
+        g.bench_with_input(
+            BenchmarkId::new("unpack", family.short_code()),
+            &doc,
+            |b, doc| b.iter(|| black_box(kizzle_unpack::unpack(family, doc)).map(|p| p.len())),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    components,
+    bench_edit_distance,
+    bench_winnowing,
+    bench_scanning,
+    bench_unpackers
+);
+criterion_main!(components);

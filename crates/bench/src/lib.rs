@@ -1,0 +1,68 @@
+//! # kizzle-bench — shared fixtures for the Criterion benchmark harness
+//!
+//! The benchmarks live in `benches/`:
+//!
+//! * `paper_experiments` — one Criterion group per paper table/figure
+//!   (the E1–E12 index of DESIGN.md), regenerating each result at bench
+//!   scale plus the ablations called out in DESIGN.md §5.
+//! * `components` — micro-benchmarks of the individual pipeline stages
+//!   (tokenization, edit distance, DBSCAN, winnowing, signature
+//!   generation, scanning).
+//!
+//! This library only holds the fixture helpers those benches share.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use kizzle_corpus::{KitFamily, KitModel, SimDate};
+use kizzle_js::TokenStream;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Generate `count` packed landing pages of one kit for a fixed date.
+#[must_use]
+pub fn packed_samples(family: KitFamily, day: u32, count: usize) -> Vec<String> {
+    let model = KitModel::new(family);
+    let date = SimDate::new(2014, 8, day);
+    (0..count as u64)
+        .map(|i| {
+            let mut rng = ChaCha8Rng::seed_from_u64(9_000 + i);
+            model.generate_sample(date, &mut rng)
+        })
+        .collect()
+}
+
+/// Tokenize documents and truncate each to `cap` tokens.
+#[must_use]
+pub fn tokenized(documents: &[String], cap: usize) -> Vec<TokenStream> {
+    documents
+        .iter()
+        .map(|doc| {
+            let stream = kizzle_js::tokenize_document(doc);
+            stream.slice(0, cap.min(stream.len()))
+        })
+        .collect()
+}
+
+/// Token-class strings for clustering benches.
+#[must_use]
+pub fn class_strings(documents: &[String], cap: usize) -> Vec<Vec<u8>> {
+    tokenized(documents, cap)
+        .iter()
+        .map(TokenStream::class_codes)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_produce_consistent_shapes() {
+        let docs = packed_samples(KitFamily::Nuclear, 5, 3);
+        assert_eq!(docs.len(), 3);
+        let streams = tokenized(&docs, 200);
+        assert!(streams.iter().all(|s| s.len() <= 200 && !s.is_empty()));
+        assert_eq!(class_strings(&docs, 200).len(), 3);
+    }
+}

@@ -1,0 +1,259 @@
+//! Cluster bookkeeping: members, prototypes and summary statistics.
+//!
+//! After DBSCAN assigns labels, the rest of the Kizzle pipeline works with
+//! *clusters*: it picks a prototype (medoid) per cluster, unpacks and labels
+//! the prototype, and generates one signature per malicious cluster.
+
+use crate::dbscan::{DbscanResult, Label};
+
+/// A single cluster of sample indices.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cluster {
+    /// Indices (into the original sample collection) of the members.
+    pub members: Vec<usize>,
+    /// Index of the medoid prototype, if it has been computed.
+    pub prototype: Option<usize>,
+}
+
+impl Cluster {
+    /// Create a cluster from member indices.
+    #[must_use]
+    pub fn new(members: Vec<usize>) -> Self {
+        Cluster {
+            members,
+            prototype: None,
+        }
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the cluster has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Compute and cache the medoid: the member minimizing the sum of
+    /// distances to all other members. Returns the chosen sample index.
+    ///
+    /// For clusters larger than `sample_cap` members, the medoid is computed
+    /// over an evenly-spaced subsample to bound the quadratic cost; this is
+    /// the same engineering concession a production deployment makes, and
+    /// the medoid of a tight cluster is insensitive to it.
+    pub fn compute_prototype<T, D>(&mut self, samples: &[T], distance: D, sample_cap: usize) -> Option<usize>
+    where
+        D: Fn(&T, &T) -> f64,
+    {
+        if self.members.is_empty() {
+            return None;
+        }
+        if self.members.len() == 1 {
+            self.prototype = Some(self.members[0]);
+            return self.prototype;
+        }
+        let pool: Vec<usize> = if self.members.len() > sample_cap && sample_cap > 0 {
+            let step = self.members.len() / sample_cap;
+            self.members.iter().step_by(step.max(1)).copied().collect()
+        } else {
+            self.members.clone()
+        };
+        let mut best = pool[0];
+        let mut best_sum = f64::INFINITY;
+        for &cand in &pool {
+            let sum: f64 = pool
+                .iter()
+                .filter(|&&other| other != cand)
+                .map(|&other| distance(&samples[cand], &samples[other]))
+                .sum();
+            if sum < best_sum {
+                best_sum = sum;
+                best = cand;
+            }
+        }
+        self.prototype = Some(best);
+        self.prototype
+    }
+}
+
+/// A full clustering of a sample collection.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Clustering {
+    /// The clusters, in discovery order.
+    pub clusters: Vec<Cluster>,
+    /// Indices of samples classified as noise.
+    pub noise: Vec<usize>,
+    /// Total number of samples that were clustered.
+    pub sample_count: usize,
+}
+
+impl Clustering {
+    /// Build a [`Clustering`] from a DBSCAN result.
+    #[must_use]
+    pub fn from_dbscan(result: &DbscanResult) -> Self {
+        let mut clusters = vec![Cluster::default(); result.cluster_count()];
+        let mut noise = Vec::new();
+        for (i, label) in result.labels().iter().enumerate() {
+            match label {
+                Label::Cluster(c) => clusters[*c].members.push(i),
+                Label::Noise => noise.push(i),
+                Label::Unvisited => unreachable!("dbscan labels every sample"),
+            }
+        }
+        Clustering {
+            clusters,
+            noise,
+            sample_count: result.labels().len(),
+        }
+    }
+
+    /// Build a clustering directly from member lists (used by the
+    /// distributed reduce step).
+    #[must_use]
+    pub fn from_members(clusters: Vec<Vec<usize>>, noise: Vec<usize>, sample_count: usize) -> Self {
+        Clustering {
+            clusters: clusters.into_iter().map(Cluster::new).collect(),
+            noise,
+            sample_count,
+        }
+    }
+
+    /// Number of clusters.
+    #[must_use]
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Compute prototypes for every cluster.
+    pub fn compute_prototypes<T, D>(&mut self, samples: &[T], distance: D)
+    where
+        D: Fn(&T, &T) -> f64 + Copy,
+    {
+        for cluster in &mut self.clusters {
+            cluster.compute_prototype(samples, distance, 64);
+        }
+    }
+
+    /// Clusters with at least `min_size` members, largest first. Kizzle only
+    /// builds signatures for clusters with enough samples to generalize
+    /// from.
+    #[must_use]
+    pub fn significant_clusters(&self, min_size: usize) -> Vec<&Cluster> {
+        let mut out: Vec<&Cluster> = self
+            .clusters
+            .iter()
+            .filter(|c| c.len() >= min_size)
+            .collect();
+        out.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        out
+    }
+
+    /// Sanity check: every sample index appears exactly once across clusters
+    /// and noise.
+    #[must_use]
+    pub fn is_partition(&self) -> bool {
+        let mut seen = vec![false; self.sample_count];
+        let mut count = 0usize;
+        for idx in self
+            .clusters
+            .iter()
+            .flat_map(|c| c.members.iter())
+            .chain(self.noise.iter())
+        {
+            if *idx >= self.sample_count || seen[*idx] {
+                return false;
+            }
+            seen[*idx] = true;
+            count += 1;
+        }
+        count == self.sample_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbscan::{dbscan, DbscanParams};
+
+    fn abs_dist(a: &f64, b: &f64) -> f64 {
+        (a - b).abs()
+    }
+
+    #[test]
+    fn from_dbscan_partitions_samples() {
+        let pts = [0.0f64, 0.1, 0.2, 9.0, 9.1, 50.0];
+        let r = dbscan(&pts, &DbscanParams::new(0.5, 2), abs_dist);
+        let clustering = Clustering::from_dbscan(&r);
+        assert_eq!(clustering.cluster_count(), 2);
+        assert_eq!(clustering.noise, vec![5]);
+        assert!(clustering.is_partition());
+        assert_eq!(clustering.sample_count, 6);
+    }
+
+    #[test]
+    fn prototype_of_singleton_is_itself() {
+        let mut c = Cluster::new(vec![3]);
+        let samples = [0.0f64, 1.0, 2.0, 3.0];
+        assert_eq!(c.compute_prototype(&samples, abs_dist, 64), Some(3));
+    }
+
+    #[test]
+    fn prototype_is_the_medoid() {
+        // Members 0,1,2 at positions 0.0, 10.0, 11.0 — the medoid is 10.0.
+        let samples = [0.0f64, 10.0, 11.0];
+        let mut c = Cluster::new(vec![0, 1, 2]);
+        assert_eq!(c.compute_prototype(&samples, abs_dist, 64), Some(1));
+        assert_eq!(c.prototype, Some(1));
+    }
+
+    #[test]
+    fn prototype_of_empty_cluster_is_none() {
+        let mut c = Cluster::default();
+        assert_eq!(c.compute_prototype(&[] as &[f64], abs_dist, 64), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn prototype_with_subsampling_still_reasonable() {
+        let samples: Vec<f64> = (0..1000).map(f64::from).collect();
+        let mut c = Cluster::new((0..1000).collect());
+        let proto = c.compute_prototype(&samples, abs_dist, 16).unwrap();
+        // True medoid is ~500; subsampled medoid must be in the middle half.
+        assert!((250..750).contains(&proto));
+    }
+
+    #[test]
+    fn significant_clusters_sorted_by_size() {
+        let clustering = Clustering::from_members(
+            vec![vec![0], vec![1, 2, 3], vec![4, 5]],
+            vec![6],
+            7,
+        );
+        let sig = clustering.significant_clusters(2);
+        assert_eq!(sig.len(), 2);
+        assert_eq!(sig[0].len(), 3);
+        assert_eq!(sig[1].len(), 2);
+    }
+
+    #[test]
+    fn is_partition_detects_duplicates_and_gaps() {
+        let bad = Clustering::from_members(vec![vec![0, 1], vec![1]], vec![], 3);
+        assert!(!bad.is_partition());
+        let gap = Clustering::from_members(vec![vec![0]], vec![], 2);
+        assert!(!gap.is_partition());
+        let oob = Clustering::from_members(vec![vec![5]], vec![], 2);
+        assert!(!oob.is_partition());
+    }
+
+    #[test]
+    fn compute_prototypes_fills_all_clusters() {
+        let pts = [0.0f64, 0.1, 0.2, 9.0, 9.1, 9.3];
+        let r = dbscan(&pts, &DbscanParams::new(0.5, 2), abs_dist);
+        let mut clustering = Clustering::from_dbscan(&r);
+        clustering.compute_prototypes(&pts, abs_dist);
+        assert!(clustering.clusters.iter().all(|c| c.prototype.is_some()));
+    }
+}

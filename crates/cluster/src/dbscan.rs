@@ -1,0 +1,303 @@
+//! DBSCAN density clustering over an arbitrary distance function.
+//!
+//! Kizzle deliberately uses an off-the-shelf clustering strategy — DBSCAN —
+//! so that the end-to-end system can be "built and supported by security
+//! engineers and not machine learning experts" (paper §I-A). DBSCAN needs no
+//! pre-declared cluster count, tolerates noise (most grayware clusters are
+//! benign one-offs), and only requires a pairwise distance, which for Kizzle
+//! is the normalized edit distance over token strings.
+
+/// Cluster assignment of a single sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Label {
+    /// Not yet processed (never returned from [`dbscan`]).
+    Unvisited,
+    /// Density noise: not reachable from any core point.
+    Noise,
+    /// Member of the cluster with the given id (0-based, dense).
+    Cluster(usize),
+}
+
+/// Parameters of the DBSCAN run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DbscanParams {
+    /// Neighborhood radius. For Kizzle this is the normalized edit-distance
+    /// threshold, 0.10 in the paper.
+    pub eps: f64,
+    /// Minimum number of samples (including the point itself) for a point to
+    /// be a core point.
+    pub min_points: usize,
+}
+
+impl DbscanParams {
+    /// Create DBSCAN parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` is negative or NaN, or `min_points` is zero.
+    #[must_use]
+    pub fn new(eps: f64, min_points: usize) -> Self {
+        assert!(eps >= 0.0 && eps.is_finite(), "eps must be a non-negative number");
+        assert!(min_points >= 1, "min_points must be at least 1");
+        DbscanParams { eps, min_points }
+    }
+
+    /// The paper's operating point: `eps = 0.10`, and a cluster needs at
+    /// least 4 samples before Kizzle will consider it (few variants => no
+    /// signature yet, which is the false-negative mechanism the paper
+    /// describes for Angler on August 13).
+    #[must_use]
+    pub fn kizzle_default() -> Self {
+        DbscanParams::new(0.10, 4)
+    }
+}
+
+impl Default for DbscanParams {
+    fn default() -> Self {
+        DbscanParams::kizzle_default()
+    }
+}
+
+/// The result of a DBSCAN run: one [`Label`] per input sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbscanResult {
+    labels: Vec<Label>,
+    cluster_count: usize,
+}
+
+impl DbscanResult {
+    /// Per-sample labels, parallel to the input slice.
+    #[must_use]
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Number of clusters discovered.
+    #[must_use]
+    pub fn cluster_count(&self) -> usize {
+        self.cluster_count
+    }
+
+    /// Whether sample `i` was classified as noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn is_noise(&self, i: usize) -> bool {
+        self.labels[i] == Label::Noise
+    }
+
+    /// Indices of the members of cluster `id`.
+    #[must_use]
+    pub fn members(&self, id: usize) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| (*l == Label::Cluster(id)).then_some(i))
+            .collect()
+    }
+
+    /// Number of noise samples.
+    #[must_use]
+    pub fn noise_count(&self) -> usize {
+        self.labels.iter().filter(|l| **l == Label::Noise).count()
+    }
+}
+
+/// Run DBSCAN over `samples` with the given `distance` function.
+///
+/// `distance` must be symmetric and return values comparable against
+/// `params.eps`; it may be arbitrarily expensive — it is called at most once
+/// per ordered pair per neighborhood query.
+///
+/// The implementation is the textbook `O(n^2)`-distance-call algorithm with
+/// an explicit expansion queue; Kizzle keeps `n` manageable by partitioning
+/// the day's samples across machines first (see
+/// [`crate::distributed`]).
+pub fn dbscan<T, D>(samples: &[T], params: &DbscanParams, distance: D) -> DbscanResult
+where
+    D: Fn(&T, &T) -> f64,
+{
+    let n = samples.len();
+    let mut labels = vec![Label::Unvisited; n];
+    let mut cluster_count = 0usize;
+
+    let neighbors_of = |idx: usize| -> Vec<usize> {
+        (0..n)
+            .filter(|&j| j != idx && distance(&samples[idx], &samples[j]) <= params.eps)
+            .collect()
+    };
+
+    for start in 0..n {
+        if labels[start] != Label::Unvisited {
+            continue;
+        }
+        let neighbors = neighbors_of(start);
+        // +1: the point itself counts toward density.
+        if neighbors.len() + 1 < params.min_points {
+            labels[start] = Label::Noise;
+            continue;
+        }
+        let cluster_id = cluster_count;
+        cluster_count += 1;
+        labels[start] = Label::Cluster(cluster_id);
+
+        let mut queue: std::collections::VecDeque<usize> = neighbors.into();
+        while let Some(p) = queue.pop_front() {
+            match labels[p] {
+                Label::Cluster(_) => continue,
+                Label::Noise => {
+                    // Border point: reachable from a core point, adopt it.
+                    labels[p] = Label::Cluster(cluster_id);
+                    continue;
+                }
+                Label::Unvisited => {
+                    labels[p] = Label::Cluster(cluster_id);
+                    let p_neighbors = neighbors_of(p);
+                    if p_neighbors.len() + 1 >= params.min_points {
+                        for q in p_neighbors {
+                            if labels[q] == Label::Unvisited || labels[q] == Label::Noise {
+                                queue.push_back(q);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    debug_assert!(labels.iter().all(|l| *l != Label::Unvisited));
+    DbscanResult {
+        labels,
+        cluster_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::normalized_edit_distance;
+
+    fn abs_dist(a: &f64, b: &f64) -> f64 {
+        (a - b).abs()
+    }
+
+    #[test]
+    fn empty_input() {
+        let result = dbscan(&[] as &[f64], &DbscanParams::new(1.0, 2), abs_dist);
+        assert_eq!(result.cluster_count(), 0);
+        assert!(result.labels().is_empty());
+    }
+
+    #[test]
+    fn single_point_is_noise_unless_min_points_one() {
+        let pts = [1.0f64];
+        let r = dbscan(&pts, &DbscanParams::new(1.0, 2), abs_dist);
+        assert!(r.is_noise(0));
+        let r = dbscan(&pts, &DbscanParams::new(1.0, 1), abs_dist);
+        assert_eq!(r.cluster_count(), 1);
+    }
+
+    #[test]
+    fn two_well_separated_groups() {
+        let pts = [0.0f64, 0.1, 0.2, 10.0, 10.1, 10.2, 55.0];
+        let r = dbscan(&pts, &DbscanParams::new(0.5, 2), abs_dist);
+        assert_eq!(r.cluster_count(), 2);
+        assert!(r.is_noise(6));
+        let c0 = r.labels()[0];
+        assert_eq!(r.labels()[1], c0);
+        assert_eq!(r.labels()[2], c0);
+        let c1 = r.labels()[3];
+        assert_ne!(c0, c1);
+        assert_eq!(r.labels()[4], c1);
+    }
+
+    #[test]
+    fn chain_of_points_forms_one_cluster() {
+        // Density-reachability: consecutive points are within eps, the
+        // endpoints are not, but they still end up in the same cluster.
+        let pts: Vec<f64> = (0..20).map(|i| f64::from(i) * 0.4).collect();
+        let r = dbscan(&pts, &DbscanParams::new(0.5, 2), abs_dist);
+        assert_eq!(r.cluster_count(), 1);
+        assert_eq!(r.noise_count(), 0);
+    }
+
+    #[test]
+    fn border_point_is_adopted_not_noise() {
+        // min_points = 3. The point at 1.0 has only one neighbor (0.5) so it
+        // is not core, but it is within eps of the core point 0.5, so it
+        // becomes a border member of the cluster.
+        let pts = [0.0f64, 0.25, 0.5, 1.0];
+        let r = dbscan(&pts, &DbscanParams::new(0.5, 3), abs_dist);
+        assert_eq!(r.cluster_count(), 1);
+        assert_eq!(r.noise_count(), 0);
+        assert_eq!(r.members(0).len(), 4);
+    }
+
+    #[test]
+    fn min_points_counts_the_point_itself() {
+        // Two points within eps of each other: with min_points = 2 each has
+        // 1 neighbor + itself = 2, so they form a cluster.
+        let pts = [0.0f64, 0.1];
+        let r = dbscan(&pts, &DbscanParams::new(0.5, 2), abs_dist);
+        assert_eq!(r.cluster_count(), 1);
+    }
+
+    #[test]
+    fn members_and_noise_count_are_consistent() {
+        let pts = [0.0f64, 0.1, 0.2, 5.0, 9.0, 9.05, 9.1];
+        let r = dbscan(&pts, &DbscanParams::new(0.3, 3), abs_dist);
+        let member_total: usize = (0..r.cluster_count()).map(|c| r.members(c).len()).sum();
+        assert_eq!(member_total + r.noise_count(), pts.len());
+    }
+
+    #[test]
+    fn token_string_clustering_at_paper_threshold() {
+        // Samples from the "same kit" differ in <10% of token positions;
+        // the benign sample is structurally different.
+        let kit_a: Vec<u8> = (0..100).map(|i| (i % 5) as u8).collect();
+        let mut kit_a2 = kit_a.clone();
+        kit_a2[10] = 9;
+        kit_a2[50] = 9; // 2% change
+        let mut kit_a3 = kit_a.clone();
+        kit_a3.truncate(95); // 5% shorter
+        let benign: Vec<u8> = (0..100).map(|i| ((i * 7) % 6) as u8).collect();
+        let samples = vec![kit_a, kit_a2, kit_a3, benign];
+        let r = dbscan(&samples, &DbscanParams::new(0.10, 2), |a, b| {
+            normalized_edit_distance(a, b)
+        });
+        assert_eq!(r.cluster_count(), 1);
+        assert_eq!(r.members(0), vec![0, 1, 2]);
+        assert!(r.is_noise(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "min_points")]
+    fn zero_min_points_panics() {
+        let _ = DbscanParams::new(0.1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps")]
+    fn negative_eps_panics() {
+        let _ = DbscanParams::new(-0.1, 2);
+    }
+
+    #[test]
+    fn kizzle_default_matches_paper() {
+        let p = DbscanParams::kizzle_default();
+        assert!((p.eps - 0.10).abs() < 1e-12);
+        assert_eq!(p.min_points, 4);
+        assert_eq!(DbscanParams::default(), p);
+    }
+
+    #[test]
+    fn result_is_deterministic() {
+        let pts: Vec<f64> = vec![0.0, 0.1, 0.2, 3.0, 3.1, 3.2, 7.7];
+        let p = DbscanParams::new(0.5, 2);
+        let a = dbscan(&pts, &p, abs_dist);
+        let b = dbscan(&pts, &p, abs_dist);
+        assert_eq!(a, b);
+    }
+}

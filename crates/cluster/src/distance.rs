@@ -1,0 +1,235 @@
+//! Edit distance between abstract token strings.
+//!
+//! Kizzle measures the distance between two samples as the edit distance of
+//! their token-class strings, normalized by the longer length, and clusters
+//! with a threshold of 0.10 (paper §III-A). Computing millions of pairwise
+//! distances dominates the pipeline, so in addition to the plain
+//! Levenshtein distance this module provides a banded variant that gives up
+//! early once the distance provably exceeds a bound — with a 10% threshold
+//! the band is narrow and the common case is fast.
+
+/// Plain Levenshtein edit distance (insertions, deletions, substitutions all
+/// cost 1) between two byte strings.
+///
+/// Runs in `O(|a| * |b|)` time and `O(min(|a|, |b|))` space.
+///
+/// # Examples
+///
+/// ```
+/// use kizzle_cluster::distance::edit_distance;
+/// assert_eq!(edit_distance(b"kitten", b"sitting"), 3);
+/// assert_eq!(edit_distance(b"", b"abc"), 3);
+/// ```
+#[must_use]
+pub fn edit_distance(a: &[u8], b: &[u8]) -> usize {
+    // Keep the shorter string as the row to minimize memory.
+    let (a, b) = if a.len() < b.len() { (a, b) } else { (b, a) };
+    if a.is_empty() {
+        return b.len();
+    }
+    let mut prev: Vec<usize> = (0..=a.len()).collect();
+    let mut curr: Vec<usize> = vec![0; a.len() + 1];
+    for (j, &bc) in b.iter().enumerate() {
+        curr[0] = j + 1;
+        for (i, &ac) in a.iter().enumerate() {
+            let cost = usize::from(ac != bc);
+            curr[i + 1] = (prev[i] + cost).min(prev[i + 1] + 1).min(curr[i] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[a.len()]
+}
+
+/// Edit distance with an upper bound: returns `None` as soon as the distance
+/// is guaranteed to exceed `max`, otherwise the exact distance.
+///
+/// Uses Ukkonen's band: only diagonals within `max` of the main diagonal are
+/// explored, so the cost is `O(max * min(|a|, |b|))`.
+///
+/// # Examples
+///
+/// ```
+/// use kizzle_cluster::distance::edit_distance_bounded;
+/// assert_eq!(edit_distance_bounded(b"kitten", b"sitting", 3), Some(3));
+/// assert_eq!(edit_distance_bounded(b"kitten", b"sitting", 2), None);
+/// ```
+#[must_use]
+pub fn edit_distance_bounded(a: &[u8], b: &[u8], max: usize) -> Option<usize> {
+    let (a, b) = if a.len() < b.len() { (a, b) } else { (b, a) };
+    let (n, m) = (a.len(), b.len());
+    if m - n > max {
+        return None;
+    }
+    if n == 0 {
+        return Some(m);
+    }
+
+    const INF: usize = usize::MAX / 2;
+    let mut prev = vec![INF; n + 1];
+    let mut curr = vec![INF; n + 1];
+    for (i, slot) in prev.iter_mut().enumerate().take(max.min(n) + 1) {
+        *slot = i;
+    }
+
+    for j in 1..=m {
+        // Band limits for row index i (1-based over `a`).
+        let lo = j.saturating_sub(max).max(1);
+        let hi = (j + max).min(n);
+        if lo > hi {
+            return None;
+        }
+        curr[lo - 1] = if lo == 1 { j } else { INF };
+        let mut row_min = curr[lo - 1];
+        let bc = b[j - 1];
+        for i in lo..=hi {
+            let cost = usize::from(a[i - 1] != bc);
+            let diag = prev[i - 1].saturating_add(cost);
+            let up = prev[i].saturating_add(1);
+            let left = curr[i - 1].saturating_add(1);
+            let v = diag.min(up).min(left);
+            curr[i] = v;
+            row_min = row_min.min(v);
+        }
+        if hi < n {
+            curr[hi + 1] = INF;
+        }
+        if row_min > max {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+        for slot in curr.iter_mut() {
+            *slot = INF;
+        }
+    }
+    let d = prev[n];
+    (d <= max).then_some(d)
+}
+
+/// Normalized edit distance: edit distance divided by the length of the
+/// longer string, yielding a value in `[0, 1]`. Two empty strings are at
+/// distance 0.
+///
+/// # Examples
+///
+/// ```
+/// use kizzle_cluster::distance::normalized_edit_distance;
+/// assert_eq!(normalized_edit_distance(b"aaaa", b"aaaa"), 0.0);
+/// assert_eq!(normalized_edit_distance(b"aaaa", b"bbbb"), 1.0);
+/// ```
+#[must_use]
+pub fn normalized_edit_distance(a: &[u8], b: &[u8]) -> f64 {
+    let max_len = a.len().max(b.len());
+    if max_len == 0 {
+        return 0.0;
+    }
+    edit_distance(a, b) as f64 / max_len as f64
+}
+
+/// Normalized edit distance with an early exit: returns `None` when the
+/// normalized distance is guaranteed to exceed `threshold`.
+///
+/// This is the workhorse of DBSCAN neighborhood queries: with the paper's
+/// `threshold = 0.10`, the underlying band is only 10% of the longer length.
+#[must_use]
+pub fn normalized_edit_distance_bounded(a: &[u8], b: &[u8], threshold: f64) -> Option<f64> {
+    let max_len = a.len().max(b.len());
+    if max_len == 0 {
+        return Some(0.0);
+    }
+    // Length difference alone is a lower bound on the edit distance.
+    let len_diff = a.len().abs_diff(b.len());
+    if len_diff as f64 / max_len as f64 > threshold {
+        return None;
+    }
+    let max_edits = (threshold * max_len as f64).floor() as usize;
+    edit_distance_bounded(a, b, max_edits).map(|d| d as f64 / max_len as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_examples() {
+        assert_eq!(edit_distance(b"kitten", b"sitting"), 3);
+        assert_eq!(edit_distance(b"flaw", b"lawn"), 2);
+        assert_eq!(edit_distance(b"abc", b"abc"), 0);
+        assert_eq!(edit_distance(b"", b""), 0);
+        assert_eq!(edit_distance(b"abc", b""), 3);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(edit_distance(b"abcdef", b"azced"), edit_distance(b"azced", b"abcdef"));
+    }
+
+    #[test]
+    fn bounded_matches_exact_when_within_bound() {
+        let pairs: &[(&[u8], &[u8])] = &[
+            (b"kitten", b"sitting"),
+            (b"exploit", b"exploits"),
+            (b"aaaaaaaaaa", b"aaaaabaaaa"),
+            (b"", b"xyz"),
+            (b"same", b"same"),
+        ];
+        for (a, b) in pairs {
+            let exact = edit_distance(a, b);
+            assert_eq!(edit_distance_bounded(a, b, exact), Some(exact));
+            assert_eq!(edit_distance_bounded(a, b, exact + 5), Some(exact));
+            if exact > 0 {
+                assert_eq!(edit_distance_bounded(a, b, exact - 1), None);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_rejects_big_length_difference_immediately() {
+        let a = vec![1u8; 10];
+        let b = vec![1u8; 100];
+        assert_eq!(edit_distance_bounded(&a, &b, 5), None);
+    }
+
+    #[test]
+    fn normalized_range_and_identity() {
+        assert_eq!(normalized_edit_distance(b"", b""), 0.0);
+        assert_eq!(normalized_edit_distance(b"abcd", b"abcd"), 0.0);
+        assert_eq!(normalized_edit_distance(b"abcd", b"wxyz"), 1.0);
+        let d = normalized_edit_distance(b"abcdefghij", b"abcdefghiX");
+        assert!((d - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_bounded_agrees_with_unbounded() {
+        let a = b"abcdefghijklmnopqrst";
+        let b = b"abcdefghijklmnopqrsX";
+        let exact = normalized_edit_distance(a, b);
+        let bounded = normalized_edit_distance_bounded(a, b, 0.10).unwrap();
+        assert!((exact - bounded).abs() < 1e-12);
+        assert_eq!(normalized_edit_distance_bounded(a, b, 0.01), None);
+    }
+
+    #[test]
+    fn normalized_bounded_empty_strings() {
+        assert_eq!(normalized_edit_distance_bounded(b"", b"", 0.1), Some(0.0));
+        assert_eq!(normalized_edit_distance_bounded(b"", b"abcdefghij", 0.1), None);
+    }
+
+    #[test]
+    fn bounded_zero_max_only_for_equal() {
+        assert_eq!(edit_distance_bounded(b"same", b"same", 0), Some(0));
+        assert_eq!(edit_distance_bounded(b"same", b"sane", 0), None);
+    }
+
+    #[test]
+    fn long_similar_token_strings_are_close() {
+        // Two 500-token strings differing in 20 positions: distance 0.04.
+        let a: Vec<u8> = (0..500).map(|i| (i % 6) as u8).collect();
+        let mut b = a.clone();
+        for i in 0..20 {
+            b[i * 25] = 5 - b[i * 25];
+        }
+        let d = normalized_edit_distance(&a, &b);
+        assert!((d - 0.04).abs() < 1e-9);
+        assert!(normalized_edit_distance_bounded(&a, &b, 0.10).is_some());
+    }
+}

@@ -1,0 +1,380 @@
+//! Distributed clustering: partition → per-partition DBSCAN → reduce.
+//!
+//! The Kizzle deployment randomly partitions each day's samples across a
+//! cluster of ~50 machines, runs the clustering independently per partition,
+//! and reconciles the partition-level clusters in a final reduce step (paper
+//! §III-A, Fig. 7; the reduce step is reported as the scalability
+//! bottleneck in §IV). This module reproduces that dataflow on OS threads:
+//! the algorithmic structure — including the reduce-side reconciliation by
+//! prototype distance — is identical, only the transport differs.
+
+use crate::clustering::{Cluster, Clustering};
+use crate::dbscan::{dbscan, DbscanParams};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::{Duration, Instant};
+
+/// Configuration of a distributed clustering run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributedConfig {
+    /// Number of partitions ("machines"). Each partition is clustered on its
+    /// own worker thread.
+    pub partitions: usize,
+    /// DBSCAN parameters used inside every partition and for reduce-side
+    /// reconciliation.
+    pub dbscan: DbscanParams,
+    /// Seed for the random partitioning, so runs are reproducible.
+    pub seed: u64,
+}
+
+impl DistributedConfig {
+    /// Create a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is zero.
+    #[must_use]
+    pub fn new(partitions: usize, dbscan: DbscanParams, seed: u64) -> Self {
+        assert!(partitions >= 1, "at least one partition is required");
+        DistributedConfig {
+            partitions,
+            dbscan,
+            seed,
+        }
+    }
+}
+
+impl Default for DistributedConfig {
+    fn default() -> Self {
+        DistributedConfig::new(4, DbscanParams::kizzle_default(), 0)
+    }
+}
+
+/// Timing and size statistics of a distributed clustering run, used by the
+/// "Cluster-Based Processing Performance" experiment (paper §IV).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DistributedStats {
+    /// Wall-clock time spent partitioning the input.
+    pub partition_time: Duration,
+    /// Wall-clock time of the parallel map (per-partition DBSCAN) phase.
+    pub map_time: Duration,
+    /// Wall-clock time of the reduce (reconciliation) phase.
+    pub reduce_time: Duration,
+    /// Number of clusters found in each partition, before reconciliation.
+    pub per_partition_clusters: Vec<usize>,
+    /// Number of clusters after reconciliation.
+    pub merged_clusters: usize,
+    /// Number of samples classified as noise after reconciliation.
+    pub noise: usize,
+}
+
+impl DistributedStats {
+    /// Total wall-clock time of the run.
+    #[must_use]
+    pub fn total_time(&self) -> Duration {
+        self.partition_time + self.map_time + self.reduce_time
+    }
+}
+
+/// The distributed clustering driver.
+#[derive(Debug, Clone, Default)]
+pub struct DistributedClusterer {
+    config: DistributedConfig,
+}
+
+impl DistributedClusterer {
+    /// Create a driver with the given configuration.
+    #[must_use]
+    pub fn new(config: DistributedConfig) -> Self {
+        DistributedClusterer { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &DistributedConfig {
+        &self.config
+    }
+
+    /// Cluster `samples` with an arbitrary (symmetric) distance function.
+    ///
+    /// Returns the reconciled global [`Clustering`] (indices refer to
+    /// `samples`) and run statistics.
+    pub fn cluster_with<T, D>(&self, samples: &[T], distance: D) -> (Clustering, DistributedStats)
+    where
+        T: Sync,
+        D: Fn(&T, &T) -> f64 + Sync,
+    {
+        let mut stats = DistributedStats::default();
+        if samples.is_empty() {
+            return (Clustering::default(), stats);
+        }
+
+        // Phase 1: random partitioning.
+        let t0 = Instant::now();
+        let mut indices: Vec<usize> = (0..samples.len()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        indices.shuffle(&mut rng);
+        let partitions: Vec<Vec<usize>> = indices
+            .chunks(samples.len().div_ceil(self.config.partitions))
+            .map(<[usize]>::to_vec)
+            .collect();
+        stats.partition_time = t0.elapsed();
+
+        // Phase 2: map — independent DBSCAN per partition, on worker threads.
+        let t1 = Instant::now();
+        let params = self.config.dbscan;
+        let partition_results: Vec<(Vec<Vec<usize>>, Vec<usize>)> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = partitions
+                    .iter()
+                    .map(|part| {
+                        let distance = &distance;
+                        scope.spawn(move |_| {
+                            let local: Vec<&T> = part.iter().map(|&i| &samples[i]).collect();
+                            let result =
+                                dbscan(&local, &params, |a, b| distance(a, b));
+                            let clusters: Vec<Vec<usize>> = (0..result.cluster_count())
+                                .map(|c| {
+                                    result.members(c).into_iter().map(|i| part[i]).collect()
+                                })
+                                .collect();
+                            let noise: Vec<usize> = result
+                                .labels()
+                                .iter()
+                                .enumerate()
+                                .filter_map(|(i, l)| {
+                                    (*l == crate::dbscan::Label::Noise).then_some(part[i])
+                                })
+                                .collect();
+                            (clusters, noise)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("partition worker panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope failed");
+        stats.map_time = t1.elapsed();
+        stats.per_partition_clusters = partition_results
+            .iter()
+            .map(|(clusters, _)| clusters.len())
+            .collect();
+
+        // Phase 3: reduce — reconcile clusters across partitions by
+        // prototype distance, then re-adopt noise points close to a merged
+        // prototype.
+        let t2 = Instant::now();
+        let mut all_clusters: Vec<Vec<usize>> = Vec::new();
+        let mut all_noise: Vec<usize> = Vec::new();
+        for (clusters, noise) in partition_results {
+            all_clusters.extend(clusters);
+            all_noise.extend(noise);
+        }
+
+        // Prototype (medoid) per partition-level cluster.
+        let prototypes: Vec<usize> = all_clusters
+            .iter()
+            .map(|members| {
+                let mut c = Cluster::new(members.clone());
+                c.compute_prototype(samples, &distance, 32)
+                    .expect("non-empty cluster has a prototype")
+            })
+            .collect();
+
+        // Union-find over partition-level clusters.
+        let mut parent: Vec<usize> = (0..all_clusters.len()).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        for i in 0..prototypes.len() {
+            for j in i + 1..prototypes.len() {
+                if distance(&samples[prototypes[i]], &samples[prototypes[j]]) <= params.eps {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+            }
+        }
+
+        let mut merged: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (idx, members) in all_clusters.iter().enumerate() {
+            let root = find(&mut parent, idx);
+            merged.entry(root).or_default().extend(members.iter().copied());
+        }
+        let mut merged_clusters: Vec<Vec<usize>> = merged.into_values().collect();
+        // Deterministic order: by smallest member index.
+        for m in &mut merged_clusters {
+            m.sort_unstable();
+        }
+        merged_clusters.sort_by_key(|m| m.first().copied().unwrap_or(usize::MAX));
+
+        // Re-adopt noise points that are within eps of a merged prototype.
+        let merged_prototypes: Vec<usize> = merged_clusters
+            .iter()
+            .map(|members| {
+                let mut c = Cluster::new(members.clone());
+                c.compute_prototype(samples, &distance, 32)
+                    .expect("non-empty cluster has a prototype")
+            })
+            .collect();
+        let mut remaining_noise = Vec::new();
+        for idx in all_noise {
+            let mut adopted = false;
+            for (c, &proto) in merged_prototypes.iter().enumerate() {
+                if distance(&samples[idx], &samples[proto]) <= params.eps {
+                    merged_clusters[c].push(idx);
+                    adopted = true;
+                    break;
+                }
+            }
+            if !adopted {
+                remaining_noise.push(idx);
+            }
+        }
+        for m in &mut merged_clusters {
+            m.sort_unstable();
+        }
+        remaining_noise.sort_unstable();
+        stats.reduce_time = t2.elapsed();
+        stats.merged_clusters = merged_clusters.len();
+        stats.noise = remaining_noise.len();
+
+        let mut clustering =
+            Clustering::from_members(merged_clusters, remaining_noise, samples.len());
+        clustering.compute_prototypes(samples, &distance);
+        (clustering, stats)
+    }
+
+    /// Cluster token-class strings with the paper's normalized edit
+    /// distance, using the bounded early-exit variant for neighborhood
+    /// queries.
+    pub fn cluster_token_strings(
+        &self,
+        samples: &[Vec<u8>],
+    ) -> (Clustering, DistributedStats) {
+        let eps = self.config.dbscan.eps;
+        self.cluster_with(samples, move |a: &Vec<u8>, b: &Vec<u8>| {
+            crate::distance::normalized_edit_distance_bounded(a, b, eps).unwrap_or(1.0)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three synthetic "families" of token strings plus random noise.
+    fn synthetic_samples(per_family: usize) -> (Vec<Vec<u8>>, Vec<usize>) {
+        let mut samples = Vec::new();
+        let mut family_of = Vec::new();
+        let bases: Vec<Vec<u8>> = vec![
+            (0..120).map(|i| (i % 5) as u8).collect(),
+            (0..150).map(|i| ((i * 3) % 6) as u8).collect(),
+            (0..90).map(|i| ((i * 7 + 1) % 4) as u8).collect(),
+        ];
+        for (f, base) in bases.iter().enumerate() {
+            for v in 0..per_family {
+                let mut s = base.clone();
+                // Perturb < 5% of positions so members stay within eps=0.1.
+                for k in 0..(s.len() / 30) {
+                    let pos = (v * 13 + k * 17) % s.len();
+                    s[pos] = (s[pos] + 1) % 6;
+                }
+                samples.push(s);
+                family_of.push(f);
+            }
+        }
+        (samples, family_of)
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let clusterer = DistributedClusterer::default();
+        let (clustering, stats) = clusterer.cluster_token_strings(&[]);
+        assert_eq!(clustering.cluster_count(), 0);
+        assert_eq!(stats.merged_clusters, 0);
+    }
+
+    #[test]
+    fn single_partition_equals_plain_dbscan_structure() {
+        let (samples, _) = synthetic_samples(5);
+        let cfg = DistributedConfig::new(1, DbscanParams::new(0.10, 2), 7);
+        let (clustering, stats) = DistributedClusterer::new(cfg).cluster_token_strings(&samples);
+        assert_eq!(clustering.cluster_count(), 3);
+        assert!(clustering.is_partition());
+        assert_eq!(stats.per_partition_clusters.len(), 1);
+    }
+
+    #[test]
+    fn multi_partition_reconciles_families_split_across_partitions() {
+        let (samples, family_of) = synthetic_samples(8);
+        let cfg = DistributedConfig::new(4, DbscanParams::new(0.10, 2), 42);
+        let (clustering, stats) = DistributedClusterer::new(cfg).cluster_token_strings(&samples);
+        assert!(clustering.is_partition());
+        // All three families must be re-united by the reduce step.
+        assert_eq!(clustering.cluster_count(), 3, "stats: {stats:?}");
+        // Every cluster must be family-pure.
+        for cluster in &clustering.clusters {
+            let families: std::collections::HashSet<_> =
+                cluster.members.iter().map(|&i| family_of[i]).collect();
+            assert_eq!(families.len(), 1, "cluster mixes families");
+        }
+        assert_eq!(stats.merged_clusters, 3);
+    }
+
+    #[test]
+    fn noise_points_stay_noise() {
+        let (mut samples, _) = synthetic_samples(4);
+        // Add two wildly different samples.
+        samples.push((0..40).map(|i| (i % 2) as u8 + 4).collect());
+        samples.push((0..300).map(|_| 3u8).collect());
+        let noise_a = samples.len() - 2;
+        let noise_b = samples.len() - 1;
+        let cfg = DistributedConfig::new(3, DbscanParams::new(0.10, 2), 1);
+        let (clustering, _) = DistributedClusterer::new(cfg).cluster_token_strings(&samples);
+        assert!(clustering.noise.contains(&noise_a));
+        assert!(clustering.noise.contains(&noise_b));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (samples, _) = synthetic_samples(6);
+        let cfg = DistributedConfig::new(4, DbscanParams::new(0.10, 2), 99);
+        let (a, _) = DistributedClusterer::new(cfg).cluster_token_strings(&samples);
+        let (b, _) = DistributedClusterer::new(cfg).cluster_token_strings(&samples);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (samples, _) = synthetic_samples(4);
+        let cfg = DistributedConfig::new(2, DbscanParams::new(0.10, 2), 5);
+        let (_, stats) = DistributedClusterer::new(cfg).cluster_token_strings(&samples);
+        assert_eq!(stats.per_partition_clusters.len(), 2);
+        assert!(stats.total_time() >= stats.reduce_time);
+        assert!(stats.merged_clusters > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_panics() {
+        let _ = DistributedConfig::new(0, DbscanParams::kizzle_default(), 0);
+    }
+
+    #[test]
+    fn more_partitions_than_samples() {
+        let (samples, _) = synthetic_samples(1);
+        let cfg = DistributedConfig::new(16, DbscanParams::new(0.10, 1), 3);
+        let (clustering, _) = DistributedClusterer::new(cfg).cluster_token_strings(&samples);
+        assert!(clustering.is_partition());
+    }
+}

@@ -1,0 +1,48 @@
+//! # kizzle-cluster — sample clustering for the Kizzle pipeline
+//!
+//! Kizzle clusters incoming grayware samples on their *abstract token
+//! strings* (paper §III-A): it partitions the daily batch across machines,
+//! runs **DBSCAN** (Ester et al., KDD'96) inside each partition using the
+//! **normalized edit distance** between token strings (threshold 0.10), and
+//! then reconciles the per-partition clusters in a reduce step.
+//!
+//! This crate provides each of those pieces:
+//!
+//! * [`distance`] — Levenshtein edit distance with a banded, early-exit
+//!   variant and the normalized form used by the paper.
+//! * [`dbscan`] — a generic DBSCAN over any distance function.
+//! * [`clustering`] — cluster bookkeeping: members, medoid prototypes,
+//!   summary statistics.
+//! * [`distributed`] — the partition → cluster → reduce dataflow, run on
+//!   scoped OS threads to stand in for the paper's 50-machine deployment.
+//!
+//! ## Example
+//!
+//! ```
+//! use kizzle_cluster::{dbscan::DbscanParams, distance::normalized_edit_distance, dbscan::dbscan};
+//!
+//! // Three near-identical token strings and one outlier.
+//! let samples: Vec<Vec<u8>> = vec![
+//!     vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+//!     vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 11],
+//!     vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+//!     vec![9, 9, 9, 9, 1, 1, 1, 1, 2, 2],
+//! ];
+//! let params = DbscanParams::new(0.10, 2);
+//! let result = dbscan(&samples, &params, |a, b| normalized_edit_distance(a, b));
+//! assert_eq!(result.cluster_count(), 1);
+//! assert!(result.is_noise(3));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clustering;
+pub mod dbscan;
+pub mod distance;
+pub mod distributed;
+
+pub use clustering::{Cluster, Clustering};
+pub use dbscan::{dbscan, DbscanParams, DbscanResult, Label};
+pub use distance::{edit_distance, edit_distance_bounded, normalized_edit_distance};
+pub use distributed::{DistributedClusterer, DistributedConfig, DistributedStats};

@@ -1,0 +1,84 @@
+//! Property-based tests for edit distance and clustering invariants.
+
+use kizzle_cluster::distance::{
+    edit_distance, edit_distance_bounded, normalized_edit_distance,
+    normalized_edit_distance_bounded,
+};
+use kizzle_cluster::{dbscan, Clustering, DbscanParams, DistributedClusterer, DistributedConfig};
+use proptest::prelude::*;
+
+fn token_string() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..6, 0..80)
+}
+
+proptest! {
+    /// Edit distance is a metric: identity, symmetry, triangle inequality.
+    #[test]
+    fn edit_distance_is_a_metric(a in token_string(), b in token_string(), c in token_string()) {
+        prop_assert_eq!(edit_distance(&a, &a), 0);
+        prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+        prop_assert!(edit_distance(&a, &c) <= edit_distance(&a, &b) + edit_distance(&b, &c));
+    }
+
+    /// Edit distance is bounded by the longer length and at least the length
+    /// difference.
+    #[test]
+    fn edit_distance_bounds(a in token_string(), b in token_string()) {
+        let d = edit_distance(&a, &b);
+        prop_assert!(d <= a.len().max(b.len()));
+        prop_assert!(d >= a.len().abs_diff(b.len()));
+    }
+
+    /// The bounded variant agrees with the exact distance whenever it
+    /// returns a value, and only returns None when the distance exceeds the
+    /// bound.
+    #[test]
+    fn bounded_edit_distance_correct(a in token_string(), b in token_string(), max in 0usize..40) {
+        let exact = edit_distance(&a, &b);
+        match edit_distance_bounded(&a, &b, max) {
+            Some(d) => {
+                prop_assert_eq!(d, exact);
+                prop_assert!(d <= max);
+            }
+            None => prop_assert!(exact > max),
+        }
+    }
+
+    /// Normalized distance is within [0,1] and its bounded variant agrees.
+    #[test]
+    fn normalized_distance_consistent(a in token_string(), b in token_string()) {
+        let d = normalized_edit_distance(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&d));
+        match normalized_edit_distance_bounded(&a, &b, 0.25) {
+            Some(bd) => prop_assert!((bd - d).abs() < 1e-12),
+            None => prop_assert!(d > 0.25 - 1e-12),
+        }
+    }
+
+    /// DBSCAN assigns every sample exactly one label and the derived
+    /// Clustering is a partition of the input.
+    #[test]
+    fn dbscan_produces_a_partition(samples in prop::collection::vec(token_string(), 0..25)) {
+        let params = DbscanParams::new(0.10, 2);
+        let result = dbscan(&samples, &params, |a, b| normalized_edit_distance(a, b));
+        prop_assert_eq!(result.labels().len(), samples.len());
+        let clustering = Clustering::from_dbscan(&result);
+        prop_assert!(clustering.is_partition());
+    }
+
+    /// Distributed clustering always yields a partition of the input and is
+    /// deterministic for a fixed seed, regardless of partition count.
+    #[test]
+    fn distributed_clustering_partition_and_deterministic(
+        samples in prop::collection::vec(token_string(), 0..20),
+        partitions in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let cfg = DistributedConfig::new(partitions, DbscanParams::new(0.10, 2), seed);
+        let clusterer = DistributedClusterer::new(cfg);
+        let (a, _) = clusterer.cluster_token_strings(&samples);
+        prop_assert!(a.is_partition());
+        let (b, _) = clusterer.cluster_token_strings(&samples);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,127 @@
+//! Pipeline configuration.
+
+use kizzle_cluster::{DbscanParams, DistributedConfig};
+use kizzle_signature::SignatureConfig;
+use kizzle_winnow::WinnowConfig;
+
+/// Configuration of the whole Kizzle pipeline.
+///
+/// The defaults reproduce the paper's operating point where it is stated
+/// (DBSCAN threshold 0.10, 200-token signature cap) and otherwise use the
+/// values determined in DESIGN.md.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KizzleConfig {
+    /// Distributed clustering configuration (partition count stands in for
+    /// the paper's 50 machines).
+    pub clustering: DistributedConfig,
+    /// Maximum number of tokens per sample used for clustering; longer
+    /// samples are truncated to this prefix, which bounds the edit-distance
+    /// cost without affecting the packer-dominated head of the document.
+    pub token_cap: usize,
+    /// Minimum number of samples in a cluster before a signature is
+    /// generated from it. Clusters below this size are ignored — which is
+    /// exactly the false-negative mechanism the paper describes for rare
+    /// kit variants.
+    pub min_cluster_size: usize,
+    /// Winnowing parameters for cluster labeling.
+    pub winnow: WinnowConfig,
+    /// Default winnow-overlap threshold above which a cluster prototype is
+    /// considered to belong to a known family. Per-family overrides live in
+    /// the reference corpus.
+    pub label_threshold: f64,
+    /// Signature generation parameters.
+    pub signature: SignatureConfig,
+}
+
+impl KizzleConfig {
+    /// The paper-faithful configuration.
+    #[must_use]
+    pub fn paper() -> Self {
+        KizzleConfig {
+            clustering: DistributedConfig::new(4, DbscanParams::new(0.10, 4), 0),
+            token_cap: 900,
+            min_cluster_size: 4,
+            winnow: WinnowConfig::default(),
+            label_threshold: 0.60,
+            signature: SignatureConfig::default(),
+        }
+    }
+
+    /// A configuration tuned for unit tests and doc examples: fewer
+    /// partitions, smaller clusters accepted, shorter token cap.
+    #[must_use]
+    pub fn fast() -> Self {
+        KizzleConfig {
+            clustering: DistributedConfig::new(2, DbscanParams::new(0.10, 3), 0),
+            token_cap: 500,
+            min_cluster_size: 3,
+            winnow: WinnowConfig::default(),
+            label_threshold: 0.60,
+            signature: SignatureConfig::default(),
+        }
+    }
+
+    /// Validate invariants that cross module boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label threshold is outside `(0, 1]`, the token cap is
+    /// smaller than the signature cap, or the minimum cluster size is zero.
+    #[must_use]
+    pub fn validated(self) -> Self {
+        assert!(
+            self.label_threshold > 0.0 && self.label_threshold <= 1.0,
+            "label_threshold must be in (0, 1]"
+        );
+        assert!(
+            self.token_cap >= self.signature.max_tokens,
+            "token_cap must be at least the signature token cap"
+        );
+        assert!(self.min_cluster_size >= 1, "min_cluster_size must be >= 1");
+        self
+    }
+}
+
+impl Default for KizzleConfig {
+    fn default() -> Self {
+        KizzleConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_stated_parameters() {
+        let cfg = KizzleConfig::paper().validated();
+        assert!((cfg.clustering.dbscan.eps - 0.10).abs() < 1e-12);
+        assert_eq!(cfg.signature.max_tokens, 200);
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(KizzleConfig::default(), KizzleConfig::paper());
+    }
+
+    #[test]
+    fn fast_config_is_valid() {
+        let _ = KizzleConfig::fast().validated();
+    }
+
+    #[test]
+    #[should_panic(expected = "label_threshold")]
+    fn invalid_threshold_panics() {
+        let mut cfg = KizzleConfig::paper();
+        cfg.label_threshold = 1.5;
+        let _ = cfg.validated();
+    }
+
+    #[test]
+    #[should_panic(expected = "token_cap")]
+    fn token_cap_below_signature_cap_panics() {
+        let mut cfg = KizzleConfig::paper();
+        cfg.token_cap = 100;
+        let _ = cfg.validated();
+    }
+}

@@ -1,0 +1,56 @@
+//! # kizzle — the signature compiler
+//!
+//! This crate is the reproduction of the paper's primary contribution: a
+//! compiler that turns a daily stream of grayware HTML samples into
+//! anti-virus-style structural signatures for exploit kits, with no analyst
+//! in the loop once it has been seeded with known kits.
+//!
+//! One processing round ([`KizzleCompiler::process_day`]) follows the
+//! paper's Fig. 7 pipeline:
+//!
+//! 1. **Tokenize** every sample into an abstract token stream
+//!    (`kizzle-js`), capped at a configurable prefix length.
+//! 2. **Cluster** the token-class strings with partitioned DBSCAN at
+//!    normalized edit distance 0.10 (`kizzle-cluster`).
+//! 3. **Label** each sufficiently large cluster: unpack its medoid
+//!    prototype (`kizzle-unpack`), fingerprint the unpacked body with
+//!    winnowing (`kizzle-winnow`) and compare against the reference corpus
+//!    of known unpacked kits; overlap above the family threshold labels the
+//!    cluster malicious.
+//! 4. **Generate** one structural signature per malicious cluster
+//!    (`kizzle-signature`) and add it to the active [`SignatureSet`].
+//!
+//! The active set is cumulative across days, which is what gives Kizzle its
+//! same-day response to packer churn (the paper's Fig. 12).
+//!
+//! ## Example
+//!
+//! ```
+//! use kizzle::{KizzleCompiler, KizzleConfig, ReferenceCorpus};
+//! use kizzle_corpus::{GraywareStream, SimDate, StreamConfig};
+//!
+//! let date = SimDate::new(2014, 8, 5);
+//! let reference = ReferenceCorpus::seeded_from_models(date, &KizzleConfig::default());
+//! let mut compiler = KizzleCompiler::new(KizzleConfig::fast(), reference);
+//!
+//! let stream = GraywareStream::new(StreamConfig::small(7));
+//! let day = stream.generate_day(date);
+//! let report = compiler.process_day(date, &day);
+//! assert!(report.clusters > 0);
+//! // The signatures generated today already detect today's samples.
+//! let detected = day.iter().filter(|s| compiler.scan(&s.html).is_some()).count();
+//! assert!(detected > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod pipeline;
+pub mod reference;
+
+pub use config::KizzleConfig;
+pub use pipeline::{ClusterVerdict, DayReport, KizzleCompiler};
+pub use reference::ReferenceCorpus;
+
+pub use kizzle_signature::SignatureSet;

@@ -1,0 +1,386 @@
+//! The daily processing pipeline: cluster → label → sign → deploy.
+
+use crate::config::KizzleConfig;
+use crate::reference::ReferenceCorpus;
+use kizzle_cluster::{DistributedClusterer, DistributedStats};
+use kizzle_corpus::{KitFamily, Sample, SimDate};
+use kizzle_js::TokenStream;
+use kizzle_signature::{generate_signature, SignatureSet};
+use std::collections::HashMap;
+use std::fmt;
+
+/// What the pipeline decided about one cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterVerdict {
+    /// Number of samples in the cluster.
+    pub size: usize,
+    /// The family the cluster was labeled with, if any.
+    pub family: Option<KitFamily>,
+    /// The winnow overlap of the unpacked prototype with the best-matching
+    /// reference (0 when no reference matched).
+    pub overlap: f64,
+    /// Name of the signature generated for the cluster, if one was.
+    pub signature_name: Option<String>,
+}
+
+/// The result of processing one day of grayware.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DayReport {
+    /// The processed day.
+    pub date: SimDate,
+    /// Number of samples processed.
+    pub samples: usize,
+    /// Number of clusters found (paper §IV reports 280–1,200 per day at
+    /// full scale).
+    pub clusters: usize,
+    /// Number of samples left as noise.
+    pub noise: usize,
+    /// Per-cluster verdicts, for clusters at or above the minimum size.
+    pub verdicts: Vec<ClusterVerdict>,
+    /// Names of the signatures added today.
+    pub new_signatures: Vec<String>,
+    /// Timing of the distributed clustering phases.
+    pub clustering_stats: DistributedStats,
+}
+
+impl DayReport {
+    /// Number of clusters labeled as malicious today.
+    #[must_use]
+    pub fn malicious_clusters(&self) -> usize {
+        self.verdicts.iter().filter(|v| v.family.is_some()).count()
+    }
+}
+
+impl fmt::Display for DayReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} samples, {} clusters ({} malicious), {} new signatures",
+            self.date,
+            self.samples,
+            self.clusters,
+            self.malicious_clusters(),
+            self.new_signatures.len()
+        )
+    }
+}
+
+/// The Kizzle signature compiler.
+///
+/// Holds the labeled reference corpus it was seeded with and the cumulative
+/// set of signatures it has emitted so far.
+#[derive(Debug, Clone)]
+pub struct KizzleCompiler {
+    config: KizzleConfig,
+    reference: ReferenceCorpus,
+    signatures: SignatureSet,
+    signature_counters: HashMap<KitFamily, usize>,
+}
+
+impl KizzleCompiler {
+    /// Create a compiler from a configuration and a seeded reference corpus.
+    #[must_use]
+    pub fn new(config: KizzleConfig, reference: ReferenceCorpus) -> Self {
+        KizzleCompiler {
+            config: config.validated(),
+            reference,
+            signatures: SignatureSet::new(),
+            signature_counters: HashMap::new(),
+        }
+    }
+
+    /// The pipeline configuration.
+    #[must_use]
+    pub fn config(&self) -> &KizzleConfig {
+        &self.config
+    }
+
+    /// The reference corpus (grows as labeled clusters are absorbed).
+    #[must_use]
+    pub fn reference(&self) -> &ReferenceCorpus {
+        &self.reference
+    }
+
+    /// The signatures deployed so far.
+    #[must_use]
+    pub fn signatures(&self) -> &SignatureSet {
+        &self.signatures
+    }
+
+    /// Tokenize a document and truncate it to the configured prefix length.
+    #[must_use]
+    pub fn tokenize_capped(&self, document: &str) -> TokenStream {
+        let stream = kizzle_js::tokenize_document(document);
+        if stream.len() > self.config.token_cap {
+            stream.slice(0, self.config.token_cap)
+        } else {
+            stream
+        }
+    }
+
+    /// Process one day of samples: cluster, label, and generate signatures.
+    /// The generated signatures are added to the active set immediately
+    /// (Kizzle's same-day response).
+    pub fn process_day(&mut self, date: SimDate, samples: &[Sample]) -> DayReport {
+        let streams: Vec<TokenStream> = samples
+            .iter()
+            .map(|s| self.tokenize_capped(&s.html))
+            .collect();
+        self.process_day_tokenized(date, samples, &streams)
+    }
+
+    /// Like [`KizzleCompiler::process_day`] but reusing already tokenized
+    /// streams (the evaluation harness tokenizes once and shares the streams
+    /// between Kizzle and its metrics).
+    pub fn process_day_tokenized(
+        &mut self,
+        date: SimDate,
+        samples: &[Sample],
+        streams: &[TokenStream],
+    ) -> DayReport {
+        assert_eq!(samples.len(), streams.len(), "samples and streams must be parallel");
+        let class_strings: Vec<Vec<u8>> = streams.iter().map(TokenStream::class_codes).collect();
+
+        let clusterer = DistributedClusterer::new(self.config.clustering);
+        let (clustering, stats) = clusterer.cluster_token_strings(&class_strings);
+
+        let mut verdicts = Vec::new();
+        let mut new_signatures = Vec::new();
+        for cluster in clustering.significant_clusters(self.config.min_cluster_size) {
+            let prototype_idx = cluster
+                .prototype
+                .unwrap_or_else(|| cluster.members[0]);
+            let (_, unpacked) = kizzle_unpack::unpack_or_passthrough(&samples[prototype_idx].html);
+            let labeled = self.reference.label(&unpacked);
+
+            let mut verdict = ClusterVerdict {
+                size: cluster.len(),
+                family: labeled.map(|(f, _)| f),
+                overlap: labeled.map_or(0.0, |(_, o)| o),
+                signature_name: None,
+            };
+
+            if let Some((family, _)) = labeled {
+                // Track the kit's evolution so tomorrow's variant still
+                // labels correctly.
+                self.reference.absorb(family, &unpacked);
+
+                let member_streams: Vec<TokenStream> = cluster
+                    .members
+                    .iter()
+                    .map(|&i| streams[i].clone())
+                    .collect();
+                let counter = self.signature_counters.entry(family).or_insert(0);
+                let name = format!("{}.sig{}", family.short_code(), *counter + 1);
+                match generate_signature(&name, &member_streams, &self.config.signature) {
+                    Ok(signature) => {
+                        if self.signatures.add(family.name(), signature) {
+                            *counter += 1;
+                            verdict.signature_name = Some(name.clone());
+                            new_signatures.push(name);
+                        }
+                    }
+                    Err(_) => {
+                        // Not enough common structure (paper: short common
+                        // subsequences are discarded); the cluster stays
+                        // labeled but unsigned.
+                    }
+                }
+            }
+            verdicts.push(verdict);
+        }
+
+        DayReport {
+            date,
+            samples: samples.len(),
+            clusters: clustering.cluster_count(),
+            noise: clustering.noise.len(),
+            verdicts,
+            new_signatures,
+            clustering_stats: stats,
+        }
+    }
+
+    /// Scan an already tokenized sample against the deployed signatures.
+    #[must_use]
+    pub fn scan_stream(&self, stream: &TokenStream) -> Option<KitFamily> {
+        self.signatures
+            .scan_stream(stream)
+            .and_then(|hit| family_from_label(&hit.label))
+    }
+
+    /// Scan a raw document against the deployed signatures.
+    #[must_use]
+    pub fn scan(&self, document: &str) -> Option<KitFamily> {
+        self.scan_stream(&self.tokenize_capped(document))
+    }
+}
+
+/// Map a signature label back to the kit family it names.
+#[must_use]
+pub fn family_from_label(label: &str) -> Option<KitFamily> {
+    KitFamily::ALL.into_iter().find(|f| f.name() == label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kizzle_corpus::{GraywareStream, GroundTruth, KitModel, StreamConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn compiler() -> KizzleCompiler {
+        let reference =
+            ReferenceCorpus::seeded_from_models(SimDate::new(2014, 8, 1), &KizzleConfig::fast());
+        KizzleCompiler::new(KizzleConfig::fast(), reference)
+    }
+
+    /// A small, malicious-heavy day so clusters form reliably in tests.
+    fn test_day(date: SimDate, seed: u64) -> Vec<Sample> {
+        let config = StreamConfig {
+            samples_per_day: 48,
+            malicious_fraction: 0.5,
+            family_weights: vec![
+                (KitFamily::Angler, 0.4),
+                (KitFamily::Nuclear, 0.3),
+                (KitFamily::SweetOrange, 0.3),
+            ],
+            seed,
+        };
+        GraywareStream::new(config).generate_day(date)
+    }
+
+    #[test]
+    fn process_day_finds_clusters_and_generates_signatures() {
+        let mut compiler = compiler();
+        let date = SimDate::new(2014, 8, 5);
+        let day = test_day(date, 3);
+        let report = compiler.process_day(date, &day);
+
+        assert_eq!(report.samples, day.len());
+        assert!(report.clusters > 0);
+        assert!(report.malicious_clusters() >= 2, "report: {report}");
+        assert!(!report.new_signatures.is_empty());
+        assert_eq!(compiler.signatures().len(), report.new_signatures.len());
+    }
+
+    #[test]
+    fn generated_signatures_detect_same_day_samples() {
+        let mut compiler = compiler();
+        let date = SimDate::new(2014, 8, 5);
+        let day = test_day(date, 4);
+        compiler.process_day(date, &day);
+
+        let mut detected_malicious = 0usize;
+        let mut total_malicious = 0usize;
+        let mut false_positives = 0usize;
+        for sample in &day {
+            let hit = compiler.scan(&sample.html);
+            match sample.truth {
+                GroundTruth::Malicious(_) => {
+                    total_malicious += 1;
+                    if hit.is_some() {
+                        detected_malicious += 1;
+                    }
+                }
+                GroundTruth::Benign => {
+                    if hit.is_some() {
+                        false_positives += 1;
+                    }
+                }
+            }
+        }
+        assert!(total_malicious > 0);
+        assert!(
+            detected_malicious * 2 > total_malicious,
+            "detected {detected_malicious}/{total_malicious}"
+        );
+        assert!(
+            false_positives <= 1,
+            "too many false positives: {false_positives}"
+        );
+    }
+
+    #[test]
+    fn detected_family_matches_ground_truth() {
+        let mut compiler = compiler();
+        let date = SimDate::new(2014, 8, 8);
+        let day = test_day(date, 5);
+        compiler.process_day(date, &day);
+        for sample in &day {
+            if let (GroundTruth::Malicious(truth), Some(found)) =
+                (sample.truth, compiler.scan(&sample.html))
+            {
+                assert_eq!(found, truth, "family confusion on {}", sample.id);
+            }
+        }
+    }
+
+    #[test]
+    fn signatures_accumulate_across_days() {
+        let mut compiler = compiler();
+        let d1 = SimDate::new(2014, 8, 5);
+        let d2 = SimDate::new(2014, 8, 20);
+        compiler.process_day(d1, &test_day(d1, 6));
+        let count_after_day1 = compiler.signatures().len();
+        compiler.process_day(d2, &test_day(d2, 7));
+        assert!(compiler.signatures().len() >= count_after_day1);
+        // Nuclear rotated its delimiter between the two dates, so a second
+        // Nuclear signature must exist if Nuclear clustered on both days.
+        let nuclear_sigs = compiler.signatures().for_label(KitFamily::Nuclear.name());
+        assert!(!nuclear_sigs.is_empty());
+    }
+
+    #[test]
+    fn benign_only_day_produces_no_signatures() {
+        let mut compiler = compiler();
+        let date = SimDate::new(2014, 8, 10);
+        let config = StreamConfig {
+            samples_per_day: 40,
+            malicious_fraction: 0.0,
+            family_weights: vec![(KitFamily::Angler, 1.0)],
+            seed: 8,
+        };
+        let day = GraywareStream::new(config).generate_day(date);
+        let report = compiler.process_day(date, &day);
+        assert_eq!(report.malicious_clusters(), 0, "report: {report:?}");
+        assert!(compiler.signatures().is_empty());
+        assert!(day.iter().all(|s| compiler.scan(&s.html).is_none()));
+    }
+
+    #[test]
+    fn empty_day_is_handled() {
+        let mut compiler = compiler();
+        let report = compiler.process_day(SimDate::new(2014, 8, 1), &[]);
+        assert_eq!(report.samples, 0);
+        assert_eq!(report.clusters, 0);
+        assert!(report.new_signatures.is_empty());
+    }
+
+    #[test]
+    fn token_cap_is_applied() {
+        let compiler = compiler();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let html = KitModel::new(KitFamily::Rig).generate_sample(SimDate::new(2014, 8, 3), &mut rng);
+        let stream = compiler.tokenize_capped(&html);
+        assert!(stream.len() <= compiler.config().token_cap);
+    }
+
+    #[test]
+    fn family_label_roundtrip() {
+        for family in KitFamily::ALL {
+            assert_eq!(family_from_label(family.name()), Some(family));
+        }
+        assert_eq!(family_from_label("NotAKit"), None);
+    }
+
+    #[test]
+    fn day_report_display_is_informative() {
+        let mut compiler = compiler();
+        let date = SimDate::new(2014, 8, 5);
+        let report = compiler.process_day(date, &test_day(date, 9));
+        let text = report.to_string();
+        assert!(text.contains("8/5/14"));
+        assert!(text.contains("clusters"));
+    }
+}

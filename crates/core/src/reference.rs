@@ -1,0 +1,224 @@
+//! The labeled reference corpus of known, unpacked exploit kits.
+//!
+//! Kizzle is not an anomaly detector: it must be *seeded* with known
+//! exploit kits (paper §I-A). The reference corpus holds, per family, the
+//! winnowing fingerprints of unpacked kit payloads an analyst has confirmed,
+//! plus a per-family overlap threshold — the paper notes the threshold is
+//! "malware family specific".
+
+use crate::config::KizzleConfig;
+use kizzle_corpus::{KitFamily, KitModel, SimDate};
+use kizzle_winnow::{Fingerprint, WinnowConfig};
+
+/// One known family: its merged fingerprint and labeling threshold.
+#[derive(Debug, Clone)]
+struct FamilyReference {
+    family: KitFamily,
+    fingerprint: Fingerprint,
+    threshold: f64,
+}
+
+/// The labeled corpus of known unpacked kits.
+#[derive(Debug, Clone, Default)]
+pub struct ReferenceCorpus {
+    entries: Vec<FamilyReference>,
+    winnow: WinnowConfig,
+}
+
+impl ReferenceCorpus {
+    /// Create an empty corpus using the given winnowing configuration.
+    #[must_use]
+    pub fn new(winnow: WinnowConfig) -> Self {
+        ReferenceCorpus {
+            entries: Vec::new(),
+            winnow,
+        }
+    }
+
+    /// The winnowing configuration used for fingerprints.
+    #[must_use]
+    pub fn winnow_config(&self) -> &WinnowConfig {
+        &self.winnow
+    }
+
+    /// Number of known families.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no family has been added yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Add (or extend) a family with one known unpacked sample and its
+    /// labeling threshold. Adding further samples for the same family merges
+    /// their fingerprints and keeps the latest threshold.
+    pub fn add_known_sample(&mut self, family: KitFamily, unpacked: &str, threshold: f64) {
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "threshold must be in (0, 1]"
+        );
+        let fingerprint = Fingerprint::of_text(unpacked, &self.winnow);
+        if let Some(entry) = self.entries.iter_mut().find(|e| e.family == family) {
+            entry.fingerprint.merge(&fingerprint);
+            entry.threshold = threshold;
+        } else {
+            self.entries.push(FamilyReference {
+                family,
+                fingerprint,
+                threshold,
+            });
+        }
+    }
+
+    /// Seed the corpus from the kit models' reference payloads as known on
+    /// `date` — the analyst's "I have one confirmed unpacked sample of each
+    /// kit" starting point.
+    ///
+    /// The per-family thresholds mirror how distinctive each kit's unpacked
+    /// body is: RIG's short, URL-heavy payload needs a lower threshold (its
+    /// day-over-day self-similarity is only ~50%, paper Fig. 11(d)).
+    #[must_use]
+    pub fn seeded_from_models(date: SimDate, config: &KizzleConfig) -> Self {
+        let mut corpus = ReferenceCorpus::new(config.winnow);
+        for family in KitFamily::ALL {
+            let payload = KitModel::new(family).reference_payload(date);
+            let threshold = match family {
+                KitFamily::Rig => 0.35,
+                _ => config.label_threshold,
+            };
+            corpus.add_known_sample(family, &payload, threshold);
+        }
+        corpus
+    }
+
+    /// Overlap of an unpacked prototype with a specific family's reference.
+    #[must_use]
+    pub fn overlap_with(&self, family: KitFamily, unpacked: &str) -> f64 {
+        let probe = Fingerprint::of_text(unpacked, &self.winnow);
+        self.entries
+            .iter()
+            .find(|e| e.family == family)
+            .map_or(0.0, |e| probe.overlap(&e.fingerprint))
+    }
+
+    /// Label an unpacked cluster prototype: the best-matching family whose
+    /// overlap exceeds its threshold, together with the overlap value.
+    #[must_use]
+    pub fn label(&self, unpacked: &str) -> Option<(KitFamily, f64)> {
+        let probe = Fingerprint::of_text(unpacked, &self.winnow);
+        let mut best: Option<(KitFamily, f64)> = None;
+        for entry in &self.entries {
+            let overlap = probe.overlap(&entry.fingerprint);
+            if overlap >= entry.threshold
+                && best.is_none_or(|(_, best_overlap)| overlap > best_overlap)
+            {
+                best = Some((entry.family, overlap));
+            }
+        }
+        best
+    }
+
+    /// Record a newly confirmed unpacked sample for a family (called when a
+    /// cluster has been labeled, so the corpus tracks kit evolution the way
+    /// the paper's day-over-day similarity measurement does).
+    pub fn absorb(&mut self, family: KitFamily, unpacked: &str) {
+        let threshold = self
+            .entries
+            .iter()
+            .find(|e| e.family == family)
+            .map_or(0.6, |e| e.threshold);
+        self.add_known_sample(family, unpacked, threshold);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> ReferenceCorpus {
+        ReferenceCorpus::seeded_from_models(SimDate::new(2014, 8, 1), &KizzleConfig::paper())
+    }
+
+    #[test]
+    fn seeded_corpus_contains_all_families() {
+        let c = corpus();
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn unpacked_kits_are_labeled_with_their_own_family() {
+        let c = corpus();
+        for family in KitFamily::ALL {
+            // A week later, after packer churn, the unpacked payload still
+            // labels correctly (that is the paper's core claim).
+            let payload = KitModel::new(family).reference_payload(SimDate::new(2014, 8, 8));
+            let (labeled, overlap) = c.label(&payload).expect("should label");
+            assert_eq!(labeled, family, "overlap {overlap:.2}");
+            assert!(overlap > 0.4, "{family}: overlap {overlap:.2}");
+        }
+    }
+
+    #[test]
+    fn benign_library_code_is_not_labeled() {
+        let c = corpus();
+        let benign = r#"
+            (function() {
+              var cache = {};
+              function byId(id) { cache[id] = document.getElementById(id); return cache[id]; }
+              function each(list, fn) { for (var i = 0; i < list.length; i++) { fn(list[i], i); } }
+              window.util = { byId: byId, each: each };
+            })();
+        "#;
+        assert_eq!(c.label(benign), None);
+    }
+
+    #[test]
+    fn plugindetect_overlap_with_nuclear_is_high_but_below_threshold() {
+        // The paper's Fig. 15 false positive: a benign PluginDetect file
+        // shares a very high overlap (79%) with Nuclear. Our benign
+        // PluginDetect page embeds the same probing library the kits embed,
+        // so its overlap is substantial — the labeling threshold is what
+        // keeps it (usually) out.
+        let c = corpus();
+        let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(1);
+        let benign = kizzle_corpus::benign::generate_benign(
+            kizzle_corpus::benign::BenignKind::PluginDetect,
+            &mut rng,
+        );
+        let text = kizzle_unpack::script_text(&benign);
+        let overlap = c.overlap_with(KitFamily::Nuclear, &text);
+        assert!(overlap > 0.3, "expected substantial overlap, got {overlap:.2}");
+        assert!(overlap < 0.95, "should not be a perfect match, got {overlap:.2}");
+    }
+
+    #[test]
+    fn absorb_keeps_labeling_stable_as_the_kit_evolves() {
+        let mut c = corpus();
+        // Nuclear appends a CVE on August 27; absorbing the August 26
+        // payload first must not break labeling of the August 27 one.
+        let before = KitModel::new(KitFamily::Nuclear).reference_payload(SimDate::new(2014, 8, 26));
+        c.absorb(KitFamily::Nuclear, &before);
+        let after = KitModel::new(KitFamily::Nuclear).reference_payload(SimDate::new(2014, 8, 27));
+        let (family, _) = c.label(&after).expect("should label");
+        assert_eq!(family, KitFamily::Nuclear);
+    }
+
+    #[test]
+    fn overlap_with_unknown_family_is_zero() {
+        let c = ReferenceCorpus::new(WinnowConfig::default());
+        assert_eq!(c.overlap_with(KitFamily::Angler, "function f() {}"), 0.0);
+        assert_eq!(c.label("function f() {}"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn invalid_threshold_panics() {
+        let mut c = ReferenceCorpus::new(WinnowConfig::default());
+        c.add_known_sample(KitFamily::Rig, "x", 0.0);
+    }
+}

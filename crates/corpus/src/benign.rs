@@ -1,0 +1,341 @@
+//! Benign JavaScript generators.
+//!
+//! Nearly everything in a real grayware stream is benign: the paper reports
+//! 280–1,200 clusters per day of which "almost all ... correspond to benign
+//! code" (§IV). The generators here produce the kinds of benign code that
+//! dominate pages carrying ActiveX content — script-library boilerplate,
+//! plug-in probing, analytics beacons, ad loaders and form glue — each as a
+//! family of near-duplicates (the same library embedded by many sites with
+//! site-specific identifiers), so they cluster exactly the way benign code
+//! clusters in the paper's pipeline.
+//!
+//! The [`BenignKind::PluginDetect`] generator embeds the same probing
+//! library that exploit kits embed, reproducing the representative false
+//! positive of the paper's Fig. 15 (a benign `PluginDetect` file with 79%
+//! winnow overlap against Nuclear).
+
+use crate::ident::{random_alnum, random_host, random_identifier};
+use crate::payload::PLUGIN_DETECT_LIB;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kinds of benign pages the stream generator mixes in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BenignKind {
+    /// Generic utility-library boilerplate (jQuery-style helpers).
+    LibraryBoilerplate,
+    /// A page embedding the `PluginDetect`-style probing library — the
+    /// paper's Fig. 15 false-positive case.
+    PluginDetect,
+    /// Web-analytics beacon snippets.
+    Analytics,
+    /// Advertising loader snippets (these legitimately load Flash objects,
+    /// which is why they end up in an ActiveX-triggered telemetry stream).
+    AdLoader,
+    /// Form validation / UI glue code.
+    FormGlue,
+}
+
+impl BenignKind {
+    /// All benign kinds.
+    pub const ALL: [BenignKind; 5] = [
+        BenignKind::LibraryBoilerplate,
+        BenignKind::PluginDetect,
+        BenignKind::Analytics,
+        BenignKind::AdLoader,
+        BenignKind::FormGlue,
+    ];
+
+    /// Short name for diagnostics.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BenignKind::LibraryBoilerplate => "library",
+            BenignKind::PluginDetect => "plugindetect",
+            BenignKind::Analytics => "analytics",
+            BenignKind::AdLoader => "adloader",
+            BenignKind::FormGlue => "formglue",
+        }
+    }
+}
+
+impl fmt::Display for BenignKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Generate a benign HTML document of the given kind.
+///
+/// Different draws share the bulk of their code (it is "the same library")
+/// but carry page-specific identifiers, hostnames and configuration
+/// constants, like real deployments do.
+#[must_use]
+pub fn generate_benign<R: Rng + ?Sized>(kind: BenignKind, rng: &mut R) -> String {
+    let body = match kind {
+        BenignKind::LibraryBoilerplate => library_boilerplate(rng),
+        BenignKind::PluginDetect => plugin_detect_page(rng),
+        BenignKind::Analytics => analytics_snippet(rng),
+        BenignKind::AdLoader => ad_loader(rng),
+        BenignKind::FormGlue => form_glue(rng),
+    };
+    let title_len = rng.gen_range(5..12);
+    let title = random_alnum(rng, title_len);
+    format!(
+        "<html>\n<head><title>{title}</title></head>\n<body>\n<div class=\"main\">content</div>\n\
+         <script type=\"text/javascript\">\n{body}\n</script>\n</body>\n</html>\n"
+    )
+}
+
+/// The optional entity-decoding helper bundled by a small minority of
+/// benign library deployments (see `library_boilerplate`).
+const ENTITY_DECODER_HELPER: &str = r#"  function decodeEntities(text) {
+    var parts = text.split(";");
+    var out = "";
+    for (var i = 0; i < parts.length; i++) {
+      if (parts[i].indexOf("&#") === 0) { out += String.fromCharCode(parts[i].slice(2)); }
+      else { out += parts[i]; }
+    }
+    return out;
+  }
+"#;
+
+fn library_boilerplate<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let ns = random_identifier(rng, 3..7);
+    let cache = random_identifier(rng, 4..8);
+    // A small minority of deployments bundle an HTML-entity decoding helper;
+    // its fromCharCode/split combination is what the simulated commercial
+    // AV's legacy heuristic (rarely) false-positives on, mirroring the small
+    // but nonzero AV FP rate of paper Fig. 13(a).
+    let entity_helper = if rng.gen_bool(0.03) { ENTITY_DECODER_HELPER } else { "" };
+    format!(
+        r#"var {ns} = (function() {{
+  var {cache} = {{}};
+  function extend(target, source) {{
+    for (var key in source) {{
+      if (Object.prototype.hasOwnProperty.call(source, key)) {{ target[key] = source[key]; }}
+    }}
+    return target;
+  }}
+  function each(list, fn) {{
+    for (var i = 0; i < list.length; i++) {{ fn(list[i], i); }}
+  }}
+  function byId(id) {{
+    if ({cache}[id]) {{ return {cache}[id]; }}
+    {cache}[id] = document.getElementById(id);
+    return {cache}[id];
+  }}
+  function addClass(el, cls) {{
+    if (el && (" " + el.className + " ").indexOf(" " + cls + " ") < 0) {{ el.className += " " + cls; }}
+  }}
+  function removeClass(el, cls) {{
+    if (el) {{ el.className = (" " + el.className + " ").replace(" " + cls + " ", " ").replace(/^\s+|\s+$/g, ""); }}
+  }}
+{entity_helper}
+  return {{ extend: extend, each: each, byId: byId, addClass: addClass, removeClass: removeClass }};
+}})();
+{ns}.each([1, 2, 3], function(v) {{ {ns}.byId("slot" + v); }});
+"#
+    )
+}
+
+fn plugin_detect_page<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let handler = random_identifier(rng, 5..10);
+    let site = random_host(rng);
+    let player = random_identifier(rng, 5..9);
+    format!(
+        r#"{PLUGIN_DETECT_LIB}
+var {player}Settings = {{
+  width: 640, height: 360, autoplay: false, preload: "metadata",
+  skin: "default", controls: ["play", "seek", "volume", "fullscreen"],
+  sources: [
+    {{ type: "video/mp4", quality: "720p", src: "http://{site}/media/clip-720.mp4" }},
+    {{ type: "video/mp4", quality: "480p", src: "http://{site}/media/clip-480.mp4" }},
+    {{ type: "application/x-shockwave-flash", src: "http://{site}/media/player.swf" }}
+  ],
+  analytics: {{ enabled: true, endpoint: "http://{site}/stats/view" }},
+  captions: [{{ lang: "en", src: "http://{site}/media/clip.en.vtt" }}]
+}};
+function {player}Render(container, settings) {{
+  var root = document.getElementById(container);
+  if (!root) {{ return null; }}
+  var video = document.createElement("video");
+  video.setAttribute("width", settings.width);
+  video.setAttribute("height", settings.height);
+  if (settings.autoplay) {{ video.setAttribute("autoplay", "autoplay"); }}
+  for (var si = 0; si < settings.sources.length; si++) {{
+    var source = document.createElement("source");
+    source.setAttribute("src", settings.sources[si].src);
+    source.setAttribute("type", settings.sources[si].type);
+    video.appendChild(source);
+  }}
+  var bar = document.createElement("div");
+  bar.className = "player-controls";
+  for (var ci = 0; ci < settings.controls.length; ci++) {{
+    var btn = document.createElement("button");
+    btn.className = "player-button player-" + settings.controls[ci];
+    btn.setAttribute("data-action", settings.controls[ci]);
+    bar.appendChild(btn);
+  }}
+  root.appendChild(video);
+  root.appendChild(bar);
+  return video;
+}}
+function {handler}() {{
+  var flash = PluginProbe.getVersion("Shockwave Flash");
+  var silverlight = PluginProbe.getVersion("Silverlight");
+  var java = PluginProbe.getVersion("Java");
+  var report = "flash=" + flash + "&sl=" + silverlight + "&java=" + java;
+  var img = new Image();
+  img.src = "http://{site}/player-requirements.gif?" + report;
+  var video = {player}Render("main", {player}Settings);
+  if (!flash && !video) {{
+    document.getElementById("main").innerHTML = "Please install Flash to watch this video.";
+  }}
+}}
+window.onload = {handler};
+"#
+    )
+}
+
+fn analytics_snippet<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let account = format!("UA-{}-{}", rng.gen_range(100_000..999_999), rng.gen_range(1..9));
+    let queue = random_identifier(rng, 4..8);
+    let host = random_host(rng);
+    format!(
+        r#"var {queue} = {queue} || [];
+{queue}.push(["_setAccount", "{account}"]);
+{queue}.push(["_setDomainName", "{host}"]);
+{queue}.push(["_trackPageview"]);
+(function() {{
+  var ga = document.createElement("script");
+  ga.type = "text/javascript";
+  ga.async = true;
+  ga.src = ("https:" == document.location.protocol ? "https://ssl" : "http://www") + ".{host}/ga.js";
+  var s = document.getElementsByTagName("script")[0];
+  s.parentNode.insertBefore(ga, s);
+}})();
+"#
+    )
+}
+
+fn ad_loader<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let slot = random_alnum(rng, 10);
+    let host = random_host(rng);
+    let width = [300, 728, 160][rng.gen_range(0..3)];
+    let height = [250, 90, 600][rng.gen_range(0..3)];
+    format!(
+        r#"(function() {{
+  var slotId = "{slot}";
+  var frame = document.createElement("iframe");
+  frame.setAttribute("width", "{width}");
+  frame.setAttribute("height", "{height}");
+  frame.setAttribute("frameborder", "0");
+  frame.setAttribute("scrolling", "no");
+  frame.src = "http://{host}/serve?slot=" + slotId + "&cb=" + (new Date()).getTime();
+  var anchor = document.getElementById("ad-" + slotId) || document.body;
+  anchor.appendChild(frame);
+  var swf = document.createElement("object");
+  swf.setAttribute("type", "application/x-shockwave-flash");
+  swf.setAttribute("data", "http://{host}/banner.swf?slot=" + slotId);
+  swf.setAttribute("width", "{width}");
+  swf.setAttribute("height", "{height}");
+  anchor.appendChild(swf);
+}})();
+"#
+    )
+}
+
+fn form_glue<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let form = random_identifier(rng, 5..9);
+    let field = random_identifier(rng, 4..8);
+    format!(
+        r#"function validate_{form}() {{
+  var email = document.forms["{form}"]["{field}"].value;
+  var at = email.indexOf("@");
+  var dot = email.lastIndexOf(".");
+  if (at < 1 || dot < at + 2 || dot + 2 >= email.length) {{
+    alert("Please enter a valid e-mail address.");
+    return false;
+  }}
+  var consent = document.forms["{form}"]["consent"];
+  if (consent && !consent.checked) {{
+    alert("Please accept the terms to continue.");
+    return false;
+  }}
+  return true;
+}}
+document.forms["{form}"].onsubmit = validate_{form};
+"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn all_kinds_produce_full_documents() {
+        for kind in BenignKind::ALL {
+            let html = generate_benign(kind, &mut rng(1));
+            assert!(html.contains("<script"), "{kind}");
+            assert!(html.contains("</html>"), "{kind}");
+            assert!(html.len() > 300, "{kind}");
+        }
+    }
+
+    #[test]
+    fn plugindetect_pages_embed_the_shared_probe_library() {
+        let html = generate_benign(BenignKind::PluginDetect, &mut rng(2));
+        assert!(html.contains("isPlainObject"));
+        assert!(html.contains("getVersion"));
+    }
+
+    #[test]
+    fn samples_of_the_same_kind_are_near_duplicates_not_identical() {
+        for kind in BenignKind::ALL {
+            let a = generate_benign(kind, &mut rng(10));
+            let b = generate_benign(kind, &mut rng(20));
+            assert_ne!(a, b, "{kind}: should differ in identifiers");
+            // Shared skeleton: a large fraction of lines is identical.
+            let lines_a: std::collections::HashSet<&str> = a.lines().collect();
+            let shared = b.lines().filter(|l| lines_a.contains(l)).count();
+            assert!(
+                shared * 2 > b.lines().count(),
+                "{kind}: too little shared structure ({shared} of {})",
+                b.lines().count()
+            );
+        }
+    }
+
+    #[test]
+    fn benign_kinds_are_structurally_distinct_from_each_other() {
+        let lib = generate_benign(BenignKind::LibraryBoilerplate, &mut rng(3));
+        let ads = generate_benign(BenignKind::AdLoader, &mut rng(3));
+        assert!(!lib.contains("x-shockwave-flash"));
+        assert!(ads.contains("x-shockwave-flash"));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for kind in BenignKind::ALL {
+            assert_eq!(
+                generate_benign(kind, &mut rng(42)),
+                generate_benign(kind, &mut rng(42))
+            );
+        }
+    }
+
+    #[test]
+    fn kind_names_are_unique() {
+        let names: std::collections::HashSet<_> = BenignKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), BenignKind::ALL.len());
+    }
+}

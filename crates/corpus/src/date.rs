@@ -1,0 +1,196 @@
+//! A minimal calendar date for the 2014 simulation window.
+//!
+//! The paper's measurements span June–August 2014 (kit evolution, Fig. 5)
+//! and August 2014 (the month-long evaluation). A full calendar library is
+//! unnecessary; this type covers exactly what the experiments need:
+//! ordering, day arithmetic within a year, ranges and `8/13/14`-style
+//! formatting.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Days in each month of 2014 (not a leap year).
+const DAYS_IN_MONTH: [u32; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+/// A calendar date within the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SimDate {
+    /// Four-digit year.
+    pub year: u32,
+    /// Month, 1–12.
+    pub month: u32,
+    /// Day of month, 1-based.
+    pub day: u32,
+}
+
+impl SimDate {
+    /// Create a date.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the month or day is out of range (2014 calendar; leap years
+    /// outside scope of the simulation are not supported).
+    #[must_use]
+    pub fn new(year: u32, month: u32, day: u32) -> Self {
+        assert!((1..=12).contains(&month), "month out of range: {month}");
+        assert!(
+            day >= 1 && day <= DAYS_IN_MONTH[(month - 1) as usize],
+            "day out of range: {month}/{day}"
+        );
+        SimDate { year, month, day }
+    }
+
+    /// The first day of the paper's evaluation window (August 1, 2014).
+    #[must_use]
+    pub fn evaluation_start() -> Self {
+        SimDate::new(2014, 8, 1)
+    }
+
+    /// The last day of the paper's evaluation window (August 31, 2014).
+    #[must_use]
+    pub fn evaluation_end() -> Self {
+        SimDate::new(2014, 8, 31)
+    }
+
+    /// The first day of the kit-evolution study (June 1, 2014, Fig. 5).
+    #[must_use]
+    pub fn evolution_start() -> Self {
+        SimDate::new(2014, 6, 1)
+    }
+
+    /// Day-of-year ordinal (Jan 1 = 1).
+    #[must_use]
+    pub fn ordinal(&self) -> u32 {
+        let mut days = 0;
+        for m in 0..(self.month - 1) as usize {
+            days += DAYS_IN_MONTH[m];
+        }
+        days + self.day
+    }
+
+    /// Absolute day number used for arithmetic across years.
+    #[must_use]
+    pub fn absolute_day(&self) -> i64 {
+        i64::from(self.year) * 365 + i64::from(self.ordinal())
+    }
+
+    /// Number of days from `other` to `self` (positive if `self` is later).
+    #[must_use]
+    pub fn days_since(&self, other: SimDate) -> i64 {
+        self.absolute_day() - other.absolute_day()
+    }
+
+    /// The next calendar day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the date would leave the supported window (December 31).
+    #[must_use]
+    pub fn next(&self) -> Self {
+        if self.day < DAYS_IN_MONTH[(self.month - 1) as usize] {
+            SimDate::new(self.year, self.month, self.day + 1)
+        } else {
+            assert!(self.month < 12, "simulation window does not cross years");
+            SimDate::new(self.year, self.month + 1, 1)
+        }
+    }
+
+    /// All dates from `self` to `end`, inclusive.
+    ///
+    /// Returns an empty vector if `end` is before `self`.
+    #[must_use]
+    pub fn range_inclusive(&self, end: SimDate) -> Vec<SimDate> {
+        let mut out = Vec::new();
+        let mut current = *self;
+        while current <= end {
+            out.push(current);
+            if current == end {
+                break;
+            }
+            current = current.next();
+        }
+        out
+    }
+
+    /// Format as the paper's axis labels, e.g. `13-Aug`.
+    #[must_use]
+    pub fn axis_label(&self) -> String {
+        const MONTHS: [&str; 12] = [
+            "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+        ];
+        format!("{}-{}", self.day, MONTHS[(self.month - 1) as usize])
+    }
+}
+
+impl fmt::Display for SimDate {
+    /// `8/13/14`, the formatting used throughout the paper's figures.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}/{}", self.month, self.day, self.year % 100)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_calendar() {
+        assert!(SimDate::new(2014, 6, 30) < SimDate::new(2014, 7, 1));
+        assert!(SimDate::new(2014, 8, 13) > SimDate::new(2014, 8, 12));
+        assert_eq!(SimDate::new(2014, 8, 13), SimDate::new(2014, 8, 13));
+    }
+
+    #[test]
+    fn next_handles_month_boundaries() {
+        assert_eq!(SimDate::new(2014, 6, 30).next(), SimDate::new(2014, 7, 1));
+        assert_eq!(SimDate::new(2014, 8, 31).next(), SimDate::new(2014, 9, 1));
+        assert_eq!(SimDate::new(2014, 2, 28).next(), SimDate::new(2014, 3, 1));
+    }
+
+    #[test]
+    fn august_has_31_days() {
+        let days = SimDate::evaluation_start().range_inclusive(SimDate::evaluation_end());
+        assert_eq!(days.len(), 31);
+        assert_eq!(days[12], SimDate::new(2014, 8, 13));
+    }
+
+    #[test]
+    fn evolution_window_is_three_months() {
+        let days = SimDate::evolution_start().range_inclusive(SimDate::evaluation_end());
+        assert_eq!(days.len(), 30 + 31 + 31);
+    }
+
+    #[test]
+    fn days_since_is_signed() {
+        let a = SimDate::new(2014, 8, 1);
+        let b = SimDate::new(2014, 8, 13);
+        assert_eq!(b.days_since(a), 12);
+        assert_eq!(a.days_since(b), -12);
+        assert_eq!(SimDate::new(2014, 7, 1).days_since(SimDate::new(2014, 6, 1)), 30);
+    }
+
+    #[test]
+    fn empty_range_when_end_before_start() {
+        let r = SimDate::new(2014, 8, 10).range_inclusive(SimDate::new(2014, 8, 1));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn display_and_axis_label() {
+        let d = SimDate::new(2014, 8, 13);
+        assert_eq!(d.to_string(), "8/13/14");
+        assert_eq!(d.axis_label(), "13-Aug");
+    }
+
+    #[test]
+    #[should_panic(expected = "day out of range")]
+    fn invalid_day_panics() {
+        let _ = SimDate::new(2014, 2, 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "month out of range")]
+    fn invalid_month_panics() {
+        let _ = SimDate::new(2014, 13, 1);
+    }
+}

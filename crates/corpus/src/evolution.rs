@@ -1,0 +1,436 @@
+//! Exploit-kit evolution: the mutation schedules of paper §II-B / Fig. 5.
+//!
+//! The paper tracks the Nuclear exploit kit over three months and observes
+//! three kinds of change: frequent, superficial packer mutations (mostly the
+//! obfuscation of the string `eval` and the string delimiter the packer
+//! uses), infrequent payload appends (a new CVE, added AV-presence
+//! detection), and cross-kit code borrowing (RIG's AV check showing up in
+//! Nuclear in August). This module encodes those schedules explicitly: each
+//! family has a list of dated [`EvolutionEvent`]s, and [`KitState::on_date`]
+//! folds them into the kit's configuration for any given day.
+
+use crate::date::SimDate;
+use crate::family::{Component, Cve, KitFamily};
+use serde::Serialize;
+use std::fmt;
+
+/// What changed in a single evolution step.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum ChangeKind {
+    /// A superficial packer change: new `eval` obfuscation and/or string
+    /// delimiter. These are the frequent changes above the axis in Fig. 5.
+    PackerMutation {
+        /// The new obfuscated spelling of `eval` (e.g. `ev#FFFFFFal`).
+        obfuscation: String,
+        /// The new string delimiter spliced into packed strings (e.g. `UluN`).
+        delimiter: String,
+    },
+    /// A change to how the packer itself works (Nuclear's single semantic
+    /// packer change of August 12).
+    PackerSemanticChange,
+    /// A new exploit appended to the payload (e.g. CVE-2013-0074 added to
+    /// Nuclear on August 27).
+    ExploitAppended(Cve),
+    /// AV-presence detection added to the plug-in detector — in Nuclear's
+    /// case code borrowed verbatim from RIG (July 29).
+    AvDetectionAdded,
+    /// Angler's August 13 move of the Java exploit marker from plain HTML
+    /// into the obfuscated body, which opened the AV false-negative window
+    /// of Fig. 6.
+    JavaMarkerHidden,
+}
+
+impl ChangeKind {
+    /// True if the change touches the payload (below the axis in Fig. 5)
+    /// rather than only the packer.
+    #[must_use]
+    pub fn is_payload_change(&self) -> bool {
+        matches!(
+            self,
+            ChangeKind::ExploitAppended(_) | ChangeKind::AvDetectionAdded | ChangeKind::JavaMarkerHidden
+        )
+    }
+}
+
+impl fmt::Display for ChangeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChangeKind::PackerMutation { obfuscation, .. } => {
+                write!(f, "packer mutation ({obfuscation})")
+            }
+            ChangeKind::PackerSemanticChange => f.write_str("semantic packer change"),
+            ChangeKind::ExploitAppended(cve) => write!(f, "exploit appended ({})", cve.id),
+            ChangeKind::AvDetectionAdded => f.write_str("AV detection added"),
+            ChangeKind::JavaMarkerHidden => f.write_str("Java marker moved into packed body"),
+        }
+    }
+}
+
+/// A dated change to a kit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct EvolutionEvent {
+    /// The family the change applies to.
+    pub family: KitFamily,
+    /// The day the change was first observed in the wild.
+    pub date: SimDate,
+    /// What changed.
+    pub kind: ChangeKind,
+}
+
+impl EvolutionEvent {
+    fn mutation(family: KitFamily, date: SimDate, obfuscation: &str, delimiter: &str) -> Self {
+        EvolutionEvent {
+            family,
+            date,
+            kind: ChangeKind::PackerMutation {
+                obfuscation: obfuscation.to_string(),
+                delimiter: delimiter.to_string(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for EvolutionEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}: {}", self.date, self.family, self.kind)
+    }
+}
+
+/// The evolution schedule of a family over June–August 2014.
+///
+/// Nuclear's schedule transcribes the paper's Fig. 5; the other families'
+/// schedules are reconstructed from the paper's narrative (Angler's
+/// August 13 change from Fig. 6 / Example 1, RIG's high URL churn and May
+/// AV-check introduction, Sweet Orange's obfuscation swaps) at the stated
+/// cadence of "packer changes every few days".
+#[must_use]
+pub fn schedule(family: KitFamily) -> Vec<EvolutionEvent> {
+    use KitFamily::*;
+    let d = |m, day| SimDate::new(2014, m, day);
+    match family {
+        Nuclear => {
+            let mut events = vec![
+                EvolutionEvent::mutation(family, d(6, 1), "ev#FFFFFFal", "#FFFFFF"),
+                EvolutionEvent::mutation(family, d(6, 14), "e#FFFFFFval", "#FFFFFF"),
+                EvolutionEvent::mutation(family, d(6, 18), "eva#FFFFFFl", "#FFFFFF"),
+                EvolutionEvent::mutation(family, d(6, 24), "ev+var", "q0w9"),
+                EvolutionEvent::mutation(family, d(6, 30), "e~v~#a~l", "~#"),
+                EvolutionEvent::mutation(family, d(7, 9), "e~#v~a~l", "~#"),
+                EvolutionEvent::mutation(family, d(7, 11), "e~##~#v~#a~l", "~##"),
+                EvolutionEvent::mutation(family, d(7, 17), "e3X@@#val", "3X@@#"),
+                EvolutionEvent::mutation(family, d(7, 20), "e3fwrwg4#val", "3fwrwg4#"),
+                EvolutionEvent {
+                    family,
+                    date: d(7, 29),
+                    kind: ChangeKind::AvDetectionAdded,
+                },
+                EvolutionEvent {
+                    family,
+                    date: d(8, 12),
+                    kind: ChangeKind::PackerSemanticChange,
+                },
+                EvolutionEvent::mutation(family, d(8, 17), "esa1asval", "sa1as"),
+                EvolutionEvent::mutation(family, d(8, 19), "eher_vam#val", "her_vam"),
+                EvolutionEvent::mutation(family, d(8, 22), "efber443#val", "fber443"),
+                EvolutionEvent::mutation(family, d(8, 26), "eUluN#val", "UluN"),
+                EvolutionEvent {
+                    family,
+                    date: d(8, 27),
+                    kind: ChangeKind::ExploitAppended(Cve::new(
+                        "CVE-2013-0074",
+                        Component::Silverlight,
+                    )),
+                },
+            ];
+            events.sort_by_key(|e| e.date);
+            events
+        }
+        Angler => vec![
+            EvolutionEvent::mutation(family, d(6, 5), "splitjoin_v1", "Zx"),
+            EvolutionEvent::mutation(family, d(7, 2), "splitjoin_v2", "Qp"),
+            EvolutionEvent::mutation(family, d(8, 5), "splitjoin_v3", "Kw"),
+            EvolutionEvent {
+                family,
+                date: d(8, 13),
+                kind: ChangeKind::JavaMarkerHidden,
+            },
+            EvolutionEvent::mutation(family, d(8, 21), "splitjoin_v4", "Vn"),
+        ],
+        Rig => vec![
+            EvolutionEvent {
+                family,
+                date: d(6, 1),
+                kind: ChangeKind::AvDetectionAdded,
+            },
+            EvolutionEvent::mutation(family, d(6, 10), "charcode_v1", "y6"),
+            EvolutionEvent::mutation(family, d(7, 3), "charcode_v2", "p3k"),
+            EvolutionEvent::mutation(family, d(8, 4), "charcode_v3", "w9"),
+            EvolutionEvent::mutation(family, d(8, 9), "charcode_v4", "zz4"),
+            EvolutionEvent::mutation(family, d(8, 15), "charcode_v5", "m2x"),
+            EvolutionEvent::mutation(family, d(8, 22), "charcode_v6", "k77"),
+            EvolutionEvent::mutation(family, d(8, 28), "charcode_v7", "r5"),
+        ],
+        SweetOrange => vec![
+            EvolutionEvent::mutation(family, d(6, 20), "mathsqrt_v1", "WWb"),
+            EvolutionEvent::mutation(family, d(7, 15), "mathsqrt_v2", "bEW"),
+            EvolutionEvent {
+                family,
+                date: d(8, 10),
+                kind: ChangeKind::PackerSemanticChange,
+            },
+            EvolutionEvent::mutation(family, d(8, 18), "mathsqrt_v3", "sjd"),
+        ],
+    }
+}
+
+/// The full configuration of a kit on a given day: everything the payload
+/// builder and the packer need.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct KitState {
+    /// The kit family.
+    pub family: KitFamily,
+    /// How many evolution events have been applied (0 = the June 1 state).
+    pub version: u32,
+    /// Current `eval` obfuscation marker.
+    pub eval_obfuscation: String,
+    /// Current string delimiter.
+    pub delimiter: String,
+    /// CVEs currently carried by the payload.
+    pub cves: Vec<Cve>,
+    /// Whether the payload contains the (shared) AV-presence check.
+    pub av_check: bool,
+    /// Whether Angler's Java exploit marker is still exposed in plain HTML
+    /// (true before August 13).
+    pub java_marker_exposed: bool,
+    /// Semantic packer revision (bumped by [`ChangeKind::PackerSemanticChange`]).
+    pub packer_revision: u32,
+}
+
+impl KitState {
+    /// The kit's configuration at the start of the simulation (June 1,
+    /// 2014), before any scheduled event.
+    #[must_use]
+    pub fn initial(family: KitFamily) -> Self {
+        let mut cves = family.cve_inventory();
+        // Payload appends scheduled during the window must not be present
+        // initially: Nuclear gains CVE-2013-0074 only on August 27.
+        if family == KitFamily::Nuclear {
+            cves.retain(|c| c.id != "CVE-2013-0074");
+        }
+        // Nuclear gains its AV check only on July 29 (borrowed from RIG);
+        // RIG has carried it since before the window (modeled as a June 1
+        // event), so both start without it and RIG turns it on immediately.
+        let av_check = matches!(family, KitFamily::Angler);
+        KitState {
+            family,
+            version: 0,
+            eval_obfuscation: default_obfuscation(family).to_string(),
+            delimiter: default_delimiter(family).to_string(),
+            cves,
+            av_check,
+            java_marker_exposed: family == KitFamily::Angler,
+            packer_revision: 0,
+        }
+    }
+
+    /// Apply a single evolution event.
+    pub fn apply(&mut self, event: &EvolutionEvent) {
+        debug_assert_eq!(event.family, self.family);
+        self.version += 1;
+        match &event.kind {
+            ChangeKind::PackerMutation {
+                obfuscation,
+                delimiter,
+            } => {
+                self.eval_obfuscation = obfuscation.clone();
+                self.delimiter = delimiter.clone();
+            }
+            ChangeKind::PackerSemanticChange => self.packer_revision += 1,
+            ChangeKind::ExploitAppended(cve) => {
+                if !self.cves.contains(cve) {
+                    self.cves.push(*cve);
+                }
+            }
+            ChangeKind::AvDetectionAdded => self.av_check = true,
+            ChangeKind::JavaMarkerHidden => self.java_marker_exposed = false,
+        }
+    }
+
+    /// The kit's configuration on `date`, after applying every scheduled
+    /// event up to and including that day.
+    #[must_use]
+    pub fn on_date(family: KitFamily, date: SimDate) -> Self {
+        let mut state = KitState::initial(family);
+        for event in schedule(family) {
+            if event.date <= date {
+                state.apply(&event);
+            }
+        }
+        state
+    }
+}
+
+fn default_obfuscation(family: KitFamily) -> &'static str {
+    match family {
+        KitFamily::Nuclear => "ev#FFFFFFal",
+        KitFamily::Angler => "splitjoin_v0",
+        KitFamily::Rig => "charcode_v0",
+        KitFamily::SweetOrange => "mathsqrt_v0",
+    }
+}
+
+fn default_delimiter(family: KitFamily) -> &'static str {
+    match family {
+        KitFamily::Nuclear => "#333366",
+        KitFamily::Angler => "Zq",
+        KitFamily::Rig => "y6",
+        KitFamily::SweetOrange => "WWW",
+    }
+}
+
+/// Render the Fig. 5 evolution timeline for one family as text: packer
+/// changes above the axis, payload changes below it.
+#[must_use]
+pub fn timeline(family: KitFamily) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("Evolution of {family} (paper Fig. 5)\n"));
+    out.push_str("Packer changes:\n");
+    for event in schedule(family) {
+        if !event.kind.is_payload_change() {
+            out.push_str(&format!("  {:<9} {}\n", event.date.to_string(), event.kind));
+        }
+    }
+    out.push_str("Payload changes:\n");
+    for event in schedule(family) {
+        if event.kind.is_payload_change() {
+            out.push_str(&format!("  {:<9} {}\n", event.date.to_string(), event.kind));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nuclear_schedule_matches_figure_5_counts() {
+        let events = schedule(KitFamily::Nuclear);
+        let packer_mutations = events
+            .iter()
+            .filter(|e| matches!(e.kind, ChangeKind::PackerMutation { .. }))
+            .count();
+        let semantic = events
+            .iter()
+            .filter(|e| e.kind == ChangeKind::PackerSemanticChange)
+            .count();
+        // "a total of 13 small syntactic changes ... only one of these
+        // packer changes changed the semantics of the packer"
+        assert_eq!(packer_mutations, 13);
+        assert_eq!(semantic, 1);
+        let payload_changes = events.iter().filter(|e| e.kind.is_payload_change()).count();
+        assert_eq!(payload_changes, 2, "AV detection + appended CVE");
+    }
+
+    #[test]
+    fn schedules_are_sorted_by_date() {
+        for family in KitFamily::ALL {
+            let events = schedule(family);
+            for pair in events.windows(2) {
+                assert!(pair[0].date <= pair[1].date);
+            }
+        }
+    }
+
+    #[test]
+    fn nuclear_state_before_and_after_july_29_av_check() {
+        let before = KitState::on_date(KitFamily::Nuclear, SimDate::new(2014, 7, 28));
+        let after = KitState::on_date(KitFamily::Nuclear, SimDate::new(2014, 7, 29));
+        assert!(!before.av_check);
+        assert!(after.av_check);
+    }
+
+    #[test]
+    fn nuclear_gains_silverlight_cve_on_august_27() {
+        let before = KitState::on_date(KitFamily::Nuclear, SimDate::new(2014, 8, 26));
+        let after = KitState::on_date(KitFamily::Nuclear, SimDate::new(2014, 8, 27));
+        assert!(!before.cves.iter().any(|c| c.id == "CVE-2013-0074"));
+        assert!(after.cves.iter().any(|c| c.id == "CVE-2013-0074"));
+        // Appending only: nothing was removed.
+        assert_eq!(after.cves.len(), before.cves.len() + 1);
+    }
+
+    #[test]
+    fn nuclear_delimiter_on_august_26_is_ulun() {
+        let state = KitState::on_date(KitFamily::Nuclear, SimDate::new(2014, 8, 26));
+        assert_eq!(state.delimiter, "UluN");
+        assert_eq!(state.eval_obfuscation, "eUluN#val");
+    }
+
+    #[test]
+    fn angler_java_marker_hidden_on_august_13() {
+        let before = KitState::on_date(KitFamily::Angler, SimDate::new(2014, 8, 12));
+        let after = KitState::on_date(KitFamily::Angler, SimDate::new(2014, 8, 13));
+        assert!(before.java_marker_exposed);
+        assert!(!after.java_marker_exposed);
+    }
+
+    #[test]
+    fn rig_has_av_check_from_the_start_of_the_window() {
+        let state = KitState::on_date(KitFamily::Rig, SimDate::new(2014, 6, 1));
+        assert!(state.av_check);
+    }
+
+    #[test]
+    fn sweet_orange_never_gains_av_check() {
+        let state = KitState::on_date(KitFamily::SweetOrange, SimDate::new(2014, 8, 31));
+        assert!(!state.av_check);
+    }
+
+    #[test]
+    fn version_counts_applied_events() {
+        let state = KitState::on_date(KitFamily::Nuclear, SimDate::new(2014, 8, 31));
+        assert_eq!(state.version as usize, schedule(KitFamily::Nuclear).len());
+        let early = KitState::on_date(KitFamily::Nuclear, SimDate::new(2014, 5, 1));
+        assert_eq!(early.version, 0);
+    }
+
+    #[test]
+    fn semantic_change_bumps_packer_revision() {
+        let before = KitState::on_date(KitFamily::Nuclear, SimDate::new(2014, 8, 11));
+        let after = KitState::on_date(KitFamily::Nuclear, SimDate::new(2014, 8, 12));
+        assert_eq!(before.packer_revision, 0);
+        assert_eq!(after.packer_revision, 1);
+    }
+
+    #[test]
+    fn state_is_stable_between_events() {
+        let a = KitState::on_date(KitFamily::Nuclear, SimDate::new(2014, 8, 23));
+        let b = KitState::on_date(KitFamily::Nuclear, SimDate::new(2014, 8, 25));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn timeline_rendering_contains_key_events() {
+        let text = timeline(KitFamily::Nuclear);
+        assert!(text.contains("ev#FFFFFFal"));
+        assert!(text.contains("AV detection added"));
+        assert!(text.contains("CVE-2013-0074"));
+        assert!(text.contains("Packer changes"));
+        assert!(text.contains("Payload changes"));
+    }
+
+    #[test]
+    fn exploit_append_is_idempotent() {
+        let mut state = KitState::initial(KitFamily::Nuclear);
+        let event = EvolutionEvent {
+            family: KitFamily::Nuclear,
+            date: SimDate::new(2014, 8, 27),
+            kind: ChangeKind::ExploitAppended(Cve::new("CVE-2013-0074", Component::Silverlight)),
+        };
+        state.apply(&event);
+        let n = state.cves.len();
+        state.apply(&event);
+        assert_eq!(state.cves.len(), n);
+    }
+}

@@ -1,0 +1,144 @@
+//! Randomized identifier and string generation.
+//!
+//! Exploit-kit packers randomize variable names on every response so that
+//! naive byte signatures never match twice (paper §III-A: clustering on
+//! token classes exists precisely "to eliminate artificial noise created by
+//! an attacker in the form of randomized variable names"). These helpers
+//! produce that noise deterministically from a seeded RNG.
+
+use rand::Rng;
+
+const IDENT_START: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+const IDENT_CONT: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+
+/// A random JavaScript identifier of length within `len_range`
+/// (e.g. `Euur1V`, `jkb0hA`, `QB0Xk` from the paper's Fig. 9).
+///
+/// # Panics
+///
+/// Panics if the range is empty or starts at zero.
+pub fn random_identifier<R: Rng + ?Sized>(rng: &mut R, len_range: std::ops::Range<usize>) -> String {
+    assert!(!len_range.is_empty() && len_range.start > 0, "invalid length range");
+    let len = rng.gen_range(len_range);
+    let mut out = String::with_capacity(len);
+    out.push(IDENT_START[rng.gen_range(0..IDENT_START.len())] as char);
+    for _ in 1..len {
+        out.push(IDENT_CONT[rng.gen_range(0..IDENT_CONT.len())] as char);
+    }
+    out
+}
+
+/// A random alphanumeric string (used for delimiters, keys, fake hex colors).
+pub fn random_alnum<R: Rng + ?Sized>(rng: &mut R, len: usize) -> String {
+    (0..len)
+        .map(|_| IDENT_CONT[rng.gen_range(0..IDENT_CONT.len())] as char)
+        .collect()
+}
+
+/// A random lowercase hostname-ish label, used for embedded kit URLs.
+pub fn random_host<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let tlds = ["com", "net", "info", "biz", "org", "ru", "eu"];
+    let label_len = rng.gen_range(6..14);
+    let label: String = (0..label_len)
+        .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+        .collect();
+    format!("{label}.{}", tlds[rng.gen_range(0..tlds.len())])
+}
+
+/// A random URL path segment with query parameters, as found in kit landing
+/// pages (these churn daily and are what makes RIG look 50% different from
+/// one day to the next in the paper's Fig. 11(d)).
+pub fn random_url<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let host = random_host(rng);
+    let path_len = rng.gen_range(8..20);
+    let path = random_alnum(rng, path_len);
+    let param_len = rng.gen_range(12..28);
+    let param = random_alnum(rng, param_len);
+    format!("http://{host}/{path}.php?id={param}")
+}
+
+/// A shuffled "encryption key" string covering a printable alphabet, in the
+/// style of the Nuclear packer's `cryptkey` (paper Fig. 4(b)).
+pub fn random_cryptkey<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let mut alphabet: Vec<char> = (b'!'..=b'~')
+        .map(|b| b as char)
+        .filter(|c| *c != '"' && *c != '\\')
+        .collect();
+    // Fisher–Yates shuffle driven by the provided RNG.
+    for i in (1..alphabet.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        alphabet.swap(i, j);
+    }
+    alphabet.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn identifiers_are_valid_js_identifiers() {
+        let mut r = rng(1);
+        for _ in 0..200 {
+            let ident = random_identifier(&mut r, 3..9);
+            assert!((3..9).contains(&ident.len()));
+            let first = ident.chars().next().unwrap();
+            assert!(first.is_ascii_alphabetic());
+            assert!(ident.chars().all(|c| c.is_ascii_alphanumeric()));
+        }
+    }
+
+    #[test]
+    fn identifiers_are_deterministic_per_seed() {
+        let a = random_identifier(&mut rng(42), 4..8);
+        let b = random_identifier(&mut rng(42), 4..8);
+        assert_eq!(a, b);
+        let c = random_identifier(&mut rng(43), 4..8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid length range")]
+    fn zero_length_identifier_panics() {
+        let _ = random_identifier(&mut rng(1), 0..3);
+    }
+
+    #[test]
+    fn alnum_has_exact_length() {
+        assert_eq!(random_alnum(&mut rng(2), 17).len(), 17);
+        assert_eq!(random_alnum(&mut rng(2), 0).len(), 0);
+    }
+
+    #[test]
+    fn urls_look_like_urls() {
+        let mut r = rng(3);
+        for _ in 0..50 {
+            let url = random_url(&mut r);
+            assert!(url.starts_with("http://"));
+            assert!(url.contains(".php?id="));
+        }
+    }
+
+    #[test]
+    fn cryptkey_is_a_permutation_of_the_alphabet() {
+        let key = random_cryptkey(&mut rng(4));
+        let mut chars: Vec<char> = key.chars().collect();
+        assert_eq!(chars.len(), 92, "printable ASCII minus quote and backslash");
+        chars.sort_unstable();
+        chars.dedup();
+        assert_eq!(chars.len(), 92, "no duplicate characters");
+        assert!(!key.contains('"') && !key.contains('\\'));
+    }
+
+    #[test]
+    fn cryptkeys_differ_across_draws() {
+        let mut r = rng(5);
+        assert_ne!(random_cryptkey(&mut r), random_cryptkey(&mut r));
+    }
+}

@@ -1,0 +1,189 @@
+//! Kit models: payload + packer + evolution, emitting full landing pages.
+
+use crate::date::SimDate;
+use crate::evolution::KitState;
+use crate::family::KitFamily;
+use crate::ident::{random_alnum, random_url};
+use crate::packer::pack;
+use crate::payload::{build_payload, ANGLER_JAVA_MARKER};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A complete model of one exploit-kit family.
+///
+/// A `KitModel` knows how to produce, for any date in the simulation window,
+/// both the packed landing page an infected site would serve
+/// ([`KitModel::generate_sample`]) and the unpacked payload a security
+/// analyst would extract from it ([`KitModel::reference_payload`], used to
+/// seed Kizzle's labeled corpus of known kits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KitModel {
+    family: KitFamily,
+}
+
+impl KitModel {
+    /// Create the model for a family.
+    #[must_use]
+    pub fn new(family: KitFamily) -> Self {
+        KitModel { family }
+    }
+
+    /// The family this model describes.
+    #[must_use]
+    pub fn family(&self) -> KitFamily {
+        self.family
+    }
+
+    /// The kit's configuration on `date`.
+    #[must_use]
+    pub fn state_on(&self, date: SimDate) -> KitState {
+        KitState::on_date(self.family, date)
+    }
+
+    /// The embedded gate URLs for a given day. RIG rotates several per day
+    /// (driving the churn of paper Fig. 11(d)); the other kits use one URL
+    /// that rotates daily.
+    fn urls_for_day<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<String> {
+        let count = if self.family == KitFamily::Rig { 4 } else { 1 };
+        (0..count).map(|_| random_url(rng)).collect()
+    }
+
+    /// The canonical unpacked payload observed on `date`, with the day's
+    /// gate URLs. This is what lands in the labeled "known unpacked
+    /// malware" corpus that Kizzle compares cluster prototypes against.
+    #[must_use]
+    pub fn reference_payload(&self, date: SimDate) -> String {
+        let state = self.state_on(date);
+        let mut rng = self.day_rng(date, 0);
+        let urls = self.urls_for_day(&mut rng);
+        build_payload(&state, &urls)
+    }
+
+    /// A per-(family, date, stream) deterministic RNG, so that the day's URL
+    /// rotation is stable regardless of how many samples are drawn.
+    fn day_rng(&self, date: SimDate, stream: u64) -> ChaCha8Rng {
+        let seed = (u64::from(date.year) << 32)
+            ^ (u64::from(date.ordinal()) << 16)
+            ^ ((self.family as u64) << 8)
+            ^ stream;
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    /// Generate one packed landing page (a full HTML document) as served on
+    /// `date`. Identifier randomization is drawn from `rng`, so every call
+    /// produces a distinct variant of the same underlying kit version.
+    #[must_use]
+    pub fn generate_sample<R: Rng + ?Sized>(&self, date: SimDate, rng: &mut R) -> String {
+        let state = self.state_on(date);
+        // The day's URLs are shared by every sample of that day (a kit
+        // campaign rotates its gates daily, not per visitor).
+        let mut day_rng = self.day_rng(date, 0);
+        let urls = self.urls_for_day(&mut day_rng);
+        let payload = build_payload(&state, &urls);
+        let packed = pack(&state, &payload, rng);
+
+        let title_len = rng.gen_range(6..14);
+        let title = random_alnum(rng, title_len);
+        let marker_html = if state.family == KitFamily::Angler && state.java_marker_exposed {
+            format!(
+                "<applet archive=\"{}\" code=\"{ANGLER_JAVA_MARKER}\" width=\"1\" height=\"1\"></applet>\n",
+                urls[0]
+            )
+        } else {
+            String::new()
+        };
+        format!(
+            "<html>\n<head><title>{title}</title><meta charset=\"utf-8\"></head>\n<body>\n\
+             <div id=\"content\">Loading...</div>\n{marker_html}\
+             <script type=\"text/javascript\">\n{packed}\n</script>\n\
+             </body>\n</html>\n"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn reference_payload_is_stable_within_a_day() {
+        let model = KitModel::new(KitFamily::Nuclear);
+        let d = SimDate::new(2014, 8, 10);
+        assert_eq!(model.reference_payload(d), model.reference_payload(d));
+    }
+
+    #[test]
+    fn nuclear_reference_payload_is_stable_across_days() {
+        // Nuclear's payload embeds a single daily URL but its code body is
+        // constant between evolution events, so consecutive days differ only
+        // in that URL (Fig. 11(a): similarity within a few percent of 100%).
+        let model = KitModel::new(KitFamily::Nuclear);
+        let a = model.reference_payload(SimDate::new(2014, 8, 20));
+        let b = model.reference_payload(SimDate::new(2014, 8, 21));
+        assert_ne!(a, b, "the daily URL must rotate");
+        // The shared portion dominates: strip the URL lines and compare.
+        let strip = |s: &str| -> String {
+            s.lines().filter(|l| !l.contains("gateUrls")).collect::<Vec<_>>().join("\n")
+        };
+        assert_eq!(strip(&a), strip(&b));
+    }
+
+    #[test]
+    fn rig_reference_payload_churns_daily() {
+        let model = KitModel::new(KitFamily::Rig);
+        let a = model.reference_payload(SimDate::new(2014, 8, 20));
+        let b = model.reference_payload(SimDate::new(2014, 8, 21));
+        // Four rotating URLs out of a short payload: significant churn.
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn samples_from_the_same_day_differ_superficially() {
+        let model = KitModel::new(KitFamily::Angler);
+        let d = SimDate::new(2014, 8, 5);
+        let a = model.generate_sample(d, &mut rng(1));
+        let b = model.generate_sample(d, &mut rng(2));
+        assert_ne!(a, b, "identifier randomization must differ");
+        assert_eq!(
+            a.matches("<script").count(),
+            b.matches("<script").count(),
+            "same structure"
+        );
+    }
+
+    #[test]
+    fn angler_marker_is_in_plain_html_only_before_august_13() {
+        let model = KitModel::new(KitFamily::Angler);
+        let before = model.generate_sample(SimDate::new(2014, 8, 12), &mut rng(3));
+        let after = model.generate_sample(SimDate::new(2014, 8, 13), &mut rng(3));
+        assert!(before.contains(&format!("code=\"{ANGLER_JAVA_MARKER}\"")));
+        assert!(!after.contains(&format!("code=\"{ANGLER_JAVA_MARKER}\"")));
+        // In both cases the marker itself never appears unobfuscated inside
+        // the packed script body.
+        let script_of = |html: &str| {
+            let start = html.find("<script type").unwrap();
+            html[start..].to_string()
+        };
+        assert!(!script_of(&after).contains(ANGLER_JAVA_MARKER));
+    }
+
+    #[test]
+    fn generated_samples_are_full_html_documents() {
+        for family in KitFamily::ALL {
+            let html = KitModel::new(family).generate_sample(SimDate::new(2014, 8, 8), &mut rng(9));
+            assert!(html.starts_with("<html>"), "{family}");
+            assert!(html.contains("</html>"), "{family}");
+            assert!(html.contains("<script type=\"text/javascript\">"), "{family}");
+        }
+    }
+
+    #[test]
+    fn family_accessor() {
+        assert_eq!(KitModel::new(KitFamily::Rig).family(), KitFamily::Rig);
+    }
+}

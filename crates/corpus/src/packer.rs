@@ -1,0 +1,390 @@
+//! Family-specific packers (paper Fig. 4).
+//!
+//! The packer is the fast-changing outer layer of the kit: it hides the
+//! payload behind string encodings, randomizes every identifier per
+//! response, and obscures the final call to `eval`. Each family uses a
+//! different strategy, modeled on the code the paper reproduces in Fig. 4:
+//!
+//! * **RIG** — the payload's character codes are joined with a short
+//!   delimiter, accumulated through repeated `collect("...")` calls, split
+//!   and rebuilt with `String.fromCharCode`.
+//! * **Nuclear** — the payload is encoded as two-digit (three-digit after
+//!   the August 12 semantic packer change) indexes into a per-response
+//!   shuffled `cryptkey`, and well-known names (`concat`, `substr`,
+//!   `document`, ...) appear spliced with the current delimiter
+//!   (`sUluNuUluNbUluN...`).
+//! * **Angler** — the payload is hex-encoded and scattered over several
+//!   chunk variables that are concatenated and decoded at runtime.
+//! * **Sweet Orange** — the payload's character codes are joined with a
+//!   delimiter and the decoding loop obscures its integer constants behind
+//!   `Math.sqrt` of perfect squares (`Math.sqrt(196)` instead of `14`).
+//!
+//! Every packer's output can be reversed by the corresponding unpacker in
+//! the `kizzle-unpack` crate, mirroring the paper's choice to implement
+//! per-kit unpackers rather than hooking a JavaScript engine's `eval`.
+
+use crate::evolution::KitState;
+use crate::family::KitFamily;
+use crate::ident::{random_alnum, random_identifier};
+use rand::Rng;
+
+/// Pack a payload for the given kit state, producing the JavaScript body of
+/// the landing page's main `<script>` element.
+///
+/// Identifier names and chunk boundaries are randomized from `rng` (a fresh
+/// draw per emitted sample); the *structure* depends only on the family and
+/// the state, which is exactly the property Kizzle's token-class clustering
+/// exploits.
+#[must_use]
+pub fn pack<R: Rng + ?Sized>(state: &KitState, payload: &str, rng: &mut R) -> String {
+    match state.family {
+        KitFamily::Rig => pack_rig(state, payload, rng),
+        KitFamily::Nuclear => pack_nuclear(state, payload, rng),
+        KitFamily::Angler => pack_angler(state, payload, rng),
+        KitFamily::SweetOrange => pack_sweet_orange(state, payload, rng),
+    }
+}
+
+/// Splice `delimiter` between every character of `word`
+/// (`substr` + `UluN` → `sUluNuUluNbUluNsUluNtUluNr`).
+#[must_use]
+pub fn splice_delimiter(word: &str, delimiter: &str) -> String {
+    let chars: Vec<String> = word.chars().map(|c| c.to_string()).collect();
+    chars.join(delimiter)
+}
+
+fn ident<R: Rng + ?Sized>(rng: &mut R) -> String {
+    random_identifier(rng, 4..9)
+}
+
+/// RIG packer (paper Fig. 4(a)).
+fn pack_rig<R: Rng + ?Sized>(state: &KitState, payload: &str, rng: &mut R) -> String {
+    let delim = &state.delimiter;
+    let buffer = ident(rng);
+    let delim_var = ident(rng);
+    let collect = ident(rng);
+    let pieces = ident(rng);
+    let screlem = ident(rng);
+    let idx = ident(rng);
+
+    // Character codes joined by the delimiter, broken into collect() calls.
+    let encoded: String = payload
+        .chars()
+        .map(|c| format!("{}{delim}", c as u32))
+        .collect();
+    // The accumulator chunk size is a property of the packer generation,
+    // not of the individual response: every sample of the same kit version
+    // shares it, which keeps the token structure of a day's variants tight.
+    let chunk_len = 180 + (state.version as usize % 4) * 8;
+    let chunks: Vec<&str> = encoded
+        .as_bytes()
+        .chunks(chunk_len)
+        .map(|c| std::str::from_utf8(c).expect("ascii"))
+        .collect();
+
+    let mut out = String::with_capacity(encoded.len() + 1024);
+    out.push_str(&format!("var {buffer}=\"\";\n"));
+    out.push_str(&format!("var {delim_var}=\"{delim}\";\n"));
+    out.push_str(&format!(
+        "function {collect}(text) {{ {buffer} += text; }}\n"
+    ));
+    for chunk in chunks {
+        out.push_str(&format!("{collect}(\"{chunk}\");\n"));
+    }
+    out.push_str(&format!("var {pieces} = {buffer}.split({delim_var});\n"));
+    out.push_str(&format!(
+        "var {screlem} = document.createElement(\"script\");\n"
+    ));
+    out.push_str(&format!(
+        "for (var {idx}=0; {idx}<{pieces}.length; {idx}++) {{ {screlem}.text += String.fromCharCode({pieces}[{idx}]); }}\n"
+    ));
+    out.push_str(&format!("document.body.appendChild({screlem});\n"));
+    out
+}
+
+/// Nuclear packer (paper Fig. 4(b)).
+fn pack_nuclear<R: Rng + ?Sized>(state: &KitState, payload: &str, rng: &mut R) -> String {
+    let key = crate::ident::random_cryptkey(rng);
+    let digits_per_index = if state.packer_revision == 0 { 2 } else { 3 };
+
+    // Encode every payload character as an index into the cryptkey. Characters
+    // not present in the key (newline, quote, backslash, tab) are escaped as
+    // index 99.. + code, handled by the unpacker.
+    let mut encoded = String::with_capacity(payload.len() * digits_per_index);
+    for ch in payload.chars() {
+        match key.find(ch) {
+            Some(idx) => encoded.push_str(&format!("{idx:0width$}", width = digits_per_index)),
+            None => {
+                // Escape sequence: the key length (out-of-range index) followed
+                // by the character code as 3 digits.
+                encoded.push_str(&format!(
+                    "{:0width$}{:03}",
+                    key.chars().count(),
+                    ch as u32 % 1000,
+                    width = digits_per_index
+                ));
+            }
+        }
+    }
+
+    let payload_var = ident(rng);
+    let key_var = ident(rng);
+    let out_var = ident(rng);
+    let i_var = ident(rng);
+    let getter = ident(rng);
+    let thiscopy = ident(rng);
+    let bgc = random_alnum(rng, 6);
+    let delim = &state.delimiter;
+    let spliced_eval = splice_delimiter("eval", delim);
+    let decorated: Vec<String> = ["concat", "substr", "document", "Color", "length", "replace"]
+        .iter()
+        .map(|w| splice_delimiter(w, delim))
+        .collect();
+
+    let mut out = String::with_capacity(encoded.len() + 2048);
+    out.push_str(&format!("var {payload_var} = \"{encoded}\";\n"));
+    out.push_str(&format!("var {key_var} = \"{key}\";\n"));
+    out.push_str(&format!("var {getter} = function(a) {{ return a; }};\n"));
+    out.push_str(&format!("var {thiscopy} = this;\n"));
+    out.push_str(&format!(
+        "var {bgc} = [{}];\n",
+        decorated
+            .iter()
+            .map(|s| format!("\"{s}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!("var {out_var} = \"\";\n"));
+    out.push_str(&format!(
+        "for (var {i_var} = 0; {i_var} < {payload_var}.length; {i_var} += {digits_per_index}) {{ {out_var} += {key_var}.charAt(parseInt({payload_var}.substr({i_var}, {digits_per_index}), 10)); }}\n"
+    ));
+    out.push_str(&format!(
+        "{thiscopy}[{getter}(\"{spliced_eval}\").split(\"{delim}\").join(\"\")]({out_var});\n"
+    ));
+    out
+}
+
+/// Angler packer: hex chunks concatenated and decoded.
+fn pack_angler<R: Rng + ?Sized>(state: &KitState, payload: &str, rng: &mut R) -> String {
+    let hex: String = payload.bytes().map(|b| format!("{b:02x}")).collect();
+    // Chunk count depends (mildly) on the packer generation so that packer
+    // mutations are visible in the token structure.
+    let chunk_count = 6 + (state.version as usize % 4) + rng.gen_range(0..2);
+    let chunk_len = hex.len().div_ceil(chunk_count).max(1);
+    // Chunk boundaries must be even so hex pairs stay intact.
+    let chunk_len = chunk_len + (chunk_len % 2);
+
+    let chunk_vars: Vec<String> = (0..chunk_count).map(|_| ident(rng)).collect();
+    let joined = ident(rng);
+    let result = ident(rng);
+    let i_var = ident(rng);
+
+    let mut out = String::with_capacity(hex.len() + 2048);
+    let mut offset = 0;
+    let mut used_vars = Vec::new();
+    for var in &chunk_vars {
+        if offset >= hex.len() {
+            break;
+        }
+        let end = (offset + chunk_len).min(hex.len());
+        out.push_str(&format!("var {var} = \"{}\";\n", &hex[offset..end]));
+        used_vars.push(var.clone());
+        offset = end;
+    }
+    out.push_str(&format!("var {joined} = {};\n", used_vars.join(" + ")));
+    out.push_str(&format!("var {result} = \"\";\n"));
+    out.push_str(&format!(
+        "for (var {i_var} = 0; {i_var} < {joined}.length; {i_var} += 2) {{ {result} += String.fromCharCode(parseInt({joined}.substr({i_var}, 2), 16)); }}\n"
+    ));
+    out.push_str(&format!("window[\"ev\" + \"al\"]({result});\n"));
+    out
+}
+
+/// Sweet Orange packer: delimiter-joined character codes plus `Math.sqrt`
+/// integer obfuscation in the decoder.
+fn pack_sweet_orange<R: Rng + ?Sized>(state: &KitState, payload: &str, rng: &mut R) -> String {
+    let delim = &state.delimiter;
+    let encoded: String = payload
+        .chars()
+        .map(|c| format!("{}{delim}", c as u32))
+        .collect();
+    let chunk_len = 240 + (state.version as usize % 3) * 10;
+    let chunks: Vec<&str> = encoded
+        .as_bytes()
+        .chunks(chunk_len)
+        .map(|c| std::str::from_utf8(c).expect("ascii"))
+        .collect();
+
+    let arr = ident(rng);
+    let acc = ident(rng);
+    let q = ident(rng);
+    let decoder = ident(rng);
+
+    // The decoder's integer constants are obscured: revision 0 uses
+    // Math.sqrt of perfect squares, revision >= 1 uses Math.exp(1)-Math.E
+    // (= 0) offsets, mirroring the paper's observation that the kit swaps
+    // one mathematical identity for another.
+    let zero_expr = if state.packer_revision == 0 {
+        "Math.sqrt(0)".to_string()
+    } else {
+        "(Math.exp(1) - Math.E)".to_string()
+    };
+    let one_expr = if state.packer_revision == 0 {
+        "Math.sqrt(1)".to_string()
+    } else {
+        "(Math.exp(1) / Math.E)".to_string()
+    };
+
+    let mut out = String::with_capacity(encoded.len() + 2048);
+    out.push_str(&format!("var {arr} = [];\n"));
+    for chunk in &chunks {
+        out.push_str(&format!("{arr}.push(\"{chunk}\");\n"));
+    }
+    out.push_str(&format!("function {decoder}() {{\n"));
+    out.push_str(&format!("  var ok = {arr}.join(\"\").split(\"{delim}\");\n"));
+    out.push_str(&format!("  var {acc} = \"\";\n"));
+    out.push_str(&format!(
+        "  for (var {q} = {zero}; {q} < ok.length - {one}; {q}++) {{ {acc} += String.fromCharCode(ok.charAt ? parseInt(ok[{q}], 10) : ok[{q}]); }}\n",
+        zero = zero_expr,
+        one = one_expr,
+    ));
+    out.push_str(&format!("  return {acc};\n}}\n"));
+    out.push_str(&format!("window[\"ev\" + \"al\"]({decoder}());\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::date::SimDate;
+    use crate::evolution::KitState;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    const PAYLOAD: &str = "function launch(){ var x = PluginProbe.getVersion(\"Java\"); if (x) { run_cve_2013_2551(); } }\nwindow.setTimeout(launch, 100);";
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn state(family: KitFamily, m: u32, d: u32) -> KitState {
+        KitState::on_date(family, SimDate::new(2014, m, d))
+    }
+
+    #[test]
+    fn splice_delimiter_matches_paper_example() {
+        assert_eq!(
+            splice_delimiter("substr", "UluN"),
+            "sUluNuUluNbUluNsUluNtUluNr"
+        );
+        assert_eq!(splice_delimiter("ab", ""), "ab");
+        assert_eq!(splice_delimiter("", "X"), "");
+    }
+
+    #[test]
+    fn every_packer_hides_the_payload_text() {
+        for family in KitFamily::ALL {
+            let packed = pack(&state(family, 8, 15), PAYLOAD, &mut rng(1));
+            assert!(
+                !packed.contains("PluginProbe.getVersion"),
+                "{family}: payload text leaked into packed form"
+            );
+            assert!(packed.len() > PAYLOAD.len(), "{family}: packed form too small");
+        }
+    }
+
+    #[test]
+    fn packer_output_is_deterministic_per_seed_and_randomized_across_seeds() {
+        for family in KitFamily::ALL {
+            let s = state(family, 8, 10);
+            let a = pack(&s, PAYLOAD, &mut rng(7));
+            let b = pack(&s, PAYLOAD, &mut rng(7));
+            let c = pack(&s, PAYLOAD, &mut rng(8));
+            assert_eq!(a, b, "{family}");
+            assert_ne!(a, c, "{family}: identifiers should differ across samples");
+        }
+    }
+
+    #[test]
+    fn rig_packed_form_contains_delimiter_and_charcodes() {
+        let s = state(KitFamily::Rig, 8, 10);
+        let packed = pack(&s, PAYLOAD, &mut rng(3));
+        assert!(packed.contains(&format!("=\"{}\";", s.delimiter)));
+        assert!(packed.contains("String.fromCharCode"));
+        assert!(packed.contains("document.body.appendChild"));
+    }
+
+    #[test]
+    fn nuclear_packed_form_contains_spliced_strings_and_key() {
+        let s = state(KitFamily::Nuclear, 8, 26); // delimiter UluN
+        let packed = pack(&s, PAYLOAD, &mut rng(4));
+        assert!(packed.contains("UluN"));
+        assert!(packed.contains(&splice_delimiter("document", "UluN")));
+        assert!(packed.contains("charAt(parseInt("));
+        assert!(packed.contains(".split(\"UluN\").join(\"\")"));
+    }
+
+    #[test]
+    fn nuclear_semantic_change_switches_index_width() {
+        let before = pack(&state(KitFamily::Nuclear, 8, 11), PAYLOAD, &mut rng(5));
+        let after = pack(&state(KitFamily::Nuclear, 8, 13), PAYLOAD, &mut rng(5));
+        assert!(before.contains("substr("));
+        assert!(before.contains(", 2), 10)"));
+        assert!(after.contains(", 3), 10)"));
+    }
+
+    #[test]
+    fn angler_packed_form_is_hex_chunked() {
+        let packed = pack(&state(KitFamily::Angler, 8, 20), PAYLOAD, &mut rng(6));
+        assert!(packed.contains("parseInt("));
+        assert!(packed.contains(", 16)"));
+        assert!(packed.contains("window[\"ev\" + \"al\"]"));
+        // At least 4 hex chunk variables.
+        assert!(packed.matches("var ").count() >= 6);
+    }
+
+    #[test]
+    fn sweet_orange_revision_switches_integer_obfuscation() {
+        let before = pack(&state(KitFamily::SweetOrange, 8, 9), PAYLOAD, &mut rng(9));
+        let after = pack(&state(KitFamily::SweetOrange, 8, 11), PAYLOAD, &mut rng(9));
+        assert!(before.contains("Math.sqrt(0)"));
+        assert!(!before.contains("Math.exp(1)"));
+        assert!(after.contains("Math.exp(1)"));
+    }
+
+    #[test]
+    fn packed_samples_of_same_state_share_token_structure() {
+        // The packed text differs (random identifiers) but the sequence of
+        // quotes/braces/keywords — approximated here by stripping
+        // identifiers — stays the same. The real token-level check lives in
+        // the workspace integration tests with kizzle-js.
+        let s = state(KitFamily::Rig, 8, 5);
+        let a = pack(&s, PAYLOAD, &mut rng(100));
+        let b = pack(&s, PAYLOAD, &mut rng(200));
+        let shape = |text: &str| -> String {
+            text.chars()
+                .filter(|c| "\"(){}[];=+<".contains(*c))
+                .collect()
+        };
+        // Chunk boundaries are randomized, so allow small differences in the
+        // number of collect() calls but require the same structural alphabet.
+        let sa = shape(&a);
+        let sb = shape(&b);
+        let diff = (sa.len() as i64 - sb.len() as i64).abs();
+        assert!(diff < sa.len() as i64 / 5, "structures diverge too much");
+    }
+
+    #[test]
+    fn delimiter_never_collides_with_digit_encoding() {
+        // RIG/Sweet Orange delimiters in every scheduled state must start
+        // with a non-digit so that splitting the char-code stream is
+        // unambiguous.
+        for family in [KitFamily::Rig, KitFamily::SweetOrange] {
+            for date in SimDate::evolution_start().range_inclusive(SimDate::evaluation_end()) {
+                let s = KitState::on_date(family, date);
+                let first = s.delimiter.chars().next().expect("non-empty delimiter");
+                assert!(!first.is_ascii_digit(), "{family} {date}: delimiter {}", s.delimiter);
+            }
+        }
+    }
+}

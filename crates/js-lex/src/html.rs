@@ -1,0 +1,250 @@
+//! Extraction of inline JavaScript from HTML documents.
+//!
+//! A Kizzle *sample* is "a complete HTML document, including all inline
+//! script elements" (paper §III). The telemetry source captured full pages,
+//! so the first processing step is pulling every inline `<script>` body (and
+//! inline event handlers) out of the markup before tokenization.
+//!
+//! The extractor is deliberately tag-level and lenient rather than a full
+//! HTML5 parser: grayware markup is frequently malformed, and all we need is
+//! the script payloads.
+
+use crate::stream::TokenStream;
+use crate::tokenize;
+
+/// One inline script block found in a document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InlineScript {
+    /// Byte offset of the script body within the original document.
+    pub offset: usize,
+    /// The raw script body (between `<script ...>` and `</script>`).
+    pub body: String,
+    /// Value of the `src` attribute if present (external scripts have no
+    /// body to analyze, but the URL itself is useful for ground-truthing).
+    pub src: Option<String>,
+}
+
+/// Extract all `<script>` elements from an HTML document.
+///
+/// External scripts (`src=`) are returned with an empty body; inline event
+/// handlers (`onload="..."`) are *not* extracted here — exploit kits deliver
+/// their packer inside script elements.
+///
+/// # Examples
+///
+/// ```
+/// let scripts = kizzle_js::extract_scripts("<html><script>var a=1;</script></html>");
+/// assert_eq!(scripts.len(), 1);
+/// assert_eq!(scripts[0].body, "var a=1;");
+/// ```
+#[must_use]
+pub fn extract_scripts(html: &str) -> Vec<InlineScript> {
+    let mut scripts = Vec::new();
+    let lower = html.to_ascii_lowercase();
+    let bytes = lower.as_bytes();
+    let mut pos = 0;
+
+    while let Some(rel) = lower[pos..].find("<script") {
+        let tag_start = pos + rel;
+        // Find the end of the opening tag.
+        let Some(tag_end_rel) = lower[tag_start..].find('>') else {
+            break;
+        };
+        let tag_end = tag_start + tag_end_rel;
+        let open_tag = &html[tag_start..=tag_end];
+        let src = extract_attr(open_tag, "src");
+
+        // Self-closing script tag.
+        if open_tag.trim_end_matches('>').ends_with('/') {
+            scripts.push(InlineScript {
+                offset: tag_end + 1,
+                body: String::new(),
+                src,
+            });
+            pos = tag_end + 1;
+            continue;
+        }
+
+        let body_start = tag_end + 1;
+        let (body_end, next_pos) = match lower[body_start..].find("</script") {
+            Some(rel_close) => {
+                let close = body_start + rel_close;
+                let after = lower[close..]
+                    .find('>')
+                    .map_or(lower.len(), |i| close + i + 1);
+                (close, after)
+            }
+            None => (lower.len(), lower.len()),
+        };
+        debug_assert!(body_end <= bytes.len());
+
+        scripts.push(InlineScript {
+            offset: body_start,
+            body: html[body_start..body_end].to_string(),
+            src,
+        });
+        pos = next_pos;
+    }
+    scripts
+}
+
+/// Pull a (single- or double-quoted, or unquoted) attribute value out of an
+/// opening tag. Case-insensitive on the attribute name.
+fn extract_attr(tag: &str, name: &str) -> Option<String> {
+    let lower = tag.to_ascii_lowercase();
+    let mut search = 0;
+    while let Some(rel) = lower[search..].find(name) {
+        let at = search + rel;
+        // Must be preceded by whitespace to be an attribute name.
+        let prev_ok = at == 0
+            || lower.as_bytes()[at - 1].is_ascii_whitespace();
+        let after = at + name.len();
+        let rest = lower[after..].trim_start();
+        if prev_ok && rest.starts_with('=') {
+            let value_part = &tag[tag.len() - rest.len()..][1..];
+            let value_part = value_part.trim_start();
+            let value = if let Some(stripped) = value_part.strip_prefix('"') {
+                stripped.split('"').next().unwrap_or("")
+            } else if let Some(stripped) = value_part.strip_prefix('\'') {
+                stripped.split('\'').next().unwrap_or("")
+            } else {
+                value_part
+                    .split(|c: char| c.is_ascii_whitespace() || c == '>')
+                    .next()
+                    .unwrap_or("")
+            };
+            return Some(value.to_string());
+        }
+        search = after;
+    }
+    None
+}
+
+/// Tokenize every inline script in an HTML document and concatenate the
+/// results into a single [`TokenStream`].
+///
+/// If the input does not look like HTML at all (no `<script` tag), it is
+/// treated as bare JavaScript — the grayware feed contains both.
+///
+/// # Examples
+///
+/// ```
+/// let stream = kizzle_js::tokenize_document("<script>var a=1;</script><script>b()</script>");
+/// assert!(stream.len() >= 8);
+/// // Bare JavaScript also works:
+/// let bare = kizzle_js::tokenize_document("var a = 1;");
+/// assert_eq!(bare.len(), 5);
+/// ```
+#[must_use]
+pub fn tokenize_document(document: &str) -> TokenStream {
+    let scripts = extract_scripts(document);
+    if scripts.is_empty() {
+        return tokenize(document);
+    }
+    let mut out = TokenStream::default();
+    for script in &scripts {
+        if !script.body.trim().is_empty() {
+            out.extend(tokenize(&script.body).into_iter());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_single_inline_script() {
+        let html = "<html><head><script type=\"text/javascript\">var a = 1;</script></head></html>";
+        let s = extract_scripts(html);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].body, "var a = 1;");
+        assert_eq!(s[0].src, None);
+    }
+
+    #[test]
+    fn extracts_multiple_scripts_in_order() {
+        let html = "<script>first()</script><p>text</p><script>second()</script>";
+        let s = extract_scripts(html);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].body, "first()");
+        assert_eq!(s[1].body, "second()");
+        assert!(s[0].offset < s[1].offset);
+    }
+
+    #[test]
+    fn external_script_src_is_captured() {
+        let html = r#"<script src="http://evil.example/kit.js"></script>"#;
+        let s = extract_scripts(html);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].body, "");
+        assert_eq!(s[0].src.as_deref(), Some("http://evil.example/kit.js"));
+    }
+
+    #[test]
+    fn src_single_quoted_and_unquoted() {
+        let s = extract_scripts("<script src='a.js'></script>");
+        assert_eq!(s[0].src.as_deref(), Some("a.js"));
+        let s = extract_scripts("<script src=b.js></script>");
+        assert_eq!(s[0].src.as_deref(), Some("b.js"));
+    }
+
+    #[test]
+    fn case_insensitive_tags() {
+        let html = "<SCRIPT>var A=1;</SCRIPT>";
+        let s = extract_scripts(html);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].body, "var A=1;");
+    }
+
+    #[test]
+    fn unterminated_script_runs_to_end() {
+        let html = "<script>var a = 1; // no closing tag";
+        let s = extract_scripts(html);
+        assert_eq!(s.len(), 1);
+        assert!(s[0].body.contains("var a = 1;"));
+    }
+
+    #[test]
+    fn self_closing_script_has_empty_body() {
+        let s = extract_scripts(r#"<script src="x.js"/> <script>y()</script>"#);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].body, "");
+        assert_eq!(s[1].body, "y()");
+    }
+
+    #[test]
+    fn script_bodies_preserve_original_case() {
+        let html = "<script>VAR_NAME = 'MixedCase';</script>";
+        let s = extract_scripts(html);
+        assert!(s[0].body.contains("MixedCase"));
+    }
+
+    #[test]
+    fn no_scripts_in_plain_html() {
+        assert!(extract_scripts("<html><body>hello</body></html>").is_empty());
+    }
+
+    #[test]
+    fn tokenize_document_bare_js_fallback() {
+        let stream = tokenize_document("function f() { return 1; }");
+        assert!(stream.classes().contains(&crate::TokenClass::Keyword));
+    }
+
+    #[test]
+    fn tokenize_document_concatenates_scripts() {
+        let a = tokenize_document("<script>var a=1;</script>");
+        let b = tokenize_document("<script>var a=1;</script><script>var b=2;</script>");
+        assert!(b.len() > a.len());
+    }
+
+    #[test]
+    fn script_inside_commentish_markup_is_still_found() {
+        // Lenient extraction intentionally does not honor HTML comments:
+        // kits routinely hide script tags inside bogus comment structures.
+        let html = "<!-- <script>x()</script> -->";
+        let s = extract_scripts(html);
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,536 @@
+//! A lenient JavaScript scanner.
+//!
+//! The scanner is intentionally forgiving: grayware streams contain broken,
+//! truncated and adversarial JavaScript, and the Kizzle pipeline must keep
+//! going. Characters that cannot start any token are skipped and reported
+//! through [`Lexer::errors`], never by aborting the scan.
+
+use crate::stream::TokenStream;
+use crate::token::{is_keyword, Token, TokenClass};
+use std::fmt;
+
+/// An error encountered while scanning; scanning continues past it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub offset: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Multi-character punctuation, longest first so the scanner can do a
+/// longest-match scan.
+const MULTI_PUNCT: &[&str] = &[
+    ">>>=", "===", "!==", ">>>", "**=", "...", "<<=", ">>=", "&&=", "||=", "??=", "=>", "==",
+    "!=", "<=", ">=", "&&", "||", "??", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=", "<<", ">>", "**",
+];
+
+/// Single-character punctuation.
+const SINGLE_PUNCT: &str = "{}()[];,<>+-*/%&|^!~?:=.@#";
+
+/// A streaming JavaScript scanner producing [`Token`]s.
+///
+/// # Examples
+///
+/// ```
+/// use kizzle_js::{Lexer, TokenClass};
+/// let tokens: Vec<_> = Lexer::new("foo(1, 'bar')").collect();
+/// assert_eq!(tokens.len(), 6);
+/// assert_eq!(tokens[0].class, TokenClass::Identifier);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lexer<'a> {
+    source: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    errors: Vec<LexError>,
+    /// Class of the previous significant token, used to disambiguate regex
+    /// literals from division.
+    prev: Option<TokenClass>,
+    prev_text_allows_regex: bool,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a scanner over `source`.
+    #[must_use]
+    pub fn new(source: &'a str) -> Self {
+        Lexer {
+            source,
+            bytes: source.as_bytes(),
+            pos: 0,
+            errors: Vec::new(),
+            prev: None,
+            prev_text_allows_regex: true,
+        }
+    }
+
+    /// Errors accumulated so far (skipped characters, unterminated
+    /// literals). The scan itself never fails.
+    #[must_use]
+    pub fn errors(&self) -> &[LexError] {
+        &self.errors
+    }
+
+    /// Consume the scanner and produce a [`TokenStream`] of all remaining
+    /// tokens.
+    #[must_use]
+    pub fn into_stream(mut self) -> TokenStream {
+        let mut tokens = Vec::new();
+        while let Some(tok) = self.next_token() {
+            tokens.push(tok);
+        }
+        TokenStream::from_tokens(tokens)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn error(&mut self, offset: usize, message: impl Into<String>) {
+        // Bound the error log so adversarial input cannot balloon memory.
+        if self.errors.len() < 1024 {
+            self.errors.push(LexError {
+                offset,
+                message: message.into(),
+            });
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => self.pos += 1,
+                Some(b'/') if self.peek_at(1) == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        self.pos += 1;
+                        if b == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    let mut closed = false;
+                    while self.pos < self.bytes.len() {
+                        if self.bytes[self.pos] == b'*' && self.peek_at(1) == Some(b'/') {
+                            self.pos += 2;
+                            closed = true;
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    if !closed {
+                        self.error(start, "unterminated block comment");
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Option<Token> {
+        loop {
+            self.skip_trivia();
+            let start = self.pos;
+            let b = self.peek()?;
+
+            let token = if b == b'"' || b == b'\'' || b == b'`' {
+                Some(self.scan_string(b))
+            } else if b.is_ascii_digit() || (b == b'.' && self.peek_at(1).is_some_and(|c| c.is_ascii_digit())) {
+                Some(self.scan_number())
+            } else if b == b'_' || b == b'$' || b.is_ascii_alphabetic() || b >= 0x80 {
+                Some(self.scan_word())
+            } else if b == b'/' && self.regex_allowed() {
+                Some(self.scan_regex())
+            } else if let Some(tok) = self.scan_punct() {
+                Some(tok)
+            } else {
+                self.error(start, format!("skipping unexpected byte 0x{b:02x}"));
+                self.pos += 1;
+                None
+            };
+
+            if let Some(tok) = token {
+                self.prev = Some(tok.class);
+                self.prev_text_allows_regex = match tok.class {
+                    TokenClass::Punctuation => !matches!(tok.text.as_str(), ")" | "]" | "}"),
+                    TokenClass::Keyword => true,
+                    _ => false,
+                };
+                return Some(tok);
+            }
+            // Otherwise we skipped a bad byte; try again.
+        }
+    }
+
+    /// A `/` starts a regex literal only where an expression is expected.
+    fn regex_allowed(&self) -> bool {
+        match self.prev {
+            None => true,
+            Some(TokenClass::Punctuation) | Some(TokenClass::Keyword) => self.prev_text_allows_regex,
+            _ => false,
+        }
+    }
+
+    fn scan_string(&mut self, quote: u8) -> Token {
+        let start = self.pos;
+        self.pos += 1;
+        let mut terminated = false;
+        while let Some(b) = self.peek() {
+            if b == b'\\' {
+                self.pos += 2.min(self.bytes.len() - self.pos);
+                continue;
+            }
+            if b == quote {
+                self.pos += 1;
+                terminated = true;
+                break;
+            }
+            // Template literals may span lines; ordinary strings that hit a
+            // newline are treated as (sloppily) terminated, which matches how
+            // packers emit long single-line strings anyway.
+            if b == b'\n' && quote != b'`' {
+                break;
+            }
+            self.pos += 1;
+        }
+        if !terminated {
+            self.error(start, "unterminated string literal");
+        }
+        Token::new(
+            TokenClass::String,
+            &self.source[start..self.pos],
+            start,
+        )
+    }
+
+    fn scan_number(&mut self) -> Token {
+        let start = self.pos;
+        if self.peek() == Some(b'0')
+            && matches!(self.peek_at(1), Some(b'x') | Some(b'X'))
+        {
+            self.pos += 2;
+            while self.peek().is_some_and(|b| b.is_ascii_hexdigit()) {
+                self.pos += 1;
+            }
+        } else {
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.peek() == Some(b'.') {
+                self.pos += 1;
+                while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+                let mark = self.pos;
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                    self.pos += 1;
+                }
+                if self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                    while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                        self.pos += 1;
+                    }
+                } else {
+                    // Not an exponent after all (`1e` followed by identifier).
+                    self.pos = mark;
+                }
+            }
+        }
+        Token::new(
+            TokenClass::Number,
+            &self.source[start..self.pos],
+            start,
+        )
+    }
+
+    fn scan_word(&mut self) -> Token {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'_' || b == b'$' || b.is_ascii_alphanumeric() || b >= 0x80 {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = &self.source[start..self.pos];
+        let class = if is_keyword(text) {
+            TokenClass::Keyword
+        } else {
+            TokenClass::Identifier
+        };
+        Token::new(class, text, start)
+    }
+
+    fn scan_regex(&mut self) -> Token {
+        let start = self.pos;
+        self.pos += 1; // opening '/'
+        let mut in_class = false;
+        let mut terminated = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'\\' => {
+                    self.pos += 2.min(self.bytes.len() - self.pos);
+                    continue;
+                }
+                b'[' => in_class = true,
+                b']' => in_class = false,
+                b'/' if !in_class => {
+                    self.pos += 1;
+                    terminated = true;
+                    break;
+                }
+                b'\n' => break,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        if !terminated {
+            // Not a real regex (e.g. stray '/'); fall back to punctuation.
+            self.pos = start + 1;
+            return Token::new(TokenClass::Punctuation, "/", start);
+        }
+        // Flags.
+        while self.peek().is_some_and(|b| b.is_ascii_alphabetic()) {
+            self.pos += 1;
+        }
+        Token::new(TokenClass::Regex, &self.source[start..self.pos], start)
+    }
+
+    fn scan_punct(&mut self) -> Option<Token> {
+        let start = self.pos;
+        let rest = &self.source[self.pos..];
+        for cand in MULTI_PUNCT {
+            if rest.starts_with(cand) {
+                self.pos += cand.len();
+                return Some(Token::new(TokenClass::Punctuation, *cand, start));
+            }
+        }
+        let b = self.peek()?;
+        if SINGLE_PUNCT.as_bytes().contains(&b) {
+            self.pos += 1;
+            return Some(Token::new(
+                TokenClass::Punctuation,
+                &self.source[start..self.pos],
+                start,
+            ));
+        }
+        None
+    }
+}
+
+impl<'a> Iterator for Lexer<'a> {
+    type Item = Token;
+
+    fn next(&mut self) -> Option<Token> {
+        self.next_token()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classes(src: &str) -> Vec<TokenClass> {
+        Lexer::new(src).map(|t| t.class).collect()
+    }
+
+    fn texts(src: &str) -> Vec<String> {
+        Lexer::new(src).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn simple_statement() {
+        use TokenClass::*;
+        assert_eq!(
+            classes("var x = 42;"),
+            vec![Keyword, Identifier, Punctuation, Number, Punctuation]
+        );
+    }
+
+    #[test]
+    fn string_literals_single_and_double() {
+        use TokenClass::*;
+        assert_eq!(classes(r#"'a' + "b""#), vec![String, Punctuation, String]);
+        assert_eq!(texts(r#"'a'"#), vec!["'a'"]);
+    }
+
+    #[test]
+    fn string_with_escapes() {
+        let toks = texts(r#""a\"b" x"#);
+        assert_eq!(toks[0], r#""a\"b""#);
+        assert_eq!(toks[1], "x");
+    }
+
+    #[test]
+    fn unterminated_string_is_error_but_scan_continues() {
+        let mut lexer = Lexer::new("\"abc\nvar x");
+        let toks: Vec<_> = (&mut lexer).collect();
+        assert!(toks.iter().any(|t| t.class == TokenClass::Keyword));
+        // Re-scan to check the error is recorded.
+        let mut lexer = Lexer::new("\"abc\nvar x");
+        while lexer.next_token().is_some() {}
+        assert!(!lexer.errors().is_empty());
+    }
+
+    #[test]
+    fn numbers_decimal_hex_float_exponent() {
+        assert_eq!(
+            texts("1 0xFF 3.14 1e10 2.5e-3 .5"),
+            vec!["1", "0xFF", "3.14", "1e10", "2.5e-3", ".5"]
+        );
+        assert!(classes("0xDEADbeef").iter().all(|c| *c == TokenClass::Number));
+    }
+
+    #[test]
+    fn exponent_backtracks_when_not_a_number() {
+        // `1e` followed by something that is not a digit: `1` then identifier `ex`.
+        let t = texts("1ex");
+        assert_eq!(t, vec!["1", "ex"]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            classes("// comment\nvar x /* block */ = 1"),
+            vec![
+                TokenClass::Keyword,
+                TokenClass::Identifier,
+                TokenClass::Punctuation,
+                TokenClass::Number
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_reports_error() {
+        let mut lexer = Lexer::new("var x /* never closed");
+        while lexer.next_token().is_some() {}
+        assert!(lexer
+            .errors()
+            .iter()
+            .any(|e| e.message.contains("block comment")));
+    }
+
+    #[test]
+    fn multi_char_punctuation_longest_match() {
+        assert_eq!(texts("a === b"), vec!["a", "===", "b"]);
+        assert_eq!(texts("a >>>= b"), vec!["a", ">>>=", "b"]);
+        assert_eq!(texts("x=>y"), vec!["x", "=>", "y"]);
+    }
+
+    #[test]
+    fn regex_literal_vs_division() {
+        // After `=` a regex is expected.
+        let toks = texts("x = /ab[c/]+/g;");
+        assert!(toks.contains(&"/ab[c/]+/g".to_string()));
+        // After an identifier `/` is division.
+        let toks = texts("a / b / c");
+        assert_eq!(toks, vec!["a", "/", "b", "/", "c"]);
+    }
+
+    #[test]
+    fn regex_after_punctuation_and_keywords() {
+        let toks: Vec<_> = Lexer::new("return /abc/.test(x)").collect();
+        assert_eq!(toks[1].class, TokenClass::Regex);
+        let toks: Vec<_> = Lexer::new("f(/abc/)").collect();
+        assert_eq!(toks[2].class, TokenClass::Regex);
+    }
+
+    #[test]
+    fn stray_slash_falls_back_to_punctuation() {
+        let toks = texts("= / x");
+        assert_eq!(toks, vec!["=", "/", "x"]);
+    }
+
+    #[test]
+    fn unicode_identifiers_survive() {
+        let toks: Vec<_> = Lexer::new("var ümlaut = 1").collect();
+        assert_eq!(toks[1].class, TokenClass::Identifier);
+        assert_eq!(toks[1].text, "ümlaut");
+    }
+
+    #[test]
+    fn dollar_and_underscore_identifiers() {
+        use TokenClass::*;
+        assert_eq!(classes("$ _x $y1"), vec![Identifier, Identifier, Identifier]);
+    }
+
+    #[test]
+    fn template_literal_spans_newline() {
+        let toks = texts("`a\nb` x");
+        assert_eq!(toks[0], "`a\nb`");
+    }
+
+    #[test]
+    fn offsets_are_byte_positions() {
+        let toks: Vec<_> = Lexer::new("ab  cd").collect();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 4);
+    }
+
+    #[test]
+    fn garbage_bytes_are_skipped_with_errors() {
+        let mut lexer = Lexer::new("a \u{0007} b");
+        let toks: Vec<_> = (&mut lexer).collect();
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn error_log_is_bounded() {
+        let junk: String = "\u{0001}".repeat(5000);
+        let mut lexer = Lexer::new(&junk);
+        while lexer.next_token().is_some() {}
+        assert!(lexer.errors().len() <= 1024);
+    }
+
+    #[test]
+    fn nuclear_packer_snippet_lexes() {
+        // Condensed from paper Fig. 4(b).
+        let src = r#"
+            getter = function(a){ return a; };
+            thiscopy = this;
+            doc = thiscopy[thiscopy["getter"]("document")];
+            evl = thiscopy["getter"]("ev #333366 al");
+            thiscopy[win["replace"](bgc,"")][evl["replace"](bgc, "")](payload);
+        "#;
+        let toks: Vec<_> = Lexer::new(src).collect();
+        assert!(toks.len() > 40);
+        assert!(toks.iter().any(|t| t.text == "\"ev #333366 al\""));
+    }
+
+    #[test]
+    fn rig_packer_snippet_lexes() {
+        // Condensed from paper Fig. 4(a).
+        let src = r#"
+            var buffer=""; var delim="y6";
+            function collect(text) { buffer += text; }
+            collect("47 y642y6100y6");
+            pieces = buffer.split(delim);
+            for (var i=0; i<pieces.length; i++) {
+                screlem.text += String.fromCharCode(pieces[i]);
+            }
+            document.body.appendChild(screlem);
+        "#;
+        let classes: Vec<_> = Lexer::new(src).map(|t| t.class).collect();
+        assert!(classes.contains(&TokenClass::Keyword));
+        assert!(classes.contains(&TokenClass::String));
+        assert!(classes.contains(&TokenClass::Number));
+    }
+}

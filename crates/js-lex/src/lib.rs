@@ -1,0 +1,99 @@
+//! # kizzle-js — JavaScript tokenization for the Kizzle signature compiler
+//!
+//! Kizzle (Stock, Livshits, Zorn — DSN 2016) abstracts every incoming
+//! JavaScript sample into a stream of *token classes* before clustering.
+//! This removes the superficial noise exploit-kit packers introduce
+//! (randomized identifiers, rotated string delimiters, renamed helpers)
+//! while preserving the structural shape of the program, which is what the
+//! clustering and signature-generation stages operate on (paper §III-A,
+//! Fig. 8).
+//!
+//! This crate provides:
+//!
+//! * [`Lexer`] — a scanner for the JavaScript subset exploit-kit landing
+//!   pages use (strings, numbers, identifiers/keywords, punctuation,
+//!   comments, regex literals), producing concrete [`Token`]s.
+//! * [`TokenClass`] — the abstract token alphabet used by the clustering
+//!   stage.
+//! * [`TokenStream`] — a tokenized sample: parallel vectors of abstract
+//!   classes (for edit-distance clustering) and concrete lexemes (for
+//!   signature generation).
+//! * [`html`] — extraction of inline `<script>` bodies from complete HTML
+//!   documents, because a Kizzle *sample* is a full HTML page.
+//!
+//! ## Example
+//!
+//! ```
+//! use kizzle_js::{tokenize, TokenClass};
+//!
+//! let stream = tokenize(r#"var Euur1V = this["l9D"]("ev#333399al");"#);
+//! let classes: Vec<TokenClass> = stream.classes().to_vec();
+//! assert_eq!(classes[0], TokenClass::Keyword);      // var
+//! assert_eq!(classes[1], TokenClass::Identifier);   // Euur1V
+//! assert_eq!(classes[2], TokenClass::Punctuation);  // =
+//! assert!(classes.contains(&TokenClass::String));   // "l9D"
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod html;
+pub mod lexer;
+pub mod stream;
+pub mod token;
+
+pub use html::{extract_scripts, tokenize_document};
+pub use lexer::{LexError, Lexer};
+pub use stream::TokenStream;
+pub use token::{Token, TokenClass};
+
+/// Tokenize a JavaScript source string into a [`TokenStream`].
+///
+/// Unlexable bytes are skipped (the Kizzle pipeline must be robust to the
+/// malformed and adversarial input found in grayware); this function never
+/// fails. Use [`Lexer`] directly if you need error reporting.
+///
+/// # Examples
+///
+/// ```
+/// let stream = kizzle_js::tokenize("var x = 1 + 2;");
+/// assert_eq!(stream.len(), 7);
+/// ```
+pub fn tokenize(source: &str) -> TokenStream {
+    Lexer::new(source).into_stream()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_is_lenient_on_garbage() {
+        let stream = tokenize("var x = \u{0001}\u{0002} 1;");
+        assert!(stream.len() >= 5);
+    }
+
+    #[test]
+    fn paper_figure_8_tokenization() {
+        // Fig. 8 of the paper tokenizes:
+        //   var Euur1V = this["l9D"]("ev#333399al")
+        let stream = tokenize(r#"var Euur1V = this["l9D"]("ev#333399al")"#);
+        let got: Vec<TokenClass> = stream.classes().to_vec();
+        use TokenClass::*;
+        assert_eq!(
+            got,
+            vec![
+                Keyword,     // var
+                Identifier,  // Euur1V
+                Punctuation, // =
+                Identifier,  // this
+                Punctuation, // [
+                String,      // "l9D"
+                Punctuation, // ]
+                Punctuation, // (
+                String,      // "ev#333399al"
+                Punctuation, // )
+            ]
+        );
+    }
+}

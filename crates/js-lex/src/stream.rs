@@ -1,0 +1,240 @@
+//! Tokenized samples: the unit the clustering and signature stages consume.
+
+use crate::token::{Token, TokenClass};
+use std::fmt;
+
+/// A tokenized JavaScript sample.
+///
+/// Keeps the concrete [`Token`]s alongside a pre-computed vector of abstract
+/// [`TokenClass`]es so the clustering stage (which compares millions of token
+/// pairs) never has to re-derive the abstraction.
+///
+/// # Examples
+///
+/// ```
+/// let stream = kizzle_js::tokenize("f('x')");
+/// assert_eq!(stream.len(), 4);
+/// assert_eq!(stream.class_codes().len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TokenStream {
+    tokens: Vec<Token>,
+    classes: Vec<TokenClass>,
+}
+
+impl TokenStream {
+    /// Build a stream from already-scanned tokens.
+    #[must_use]
+    pub fn from_tokens(tokens: Vec<Token>) -> Self {
+        let classes = tokens.iter().map(|t| t.class).collect();
+        TokenStream { tokens, classes }
+    }
+
+    /// Number of tokens in the sample.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True if the sample contained no tokens.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// The concrete tokens.
+    #[must_use]
+    pub fn tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+
+    /// The abstract token classes, parallel to [`TokenStream::tokens`].
+    #[must_use]
+    pub fn classes(&self) -> &[TokenClass] {
+        &self.classes
+    }
+
+    /// The abstract token classes as a compact byte string, suitable for
+    /// fast edit-distance computation.
+    #[must_use]
+    pub fn class_codes(&self) -> Vec<u8> {
+        self.classes.iter().map(|c| c.code()).collect()
+    }
+
+    /// Iterate over the concrete tokens.
+    pub fn iter(&self) -> std::slice::Iter<'_, Token> {
+        self.tokens.iter()
+    }
+
+    /// Concrete texts of all tokens, in order.
+    #[must_use]
+    pub fn texts(&self) -> Vec<&str> {
+        self.tokens.iter().map(|t| t.text.as_str()).collect()
+    }
+
+    /// Reconstruct an approximation of the source by joining token texts
+    /// with single spaces. Used for diagnostics and winnowing of unpacked
+    /// payloads, where original whitespace is irrelevant.
+    #[must_use]
+    pub fn joined(&self) -> String {
+        let mut out = String::with_capacity(self.tokens.iter().map(|t| t.text.len() + 1).sum());
+        for (i, t) in self.tokens.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(&t.text);
+        }
+        out
+    }
+
+    /// A sub-stream covering tokens `[start, start + len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    #[must_use]
+    pub fn slice(&self, start: usize, len: usize) -> TokenStream {
+        TokenStream::from_tokens(self.tokens[start..start + len].to_vec())
+    }
+
+    /// Render the stream as the two-column table used in the paper's Fig. 8.
+    #[must_use]
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Token            Class\n");
+        for t in &self.tokens {
+            let text = if t.text.len() > 16 {
+                format!("{}…", &t.text[..t.text.char_indices().take(15).last().map_or(0, |(i, c)| i + c.len_utf8())])
+            } else {
+                t.text.clone()
+            };
+            out.push_str(&format!("{text:<16} {}\n", t.class));
+        }
+        out
+    }
+}
+
+impl FromIterator<Token> for TokenStream {
+    fn from_iter<I: IntoIterator<Item = Token>>(iter: I) -> Self {
+        TokenStream::from_tokens(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Token> for TokenStream {
+    fn extend<I: IntoIterator<Item = Token>>(&mut self, iter: I) {
+        for tok in iter {
+            self.classes.push(tok.class);
+            self.tokens.push(tok);
+        }
+    }
+}
+
+impl IntoIterator for TokenStream {
+    type Item = Token;
+    type IntoIter = std::vec::IntoIter<Token>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.tokens.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a TokenStream {
+    type Item = &'a Token;
+    type IntoIter = std::slice::Iter<'a, Token>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.tokens.iter()
+    }
+}
+
+impl fmt::Display for TokenStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.joined())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize;
+
+    #[test]
+    fn parallel_vectors_stay_in_sync() {
+        let s = tokenize("var a = f(1, 'x');");
+        assert_eq!(s.tokens().len(), s.classes().len());
+        for (t, c) in s.tokens().iter().zip(s.classes()) {
+            assert_eq!(t.class, *c);
+        }
+    }
+
+    #[test]
+    fn class_codes_match_classes() {
+        let s = tokenize("a+1");
+        assert_eq!(
+            s.class_codes(),
+            s.classes().iter().map(|c| c.code()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn joined_roundtrip_token_count() {
+        let s = tokenize("var x = 'abc' + 1;");
+        let rejoined = tokenize(&s.joined());
+        assert_eq!(s.classes(), rejoined.classes());
+    }
+
+    #[test]
+    fn slice_extracts_window() {
+        let s = tokenize("a b c d e");
+        let w = s.slice(1, 3);
+        assert_eq!(w.texts(), vec!["b", "c", "d"]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn slice_out_of_bounds_panics() {
+        let s = tokenize("a b");
+        let _ = s.slice(1, 5);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let s = tokenize("a b");
+        let mut collected: TokenStream = s.clone().into_iter().collect();
+        collected.extend(tokenize("c").into_iter());
+        assert_eq!(collected.texts(), vec!["a", "b", "c"]);
+        assert_eq!(collected.classes().len(), 3);
+    }
+
+    #[test]
+    fn table_rendering_contains_classes() {
+        let s = tokenize(r#"var Euur1V = this["l9D"]"#);
+        let table = s.to_table();
+        assert!(table.contains("var"));
+        assert!(table.contains("Keyword"));
+        assert!(table.contains("Identifier"));
+        assert!(table.contains("String"));
+    }
+
+    #[test]
+    fn table_truncates_very_long_tokens() {
+        let long = format!("\"{}\"", "a".repeat(100));
+        let s = tokenize(&long);
+        let table = s.to_table();
+        assert!(table.contains('…'));
+    }
+
+    #[test]
+    fn display_is_joined() {
+        let s = tokenize("a = 1");
+        assert_eq!(s.to_string(), "a = 1");
+    }
+
+    #[test]
+    fn empty_stream() {
+        let s = tokenize("   /* only a comment */ ");
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(s.joined().is_empty());
+    }
+}

@@ -1,0 +1,241 @@
+//! Concrete tokens and the abstract token-class alphabet.
+
+use std::fmt;
+
+/// The abstract token alphabet used by Kizzle's clustering stage.
+///
+/// The paper abstracts concrete JavaScript into `Keyword`, `Identifier`,
+/// `Punctuation` and `String` (Fig. 8). We additionally keep `Number` and
+/// `Regex` as distinct classes: exploit-kit packers lean heavily on numeric
+/// charcode payloads (RIG) and `RegExp` replacement (Sweet Orange), and
+/// keeping them distinct from identifiers sharpens both the clustering
+/// distance and the generated signatures without reintroducing
+/// attacker-controlled noise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum TokenClass {
+    /// A reserved word (`var`, `function`, `return`, ...).
+    Keyword,
+    /// Any non-keyword identifier, including `this`, property names used
+    /// bare, and unicode identifiers.
+    Identifier,
+    /// Single- or multi-character operators, brackets and separators.
+    Punctuation,
+    /// A string literal (single, double quoted or template literal).
+    String,
+    /// A numeric literal (decimal, hex, octal, float, exponent).
+    Number,
+    /// A regular-expression literal.
+    Regex,
+}
+
+impl TokenClass {
+    /// All token classes, in their canonical order.
+    pub const ALL: [TokenClass; 6] = [
+        TokenClass::Keyword,
+        TokenClass::Identifier,
+        TokenClass::Punctuation,
+        TokenClass::String,
+        TokenClass::Number,
+        TokenClass::Regex,
+    ];
+
+    /// A one-byte code for the class, used when a token string must be
+    /// embedded into a compact `Vec<u8>` (e.g. for fast edit distance).
+    #[must_use]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// The inverse of [`TokenClass::code`].
+    ///
+    /// Returns `None` for byte values outside the alphabet.
+    #[must_use]
+    pub fn from_code(code: u8) -> Option<Self> {
+        Self::ALL.get(code as usize).copied()
+    }
+
+    /// A short, stable display name matching the paper's Fig. 8 vocabulary.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TokenClass::Keyword => "Keyword",
+            TokenClass::Identifier => "Identifier",
+            TokenClass::Punctuation => "Punctuation",
+            TokenClass::String => "String",
+            TokenClass::Number => "Number",
+            TokenClass::Regex => "Regex",
+        }
+    }
+}
+
+impl fmt::Display for TokenClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A concrete token: its abstract class, its exact source text, and where it
+/// was found.
+///
+/// Signature generation needs the concrete text (`"ev#333399al"`), while the
+/// clustering stage only looks at [`Token::class`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Token {
+    /// Abstract class of the token.
+    pub class: TokenClass,
+    /// The exact source text of the token, including string quotes.
+    pub text: std::string::String,
+    /// Byte offset of the first character in the original source.
+    pub offset: usize,
+}
+
+impl Token {
+    /// Create a new token.
+    #[must_use]
+    pub fn new(class: TokenClass, text: impl Into<std::string::String>, offset: usize) -> Self {
+        Token {
+            class,
+            text: text.into(),
+            offset,
+        }
+    }
+
+    /// The token's text with surrounding string quotes removed.
+    ///
+    /// AV engines normalize away quotation marks before matching (paper
+    /// §III-C), so signature generation works on the unquoted value.
+    #[must_use]
+    pub fn unquoted(&self) -> &str {
+        if self.class == TokenClass::String && self.text.len() >= 2 {
+            let bytes = self.text.as_bytes();
+            let first = bytes[0];
+            let last = bytes[self.text.len() - 1];
+            if (first == b'"' || first == b'\'' || first == b'`') && first == last {
+                return &self.text[1..self.text.len() - 1];
+            }
+        }
+        &self.text
+    }
+
+    /// Length of the token's source text in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// True if the token text is empty (never produced by the lexer, but
+    /// kept for completeness of the API).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.text, self.class)
+    }
+}
+
+/// The set of JavaScript reserved words recognized as [`TokenClass::Keyword`].
+///
+/// This list covers ES5 plus the handful of ES6 keywords observed in the
+/// wild in exploit-kit code; `this` is deliberately *not* included because
+/// the paper's Fig. 8 classifies it as an identifier.
+pub const KEYWORDS: &[&str] = &[
+    "break",
+    "case",
+    "catch",
+    "class",
+    "const",
+    "continue",
+    "debugger",
+    "default",
+    "delete",
+    "do",
+    "else",
+    "export",
+    "extends",
+    "finally",
+    "for",
+    "function",
+    "if",
+    "import",
+    "in",
+    "instanceof",
+    "let",
+    "new",
+    "return",
+    "super",
+    "switch",
+    "throw",
+    "try",
+    "typeof",
+    "var",
+    "void",
+    "while",
+    "with",
+    "yield",
+];
+
+/// Returns true if `word` is a JavaScript reserved word.
+#[must_use]
+pub fn is_keyword(word: &str) -> bool {
+    KEYWORDS.binary_search(&word).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_table_is_sorted_for_binary_search() {
+        let mut sorted = KEYWORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, KEYWORDS, "KEYWORDS must stay sorted");
+    }
+
+    #[test]
+    fn keyword_lookup() {
+        assert!(is_keyword("var"));
+        assert!(is_keyword("function"));
+        assert!(is_keyword("new"));
+        assert!(!is_keyword("this"), "paper treats `this` as Identifier");
+        assert!(!is_keyword("eval"));
+        assert!(!is_keyword("document"));
+    }
+
+    #[test]
+    fn class_codes_roundtrip() {
+        for class in TokenClass::ALL {
+            assert_eq!(TokenClass::from_code(class.code()), Some(class));
+        }
+        assert_eq!(TokenClass::from_code(200), None);
+    }
+
+    #[test]
+    fn unquoted_strips_matching_quotes_only() {
+        let t = Token::new(TokenClass::String, "\"l9D\"", 0);
+        assert_eq!(t.unquoted(), "l9D");
+        let t = Token::new(TokenClass::String, "'x'", 0);
+        assert_eq!(t.unquoted(), "x");
+        let t = Token::new(TokenClass::Identifier, "\"notastring\"", 0);
+        assert_eq!(t.unquoted(), "\"notastring\"");
+        let t = Token::new(TokenClass::String, "\"mismatch'", 0);
+        assert_eq!(t.unquoted(), "\"mismatch'");
+    }
+
+    #[test]
+    fn display_matches_figure_8_layout() {
+        let t = Token::new(TokenClass::Keyword, "var", 0);
+        assert_eq!(t.to_string(), "var Keyword");
+    }
+
+    #[test]
+    fn token_len_and_empty() {
+        let t = Token::new(TokenClass::Identifier, "abc", 3);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+}

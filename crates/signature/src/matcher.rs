@@ -1,0 +1,235 @@
+//! A deployable set of labeled signatures.
+//!
+//! This is the consumer side of Kizzle: the signatures the compiler emits
+//! are deployed to a scanner (browser, desktop AV, or CDN-side, per the
+//! paper's deployment-channel discussion) which matches incoming documents
+//! against the active set.
+
+use crate::pattern::Signature;
+use kizzle_js::{tokenize_document, TokenStream};
+use serde::Serialize;
+use std::fmt;
+
+/// A signature together with the label of the family it detects.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct LabeledSignature {
+    /// Family label (e.g. `"Nuclear"`).
+    pub label: String,
+    /// The structural signature.
+    pub signature: Signature,
+}
+
+/// A collection of labeled signatures with scan helpers.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct SignatureSet {
+    signatures: Vec<LabeledSignature>,
+}
+
+impl SignatureSet {
+    /// Create an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        SignatureSet::default()
+    }
+
+    /// Number of signatures in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// True if the set contains no signatures.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.signatures.is_empty()
+    }
+
+    /// Add a signature under a family label. If an identical signature is
+    /// already present under the same label, the set is unchanged and
+    /// `false` is returned.
+    pub fn add(&mut self, label: impl Into<String>, signature: Signature) -> bool {
+        let label = label.into();
+        let duplicate = self
+            .signatures
+            .iter()
+            .any(|existing| existing.label == label && existing.signature.elements == signature.elements);
+        if duplicate {
+            return false;
+        }
+        self.signatures.push(LabeledSignature { label, signature });
+        true
+    }
+
+    /// Iterate over the labeled signatures.
+    pub fn iter(&self) -> std::slice::Iter<'_, LabeledSignature> {
+        self.signatures.iter()
+    }
+
+    /// Signatures carrying a specific label.
+    #[must_use]
+    pub fn for_label(&self, label: &str) -> Vec<&LabeledSignature> {
+        self.signatures.iter().filter(|s| s.label == label).collect()
+    }
+
+    /// Scan an already tokenized sample; returns the label of the first
+    /// matching signature.
+    #[must_use]
+    pub fn scan_stream(&self, stream: &TokenStream) -> Option<&LabeledSignature> {
+        self.signatures.iter().find(|s| s.signature.matches_stream(stream))
+    }
+
+    /// Scan a raw HTML/JavaScript document.
+    #[must_use]
+    pub fn scan_document(&self, document: &str) -> Option<&LabeledSignature> {
+        self.scan_stream(&tokenize_document(document))
+    }
+
+    /// All labels with at least one signature, deduplicated, in insertion
+    /// order.
+    #[must_use]
+    pub fn labels(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for sig in &self.signatures {
+            if !out.contains(&sig.label.as_str()) {
+                out.push(&sig.label);
+            }
+        }
+        out
+    }
+}
+
+impl Extend<LabeledSignature> for SignatureSet {
+    fn extend<T: IntoIterator<Item = LabeledSignature>>(&mut self, iter: T) {
+        for item in iter {
+            self.add(item.label, item.signature);
+        }
+    }
+}
+
+impl fmt::Display for SignatureSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "SignatureSet ({} signatures)", self.signatures.len())?;
+        for sig in &self.signatures {
+            writeln!(f, "  [{}] {}", sig.label, sig.signature.name)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate_signature;
+    use crate::pattern::SignatureConfig;
+    use kizzle_js::tokenize;
+
+    fn nuclear_like_signature() -> Signature {
+        let samples = vec![
+            tokenize(r#"Euur1V = this["l9D"]("ev#333399al");"#),
+            tokenize(r#"jkb0hA = this["uqA"]("ev#ccff00al");"#),
+        ];
+        generate_signature(
+            "NEK.sig1",
+            &samples,
+            &SignatureConfig {
+                min_tokens: 4,
+                ..SignatureConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn rig_like_signature() -> Signature {
+        let samples = vec![
+            tokenize(r#"pieces = buffer.split(delim); el.text += String.fromCharCode(pieces[i]);"#),
+            tokenize(r#"parts = acc.split(dl); el.text += String.fromCharCode(parts[j]);"#),
+        ];
+        generate_signature(
+            "RIG.sig1",
+            &samples,
+            &SignatureConfig {
+                min_tokens: 4,
+                ..SignatureConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn scan_returns_the_matching_label() {
+        let mut set = SignatureSet::new();
+        set.add("Nuclear", nuclear_like_signature());
+        set.add("RIG", rig_like_signature());
+        assert_eq!(set.len(), 2);
+
+        let hit = set
+            .scan_document(r#"<script>zZzQ9p = this["abc"]("ev#000000al");</script>"#)
+            .expect("should match Nuclear");
+        assert_eq!(hit.label, "Nuclear");
+
+        let hit = set
+            .scan_document(r#"<script>piece = buf.split(del); el.text += String.fromCharCode(piece[k]);</script>"#)
+            .expect("should match RIG");
+        assert_eq!(hit.label, "RIG");
+
+        assert!(set
+            .scan_document("<script>function benign() { return 42; }</script>")
+            .is_none());
+    }
+
+    #[test]
+    fn duplicate_signatures_are_not_added_twice() {
+        let mut set = SignatureSet::new();
+        assert!(set.add("Nuclear", nuclear_like_signature()));
+        assert!(!set.add("Nuclear", nuclear_like_signature()));
+        assert_eq!(set.len(), 1);
+        // The same elements under a different label are allowed (families
+        // borrow code from each other).
+        assert!(set.add("RIG", nuclear_like_signature()));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn labels_and_for_label() {
+        let mut set = SignatureSet::new();
+        set.add("Nuclear", nuclear_like_signature());
+        set.add("RIG", rig_like_signature());
+        set.add("Nuclear", rig_like_signature());
+        assert_eq!(set.labels(), vec!["Nuclear", "RIG"]);
+        assert_eq!(set.for_label("Nuclear").len(), 2);
+        assert_eq!(set.for_label("Angler").len(), 0);
+    }
+
+    #[test]
+    fn empty_set_matches_nothing() {
+        let set = SignatureSet::new();
+        assert!(set.is_empty());
+        assert!(set.scan_document("<script>anything()</script>").is_none());
+    }
+
+    #[test]
+    fn extend_deduplicates() {
+        let mut set = SignatureSet::new();
+        let items = vec![
+            LabeledSignature {
+                label: "Nuclear".to_string(),
+                signature: nuclear_like_signature(),
+            },
+            LabeledSignature {
+                label: "Nuclear".to_string(),
+                signature: nuclear_like_signature(),
+            },
+        ];
+        set.extend(items);
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn display_lists_signatures() {
+        let mut set = SignatureSet::new();
+        set.add("Nuclear", nuclear_like_signature());
+        let text = set.to_string();
+        assert!(text.contains("1 signatures"));
+        assert!(text.contains("NEK.sig1"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for signature generation and matching.
+
+use kizzle_js::{tokenize, TokenStream};
+use kizzle_signature::generate::{find_common_window, generate_signature};
+use kizzle_signature::{CharClass, SignatureConfig};
+use proptest::prelude::*;
+
+/// Generate a cluster of "packed variants": a fixed structural skeleton with
+/// randomized identifiers and string payloads, the same shape the corpus
+/// packers produce.
+fn variant(ids: &[String], payload: &str) -> String {
+    format!(
+        r#"var {a} = ""; var {b} = "{payload}"; {a} = {b}.split("{sep}"); doc[{a}]({b});"#,
+        a = ids[0],
+        b = ids[1],
+        sep = "zz",
+        payload = payload,
+    )
+}
+
+fn ident_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9]{2,7}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A signature generated from a cluster matches every sample of that
+    /// cluster (the generator and matcher share the same token model, so
+    /// this must hold unconditionally).
+    #[test]
+    fn generated_signature_matches_its_own_cluster(
+        id_sets in prop::collection::vec(prop::collection::vec(ident_strategy(), 2), 2..6),
+        payloads in prop::collection::vec("[0-9]{8,20}", 2..6),
+    ) {
+        let n = id_sets.len().min(payloads.len());
+        let samples: Vec<TokenStream> = (0..n)
+            .map(|i| tokenize(&variant(&id_sets[i], &payloads[i])))
+            .collect();
+        let config = SignatureConfig { min_tokens: 4, ..SignatureConfig::default() };
+        let sig = generate_signature("prop.sig", &samples, &config).expect("signature");
+        for (i, sample) in samples.iter().enumerate() {
+            prop_assert!(sig.matches_stream(sample), "sample {i} not matched");
+        }
+    }
+
+    /// The common window never exceeds the configured cap or the shortest
+    /// sample, and its reported start offsets are valid in every sample.
+    #[test]
+    fn common_window_is_well_formed(
+        bodies in prop::collection::vec("[a-z]{1,6}( = [0-9]{1,4};)?", 3..20),
+        extra in "[a-z]{1,6}",
+        max_tokens in 4usize..60,
+    ) {
+        let base = bodies.join(" ");
+        let samples = vec![
+            tokenize(&format!("{base} var {extra} = 1;")),
+            tokenize(&base),
+        ];
+        let refs: Vec<&TokenStream> = samples.iter().collect();
+        let config = SignatureConfig { max_tokens, ..SignatureConfig::default() };
+        if let Some(window) = find_common_window(&refs, &config) {
+            prop_assert!(window.len <= max_tokens);
+            for (sample, start) in samples.iter().zip(&window.starts) {
+                prop_assert!(start + window.len <= sample.len());
+            }
+            // The window's class sequence is identical across samples.
+            let first = samples[0].class_codes()[window.starts[0]..window.starts[0] + window.len].to_vec();
+            for (sample, start) in samples.iter().zip(&window.starts) {
+                prop_assert_eq!(
+                    &sample.class_codes()[*start..*start + window.len],
+                    first.as_slice()
+                );
+            }
+        }
+    }
+
+    /// Character-class inference always returns a class that accepts every
+    /// input value, and the chosen class is one of the predefined templates.
+    #[test]
+    fn char_class_inference_is_sound(values in prop::collection::vec("[ -~]{1,12}", 1..8)) {
+        let refs: Vec<&str> = values.iter().map(String::as_str).collect();
+        let class = CharClass::infer(refs.iter().copied()).expect("non-empty input");
+        for v in &refs {
+            prop_assert!(class.accepts_all(v), "{class:?} rejects {v:?}");
+        }
+        prop_assert!(CharClass::TEMPLATES.contains(&class));
+    }
+
+    /// Rendering never panics and its length is stable (the Fig. 12 metric
+    /// is well-defined).
+    #[test]
+    fn rendering_is_stable(
+        ids in prop::collection::vec(ident_strategy(), 2),
+        payload in "[0-9]{8,16}",
+    ) {
+        let samples = vec![tokenize(&variant(&ids, &payload))];
+        let config = SignatureConfig { min_tokens: 4, ..SignatureConfig::default() };
+        let sig = generate_signature("render.sig", &samples, &config).expect("signature");
+        prop_assert_eq!(sig.render(), sig.render());
+        prop_assert_eq!(sig.rendered_len(), sig.render().chars().count());
+        prop_assert!(sig.rendered_len() > 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Unpacker for the Angler packer.
+//!
+//! Angler scatters the hex-encoded payload over several chunk variables,
+//! concatenates them at runtime and decodes two hex digits at a time. The
+//! unpacker gathers the hex chunk literals in source order and performs the
+//! same decode statically.
+
+use crate::literals::string_literals;
+use crate::{Result, UnpackError};
+
+/// Minimum length for a literal to be considered a hex chunk (filters out
+/// short decorative strings that happen to be hex, like `"ad"`).
+const MIN_CHUNK_LEN: usize = 8;
+
+/// Unpack an Angler-packed script.
+///
+/// # Errors
+///
+/// Returns [`UnpackError::MissingComponent`] when no hex chunks are present
+/// and [`UnpackError::MalformedEncoding`] when the concatenated chunks are
+/// not valid hex-encoded text.
+pub fn unpack(js: &str) -> Result<String> {
+    let hex: String = string_literals(js)
+        .iter()
+        .filter(|lit| is_hex_chunk(&lit.value))
+        .map(|lit| lit.value.as_str())
+        .collect();
+    if hex.is_empty() {
+        return Err(UnpackError::MissingComponent("Angler hex chunks"));
+    }
+    decode_hex(&hex)
+        .ok_or_else(|| UnpackError::MalformedEncoding("Angler hex payload invalid".to_string()))
+}
+
+fn is_hex_chunk(value: &str) -> bool {
+    value.len() >= MIN_CHUNK_LEN
+        && value.len() % 2 == 0
+        && value
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+}
+
+fn decode_hex(hex: &str) -> Option<String> {
+    if hex.len() % 2 != 0 {
+        return None;
+    }
+    let mut bytes = Vec::with_capacity(hex.len() / 2);
+    for pair in hex.as_bytes().chunks_exact(2) {
+        let s = std::str::from_utf8(pair).ok()?;
+        bytes.push(u8::from_str_radix(s, 16).ok()?);
+    }
+    String::from_utf8(bytes).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kizzle_corpus::{KitFamily, KitModel, SimDate};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn roundtrips_generated_angler_samples() {
+        let model = KitModel::new(KitFamily::Angler);
+        for (day, seed) in [(5u32, 1u64), (13, 2), (25, 3)] {
+            let date = SimDate::new(2014, 8, day);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let html = model.generate_sample(date, &mut rng);
+            let unpacked = unpack(&crate::script_text(&html)).unwrap();
+            assert_eq!(unpacked, model.reference_payload(date), "8/{day}");
+        }
+    }
+
+    #[test]
+    fn hand_written_chunked_hex_decodes() {
+        let payload = "function probe() { return navigator.userAgent; } probe();";
+        let hex: String = payload.bytes().map(|b| format!("{b:02x}")).collect();
+        let (a, b) = hex.split_at(hex.len() / 2 - (hex.len() / 2) % 2);
+        let js = format!(
+            "var q1 = \"{a}\";\nvar q2 = \"{b}\";\nvar all = q1 + q2;\nwindow[\"ev\" + \"al\"](all);"
+        );
+        assert_eq!(unpack(&js).unwrap(), payload);
+    }
+
+    #[test]
+    fn short_hex_lookalikes_are_ignored() {
+        let err = unpack("var color = \"ffeedd\"; var x = 1;").unwrap_err();
+        assert_eq!(err, UnpackError::MissingComponent("Angler hex chunks"));
+    }
+
+    #[test]
+    fn invalid_utf8_is_reported_as_malformed() {
+        // 0xff bytes are not valid UTF-8 text.
+        let js = "var q = \"ffffffffffffffff\"; var r = \"ffffffffffffffff\";";
+        let err = unpack(js).unwrap_err();
+        assert!(matches!(err, UnpackError::MalformedEncoding(_)));
+    }
+
+    #[test]
+    fn hex_chunk_predicate() {
+        assert!(is_hex_chunk("00ff12ab"));
+        assert!(!is_hex_chunk("00ff12a"), "odd length");
+        assert!(!is_hex_chunk("00FF12AB"), "uppercase is not produced by the packer");
+        assert!(!is_hex_chunk("short"));
+    }
+}

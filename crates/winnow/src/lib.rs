@@ -1,0 +1,89 @@
+//! # kizzle-winnow — winnowing fingerprints for cluster labeling
+//!
+//! Kizzle labels a cluster by unpacking a prototype sample and comparing it
+//! against a corpus of known, unpacked exploit-kit payloads using
+//! *winnowing* (Schleimer, Wilkerson, Aiken — SIGMOD 2003), the local
+//! document-fingerprinting algorithm originally built for plagiarism
+//! detection (paper §III-B). If the winnow-histogram overlap with a known
+//! family exceeds a family-specific threshold, the cluster inherits that
+//! family's label.
+//!
+//! The algorithm:
+//!
+//! 1. normalize the document (drop whitespace, lower-case),
+//! 2. hash every `k`-gram with a rolling hash,
+//! 3. slide a window of `w` consecutive k-gram hashes over the document and
+//!    record the minimum hash of each window (right-most minimum on ties),
+//! 4. the selected hashes form the document's fingerprint; two documents are
+//!    compared by the overlap of their fingerprint multisets.
+//!
+//! Winnowing guarantees that any shared substring of length at least
+//! `w + k - 1` produces at least one shared fingerprint, which is exactly the
+//! property Kizzle relies on: the *unpacked* body of an exploit kit barely
+//! changes between variants, so long shared regions persist even when the
+//! packer is rewritten daily.
+//!
+//! ## Example
+//!
+//! ```
+//! use kizzle_winnow::{WinnowConfig, Fingerprint};
+//!
+//! let cfg = WinnowConfig::default();
+//! let a = Fingerprint::of_text("var payload = unpack(document, key); run(payload);", &cfg);
+//! let b = Fingerprint::of_text("var payload = unpack(document, key); run(payload); // v2", &cfg);
+//! assert!(a.overlap(&b) > 0.8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fingerprint;
+pub mod hash;
+
+pub use fingerprint::{Fingerprint, WinnowConfig};
+pub use hash::{kgram_hashes, rolling_hashes};
+
+/// Convenience: similarity (containment of `a` in `b`) of two texts using
+/// the default configuration.
+///
+/// # Examples
+///
+/// ```
+/// let sim = kizzle_winnow::similarity(
+///     "function detect(){ return navigator.plugins.length; }",
+///     "function detect(){ return navigator.plugins.length; } extra();",
+/// );
+/// assert!(sim > 0.7);
+/// ```
+#[must_use]
+pub fn similarity(a: &str, b: &str) -> f64 {
+    let cfg = WinnowConfig::default();
+    Fingerprint::of_text(a, &cfg).overlap(&Fingerprint::of_text(b, &cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_texts_have_full_similarity() {
+        let t = "var a = document.createElement('script'); a.text = payload;";
+        assert!((similarity(t, t) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unrelated_texts_have_low_similarity() {
+        let a = "for (var i = 0; i < pieces.length; i++) { s += String.fromCharCode(pieces[i]); }";
+        let b = "function isPlainObject(c) { return this.rgx.any.test(this.toString.call(c)); }";
+        assert!(similarity(a, b) < 0.3);
+    }
+
+    #[test]
+    fn appending_code_keeps_high_containment() {
+        // Models the paper's observation that kits evolve by *appending*
+        // exploits: the old body stays contained in the new one.
+        let v1 = "function exploit_cve_2013_2551(){ spray(); trigger(); } exploit_cve_2013_2551();";
+        let v2 = format!("{v1} function exploit_cve_2014_0322(){{ spray2(); trigger2(); }}");
+        assert!(similarity(v1, &v2) > 0.85);
+    }
+}

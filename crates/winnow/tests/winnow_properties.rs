@@ -1,0 +1,70 @@
+//! Property-based tests for winnowing fingerprints.
+
+use kizzle_winnow::{kgram_hashes, rolling_hashes, Fingerprint, WinnowConfig};
+use proptest::prelude::*;
+
+proptest! {
+    /// The rolling hash always agrees with the naive k-gram hash.
+    #[test]
+    fn rolling_equals_naive(data in prop::collection::vec(any::<u8>(), 0..300), k in 1usize..16) {
+        prop_assert_eq!(rolling_hashes(&data, k), kgram_hashes(&data, k));
+    }
+
+    /// Overlap and Jaccard are always within [0, 1].
+    #[test]
+    fn similarity_bounded(a in "[ -~]{0,300}", b in "[ -~]{0,300}") {
+        let cfg = WinnowConfig::new(5, 4);
+        let fa = Fingerprint::of_text(&a, &cfg);
+        let fb = Fingerprint::of_text(&b, &cfg);
+        let o = fa.overlap(&fb);
+        let j = fa.jaccard(&fb);
+        prop_assert!((0.0..=1.0).contains(&o));
+        prop_assert!((0.0..=1.0).contains(&j));
+    }
+
+    /// Jaccard similarity is symmetric; overlap of a document with itself is 1
+    /// whenever the document is long enough to have fingerprints.
+    #[test]
+    fn jaccard_symmetric_and_self_overlap(a in "[ -~]{0,300}", b in "[ -~]{0,300}") {
+        let cfg = WinnowConfig::new(5, 4);
+        let fa = Fingerprint::of_text(&a, &cfg);
+        let fb = Fingerprint::of_text(&b, &cfg);
+        prop_assert!((fa.jaccard(&fb) - fb.jaccard(&fa)).abs() < 1e-12);
+        if !fa.is_empty() {
+            prop_assert!((fa.overlap(&fa) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// Winnowing guarantee: documents sharing a substring of at least
+    /// `window + k - 1` non-whitespace characters share at least one
+    /// fingerprint.
+    #[test]
+    fn shared_substring_guarantee(
+        shared in "[a-z0-9]{30,60}",
+        prefix_a in "[A-Z]{0,20}",
+        prefix_b in "[0-9]{0,20}",
+    ) {
+        let cfg = WinnowConfig::new(8, 4); // guarantee threshold 11 << 30
+        let a = format!("{prefix_a}{shared}");
+        let b = format!("{prefix_b}{shared}");
+        let fa = Fingerprint::of_text(&a, &cfg);
+        let fb = Fingerprint::of_text(&b, &cfg);
+        prop_assert!(fa.intersection_size(&fb) >= 1);
+    }
+
+    /// Merging fingerprints adds their sizes and never decreases overlap of a
+    /// constituent with the merged reference.
+    #[test]
+    fn merge_monotone(a in "[ -~]{20,200}", b in "[ -~]{20,200}") {
+        let cfg = WinnowConfig::new(5, 4);
+        let fa = Fingerprint::of_text(&a, &cfg);
+        let fb = Fingerprint::of_text(&b, &cfg);
+        let mut merged = fa.clone();
+        merged.merge(&fb);
+        prop_assert_eq!(merged.len(), fa.len() + fb.len());
+        prop_assert!(fa.overlap(&merged) >= fa.overlap(&fb) - 1e-12);
+        if !fa.is_empty() {
+            prop_assert!((fa.overlap(&merged) - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! The adversarial cycle (paper Fig. 1): an attacker who mutates the kit
+//! whenever it is detected, against Kizzle's same-day signatures and a
+//! manually-maintained AV with a multi-day reaction delay.
+//!
+//! ```bash
+//! cargo run --release -p kizzle-eval --example adversarial_cycle
+//! ```
+
+use kizzle_corpus::KitFamily;
+use kizzle_eval::adversarial::run_cycle;
+
+fn main() {
+    for family in [KitFamily::Nuclear, KitFamily::Angler] {
+        let result = run_cycle(family, 6, 23);
+        println!("=== {family} ===");
+        println!(
+            "attacker mutations: {}; Kizzle wins {}/31 days, AV wins {}/31 days",
+            result.mutations,
+            result.kizzle_winning_days(),
+            result.av_winning_days()
+        );
+        for day in &result.days {
+            println!(
+                "  {:>6}  attacker mutated: {:3}   Kizzle {:5.1}%   AV {:5.1}%",
+                day.date.axis_label(),
+                if day.attacker_mutated { "yes" } else { "no" },
+                day.kizzle_detection * 100.0,
+                day.av_detection * 100.0
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,53 @@
+//! Signature inspection: generate one signature per kit from a small
+//! cluster of same-day packed variants and show how it generalizes (paper
+//! Figs. 9–10).
+//!
+//! ```bash
+//! cargo run --release -p kizzle-eval --example signature_inspect
+//! ```
+
+use kizzle::KizzleConfig;
+use kizzle_corpus::{KitFamily, KitModel, SimDate};
+use kizzle_signature::{generate_signature, Element};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let date = SimDate::new(2014, 8, 26); // Nuclear's UluN-delimiter era
+    let config = KizzleConfig::paper();
+
+    for family in KitFamily::ALL {
+        let model = KitModel::new(family);
+        // A "cluster": eight same-day variants with randomized identifiers.
+        let samples: Vec<_> = (0..8u64)
+            .map(|i| {
+                let mut rng = ChaCha8Rng::seed_from_u64(500 + i);
+                let stream = kizzle_js::tokenize_document(&model.generate_sample(date, &mut rng));
+                stream.slice(0, config.token_cap.min(stream.len()))
+            })
+            .collect();
+
+        match generate_signature(&format!("{}.sig1", family.short_code()), &samples, &config.signature) {
+            Ok(sig) => {
+                let literals = sig
+                    .elements
+                    .iter()
+                    .filter(|e| matches!(e, Element::Literal(_)))
+                    .count();
+                println!(
+                    "=== {family} ===\n  window: {} tokens ({} literal, {} generalized), rendered {} chars",
+                    sig.len(),
+                    literals,
+                    sig.len() - literals,
+                    sig.rendered_len()
+                );
+                let rendered = sig.render();
+                let preview: String = rendered.chars().take(300).collect();
+                println!("  {preview}…");
+                let matched = samples.iter().filter(|s| sig.matches_stream(s)).count();
+                println!("  matches {matched}/{} cluster members\n", samples.len());
+            }
+            Err(err) => println!("=== {family} ===\n  no signature: {err}\n"),
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Integration tests tied to specific quantitative claims of the paper.
+//! Absolute numbers differ (the substrate is synthetic and ~1000x smaller),
+//! but the *shape* of each claim must hold.
+
+use kizzle_corpus::evolution::{schedule, ChangeKind};
+use kizzle_corpus::{KitFamily, KitModel, SimDate};
+use kizzle_eval::similarity::{plugindetect_overlap_with_nuclear, similarity_over_time};
+use kizzle_eval::{EvalConfig, MonthlyEvaluation};
+use kizzle_winnow::WinnowConfig;
+
+/// §II-B: "we see a total of 13 small syntactic changes ... only one of
+/// these packer changes changed the semantics of the packer"; payload
+/// changes are appends only.
+#[test]
+fn nuclear_evolution_matches_the_figure_5_narrative() {
+    let events = schedule(KitFamily::Nuclear);
+    let syntactic = events
+        .iter()
+        .filter(|e| matches!(e.kind, ChangeKind::PackerMutation { .. }))
+        .count();
+    let semantic = events
+        .iter()
+        .filter(|e| e.kind == ChangeKind::PackerSemanticChange)
+        .count();
+    assert_eq!(syntactic, 13);
+    assert_eq!(semantic, 1);
+    // Payload evolution is append-only: the CVE set never shrinks.
+    let mut previous = 0usize;
+    for date in SimDate::evolution_start().range_inclusive(SimDate::evaluation_end()) {
+        let count = kizzle_corpus::KitState::on_date(KitFamily::Nuclear, date).cves.len();
+        assert!(count >= previous, "payload shrank on {date}");
+        previous = count;
+    }
+}
+
+/// Fig. 11: Nuclear and Angler stay within a few percent of full
+/// similarity; RIG is the outlier with roughly half of its body churning.
+#[test]
+fn unpacked_similarity_shape_matches_figure_11() {
+    let cfg = WinnowConfig::default();
+    let window = |family| {
+        similarity_over_time(
+            family,
+            SimDate::evaluation_start(),
+            SimDate::evaluation_end(),
+            &cfg,
+        )
+    };
+    let avg = |series: &[kizzle_eval::similarity::SimilarityPoint]| {
+        series.iter().map(|p| p.max_overlap_with_history).sum::<f64>() / series.len() as f64
+    };
+    let nuclear = avg(&window(KitFamily::Nuclear));
+    let angler = avg(&window(KitFamily::Angler));
+    let sweet = avg(&window(KitFamily::SweetOrange));
+    let rig = avg(&window(KitFamily::Rig));
+    assert!(nuclear > 0.95, "Nuclear {nuclear:.2}");
+    assert!(angler > 0.95, "Angler {angler:.2}");
+    assert!(sweet > 0.8, "Sweet Orange {sweet:.2}");
+    assert!(rig < nuclear && rig < angler && rig < sweet, "RIG must be the outlier");
+    assert!(rig < 0.85, "RIG {rig:.2} should churn far more than the others");
+}
+
+/// Fig. 15: the representative false positive is a PluginDetect file with a
+/// very high overlap against Nuclear.
+#[test]
+fn plugindetect_false_positive_case_has_high_overlap() {
+    let overlap = plugindetect_overlap_with_nuclear(3, &WinnowConfig::default());
+    assert!(overlap > 0.25, "overlap {overlap:.2}");
+}
+
+/// Fig. 2: every kit carries the CVE-2013-2551 IE exploit, and the exploit
+/// code is literally shared across kits (code borrowing).
+#[test]
+fn ie_exploit_is_shared_verbatim_across_kits() {
+    let date = SimDate::new(2014, 8, 20);
+    let bodies: Vec<String> = KitFamily::ALL
+        .iter()
+        .map(|f| KitModel::new(*f).reference_payload(date))
+        .collect();
+    for body in &bodies {
+        assert!(body.contains("triggerVmlUseAfterFree"));
+    }
+    // The shared block is byte-identical (not merely similar).
+    let block = kizzle_corpus::payload::IE_EXPLOIT_SNIPPET;
+    for body in &bodies {
+        assert!(body.contains(block));
+    }
+}
+
+/// Figs. 6/13/14 over a one-week window containing August 13: Kizzle's
+/// false positives stay near zero, its false negatives stay below the AV's,
+/// and the AV's Angler window is visible.
+#[test]
+fn weekly_evaluation_matches_the_headline_claims() {
+    let result = MonthlyEvaluation::new(EvalConfig::quick(17)).run();
+    let kizzle = result.kizzle_total();
+    let av = result.av_total();
+
+    // Headline: FP well under 1% at our scale (paper: < 0.03%), FN under the AV's.
+    assert!(kizzle.fp_rate() < 0.01, "Kizzle FP {:.4}", kizzle.fp_rate());
+    assert!(
+        kizzle.fn_rate() < av.fn_rate(),
+        "Kizzle FN {:.3} should beat AV FN {:.3}",
+        kizzle.fn_rate(),
+        av.fn_rate()
+    );
+
+    // The Angler window: at least one day where the AV misses most Angler
+    // samples while Kizzle does not.
+    let window_day = result.days.iter().any(|d| {
+        d.av_angler.malicious_total() > 0
+            && d.av_angler.fn_rate() > 0.5
+            && d.kizzle_angler.fn_rate() < 0.5
+    });
+    assert!(window_day, "no Angler window-of-vulnerability day found");
+
+    // Fig. 14 shape: Angler dominates the ground-truth counts.
+    let angler = result.family(KitFamily::Angler).ground_truth;
+    for family in [KitFamily::Nuclear, KitFamily::Rig, KitFamily::SweetOrange] {
+        assert!(angler >= result.family(family).ground_truth);
+    }
+}
