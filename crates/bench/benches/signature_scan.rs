@@ -1,0 +1,122 @@
+//! Anchored vs. linear signature-set scanning.
+//!
+//! Acceptance bar (ISSUE 1): with 500 deployed signatures, the anchored
+//! scan must beat the linear scan by ≥ 5× on non-matching documents. The
+//! anchored scan walks the document once and does hash lookups per token;
+//! the linear scan slides every signature across every token offset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kizzle_corpus::benign::{generate_benign, BenignKind};
+use kizzle_signature::{CharClass, Element, Signature, SignatureSet};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// A realistic packer-shaped signature with a unique long literal anchor,
+/// in the mold of the paper's Fig. 9.
+fn synthetic_signature(i: usize) -> Signature {
+    Signature::new(
+        format!("SYN.sig{i}"),
+        vec![
+            Element::Class {
+                class: CharClass::AlphaNum,
+                min_len: 5,
+                max_len: 8,
+            },
+            Element::Literal("=".to_string()),
+            Element::Literal(format!("decoder_{i:04}")),
+            Element::Literal("[".to_string()),
+            Element::Class {
+                class: CharClass::AlphaNum,
+                min_len: 3,
+                max_len: 6,
+            },
+            Element::Literal("]".to_string()),
+            Element::Literal("(".to_string()),
+            Element::Class {
+                class: CharClass::Any,
+                min_len: 8,
+                max_len: 24,
+            },
+            Element::Literal(")".to_string()),
+            Element::Literal(";".to_string()),
+        ],
+        4,
+    )
+}
+
+fn signature_set(count: usize) -> SignatureSet {
+    let mut set = SignatureSet::new();
+    for i in 0..count {
+        set.add(format!("Family{}", i % 8), synthetic_signature(i));
+    }
+    set
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let set = signature_set(500);
+    assert_eq!(set.len(), 500);
+
+    // Non-matching corpus: realistic benign pages.
+    let benign_streams: Vec<_> = (0..4u64)
+        .map(|i| {
+            let mut rng = ChaCha8Rng::seed_from_u64(i);
+            let kind = BenignKind::ALL[i as usize % BenignKind::ALL.len()];
+            kizzle_js::tokenize_document(&generate_benign(kind, &mut rng))
+        })
+        .collect();
+    for stream in &benign_streams {
+        assert!(set.scan_stream(stream).is_none(), "benign doc must not match");
+    }
+
+    // A matching document, built from signature #250's shape.
+    let hit_doc = r#"<script>var pre = 1; aB3xY = decoder_0250["k3x"]("payload#123"); var post = 2;</script>"#;
+    let hit_stream = kizzle_js::tokenize_document(hit_doc);
+    assert!(set.scan_stream(&hit_stream).is_some(), "hit doc must match");
+
+    let mut group = c.benchmark_group("signature_scan");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500));
+
+    for (label, scan_anchored) in [("linear", false), ("anchored", true)] {
+        group.bench_with_input(
+            BenchmarkId::new("miss_500_sigs", label),
+            &scan_anchored,
+            |b, &anchored| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for stream in &benign_streams {
+                        let hit = if anchored {
+                            set.scan_stream(stream)
+                        } else {
+                            set.scan_stream_linear(stream)
+                        };
+                        hits += usize::from(hit.is_some());
+                    }
+                    black_box(hits)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hit_500_sigs", label),
+            &scan_anchored,
+            |b, &anchored| {
+                b.iter(|| {
+                    let hit = if anchored {
+                        set.scan_stream(&hit_stream)
+                    } else {
+                        set.scan_stream_linear(&hit_stream)
+                    };
+                    black_box(hit.is_some())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(signature_scan, bench_scan);
+criterion_main!(signature_scan);

@@ -53,9 +53,52 @@ pub fn class_strings(documents: &[String], cap: usize) -> Vec<Vec<u8>> {
         .collect()
 }
 
+/// Token-class strings of one synthetic "day" for the clustering benches:
+/// a mix of exploit-kit families (clusterable near-duplicates) and benign
+/// one-off pages (noise), matching what the daily pipeline clusters.
+///
+/// Deterministic for a given `total`; documents are capped at `cap` tokens
+/// like `KizzleCompiler::tokenize_capped` does.
+#[must_use]
+pub fn synthetic_day_class_strings(total: usize, cap: usize) -> Vec<Vec<u8>> {
+    use kizzle_corpus::benign::{generate_benign, BenignKind};
+    let families = [
+        KitFamily::Angler,
+        KitFamily::Nuclear,
+        KitFamily::Rig,
+        KitFamily::SweetOrange,
+    ];
+    let malicious = total * 7 / 10;
+    let per_family = malicious / families.len();
+    let date = SimDate::new(2014, 8, 14);
+    let mut documents: Vec<String> = Vec::with_capacity(total);
+    for (f, family) in families.iter().enumerate() {
+        let model = KitModel::new(*family);
+        for i in 0..per_family {
+            let mut rng = ChaCha8Rng::seed_from_u64((f * 100_000 + i) as u64);
+            documents.push(model.generate_sample(date, &mut rng));
+        }
+    }
+    let mut i = 0u64;
+    while documents.len() < total {
+        let mut rng = ChaCha8Rng::seed_from_u64(7_000_000 + i);
+        let kind = BenignKind::ALL[(i as usize) % BenignKind::ALL.len()];
+        documents.push(generate_benign(kind, &mut rng));
+        i += 1;
+    }
+    class_strings(&documents, cap)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn synthetic_day_has_requested_size() {
+        let day = synthetic_day_class_strings(40, 300);
+        assert_eq!(day.len(), 40);
+        assert!(day.iter().all(|s| s.len() <= 300));
+    }
 
     #[test]
     fn fixtures_produce_consistent_shapes() {

@@ -7,6 +7,8 @@
 //! benign one-offs), and only requires a pairwise distance, which for Kizzle
 //! is the normalized edit distance over token strings.
 
+use crate::index::{IndexStats, NeighborIndex};
+
 /// Cluster assignment of a single sample.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Label {
@@ -174,6 +176,87 @@ where
     }
 }
 
+/// Run DBSCAN over precomputed neighborhoods.
+///
+/// `neighborhoods[i]` must list the eps-neighbors of sample `i` (excluding
+/// `i` itself) in ascending order; symmetry is the caller's responsibility
+/// (an eps-ball query is symmetric by construction). The control flow is
+/// identical to [`dbscan`], so for the same neighborhood relation the
+/// labels come out identical — this is what makes the indexed engine a
+/// drop-in replacement.
+#[must_use]
+pub fn dbscan_with_neighborhoods(
+    neighborhoods: &[Vec<usize>],
+    params: &DbscanParams,
+) -> DbscanResult {
+    let n = neighborhoods.len();
+    let mut labels = vec![Label::Unvisited; n];
+    let mut cluster_count = 0usize;
+
+    for start in 0..n {
+        if labels[start] != Label::Unvisited {
+            continue;
+        }
+        let neighbors = &neighborhoods[start];
+        if neighbors.len() + 1 < params.min_points {
+            labels[start] = Label::Noise;
+            continue;
+        }
+        let cluster_id = cluster_count;
+        cluster_count += 1;
+        labels[start] = Label::Cluster(cluster_id);
+
+        let mut queue: std::collections::VecDeque<usize> = neighbors.iter().copied().collect();
+        while let Some(p) = queue.pop_front() {
+            match labels[p] {
+                Label::Cluster(_) => continue,
+                Label::Noise => {
+                    labels[p] = Label::Cluster(cluster_id);
+                    continue;
+                }
+                Label::Unvisited => {
+                    labels[p] = Label::Cluster(cluster_id);
+                    let p_neighbors = &neighborhoods[p];
+                    if p_neighbors.len() + 1 >= params.min_points {
+                        for &q in p_neighbors {
+                            if labels[q] == Label::Unvisited || labels[q] == Label::Noise {
+                                queue.push_back(q);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    debug_assert!(labels.iter().all(|l| *l != Label::Unvisited));
+    DbscanResult {
+        labels,
+        cluster_count,
+    }
+}
+
+/// Indexed DBSCAN over token strings: build a [`NeighborIndex`], answer
+/// every neighborhood query in parallel through the
+/// length-window → histogram → bit-parallel-distance filter chain, then
+/// run the standard label assignment.
+///
+/// Produces labels identical to
+/// `dbscan(samples, params, |a, b| normalized_edit_distance_bounded(a, b,
+/// params.eps).unwrap_or(1.0))` — the equivalence property test holds it
+/// to that — while doing orders of magnitude less distance work.
+///
+/// Also returns the index work counters for observability.
+#[must_use]
+pub fn dbscan_indexed<S: AsRef<[u8]> + Sync>(
+    samples: &[S],
+    params: &DbscanParams,
+) -> (DbscanResult, IndexStats) {
+    let index = NeighborIndex::build(samples, params.eps);
+    let (neighborhoods, stats) = index.neighborhoods();
+    (dbscan_with_neighborhoods(&neighborhoods, params), stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +373,57 @@ mod tests {
         assert!((p.eps - 0.10).abs() < 1e-12);
         assert_eq!(p.min_points, 4);
         assert_eq!(DbscanParams::default(), p);
+    }
+
+    #[test]
+    fn indexed_matches_naive_on_token_corpus() {
+        use crate::distance::normalized_edit_distance_bounded;
+        // Same corpus as token_string_clustering_at_paper_threshold, plus
+        // extra variants so expansion paths get exercised.
+        let mut samples: Vec<Vec<u8>> = Vec::new();
+        let base: Vec<u8> = (0..100).map(|i| (i % 5) as u8).collect();
+        for v in 0..8usize {
+            let mut s = base.clone();
+            for k in 0..v {
+                let pos = (k * 11 + 3) % s.len();
+                s[pos] = 9;
+            }
+            s.truncate(s.len() - v % 4);
+            samples.push(s);
+        }
+        samples.push((0..100).map(|i| ((i * 7) % 6) as u8).collect());
+        samples.push(Vec::new());
+
+        let params = DbscanParams::new(0.10, 2);
+        let naive = dbscan(&samples, &params, |a, b| {
+            normalized_edit_distance_bounded(a, b, params.eps).unwrap_or(1.0)
+        });
+        let (indexed, stats) = dbscan_indexed(&samples, &params);
+        assert_eq!(indexed, naive);
+        assert_eq!(stats.queries, samples.len());
+    }
+
+    #[test]
+    fn with_neighborhoods_matches_callback_dbscan() {
+        let pts = [0.0f64, 0.1, 0.2, 10.0, 10.1, 10.2, 55.0];
+        let params = DbscanParams::new(0.5, 2);
+        let naive = dbscan(&pts, &params, abs_dist);
+        let neighborhoods: Vec<Vec<usize>> = (0..pts.len())
+            .map(|i| {
+                (0..pts.len())
+                    .filter(|&j| j != i && abs_dist(&pts[i], &pts[j]) <= params.eps)
+                    .collect()
+            })
+            .collect();
+        assert_eq!(dbscan_with_neighborhoods(&neighborhoods, &params), naive);
+    }
+
+    #[test]
+    fn indexed_empty_input() {
+        let samples: Vec<Vec<u8>> = Vec::new();
+        let (result, _) = dbscan_indexed(&samples, &DbscanParams::kizzle_default());
+        assert_eq!(result.cluster_count(), 0);
+        assert!(result.labels().is_empty());
     }
 
     #[test]

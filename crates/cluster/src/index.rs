@@ -1,0 +1,402 @@
+//! Candidate-pruning neighbor index for token-string DBSCAN.
+//!
+//! The naive neighborhood query compares a sample against all `n − 1`
+//! others with the banded edit distance. At the paper's `eps = 0.10` almost
+//! all of those comparisons are wasted: two strings can only be within
+//! normalized distance 0.10 when their lengths differ by ≤ 10%, and even
+//! inside that window most pairs differ in far more than 10% of their token
+//! multiset. This index exploits both facts with a chain of ever-more
+//! expensive filters:
+//!
+//! 1. **Length window** — samples are sorted by length once; a query only
+//!    scans the contiguous slice whose lengths satisfy the normalized
+//!    length-difference bound. `O(log n)` to locate, nothing at all spent
+//!    on samples outside the window.
+//! 2. **Token-class histogram L1 bound** — per sample the index stores a
+//!    compact histogram over the observed token alphabet. Each unit edit
+//!    changes the histogram L1 distance by at most 2, so
+//!    `⌈L1 / 2⌉ > max_edits` rejects a pair in `O(alphabet)` (the token
+//!    alphabet has ~a dozen classes) instead of `O(len²)`.
+//! 3. **Bit-parallel bounded edit distance** — survivors meet Myers'
+//!    algorithm ([`BitParallelPattern`]), with the pattern preprocessing
+//!    amortized across the whole candidate slice of one query.
+//!
+//! The accept decision reproduces
+//! [`normalized_edit_distance_bounded`](crate::distance::normalized_edit_distance_bounded)
+//! `≤ eps` bit-for-bit (same `max_edits` floor, same final normalized
+//! comparison), so [`dbscan_indexed`](crate::dbscan::dbscan_indexed) is
+//! label-identical to the naive [`dbscan`](crate::dbscan::dbscan) — a
+//! property test in `tests/indexed_properties.rs` holds it to that.
+
+use crate::distance::BitParallelPattern;
+use rayon::prelude::*;
+
+/// Work counters from index queries, for observability and the PERF.md
+/// pruning-efficiency numbers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Number of neighborhood queries served.
+    pub queries: usize,
+    /// Ordered candidate pairs that survived the length window.
+    pub window_candidates: usize,
+    /// Pairs rejected by the histogram L1 lower bound.
+    pub pruned_by_histogram: usize,
+    /// Pairs that reached the bit-parallel edit distance.
+    pub distance_calls: usize,
+    /// Pairs accepted as neighbors.
+    pub neighbors_found: usize,
+}
+
+impl IndexStats {
+    /// Accumulate another query's counters.
+    pub fn merge(&mut self, other: &IndexStats) {
+        self.queries += other.queries;
+        self.window_candidates += other.window_candidates;
+        self.pruned_by_histogram += other.pruned_by_histogram;
+        self.distance_calls += other.distance_calls;
+        self.neighbors_found += other.neighbors_found;
+    }
+}
+
+/// A neighbor index over a fixed set of token strings at a fixed `eps`.
+#[derive(Debug, Clone)]
+pub struct NeighborIndex<'a, S> {
+    samples: &'a [S],
+    eps: f64,
+    /// Sample indices sorted by `(length, index)`.
+    by_len: Vec<usize>,
+    /// Lengths parallel to `by_len` (dense, cache-friendly scan).
+    lens: Vec<usize>,
+    /// Rank of each sample in `by_len` (inverse permutation).
+    rank: Vec<usize>,
+    /// Compact histogram per sample over the observed alphabet,
+    /// concatenated: sample `i` owns `histograms[i * width..(i+1) * width]`.
+    histograms: Vec<u32>,
+    /// Histogram width: number of distinct symbols observed in the corpus.
+    width: usize,
+}
+
+/// `max_edits` for a pair whose longer string has `max_len` tokens —
+/// exactly the floor used by `normalized_edit_distance_bounded`.
+fn max_edits(eps: f64, max_len: usize) -> usize {
+    (eps * max_len as f64).floor() as usize
+}
+
+/// The naive accept predicate on lengths alone: normalized length
+/// difference within `eps`.
+fn length_compatible(eps: f64, a: usize, b: usize) -> bool {
+    let max_len = a.max(b);
+    if max_len == 0 {
+        return true;
+    }
+    a.abs_diff(b) as f64 / max_len as f64 <= eps
+}
+
+impl<'a, S: AsRef<[u8]> + Sync> NeighborIndex<'a, S> {
+    /// Build the index: sort by length and precompute histograms.
+    ///
+    /// Costs `O(n log n + total_tokens)`; the index borrows `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` is negative or NaN.
+    #[must_use]
+    pub fn build(samples: &'a [S], eps: f64) -> Self {
+        assert!(eps >= 0.0 && eps.is_finite(), "eps must be a non-negative number");
+        let n = samples.len();
+        let mut by_len: Vec<usize> = (0..n).collect();
+        by_len.sort_unstable_by_key(|&i| (samples[i].as_ref().len(), i));
+        let lens: Vec<usize> = by_len.iter().map(|&i| samples[i].as_ref().len()).collect();
+        let mut rank = vec![0usize; n];
+        for (pos, &i) in by_len.iter().enumerate() {
+            rank[i] = pos;
+        }
+
+        // Observed alphabet → compact histogram slots.
+        let mut slot_of = [usize::MAX; 256];
+        let mut width = 0usize;
+        for sample in samples {
+            for &sym in sample.as_ref() {
+                if slot_of[sym as usize] == usize::MAX {
+                    slot_of[sym as usize] = width;
+                    width += 1;
+                }
+            }
+        }
+        let mut histograms = vec![0u32; n * width];
+        for (i, sample) in samples.iter().enumerate() {
+            let hist = &mut histograms[i * width..(i + 1) * width];
+            for &sym in sample.as_ref() {
+                hist[slot_of[sym as usize]] += 1;
+            }
+        }
+
+        NeighborIndex {
+            samples,
+            eps,
+            by_len,
+            lens,
+            rank,
+            histograms,
+            width,
+        }
+    }
+
+    /// Number of indexed samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if the index holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The `eps` the index was built for.
+    #[must_use]
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Histogram L1 distance between samples `i` and `j`, in `O(width)`.
+    fn histogram_l1(&self, i: usize, j: usize) -> u32 {
+        let a = &self.histograms[i * self.width..(i + 1) * self.width];
+        let b = &self.histograms[j * self.width..(j + 1) * self.width];
+        a.iter().zip(b).map(|(x, y)| x.abs_diff(*y)).sum()
+    }
+
+    /// All samples within normalized edit distance `eps` of sample `i`
+    /// (excluding `i` itself), ascending, plus the query's work counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn neighbors_with_stats(&self, i: usize) -> (Vec<usize>, IndexStats) {
+        let mut stats = IndexStats {
+            queries: 1,
+            ..IndexStats::default()
+        };
+        let query = self.samples[i].as_ref();
+        let query_len = query.len();
+        // Built lazily: queries whose whole length window is pruned (most
+        // benign one-offs) never pay the O(256·blocks) pattern setup.
+        let mut pattern: Option<BitParallelPattern> = None;
+        let mut neighbors = Vec::new();
+
+        // Conservative start of the length window (one short of the integer
+        // bound; the exact float predicate re-checks each candidate).
+        let window_min = query_len.saturating_sub(max_edits(self.eps, query_len) + 1);
+        let start = self.lens.partition_point(|&len| len < window_min);
+        for pos in start..self.lens.len() {
+            let cand_len = self.lens[pos];
+            if !length_compatible(self.eps, query_len, cand_len) {
+                if cand_len > query_len {
+                    // (M − L) / M grows with M: every longer candidate
+                    // fails too.
+                    break;
+                }
+                // Below the exact bound but inside the conservative slack.
+                continue;
+            }
+            let j = self.by_len[pos];
+            if j == i {
+                continue;
+            }
+            stats.window_candidates += 1;
+
+            let max_len = query_len.max(cand_len);
+            if max_len == 0 {
+                // Two empty strings: distance 0.
+                neighbors.push(j);
+                stats.neighbors_found += 1;
+                continue;
+            }
+            let budget = max_edits(self.eps, max_len);
+            // Each edit moves the histogram L1 by at most 2.
+            let l1_lower = (self.histogram_l1(i, j) as usize).div_ceil(2);
+            if l1_lower > budget {
+                stats.pruned_by_histogram += 1;
+                continue;
+            }
+            stats.distance_calls += 1;
+            let pattern = pattern.get_or_insert_with(|| BitParallelPattern::new(query));
+            if let Some(d) = pattern.distance_bounded(self.samples[j].as_ref(), budget) {
+                // Final normalized comparison, identical to the naive path.
+                if d as f64 / max_len as f64 <= self.eps {
+                    neighbors.push(j);
+                    stats.neighbors_found += 1;
+                }
+            }
+        }
+        neighbors.sort_unstable();
+        (neighbors, stats)
+    }
+
+    /// All samples within `eps` of sample `i`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn neighbors(&self, i: usize) -> Vec<usize> {
+        self.neighbors_with_stats(i).0
+    }
+
+    /// Every sample's neighborhood, computed in parallel (rayon) and
+    /// returned with the aggregated work counters. `result[i]` is ascending
+    /// and excludes `i`.
+    #[must_use]
+    pub fn neighborhoods(&self) -> (Vec<Vec<usize>>, IndexStats) {
+        let per_query: Vec<(Vec<usize>, IndexStats)> = self
+            .samples
+            .par_iter()
+            .enumerate()
+            .map(|(i, _)| self.neighbors_with_stats(i))
+            .collect();
+        let mut stats = IndexStats::default();
+        let mut neighborhoods = Vec::with_capacity(per_query.len());
+        for (neighbors, query_stats) in per_query {
+            stats.merge(&query_stats);
+            neighborhoods.push(neighbors);
+        }
+        (neighborhoods, stats)
+    }
+
+    /// Rank of sample `i` in the length-sorted order (exposed for tests and
+    /// diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn length_rank(&self, i: usize) -> usize {
+        self.rank[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::normalized_edit_distance_bounded;
+
+    fn brute_force_neighbors(samples: &[Vec<u8>], eps: f64, i: usize) -> Vec<usize> {
+        (0..samples.len())
+            .filter(|&j| {
+                j != i
+                    && normalized_edit_distance_bounded(&samples[i], &samples[j], eps)
+                        .unwrap_or(1.0)
+                        <= eps
+            })
+            .collect()
+    }
+
+    fn family_corpus() -> Vec<Vec<u8>> {
+        let mut samples: Vec<Vec<u8>> = Vec::new();
+        let bases: Vec<Vec<u8>> = vec![
+            (0..120).map(|i| (i % 5) as u8).collect(),
+            (0..150).map(|i| ((i * 3) % 6) as u8).collect(),
+            (0..40).map(|i| ((i * 7 + 1) % 4) as u8).collect(),
+        ];
+        for base in &bases {
+            for v in 0..6usize {
+                let mut s = base.clone();
+                for k in 0..(s.len() / 40) {
+                    let pos = (v * 13 + k * 17) % s.len();
+                    s[pos] = (s[pos] + 1) % 6;
+                }
+                s.truncate(s.len() - v % 3);
+                samples.push(s);
+            }
+        }
+        samples.push(Vec::new());
+        samples.push(Vec::new());
+        samples.push(vec![9; 300]);
+        samples
+    }
+
+    #[test]
+    fn matches_brute_force_on_family_corpus() {
+        let samples = family_corpus();
+        let index = NeighborIndex::build(&samples, 0.10);
+        for i in 0..samples.len() {
+            assert_eq!(
+                index.neighbors(i),
+                brute_force_neighbors(&samples, 0.10, i),
+                "query {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_neighborhoods_agree_with_serial() {
+        let samples = family_corpus();
+        let index = NeighborIndex::build(&samples, 0.10);
+        let (neighborhoods, stats) = index.neighborhoods();
+        assert_eq!(neighborhoods.len(), samples.len());
+        assert_eq!(stats.queries, samples.len());
+        for (i, neighbors) in neighborhoods.iter().enumerate() {
+            assert_eq!(*neighbors, index.neighbors(i), "query {i}");
+        }
+    }
+
+    #[test]
+    fn pruning_actually_rejects_pairs() {
+        let samples = family_corpus();
+        let n = samples.len();
+        let index = NeighborIndex::build(&samples, 0.10);
+        let (_, stats) = index.neighborhoods();
+        let all_ordered_pairs = n * (n - 1);
+        assert!(
+            stats.window_candidates < all_ordered_pairs,
+            "length window pruned nothing: {stats:?}"
+        );
+        assert!(
+            stats.distance_calls <= stats.window_candidates,
+            "stats inconsistent: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let samples: Vec<Vec<u8>> = Vec::new();
+        let index = NeighborIndex::build(&samples, 0.10);
+        assert!(index.is_empty());
+        let (neighborhoods, stats) = index.neighborhoods();
+        assert!(neighborhoods.is_empty());
+        assert_eq!(stats, IndexStats::default());
+    }
+
+    #[test]
+    fn empty_strings_are_mutual_neighbors() {
+        let samples: Vec<Vec<u8>> = vec![Vec::new(), Vec::new(), vec![1, 2, 3]];
+        let index = NeighborIndex::build(&samples, 0.10);
+        assert_eq!(index.neighbors(0), vec![1]);
+        assert_eq!(index.neighbors(1), vec![0]);
+        assert!(index.neighbors(2).is_empty());
+    }
+
+    #[test]
+    fn eps_one_accepts_everything() {
+        let samples: Vec<Vec<u8>> = vec![vec![1], vec![2, 2, 2], vec![3; 10]];
+        let index = NeighborIndex::build(&samples, 1.0);
+        for i in 0..samples.len() {
+            assert_eq!(
+                index.neighbors(i),
+                brute_force_neighbors(&samples, 1.0, i),
+                "query {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn length_rank_is_the_sorted_position() {
+        let samples: Vec<Vec<u8>> = vec![vec![0; 10], vec![0; 2], vec![0; 5]];
+        let index = NeighborIndex::build(&samples, 0.10);
+        assert_eq!(index.length_rank(1), 0);
+        assert_eq!(index.length_rank(2), 1);
+        assert_eq!(index.length_rank(0), 2);
+    }
+}

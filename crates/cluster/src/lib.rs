@@ -8,13 +8,20 @@
 //!
 //! This crate provides each of those pieces:
 //!
-//! * [`distance`] — Levenshtein edit distance with a banded, early-exit
-//!   variant and the normalized form used by the paper.
-//! * [`dbscan`] — a generic DBSCAN over any distance function.
+//! * [`distance`] — Levenshtein edit distance: a banded early-exit
+//!   variant, a Myers-style bit-parallel bounded kernel
+//!   ([`BitParallelPattern`]), and the normalized form used by the paper.
+//! * [`index`] — the [`NeighborIndex`]: length-window +
+//!   histogram-lower-bound candidate pruning with parallel neighborhood
+//!   queries, the engine behind [`dbscan_indexed`].
+//! * [`dbscan`] — a generic DBSCAN over any distance function, plus the
+//!   indexed variant that is label-identical and vastly faster on token
+//!   strings.
 //! * [`clustering`] — cluster bookkeeping: members, medoid prototypes,
 //!   summary statistics.
 //! * [`distributed`] — the partition → cluster → reduce dataflow, run on
-//!   scoped OS threads to stand in for the paper's 50-machine deployment.
+//!   a rayon-parallel map to stand in for the paper's 50-machine
+//!   deployment.
 //!
 //! ## Example
 //!
@@ -41,8 +48,13 @@ pub mod clustering;
 pub mod dbscan;
 pub mod distance;
 pub mod distributed;
+pub mod index;
 
 pub use clustering::{Cluster, Clustering};
-pub use dbscan::{dbscan, DbscanParams, DbscanResult, Label};
-pub use distance::{edit_distance, edit_distance_bounded, normalized_edit_distance};
+pub use dbscan::{dbscan, dbscan_indexed, dbscan_with_neighborhoods, DbscanParams, DbscanResult, Label};
+pub use distance::{
+    edit_distance, edit_distance_bitparallel_bounded, edit_distance_bounded,
+    normalized_edit_distance, BitParallelPattern,
+};
 pub use distributed::{DistributedClusterer, DistributedConfig, DistributedStats};
+pub use index::{IndexStats, NeighborIndex};

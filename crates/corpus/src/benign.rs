@@ -223,8 +223,8 @@ fn analytics_snippet<R: Rng + ?Sized>(rng: &mut R) -> String {
 fn ad_loader<R: Rng + ?Sized>(rng: &mut R) -> String {
     let slot = random_alnum(rng, 10);
     let host = random_host(rng);
-    let width = [300, 728, 160][rng.gen_range(0..3)];
-    let height = [250, 90, 600][rng.gen_range(0..3)];
+    let width = [300, 728, 160][rng.gen_range(0..3usize)];
+    let height = [250, 90, 600][rng.gen_range(0..3usize)];
     format!(
         r#"(function() {{
   var slotId = "{slot}";

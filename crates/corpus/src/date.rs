@@ -61,10 +61,7 @@ impl SimDate {
     /// Day-of-year ordinal (Jan 1 = 1).
     #[must_use]
     pub fn ordinal(&self) -> u32 {
-        let mut days = 0;
-        for m in 0..(self.month - 1) as usize {
-            days += DAYS_IN_MONTH[m];
-        }
+        let days: u32 = DAYS_IN_MONTH[..(self.month - 1) as usize].iter().sum();
         days + self.day
     }
 

@@ -169,7 +169,7 @@ fn pack_angler<R: Rng + ?Sized>(state: &KitState, payload: &str, rng: &mut R) ->
     let hex: String = payload.bytes().map(|b| format!("{b:02x}")).collect();
     // Chunk count depends (mildly) on the packer generation so that packer
     // mutations are visible in the token structure.
-    let chunk_count = 6 + (state.version as usize % 4) + rng.gen_range(0..2);
+    let chunk_count = 6 + (state.version as usize % 4) + rng.gen_range(0..2usize);
     let chunk_len = hex.len().div_ceil(chunk_count).max(1);
     // Chunk boundaries must be even so hex pairs stay intact.
     let chunk_len = chunk_len + (chunk_len % 2);

@@ -144,7 +144,7 @@ pub fn tokenize_document(document: &str) -> TokenStream {
     let mut out = TokenStream::default();
     for script in &scripts {
         if !script.body.trim().is_empty() {
-            out.extend(tokenize(&script.body).into_iter());
+            out.extend(tokenize(&script.body));
         }
     }
     out

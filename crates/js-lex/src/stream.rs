@@ -201,7 +201,7 @@ mod tests {
     fn collect_and_extend() {
         let s = tokenize("a b");
         let mut collected: TokenStream = s.clone().into_iter().collect();
-        collected.extend(tokenize("c").into_iter());
+        collected.extend(tokenize("c"));
         assert_eq!(collected.texts(), vec!["a", "b", "c"]);
         assert_eq!(collected.classes().len(), 3);
     }

@@ -251,10 +251,8 @@ mod tests {
     fn window_must_be_unique_in_every_sample() {
         // `f("x");` appears twice in the first sample, so the unique common
         // window is forced to include the distinguishing suffix.
-        let samples = vec![
-            tokenize(r#"f("x"); f("x"); var q = 3;"#),
-            tokenize(r#"f("y"); var q = 3;"#),
-        ];
+        let samples = [tokenize(r#"f("x"); f("x"); var q = 3;"#),
+            tokenize(r#"f("y"); var q = 3;"#)];
         let refs: Vec<&TokenStream> = samples.iter().collect();
         let window = find_common_window(&refs, &SignatureConfig::default()).unwrap();
         // The chosen window must occur exactly once in sample 0.
@@ -270,7 +268,7 @@ mod tests {
     #[test]
     fn cap_is_respected() {
         let body = "var x = f(1); ".repeat(100);
-        let samples = vec![tokenize(&body), tokenize(&body)];
+        let samples = [tokenize(&body), tokenize(&body)];
         let refs: Vec<&TokenStream> = samples.iter().collect();
         let config = SignatureConfig {
             max_tokens: 50,

@@ -4,11 +4,26 @@
 //! are deployed to a scanner (browser, desktop AV, or CDN-side, per the
 //! paper's deployment-channel discussion) which matches incoming documents
 //! against the active set.
+//!
+//! Scanning is **anchored**: every signature with a selective literal
+//! element (at least [`MIN_ANCHOR_LEN`] chars; longest text wins — long
+//! literals are the most selective) registers that literal in an inverted
+//! index from literal text to `(signature, offset)`. A scan walks the
+//! document's tokens once, looks each token up in the index, and only
+//! verifies a full signature window where an anchor literal actually
+//! occurs — so a non-matching document costs `O(tokens)` hash lookups
+//! instead of `O(signatures × tokens × signature_len)` window comparisons.
+//! Signatures with no selective literal (rare: pure character classes, or
+//! only ubiquitous punctuation like `=` and `[`) fall back to the linear
+//! scan.
 
-use crate::pattern::Signature;
+use crate::pattern::{Element, Signature};
 use kizzle_js::{tokenize_document, TokenStream};
 use serde::Serialize;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// A signature together with the label of the family it detects.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
@@ -20,9 +35,53 @@ pub struct LabeledSignature {
 }
 
 /// A collection of labeled signatures with scan helpers.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct SignatureSet {
     signatures: Vec<LabeledSignature>,
+    /// Exact-duplicate filter: hash of `(label, elements)` → indices into
+    /// `signatures` with that hash, so [`SignatureSet::add`] is
+    /// `O(signature_len)` instead of a linear scan over the whole set —
+    /// without a second copy of every label and element vector.
+    dedup: HashMap<u64, Vec<usize>>,
+    /// Distinct labels in first-insertion order (what [`SignatureSet::labels`]
+    /// returns without rescanning).
+    label_order: Vec<String>,
+    /// Anchor index: literal token text → every `(signature index, element
+    /// offset of that literal)` that chose it as its anchor.
+    anchors: HashMap<String, Vec<(usize, usize)>>,
+    /// Indices of signatures with no literal element, scanned linearly.
+    unanchored: Vec<usize>,
+}
+
+/// Shortest literal worth anchoring on. Literals below this (single
+/// punctuation like `=` or `[`, two-char operators/keywords) occur so often
+/// in benign documents that every occurrence would trigger a full window
+/// verification, degrading the anchored scan below the linear one; such
+/// signatures go to the `unanchored` fallback instead.
+const MIN_ANCHOR_LEN: usize = 3;
+
+/// The anchor of a signature: the offset of its longest literal element, if
+/// that literal is selective enough (see [`MIN_ANCHOR_LEN`]).
+fn anchor_of(signature: &Signature) -> Option<(usize, &str)> {
+    signature
+        .elements
+        .iter()
+        .enumerate()
+        .filter_map(|(offset, element)| match element {
+            Element::Literal(text) if text.len() >= MIN_ANCHOR_LEN => {
+                Some((offset, text.as_str()))
+            }
+            _ => None,
+        })
+        .max_by_key(|(_, text)| text.len())
+}
+
+/// Dedup key: hash of the `(label, elements)` pair.
+fn dedup_key(label: &str, elements: &[Element]) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    label.hash(&mut hasher);
+    elements.hash(&mut hasher);
+    hasher.finish()
 }
 
 impl SignatureSet {
@@ -49,12 +108,25 @@ impl SignatureSet {
     /// `false` is returned.
     pub fn add(&mut self, label: impl Into<String>, signature: Signature) -> bool {
         let label = label.into();
-        let duplicate = self
-            .signatures
-            .iter()
-            .any(|existing| existing.label == label && existing.signature.elements == signature.elements);
-        if duplicate {
+        let index = self.signatures.len();
+        let bucket = self.dedup.entry(dedup_key(&label, &signature.elements)).or_default();
+        if bucket.iter().any(|&i| {
+            let existing = &self.signatures[i];
+            existing.label == label && existing.signature.elements == signature.elements
+        }) {
             return false;
+        }
+        bucket.push(index);
+        if !self.label_order.contains(&label) {
+            self.label_order.push(label.clone());
+        }
+        match anchor_of(&signature) {
+            Some((offset, text)) => self
+                .anchors
+                .entry(text.to_string())
+                .or_default()
+                .push((index, offset)),
+            None => self.unanchored.push(index),
         }
         self.signatures.push(LabeledSignature { label, signature });
         true
@@ -71,10 +143,73 @@ impl SignatureSet {
         self.signatures.iter().filter(|s| s.label == label).collect()
     }
 
-    /// Scan an already tokenized sample; returns the label of the first
-    /// matching signature.
+    /// Does `signature` match `stream` with its element at `offset` placed
+    /// on the token at `position`?
+    fn window_matches(signature: &Signature, stream: &TokenStream, position: usize, offset: usize) -> bool {
+        let Some(start) = position.checked_sub(offset) else {
+            return false;
+        };
+        let tokens = stream.tokens();
+        let n = signature.elements.len();
+        if start + n > tokens.len() {
+            return false;
+        }
+        signature
+            .elements
+            .iter()
+            .zip(&tokens[start..start + n])
+            .all(|(element, token)| element.matches_token(token))
+    }
+
+    /// Scan an already tokenized sample; returns the first matching
+    /// signature in insertion order (the same answer the linear scan
+    /// gives), located through the anchor index.
     #[must_use]
     pub fn scan_stream(&self, stream: &TokenStream) -> Option<&LabeledSignature> {
+        // Collect candidate signatures whose anchor literal occurs in the
+        // document, with every position it occurs at.
+        let mut best: Option<usize> = None;
+        let consider = |idx: usize, best: &mut Option<usize>| {
+            if best.is_none_or(|b| idx < b) {
+                *best = Some(idx);
+            }
+        };
+        for (position, token) in stream.tokens().iter().enumerate() {
+            if let Some(hits) = self.anchors.get(token.unquoted()) {
+                for &(idx, offset) in hits {
+                    if best.is_some_and(|b| idx >= b) {
+                        continue;
+                    }
+                    if Self::window_matches(&self.signatures[idx].signature, stream, position, offset)
+                    {
+                        consider(idx, &mut best);
+                        if best == Some(0) {
+                            // Signature 0 is first in insertion order;
+                            // nothing can beat it, so stop scanning.
+                            return Some(&self.signatures[0]);
+                        }
+                    }
+                }
+            }
+        }
+        // Unanchored signatures cannot use the index; check them directly.
+        for &idx in &self.unanchored {
+            if best.is_some_and(|b| idx >= b) {
+                continue;
+            }
+            if self.signatures[idx].signature.matches_stream(stream) {
+                consider(idx, &mut best);
+            }
+        }
+        best.map(|idx| &self.signatures[idx])
+    }
+
+    /// Reference linear scan: first signature (in insertion order) matching
+    /// anywhere in the stream. Kept as the oracle the anchored
+    /// [`SignatureSet::scan_stream`] is benchmarked and property-tested
+    /// against.
+    #[must_use]
+    pub fn scan_stream_linear(&self, stream: &TokenStream) -> Option<&LabeledSignature> {
         self.signatures.iter().find(|s| s.signature.matches_stream(stream))
     }
 
@@ -88,15 +223,19 @@ impl SignatureSet {
     /// order.
     #[must_use]
     pub fn labels(&self) -> Vec<&str> {
-        let mut out: Vec<&str> = Vec::new();
-        for sig in &self.signatures {
-            if !out.contains(&sig.label.as_str()) {
-                out.push(&sig.label);
-            }
-        }
-        out
+        self.label_order.iter().map(String::as_str).collect()
     }
 }
+
+impl PartialEq for SignatureSet {
+    fn eq(&self, other: &Self) -> bool {
+        // The lookup structures are derived from `signatures`; comparing
+        // the members is the whole story.
+        self.signatures == other.signatures
+    }
+}
+
+impl Eq for SignatureSet {}
 
 impl Extend<LabeledSignature> for SignatureSet {
     fn extend<T: IntoIterator<Item = LabeledSignature>>(&mut self, iter: T) {
@@ -120,7 +259,7 @@ impl fmt::Display for SignatureSet {
 mod tests {
     use super::*;
     use crate::generate::generate_signature;
-    use crate::pattern::SignatureConfig;
+    use crate::pattern::{CharClass, SignatureConfig};
     use kizzle_js::tokenize;
 
     fn nuclear_like_signature() -> Signature {
@@ -175,6 +314,90 @@ mod tests {
         assert!(set
             .scan_document("<script>function benign() { return 42; }</script>")
             .is_none());
+    }
+
+    #[test]
+    fn anchored_scan_agrees_with_linear_scan() {
+        let mut set = SignatureSet::new();
+        set.add("Nuclear", nuclear_like_signature());
+        set.add("RIG", rig_like_signature());
+        for doc in [
+            r#"<script>zZzQ9p = this["abc"]("ev#000000al");</script>"#,
+            r#"<script>piece = buf.split(del); el.text += String.fromCharCode(piece[k]);</script>"#,
+            "<script>function benign() { return 42; }</script>",
+            "",
+            "<script>this this this = = = fromCharCode</script>",
+        ] {
+            let stream = kizzle_js::tokenize_document(doc);
+            let anchored = set.scan_stream(&stream).map(|s| s.signature.name.clone());
+            let linear = set
+                .scan_stream_linear(&stream)
+                .map(|s| s.signature.name.clone());
+            assert_eq!(anchored, linear, "doc: {doc}");
+        }
+    }
+
+    #[test]
+    fn first_match_in_insertion_order_wins() {
+        // Two signatures that both match the same document; the earlier
+        // one must win, exactly as in the linear scan.
+        let early = Signature::new(
+            "early",
+            vec![
+                Element::Literal("this".to_string()),
+                Element::Literal("[".to_string()),
+            ],
+            1,
+        );
+        let late = Signature::new(
+            "late",
+            vec![
+                Element::Literal("[".to_string()),
+                Element::Class {
+                    class: CharClass::Any,
+                    min_len: 1,
+                    max_len: 64,
+                },
+                Element::Literal("]".to_string()),
+            ],
+            1,
+        );
+        let mut set = SignatureSet::new();
+        set.add("A", late.clone());
+        set.add("B", early.clone());
+        let stream = tokenize(r#"x = this["y"]"#);
+        assert_eq!(set.scan_stream(&stream).unwrap().signature.name, "late");
+
+        let mut reversed = SignatureSet::new();
+        reversed.add("B", early);
+        reversed.add("A", late);
+        assert_eq!(reversed.scan_stream(&stream).unwrap().signature.name, "early");
+    }
+
+    #[test]
+    fn unanchored_signature_still_matches() {
+        // A signature of pure character classes has no literal anchor and
+        // must fall back to the linear path.
+        let classes_only = Signature::new(
+            "classes",
+            vec![
+                Element::Class {
+                    class: CharClass::Lower,
+                    min_len: 3,
+                    max_len: 8,
+                },
+                Element::Class {
+                    class: CharClass::Digits,
+                    min_len: 1,
+                    max_len: 4,
+                },
+            ],
+            1,
+        );
+        let mut set = SignatureSet::new();
+        set.add("X", classes_only);
+        assert!(set.scan_stream(&tokenize("abc 123")).is_some());
+        assert!(set.scan_stream(&tokenize("ABC 123")).is_none());
     }
 
     #[test]

@@ -125,7 +125,7 @@ impl fmt::Display for CharClass {
 
 /// One element of a signature, corresponding to one token offset of the
 /// common window.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize)]
 pub enum Element {
     /// The token's (quote-stripped) text is identical in every sample.
     Literal(String),

@@ -53,10 +53,8 @@ proptest! {
         max_tokens in 4usize..60,
     ) {
         let base = bodies.join(" ");
-        let samples = vec![
-            tokenize(&format!("{base} var {extra} = 1;")),
-            tokenize(&base),
-        ];
+        let samples = [tokenize(&format!("{base} var {extra} = 1;")),
+            tokenize(&base)];
         let refs: Vec<&TokenStream> = samples.iter().collect();
         let config = SignatureConfig { max_tokens, ..SignatureConfig::default() };
         if let Some(window) = find_common_window(&refs, &config) {

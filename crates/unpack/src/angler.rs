@@ -34,14 +34,14 @@ pub fn unpack(js: &str) -> Result<String> {
 
 fn is_hex_chunk(value: &str) -> bool {
     value.len() >= MIN_CHUNK_LEN
-        && value.len() % 2 == 0
+        && value.len().is_multiple_of(2)
         && value
             .bytes()
             .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
 }
 
 fn decode_hex(hex: &str) -> Option<String> {
-    if hex.len() % 2 != 0 {
+    if !hex.len().is_multiple_of(2) {
         return None;
     }
     let mut bytes = Vec::with_capacity(hex.len() / 2);

@@ -258,7 +258,7 @@ mod tests {
     fn self_overlap_is_one() {
         let cfg = WinnowConfig::default();
         let fp = Fingerprint::of_text(BODY, &cfg);
-        assert!(fp.len() > 0);
+        assert!(!fp.is_empty());
         assert!((fp.overlap(&fp) - 1.0).abs() < 1e-12);
         assert!((fp.jaccard(&fp) - 1.0).abs() < 1e-12);
     }

@@ -1,0 +1,16 @@
+//! # kizzle-sim — workspace umbrella crate
+//!
+//! This crate exists so the repository-level `examples/` and `tests/`
+//! directories have a package to live in; it re-exports the member crates
+//! under their natural names for convenience in those harnesses.
+
+#![forbid(unsafe_code)]
+
+pub use kizzle_avsim as avsim;
+pub use kizzle_cluster as cluster;
+pub use kizzle_corpus as corpus;
+pub use kizzle_eval as eval;
+pub use kizzle_js as js;
+pub use kizzle_signature as signature;
+pub use kizzle_unpack as unpack;
+pub use kizzle_winnow as winnow;

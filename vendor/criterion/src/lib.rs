@@ -1,0 +1,268 @@
+//! Minimal local stand-in for the `criterion` benchmarking crate.
+//!
+//! Implements the subset of the criterion 0.5 API this workspace's benches
+//! use — `Criterion::benchmark_group`, `BenchmarkGroup::{sample_size,
+//! measurement_time, warm_up_time, bench_function, bench_with_input,
+//! throughput, finish}`, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros — measuring wall-clock time
+//! with `std::time::Instant`. No statistics beyond mean/min/max, no plots,
+//! no saved baselines; results print one line per benchmark:
+//!
+//! ```text
+//! bench: clustering/indexed_1000 ... 12.345 ms/iter (min 12.1, max 12.9, 20 samples)
+//! ```
+//!
+//! The real criterion can be swapped back in from the workspace manifest
+//! once a crate registry is reachable.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+pub mod measurement {
+    //! Measurement markers mirroring `criterion::measurement`.
+
+    /// Wall-clock time measurement (the only one supported here).
+    pub struct WallTime;
+}
+
+/// Identifier of a parameterized benchmark, mirroring
+/// `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a parameter display into one id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Per-iteration timer handle passed to bench closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine`, called repeatedly: first for the warm-up window,
+    /// then in timed batches until the measurement window or sample budget
+    /// is exhausted.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, also used to calibrate the batch size.
+        let warm_start = Instant::now();
+        let mut warm_iters: u32 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters;
+        // Aim each sample at ~1/sample_size of the measurement window.
+        let sample_target = self.measurement_time.max(Duration::from_millis(1))
+            / u32::try_from(self.sample_size.max(1)).unwrap_or(1);
+        let batch: u32 = if per_iter.is_zero() {
+            1000
+        } else {
+            u32::try_from(
+                (sample_target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000),
+            )
+            .unwrap_or(1)
+        };
+
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed() / batch);
+            if measure_start.elapsed() > self.measurement_time * 2 {
+                break; // Budget blown; keep whatever samples we have.
+            }
+        }
+    }
+}
+
+/// A named group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _criterion: &'a mut Criterion,
+    _measurement: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Total measurement window per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up window per benchmark.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    fn run_one(&mut self, id: String, f: impl FnOnce(&mut Bencher<'_>)) {
+        let mut samples: Vec<Duration> = Vec::new();
+        {
+            let mut bencher = Bencher {
+                samples: &mut samples,
+                sample_size: self.sample_size,
+                measurement_time: self.measurement_time,
+                warm_up_time: self.warm_up_time,
+            };
+            f(&mut bencher);
+        }
+        report(&format!("{}/{}", self.name, id), &samples);
+    }
+
+    /// Run one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut f = f;
+        self.run_one(id.into().id, |b| f(b));
+        self
+    }
+
+    /// Run one benchmark closure with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut f = f;
+        self.run_one(id.into().id, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (flush point in real criterion; a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Throughput declaration, accepted for API compatibility.
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("bench: {name} ... no samples collected");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / u32::try_from(samples.len()).unwrap_or(1);
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "bench: {name} ... {} /iter (min {}, max {}, {} samples)",
+        fmt_duration(mean),
+        fmt_duration(min),
+        fmt_duration(max),
+        samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for API compatibility with generated harness code.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group with default timing configuration.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_secs(1),
+            _criterion: self,
+            _measurement: PhantomData,
+        }
+    }
+}
+
+/// Declare a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the benchmark binary entry point, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

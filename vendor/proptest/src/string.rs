@@ -1,0 +1,329 @@
+//! A small regex-driven string generator backing the `"[a-z]{1,8}"`-style
+//! strategies real proptest supports.
+//!
+//! Supported syntax (the subset this workspace's tests use): literal
+//! characters, character classes `[...]` with ranges and a literal trailing
+//! `-`, groups `(...)`, top-level and in-group alternation `|`, the
+//! quantifiers `*`, `+`, `?`, `{n}`, `{n,m}`, and `\PC` (any
+//! non-control character). Unsupported syntax panics with the offending
+//! pattern so a new test fails loudly instead of sampling garbage.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Upper repetition bound substituted for the unbounded `*`/`+`.
+const UNBOUNDED_MAX: usize = 64;
+
+/// Non-ASCII printable characters occasionally emitted by `\PC` so UTF-8
+/// handling gets exercised.
+const MULTIBYTE: [char; 6] = ['é', 'ß', 'λ', 'Ж', '中', '€'];
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Ordered alternatives; each alternative is a sequence of quantified
+    /// atoms `(atom, min, max)`.
+    Alt(Vec<Vec<(Node, usize, usize)>>),
+    /// Inclusive character ranges.
+    Class(Vec<(char, char)>),
+    /// A single literal character.
+    Literal(char),
+    /// `\PC`: any printable character.
+    Printable,
+}
+
+struct Parser<'a> {
+    pattern: &'a str,
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Parser {
+            pattern,
+            chars: pattern.chars().peekable(),
+        }
+    }
+
+    fn unsupported(&self, what: &str) -> ! {
+        panic!("proptest stand-in: unsupported regex {what} in pattern {:?}", self.pattern)
+    }
+
+    /// Parse alternatives until end of input or an unconsumed `)`.
+    fn alternation(&mut self) -> Node {
+        let mut alts = vec![Vec::new()];
+        while let Some(&c) = self.chars.peek() {
+            match c {
+                ')' => break,
+                '|' => {
+                    self.chars.next();
+                    alts.push(Vec::new());
+                }
+                _ => {
+                    let atom = self.atom();
+                    let (min, max) = self.quantifier();
+                    alts.last_mut().expect("at least one alternative").push((atom, min, max));
+                }
+            }
+        }
+        Node::Alt(alts)
+    }
+
+    fn atom(&mut self) -> Node {
+        match self.chars.next().expect("atom expected") {
+            '(' => {
+                let inner = self.alternation();
+                match self.chars.next() {
+                    Some(')') => inner,
+                    _ => self.unsupported("unclosed group"),
+                }
+            }
+            '[' => self.class(),
+            '\\' => match self.chars.next() {
+                Some('P') | Some('p') => {
+                    // `\PC` / `\p{...}`-style: consume the category name.
+                    match self.chars.next() {
+                        Some('{') => {
+                            while self.chars.next().is_some_and(|c| c != '}') {}
+                        }
+                        Some(_) => {}
+                        None => self.unsupported("dangling \\P"),
+                    }
+                    Node::Printable
+                }
+                Some(c @ ('.' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '*' | '+' | '?' | '\\' | '-' | '^' | '$')) => {
+                    Node::Literal(c)
+                }
+                Some('n') => Node::Literal('\n'),
+                Some('t') => Node::Literal('\t'),
+                other => self.unsupported(&format!("escape \\{other:?}")),
+            },
+            '.' => Node::Printable,
+            c @ ('*' | '+' | '?' | '{') => self.unsupported(&format!("dangling quantifier {c:?}")),
+            c => Node::Literal(c),
+        }
+    }
+
+    /// Parse `[...]` after the opening bracket has been consumed.
+    fn class(&mut self) -> Node {
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        if self.chars.peek() == Some(&'^') {
+            self.unsupported("negated class");
+        }
+        let mut pending: Option<char> = None;
+        loop {
+            match self.chars.next() {
+                None => self.unsupported("unclosed class"),
+                Some(']') => {
+                    if let Some(p) = pending {
+                        ranges.push((p, p));
+                    }
+                    break;
+                }
+                Some('-') => {
+                    // Range if between two chars, literal otherwise.
+                    match (pending.take(), self.chars.peek()) {
+                        (Some(lo), Some(&hi)) if hi != ']' => {
+                            self.chars.next();
+                            assert!(lo <= hi, "empty class range in {:?}", self.pattern);
+                            ranges.push((lo, hi));
+                        }
+                        (prev, _) => {
+                            if let Some(p) = prev {
+                                ranges.push((p, p));
+                            }
+                            pending = Some('-');
+                        }
+                    }
+                }
+                Some('\\') => {
+                    let c = self.chars.next().unwrap_or_else(|| self.unsupported("dangling class escape"));
+                    if let Some(p) = pending.replace(c) {
+                        ranges.push((p, p));
+                    }
+                }
+                Some(c) => {
+                    if let Some(p) = pending.replace(c) {
+                        ranges.push((p, p));
+                    }
+                }
+            }
+        }
+        if ranges.is_empty() {
+            self.unsupported("empty class");
+        }
+        Node::Class(ranges)
+    }
+
+    /// Parse an optional quantifier; defaults to exactly one.
+    fn quantifier(&mut self) -> (usize, usize) {
+        match self.chars.peek() {
+            Some('*') => {
+                self.chars.next();
+                (0, UNBOUNDED_MAX)
+            }
+            Some('+') => {
+                self.chars.next();
+                (1, UNBOUNDED_MAX)
+            }
+            Some('?') => {
+                self.chars.next();
+                (0, 1)
+            }
+            Some('{') => {
+                self.chars.next();
+                let min = self.number();
+                let max = match self.chars.peek() {
+                    Some(',') => {
+                        self.chars.next();
+                        self.number()
+                    }
+                    _ => min,
+                };
+                match self.chars.next() {
+                    Some('}') => (min, max),
+                    _ => self.unsupported("unclosed quantifier"),
+                }
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn number(&mut self) -> usize {
+        let mut n: usize = 0;
+        let mut any = false;
+        while let Some(&c) = self.chars.peek() {
+            if let Some(d) = c.to_digit(10) {
+                self.chars.next();
+                n = n * 10 + d as usize;
+                any = true;
+            } else {
+                break;
+            }
+        }
+        if !any {
+            self.unsupported("quantifier without a count");
+        }
+        n
+    }
+}
+
+fn generate(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Alt(alts) => {
+            let pick = rng.inner().gen_range(0..alts.len());
+            for (atom, min, max) in &alts[pick] {
+                let count = if min == max {
+                    *min
+                } else {
+                    rng.inner().gen_range(*min..=*max)
+                };
+                for _ in 0..count {
+                    generate(atom, rng, out);
+                }
+            }
+        }
+        Node::Class(ranges) => {
+            let total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+            let mut pick = rng.inner().gen_range(0..total);
+            for (lo, hi) in ranges {
+                let span = *hi as u32 - *lo as u32 + 1;
+                if pick < span {
+                    out.push(char::from_u32(*lo as u32 + pick).expect("class range stays in valid chars"));
+                    return;
+                }
+                pick -= span;
+            }
+            unreachable!("class pick within total");
+        }
+        Node::Literal(c) => out.push(*c),
+        Node::Printable => {
+            // Mostly ASCII printable, occasionally multibyte.
+            if rng.inner().gen_bool(0.05) {
+                out.push(MULTIBYTE[rng.inner().gen_range(0..MULTIBYTE.len())]);
+            } else {
+                out.push(char::from_u32(rng.inner().gen_range(0x20u32..0x7F)).expect("printable ASCII"));
+            }
+        }
+    }
+}
+
+/// Sample one string matching `pattern`.
+pub fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let mut parser = Parser::new(pattern);
+    let ast = parser.alternation();
+    if parser.chars.next().is_some() {
+        parser.unsupported("trailing input (unbalanced ')')");
+    }
+    let mut out = String::new();
+    generate(&ast, rng, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("string::tests", 0)
+    }
+
+    fn all_match<F: Fn(&str) -> bool>(pattern: &str, check: F) {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = sample_regex(pattern, &mut rng);
+            assert!(check(&s), "pattern {pattern:?} produced {s:?}");
+        }
+    }
+
+    #[test]
+    fn classes_and_quantifiers() {
+        all_match("[a-z]{1,8}", |s| {
+            (1..=8).contains(&s.chars().count()) && s.chars().all(|c| c.is_ascii_lowercase())
+        });
+        all_match("[0-9]{8,20}", |s| {
+            (8..=20).contains(&s.len()) && s.chars().all(|c| c.is_ascii_digit())
+        });
+        all_match("[a-zA-Z][a-zA-Z0-9]{2,7}", |s| {
+            s.chars().next().is_some_and(|c| c.is_ascii_alphabetic())
+                && (3..=8).contains(&s.chars().count())
+        });
+    }
+
+    #[test]
+    fn alternation_picks_every_branch() {
+        let mut rng = rng();
+        let mut saw_alpha = false;
+        let mut saw_digit = false;
+        for _ in 0..200 {
+            let s = sample_regex("[a-z]{1,8}|[0-9]{1,4}|[=+;(),]", &mut rng);
+            assert!(!s.is_empty());
+            saw_alpha |= s.chars().all(|c| c.is_ascii_lowercase());
+            saw_digit |= s.chars().all(|c| c.is_ascii_digit());
+        }
+        assert!(saw_alpha && saw_digit);
+    }
+
+    #[test]
+    fn optional_group() {
+        all_match("[a-z]{1,6}( = [0-9]{1,4};)?", |s| !s.is_empty());
+    }
+
+    #[test]
+    fn printable_star_has_no_control_chars() {
+        all_match("\\PC*", |s| s.chars().all(|c| !c.is_control()));
+        all_match("\\PC{0,400}", |s| s.chars().count() <= 400);
+    }
+
+    #[test]
+    fn class_with_trailing_literal_dash() {
+        all_match("[a-zA-Z0-9#@ _.%-]{1,64}", |s| {
+            s.chars().all(|c| c.is_ascii_alphanumeric() || "#@ _.%-".contains(c))
+        });
+    }
+
+    #[test]
+    fn space_to_tilde_covers_ascii_printable() {
+        all_match("[ -~]{0,300}", |s| s.chars().all(|c| (' '..='~').contains(&c)));
+    }
+}

@@ -1,0 +1,94 @@
+//! Test-runner configuration and the deterministic per-case RNG.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration of a `proptest!` block, mirroring
+/// `proptest::test_runner::Config`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of sampled cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 128 keeps the full suite quick
+        // while still exercising plenty of structure.
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// Deterministic RNG for one test case: seeded from the test's module path,
+/// name, and case number, so every run replays the same inputs.
+pub struct TestRng {
+    rng: ChaCha8Rng,
+}
+
+/// The seed `TestRng::for_case` derives for case `case` of the named test.
+#[must_use]
+pub fn seed_for_case(test_name: &str, case: u32) -> u64 {
+    // FNV-1a over the test name, mixed with the case number.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash ^ (u64::from(case) << 32 | u64::from(case))
+}
+
+impl TestRng {
+    /// RNG for case `case` of the named test.
+    #[must_use]
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        TestRng {
+            rng: ChaCha8Rng::seed_from_u64(seed_for_case(test_name, case)),
+        }
+    }
+
+    /// Access the underlying generator.
+    pub fn inner(&mut self) -> &mut ChaCha8Rng {
+        &mut self.rng
+    }
+}
+
+/// Reports the failing case's number and seed when a property body panics.
+///
+/// Created at the top of every case by the `proptest!` macro; `Drop` runs
+/// during unwinding and — only if the thread is panicking — prints the
+/// context needed to replay the failure. Seeding is deterministic, so
+/// re-running the same test replays the identical case sequence.
+pub struct CaseGuard<'a> {
+    test_name: &'a str,
+    case: u32,
+}
+
+impl<'a> CaseGuard<'a> {
+    /// Guard for case `case` of the named test.
+    #[must_use]
+    pub fn new(test_name: &'a str, case: u32) -> Self {
+        CaseGuard { test_name, case }
+    }
+}
+
+impl Drop for CaseGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest stand-in: {} failed at case {} (seed {:#018x}); \
+                 seeding is deterministic — re-run the test to replay this case",
+                self.test_name,
+                self.case,
+                seed_for_case(self.test_name, self.case),
+            );
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Minimal local stand-in for the `rayon` API surface this workspace uses:
+//! `slice.par_iter().map(f).collect::<Vec<_>>()` (plus `join`), implemented
+//! on `std::thread::scope` with dynamic block scheduling.
+//!
+//! The build environment has no crate-registry access; this crate keeps the
+//! real rayon's import paths (`rayon::prelude::*`) so the genuine crate can
+//! be swapped in later without source changes. Unlike a naive chunk split,
+//! blocks are handed out through an atomic cursor, so uneven per-item cost
+//! (e.g. DBSCAN neighborhood queries) still load-balances.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// True on worker threads spawned by [`parallel_map_indexed`]. Real
+    /// rayon runs nested parallelism in one shared work-stealing pool;
+    /// this shim instead runs nested calls serially on the worker, so an
+    /// outer map over P items and an inner map over N items use ~P
+    /// threads, not P × N.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Run two closures, potentially in parallel, and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join closure panicked"))
+    })
+}
+
+/// Parallel map over a slice, preserving order. The backbone of the
+/// iterator adapters below.
+fn parallel_map_indexed<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &'a T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 || IN_WORKER.with(Cell::get) {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    // Small blocks (≈ 8 per thread) keep uneven work balanced without
+    // paying per-item synchronization.
+    let block = n.div_ceil(threads * 8).max(1);
+    let cursor = AtomicUsize::new(0);
+    let mut pieces: Vec<(usize, Vec<R>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    IN_WORKER.with(|flag| flag.set(true));
+                    let mut local: Vec<(usize, Vec<R>)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(block, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + block).min(n);
+                        let vals: Vec<R> = items[start..end]
+                            .iter()
+                            .enumerate()
+                            .map(|(k, t)| f(start + k, t))
+                            .collect();
+                        local.push((start, vals));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("rayon worker panicked"))
+            .collect()
+    });
+    pieces.sort_unstable_by_key(|(start, _)| *start);
+    let mut out = Vec::with_capacity(n);
+    for (_, mut vals) in pieces {
+        out.append(&mut vals);
+    }
+    out
+}
+
+/// A "parallel iterator" over `&[T]`: a lazy handle that the adapters
+/// below consume.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map every item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Pair every item with its index, mirroring
+    /// `IndexedParallelIterator::enumerate`.
+    pub fn enumerate(self) -> ParEnumerate<'a, T> {
+        ParEnumerate { items: self.items }
+    }
+}
+
+/// The result of [`ParIter::map`]; terminal `collect` runs the pool.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, F, R> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Execute the map in parallel and collect in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        parallel_map_indexed(self.items, |_, t| (self.f)(t))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// The result of [`ParIter::enumerate`].
+pub struct ParEnumerate<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParEnumerate<'a, T> {
+    /// Map every `(index, item)` pair through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParEnumerateMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn((usize, &'a T)) -> R + Sync,
+    {
+        ParEnumerateMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParEnumerate::map`].
+pub struct ParEnumerateMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, F, R> ParEnumerateMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn((usize, &'a T)) -> R + Sync,
+{
+    /// Execute the map in parallel and collect in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        parallel_map_indexed(self.items, |i, t| (self.f)((i, t)))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Conversion into a parallel iterator by reference, mirroring
+/// `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item yielded by the parallel iterator.
+    type Item: 'a;
+    /// Borrow `self` as a parallel iterator.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use super::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_map_sees_correct_indices() {
+        let input = vec![5u32; 997];
+        let out: Vec<usize> = input.par_iter().enumerate().map(|(i, _)| i).collect();
+        assert_eq!(out, (0..997).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let input: Vec<u8> = Vec::new();
+        let out: Vec<u8> = input.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn nested_par_iter_stays_correct_and_bounded() {
+        // The inner map must run serially on the outer worker (no
+        // multiplicative thread spawn) and still produce ordered results.
+        let outer: Vec<u32> = (0..64).collect();
+        let out: Vec<u32> = outer
+            .par_iter()
+            .map(|&x| {
+                let inner: Vec<u32> = (0..32).collect();
+                let sums: Vec<u32> = inner.par_iter().map(|&y| x + y).collect();
+                assert_eq!(sums, (0..32).map(|y| x + y).collect::<Vec<_>>());
+                sums.iter().sum()
+            })
+            .collect();
+        let expected: Vec<u32> = (0..64).map(|x| (0..32).map(|y| x + y).sum()).collect();
+        assert_eq!(out, expected);
+    }
+}

@@ -1,0 +1,20 @@
+//! Minimal local stand-in for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` as forward-looking
+//! markers but never serializes through serde (there is no `serde_json`
+//! dependency anywhere). The build environment has no registry access, so
+//! this crate provides just enough surface for those derives to compile:
+//! two marker traits and the corresponding no-op derive macros. Swapping in
+//! the real serde later is a one-line change in the workspace manifest.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. Carries no methods; the
+/// workspace only uses it as a derive target.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`. Carries no methods; the
+/// workspace only uses it as a derive target.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,57 @@
+//! The no-op derives must compile for generic targets: the token-scan in
+//! `serde_derive` has to carry lifetimes, type/const parameters (with
+//! bounds, minus defaults) and `where` clauses onto the generated impls.
+
+#![allow(dead_code)]
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize)]
+struct Plain {
+    x: u32,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Generic<'a, T: Clone = u8, const N: usize = 4> {
+    items: &'a [T; N],
+}
+
+#[derive(Serialize, Deserialize)]
+struct Callback<F: Fn(u8) -> u8> {
+    f: F,
+}
+
+#[derive(Serialize, Deserialize)]
+struct WithWhere<T>
+where
+    T: Iterator<Item = u8>,
+{
+    inner: T,
+}
+
+#[derive(Serialize, Deserialize)]
+struct TupleWhere<F>(F)
+where
+    F: Fn(u8) -> u8;
+
+#[derive(Serialize, Deserialize)]
+enum GenericEnum<T> {
+    One(T),
+    Nothing,
+}
+
+fn assert_serialize<T: Serialize>() {}
+fn assert_deserialize<'de, T: Deserialize<'de>>() {}
+
+#[test]
+fn generic_derives_compile() {
+    assert_serialize::<Plain>();
+    assert_serialize::<Generic<'static, u16, 2>>();
+    assert_serialize::<Callback<fn(u8) -> u8>>();
+    assert_serialize::<WithWhere<std::vec::IntoIter<u8>>>();
+    assert_serialize::<TupleWhere<fn(u8) -> u8>>();
+    assert_serialize::<GenericEnum<u8>>();
+    assert_deserialize::<Plain>();
+    assert_deserialize::<Generic<'static, u16, 2>>();
+    assert_deserialize::<GenericEnum<u8>>();
+}

@@ -1,0 +1,198 @@
+//! No-op `Serialize`/`Deserialize` derives for the local serde stand-in.
+//!
+//! The derives emit empty marker-trait impls, so `#[derive(Serialize)]`
+//! compiles exactly as with the real serde_derive as long as nothing calls
+//! serialization methods (nothing in this workspace does). Generic types
+//! are supported: parameters (lifetimes, types with bounds, consts) and any
+//! `where` clause are carried over to the generated impl, with defaults
+//! stripped. Implemented with a hand-rolled token scan instead of
+//! `syn`/`quote`, because the build environment cannot fetch crates.
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+/// The pieces of the derive target needed to emit a marker impl.
+struct Target {
+    /// Bare type name (`Foo`).
+    name: String,
+    /// Impl-side generic params, bounds kept, defaults stripped
+    /// (`T : Clone`, `'a`, `const N : usize`).
+    impl_params: Vec<String>,
+    /// Bare argument names for the type position (`T`, `'a`, `N`).
+    type_args: Vec<String>,
+    /// The declaration's `where` clause, or empty.
+    where_clause: String,
+}
+
+fn render(tokens: &[TokenTree]) -> String {
+    let mut out = String::new();
+    let mut glue = true;
+    for tt in tokens {
+        if !glue {
+            out.push(' ');
+        }
+        out.push_str(&tt.to_string());
+        // A Joint punct (the `'` of a lifetime, the first half of `::`,
+        // `->`, …) must stay attached to the next token.
+        glue = matches!(tt, TokenTree::Punct(p) if p.spacing() == Spacing::Joint);
+    }
+    out
+}
+
+/// Does this `>` close a generic bracket, or is it the tail of a joint
+/// punct like `->` (possible inside `Fn(..) -> Ret` bounds)?
+fn closes_bracket(prev: Option<&TokenTree>) -> bool {
+    !matches!(prev, Some(TokenTree::Punct(p))
+        if p.spacing() == Spacing::Joint && matches!(p.as_char(), '-' | '='))
+}
+
+/// The param with any top-level `= default` stripped, rendered.
+fn param_impl_form(param: &[TokenTree]) -> String {
+    let mut depth = 0usize;
+    for (i, tt) in param.iter().enumerate() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' if closes_bracket(i.checked_sub(1).map(|k| &param[k])) => depth -= 1,
+                '=' if depth == 0 && p.spacing() == Spacing::Alone => {
+                    return render(&param[..i]);
+                }
+                _ => {}
+            }
+        }
+    }
+    render(param)
+}
+
+/// The bare name of a generic param: `'a` for lifetimes, the ident after
+/// `const` for const params, the first ident otherwise.
+fn param_name(param: &[TokenTree]) -> String {
+    match param.first() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '\'' => match param.get(1) {
+            Some(TokenTree::Ident(id)) => format!("'{id}"),
+            _ => panic!("serde_derive: malformed lifetime parameter"),
+        },
+        Some(TokenTree::Ident(id)) if id.to_string() == "const" => match param.get(1) {
+            Some(TokenTree::Ident(name)) => name.to_string(),
+            _ => panic!("serde_derive: malformed const parameter"),
+        },
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => panic!("serde_derive: malformed generic parameter"),
+    }
+}
+
+fn parse_target(input: &TokenStream) -> Target {
+    let trees: Vec<TokenTree> = input.clone().into_iter().collect();
+    let mut i = 0;
+    while i < trees.len() {
+        if let TokenTree::Ident(id) = &trees[i] {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                break;
+            }
+        }
+        i += 1;
+    }
+    i += 1;
+    let Some(TokenTree::Ident(name)) = trees.get(i) else {
+        panic!("serde_derive: could not find a type name in the derive input");
+    };
+    let name = name.to_string();
+    i += 1;
+
+    let mut params: Vec<Vec<TokenTree>> = Vec::new();
+    if matches!(trees.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        i += 1;
+        let mut depth = 1usize;
+        let mut current: Vec<TokenTree> = Vec::new();
+        while i < trees.len() {
+            match &trees[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    current.push(trees[i].clone());
+                }
+                TokenTree::Punct(p)
+                    if p.as_char() == '>' && closes_bracket(i.checked_sub(1).map(|k| &trees[k])) =>
+                {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                    current.push(trees[i].clone());
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    params.push(std::mem::take(&mut current));
+                }
+                tt => current.push(tt.clone()),
+            }
+            i += 1;
+        }
+        if !current.is_empty() {
+            params.push(current);
+        }
+    }
+
+    // A `where` clause sits before the body braces (named structs, enums)
+    // or between a tuple struct's parens and its `;`.
+    let mut where_clause = String::new();
+    while i < trees.len() {
+        match &trees[i] {
+            TokenTree::Ident(id) if id.to_string() == "where" => {
+                i += 1;
+                let start = i;
+                while i < trees.len() {
+                    match &trees[i] {
+                        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break,
+                        TokenTree::Punct(p) if p.as_char() == ';' => break,
+                        _ => i += 1,
+                    }
+                }
+                where_clause = format!("where {}", render(&trees[start..i]));
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+
+    Target {
+        name,
+        impl_params: params.iter().map(|p| param_impl_form(p)).collect(),
+        type_args: params.iter().map(|p| param_name(p)).collect(),
+        where_clause,
+    }
+}
+
+/// `impl<extra, params> serde::Trait for Name<args> where ... {}`
+fn marker_impl(target: &Target, trait_path: &str, extra_param: Option<&str>) -> TokenStream {
+    let mut impl_params: Vec<String> = extra_param.map(str::to_string).into_iter().collect();
+    impl_params.extend(target.impl_params.iter().cloned());
+    let impl_generics = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_params.join(", "))
+    };
+    let type_args = if target.type_args.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", target.type_args.join(", "))
+    };
+    format!(
+        "impl{impl_generics} {trait_path} for {name}{type_args} {where_clause} {{}}",
+        name = target.name,
+        where_clause = target.where_clause,
+    )
+    .parse()
+    .expect("generated marker impl parses")
+}
+
+/// Derive a no-op `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(&parse_target(&input), "serde::Serialize", None)
+}
+
+/// Derive a no-op `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(&parse_target(&input), "serde::Deserialize<'de>", Some("'de"))
+}
