@@ -140,12 +140,16 @@ impl Clustering {
     /// Clusters with at least `min_size` members, largest first. Kizzle only
     /// builds signatures for clusters with enough samples to generalize
     /// from.
+    ///
+    /// Every returned cluster is guaranteed non-empty even when `min_size`
+    /// is 0 — callers fall back to `members[0]` when no prototype has been
+    /// computed, and an empty member list must never reach them.
     #[must_use]
     pub fn significant_clusters(&self, min_size: usize) -> Vec<&Cluster> {
         let mut out: Vec<&Cluster> = self
             .clusters
             .iter()
-            .filter(|c| c.len() >= min_size)
+            .filter(|c| c.len() >= min_size.max(1))
             .collect();
         out.sort_by_key(|c| std::cmp::Reverse(c.len()));
         out
@@ -236,6 +240,20 @@ mod tests {
         assert_eq!(sig.len(), 2);
         assert_eq!(sig[0].len(), 3);
         assert_eq!(sig[1].len(), 2);
+    }
+
+    #[test]
+    fn significant_clusters_never_yields_empty_members() {
+        // Regression: an empty cluster slipping through `min_size == 0`
+        // panicked the pipeline's `members[0]` prototype fallback.
+        let clustering = Clustering::from_members(
+            vec![vec![], vec![0, 1], vec![]],
+            vec![2],
+            3,
+        );
+        let sig = clustering.significant_clusters(0);
+        assert_eq!(sig.len(), 1);
+        assert!(sig.iter().all(|c| !c.is_empty()));
     }
 
     #[test]

@@ -252,8 +252,9 @@ pub fn dbscan_indexed<S: AsRef<[u8]> + Sync>(
     samples: &[S],
     params: &DbscanParams,
 ) -> (DbscanResult, IndexStats) {
-    let index = NeighborIndex::build(samples, params.eps);
-    let (neighborhoods, stats) = index.neighborhoods();
+    let mut index = NeighborIndex::build(samples, params.eps);
+    let neighborhoods = index.dense_neighborhoods(samples.len());
+    let stats = index.take_stats();
     (dbscan_with_neighborhoods(&neighborhoods, params), stats)
 }
 

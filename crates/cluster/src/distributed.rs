@@ -10,19 +10,26 @@
 //! the transport differs.
 //!
 //! Token-string workloads ([`DistributedClusterer::cluster_token_strings`],
-//! the path the daily pipeline takes) run each partition through the
-//! indexed engine ([`crate::dbscan::dbscan_indexed`]): neighborhood queries
-//! go through the [`crate::index::NeighborIndex`] filter chain and are
-//! themselves parallelized, so a partition no longer pays the
-//! all-pairs banded edit distance.
+//! the path the daily pipeline takes) are a thin wrapper over the
+//! incremental [`CorpusEngine`](crate::engine::CorpusEngine): the day is
+//! loaded into a throwaway engine and clustered through the shared
+//! partition/reduce machinery, so the one-shot batch path and the warm
+//! multi-day path are literally the same code. The reduce step no longer
+//! reconciles merged prototypes all-pairs: prototype merge edges and noise
+//! re-adoption lookups are routed through a small
+//! [`NeighborIndex`](crate::index::NeighborIndex) (the paper names exactly
+//! this reconciliation as its bottleneck), with the reconciliation and
+//! adoption phases timed separately in [`DistributedStats`].
 
 use crate::clustering::{Cluster, Clustering};
-use crate::dbscan::{dbscan, dbscan_indexed, DbscanParams};
-use crate::index::IndexStats;
+use crate::dbscan::{dbscan, DbscanParams};
+use crate::index::{IndexStats, NeighborIndex};
+use crate::store::SampleId;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration of a distributed clustering run.
@@ -68,18 +75,29 @@ pub struct DistributedStats {
     /// Wall-clock time spent partitioning the input.
     pub partition_time: Duration,
     /// Wall-clock time of the parallel map (per-partition DBSCAN) phase.
+    /// On the engine paths this includes the neighborhood queries.
     pub map_time: Duration,
-    /// Wall-clock time of the reduce (reconciliation) phase.
+    /// Wall-clock time of the whole reduce phase
+    /// (`reconcile_time + adopt_time` plus final bookkeeping).
     pub reduce_time: Duration,
+    /// Reduce sub-phase: partition-level medoids plus the merge of
+    /// partition clusters whose prototypes fall within `eps`.
+    pub reconcile_time: Duration,
+    /// Reduce sub-phase: merged-cluster medoids plus the re-adoption of
+    /// noise points near a merged prototype.
+    pub adopt_time: Duration,
     /// Number of clusters found in each partition, before reconciliation.
     pub per_partition_clusters: Vec<usize>,
     /// Number of clusters after reconciliation.
     pub merged_clusters: usize,
     /// Number of samples classified as noise after reconciliation.
     pub noise: usize,
-    /// Aggregated neighbor-index work counters (token-string runs only;
-    /// zero for the generic distance-callback path).
+    /// Aggregated neighbor-index work counters of the map phase (engine
+    /// paths only; zero for the generic distance-callback path).
     pub index: IndexStats,
+    /// Work counters of the reduce step's throwaway prototype indexes
+    /// (token-string paths only).
+    pub reduce_index: IndexStats,
 }
 
 impl DistributedStats {
@@ -92,7 +110,271 @@ impl DistributedStats {
 
 /// Per-partition map output: member lists (global indices) and noise
 /// (global indices).
-type PartitionOutcome = (Vec<Vec<usize>>, Vec<usize>);
+pub(crate) type PartitionOutcome = (Vec<Vec<usize>>, Vec<usize>);
+
+/// Seeded random partitioning of `0..n` into at most `partitions` chunks —
+/// shared by the one-shot driver and the warm engine so both see the same
+/// partition assignment for a given day size.
+pub(crate) fn partition_indices(n: usize, partitions: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    indices
+        .chunks(n.div_ceil(partitions))
+        .map(<[usize]>::to_vec)
+        .collect()
+}
+
+/// Translate a partition-local DBSCAN result back to global sample indices.
+pub(crate) fn partition_outcome(
+    result: &crate::dbscan::DbscanResult,
+    part: &[usize],
+) -> PartitionOutcome {
+    let clusters: Vec<Vec<usize>> = (0..result.cluster_count())
+        .map(|c| result.members(c).into_iter().map(|i| part[i]).collect())
+        .collect();
+    let noise: Vec<usize> = result
+        .labels()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, l)| (*l == crate::dbscan::Label::Noise).then_some(part[i]))
+        .collect();
+    (clusters, noise)
+}
+
+/// Path-compressing union-find over partition-level cluster ids.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Flatten partition outcomes into global cluster member lists and noise.
+fn flatten_outcomes(partition_results: Vec<PartitionOutcome>) -> (Vec<Vec<usize>>, Vec<usize>) {
+    let mut all_clusters: Vec<Vec<usize>> = Vec::new();
+    let mut all_noise: Vec<usize> = Vec::new();
+    for (clusters, noise) in partition_results {
+        all_clusters.extend(clusters);
+        all_noise.extend(noise);
+    }
+    (all_clusters, all_noise)
+}
+
+/// Medoid prototype per cluster member list, in parallel: the medoid scan
+/// is quadratic in (capped) cluster size and independent across clusters.
+fn parallel_medoids<T, D>(samples: &[T], clusters: &[Vec<usize>], distance: &D) -> Vec<usize>
+where
+    T: Sync,
+    D: Fn(&T, &T) -> f64 + Sync,
+{
+    clusters
+        .par_iter()
+        .map(|members| {
+            let mut c = Cluster::new(members.clone());
+            c.compute_prototype(samples, distance, 32)
+                .expect("non-empty cluster has a prototype")
+        })
+        .collect()
+}
+
+/// Assemble merged clusters from union-find roots, in the deterministic
+/// order both reduce variants share: members ascending, clusters ordered by
+/// smallest member index.
+fn assemble_merged(all_clusters: &[Vec<usize>], uf: &mut UnionFind) -> Vec<Vec<usize>> {
+    let mut merged: std::collections::HashMap<usize, Vec<usize>> =
+        std::collections::HashMap::new();
+    for (idx, members) in all_clusters.iter().enumerate() {
+        let root = uf.find(idx);
+        merged.entry(root).or_default().extend(members.iter().copied());
+    }
+    let mut merged_clusters: Vec<Vec<usize>> = merged.into_values().collect();
+    for m in &mut merged_clusters {
+        m.sort_unstable();
+    }
+    merged_clusters.sort_by_key(|m| m.first().copied().unwrap_or(usize::MAX));
+    merged_clusters
+}
+
+/// Shared reduce epilogue: deterministic ordering, stats bookkeeping, and
+/// final prototypes. Both reduce variants must finish identically — the
+/// warm/cold and indexed-vs-generic equivalence properties depend on it.
+fn finish_reduce<T, D>(
+    samples: &[T],
+    distance: &D,
+    mut merged_clusters: Vec<Vec<usize>>,
+    mut remaining_noise: Vec<usize>,
+    reduce_started: Instant,
+    stats: &mut DistributedStats,
+) -> Clustering
+where
+    T: Sync,
+    D: Fn(&T, &T) -> f64 + Sync,
+{
+    for m in &mut merged_clusters {
+        m.sort_unstable();
+    }
+    remaining_noise.sort_unstable();
+    stats.reduce_time = reduce_started.elapsed();
+    stats.merged_clusters = merged_clusters.len();
+    stats.noise = remaining_noise.len();
+
+    let mut clustering = Clustering::from_members(merged_clusters, remaining_noise, samples.len());
+    clustering.compute_prototypes(samples, distance);
+    clustering
+}
+
+/// Reduce for the generic distance-callback path: reconcile partition-level
+/// clusters by all-pairs prototype distance, then re-adopt noise points
+/// close to a merged prototype. Arbitrary distances cannot go through the
+/// neighbor index; token-string workloads use [`reduce_token`] instead.
+fn reduce_generic<T, D>(
+    samples: &[T],
+    params: &DbscanParams,
+    partition_results: Vec<PartitionOutcome>,
+    distance: &D,
+    stats: &mut DistributedStats,
+) -> Clustering
+where
+    T: Sync,
+    D: Fn(&T, &T) -> f64 + Sync,
+{
+    let t_reduce = Instant::now();
+    let (all_clusters, all_noise) = flatten_outcomes(partition_results);
+
+    let prototypes = parallel_medoids(samples, &all_clusters, distance);
+    let mut uf = UnionFind::new(all_clusters.len());
+    for i in 0..prototypes.len() {
+        for j in i + 1..prototypes.len() {
+            if distance(&samples[prototypes[i]], &samples[prototypes[j]]) <= params.eps {
+                uf.union(i, j);
+            }
+        }
+    }
+    let mut merged_clusters = assemble_merged(&all_clusters, &mut uf);
+    stats.reconcile_time = t_reduce.elapsed();
+
+    // Re-adopt noise points that are within eps of a merged prototype.
+    let t_adopt = Instant::now();
+    let merged_prototypes = parallel_medoids(samples, &merged_clusters, distance);
+    let mut remaining_noise = Vec::new();
+    for idx in all_noise {
+        let mut adopted = false;
+        for (c, &proto) in merged_prototypes.iter().enumerate() {
+            if distance(&samples[idx], &samples[proto]) <= params.eps {
+                merged_clusters[c].push(idx);
+                adopted = true;
+                break;
+            }
+        }
+        if !adopted {
+            remaining_noise.push(idx);
+        }
+    }
+    stats.adopt_time = t_adopt.elapsed();
+
+    finish_reduce(samples, distance, merged_clusters, remaining_noise, t_reduce, stats)
+}
+
+/// Index-routed reduce for token-string workloads: identical merge and
+/// adoption semantics to [`reduce_generic`] with the paper's bounded
+/// distance, but prototype merge edges and noise-adoption lookups go
+/// through a small [`NeighborIndex`] instead of all-pairs scans — at
+/// production partition counts the all-pairs reconciliation is the
+/// bottleneck the paper calls out in §IV.
+pub(crate) fn reduce_token<T>(
+    samples: &[T],
+    params: &DbscanParams,
+    partition_results: Vec<PartitionOutcome>,
+    stats: &mut DistributedStats,
+) -> Clustering
+where
+    T: AsRef<[u8]> + Sync,
+{
+    let eps = params.eps;
+    let distance = move |a: &T, b: &T| {
+        crate::distance::normalized_edit_distance_bounded(a.as_ref(), b.as_ref(), eps)
+            .unwrap_or(1.0)
+    };
+    let t_reduce = Instant::now();
+    let (all_clusters, all_noise) = flatten_outcomes(partition_results);
+
+    let prototypes = parallel_medoids(samples, &all_clusters, &distance);
+    // Prototype pairs within eps become merge edges. The throwaway index
+    // answers the eps-ball of every prototype through the filter chain;
+    // symmetry makes each edge appear from both endpoints, which union-find
+    // absorbs.
+    let mut proto_index = NeighborIndex::build(
+        &prototypes
+            .iter()
+            .map(|&p| samples[p].as_ref())
+            .collect::<Vec<_>>(),
+        eps,
+    );
+    let mut uf = UnionFind::new(all_clusters.len());
+    for i in 0..prototypes.len() {
+        for &j in proto_index.cached_slots(u32::try_from(i).expect("prototype count fits u32")) {
+            uf.union(i, j as usize);
+        }
+    }
+    stats.reduce_index.merge(&proto_index.take_stats());
+    let mut merged_clusters = assemble_merged(&all_clusters, &mut uf);
+    stats.reconcile_time = t_reduce.elapsed();
+
+    // Re-adopt noise points that are within eps of a merged prototype: each
+    // noise sample queries the merged-prototype index and joins the first
+    // matching cluster (smallest id), exactly as the all-pairs scan did.
+    let t_adopt = Instant::now();
+    let merged_prototypes = parallel_medoids(samples, &merged_clusters, &distance);
+    // Structural insert only: adoption uses external queries, so eagerly
+    // memoized prototype-vs-prototype eps-balls would be thrown away.
+    let mut adopt_index = NeighborIndex::new(eps);
+    adopt_index.insert_batch_unmemoized(
+        merged_prototypes
+            .iter()
+            .enumerate()
+            .map(|(c, &p)| {
+                (
+                    SampleId::new(u32::try_from(c).expect("cluster count fits u32")),
+                    Arc::from(samples[p].as_ref()),
+                )
+            })
+            .collect(),
+    );
+    let mut remaining_noise = Vec::new();
+    for idx in all_noise {
+        // `query` returns ascending ids, so the first hit is the first
+        // cluster in merged order.
+        match adopt_index.query(samples[idx].as_ref()).first() {
+            Some(&cluster) => merged_clusters[cluster.raw() as usize].push(idx),
+            None => remaining_noise.push(idx),
+        }
+    }
+    stats.reduce_index.merge(&adopt_index.take_stats());
+    stats.adopt_time = t_adopt.elapsed();
+
+    finish_reduce(samples, &distance, merged_clusters, remaining_noise, t_reduce, stats)
+}
 
 /// The distributed clustering driver.
 #[derive(Debug, Clone, Default)]
@@ -111,153 +393,6 @@ impl DistributedClusterer {
     #[must_use]
     pub fn config(&self) -> &DistributedConfig {
         &self.config
-    }
-
-    /// Phase 1: seeded random partitioning into index sets.
-    fn partition_indices(&self, n: usize) -> Vec<Vec<usize>> {
-        let mut indices: Vec<usize> = (0..n).collect();
-        let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
-        indices.shuffle(&mut rng);
-        indices
-            .chunks(n.div_ceil(self.config.partitions))
-            .map(<[usize]>::to_vec)
-            .collect()
-    }
-
-    /// Phases 1–2: partition the input and run `map_one` over the
-    /// partitions in parallel, recording the phase timings, per-partition
-    /// cluster counts, and aggregated index counters (the generic path
-    /// reports [`IndexStats::default`]).
-    fn map_partitions<F>(
-        &self,
-        n: usize,
-        stats: &mut DistributedStats,
-        map_one: F,
-    ) -> Vec<PartitionOutcome>
-    where
-        F: Fn(&[usize]) -> (PartitionOutcome, IndexStats) + Sync,
-    {
-        let t0 = Instant::now();
-        let partitions = self.partition_indices(n);
-        stats.partition_time = t0.elapsed();
-
-        let t1 = Instant::now();
-        let results: Vec<(PartitionOutcome, IndexStats)> = partitions
-            .par_iter()
-            .map(|part| map_one(part))
-            .collect();
-        stats.map_time = t1.elapsed();
-
-        let mut outcomes = Vec::with_capacity(results.len());
-        for (outcome, index_stats) in results {
-            stats.index.merge(&index_stats);
-            stats.per_partition_clusters.push(outcome.0.len());
-            outcomes.push(outcome);
-        }
-        outcomes
-    }
-
-    /// Phase 3: reconcile partition-level clusters by prototype distance,
-    /// then re-adopt noise points close to a merged prototype.
-    fn reduce<T, D>(
-        samples: &[T],
-        params: &DbscanParams,
-        partition_results: Vec<PartitionOutcome>,
-        distance: &D,
-        stats: &mut DistributedStats,
-    ) -> Clustering
-    where
-        T: Sync,
-        D: Fn(&T, &T) -> f64 + Sync,
-    {
-        let t2 = Instant::now();
-        let mut all_clusters: Vec<Vec<usize>> = Vec::new();
-        let mut all_noise: Vec<usize> = Vec::new();
-        for (clusters, noise) in partition_results {
-            all_clusters.extend(clusters);
-            all_noise.extend(noise);
-        }
-
-        // Prototype (medoid) per partition-level cluster, in parallel: the
-        // medoid scan is quadratic in (capped) cluster size and independent
-        // across clusters.
-        let prototypes: Vec<usize> = all_clusters
-            .par_iter()
-            .map(|members| {
-                let mut c = Cluster::new(members.clone());
-                c.compute_prototype(samples, distance, 32)
-                    .expect("non-empty cluster has a prototype")
-            })
-            .collect();
-
-        // Union-find over partition-level clusters.
-        let mut parent: Vec<usize> = (0..all_clusters.len()).collect();
-        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
-            if parent[x] != x {
-                let root = find(parent, parent[x]);
-                parent[x] = root;
-            }
-            parent[x]
-        }
-        for i in 0..prototypes.len() {
-            for j in i + 1..prototypes.len() {
-                if distance(&samples[prototypes[i]], &samples[prototypes[j]]) <= params.eps {
-                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
-                    if ri != rj {
-                        parent[ri] = rj;
-                    }
-                }
-            }
-        }
-
-        let mut merged: std::collections::HashMap<usize, Vec<usize>> =
-            std::collections::HashMap::new();
-        for (idx, members) in all_clusters.iter().enumerate() {
-            let root = find(&mut parent, idx);
-            merged.entry(root).or_default().extend(members.iter().copied());
-        }
-        let mut merged_clusters: Vec<Vec<usize>> = merged.into_values().collect();
-        // Deterministic order: by smallest member index.
-        for m in &mut merged_clusters {
-            m.sort_unstable();
-        }
-        merged_clusters.sort_by_key(|m| m.first().copied().unwrap_or(usize::MAX));
-
-        // Re-adopt noise points that are within eps of a merged prototype.
-        let merged_prototypes: Vec<usize> = merged_clusters
-            .par_iter()
-            .map(|members| {
-                let mut c = Cluster::new(members.clone());
-                c.compute_prototype(samples, distance, 32)
-                    .expect("non-empty cluster has a prototype")
-            })
-            .collect();
-        let mut remaining_noise = Vec::new();
-        for idx in all_noise {
-            let mut adopted = false;
-            for (c, &proto) in merged_prototypes.iter().enumerate() {
-                if distance(&samples[idx], &samples[proto]) <= params.eps {
-                    merged_clusters[c].push(idx);
-                    adopted = true;
-                    break;
-                }
-            }
-            if !adopted {
-                remaining_noise.push(idx);
-            }
-        }
-        for m in &mut merged_clusters {
-            m.sort_unstable();
-        }
-        remaining_noise.sort_unstable();
-        stats.reduce_time = t2.elapsed();
-        stats.merged_clusters = merged_clusters.len();
-        stats.noise = remaining_noise.len();
-
-        let mut clustering =
-            Clustering::from_members(merged_clusters, remaining_noise, samples.len());
-        clustering.compute_prototypes(samples, distance);
-        clustering
     }
 
     /// Cluster `samples` with an arbitrary (symmetric) distance function.
@@ -280,63 +415,48 @@ impl DistributedClusterer {
         }
 
         let params = self.config.dbscan;
-        let outcomes = self.map_partitions(samples.len(), &mut stats, |part| {
-            let local: Vec<&T> = part.iter().map(|&i| &samples[i]).collect();
-            let result = dbscan(&local, &params, |a, b| distance(a, b));
-            (partition_outcome(&result, part), IndexStats::default())
-        });
+        let t0 = Instant::now();
+        let partitions = partition_indices(samples.len(), self.config.partitions, self.config.seed);
+        stats.partition_time = t0.elapsed();
 
-        let clustering = Self::reduce(samples, &params, outcomes, &distance, &mut stats);
+        let t1 = Instant::now();
+        let outcomes: Vec<PartitionOutcome> = partitions
+            .par_iter()
+            .map(|part| {
+                let local: Vec<&T> = part.iter().map(|&i| &samples[i]).collect();
+                let result = dbscan(&local, &params, |a, b| distance(a, b));
+                partition_outcome(&result, part)
+            })
+            .collect();
+        stats.map_time = t1.elapsed();
+        for outcome in &outcomes {
+            stats.per_partition_clusters.push(outcome.0.len());
+        }
+
+        let clustering = reduce_generic(samples, &params, outcomes, &distance, &mut stats);
         (clustering, stats)
     }
 
     /// Cluster token-class strings with the paper's normalized edit
-    /// distance at `eps`, through the indexed engine: per-partition
-    /// [`dbscan_indexed`] (length window → histogram bound → bit-parallel
-    /// distance, parallel neighborhood queries), then the shared reduce.
+    /// distance at `eps`, through the incremental engine: the day is loaded
+    /// into a throwaway [`CorpusEngine`](crate::engine::CorpusEngine) and
+    /// clustered with memoized, parallel neighborhood queries and the
+    /// index-routed reduce.
     ///
     /// Label-equivalent to routing the bounded distance through
     /// [`DistributedClusterer::cluster_with`], as the seed did, but
-    /// dramatically faster — see `benches/clustering_indexed_vs_naive.rs`.
-    pub fn cluster_token_strings(
+    /// dramatically faster — see `benches/clustering_indexed_vs_naive.rs` —
+    /// and byte-identical to a warm multi-day engine clustering the same
+    /// samples (the property tests in `tests/incremental_properties.rs`
+    /// hold both paths to that).
+    pub fn cluster_token_strings<S: AsRef<[u8]> + Sync>(
         &self,
-        samples: &[Vec<u8>],
+        samples: &[S],
     ) -> (Clustering, DistributedStats) {
-        let mut stats = DistributedStats::default();
-        if samples.is_empty() {
-            return (Clustering::default(), stats);
-        }
-
-        let params = self.config.dbscan;
-        let outcomes = self.map_partitions(samples.len(), &mut stats, |part| {
-            let local: Vec<&Vec<u8>> = part.iter().map(|&i| &samples[i]).collect();
-            let (result, index_stats) = dbscan_indexed(&local, &params);
-            (partition_outcome(&result, part), index_stats)
-        });
-
-        // The reduce step compares only prototypes and noise — a tiny
-        // fraction of the pairs — so the plain bounded distance suffices.
-        let eps = params.eps;
-        let distance = move |a: &Vec<u8>, b: &Vec<u8>| {
-            crate::distance::normalized_edit_distance_bounded(a, b, eps).unwrap_or(1.0)
-        };
-        let clustering = Self::reduce(samples, &params, outcomes, &distance, &mut stats);
-        (clustering, stats)
+        let mut engine = crate::engine::CorpusEngine::new(self.config);
+        let ids = engine.add_batch(0, samples);
+        engine.cluster_day(&ids)
     }
-}
-
-/// Translate a partition-local DBSCAN result back to global sample indices.
-fn partition_outcome(result: &crate::dbscan::DbscanResult, part: &[usize]) -> PartitionOutcome {
-    let clusters: Vec<Vec<usize>> = (0..result.cluster_count())
-        .map(|c| result.members(c).into_iter().map(|i| part[i]).collect())
-        .collect();
-    let noise: Vec<usize> = result
-        .labels()
-        .iter()
-        .enumerate()
-        .filter_map(|(i, l)| (*l == crate::dbscan::Label::Noise).then_some(part[i]))
-        .collect();
-    (clusters, noise)
 }
 
 #[cfg(test)]
@@ -370,7 +490,7 @@ mod tests {
     #[test]
     fn empty_input_is_fine() {
         let clusterer = DistributedClusterer::default();
-        let (clustering, stats) = clusterer.cluster_token_strings(&[]);
+        let (clustering, stats) = clusterer.cluster_token_strings::<Vec<u8>>(&[]);
         assert_eq!(clustering.cluster_count(), 0);
         assert_eq!(stats.merged_clusters, 0);
     }
@@ -427,9 +547,10 @@ mod tests {
 
     #[test]
     fn indexed_path_matches_generic_path() {
-        // The indexed token-string engine must produce the same clustering
-        // as routing the bounded distance through the generic callback
-        // path (what the seed implementation did).
+        // The engine-backed token-string path (memoized index queries,
+        // index-routed reduce) must produce the same clustering as routing
+        // the bounded distance through the generic callback path (what the
+        // seed implementation did).
         let (mut samples, _) = synthetic_samples(7);
         samples.push((0..40).map(|i| (i % 3) as u8 + 6).collect());
         samples.push(Vec::new());
@@ -450,7 +571,7 @@ mod tests {
         let (samples, _) = synthetic_samples(5);
         let cfg = DistributedConfig::new(3, DbscanParams::new(0.10, 2), 5);
         let (_, stats) = DistributedClusterer::new(cfg).cluster_token_strings(&samples);
-        // Every sample is queried exactly once across all partitions.
+        // Every (distinct) sample's neighborhood is computed exactly once.
         assert_eq!(stats.index.queries, samples.len());
         assert!(stats.index.distance_calls <= stats.index.window_candidates);
     }
@@ -462,6 +583,7 @@ mod tests {
         let (_, stats) = DistributedClusterer::new(cfg).cluster_token_strings(&samples);
         assert_eq!(stats.per_partition_clusters.len(), 2);
         assert!(stats.total_time() >= stats.reduce_time);
+        assert!(stats.reduce_time >= stats.reconcile_time);
         assert!(stats.merged_clusters > 0);
     }
 

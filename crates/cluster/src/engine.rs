@@ -1,0 +1,338 @@
+//! The incremental corpus engine: warm state threaded through
+//! consecutive days.
+//!
+//! The paper's deployment is a *continuous* daily loop over heavily
+//! overlapping grayware corpora. A stateless pipeline rebuilds the neighbor
+//! index and re-queries every neighborhood from scratch each day; the
+//! [`CorpusEngine`] instead composes a [`CorpusStore`] (stable ids, content
+//! dedup, stamp-based retirement) with an incremental [`NeighborIndex`]
+//! (in-place insert/remove, memoized neighborhoods maintained rather than
+//! recomputed), so day *N+1* pays query cost only for its churned fraction.
+//!
+//! [`CorpusEngine::cluster_day`] clusters an arbitrary *view* of the live
+//! corpus — the ids of one day's samples — through exactly the partition →
+//! per-partition DBSCAN → index-routed reduce dataflow of
+//! [`DistributedClusterer`](crate::distributed::DistributedClusterer). The
+//! key identity making that sound: an eps-ball restricted to a subset of
+//! samples equals the subset-local eps-ball, because the accept predicate
+//! is pairwise. The engine therefore filters its full-corpus memoized
+//! neighborhoods down to the day (and further down to each partition)
+//! instead of re-querying, and the result is **byte-identical** to a cold
+//! one-shot run over the same samples — the property tests in
+//! `tests/incremental_properties.rs` hold it to that.
+
+use crate::clustering::Clustering;
+use crate::dbscan::dbscan_with_neighborhoods;
+use crate::distributed::{
+    partition_indices, partition_outcome, reduce_token, DistributedConfig, DistributedStats,
+    PartitionOutcome,
+};
+use crate::index::NeighborIndex;
+use crate::store::{CorpusStore, SampleId};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Persistent clustering engine over a corpus that changes incrementally.
+#[derive(Debug, Clone)]
+pub struct CorpusEngine {
+    config: DistributedConfig,
+    store: CorpusStore,
+    index: NeighborIndex,
+}
+
+impl CorpusEngine {
+    /// Create an empty engine; the index runs at `config.dbscan.eps`.
+    #[must_use]
+    pub fn new(config: DistributedConfig) -> Self {
+        CorpusEngine {
+            config,
+            store: CorpusStore::new(),
+            index: NeighborIndex::new(config.dbscan.eps),
+        }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &DistributedConfig {
+        &self.config
+    }
+
+    /// The persistent sample store.
+    #[must_use]
+    pub fn store(&self) -> &CorpusStore {
+        &self.store
+    }
+
+    /// The incremental neighbor index.
+    #[must_use]
+    pub fn index(&self) -> &NeighborIndex {
+        &self.index
+    }
+
+    /// Number of live samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True if the engine holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Add one day's class-strings under `stamp`, returning one id per
+    /// input position (dedup means ids can repeat: a sample identical to an
+    /// already-live one — yesterday's carry-over, or an intra-day duplicate
+    /// — reuses its entry and refreshes its stamp instead of re-indexing).
+    ///
+    /// Fresh samples are indexed as a batch: their neighborhoods are
+    /// computed in parallel and spliced into the surviving memoized lists.
+    pub fn add_batch<S: AsRef<[u8]>>(&mut self, stamp: u64, samples: &[S]) -> Vec<SampleId> {
+        let mut ids = Vec::with_capacity(samples.len());
+        let mut fresh: Vec<(SampleId, Arc<[u8]>)> = Vec::new();
+        for sample in samples {
+            let (id, reused) = self.store.add(stamp, sample.as_ref());
+            if !reused {
+                fresh.push((id, self.store.data(id).expect("just added")));
+            }
+            ids.push(id);
+        }
+        self.index.insert_batch(fresh);
+        ids
+    }
+
+    /// Remove one sample from store and index.
+    pub fn remove(&mut self, id: SampleId) -> bool {
+        if self.store.remove(id).is_none() {
+            return false;
+        }
+        self.index.remove(id);
+        true
+    }
+
+    /// Retire every sample whose stamp is strictly below `cutoff`,
+    /// returning how many were removed.
+    pub fn retire_older_than(&mut self, cutoff: u64) -> usize {
+        let retired = self.store.older_than(cutoff);
+        for &id in &retired {
+            self.remove(id);
+        }
+        retired.len()
+    }
+
+    /// Cluster a view of the live corpus — `day_ids[p]` is the sample at
+    /// dense position `p` — through the distributed partition/reduce
+    /// dataflow, byte-identical to a cold
+    /// [`cluster_token_strings`](crate::distributed::DistributedClusterer::cluster_token_strings)
+    /// run over the same dense sample sequence. Memoized neighborhoods are
+    /// reused; only ids whose cache was churned away pay query cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is not live.
+    pub fn cluster_day(&mut self, day_ids: &[SampleId]) -> (Clustering, DistributedStats) {
+        let n = day_ids.len();
+        let mut stats = DistributedStats::default();
+        if n == 0 {
+            return (Clustering::default(), stats);
+        }
+        let params = self.config.dbscan;
+
+        let t_map = Instant::now();
+        // Dense positions of every id in the view (dedup can map several
+        // positions to one id).
+        let mut positions: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (p, id) in day_ids.iter().enumerate() {
+            positions.entry(id.raw()).or_default().push(p);
+        }
+        let unique: Vec<SampleId> = {
+            let mut u: Vec<u32> = positions.keys().copied().collect();
+            u.sort_unstable();
+            u.into_iter().map(SampleId::new).collect()
+        };
+        self.index.ensure_cached(&unique);
+
+        // Day-restricted dense neighborhoods: the full-corpus eps-ball
+        // filtered to the view, expanded to positions, plus co-located
+        // duplicates (distance 0 to themselves).
+        let index = &self.index;
+        let dense: Vec<Vec<usize>> = day_ids
+            .par_iter()
+            .enumerate()
+            .map(|(p, id)| {
+                let mut neighbors: Vec<usize> = Vec::new();
+                for &q in &positions[&id.raw()] {
+                    if q != p {
+                        neighbors.push(q);
+                    }
+                }
+                for &slot in index.cached_slots(id.raw()) {
+                    if let Some(qs) = positions.get(&slot) {
+                        neighbors.extend(qs.iter().copied());
+                    }
+                }
+                neighbors.sort_unstable();
+                neighbors
+            })
+            .collect();
+
+        // Partition and cluster each partition on its induced subgraph —
+        // the same label computation a fresh per-partition index performs.
+        let t0 = Instant::now();
+        let partitions = partition_indices(n, self.config.partitions, self.config.seed);
+        stats.partition_time = t0.elapsed();
+
+        let outcomes: Vec<PartitionOutcome> = partitions
+            .par_iter()
+            .map(|part| {
+                let mut local_of = vec![usize::MAX; n];
+                for (local, &global) in part.iter().enumerate() {
+                    local_of[global] = local;
+                }
+                let local_neighborhoods: Vec<Vec<usize>> = part
+                    .iter()
+                    .map(|&global| {
+                        let mut local: Vec<usize> = dense[global]
+                            .iter()
+                            .filter_map(|&q| {
+                                let l = local_of[q];
+                                (l != usize::MAX).then_some(l)
+                            })
+                            .collect();
+                        local.sort_unstable();
+                        local
+                    })
+                    .collect();
+                let result = dbscan_with_neighborhoods(&local_neighborhoods, &params);
+                partition_outcome(&result, part)
+            })
+            .collect();
+        stats.map_time = t_map.elapsed() - stats.partition_time;
+        for outcome in &outcomes {
+            stats.per_partition_clusters.push(outcome.0.len());
+        }
+        stats.index.merge(&self.index.take_stats());
+
+        // Index-routed reduce over the dense day view.
+        let day_data: Vec<Arc<[u8]>> = day_ids
+            .iter()
+            .map(|&id| self.store.data(id).expect("day id is live"))
+            .collect();
+        let clustering = reduce_token(&day_data, &params, outcomes, &mut stats);
+        (clustering, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbscan::DbscanParams;
+    use crate::distributed::DistributedClusterer;
+
+    fn family_day(per_family: usize, variant_offset: usize) -> Vec<Vec<u8>> {
+        let mut samples = Vec::new();
+        let bases: Vec<Vec<u8>> = vec![
+            (0..120).map(|i| (i % 5) as u8).collect(),
+            (0..150).map(|i| ((i * 3) % 6) as u8).collect(),
+            (0..90).map(|i| ((i * 7 + 1) % 4) as u8).collect(),
+        ];
+        for base in &bases {
+            for v in 0..per_family {
+                let mut s = base.clone();
+                for k in 0..(s.len() / 30) {
+                    let pos = ((v + variant_offset) * 13 + k * 17) % s.len();
+                    s[pos] = (s[pos] + 1) % 6;
+                }
+                samples.push(s);
+            }
+        }
+        samples
+    }
+
+    fn cfg() -> DistributedConfig {
+        DistributedConfig::new(3, DbscanParams::new(0.10, 2), 42)
+    }
+
+    #[test]
+    fn empty_day_is_fine() {
+        let mut engine = CorpusEngine::new(cfg());
+        let (clustering, stats) = engine.cluster_day(&[]);
+        assert_eq!(clustering.cluster_count(), 0);
+        assert_eq!(stats.merged_clusters, 0);
+    }
+
+    #[test]
+    fn warm_second_day_matches_cold_run() {
+        let day1 = family_day(5, 0);
+        // Day 2 keeps most of day 1 and churns in a few new variants.
+        let mut day2 = day1[3..].to_vec();
+        day2.extend(family_day(2, 9));
+
+        let mut engine = CorpusEngine::new(cfg());
+        let ids1 = engine.add_batch(1, &day1);
+        let (warm1, _) = engine.cluster_day(&ids1);
+        let ids2 = engine.add_batch(2, &day2);
+        let (warm2, stats2) = engine.cluster_day(&ids2);
+
+        let clusterer = DistributedClusterer::new(cfg());
+        let (cold1, _) = clusterer.cluster_token_strings(&day1);
+        let (cold2, _) = clusterer.cluster_token_strings(&day2);
+        assert_eq!(warm1, cold1);
+        assert_eq!(warm2, cold2);
+        // The carried-over samples were cache hits: only the churned
+        // fraction paid query cost on day 2.
+        assert!(
+            stats2.index.queries < day2.len(),
+            "stats: {:?}",
+            stats2.index
+        );
+        assert!(stats2.index.cache_hits > 0);
+    }
+
+    #[test]
+    fn retirement_shrinks_the_corpus_without_changing_the_day() {
+        let day1 = family_day(4, 0);
+        let day2 = family_day(4, 5);
+        let mut engine = CorpusEngine::new(cfg());
+        engine.add_batch(1, &day1);
+        assert_eq!(engine.len(), day1.len());
+        let ids2 = engine.add_batch(2, &day2);
+        // Retire day 1 (stamp < 2); day 2's clustering is unaffected.
+        let retired = engine.retire_older_than(2);
+        assert_eq!(retired, day1.len());
+        assert_eq!(engine.len(), day2.len());
+        let (warm, _) = engine.cluster_day(&ids2);
+        let (cold, _) = DistributedClusterer::new(cfg()).cluster_token_strings(&day2);
+        assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn duplicate_positions_cluster_like_distinct_samples() {
+        // A day whose view repeats the same content at several positions
+        // must cluster exactly like a cold run over the repeated sequence.
+        let base = family_day(3, 0);
+        let mut day: Vec<Vec<u8>> = base.clone();
+        day.push(base[0].clone());
+        day.push(base[0].clone());
+        let mut engine = CorpusEngine::new(cfg());
+        let ids = engine.add_batch(1, &day);
+        // Dedup collapsed the repeats onto one id.
+        assert_eq!(ids[0], ids[base.len()]);
+        assert_eq!(ids[0], ids[base.len() + 1]);
+        let (warm, _) = engine.cluster_day(&ids);
+        let (cold, _) = DistributedClusterer::new(cfg()).cluster_token_strings(&day);
+        assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn remove_is_idempotent() {
+        let mut engine = CorpusEngine::new(cfg());
+        let ids = engine.add_batch(1, &family_day(2, 0));
+        assert!(engine.remove(ids[0]));
+        assert!(!engine.remove(ids[0]));
+        assert_eq!(engine.len(), ids.len() - 1);
+    }
+}

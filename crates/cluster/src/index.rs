@@ -1,4 +1,4 @@
-//! Candidate-pruning neighbor index for token-string DBSCAN.
+//! Incremental candidate-pruning neighbor index for token-string DBSCAN.
 //!
 //! The naive neighborhood query compares a sample against all `n − 1`
 //! others with the banded edit distance. At the paper's `eps = 0.10` almost
@@ -8,35 +8,52 @@
 //! multiset. This index exploits both facts with a chain of ever-more
 //! expensive filters:
 //!
-//! 1. **Length window** — samples are sorted by length once; a query only
-//!    scans the contiguous slice whose lengths satisfy the normalized
+//! 1. **Length window** — entries live in a length-ordered set; a query
+//!    only walks the contiguous range whose lengths satisfy the normalized
 //!    length-difference bound. `O(log n)` to locate, nothing at all spent
 //!    on samples outside the window.
-//! 2. **Token-class histogram L1 bound** — per sample the index stores a
+//! 2. **Token-class histogram L1 bound** — per entry the index stores a
 //!    compact histogram over the observed token alphabet. Each unit edit
 //!    changes the histogram L1 distance by at most 2, so
 //!    `⌈L1 / 2⌉ > max_edits` rejects a pair in `O(alphabet)` (the token
 //!    alphabet has ~a dozen classes) instead of `O(len²)`.
 //! 3. **Bit-parallel bounded edit distance** — survivors meet Myers'
 //!    algorithm ([`BitParallelPattern`]), with the pattern preprocessing
-//!    amortized across the whole candidate slice of one query.
+//!    amortized across the whole candidate range of one query.
+//!
+//! Unlike the original batch-only index, this one is **incremental**:
+//! [`NeighborIndex::insert`] and [`NeighborIndex::remove`] update the
+//! length-ordered set and histogram table in place, and the memoized
+//! neighborhoods are *maintained* rather than recomputed — inserting a
+//! sample computes its own eps-ball once and splices the new id into its
+//! neighbors' cached lists (the eps relation is symmetric), removing a
+//! sample prunes it from exactly those lists. Day *N+1* of a heavily
+//! overlapping corpus therefore pays query cost only for the churned
+//! fraction; everything else is a cache hit.
 //!
 //! The accept decision reproduces
 //! [`normalized_edit_distance_bounded`](crate::distance::normalized_edit_distance_bounded)
 //! `≤ eps` bit-for-bit (same `max_edits` floor, same final normalized
 //! comparison), so [`dbscan_indexed`](crate::dbscan::dbscan_indexed) is
-//! label-identical to the naive [`dbscan`](crate::dbscan::dbscan) — a
-//! property test in `tests/indexed_properties.rs` holds it to that.
+//! label-identical to the naive [`dbscan`](crate::dbscan::dbscan) — the
+//! property tests in `tests/indexed_properties.rs` and
+//! `tests/incremental_properties.rs` hold it to that.
 
 use crate::distance::BitParallelPattern;
+use crate::store::SampleId;
 use rayon::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
 
-/// Work counters from index queries, for observability and the PERF.md
+/// Work counters from index operations, for observability and the PERF.md
 /// pruning-efficiency numbers.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IndexStats {
-    /// Number of neighborhood queries served.
+    /// Number of eps-ball computations performed (cache misses and
+    /// external [`NeighborIndex::query`] calls).
     pub queries: usize,
+    /// Neighborhood reads served from the memoized cache.
+    pub cache_hits: usize,
     /// Ordered candidate pairs that survived the length window.
     pub window_candidates: usize,
     /// Pairs rejected by the histogram L1 lower bound.
@@ -48,9 +65,10 @@ pub struct IndexStats {
 }
 
 impl IndexStats {
-    /// Accumulate another query's counters.
+    /// Accumulate another operation's counters.
     pub fn merge(&mut self, other: &IndexStats) {
         self.queries += other.queries;
+        self.cache_hits += other.cache_hits;
         self.window_candidates += other.window_candidates;
         self.pruned_by_histogram += other.pruned_by_histogram;
         self.distance_calls += other.distance_calls;
@@ -58,22 +76,41 @@ impl IndexStats {
     }
 }
 
-/// A neighbor index over a fixed set of token strings at a fixed `eps`.
+/// Histogram slot meaning "symbol not yet observed".
+const UNASSIGNED: u16 = u16::MAX;
+
 #[derive(Debug, Clone)]
-pub struct NeighborIndex<'a, S> {
-    samples: &'a [S],
+struct IndexEntry {
+    data: Arc<[u8]>,
+    /// Compact histogram over the alphabet observed *when this entry was
+    /// inserted*; slots added later are implicitly zero.
+    hist: Vec<u32>,
+    /// Memoized eps-ball (ascending slot numbers), exact w.r.t. the current
+    /// live set whenever present — insert/remove maintain it in place.
+    cache: Option<Vec<u32>>,
+}
+
+/// An incremental neighbor index over token strings at a fixed `eps`.
+///
+/// Entries are keyed by caller-supplied [`SampleId`]s (from a
+/// [`CorpusStore`](crate::store::CorpusStore) or minted directly); the
+/// index owns a cheap [`Arc`] handle to each sample's bytes.
+#[derive(Debug, Clone)]
+pub struct NeighborIndex {
     eps: f64,
-    /// Sample indices sorted by `(length, index)`.
-    by_len: Vec<usize>,
-    /// Lengths parallel to `by_len` (dense, cache-friendly scan).
-    lens: Vec<usize>,
-    /// Rank of each sample in `by_len` (inverse permutation).
-    rank: Vec<usize>,
-    /// Compact histogram per sample over the observed alphabet,
-    /// concatenated: sample `i` owns `histograms[i * width..(i+1) * width]`.
-    histograms: Vec<u32>,
-    /// Histogram width: number of distinct symbols observed in the corpus.
+    /// Slot `i` backs `SampleId(i)`.
+    entries: Vec<Option<IndexEntry>>,
+    /// Live `(length, slot)` pairs, the length-window structure. Updated in
+    /// place by insert/remove.
+    by_len: BTreeSet<(usize, u32)>,
+    /// Observed alphabet → histogram slot; grows monotonically.
+    slot_of: [u16; 256],
+    /// Number of assigned histogram slots.
     width: usize,
+    live: usize,
+    /// Counters accumulated across operations, drained by
+    /// [`NeighborIndex::take_stats`].
+    session: IndexStats,
 }
 
 /// `max_edits` for a pair whose longer string has `max_len` tokens —
@@ -92,66 +129,73 @@ fn length_compatible(eps: f64, a: usize, b: usize) -> bool {
     a.abs_diff(b) as f64 / max_len as f64 <= eps
 }
 
-impl<'a, S: AsRef<[u8]> + Sync> NeighborIndex<'a, S> {
-    /// Build the index: sort by length and precompute histograms.
-    ///
-    /// Costs `O(n log n + total_tokens)`; the index borrows `samples`.
+/// Histogram L1 distance with implicit zero-extension (entries inserted at
+/// different alphabet widths have different histogram lengths).
+fn histogram_l1(a: &[u32], b: &[u32]) -> u64 {
+    let common = a.len().min(b.len());
+    let mut sum: u64 = 0;
+    for i in 0..common {
+        sum += u64::from(a[i].abs_diff(b[i]));
+    }
+    for &x in &a[common..] {
+        sum += u64::from(x);
+    }
+    for &x in &b[common..] {
+        sum += u64::from(x);
+    }
+    sum
+}
+
+impl NeighborIndex {
+    /// Create an empty index for the given `eps`.
     ///
     /// # Panics
     ///
     /// Panics if `eps` is negative or NaN.
     #[must_use]
-    pub fn build(samples: &'a [S], eps: f64) -> Self {
+    pub fn new(eps: f64) -> Self {
         assert!(eps >= 0.0 && eps.is_finite(), "eps must be a non-negative number");
-        let n = samples.len();
-        let mut by_len: Vec<usize> = (0..n).collect();
-        by_len.sort_unstable_by_key(|&i| (samples[i].as_ref().len(), i));
-        let lens: Vec<usize> = by_len.iter().map(|&i| samples[i].as_ref().len()).collect();
-        let mut rank = vec![0usize; n];
-        for (pos, &i) in by_len.iter().enumerate() {
-            rank[i] = pos;
-        }
-
-        // Observed alphabet → compact histogram slots.
-        let mut slot_of = [usize::MAX; 256];
-        let mut width = 0usize;
-        for sample in samples {
-            for &sym in sample.as_ref() {
-                if slot_of[sym as usize] == usize::MAX {
-                    slot_of[sym as usize] = width;
-                    width += 1;
-                }
-            }
-        }
-        let mut histograms = vec![0u32; n * width];
-        for (i, sample) in samples.iter().enumerate() {
-            let hist = &mut histograms[i * width..(i + 1) * width];
-            for &sym in sample.as_ref() {
-                hist[slot_of[sym as usize]] += 1;
-            }
-        }
-
         NeighborIndex {
-            samples,
             eps,
-            by_len,
-            lens,
-            rank,
-            histograms,
-            width,
+            entries: Vec::new(),
+            by_len: BTreeSet::new(),
+            slot_of: [UNASSIGNED; 256],
+            width: 0,
+            live: 0,
+            session: IndexStats::default(),
         }
     }
 
-    /// Number of indexed samples.
+    /// Build an index over a sample slice, assigning `SampleId(i)` to
+    /// `samples[i]` and computing every neighborhood up front (in
+    /// parallel). The one-shot batch entry point.
+    #[must_use]
+    pub fn build<S: AsRef<[u8]> + Sync>(samples: &[S], eps: f64) -> Self {
+        let mut index = NeighborIndex::new(eps);
+        let items: Vec<(SampleId, Arc<[u8]>)> = samples
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                (
+                    SampleId::new(u32::try_from(i).expect("more than u32::MAX samples")),
+                    Arc::from(s.as_ref()),
+                )
+            })
+            .collect();
+        index.insert_batch(items);
+        index
+    }
+
+    /// Number of live entries.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.live
     }
 
-    /// True if the index holds no samples.
+    /// True if the index holds no entries.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.live == 0
     }
 
     /// The `eps` the index was built for.
@@ -160,26 +204,73 @@ impl<'a, S: AsRef<[u8]> + Sync> NeighborIndex<'a, S> {
         self.eps
     }
 
-    /// Histogram L1 distance between samples `i` and `j`, in `O(width)`.
-    fn histogram_l1(&self, i: usize, j: usize) -> u32 {
-        let a = &self.histograms[i * self.width..(i + 1) * self.width];
-        let b = &self.histograms[j * self.width..(j + 1) * self.width];
-        a.iter().zip(b).map(|(x, y)| x.abs_diff(*y)).sum()
+    /// True if `id` is indexed.
+    #[must_use]
+    pub fn contains(&self, id: SampleId) -> bool {
+        self.entries
+            .get(id.raw() as usize)
+            .is_some_and(Option::is_some)
     }
 
-    /// All samples within normalized edit distance `eps` of sample `i`
-    /// (excluding `i` itself), ascending, plus the query's work counters.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `i` is out of range.
-    #[must_use]
-    pub fn neighbors_with_stats(&self, i: usize) -> (Vec<usize>, IndexStats) {
+    /// Drain the counters accumulated since the last call.
+    pub fn take_stats(&mut self) -> IndexStats {
+        std::mem::take(&mut self.session)
+    }
+
+    fn entry(&self, slot: u32) -> &IndexEntry {
+        self.entries[slot as usize]
+            .as_ref()
+            .expect("slot refers to a live entry")
+    }
+
+    /// Register `data`'s symbols in the alphabet and return its histogram.
+    fn make_histogram(&mut self, data: &[u8]) -> Vec<u32> {
+        for &sym in data {
+            if self.slot_of[sym as usize] == UNASSIGNED {
+                self.slot_of[sym as usize] =
+                    u16::try_from(self.width).expect("alphabet exceeds u16 slots");
+                self.width += 1;
+            }
+        }
+        let mut hist = vec![0u32; self.width];
+        for &sym in data {
+            hist[self.slot_of[sym as usize] as usize] += 1;
+        }
+        hist
+    }
+
+    /// Histogram of an external (non-indexed) query string, plus the total
+    /// count of its symbols outside the observed alphabet (each contributes
+    /// its full count to every L1 distance).
+    fn external_histogram(&self, data: &[u8]) -> (Vec<u32>, u64) {
+        let mut hist = vec![0u32; self.width];
+        let mut unknown: u64 = 0;
+        for &sym in data {
+            let slot = self.slot_of[sym as usize];
+            if slot == UNASSIGNED {
+                unknown += 1;
+            } else {
+                hist[slot as usize] += 1;
+            }
+        }
+        (hist, unknown)
+    }
+
+    /// The eps-ball of `query` over the live entries: every slot whose
+    /// sample is within normalized edit distance `eps`, ascending.
+    /// `exclude` removes the query's own slot; `unknown` is the L1
+    /// contribution of query symbols outside the observed alphabet.
+    fn eps_ball(
+        &self,
+        query: &[u8],
+        query_hist: &[u32],
+        unknown: u64,
+        exclude: Option<u32>,
+    ) -> (Vec<u32>, IndexStats) {
         let mut stats = IndexStats {
             queries: 1,
             ..IndexStats::default()
         };
-        let query = self.samples[i].as_ref();
         let query_len = query.len();
         // Built lazily: queries whose whole length window is pruned (most
         // benign one-offs) never pay the O(256·blocks) pattern setup.
@@ -189,9 +280,7 @@ impl<'a, S: AsRef<[u8]> + Sync> NeighborIndex<'a, S> {
         // Conservative start of the length window (one short of the integer
         // bound; the exact float predicate re-checks each candidate).
         let window_min = query_len.saturating_sub(max_edits(self.eps, query_len) + 1);
-        let start = self.lens.partition_point(|&len| len < window_min);
-        for pos in start..self.lens.len() {
-            let cand_len = self.lens[pos];
+        for &(cand_len, slot) in self.by_len.range((window_min, 0u32)..) {
             if !length_compatible(self.eps, query_len, cand_len) {
                 if cand_len > query_len {
                     // (M − L) / M grows with M: every longer candidate
@@ -201,8 +290,7 @@ impl<'a, S: AsRef<[u8]> + Sync> NeighborIndex<'a, S> {
                 // Below the exact bound but inside the conservative slack.
                 continue;
             }
-            let j = self.by_len[pos];
-            if j == i {
+            if exclude == Some(slot) {
                 continue;
             }
             stats.window_candidates += 1;
@@ -210,23 +298,25 @@ impl<'a, S: AsRef<[u8]> + Sync> NeighborIndex<'a, S> {
             let max_len = query_len.max(cand_len);
             if max_len == 0 {
                 // Two empty strings: distance 0.
-                neighbors.push(j);
+                neighbors.push(slot);
                 stats.neighbors_found += 1;
                 continue;
             }
             let budget = max_edits(self.eps, max_len);
+            let cand = self.entry(slot);
             // Each edit moves the histogram L1 by at most 2.
-            let l1_lower = (self.histogram_l1(i, j) as usize).div_ceil(2);
+            let l1 = histogram_l1(query_hist, &cand.hist) + unknown;
+            let l1_lower = usize::try_from(l1.div_ceil(2)).unwrap_or(usize::MAX);
             if l1_lower > budget {
                 stats.pruned_by_histogram += 1;
                 continue;
             }
             stats.distance_calls += 1;
             let pattern = pattern.get_or_insert_with(|| BitParallelPattern::new(query));
-            if let Some(d) = pattern.distance_bounded(self.samples[j].as_ref(), budget) {
+            if let Some(d) = pattern.distance_bounded(&cand.data, budget) {
                 // Final normalized comparison, identical to the naive path.
                 if d as f64 / max_len as f64 <= self.eps {
-                    neighbors.push(j);
+                    neighbors.push(slot);
                     stats.neighbors_found += 1;
                 }
             }
@@ -235,45 +325,248 @@ impl<'a, S: AsRef<[u8]> + Sync> NeighborIndex<'a, S> {
         (neighbors, stats)
     }
 
-    /// All samples within `eps` of sample `i`, ascending.
+    /// Compute the eps-ball of live slot `slot` (no cache involvement).
+    fn eps_ball_of_slot(&self, slot: u32) -> (Vec<u32>, IndexStats) {
+        let entry = self.entry(slot);
+        // The Arc keeps `data` alive independently of the entry table, so
+        // the borrow checker lets us pass it back into `self`.
+        let data = Arc::clone(&entry.data);
+        let hist = entry.hist.clone();
+        self.eps_ball(&data, &hist, 0, Some(slot))
+    }
+
+    /// The eps-ball of an external sample over the indexed entries,
+    /// ascending. Used by the reduce step to route merged-prototype and
+    /// noise-adoption lookups through the filter chain instead of scanning
+    /// prototypes all-pairs.
+    #[must_use]
+    pub fn query(&mut self, sample: &[u8]) -> Vec<SampleId> {
+        let (hist, unknown) = self.external_histogram(sample);
+        let (slots, stats) = self.eps_ball(sample, &hist, unknown, None);
+        self.session.merge(&stats);
+        slots.into_iter().map(SampleId::new).collect()
+    }
+
+    /// Insert one sample under `id`.
+    ///
+    /// Computes the new entry's eps-ball once and splices `id` into its
+    /// neighbors' memoized lists, so every existing cache stays exact.
     ///
     /// # Panics
     ///
-    /// Panics if `i` is out of range.
-    #[must_use]
-    pub fn neighbors(&self, i: usize) -> Vec<usize> {
-        self.neighbors_with_stats(i).0
+    /// Panics if `id` is already indexed.
+    pub fn insert(&mut self, id: SampleId, data: Arc<[u8]>) {
+        self.insert_batch(vec![(id, data)]);
     }
 
-    /// Every sample's neighborhood, computed in parallel (rayon) and
-    /// returned with the aggregated work counters. `result[i]` is ascending
-    /// and excludes `i`.
-    #[must_use]
-    pub fn neighborhoods(&self) -> (Vec<Vec<usize>>, IndexStats) {
-        let per_query: Vec<(Vec<usize>, IndexStats)> = self
-            .samples
-            .par_iter()
-            .enumerate()
-            .map(|(i, _)| self.neighbors_with_stats(i))
-            .collect();
-        let mut stats = IndexStats::default();
-        let mut neighborhoods = Vec::with_capacity(per_query.len());
-        for (neighbors, query_stats) in per_query {
-            stats.merge(&query_stats);
-            neighborhoods.push(neighbors);
+    /// Insert a batch of samples, computing the new entries' neighborhoods
+    /// in parallel and splicing them into the surviving caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is already indexed or appears twice in the batch.
+    pub fn insert_batch(&mut self, items: Vec<(SampleId, Arc<[u8]>)>) {
+        if items.is_empty() {
+            return;
         }
-        (neighborhoods, stats)
+        // Phase 1: structural inserts (length set, histograms, slots).
+        let new_slots = self.insert_structural(items);
+
+        // Phase 2: the new entries' eps-balls, in parallel over the full
+        // (old + new) live set.
+        let shared: &NeighborIndex = self;
+        let computed: Vec<(Vec<u32>, IndexStats)> = new_slots
+            .par_iter()
+            .map(|&slot| shared.eps_ball_of_slot(slot))
+            .collect();
+
+        // Phase 3: memoize the new eps-balls and splice each new slot into
+        // its *pre-existing* neighbors' caches (new–new pairs are already
+        // covered by the parallel computation; the eps relation is
+        // symmetric).
+        let new_set: BTreeSet<u32> = new_slots.iter().copied().collect();
+        for (&slot, (neighbors, stats)) in new_slots.iter().zip(computed) {
+            self.session.merge(&stats);
+            for &other in &neighbors {
+                if new_set.contains(&other) {
+                    continue;
+                }
+                if let Some(cache) = &mut self.entries[other as usize]
+                    .as_mut()
+                    .expect("neighbor is live")
+                    .cache
+                {
+                    if let Err(pos) = cache.binary_search(&slot) {
+                        cache.insert(pos, slot);
+                    }
+                }
+            }
+            self.entries[slot as usize]
+                .as_mut()
+                .expect("just inserted")
+                .cache = Some(neighbors);
+        }
     }
 
-    /// Rank of sample `i` in the length-sorted order (exposed for tests and
-    /// diagnostics).
+    /// Structural inserts only: length set, histograms, slots. Returns the
+    /// inserted slots; caches are untouched.
+    fn insert_structural(&mut self, items: Vec<(SampleId, Arc<[u8]>)>) -> Vec<u32> {
+        let mut new_slots = Vec::with_capacity(items.len());
+        for (id, data) in items {
+            let slot = id.raw();
+            if self.entries.len() <= slot as usize {
+                self.entries.resize(slot as usize + 1, None);
+            }
+            assert!(
+                self.entries[slot as usize].is_none(),
+                "SampleId {slot} is already indexed"
+            );
+            let hist = self.make_histogram(&data);
+            self.by_len.insert((data.len(), slot));
+            self.entries[slot as usize] = Some(IndexEntry {
+                data,
+                hist,
+                cache: None,
+            });
+            self.live += 1;
+            new_slots.push(slot);
+        }
+        new_slots
+    }
+
+    /// Insert a batch *without* computing neighborhoods — for throwaway
+    /// indexes that are only queried externally ([`NeighborIndex::query`]),
+    /// like the reduce step's noise-adoption index, where eager eps-balls
+    /// would be computed and thrown away. Only sound while no neighborhood
+    /// is memoized (maintained caches would silently go stale), which is
+    /// asserted.
+    pub(crate) fn insert_batch_unmemoized(&mut self, items: Vec<(SampleId, Arc<[u8]>)>) {
+        assert!(
+            self.entries.iter().flatten().all(|e| e.cache.is_none()),
+            "unmemoized insert into an index with memoized neighborhoods"
+        );
+        self.insert_structural(items);
+    }
+
+    /// Remove `id` from the index, pruning it from its neighbors' memoized
+    /// lists. Returns false if `id` was not indexed.
+    pub fn remove(&mut self, id: SampleId) -> bool {
+        let slot = id.raw();
+        if !self.contains(id) {
+            return false;
+        }
+        // The eps relation is symmetric: the caches that mention `slot` are
+        // exactly the caches of its own eps-ball.
+        let neighbors = match self.entries[slot as usize]
+            .as_mut()
+            .expect("checked live")
+            .cache
+            .take()
+        {
+            Some(cached) => cached,
+            None => {
+                let (computed, stats) = self.eps_ball_of_slot(slot);
+                self.session.merge(&stats);
+                computed
+            }
+        };
+        for other in neighbors {
+            if let Some(cache) = &mut self.entries[other as usize]
+                .as_mut()
+                .expect("neighbor is live")
+                .cache
+            {
+                if let Ok(pos) = cache.binary_search(&slot) {
+                    cache.remove(pos);
+                }
+            }
+        }
+        let len = self.entry(slot).data.len();
+        self.by_len.remove(&(len, slot));
+        self.entries[slot as usize] = None;
+        self.live -= 1;
+        true
+    }
+
+    /// The memoized eps-ball of `id`, computing and caching it on a miss.
     ///
     /// # Panics
     ///
-    /// Panics if `i` is out of range.
+    /// Panics if `id` is not indexed.
     #[must_use]
-    pub fn length_rank(&self, i: usize) -> usize {
-        self.rank[i]
+    pub fn neighbors(&mut self, id: SampleId) -> Vec<SampleId> {
+        self.ensure_cached(&[id]);
+        self.cached_slots(id.raw())
+            .iter()
+            .map(|&slot| SampleId::new(slot))
+            .collect()
+    }
+
+    /// Make sure every listed id has a memoized neighborhood, computing the
+    /// missing ones in parallel. Cache hits and misses are tallied in the
+    /// session counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is not indexed.
+    pub fn ensure_cached(&mut self, ids: &[SampleId]) {
+        let mut missing: Vec<u32> = Vec::new();
+        for &id in ids {
+            assert!(self.contains(id), "SampleId {} is not indexed", id.raw());
+            if self.entry(id.raw()).cache.is_some() {
+                self.session.cache_hits += 1;
+            } else {
+                missing.push(id.raw());
+            }
+        }
+        if missing.is_empty() {
+            return;
+        }
+        missing.sort_unstable();
+        missing.dedup();
+        let shared: &NeighborIndex = self;
+        let computed: Vec<(Vec<u32>, IndexStats)> = missing
+            .par_iter()
+            .map(|&slot| shared.eps_ball_of_slot(slot))
+            .collect();
+        for (&slot, (neighbors, stats)) in missing.iter().zip(computed) {
+            self.session.merge(&stats);
+            self.entries[slot as usize]
+                .as_mut()
+                .expect("checked live")
+                .cache = Some(neighbors);
+        }
+    }
+
+    /// Read-only view of a memoized neighborhood (must exist).
+    pub(crate) fn cached_slots(&self, slot: u32) -> &[u32] {
+        self.entry(slot)
+            .cache
+            .as_deref()
+            .expect("neighborhood was ensured")
+    }
+
+    /// Every entry's neighborhood for a freshly [`build`](Self::build)-style
+    /// index over `n` dense slots, as `usize` lists for the DBSCAN driver.
+    /// `result[i]` is ascending and excludes `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slots `0..n` are not all live.
+    #[must_use]
+    pub fn dense_neighborhoods(&mut self, n: usize) -> Vec<Vec<usize>> {
+        let ids: Vec<SampleId> = (0..n)
+            .map(|i| SampleId::new(u32::try_from(i).expect("dense slot fits u32")))
+            .collect();
+        self.ensure_cached(&ids);
+        ids.iter()
+            .map(|id| {
+                self.cached_slots(id.raw())
+                    .iter()
+                    .map(|&slot| slot as usize)
+                    .collect()
+            })
+            .collect()
     }
 }
 
@@ -281,6 +574,14 @@ impl<'a, S: AsRef<[u8]> + Sync> NeighborIndex<'a, S> {
 mod tests {
     use super::*;
     use crate::distance::normalized_edit_distance_bounded;
+
+    fn ball(index: &mut NeighborIndex, i: u32) -> Vec<usize> {
+        index
+            .neighbors(SampleId::new(i))
+            .into_iter()
+            .map(|id| id.raw() as usize)
+            .collect()
+    }
 
     fn brute_force_neighbors(samples: &[Vec<u8>], eps: f64, i: usize) -> Vec<usize> {
         (0..samples.len())
@@ -320,10 +621,10 @@ mod tests {
     #[test]
     fn matches_brute_force_on_family_corpus() {
         let samples = family_corpus();
-        let index = NeighborIndex::build(&samples, 0.10);
+        let mut index = NeighborIndex::build(&samples, 0.10);
         for i in 0..samples.len() {
             assert_eq!(
-                index.neighbors(i),
+                ball(&mut index, i as u32),
                 brute_force_neighbors(&samples, 0.10, i),
                 "query {i}"
             );
@@ -331,23 +632,107 @@ mod tests {
     }
 
     #[test]
-    fn parallel_neighborhoods_agree_with_serial() {
+    fn build_memoizes_every_neighborhood() {
         let samples = family_corpus();
-        let index = NeighborIndex::build(&samples, 0.10);
-        let (neighborhoods, stats) = index.neighborhoods();
-        assert_eq!(neighborhoods.len(), samples.len());
+        let mut index = NeighborIndex::build(&samples, 0.10);
+        let stats = index.take_stats();
         assert_eq!(stats.queries, samples.len());
-        for (i, neighbors) in neighborhoods.iter().enumerate() {
-            assert_eq!(*neighbors, index.neighbors(i), "query {i}");
+        assert_eq!(stats.cache_hits, 0);
+        // Reads after the build are pure cache hits.
+        let _ = ball(&mut index, 0);
+        let stats = index.take_stats();
+        assert_eq!(stats.queries, 0);
+    }
+
+    #[test]
+    fn incremental_insert_matches_batch_build() {
+        let samples = family_corpus();
+        let mut incremental = NeighborIndex::new(0.10);
+        for (i, s) in samples.iter().enumerate() {
+            incremental.insert(SampleId::new(i as u32), Arc::from(&s[..]));
         }
+        let mut batch = NeighborIndex::build(&samples, 0.10);
+        for i in 0..samples.len() {
+            assert_eq!(
+                ball(&mut incremental, i as u32),
+                ball(&mut batch, i as u32),
+                "query {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn remove_prunes_neighbor_caches() {
+        let samples = family_corpus();
+        let mut index = NeighborIndex::build(&samples, 0.10);
+        // Remove the first family member; everyone else's neighborhoods
+        // must match a brute force over the surviving corpus.
+        assert!(index.remove(SampleId::new(0)));
+        assert!(!index.contains(SampleId::new(0)));
+        assert!(!index.remove(SampleId::new(0)));
+        let survivors: Vec<Vec<u8>> = samples[1..].to_vec();
+        for i in 1..samples.len() {
+            let expected: Vec<usize> = brute_force_neighbors(&survivors, 0.10, i - 1)
+                .into_iter()
+                .map(|j| j + 1)
+                .collect();
+            assert_eq!(ball(&mut index, i as u32), expected, "query {i}");
+        }
+    }
+
+    #[test]
+    fn reinsertion_into_freed_slot_works() {
+        let samples = family_corpus();
+        let mut index = NeighborIndex::build(&samples, 0.10);
+        index.remove(SampleId::new(2));
+        index.insert(SampleId::new(2), Arc::from(&samples[2][..]));
+        for i in 0..samples.len() {
+            assert_eq!(
+                ball(&mut index, i as u32),
+                brute_force_neighbors(&samples, 0.10, i),
+                "query {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn external_query_matches_member_neighborhoods() {
+        let samples = family_corpus();
+        let mut index = NeighborIndex::build(&samples, 0.10);
+        // Querying with a member's own bytes returns its neighborhood plus
+        // itself (no exclusion for external queries).
+        let hits: Vec<usize> = index
+            .query(&samples[0])
+            .into_iter()
+            .map(|id| id.raw() as usize)
+            .collect();
+        let mut expected = brute_force_neighbors(&samples, 0.10, 0);
+        expected.push(0);
+        expected.sort_unstable();
+        assert_eq!(hits, expected);
+        // A query with symbols outside the observed alphabet still answers
+        // exactly (the unknown counts feed the L1 lower bound).
+        let alien = vec![200u8; 120];
+        let hits = index.query(&alien);
+        let expected: Vec<usize> = (0..samples.len())
+            .filter(|&j| {
+                normalized_edit_distance_bounded(&alien, &samples[j], 0.10)
+                    .unwrap_or(1.0)
+                    <= 0.10
+            })
+            .collect();
+        assert_eq!(
+            hits.into_iter().map(|id| id.raw() as usize).collect::<Vec<_>>(),
+            expected
+        );
     }
 
     #[test]
     fn pruning_actually_rejects_pairs() {
         let samples = family_corpus();
         let n = samples.len();
-        let index = NeighborIndex::build(&samples, 0.10);
-        let (_, stats) = index.neighborhoods();
+        let mut index = NeighborIndex::build(&samples, 0.10);
+        let stats = index.take_stats();
         let all_ordered_pairs = n * (n - 1);
         assert!(
             stats.window_candidates < all_ordered_pairs,
@@ -362,41 +747,31 @@ mod tests {
     #[test]
     fn empty_inputs() {
         let samples: Vec<Vec<u8>> = Vec::new();
-        let index = NeighborIndex::build(&samples, 0.10);
+        let mut index = NeighborIndex::build(&samples, 0.10);
         assert!(index.is_empty());
-        let (neighborhoods, stats) = index.neighborhoods();
-        assert!(neighborhoods.is_empty());
-        assert_eq!(stats, IndexStats::default());
+        assert!(index.dense_neighborhoods(0).is_empty());
+        assert_eq!(index.take_stats(), IndexStats::default());
     }
 
     #[test]
     fn empty_strings_are_mutual_neighbors() {
         let samples: Vec<Vec<u8>> = vec![Vec::new(), Vec::new(), vec![1, 2, 3]];
-        let index = NeighborIndex::build(&samples, 0.10);
-        assert_eq!(index.neighbors(0), vec![1]);
-        assert_eq!(index.neighbors(1), vec![0]);
-        assert!(index.neighbors(2).is_empty());
+        let mut index = NeighborIndex::build(&samples, 0.10);
+        assert_eq!(ball(&mut index, 0), vec![1]);
+        assert_eq!(ball(&mut index, 1), vec![0]);
+        assert!(ball(&mut index, 2).is_empty());
     }
 
     #[test]
     fn eps_one_accepts_everything() {
         let samples: Vec<Vec<u8>> = vec![vec![1], vec![2, 2, 2], vec![3; 10]];
-        let index = NeighborIndex::build(&samples, 1.0);
+        let mut index = NeighborIndex::build(&samples, 1.0);
         for i in 0..samples.len() {
             assert_eq!(
-                index.neighbors(i),
+                ball(&mut index, i as u32),
                 brute_force_neighbors(&samples, 1.0, i),
                 "query {i}"
             );
         }
-    }
-
-    #[test]
-    fn length_rank_is_the_sorted_position() {
-        let samples: Vec<Vec<u8>> = vec![vec![0; 10], vec![0; 2], vec![0; 5]];
-        let index = NeighborIndex::build(&samples, 0.10);
-        assert_eq!(index.length_rank(1), 0);
-        assert_eq!(index.length_rank(2), 1);
-        assert_eq!(index.length_rank(0), 2);
     }
 }

@@ -11,9 +11,15 @@
 //! * [`distance`] — Levenshtein edit distance: a banded early-exit
 //!   variant, a Myers-style bit-parallel bounded kernel
 //!   ([`BitParallelPattern`]), and the normalized form used by the paper.
-//! * [`index`] — the [`NeighborIndex`]: length-window +
+//! * [`index`] — the incremental [`NeighborIndex`]: length-window +
 //!   histogram-lower-bound candidate pruning with parallel neighborhood
-//!   queries, the engine behind [`dbscan_indexed`].
+//!   queries, in-place insert/remove, and maintained (not recomputed)
+//!   memoized neighborhoods — the engine behind [`dbscan_indexed`].
+//! * [`store`] — the [`CorpusStore`]: token class-strings under stable
+//!   [`SampleId`]s with content dedup and stamp-based retirement.
+//! * [`engine`] — the [`CorpusEngine`]: store + index threaded through
+//!   consecutive days, clustering any day view byte-identically to a cold
+//!   one-shot run while only the churned fraction pays query cost.
 //! * [`dbscan`] — a generic DBSCAN over any distance function, plus the
 //!   indexed variant that is label-identical and vastly faster on token
 //!   strings.
@@ -21,7 +27,8 @@
 //!   summary statistics.
 //! * [`distributed`] — the partition → cluster → reduce dataflow, run on
 //!   a rayon-parallel map to stand in for the paper's 50-machine
-//!   deployment.
+//!   deployment, with reduce-side reconciliation routed through a
+//!   [`NeighborIndex`] instead of all-pairs prototype scans.
 //!
 //! ## Example
 //!
@@ -48,7 +55,9 @@ pub mod clustering;
 pub mod dbscan;
 pub mod distance;
 pub mod distributed;
+pub mod engine;
 pub mod index;
+pub mod store;
 
 pub use clustering::{Cluster, Clustering};
 pub use dbscan::{dbscan, dbscan_indexed, dbscan_with_neighborhoods, DbscanParams, DbscanResult, Label};
@@ -57,4 +66,6 @@ pub use distance::{
     normalized_edit_distance, BitParallelPattern,
 };
 pub use distributed::{DistributedClusterer, DistributedConfig, DistributedStats};
+pub use engine::CorpusEngine;
 pub use index::{IndexStats, NeighborIndex};
+pub use store::{CorpusStore, SampleId};

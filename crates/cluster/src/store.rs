@@ -1,0 +1,281 @@
+//! Persistent corpus store: token class-strings under stable sample ids.
+//!
+//! The daily Kizzle deployment sees heavily overlapping corpora — most of a
+//! day's grayware was already crawled the day before. A stateless pipeline
+//! re-tokenizes and re-indexes those samples from scratch every day; the
+//! [`CorpusStore`] is the layer that makes the warm path possible. It owns
+//! each sample's token class-string behind a cheap-to-share [`Arc`], hands
+//! out a stable [`SampleId`] for it, and deduplicates by content: re-adding
+//! yesterday's bytes *touches* the existing entry (refreshing its stamp)
+//! instead of allocating a new one, which is what lets the
+//! [`NeighborIndex`](crate::index::NeighborIndex) keep its memoized
+//! neighborhoods for the unchanged fraction of the corpus.
+//!
+//! Entries carry a caller-defined monotone `stamp` (the pipeline uses the
+//! absolute day number); [`CorpusStore::older_than`] drives the retirement
+//! of samples that have aged out of the retention window.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::Hasher;
+use std::sync::Arc;
+
+/// Stable handle to one stored sample.
+///
+/// Ids are allocated by [`CorpusStore::add`] and stay valid until the entry
+/// is removed; a removed id's slot may later be reused for a new sample.
+/// When driving a [`NeighborIndex`](crate::index::NeighborIndex) without a
+/// store (tests, benches, the reduce step's throwaway prototype indexes),
+/// ids can be minted directly with [`SampleId::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SampleId(u32);
+
+impl SampleId {
+    /// Make an id from a raw slot number (caller-managed id space).
+    #[must_use]
+    pub fn new(raw: u32) -> Self {
+        SampleId(raw)
+    }
+
+    /// The raw slot number.
+    #[must_use]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+struct StoreEntry {
+    data: Arc<[u8]>,
+    stamp: u64,
+    hash: u64,
+}
+
+/// Owns token class-strings under stable [`SampleId`]s, with content
+/// deduplication and stamp-based retirement.
+#[derive(Debug, Clone, Default)]
+pub struct CorpusStore {
+    /// Slot `i` backs `SampleId(i)`.
+    slots: Vec<Option<StoreEntry>>,
+    /// Slots freed by removal, reused before the vector grows.
+    free: Vec<u32>,
+    /// Content hash → slots holding data with that hash (collisions are
+    /// resolved by comparing bytes).
+    by_hash: HashMap<u64, Vec<u32>>,
+    live: usize,
+}
+
+fn content_hash(data: &[u8]) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    hasher.write(data);
+    hasher.finish()
+}
+
+impl CorpusStore {
+    /// Create an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        CorpusStore::default()
+    }
+
+    /// Number of live samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no samples are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// True if `id` refers to a live sample.
+    #[must_use]
+    pub fn contains(&self, id: SampleId) -> bool {
+        self.slots
+            .get(id.raw() as usize)
+            .is_some_and(Option::is_some)
+    }
+
+    /// The class-string behind `id`, if live.
+    #[must_use]
+    pub fn get(&self, id: SampleId) -> Option<&[u8]> {
+        self.slots.get(id.raw() as usize)?.as_ref().map(|e| &*e.data)
+    }
+
+    /// Shared handle to the class-string behind `id`, if live.
+    #[must_use]
+    pub fn data(&self, id: SampleId) -> Option<Arc<[u8]>> {
+        self.slots
+            .get(id.raw() as usize)?
+            .as_ref()
+            .map(|e| Arc::clone(&e.data))
+    }
+
+    /// The stamp last recorded for `id`, if live.
+    #[must_use]
+    pub fn stamp(&self, id: SampleId) -> Option<u64> {
+        self.slots.get(id.raw() as usize)?.as_ref().map(|e| e.stamp)
+    }
+
+    /// Add a sample, deduplicating by content.
+    ///
+    /// If a live entry already holds identical bytes, its stamp is raised to
+    /// `stamp` (never lowered) and `(existing_id, true)` is returned — the
+    /// caller must *not* re-index it. Otherwise a fresh entry is created and
+    /// `(new_id, false)` comes back.
+    pub fn add(&mut self, stamp: u64, data: &[u8]) -> (SampleId, bool) {
+        let hash = content_hash(data);
+        if let Some(slots) = self.by_hash.get(&hash) {
+            for &slot in slots {
+                let entry = self.slots[slot as usize]
+                    .as_mut()
+                    .expect("by_hash only lists live slots");
+                if *entry.data == *data {
+                    entry.stamp = entry.stamp.max(stamp);
+                    return (SampleId(slot), true);
+                }
+            }
+        }
+        let slot = match self.free.pop() {
+            Some(slot) => slot,
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("store exceeds u32 slots");
+                self.slots.push(None);
+                slot
+            }
+        };
+        self.slots[slot as usize] = Some(StoreEntry {
+            data: Arc::from(data),
+            stamp,
+            hash,
+        });
+        self.by_hash.entry(hash).or_default().push(slot);
+        self.live += 1;
+        (SampleId(slot), false)
+    }
+
+    /// Remove a sample, returning its data if it was live.
+    pub fn remove(&mut self, id: SampleId) -> Option<Arc<[u8]>> {
+        let entry = self.slots.get_mut(id.raw() as usize)?.take()?;
+        if let Some(slots) = self.by_hash.get_mut(&entry.hash) {
+            slots.retain(|&s| s != id.raw());
+            if slots.is_empty() {
+                self.by_hash.remove(&entry.hash);
+            }
+        }
+        self.free.push(id.raw());
+        self.live -= 1;
+        Some(entry.data)
+    }
+
+    /// Ids of live samples whose stamp is strictly below `cutoff`,
+    /// ascending. The retirement sweep of the incremental engine.
+    #[must_use]
+    pub fn older_than(&self, cutoff: u64) -> Vec<SampleId> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, entry)| {
+                entry
+                    .as_ref()
+                    .filter(|e| e.stamp < cutoff)
+                    .map(|_| SampleId(slot as u32))
+            })
+            .collect()
+    }
+
+    /// Ids of all live samples, ascending.
+    #[must_use]
+    pub fn live_ids(&self) -> Vec<SampleId> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, entry)| entry.as_ref().map(|_| SampleId(slot as u32)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_remove_roundtrip() {
+        let mut store = CorpusStore::new();
+        let (a, reused) = store.add(1, b"abc");
+        assert!(!reused);
+        assert_eq!(store.get(a), Some(&b"abc"[..]));
+        assert_eq!(store.stamp(a), Some(1));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.remove(a).as_deref(), Some(&b"abc"[..]));
+        assert!(store.is_empty());
+        assert_eq!(store.get(a), None);
+        assert_eq!(store.remove(a), None);
+    }
+
+    #[test]
+    fn identical_content_is_deduplicated_and_touched() {
+        let mut store = CorpusStore::new();
+        let (a, _) = store.add(1, b"abc");
+        let (b, reused) = store.add(5, b"abc");
+        assert_eq!(a, b);
+        assert!(reused);
+        assert_eq!(store.len(), 1);
+        // The stamp was refreshed, never lowered.
+        assert_eq!(store.stamp(a), Some(5));
+        let (_, reused) = store.add(2, b"abc");
+        assert!(reused);
+        assert_eq!(store.stamp(a), Some(5));
+    }
+
+    #[test]
+    fn distinct_content_gets_distinct_ids() {
+        let mut store = CorpusStore::new();
+        let (a, _) = store.add(1, b"abc");
+        let (b, reused) = store.add(1, b"abd");
+        assert!(!reused);
+        assert_ne!(a, b);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn removed_slots_are_reused() {
+        let mut store = CorpusStore::new();
+        let (a, _) = store.add(1, b"one");
+        store.remove(a);
+        let (b, reused) = store.add(2, b"two");
+        assert!(!reused);
+        assert_eq!(a.raw(), b.raw());
+        assert_eq!(store.get(b), Some(&b"two"[..]));
+        // The recycled slot must no longer answer for the old content.
+        let (c, reused) = store.add(3, b"one");
+        assert!(!reused);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn older_than_selects_by_stamp() {
+        let mut store = CorpusStore::new();
+        let (a, _) = store.add(1, b"one");
+        let (b, _) = store.add(2, b"two");
+        let (c, _) = store.add(3, b"three");
+        assert_eq!(store.older_than(1), vec![]);
+        assert_eq!(store.older_than(3), vec![a, b]);
+        assert_eq!(store.live_ids(), vec![a, b, c]);
+        // A touch rescues an entry from retirement.
+        store.add(9, b"one");
+        assert_eq!(store.older_than(3), vec![b]);
+    }
+
+    #[test]
+    fn empty_sample_is_storable() {
+        let mut store = CorpusStore::new();
+        let (a, _) = store.add(1, b"");
+        let (b, reused) = store.add(2, b"");
+        assert_eq!(a, b);
+        assert!(reused);
+        assert_eq!(store.get(a), Some(&b""[..]));
+    }
+}

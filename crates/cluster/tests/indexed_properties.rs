@@ -12,7 +12,7 @@ use kizzle_cluster::distance::{
 };
 use kizzle_cluster::{
     dbscan, dbscan_indexed, DbscanParams, DistributedClusterer, DistributedConfig, Label,
-    NeighborIndex,
+    NeighborIndex, SampleId,
 };
 use proptest::prelude::*;
 
@@ -99,7 +99,7 @@ proptest! {
     #[test]
     fn index_neighbors_match_brute_force(samples in clustered_corpus()) {
         for eps in [0.10f64, 0.25] {
-            let index = NeighborIndex::build(&samples, eps);
+            let mut index = NeighborIndex::build(&samples, eps);
             for i in 0..samples.len() {
                 let brute: Vec<usize> = (0..samples.len())
                     .filter(|&j| {
@@ -109,7 +109,12 @@ proptest! {
                                 <= eps
                     })
                     .collect();
-                prop_assert_eq!(index.neighbors(i), brute, "eps={} i={}", eps, i);
+                let got: Vec<usize> = index
+                    .neighbors(SampleId::new(i as u32))
+                    .into_iter()
+                    .map(|id| id.raw() as usize)
+                    .collect();
+                prop_assert_eq!(got, brute, "eps={} i={}", eps, i);
             }
         }
     }

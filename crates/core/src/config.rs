@@ -23,6 +23,13 @@ pub struct KizzleConfig {
     /// exactly the false-negative mechanism the paper describes for rare
     /// kit variants.
     pub min_cluster_size: usize,
+    /// How many days of samples the incremental corpus engine keeps warm
+    /// (including the day being processed). Consecutive grayware corpora
+    /// overlap heavily, so retained samples turn into index cache hits the
+    /// next day; samples older than the window are retired before each
+    /// day runs. `1` clusters each day fully cold. Does not affect labels —
+    /// the day's clustering is restricted to the day's samples either way.
+    pub retention_days: usize,
     /// Winnowing parameters for cluster labeling.
     pub winnow: WinnowConfig,
     /// Default winnow-overlap threshold above which a cluster prototype is
@@ -41,6 +48,7 @@ impl KizzleConfig {
             clustering: DistributedConfig::new(4, DbscanParams::new(0.10, 4), 0),
             token_cap: 900,
             min_cluster_size: 4,
+            retention_days: 3,
             winnow: WinnowConfig::default(),
             label_threshold: 0.60,
             signature: SignatureConfig::default(),
@@ -55,6 +63,7 @@ impl KizzleConfig {
             clustering: DistributedConfig::new(2, DbscanParams::new(0.10, 3), 0),
             token_cap: 500,
             min_cluster_size: 3,
+            retention_days: 2,
             winnow: WinnowConfig::default(),
             label_threshold: 0.60,
             signature: SignatureConfig::default(),
@@ -66,7 +75,8 @@ impl KizzleConfig {
     /// # Panics
     ///
     /// Panics if the label threshold is outside `(0, 1]`, the token cap is
-    /// smaller than the signature cap, or the minimum cluster size is zero.
+    /// smaller than the signature cap, the minimum cluster size is zero, or
+    /// the retention window is zero.
     #[must_use]
     pub fn validated(self) -> Self {
         assert!(
@@ -78,6 +88,7 @@ impl KizzleConfig {
             "token_cap must be at least the signature token cap"
         );
         assert!(self.min_cluster_size >= 1, "min_cluster_size must be >= 1");
+        assert!(self.retention_days >= 1, "retention_days must be >= 1");
         self
     }
 }
@@ -122,6 +133,14 @@ mod tests {
     fn token_cap_below_signature_cap_panics() {
         let mut cfg = KizzleConfig::paper();
         cfg.token_cap = 100;
+        let _ = cfg.validated();
+    }
+
+    #[test]
+    #[should_panic(expected = "retention_days")]
+    fn zero_retention_panics() {
+        let mut cfg = KizzleConfig::paper();
+        cfg.retention_days = 0;
         let _ = cfg.validated();
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::config::KizzleConfig;
 use crate::reference::ReferenceCorpus;
-use kizzle_cluster::{DistributedClusterer, DistributedStats};
+use kizzle_cluster::{CorpusEngine, DistributedStats};
 use kizzle_corpus::{KitFamily, Sample, SimDate};
 use kizzle_js::TokenStream;
 use kizzle_signature::{generate_signature, SignatureSet};
@@ -67,22 +67,31 @@ impl fmt::Display for DayReport {
 
 /// The Kizzle signature compiler.
 ///
-/// Holds the labeled reference corpus it was seeded with and the cumulative
-/// set of signatures it has emitted so far.
+/// Holds the labeled reference corpus it was seeded with, the cumulative
+/// set of signatures it has emitted so far, and the warm incremental
+/// corpus engine threaded through consecutive
+/// [`KizzleCompiler::process_day`] calls: each day's class-strings are
+/// tokenized once into the engine's store (content dedup turns the overlap
+/// with recent days into index cache hits), samples older than the
+/// configured retention window are retired, and the day is clustered as a
+/// view over the live corpus — byte-identical to a cold per-day run.
 #[derive(Debug, Clone)]
 pub struct KizzleCompiler {
     config: KizzleConfig,
     reference: ReferenceCorpus,
     signatures: SignatureSet,
     signature_counters: HashMap<KitFamily, usize>,
+    engine: CorpusEngine,
 }
 
 impl KizzleCompiler {
     /// Create a compiler from a configuration and a seeded reference corpus.
     #[must_use]
     pub fn new(config: KizzleConfig, reference: ReferenceCorpus) -> Self {
+        let config = config.validated();
         KizzleCompiler {
-            config: config.validated(),
+            engine: CorpusEngine::new(config.clustering),
+            config,
             reference,
             signatures: SignatureSet::new(),
             signature_counters: HashMap::new(),
@@ -93,6 +102,13 @@ impl KizzleCompiler {
     #[must_use]
     pub fn config(&self) -> &KizzleConfig {
         &self.config
+    }
+
+    /// The warm corpus engine (live store size, index state) — exposed for
+    /// observability and tests.
+    #[must_use]
+    pub fn engine(&self) -> &CorpusEngine {
+        &self.engine
     }
 
     /// The reference corpus (grows as labeled clusters are absorbed).
@@ -141,8 +157,15 @@ impl KizzleCompiler {
         assert_eq!(samples.len(), streams.len(), "samples and streams must be parallel");
         let class_strings: Vec<Vec<u8>> = streams.iter().map(TokenStream::class_codes).collect();
 
-        let clusterer = DistributedClusterer::new(self.config.clustering);
-        let (clustering, stats) = clusterer.cluster_token_strings(&class_strings);
+        // Thread the day through the warm engine: retire samples that aged
+        // out of the retention window, deposit today's class-strings
+        // (carry-over content becomes a cache hit), and cluster today's
+        // view of the corpus.
+        let stamp = u64::try_from(date.absolute_day()).unwrap_or(0);
+        self.engine
+            .retire_older_than(stamp.saturating_sub(self.config.retention_days as u64 - 1));
+        let day_ids = self.engine.add_batch(stamp, &class_strings);
+        let (clustering, stats) = self.engine.cluster_day(&day_ids);
 
         let mut verdicts = Vec::new();
         let mut new_signatures = Vec::new();
@@ -372,6 +395,52 @@ mod tests {
             assert_eq!(family_from_label(family.name()), Some(family));
         }
         assert_eq!(family_from_label("NotAKit"), None);
+    }
+
+    #[test]
+    fn engine_retains_samples_within_the_retention_window() {
+        let mut compiler = compiler();
+        assert!(compiler.engine().is_empty());
+        let d1 = SimDate::new(2014, 8, 5);
+        let day1 = test_day(d1, 3);
+        compiler.process_day(d1, &day1);
+        let live_after_day1 = compiler.engine().len();
+        assert!(live_after_day1 > 0);
+        // The next day (inside the fast() retention window of 2) keeps
+        // yesterday's samples warm...
+        let d2 = SimDate::new(2014, 8, 6);
+        compiler.process_day(d2, &test_day(d2, 4));
+        assert!(compiler.engine().len() >= live_after_day1);
+        // ...and a far-future day retires everything older.
+        let d3 = SimDate::new(2014, 9, 20);
+        let day3 = test_day(d3, 5);
+        compiler.process_day(d3, &day3);
+        assert!(compiler.engine().len() <= day3.len());
+    }
+
+    #[test]
+    fn reprocessing_identical_content_hits_the_warm_cache() {
+        let mut compiler = compiler();
+        let d1 = SimDate::new(2014, 8, 5);
+        let day = test_day(d1, 3);
+        let first = compiler.process_day(d1, &day);
+        // The same content the next day: every class-string deduplicates
+        // onto the live entries, so the index answers purely from its
+        // maintained caches.
+        let d2 = SimDate::new(2014, 8, 6);
+        let second = compiler.process_day(d2, &day);
+        assert_eq!(second.clusters, first.clusters);
+        assert_eq!(second.noise, first.noise);
+        assert_eq!(
+            second.clustering_stats.index.queries, 0,
+            "warm rerun recomputed neighborhoods: {:?}",
+            second.clustering_stats.index
+        );
+        assert!(second.clustering_stats.index.cache_hits > 0);
+        let sizes = |report: &DayReport| {
+            report.verdicts.iter().map(|v| (v.size, v.family)).collect::<Vec<_>>()
+        };
+        assert_eq!(sizes(&second), sizes(&first));
     }
 
     #[test]

@@ -111,6 +111,9 @@ pub struct DailyMetrics {
     pub new_signatures: Vec<String>,
     /// Wall-clock seconds spent in the clustering stage.
     pub clustering_seconds: f64,
+    /// Live samples held by the warm corpus engine after the day ran
+    /// (today's batch plus the retained overlap window).
+    pub live_corpus: usize,
 }
 
 impl DailyMetrics {
@@ -178,6 +181,7 @@ mod tests {
             signature_lengths: vec![(KitFamily::Nuclear, 123)],
             new_signatures: vec![],
             clustering_seconds: 0.1,
+            live_corpus: 10,
         };
         assert_eq!(metrics.signature_length(KitFamily::Nuclear), 123);
         assert_eq!(metrics.signature_length(KitFamily::Rig), 0);

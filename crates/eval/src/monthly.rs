@@ -213,6 +213,7 @@ impl MonthlyEvaluation {
                 signature_lengths,
                 new_signatures: report.new_signatures.clone(),
                 clustering_seconds: report.clustering_stats.total_time().as_secs_f64(),
+                live_corpus: compiler.engine().len(),
             });
         }
 
@@ -243,6 +244,29 @@ mod tests {
             kizzle_angler.merge(&day.kizzle_angler);
         }
         assert!(av_angler.fn_rate() > kizzle_angler.fn_rate());
+    }
+
+    #[test]
+    fn warm_engine_is_threaded_through_the_window() {
+        let result = MonthlyEvaluation::new(EvalConfig::quick(5)).run();
+        // Every day clusters through the warm engine, and within the
+        // retention window (2 days for the quick config) the live store
+        // still covers yesterday's distinct class-strings — each of
+        // yesterday's clusters needs at least one, so the live count can
+        // never drop below either day's cluster count.
+        for day in &result.days {
+            assert!(day.live_corpus > 0, "day {} has an empty engine", day.date);
+        }
+        for pair in result.days.windows(2) {
+            assert!(
+                pair[1].live_corpus >= pair[0].clusters.max(pair[1].clusters),
+                "day {} retained too little: {} live vs {}/{} clusters",
+                pair[1].date,
+                pair[1].live_corpus,
+                pair[0].clusters,
+                pair[1].clusters
+            );
+        }
     }
 
     #[test]

@@ -1,27 +1,91 @@
-//! Daily pipeline: a week of grayware, Kizzle vs. the lagged AV baseline.
+//! Daily pipeline: simulated grayware days, Kizzle vs. the lagged AV
+//! baseline, driven through the warm incremental corpus engine.
 //!
 //! This is a miniature of the paper's month-long evaluation (Figs. 6/13),
 //! centered on the August 13 Angler change that opened the commercial AV's
-//! window of vulnerability.
+//! window of vulnerability. The compiler is reused across days, so the
+//! corpus store and neighbor index stay warm from day to day.
 //!
 //! ```bash
-//! cargo run --release -p kizzle-eval --example daily_pipeline
+//! cargo run --release -p kizzle-sim --example daily_pipeline -- \
+//!     --days 7 --samples-per-day 150 --seed 11
 //! ```
 
 use kizzle_eval::{EvalConfig, MonthlyEvaluation};
 
+struct Args {
+    days: u32,
+    samples_per_day: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        days: 7,
+        samples_per_day: 150,
+        seed: 11,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--days" => args.days = parse(&value("--days"), "--days"),
+            "--samples-per-day" => {
+                args.samples_per_day = parse(&value("--samples-per-day"), "--samples-per-day");
+            }
+            "--seed" => args.seed = parse(&value("--seed"), "--seed"),
+            "--help" | "-h" => {
+                println!(
+                    "usage: daily_pipeline [--days N] [--samples-per-day M] [--seed S]\n\
+                     defaults: --days 7 --samples-per-day 150 --seed 11"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown flag {other} (try --help)")),
+        }
+    }
+    if args.days == 0 {
+        die("--days must be at least 1");
+    }
+    args
+}
+
+fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> T {
+    value
+        .parse()
+        .unwrap_or_else(|_| die(&format!("{flag}: cannot parse {value:?}")))
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("daily_pipeline: {message}");
+    std::process::exit(2);
+}
+
 fn main() {
-    let mut config = EvalConfig::quick(11);
-    config.stream.samples_per_day = 150;
+    let args = parse_args();
+    let mut config = EvalConfig::quick(args.seed);
+    config.stream.samples_per_day = args.samples_per_day;
+    let mut end = config.start;
+    for _ in 1..args.days {
+        end = end.next();
+    }
+    config.end = end;
+
     let result = MonthlyEvaluation::new(config).run();
 
-    println!("day      samples  clusters  | Kizzle FP%  FN%   | AV FP%   FN%   | new signatures");
+    println!(
+        "day      samples  clusters  corpus  | Kizzle FP%  FN%   | AV FP%   FN%   | new signatures"
+    );
     for day in &result.days {
         println!(
-            "{:>6}  {:7}  {:8}  | {:8.3}  {:5.1} | {:6.3}  {:5.1} | {}",
+            "{:>6}  {:7}  {:8}  {:6}  | {:8.3}  {:5.1} | {:6.3}  {:5.1} | {}",
             day.date.axis_label(),
             day.samples,
             day.clusters,
+            day.live_corpus,
             day.kizzle.fp_rate() * 100.0,
             day.kizzle.fn_rate() * 100.0,
             day.av.fp_rate() * 100.0,
@@ -41,6 +105,7 @@ fn main() {
     );
     println!(
         "(the paper reports Kizzle FP < 0.03% and FN < 5% over August 2014, with the AV's\n\
-         Angler false-negative window between August 13 and 19 — compare the FN columns above)"
+         Angler false-negative window between August 13 and 19 — compare the FN columns above;\n\
+         the `corpus` column is the warm engine's live sample store after each day)"
     );
 }
