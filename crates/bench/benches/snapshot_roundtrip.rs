@@ -1,0 +1,138 @@
+//! Snapshot round-trip cost (ISSUE 3): how much does durable warm-state
+//! persistence cost to write, how fast does it come back, and how does a
+//! resumed day compare against the cold rebuild it replaces?
+//!
+//! Three measurements, recorded in `BENCH_clustering.json` and discussed
+//! in PERF.md §PR 3:
+//!
+//! * `save` — [`CorpusEngine::snapshot`]: encode store + index (with every
+//!   memoized neighborhood) and write it atomically (temp, fsync, rename).
+//! * `load` — [`CorpusEngine::resume`]: read, checksum-verify and decode
+//!   the same file back into a warm engine.
+//! * `resume_vs_cold` — the cron-restart comparison: time back to a fully
+//!   warm engine (every sample indexed, every neighborhood memoized).
+//!   `resume` loads the snapshot; `cold_rebuild` re-adds every raw
+//!   class-string, paying one eps-ball query per sample. Everything after
+//!   that point (the day's clustering) is identical for both, so the gap
+//!   here is exactly what persistence saves a restarted process.
+//!
+//! Bytes-on-disk per corpus size is printed alongside the timings (it is a
+//! property of the input, not a distribution worth sampling).
+//!
+//! Set `KIZZLE_BENCH_SAMPLES` to bench a single corpus size (CI smoke uses
+//! a small one); the default sweep is 1,000 and 5,000 samples.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kizzle_bench::distinct_day_class_strings;
+use kizzle_cluster::{CorpusEngine, DbscanParams, DistributedConfig};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn corpus_sizes() -> Vec<usize> {
+    match std::env::var("KIZZLE_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        Some(n) => vec![n],
+        None => vec![1000, 5000],
+    }
+}
+
+fn engine_config() -> DistributedConfig {
+    DistributedConfig::new(4, DbscanParams::new(0.10, 4), 42)
+}
+
+/// A fully warm engine over `n` synthetic samples: everything indexed and
+/// every neighborhood memoized (`insert_batch` memoizes on insert), exactly
+/// the state a long-lived day-N process carries.
+fn warm_engine(n: usize) -> CorpusEngine {
+    let strings = distinct_day_class_strings(n, 900);
+    let mut engine = CorpusEngine::new(engine_config());
+    engine.add_batch(1, &strings);
+    assert_eq!(engine.index().cached_count(), n, "fixture must dedup nothing");
+    engine
+}
+
+fn snap_path(n: usize) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "kizzle-bench-snapshot-{}-{n}.snap",
+        std::process::id()
+    ))
+}
+
+fn bench_snapshot_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_roundtrip");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_secs(1));
+
+    let sizes = corpus_sizes();
+    let base = sizes[0];
+    for n in sizes {
+        let engine = warm_engine(n);
+        let path = snap_path(n);
+
+        group.bench_with_input(BenchmarkId::new("save", n), &engine, |b, engine| {
+            b.iter(|| engine.snapshot(black_box(&path)).expect("snapshot write"))
+        });
+
+        engine.snapshot(&path).expect("snapshot write");
+        let bytes = std::fs::metadata(&path).expect("snapshot exists").len();
+        eprintln!(
+            "snapshot_roundtrip/bytes_on_disk/{n}: {bytes} bytes \
+             ({:.1} per sample, {} cached neighborhoods)",
+            bytes as f64 / n as f64,
+            engine.index().cached_count()
+        );
+
+        group.bench_with_input(BenchmarkId::new("load", n), &path, |b, path| {
+            b.iter(|| {
+                let (engine, report) = CorpusEngine::resume(engine_config(), black_box(path));
+                assert!(report.index_restored, "bench must load warm: {report:?}");
+                black_box(engine.len())
+            })
+        });
+
+        // The cron-restart comparison at the base size only: the cold arm
+        // pays one eps-ball query per sample (the cost this subsystem
+        // exists to avoid) and is too slow to sample at 5k.
+        if n == base {
+            group.bench_with_input(
+                BenchmarkId::new("resume_warm", n),
+                &path,
+                |b, path| {
+                    b.iter(|| {
+                        let (engine, report) =
+                            CorpusEngine::resume(engine_config(), black_box(path));
+                        assert!(report.index_restored, "must resume warm: {report:?}");
+                        assert_eq!(engine.index().cached_count(), n);
+                        black_box(engine.len())
+                    })
+                },
+            );
+
+            let strings = distinct_day_class_strings(n, 900);
+            group.bench_with_input(
+                BenchmarkId::new("cold_rebuild", n),
+                &strings,
+                |b, strings| {
+                    b.iter(|| {
+                        let mut engine = CorpusEngine::new(engine_config());
+                        engine.add_batch(1, strings);
+                        assert_eq!(engine.index().cached_count(), n);
+                        black_box(engine.len())
+                    })
+                },
+            );
+        }
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    group.finish();
+}
+
+criterion_group!(snapshot_roundtrip, bench_snapshot_roundtrip);
+criterion_main!(snapshot_roundtrip);

@@ -89,6 +89,38 @@ pub fn synthetic_day_class_strings(total: usize, cap: usize) -> Vec<Vec<u8>> {
     class_strings(&documents, cap)
 }
 
+/// Like [`synthetic_day_class_strings`], but every string is guaranteed
+/// distinct: sample `i` carries a 6-token class-code prefix encoding `i`.
+///
+/// The kit generators are *too* faithful for some benches: variants of one
+/// family often collapse to the same token-class sequence, and anything
+/// built on [`kizzle_cluster::CorpusStore`] dedups them down to a handful
+/// of live samples. The prefix keeps every sample live while staying ≤ 6
+/// edits from its base (far inside the clustering `eps` at realistic
+/// lengths), so family clusters survive intact.
+///
+/// # Panics
+///
+/// Panics if `total` exceeds the 6-digit base-6 prefix space (46,656).
+#[must_use]
+pub fn distinct_day_class_strings(total: usize, cap: usize) -> Vec<Vec<u8>> {
+    assert!(total <= 6usize.pow(6), "prefix space exhausted");
+    synthetic_day_class_strings(total, cap)
+        .into_iter()
+        .enumerate()
+        .map(|(i, base)| {
+            let mut tagged = Vec::with_capacity(base.len() + 6);
+            let mut rest = i;
+            for _ in 0..6 {
+                tagged.push((rest % 6) as u8);
+                rest /= 6;
+            }
+            tagged.extend_from_slice(&base);
+            tagged
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,6 +130,14 @@ mod tests {
         let day = synthetic_day_class_strings(40, 300);
         assert_eq!(day.len(), 40);
         assert!(day.iter().all(|s| s.len() <= 300));
+    }
+
+    #[test]
+    fn distinct_day_strings_are_all_distinct() {
+        let day = distinct_day_class_strings(50, 300);
+        assert_eq!(day.len(), 50);
+        let unique: std::collections::HashSet<&[u8]> = day.iter().map(|s| &s[..]).collect();
+        assert_eq!(unique.len(), 50);
     }
 
     #[test]

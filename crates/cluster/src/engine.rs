@@ -29,10 +29,53 @@ use crate::distributed::{
 };
 use crate::index::NeighborIndex;
 use crate::store::{CorpusStore, SampleId};
+use kizzle_snapshot::{Decoder, Encoder, Snapshot, SnapshotBuilder, SnapshotError};
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Snapshot section holding the [`CorpusStore`].
+pub const STORE_SECTION: &str = "corpus-store";
+/// Snapshot section holding the [`NeighborIndex`] (caches, no bytes).
+pub const INDEX_SECTION: &str = "neighbor-index";
+
+/// What a [`CorpusEngine::resume`] actually managed to restore.
+///
+/// Resume never fails: the worst outcome is a cold, empty engine — exactly
+/// the state a fresh cron-job process would have had before persistence
+/// existed. The report says which rung of the fallback ladder was reached:
+///
+/// 1. store + index with every memoized neighborhood → warm, zero
+///    recomputed queries;
+/// 2. store intact but index damaged → index rebuilt structurally from the
+///    store, neighborhoods recomputed lazily on demand;
+/// 3. store damaged → empty engine, full cold rebuild.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResumeReport {
+    /// The sample store was restored from the snapshot.
+    pub store_restored: bool,
+    /// The neighbor index (including memoized neighborhoods) was restored
+    /// from the snapshot; false means it was rebuilt from the store (or is
+    /// empty because the store was lost too).
+    pub index_restored: bool,
+    /// Live samples in the resumed engine.
+    pub live_samples: usize,
+    /// Memoized neighborhoods carried over from the snapshot.
+    pub cached_neighborhoods: usize,
+    /// Human-readable reasons for every fallback taken, empty on a clean
+    /// resume.
+    pub notes: Vec<String>,
+}
+
+impl ResumeReport {
+    /// True when both layers came back from the snapshot unchanged.
+    #[must_use]
+    pub fn is_warm(&self) -> bool {
+        self.store_restored && self.index_restored
+    }
+}
 
 /// Persistent clustering engine over a corpus that changes incrementally.
 #[derive(Debug, Clone)]
@@ -121,6 +164,129 @@ impl CorpusEngine {
             self.remove(id);
         }
         retired.len()
+    }
+
+    /// Serialize the warm stack (store + index) as snapshot sections.
+    pub fn write_sections(&self, builder: &mut SnapshotBuilder) {
+        let mut enc = Encoder::new();
+        self.store.encode_into(&mut enc);
+        builder.section(STORE_SECTION, enc.into_bytes());
+        let mut enc = Encoder::new();
+        self.index.encode_into(&mut enc);
+        builder.section(INDEX_SECTION, enc.into_bytes());
+    }
+
+    /// Write a standalone engine snapshot, atomically (temp then rename).
+    pub fn snapshot(&self, path: &Path) -> std::io::Result<()> {
+        let mut builder = SnapshotBuilder::new();
+        self.write_sections(&mut builder);
+        builder.write_atomic(path)
+    }
+
+    /// Resume an engine from a snapshot file. Never fails: any damage
+    /// degrades down the fallback ladder described on [`ResumeReport`].
+    #[must_use]
+    pub fn resume(config: DistributedConfig, path: &Path) -> (Self, ResumeReport) {
+        match Snapshot::read(path) {
+            Ok(snapshot) => CorpusEngine::resume_from_sections(config, &snapshot),
+            Err(err) => {
+                let mut report = ResumeReport::default();
+                report.notes.push(format!("snapshot unreadable, cold start: {err}"));
+                (CorpusEngine::new(config), report)
+            }
+        }
+    }
+
+    /// Resume from already-parsed snapshot sections (the compiler embeds
+    /// the engine sections in its own state file). See
+    /// [`CorpusEngine::resume`] for the fallback behavior.
+    #[must_use]
+    pub fn resume_from_sections(
+        config: DistributedConfig,
+        snapshot: &Snapshot,
+    ) -> (Self, ResumeReport) {
+        let mut report = ResumeReport::default();
+
+        let store = match snapshot
+            .section(STORE_SECTION)
+            .and_then(|payload| {
+                let mut dec = Decoder::new(payload);
+                let store = CorpusStore::decode_from(&mut dec)?;
+                dec.finish()?;
+                Ok(store)
+            }) {
+            Ok(store) => {
+                report.store_restored = true;
+                store
+            }
+            Err(err) => {
+                report
+                    .notes
+                    .push(format!("store section lost, cold start: {err}"));
+                return (CorpusEngine::new(config), report);
+            }
+        };
+
+        let index = snapshot
+            .section(INDEX_SECTION)
+            .and_then(|payload| {
+                let mut dec = Decoder::new(payload);
+                let index = NeighborIndex::decode_from(&mut dec, |id| store.data(id))?;
+                dec.finish()?;
+                Ok(index)
+            })
+            .and_then(|index| {
+                // The sections must describe the same corpus at the same
+                // eps, or the memoized neighborhoods are meaningless. Exact
+                // bit equality: the caches were computed at *this* eps, and
+                // even a one-ulp difference moves the radius cutoff.
+                if index.eps().to_bits() != config.dbscan.eps.to_bits() {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "index eps {} != config eps {}",
+                        index.eps(),
+                        config.dbscan.eps
+                    )));
+                }
+                if index.len() != store.len()
+                    || !store.live_ids().iter().all(|&id| index.contains(id))
+                {
+                    return Err(SnapshotError::Corrupt(
+                        "index entries disagree with store".into(),
+                    ));
+                }
+                Ok(index)
+            });
+        let index = match index {
+            Ok(index) => {
+                report.index_restored = true;
+                report.cached_neighborhoods = index.cached_count();
+                index
+            }
+            Err(err) => {
+                report.notes.push(format!(
+                    "index section lost, rebuilding from store: {err}"
+                ));
+                let mut rebuilt = NeighborIndex::new(config.dbscan.eps);
+                rebuilt.insert_batch_unmemoized(
+                    store
+                        .live_ids()
+                        .into_iter()
+                        .map(|id| (id, store.data(id).expect("live id")))
+                        .collect(),
+                );
+                rebuilt
+            }
+        };
+
+        report.live_samples = store.len();
+        (
+            CorpusEngine {
+                config,
+                store,
+                index,
+            },
+            report,
+        )
     }
 
     /// Cluster a view of the live corpus — `day_ids[p]` is the sample at
@@ -325,6 +491,146 @@ mod tests {
         let (warm, _) = engine.cluster_day(&ids);
         let (cold, _) = DistributedClusterer::new(cfg()).cluster_token_strings(&day);
         assert_eq!(warm, cold);
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("kizzle-engine-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn snapshot_resume_is_warm_and_clusters_identically() {
+        let day1 = family_day(5, 0);
+        let mut day2 = day1[3..].to_vec();
+        day2.extend(family_day(2, 9));
+
+        let mut engine = CorpusEngine::new(cfg());
+        let ids1 = engine.add_batch(1, &day1);
+        let (_, _) = engine.cluster_day(&ids1);
+
+        let path = temp_path("engine.snap");
+        engine.snapshot(&path).expect("snapshot written");
+        let (mut resumed, report) = CorpusEngine::resume(cfg(), &path);
+        assert!(report.is_warm(), "report: {report:?}");
+        assert_eq!(report.live_samples, engine.len());
+        assert!(report.cached_neighborhoods > 0);
+        assert!(report.notes.is_empty(), "notes: {:?}", report.notes);
+
+        // Day 2 through the original and the resumed engine: identical ids,
+        // identical clustering, and the resumed engine answers the
+        // carried-over fraction from its restored caches.
+        let ids2_live = engine.add_batch(2, &day2);
+        let (live_clustering, _) = engine.cluster_day(&ids2_live);
+        let ids2_resumed = resumed.add_batch(2, &day2);
+        assert_eq!(ids2_live, ids2_resumed);
+        let (resumed_clustering, resumed_stats) = resumed.cluster_day(&ids2_resumed);
+        assert_eq!(live_clustering, resumed_clustering);
+        assert!(resumed_stats.index.cache_hits > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn identical_rerun_after_resume_needs_zero_queries() {
+        let day = family_day(4, 0);
+        let mut engine = CorpusEngine::new(cfg());
+        let ids = engine.add_batch(1, &day);
+        let (_, _) = engine.cluster_day(&ids);
+        let path = temp_path("engine-rerun.snap");
+        engine.snapshot(&path).expect("snapshot written");
+
+        let (mut resumed, report) = CorpusEngine::resume(cfg(), &path);
+        assert!(report.is_warm());
+        // The same content re-added deduplicates onto live entries; the
+        // resumed caches answer the whole day — same as a long-lived
+        // process, zero recomputed queries.
+        let ids2 = resumed.add_batch(2, &day);
+        let (_, stats) = resumed.cluster_day(&ids2);
+        assert_eq!(stats.index.queries, 0, "stats: {:?}", stats.index);
+        assert!(stats.index.cache_hits > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_snapshot_degrades_to_cold_empty_engine() {
+        let path = temp_path("never-written.snap");
+        std::fs::remove_file(&path).ok();
+        let (engine, report) = CorpusEngine::resume(cfg(), &path);
+        assert!(engine.is_empty());
+        assert!(!report.store_restored);
+        assert_eq!(report.notes.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_index_section_rebuilds_from_store() {
+        let day = family_day(4, 0);
+        let mut engine = CorpusEngine::new(cfg());
+        let ids = engine.add_batch(1, &day);
+        let (want, _) = engine.cluster_day(&ids);
+
+        // Damage the index payload on disk; the store payload stays intact.
+        let mut builder = kizzle_snapshot::SnapshotBuilder::new();
+        let mut enc = Encoder::new();
+        engine.store().encode_into(&mut enc);
+        builder.section(STORE_SECTION, enc.into_bytes());
+        builder.section(INDEX_SECTION, b"garbage payload".to_vec());
+        let snapshot = Snapshot::from_bytes(&builder.to_bytes()).expect("parses");
+
+        let (mut resumed, report) = CorpusEngine::resume_from_sections(cfg(), &snapshot);
+        assert!(report.store_restored);
+        assert!(!report.index_restored);
+        assert_eq!(report.cached_neighborhoods, 0);
+        assert_eq!(resumed.len(), engine.len());
+        // The rebuilt engine still clusters the day identically — it just
+        // pays the queries again.
+        let ids2 = resumed.add_batch(1, &day);
+        assert_eq!(ids, ids2, "dedup must map onto the restored entries");
+        let (got, stats) = resumed.cluster_day(&ids2);
+        assert_eq!(want, got);
+        assert!(stats.index.queries > 0);
+    }
+
+    #[test]
+    fn rebuilt_engine_saves_and_resumes_without_caches() {
+        // A degraded (rebuilt-from-store) engine has no memoized
+        // neighborhoods; saving and resuming that state must round-trip
+        // the cache-less entries faithfully.
+        let day = family_day(3, 0);
+        let mut engine = CorpusEngine::new(cfg());
+        let ids = engine.add_batch(1, &day);
+        let (want, _) = engine.cluster_day(&ids);
+
+        let mut builder = kizzle_snapshot::SnapshotBuilder::new();
+        let mut enc = Encoder::new();
+        engine.store().encode_into(&mut enc);
+        builder.section(STORE_SECTION, enc.into_bytes());
+        builder.section(INDEX_SECTION, Vec::new()); // damaged: empty payload
+        let snapshot = Snapshot::from_bytes(&builder.to_bytes()).expect("parses");
+        let (rebuilt, report) = CorpusEngine::resume_from_sections(cfg(), &snapshot);
+        assert!(!report.index_restored);
+
+        let path = temp_path("rebuilt.snap");
+        rebuilt.snapshot(&path).expect("snapshot written");
+        let (mut resumed, report) = CorpusEngine::resume(cfg(), &path);
+        assert!(report.is_warm(), "cache-less index is still restorable: {report:?}");
+        assert_eq!(report.cached_neighborhoods, 0);
+        let ids2 = resumed.add_batch(1, &day);
+        assert_eq!(ids, ids2);
+        let (got, stats) = resumed.cluster_day(&ids2);
+        assert_eq!(want, got);
+        assert!(stats.index.queries > 0, "nothing was cached, so queries were paid");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_store_section_degrades_to_cold(){
+        let mut builder = kizzle_snapshot::SnapshotBuilder::new();
+        builder.section(STORE_SECTION, b"\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF".to_vec());
+        let snapshot = Snapshot::from_bytes(&builder.to_bytes()).expect("parses");
+        let (engine, report) = CorpusEngine::resume_from_sections(cfg(), &snapshot);
+        assert!(engine.is_empty());
+        assert!(!report.store_restored);
+        assert!(!report.index_restored);
     }
 
     #[test]

@@ -41,6 +41,7 @@
 
 use crate::distance::BitParallelPattern;
 use crate::store::SampleId;
+use kizzle_snapshot::{Decoder, Encoder, SnapshotError};
 use rayon::prelude::*;
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -544,6 +545,153 @@ impl NeighborIndex {
             .cache
             .as_deref()
             .expect("neighborhood was ensured")
+    }
+
+    /// Number of entries whose neighborhood is currently memoized.
+    #[must_use]
+    pub fn cached_count(&self) -> usize {
+        self.entries
+            .iter()
+            .flatten()
+            .filter(|e| e.cache.is_some())
+            .count()
+    }
+
+    /// Serialize the index state *except sample bytes*: `eps`, the
+    /// alphabet-slot assignment, and per live entry its slot and memoized
+    /// neighborhood (when present). Sample bytes are owned by the
+    /// [`CorpusStore`](crate::store::CorpusStore) snapshot section and are
+    /// re-linked at decode time, so an engine snapshot stores each sample
+    /// once.
+    pub fn encode_into(&self, enc: &mut Encoder) {
+        enc.f64(self.eps);
+        enc.usize(self.width);
+        for slot in self.slot_of {
+            enc.u16(slot);
+        }
+        enc.usize(self.live);
+        for (slot, entry) in self.entries.iter().enumerate() {
+            let Some(entry) = entry else { continue };
+            enc.u32(u32::try_from(slot).expect("slots fit u32"));
+            match &entry.cache {
+                None => enc.bool(false),
+                Some(cache) => {
+                    enc.bool(true);
+                    enc.usize(cache.len());
+                    for &neighbor in cache {
+                        enc.u32(neighbor);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rebuild an index from [`NeighborIndex::encode_into`] output,
+    /// fetching each entry's bytes through `lookup` (the corpus store).
+    /// Histograms and the length window are recomputed under the restored
+    /// alphabet assignment; memoized neighborhoods are restored verbatim,
+    /// so a resumed index answers exactly like the one that was saved —
+    /// zero recomputed queries.
+    ///
+    /// Structural impossibilities (unknown slots, symbols outside the
+    /// restored alphabet, caches naming dead entries) are rejected as
+    /// [`SnapshotError::Corrupt`]; the caller falls back to rebuilding
+    /// from the store.
+    pub fn decode_from<F>(dec: &mut Decoder<'_>, lookup: F) -> Result<Self, SnapshotError>
+    where
+        F: Fn(SampleId) -> Option<Arc<[u8]>>,
+    {
+        let corrupt = |what: &str| SnapshotError::Corrupt(format!("neighbor index: {what}"));
+        let eps = dec.f64()?;
+        if !(eps >= 0.0 && eps.is_finite()) {
+            return Err(corrupt("eps out of range"));
+        }
+        let width = dec.usize()?;
+        if width > 256 {
+            return Err(corrupt("alphabet width exceeds 256"));
+        }
+        let mut slot_of = [UNASSIGNED; 256];
+        let mut seen_hist_slot = vec![false; width];
+        for assigned in &mut slot_of {
+            let value = dec.u16()?;
+            if value != UNASSIGNED {
+                let idx = value as usize;
+                if idx >= width || seen_hist_slot[idx] {
+                    return Err(corrupt("alphabet slot out of range or duplicated"));
+                }
+                seen_hist_slot[idx] = true;
+            }
+            *assigned = value;
+        }
+        if !seen_hist_slot.iter().all(|&s| s) {
+            return Err(corrupt("alphabet slot unassigned below width"));
+        }
+
+        let mut index = NeighborIndex::new(eps);
+        index.slot_of = slot_of;
+        index.width = width;
+
+        let live_count = dec.usize()?;
+        let mut caches: Vec<(u32, Vec<u32>)> = Vec::new();
+        for _ in 0..live_count {
+            let slot = dec.u32()?;
+            let data = lookup(SampleId::new(slot)).ok_or_else(|| corrupt("entry without sample bytes"))?;
+            if index.entries.len() <= slot as usize {
+                index.entries.resize(slot as usize + 1, None);
+            }
+            if index.entries[slot as usize].is_some() {
+                return Err(corrupt("slot duplicated"));
+            }
+            // Histogram under the *restored* assignment — a faithful
+            // snapshot covers every live symbol, so an unassigned one
+            // means the sections do not belong together.
+            let mut hist = vec![0u32; width];
+            for &sym in data.iter() {
+                let hist_slot = index.slot_of[sym as usize];
+                if hist_slot == UNASSIGNED {
+                    return Err(corrupt("sample symbol outside restored alphabet"));
+                }
+                hist[hist_slot as usize] += 1;
+            }
+            index.by_len.insert((data.len(), slot));
+            if dec.bool()? {
+                let len = dec.usize()?;
+                let mut cache = Vec::with_capacity(len.min(1 << 20));
+                for _ in 0..len {
+                    cache.push(dec.u32()?);
+                }
+                caches.push((slot, cache));
+            }
+            index.entries[slot as usize] = Some(IndexEntry {
+                data,
+                hist,
+                cache: None,
+            });
+            index.live += 1;
+        }
+        // Caches may only name live entries, in strictly ascending order,
+        // never the entry itself — anything else would poison DBSCAN.
+        for (slot, cache) in caches {
+            for pair in cache.windows(2) {
+                if pair[0] >= pair[1] {
+                    return Err(corrupt("cached neighborhood not strictly ascending"));
+                }
+            }
+            if cache.iter().any(|&n| {
+                n == slot
+                    || index
+                        .entries
+                        .get(n as usize)
+                        .is_none_or(|e| e.is_none())
+            }) {
+                return Err(corrupt("cached neighborhood names a dead entry"));
+            }
+            index.entries[slot as usize]
+                .as_mut()
+                .expect("inserted above")
+                .cache = Some(cache);
+        }
+        Ok(index)
     }
 
     /// Every entry's neighborhood for a freshly [`build`](Self::build)-style

@@ -66,6 +66,6 @@ pub use distance::{
     normalized_edit_distance, BitParallelPattern,
 };
 pub use distributed::{DistributedClusterer, DistributedConfig, DistributedStats};
-pub use engine::CorpusEngine;
+pub use engine::{CorpusEngine, ResumeReport, INDEX_SECTION, STORE_SECTION};
 pub use index::{IndexStats, NeighborIndex};
 pub use store::{CorpusStore, SampleId};

@@ -48,9 +48,11 @@
 pub mod config;
 pub mod pipeline;
 pub mod reference;
+pub mod snapshot;
 
 pub use config::KizzleConfig;
 pub use pipeline::{ClusterVerdict, DayReport, KizzleCompiler};
 pub use reference::ReferenceCorpus;
+pub use snapshot::{config_fingerprint, read_signatures, ResumeReport};
 
 pub use kizzle_signature::SignatureSet;

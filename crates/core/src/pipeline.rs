@@ -2,7 +2,7 @@
 
 use crate::config::KizzleConfig;
 use crate::reference::ReferenceCorpus;
-use kizzle_cluster::{CorpusEngine, DistributedStats};
+use kizzle_cluster::{Clustering, CorpusEngine, DistributedStats, SampleId};
 use kizzle_corpus::{KitFamily, Sample, SimDate};
 use kizzle_js::TokenStream;
 use kizzle_signature::{generate_signature, SignatureSet};
@@ -77,11 +77,21 @@ impl fmt::Display for DayReport {
 /// view over the live corpus — byte-identical to a cold per-day run.
 #[derive(Debug, Clone)]
 pub struct KizzleCompiler {
-    config: KizzleConfig,
-    reference: ReferenceCorpus,
-    signatures: SignatureSet,
-    signature_counters: HashMap<KitFamily, usize>,
-    engine: CorpusEngine,
+    pub(crate) config: KizzleConfig,
+    pub(crate) reference: ReferenceCorpus,
+    pub(crate) signatures: SignatureSet,
+    pub(crate) signature_counters: HashMap<KitFamily, usize>,
+    pub(crate) engine: CorpusEngine,
+    /// The most recent day threaded through [`KizzleCompiler::process_day`]
+    /// — the day counter persisted by
+    /// [`KizzleCompiler::save_state`](crate::snapshot).
+    pub(crate) last_day: Option<SimDate>,
+    /// Each retained day's sample-id view (stamp, ids as deposited —
+    /// duplicates included), pruned with the retention window. This is
+    /// what makes [`KizzleCompiler::cluster_window`] weight repeated
+    /// content the way the per-day clustering does, instead of clustering
+    /// the deduplicated store.
+    pub(crate) day_views: Vec<(u64, Vec<SampleId>)>,
 }
 
 impl KizzleCompiler {
@@ -95,6 +105,8 @@ impl KizzleCompiler {
             reference,
             signatures: SignatureSet::new(),
             signature_counters: HashMap::new(),
+            last_day: None,
+            day_views: Vec::new(),
         }
     }
 
@@ -121,6 +133,31 @@ impl KizzleCompiler {
     #[must_use]
     pub fn signatures(&self) -> &SignatureSet {
         &self.signatures
+    }
+
+    /// The most recent day processed, if any — survives snapshot save/load.
+    #[must_use]
+    pub fn last_processed_day(&self) -> Option<SimDate> {
+        self.last_day
+    }
+
+    /// Cluster the *entire retention window* — every retained day's batch
+    /// concatenated in day order, duplicates included, so repeated content
+    /// carries the same weight it had per day — through the same
+    /// partition/reduce dataflow as [`KizzleCompiler::process_day`]. The
+    /// multi-day eval mode from the ROADMAP: comparing its cluster count
+    /// with the per-day counts shows how much the day boundary fragments
+    /// slow-moving families.
+    ///
+    /// Read-mostly: memoized neighborhoods computed here stay cached (they
+    /// are exact for any view), so labels of later days are unaffected.
+    pub fn cluster_window(&mut self) -> (Clustering, DistributedStats) {
+        let ids: Vec<SampleId> = self
+            .day_views
+            .iter()
+            .flat_map(|(_, ids)| ids.iter().copied())
+            .collect();
+        self.engine.cluster_day(&ids)
     }
 
     /// Tokenize a document and truncate it to the configured prefix length.
@@ -162,9 +199,15 @@ impl KizzleCompiler {
         // (carry-over content becomes a cache hit), and cluster today's
         // view of the corpus.
         let stamp = u64::try_from(date.absolute_day()).unwrap_or(0);
-        self.engine
-            .retire_older_than(stamp.saturating_sub(self.config.retention_days as u64 - 1));
+        self.last_day = Some(date);
+        let cutoff = stamp.saturating_sub(self.config.retention_days as u64 - 1);
+        self.engine.retire_older_than(cutoff);
+        // Day views age out with the same cutoff as their samples: a view
+        // inside the window only names ids whose stamps are at or above
+        // its own, so every id it holds is still live.
+        self.day_views.retain(|(view_stamp, _)| *view_stamp >= cutoff);
         let day_ids = self.engine.add_batch(stamp, &class_strings);
+        self.day_views.push((stamp, day_ids.clone()));
         let (clustering, stats) = self.engine.cluster_day(&day_ids);
 
         let mut verdicts = Vec::new();

@@ -7,7 +7,9 @@
 //! "malware family specific".
 
 use crate::config::KizzleConfig;
+use crate::snapshot::{family_code, family_from_code};
 use kizzle_corpus::{KitFamily, KitModel, SimDate};
+use kizzle_snapshot::{Decoder, Encoder, SnapshotError};
 use kizzle_winnow::{Fingerprint, WinnowConfig};
 
 /// One known family: its merged fingerprint and labeling threshold.
@@ -132,6 +134,61 @@ impl ReferenceCorpus {
             .find(|e| e.family == family)
             .map_or(0.6, |e| e.threshold);
         self.add_known_sample(family, unpacked, threshold);
+    }
+
+    /// Serialize the corpus: winnow parameters, then per family (in entry
+    /// order, which labeling iterates) its threshold and fingerprint
+    /// multiset. Fingerprint pairs are written hash-sorted so identical
+    /// corpora always produce identical bytes.
+    pub(crate) fn encode_into(&self, enc: &mut Encoder) {
+        enc.usize(self.winnow.k);
+        enc.usize(self.winnow.window);
+        enc.usize(self.entries.len());
+        for entry in &self.entries {
+            enc.u8(family_code(entry.family));
+            enc.f64(entry.threshold);
+            let mut pairs: Vec<(u64, u32)> = entry.fingerprint.iter().collect();
+            pairs.sort_unstable();
+            enc.usize(pairs.len());
+            for (hash, count) in pairs {
+                enc.u64(hash);
+                enc.u32(count);
+            }
+        }
+    }
+
+    /// Rebuild a corpus from [`ReferenceCorpus::encode_into`] output.
+    pub(crate) fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, SnapshotError> {
+        let corrupt = |what: &str| SnapshotError::Corrupt(format!("reference corpus: {what}"));
+        let k = dec.usize()?;
+        let window = dec.usize()?;
+        if k == 0 || window == 0 {
+            return Err(corrupt("winnow parameters must be positive"));
+        }
+        let mut corpus = ReferenceCorpus::new(WinnowConfig::new(k, window));
+        let entry_count = dec.usize()?;
+        for _ in 0..entry_count {
+            let family = family_from_code(dec.u8()?)
+                .ok_or_else(|| corrupt("unknown family code"))?;
+            if corpus.entries.iter().any(|e| e.family == family) {
+                return Err(corrupt("family duplicated"));
+            }
+            let threshold = dec.f64()?;
+            if !(threshold > 0.0 && threshold <= 1.0) {
+                return Err(corrupt("threshold out of range"));
+            }
+            let pair_count = dec.usize()?;
+            let mut pairs = Vec::with_capacity(pair_count.min(1 << 20));
+            for _ in 0..pair_count {
+                pairs.push((dec.u64()?, dec.u32()?));
+            }
+            corpus.entries.push(FamilyReference {
+                family,
+                fingerprint: Fingerprint::from_counts(pairs),
+                threshold,
+            });
+        }
+        Ok(corpus)
     }
 }
 

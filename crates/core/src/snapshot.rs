@@ -1,0 +1,670 @@
+//! Compiler state persistence: the cron-job deployment's survival layer.
+//!
+//! The production daily loop is a cron job, not a long-lived process
+//! (ROADMAP), so everything [`KizzleCompiler`] accumulates across days —
+//! the warm corpus engine, the cumulative [`SignatureSet`], the evolving
+//! reference corpus, the per-family signature counters — died with each
+//! run until this module existed. [`KizzleCompiler::save_state`] writes
+//! all of it into one [`kizzle_snapshot`] container (plus a human-readable
+//! `MANIFEST`), and [`KizzleCompiler::load_state`] brings a fresh process
+//! back to exactly the state the previous run saved: restart-each-day runs
+//! are byte-identical to a long-lived warm process (held to that by
+//! `save_load_resumes_exactly_like_a_long_lived_process` below and
+//! `restart_each_day_matches_the_long_lived_run` in `kizzle-eval`).
+//!
+//! ## Sections
+//!
+//! | section          | contents                                              |
+//! |------------------|-------------------------------------------------------|
+//! | `meta`           | config fingerprint, last processed day, sig counters  |
+//! | `signatures`     | the cumulative signature set, insertion-ordered       |
+//! | `reference`      | the reference corpus with its absorbed evolution      |
+//! | `corpus-store`   | the engine's sample store (see `kizzle-cluster`)      |
+//! | `neighbor-index` | memoized neighborhoods (see `kizzle-cluster`)         |
+//!
+//! ## Trust ladder
+//!
+//! Loading **refuses** a snapshot whose config fingerprint disagrees with
+//! the loading configuration — clustering parameters shape every piece of
+//! persisted state, so mixing them would silently corrupt results. Within
+//! a fingerprint-matched snapshot, damage degrades per section: a lost
+//! index rebuilds from the store, a lost store empties the engine (cold
+//! rebuild), while damage to `meta`/`signatures`/`reference` fails the
+//! load as a whole — those cannot be reconstructed, and a caller falls
+//! back to a fresh compiler exactly as if no snapshot existed.
+
+use crate::config::KizzleConfig;
+use crate::pipeline::KizzleCompiler;
+use crate::reference::ReferenceCorpus;
+use kizzle_cluster::CorpusEngine;
+pub use kizzle_cluster::ResumeReport;
+use kizzle_corpus::{KitFamily, SimDate};
+use kizzle_signature::{CharClass, Element, Signature, SignatureSet};
+use kizzle_snapshot::{
+    crc32, Decoder, Encoder, Manifest, Snapshot, SnapshotBuilder, SnapshotError, FORMAT_VERSION,
+};
+use std::collections::HashMap;
+use std::path::Path;
+
+/// Name of the binary state file inside a state directory.
+pub const STATE_FILE: &str = "kizzle-state.snap";
+/// Name of the human-readable manifest sidecar.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// Section holding fingerprint, day counter and signature counters.
+pub const META_SECTION: &str = "meta";
+/// Section holding the cumulative signature set.
+pub const SIGNATURES_SECTION: &str = "signatures";
+/// Section holding the reference corpus.
+pub const REFERENCE_SECTION: &str = "reference";
+/// Section holding the retained day views (for window clustering).
+pub const WINDOW_SECTION: &str = "window-views";
+
+/// Stable wire code for a kit family (the paper's Fig. 2 order).
+pub(crate) fn family_code(family: KitFamily) -> u8 {
+    KitFamily::ALL
+        .iter()
+        .position(|f| *f == family)
+        .map(|p| u8::try_from(p).expect("few families"))
+        .expect("family listed in ALL")
+}
+
+/// Inverse of [`family_code`].
+pub(crate) fn family_from_code(code: u8) -> Option<KitFamily> {
+    KitFamily::ALL.get(usize::from(code)).copied()
+}
+
+fn char_class_code(class: CharClass) -> u8 {
+    match class {
+        CharClass::Lower => 0,
+        CharClass::Upper => 1,
+        CharClass::Alpha => 2,
+        CharClass::Digits => 3,
+        CharClass::HexLower => 4,
+        CharClass::AlphaNum => 5,
+        CharClass::Wordlike => 6,
+        CharClass::Any => 7,
+    }
+}
+
+fn char_class_from_code(code: u8) -> Option<CharClass> {
+    Some(match code {
+        0 => CharClass::Lower,
+        1 => CharClass::Upper,
+        2 => CharClass::Alpha,
+        3 => CharClass::Digits,
+        4 => CharClass::HexLower,
+        5 => CharClass::AlphaNum,
+        6 => CharClass::Wordlike,
+        7 => CharClass::Any,
+        _ => return None,
+    })
+}
+
+/// Canonical byte encoding of every configuration field that shapes
+/// persisted state, hashed with FNV-1a 64. Two configs with the same
+/// fingerprint produce interchangeable snapshots; anything else is
+/// refused at load.
+#[must_use]
+pub fn config_fingerprint(config: &KizzleConfig) -> u64 {
+    let mut enc = Encoder::new();
+    enc.usize(config.clustering.partitions);
+    enc.f64(config.clustering.dbscan.eps);
+    enc.usize(config.clustering.dbscan.min_points);
+    enc.u64(config.clustering.seed);
+    enc.usize(config.token_cap);
+    enc.usize(config.min_cluster_size);
+    enc.usize(config.retention_days);
+    enc.usize(config.winnow.k);
+    enc.usize(config.winnow.window);
+    enc.f64(config.label_threshold);
+    enc.usize(config.signature.max_tokens);
+    enc.usize(config.signature.min_tokens);
+    enc.usize(config.signature.max_samples);
+    let bytes = enc.into_bytes();
+    // FNV-1a, 64-bit: stable across platforms and Rust versions (unlike
+    // the std hasher, which is only stable within one std release).
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in &bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Serialize a signature set in insertion order (which the scan's
+/// first-match semantics depend on).
+pub(crate) fn encode_signature_set(set: &SignatureSet, enc: &mut Encoder) {
+    enc.usize(set.len());
+    for labeled in set.iter() {
+        enc.str(&labeled.label);
+        enc.str(&labeled.signature.name);
+        enc.usize(labeled.signature.support);
+        enc.usize(labeled.signature.elements.len());
+        for element in &labeled.signature.elements {
+            match element {
+                Element::Literal(text) => {
+                    enc.u8(0);
+                    enc.str(text);
+                }
+                Element::Class {
+                    class,
+                    min_len,
+                    max_len,
+                } => {
+                    enc.u8(1);
+                    enc.u8(char_class_code(*class));
+                    enc.usize(*min_len);
+                    enc.usize(*max_len);
+                }
+            }
+        }
+    }
+}
+
+/// Rebuild a signature set from [`encode_signature_set`] output; the
+/// anchor index and dedup tables are re-derived by re-adding in order.
+pub(crate) fn decode_signature_set(dec: &mut Decoder<'_>) -> Result<SignatureSet, SnapshotError> {
+    let corrupt = |what: &str| SnapshotError::Corrupt(format!("signature set: {what}"));
+    let count = dec.usize()?;
+    let mut set = SignatureSet::new();
+    for _ in 0..count {
+        let label = dec.str()?.to_string();
+        let name = dec.str()?.to_string();
+        let support = dec.usize()?;
+        let element_count = dec.usize()?;
+        if element_count == 0 {
+            return Err(corrupt("signature without elements"));
+        }
+        let mut elements = Vec::with_capacity(element_count.min(1 << 16));
+        for _ in 0..element_count {
+            elements.push(match dec.u8()? {
+                0 => Element::Literal(dec.str()?.to_string()),
+                1 => {
+                    let class = char_class_from_code(dec.u8()?)
+                        .ok_or_else(|| corrupt("unknown character class"))?;
+                    let min_len = dec.usize()?;
+                    let max_len = dec.usize()?;
+                    if min_len > max_len {
+                        return Err(corrupt("inverted class length range"));
+                    }
+                    Element::Class {
+                        class,
+                        min_len,
+                        max_len,
+                    }
+                }
+                other => return Err(corrupt(&format!("unknown element tag {other}"))),
+            });
+        }
+        set.add(label, Signature::new(name, elements, support));
+    }
+    Ok(set)
+}
+
+struct Meta {
+    fingerprint: u64,
+    last_day: Option<SimDate>,
+    counters: HashMap<KitFamily, usize>,
+}
+
+fn encode_meta(compiler: &KizzleCompiler, enc: &mut Encoder) {
+    enc.u64(config_fingerprint(&compiler.config));
+    match compiler.last_day {
+        None => enc.bool(false),
+        Some(day) => {
+            enc.bool(true);
+            enc.u32(day.year);
+            enc.u32(day.month);
+            enc.u32(day.day);
+        }
+    }
+    let mut counters: Vec<(u8, u64)> = compiler
+        .signature_counters
+        .iter()
+        .map(|(family, count)| (family_code(*family), *count as u64))
+        .collect();
+    counters.sort_unstable();
+    enc.usize(counters.len());
+    for (code, count) in counters {
+        enc.u8(code);
+        enc.u64(count);
+    }
+}
+
+fn decode_meta(dec: &mut Decoder<'_>) -> Result<Meta, SnapshotError> {
+    let corrupt = |what: &str| SnapshotError::Corrupt(format!("meta: {what}"));
+    let fingerprint = dec.u64()?;
+    let last_day = if dec.bool()? {
+        let (year, month, day) = (dec.u32()?, dec.u32()?, dec.u32()?);
+        if !(1..=12).contains(&month) || day < 1 || day > SimDate::days_in_month(month) {
+            return Err(corrupt("calendar day out of range"));
+        }
+        Some(SimDate::new(year, month, day))
+    } else {
+        None
+    };
+    let counter_count = dec.usize()?;
+    let mut counters = HashMap::new();
+    for _ in 0..counter_count {
+        let family = family_from_code(dec.u8()?).ok_or_else(|| corrupt("unknown family code"))?;
+        let count =
+            usize::try_from(dec.u64()?).map_err(|_| corrupt("counter exceeds usize"))?;
+        if counters.insert(family, count).is_some() {
+            return Err(corrupt("family counter duplicated"));
+        }
+    }
+    Ok(Meta {
+        fingerprint,
+        last_day,
+        counters,
+    })
+}
+
+impl KizzleCompiler {
+    /// Persist the complete compiler state into `state_dir`: the binary
+    /// snapshot ([`STATE_FILE`]) and the [`MANIFEST_FILE`] sidecar, both
+    /// written atomically so a crash mid-save leaves the previous state
+    /// loadable.
+    pub fn save_state(&self, state_dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(state_dir)?;
+        let mut builder = SnapshotBuilder::new();
+        let mut enc = Encoder::new();
+        encode_meta(self, &mut enc);
+        builder.section(META_SECTION, enc.into_bytes());
+        let mut enc = Encoder::new();
+        encode_signature_set(&self.signatures, &mut enc);
+        builder.section(SIGNATURES_SECTION, enc.into_bytes());
+        let mut enc = Encoder::new();
+        self.reference.encode_into(&mut enc);
+        builder.section(REFERENCE_SECTION, enc.into_bytes());
+        let mut enc = Encoder::new();
+        enc.usize(self.day_views.len());
+        for (stamp, ids) in &self.day_views {
+            enc.u64(*stamp);
+            enc.usize(ids.len());
+            for id in ids {
+                enc.u32(id.raw());
+            }
+        }
+        builder.section(WINDOW_SECTION, enc.into_bytes());
+        self.engine.write_sections(&mut builder);
+        let bytes = builder.to_bytes();
+        kizzle_snapshot::write_atomic(&state_dir.join(STATE_FILE), &bytes)?;
+
+        let mut manifest = Manifest::new();
+        manifest.set("snapshot_file", STATE_FILE);
+        manifest.set("format_version", FORMAT_VERSION);
+        manifest.set(
+            "config_fingerprint",
+            format!("{:#018x}", config_fingerprint(&self.config)),
+        );
+        manifest.set(
+            "last_day",
+            self.last_day
+                .map_or_else(|| "none".to_string(), |d| d.to_string()),
+        );
+        manifest.set("live_samples", self.engine.len());
+        manifest.set("cached_neighborhoods", self.engine.index().cached_count());
+        manifest.set("signatures", self.signatures.len());
+        manifest.set("bytes", bytes.len());
+        // The file's trailer checksum (CRC over everything before it) —
+        // hashing the whole file would fold the trailer in and collapse to
+        // the constant CRC-32 residue.
+        manifest.set(
+            "crc32",
+            format!("{:#010x}", crc32(&bytes[..bytes.len() - 4])),
+        );
+        manifest.write_atomic(&state_dir.join(MANIFEST_FILE))
+    }
+
+    /// Load compiler state saved by [`KizzleCompiler::save_state`].
+    ///
+    /// Refuses snapshots whose config fingerprint differs from `config`
+    /// ([`SnapshotError::ConfigMismatch`]). Engine damage degrades per
+    /// section (see [`ResumeReport`]); damage to the meta, signature or
+    /// reference sections fails the load — the caller starts a fresh
+    /// compiler, exactly as if no snapshot existed.
+    pub fn load_state(
+        state_dir: &Path,
+        config: KizzleConfig,
+    ) -> Result<(Self, ResumeReport), SnapshotError> {
+        let config = config.validated();
+        let snapshot = Snapshot::read(&state_dir.join(STATE_FILE))?;
+
+        let mut dec = Decoder::new(snapshot.section(META_SECTION)?);
+        let meta = decode_meta(&mut dec)?;
+        dec.finish()?;
+        let expected = config_fingerprint(&config);
+        if meta.fingerprint != expected {
+            return Err(SnapshotError::ConfigMismatch {
+                found: meta.fingerprint,
+                expected,
+            });
+        }
+
+        let mut dec = Decoder::new(snapshot.section(SIGNATURES_SECTION)?);
+        let signatures = decode_signature_set(&mut dec)?;
+        dec.finish()?;
+
+        let mut dec = Decoder::new(snapshot.section(REFERENCE_SECTION)?);
+        let reference = ReferenceCorpus::decode_from(&mut dec)?;
+        dec.finish()?;
+
+        let (engine, mut report) = CorpusEngine::resume_from_sections(config.clustering, &snapshot);
+
+        // Day views are only meaningful against the engine they were saved
+        // with: if the engine degraded (or the section is damaged), window
+        // clustering starts over rather than pointing at dead ids.
+        let day_views = snapshot
+            .section(WINDOW_SECTION)
+            .and_then(|payload| {
+                let mut dec = Decoder::new(payload);
+                let view_count = dec.usize()?;
+                let mut views = Vec::with_capacity(view_count.min(1 << 10));
+                for _ in 0..view_count {
+                    let stamp = dec.u64()?;
+                    let id_count = dec.usize()?;
+                    let mut ids = Vec::with_capacity(id_count.min(1 << 20));
+                    for _ in 0..id_count {
+                        let id = kizzle_cluster::SampleId::new(dec.u32()?);
+                        if !engine.store().contains(id) {
+                            return Err(SnapshotError::Corrupt(
+                                "window view names a dead sample".into(),
+                            ));
+                        }
+                        ids.push(id);
+                    }
+                    views.push((stamp, ids));
+                }
+                dec.finish()?;
+                Ok(views)
+            });
+        let day_views = match day_views {
+            Ok(views) => views,
+            Err(err) => {
+                report
+                    .notes
+                    .push(format!("window views lost, window clustering starts over: {err}"));
+                Vec::new()
+            }
+        };
+
+        Ok((
+            KizzleCompiler {
+                config,
+                reference,
+                signatures,
+                signature_counters: meta.counters,
+                engine,
+                last_day: meta.last_day,
+                day_views,
+            },
+            report,
+        ))
+    }
+
+    /// Load saved state, or fall back to a fresh compiler when no usable
+    /// snapshot exists. The cron-job entry point: `reference` seeds the
+    /// fresh compiler on the very first run (and after unrecoverable
+    /// damage) — it is a closure because seeding winnow-fingerprints every
+    /// kit model, a cost the warm path must not pay; the returned report
+    /// says what happened.
+    #[must_use]
+    pub fn load_or_new(
+        state_dir: &Path,
+        config: KizzleConfig,
+        reference: impl FnOnce() -> ReferenceCorpus,
+    ) -> (Self, ResumeReport) {
+        match KizzleCompiler::load_state(state_dir, config) {
+            Ok(loaded) => loaded,
+            Err(err) => {
+                let mut report = ResumeReport::default();
+                report
+                    .notes
+                    .push(format!("state not loadable, fresh compiler: {err}"));
+                (KizzleCompiler::new(config, reference()), report)
+            }
+        }
+    }
+}
+
+/// Read just the signature set out of a compiler state snapshot — what
+/// `examples/signature_inspect` uses to inspect deployed signatures
+/// without recompiling them.
+pub fn read_signatures(state_file: &Path) -> Result<SignatureSet, SnapshotError> {
+    let snapshot = Snapshot::read(state_file)?;
+    let mut dec = Decoder::new(snapshot.section(SIGNATURES_SECTION)?);
+    let set = decode_signature_set(&mut dec)?;
+    dec.finish()?;
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kizzle_corpus::{GraywareStream, Sample, StreamConfig};
+
+    fn test_day(date: SimDate, seed: u64) -> Vec<Sample> {
+        let config = StreamConfig {
+            samples_per_day: 48,
+            malicious_fraction: 0.5,
+            family_weights: vec![
+                (KitFamily::Angler, 0.4),
+                (KitFamily::Nuclear, 0.3),
+                (KitFamily::SweetOrange, 0.3),
+            ],
+            seed,
+        };
+        GraywareStream::new(config).generate_day(date)
+    }
+
+    fn fresh_compiler() -> KizzleCompiler {
+        let reference =
+            ReferenceCorpus::seeded_from_models(SimDate::new(2014, 8, 1), &KizzleConfig::fast());
+        KizzleCompiler::new(KizzleConfig::fast(), reference)
+    }
+
+    fn state_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "kizzle-state-test-{}-{name}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn save_load_resumes_exactly_like_a_long_lived_process() {
+        let dir = state_dir("roundtrip");
+        let d1 = SimDate::new(2014, 8, 5);
+        let d2 = SimDate::new(2014, 8, 6);
+        let day1 = test_day(d1, 3);
+        let day2 = test_day(d2, 4);
+
+        // Long-lived: both days through one compiler.
+        let mut long_lived = fresh_compiler();
+        long_lived.process_day(d1, &day1);
+        let want = long_lived.process_day(d2, &day2);
+
+        // Cron-style: day 1, save, drop, load, day 2.
+        let mut first_run = fresh_compiler();
+        first_run.process_day(d1, &day1);
+        first_run.save_state(&dir).expect("state saved");
+        drop(first_run);
+        let (mut second_run, report) =
+            KizzleCompiler::load_state(&dir, KizzleConfig::fast()).expect("state loads");
+        assert!(report.is_warm(), "report: {report:?}");
+        assert_eq!(second_run.last_processed_day(), Some(d1));
+        let got = second_run.process_day(d2, &day2);
+
+        // Byte-identical modulo wall clock.
+        let mut want = want;
+        let mut got = got;
+        want.clustering_stats = Default::default();
+        got.clustering_stats = Default::default();
+        assert_eq!(want, got);
+        assert_eq!(long_lived.signatures(), second_run.signatures());
+        assert_eq!(long_lived.engine().len(), second_run.engine().len());
+        // The multi-day window mode resumes identically too: the retained
+        // day views survived the snapshot.
+        let (window_live, _) = long_lived.cluster_window();
+        let (window_resumed, _) = second_run.cluster_window();
+        assert_eq!(window_live, window_resumed);
+        assert!(window_live.cluster_count() > 0, "window found no clusters");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mismatched_config_fingerprint_is_refused() {
+        let dir = state_dir("mismatch");
+        let compiler = fresh_compiler();
+        compiler.save_state(&dir).expect("state saved");
+        let mut other = KizzleConfig::fast();
+        other.retention_days += 1;
+        assert!(matches!(
+            KizzleCompiler::load_state(&dir, other),
+            Err(SnapshotError::ConfigMismatch { .. })
+        ));
+        // load_or_new degrades to a fresh compiler instead.
+        let reference = ReferenceCorpus::seeded_from_models(SimDate::new(2014, 8, 1), &other);
+        let (fresh, report) = KizzleCompiler::load_or_new(&dir, other, || reference);
+        assert!(fresh.engine().is_empty());
+        assert!(!report.notes.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_and_damaged_snapshots_degrade_without_panicking() {
+        let dir = state_dir("damage");
+        // Missing directory: fresh compiler.
+        let reference =
+            ReferenceCorpus::seeded_from_models(SimDate::new(2014, 8, 1), &KizzleConfig::fast());
+        let (fresh, report) =
+            KizzleCompiler::load_or_new(&dir, KizzleConfig::fast(), || reference.clone());
+        assert!(fresh.signatures().is_empty());
+        assert!(!report.notes.is_empty());
+
+        // Truncated file: load_state errors, load_or_new degrades.
+        let mut compiler = fresh_compiler();
+        let d1 = SimDate::new(2014, 8, 5);
+        compiler.process_day(d1, &test_day(d1, 3));
+        compiler.save_state(&dir).expect("state saved");
+        let path = dir.join(STATE_FILE);
+        let full = std::fs::read(&path).expect("snapshot bytes");
+        std::fs::write(&path, &full[..full.len() / 3]).expect("truncate");
+        assert!(KizzleCompiler::load_state(&dir, KizzleConfig::fast()).is_err());
+        let (_, report) =
+            KizzleCompiler::load_or_new(&dir, KizzleConfig::fast(), || reference.clone());
+        assert!(!report.notes.is_empty());
+
+        // Version skew: the version field is bytes 8..12.
+        let mut skewed = full.clone();
+        skewed[8] = 0x7F;
+        std::fs::write(&path, &skewed).expect("rewrite");
+        assert!(matches!(
+            KizzleCompiler::load_state(&dir, KizzleConfig::fast()),
+            Err(SnapshotError::VersionSkew { .. })
+        ));
+
+        // A flipped byte somewhere in the sections: either the damaged
+        // section is one the engine can rebuild around, or the load fails —
+        // never a panic, never a silent wrong answer.
+        let mut flipped = full.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        std::fs::write(&path, &flipped).expect("rewrite");
+        let (_, _) = KizzleCompiler::load_or_new(&dir, KizzleConfig::fast(), || reference);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_describes_the_saved_state() {
+        let dir = state_dir("manifest");
+        let mut compiler = fresh_compiler();
+        let d1 = SimDate::new(2014, 8, 5);
+        compiler.process_day(d1, &test_day(d1, 3));
+        compiler.save_state(&dir).expect("state saved");
+        let manifest = Manifest::read(&dir.join(MANIFEST_FILE)).expect("manifest");
+        assert_eq!(manifest.get("snapshot_file"), Some(STATE_FILE));
+        assert_eq!(
+            manifest.get("config_fingerprint"),
+            Some(format!("{:#018x}", config_fingerprint(compiler.config())).as_str())
+        );
+        assert_eq!(manifest.get("last_day"), Some("8/5/14"));
+        let bytes: usize = manifest.get("bytes").unwrap().parse().expect("numeric");
+        assert_eq!(
+            bytes,
+            std::fs::read(dir.join(STATE_FILE)).unwrap().len()
+        );
+        // read_signatures pulls the deployed set straight from the file.
+        let set = read_signatures(&dir.join(STATE_FILE)).expect("signatures");
+        assert_eq!(&set, compiler.signatures());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn config_fingerprint_is_sensitive_to_every_field() {
+        let base = KizzleConfig::paper();
+        let fp = config_fingerprint(&base);
+        assert_eq!(fp, config_fingerprint(&KizzleConfig::paper()), "stable");
+
+        let mut c = base;
+        c.retention_days += 1;
+        assert_ne!(fp, config_fingerprint(&c));
+        let mut c = base;
+        c.clustering.dbscan.eps += 0.01;
+        assert_ne!(fp, config_fingerprint(&c));
+        let mut c = base;
+        c.clustering.seed ^= 1;
+        assert_ne!(fp, config_fingerprint(&c));
+        let mut c = base;
+        c.token_cap += 1;
+        assert_ne!(fp, config_fingerprint(&c));
+        assert_ne!(fp, config_fingerprint(&KizzleConfig::fast()));
+    }
+
+    #[test]
+    fn family_and_class_codes_roundtrip() {
+        for family in KitFamily::ALL {
+            assert_eq!(family_from_code(family_code(family)), Some(family));
+        }
+        assert_eq!(family_from_code(200), None);
+        for class in CharClass::TEMPLATES {
+            assert_eq!(char_class_from_code(char_class_code(class)), Some(class));
+        }
+        assert_eq!(char_class_from_code(99), None);
+    }
+
+    #[test]
+    fn signature_set_roundtrips_in_order() {
+        let mut set = SignatureSet::new();
+        set.add(
+            "Nuclear",
+            Signature::new(
+                "NEK.sig1",
+                vec![
+                    Element::Literal("this".to_string()),
+                    Element::Class {
+                        class: CharClass::AlphaNum,
+                        min_len: 3,
+                        max_len: 5,
+                    },
+                ],
+                7,
+            ),
+        );
+        set.add(
+            "RIG",
+            Signature::new("RIG.sig1", vec![Element::Literal("split".to_string())], 4),
+        );
+        let mut enc = Encoder::new();
+        encode_signature_set(&set, &mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let restored = decode_signature_set(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(restored, set);
+        assert_eq!(restored.labels(), set.labels());
+    }
+}

@@ -40,6 +40,17 @@ impl SimDate {
         SimDate { year, month, day }
     }
 
+    /// Days in `month` of the simulated calendar (2014, no leap years) —
+    /// what a fallible decoder must check before calling [`SimDate::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the month is out of range.
+    #[must_use]
+    pub const fn days_in_month(month: u32) -> u32 {
+        DAYS_IN_MONTH[(month - 1) as usize]
+    }
+
     /// The first day of the paper's evaluation window (August 1, 2014).
     #[must_use]
     pub fn evaluation_start() -> Self {

@@ -88,7 +88,7 @@ pub struct FamilyCounts {
 }
 
 /// Everything measured on one simulated day.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct DailyMetrics {
     /// The day.
     pub date: SimDate,
@@ -114,6 +114,10 @@ pub struct DailyMetrics {
     /// Live samples held by the warm corpus engine after the day ran
     /// (today's batch plus the retained overlap window).
     pub live_corpus: usize,
+    /// Clusters found when the *entire retention window* is clustered as
+    /// one batch after the day ran (the multi-day eval mode); `None` when
+    /// window clustering was not requested.
+    pub window_clusters: Option<usize>,
 }
 
 impl DailyMetrics {
@@ -182,6 +186,7 @@ mod tests {
             new_signatures: vec![],
             clustering_seconds: 0.1,
             live_corpus: 10,
+            window_clusters: None,
         };
         assert_eq!(metrics.signature_length(KitFamily::Nuclear), 123);
         assert_eq!(metrics.signature_length(KitFamily::Rig), 0);

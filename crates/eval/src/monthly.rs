@@ -19,6 +19,11 @@ pub struct EvalConfig {
     pub start: SimDate,
     /// Last day of the window (inclusive).
     pub end: SimDate,
+    /// After each day, also cluster the *entire retention window* as one
+    /// batch and record the cluster count ([`DailyMetrics::window_clusters`])
+    /// — the ROADMAP's multi-day eval mode, showing how much the day
+    /// boundary fragments slow-moving families.
+    pub window_cluster: bool,
 }
 
 impl EvalConfig {
@@ -35,6 +40,7 @@ impl EvalConfig {
             av: AvConfig::default(),
             start: SimDate::evaluation_start(),
             end: SimDate::evaluation_end(),
+            window_cluster: false,
         }
     }
 
@@ -52,6 +58,7 @@ impl EvalConfig {
             av: AvConfig::default(),
             start: SimDate::new(2014, 8, 10),
             end: SimDate::new(2014, 8, 16),
+            window_cluster: false,
         }
     }
 }
@@ -118,12 +125,43 @@ impl MonthlyEvaluation {
     /// Run the evaluation: for each day, generate the grayware batch, run
     /// the Kizzle pipeline on it (signatures become active the same day),
     /// then scan every sample with both Kizzle and the baseline AV and
-    /// compare against ground truth.
+    /// compare against ground truth. The compiler lives for the whole
+    /// window — the long-lived warm process.
     #[must_use]
     pub fn run(&self) -> MonthlyResult {
+        self.run_impl(None, false)
+    }
+
+    /// Like [`MonthlyEvaluation::run`] (one long-lived compiler), but also
+    /// persisting the compiler state into `state_dir` after every day —
+    /// how an operator bootstraps a snapshot for inspection tools without
+    /// changing the run itself.
+    #[must_use]
+    pub fn run_persisting(&self, state_dir: &std::path::Path) -> MonthlyResult {
+        self.run_impl(Some(state_dir), false)
+    }
+
+    /// Run the evaluation the way the production cron deployment actually
+    /// executes: the compiler is **dropped after every day** and
+    /// reconstructed for the next one from the state snapshot in
+    /// `state_dir` ([`KizzleCompiler::save_state`] /
+    /// [`KizzleCompiler::load_or_new`]). With an intact snapshot chain the
+    /// per-day results are byte-identical to [`MonthlyEvaluation::run`]
+    /// (modulo wall-clock timings); a missing or damaged snapshot degrades
+    /// to a cold rebuild for that day instead of failing the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state snapshot cannot be *written* (filesystem
+    /// failure) — unreadable state is recoverable, unwritable state is an
+    /// operational error worth failing loudly on.
+    #[must_use]
+    pub fn run_restarting(&self, state_dir: &std::path::Path) -> MonthlyResult {
+        self.run_impl(Some(state_dir), true)
+    }
+
+    fn run_impl(&self, state_dir: Option<&std::path::Path>, restart: bool) -> MonthlyResult {
         let stream = GraywareStream::new(self.config.stream.clone());
-        let reference = ReferenceCorpus::seeded_from_models(self.config.start, &self.config.kizzle);
-        let mut compiler = KizzleCompiler::new(self.config.kizzle, reference);
         let av = AvEngine::new(self.config.av);
 
         let mut days = Vec::new();
@@ -132,92 +170,133 @@ impl MonthlyEvaluation {
             .map(|f| (*f, FamilyCounts::default()))
             .collect();
 
+        // Long-lived modes keep one resident compiler; restart mode
+        // rebuilds it from disk every day and drops it after saving.
+        let mut resident: Option<KizzleCompiler> = None;
         for date in self.config.start.range_inclusive(self.config.end) {
-            let samples = stream.generate_day(date);
-            let streams: Vec<_> = samples
-                .iter()
-                .map(|s| compiler.tokenize_capped(&s.html))
-                .collect();
-            let report = compiler.process_day_tokenized(date, &samples, &streams);
+            let seeded_reference =
+                || ReferenceCorpus::seeded_from_models(self.config.start, &self.config.kizzle);
+            let mut compiler = match (resident.take(), state_dir, restart) {
+                (Some(compiler), _, _) => compiler,
+                (None, Some(dir), true) => {
+                    KizzleCompiler::load_or_new(dir, self.config.kizzle, seeded_reference).0
+                }
+                (None, _, _) => KizzleCompiler::new(self.config.kizzle, seeded_reference()),
+            };
+            let metrics = self.process_one_day(&mut compiler, &av, &stream, date, &mut per_family);
+            days.push(metrics);
+            if let Some(dir) = state_dir {
+                compiler
+                    .save_state(dir)
+                    .expect("failed to write compiler state snapshot");
+            }
+            if restart {
+                drop(compiler); // the simulated process exit
+            } else {
+                resident = Some(compiler);
+            }
+        }
 
-            let mut kizzle_counts = DetectorCounts::default();
-            let mut av_counts = DetectorCounts::default();
-            let mut kizzle_angler = DetectorCounts::default();
-            let mut av_angler = DetectorCounts::default();
+        MonthlyResult { days, per_family }
+    }
 
-            for (sample, stream_tokens) in samples.iter().zip(&streams) {
-                let truth_malicious = sample.truth.is_malicious();
-                let kizzle_hit = compiler.scan_stream(stream_tokens);
-                let av_hit = av.scan(date, &sample.html);
+    /// One simulated day against one compiler: process, scan, account.
+    fn process_one_day(
+        &self,
+        compiler: &mut KizzleCompiler,
+        av: &AvEngine,
+        stream: &GraywareStream,
+        date: SimDate,
+        per_family: &mut [(KitFamily, FamilyCounts)],
+    ) -> DailyMetrics {
+        let samples = stream.generate_day(date);
+        let streams: Vec<_> = samples
+            .iter()
+            .map(|s| compiler.tokenize_capped(&s.html))
+            .collect();
+        let report = compiler.process_day_tokenized(date, &samples, &streams);
 
-                kizzle_counts.record(truth_malicious, kizzle_hit.is_some());
-                av_counts.record(truth_malicious, av_hit.is_some());
+        let mut kizzle_counts = DetectorCounts::default();
+        let mut av_counts = DetectorCounts::default();
+        let mut kizzle_angler = DetectorCounts::default();
+        let mut av_angler = DetectorCounts::default();
 
-                match sample.truth {
-                    GroundTruth::Malicious(family) => {
+        for (sample, stream_tokens) in samples.iter().zip(&streams) {
+            let truth_malicious = sample.truth.is_malicious();
+            let kizzle_hit = compiler.scan_stream(stream_tokens);
+            let av_hit = av.scan(date, &sample.html);
+
+            kizzle_counts.record(truth_malicious, kizzle_hit.is_some());
+            av_counts.record(truth_malicious, av_hit.is_some());
+
+            match sample.truth {
+                GroundTruth::Malicious(family) => {
+                    let slot = per_family
+                        .iter_mut()
+                        .find(|(f, _)| *f == family)
+                        .expect("all families present");
+                    slot.1.ground_truth += 1;
+                    if kizzle_hit.is_none() {
+                        slot.1.kizzle_fn += 1;
+                    }
+                    if av_hit.is_none() {
+                        slot.1.av_fn += 1;
+                    }
+                    if family == KitFamily::Angler {
+                        kizzle_angler.record(true, kizzle_hit.is_some());
+                        av_angler.record(true, av_hit.is_some());
+                    }
+                }
+                GroundTruth::Benign => {
+                    if let Some(family) = kizzle_hit {
                         let slot = per_family
                             .iter_mut()
                             .find(|(f, _)| *f == family)
                             .expect("all families present");
-                        slot.1.ground_truth += 1;
-                        if kizzle_hit.is_none() {
-                            slot.1.kizzle_fn += 1;
-                        }
-                        if av_hit.is_none() {
-                            slot.1.av_fn += 1;
-                        }
-                        if family == KitFamily::Angler {
-                            kizzle_angler.record(true, kizzle_hit.is_some());
-                            av_angler.record(true, av_hit.is_some());
-                        }
+                        slot.1.kizzle_fp += 1;
                     }
-                    GroundTruth::Benign => {
-                        if let Some(family) = kizzle_hit {
-                            let slot = per_family
-                                .iter_mut()
-                                .find(|(f, _)| *f == family)
-                                .expect("all families present");
-                            slot.1.kizzle_fp += 1;
-                        }
-                        if let Some(family) = av_hit {
-                            let slot = per_family
-                                .iter_mut()
-                                .find(|(f, _)| *f == family)
-                                .expect("all families present");
-                            slot.1.av_fp += 1;
-                        }
+                    if let Some(family) = av_hit {
+                        let slot = per_family
+                            .iter_mut()
+                            .find(|(f, _)| *f == family)
+                            .expect("all families present");
+                        slot.1.av_fp += 1;
                     }
                 }
             }
-
-            let signature_lengths = KitFamily::ALL
-                .iter()
-                .map(|family| {
-                    let len = compiler
-                        .signatures()
-                        .for_label(family.name())
-                        .last()
-                        .map_or(0, |s| s.signature.rendered_len());
-                    (*family, len)
-                })
-                .collect();
-
-            days.push(DailyMetrics {
-                date,
-                samples: samples.len(),
-                clusters: report.clusters,
-                kizzle: kizzle_counts,
-                av: av_counts,
-                kizzle_angler,
-                av_angler,
-                signature_lengths,
-                new_signatures: report.new_signatures.clone(),
-                clustering_seconds: report.clustering_stats.total_time().as_secs_f64(),
-                live_corpus: compiler.engine().len(),
-            });
         }
 
-        MonthlyResult { days, per_family }
+        let signature_lengths = KitFamily::ALL
+            .iter()
+            .map(|family| {
+                let len = compiler
+                    .signatures()
+                    .for_label(family.name())
+                    .last()
+                    .map_or(0, |s| s.signature.rendered_len());
+                (*family, len)
+            })
+            .collect();
+
+        let window_clusters = self
+            .config
+            .window_cluster
+            .then(|| compiler.cluster_window().0.cluster_count());
+
+        DailyMetrics {
+            date,
+            samples: samples.len(),
+            clusters: report.clusters,
+            kizzle: kizzle_counts,
+            av: av_counts,
+            kizzle_angler,
+            av_angler,
+            signature_lengths,
+            new_signatures: report.new_signatures.clone(),
+            clustering_seconds: report.clustering_stats.total_time().as_secs_f64(),
+            live_corpus: compiler.engine().len(),
+            window_clusters,
+        }
     }
 }
 
@@ -267,6 +346,93 @@ mod tests {
                 pair[1].clusters
             );
         }
+    }
+
+    /// Wall-clock noise stripped: everything that must be byte-identical
+    /// between a long-lived and a restart-each-day run.
+    fn normalized(days: &[DailyMetrics]) -> Vec<DailyMetrics> {
+        days.iter()
+            .map(|d| DailyMetrics {
+                clustering_seconds: 0.0,
+                ..d.clone()
+            })
+            .collect()
+    }
+
+    fn three_day_config(seed: u64) -> EvalConfig {
+        let mut config = EvalConfig::quick(seed);
+        config.stream.samples_per_day = 40;
+        config.end = config.start.next().next();
+        config
+    }
+
+    #[test]
+    fn restart_each_day_matches_the_long_lived_run() {
+        let config = three_day_config(5);
+        let state_dir = std::env::temp_dir().join(format!(
+            "kizzle-eval-restart-test-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&state_dir).ok();
+
+        let long_lived = MonthlyEvaluation::new(config.clone()).run();
+        let restarted = MonthlyEvaluation::new(config).run_restarting(&state_dir);
+
+        assert_eq!(normalized(&long_lived.days), normalized(&restarted.days));
+        assert_eq!(long_lived.per_family, restarted.per_family);
+        // The snapshot chain really was used: day 2 and 3 resumed warm.
+        assert!(state_dir.join("kizzle-state.snap").exists());
+        assert!(state_dir.join("MANIFEST").exists());
+        std::fs::remove_dir_all(&state_dir).ok();
+    }
+
+    #[test]
+    fn corrupting_the_snapshot_mid_window_degrades_not_panics() {
+        let config = three_day_config(6);
+        let state_dir = std::env::temp_dir().join(format!(
+            "kizzle-eval-corrupt-test-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&state_dir).ok();
+
+        // Day 1 only, to leave a snapshot behind…
+        let mut first = config.clone();
+        first.end = first.start;
+        let _ = MonthlyEvaluation::new(first).run_restarting(&state_dir);
+        // …then vandalize it and run the full window: the run completes and
+        // still produces one report per day.
+        let snap = state_dir.join("kizzle-state.snap");
+        let mut bytes = std::fs::read(&snap).expect("snapshot exists");
+        let mid = bytes.len() / 2;
+        bytes.truncate(mid);
+        std::fs::write(&snap, &bytes).expect("rewrite");
+        let result = MonthlyEvaluation::new(config).run_restarting(&state_dir);
+        assert_eq!(result.days.len(), 3);
+        assert!(result.days.iter().all(|d| d.samples > 0));
+        std::fs::remove_dir_all(&state_dir).ok();
+    }
+
+    #[test]
+    fn window_cluster_mode_reports_a_window_count() {
+        let mut config = three_day_config(5);
+        config.window_cluster = true;
+        let result = MonthlyEvaluation::new(config).run();
+        // Every day records a count. The window clusters *distinct*
+        // retained class-strings (the day view weights duplicates, the
+        // store dedups them), so the count can sit below the per-day one —
+        // but across a multi-day window some family must still clear
+        // min_points on distinct variants alone.
+        assert!(result.days.iter().all(|d| d.window_clusters.is_some()));
+        let peak = result
+            .days
+            .iter()
+            .filter_map(|d| d.window_clusters)
+            .max()
+            .expect("days present");
+        assert!(peak > 0, "no window clusters all window: {result:?}");
+        // Without the flag the column stays empty.
+        let result = MonthlyEvaluation::new(three_day_config(5)).run();
+        assert!(result.days.iter().all(|d| d.window_clusters.is_none()));
     }
 
     #[test]

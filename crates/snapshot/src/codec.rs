@@ -1,0 +1,281 @@
+//! Explicit little-endian binary codec.
+//!
+//! Every snapshot payload is written through [`Encoder`] and read back
+//! through [`Decoder`] — plain, position-free little-endian primitives
+//! with length-prefixed byte strings. No `serde`: the `vendor/serde` stub
+//! this workspace carries has no binary backend, and a hand-rolled codec
+//! keeps the on-disk layout self-evident and stable across refactors of
+//! the in-memory types.
+//!
+//! Conventions:
+//!
+//! * All integers are little-endian, fixed width.
+//! * `usize` values travel as `u64` (a snapshot written on a 64-bit box
+//!   loads on any box; counts beyond `u32::MAX` fail decode explicitly).
+//! * `f64` travels as its IEEE-754 bit pattern, so round-trips are exact.
+//! * Byte strings and UTF-8 strings are `u64` length followed by payload.
+//! * Options are a `u8` tag (0/1) followed by the value when present.
+
+use crate::SnapshotError;
+
+/// Append-only little-endian writer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Create an empty encoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// The bytes written so far.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Write one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write an `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `usize` as a `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Write an `f64` as its exact bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Write a bool as one byte (0/1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Write a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+}
+
+/// Cursor-based little-endian reader over a payload slice.
+///
+/// Every read is bounds-checked; running off the end yields
+/// [`SnapshotError::Truncated`] rather than a panic, so a corrupted
+/// payload always surfaces as a recoverable error.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Start decoding at the beginning of `data`.
+    #[must_use]
+    pub fn new(data: &'a [u8]) -> Self {
+        Decoder { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Assert the payload was consumed exactly — trailing garbage means
+    /// the payload was not written by the matching encoder.
+    pub fn finish(self) -> Result<(), SnapshotError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(SnapshotError::Corrupt(format!(
+                "{} trailing bytes after decode",
+                self.remaining()
+            )))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated);
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `u16`.
+    pub fn u16(&mut self) -> Result<u16, SnapshotError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Read an `i64`.
+    pub fn i64(&mut self) -> Result<i64, SnapshotError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Read a `usize` written as `u64`.
+    pub fn usize(&mut self) -> Result<usize, SnapshotError> {
+        usize::try_from(self.u64()?)
+            .map_err(|_| SnapshotError::Corrupt("count exceeds usize".into()))
+    }
+
+    /// Read an `f64` from its bit pattern.
+    pub fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a bool (strictly 0 or 1).
+    pub fn bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(SnapshotError::Corrupt(format!("bool tag {other}"))),
+        }
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], SnapshotError> {
+        let len = self.usize()?;
+        self.take(len)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, SnapshotError> {
+        std::str::from_utf8(self.bytes()?)
+            .map_err(|_| SnapshotError::Corrupt("invalid utf-8 string".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut enc = Encoder::new();
+        enc.u8(7);
+        enc.u16(65_000);
+        enc.u32(4_000_000_000);
+        enc.u64(u64::MAX);
+        enc.i64(-42);
+        enc.usize(123_456);
+        enc.f64(0.1);
+        enc.f64(f64::NEG_INFINITY);
+        enc.bool(true);
+        enc.bool(false);
+        enc.bytes(b"raw\x00bytes");
+        enc.str("text");
+        let bytes = enc.into_bytes();
+
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.u8().unwrap(), 7);
+        assert_eq!(dec.u16().unwrap(), 65_000);
+        assert_eq!(dec.u32().unwrap(), 4_000_000_000);
+        assert_eq!(dec.u64().unwrap(), u64::MAX);
+        assert_eq!(dec.i64().unwrap(), -42);
+        assert_eq!(dec.usize().unwrap(), 123_456);
+        assert_eq!(dec.f64().unwrap().to_bits(), 0.1f64.to_bits());
+        assert_eq!(dec.f64().unwrap(), f64::NEG_INFINITY);
+        assert!(dec.bool().unwrap());
+        assert!(!dec.bool().unwrap());
+        assert_eq!(dec.bytes().unwrap(), b"raw\x00bytes");
+        assert_eq!(dec.str().unwrap(), "text");
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_reads_error_not_panic() {
+        let mut enc = Encoder::new();
+        enc.u64(1);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes[..5]);
+        assert!(matches!(dec.u64(), Err(SnapshotError::Truncated)));
+        // A byte-string length pointing past the end is truncation too.
+        let mut enc = Encoder::new();
+        enc.usize(1_000);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(dec.bytes(), Err(SnapshotError::Truncated)));
+    }
+
+    #[test]
+    fn bad_tags_are_corrupt() {
+        let mut dec = Decoder::new(&[9]);
+        assert!(matches!(dec.bool(), Err(SnapshotError::Corrupt(_))));
+        let mut enc = Encoder::new();
+        enc.bytes(&[0xFF, 0xFE]);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(dec.str(), Err(SnapshotError::Corrupt(_))));
+    }
+
+    #[test]
+    fn finish_rejects_trailing_bytes() {
+        let mut enc = Encoder::new();
+        enc.u8(1);
+        enc.u8(2);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let _ = dec.u8().unwrap();
+        assert!(matches!(dec.finish(), Err(SnapshotError::Corrupt(_))));
+    }
+}

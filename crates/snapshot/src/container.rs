@@ -1,0 +1,385 @@
+//! The snapshot container: named, checksummed sections in one file.
+//!
+//! ## On-disk layout (all integers little-endian)
+//!
+//! ```text
+//! magic            8 bytes   "KIZSNAP1"
+//! format version   u32       FORMAT_VERSION
+//! section count    u32
+//! section × N:
+//!   name length    u16
+//!   name           UTF-8 bytes
+//!   payload length u64
+//!   payload CRC-32 u32       over the payload bytes alone
+//!   payload        bytes
+//! file CRC-32      u32       over every byte before this field
+//! ```
+//!
+//! The design goals, in order:
+//!
+//! 1. **Detect, never trust.** A truncated file fails the structural walk
+//!    or the trailer check; a flipped bit fails a section CRC; a snapshot
+//!    from a future format fails the version gate. All of these surface as
+//!    [`SnapshotError`] values, not panics.
+//! 2. **Degrade per section.** Section CRCs are independent, so a reader
+//!    can recover every intact section of a damaged file —
+//!    [`Snapshot::section`] reports corruption section-by-section, which
+//!    lets the engine loader rebuild only what was actually lost.
+//! 3. **Atomic replace.** [`SnapshotBuilder::write_atomic`] goes through a
+//!    `.tmp` sibling and a rename, so a crash mid-write leaves the
+//!    previous snapshot file untouched.
+
+use crate::{crc32, SnapshotError};
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// File magic: identifies a Kizzle snapshot regardless of version.
+pub const MAGIC: [u8; 8] = *b"KIZSNAP1";
+
+/// Current container format version. Bump on any layout change.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Accumulates named sections and serializes them into one container.
+#[derive(Debug, Default)]
+pub struct SnapshotBuilder {
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl SnapshotBuilder {
+    /// Create an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        SnapshotBuilder::default()
+    }
+
+    /// Append a named section. Names must be unique within one snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a section with the same name was already added, or if the
+    /// name exceeds `u16::MAX` bytes.
+    pub fn section(&mut self, name: &str, payload: Vec<u8>) {
+        assert!(
+            self.sections.iter().all(|(n, _)| n != name),
+            "duplicate snapshot section {name:?}"
+        );
+        assert!(name.len() <= usize::from(u16::MAX), "section name too long");
+        self.sections.push((name.to_string(), payload));
+    }
+
+    /// Serialize the container to bytes.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&u32::try_from(self.sections.len()).expect("u32 sections").to_le_bytes());
+        for (name, payload) in &self.sections {
+            out.extend_from_slice(&u16::try_from(name.len()).expect("checked in section()").to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(&crc32(payload).to_le_bytes());
+            out.extend_from_slice(payload);
+        }
+        let file_crc = crc32(&out);
+        out.extend_from_slice(&file_crc.to_le_bytes());
+        out
+    }
+
+    /// Serialize and write atomically: `.tmp` sibling, sync, rename.
+    pub fn write_atomic(&self, path: &Path) -> std::io::Result<()> {
+        write_atomic(path, &self.to_bytes())
+    }
+}
+
+/// Write bytes to `path` atomically via a `.tmp` sibling and a rename.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// One parsed section: payload plus its integrity verdict.
+#[derive(Debug)]
+struct ParsedSection {
+    name: String,
+    payload: Vec<u8>,
+    crc_ok: bool,
+}
+
+/// A parsed snapshot container.
+///
+/// Parsing is *structural*: magic and version are enforced up front, then
+/// the section table is walked as far as the file allows. Section payloads
+/// are checksum-verified individually on access, so one damaged section
+/// does not take the intact ones down with it.
+#[derive(Debug)]
+pub struct Snapshot {
+    sections: Vec<ParsedSection>,
+    /// Every declared section was present in full.
+    complete: bool,
+    /// The whole-file trailer checksum verified.
+    file_crc_ok: bool,
+}
+
+impl Snapshot {
+    /// Read and parse a snapshot file.
+    pub fn read(path: &Path) -> Result<Self, SnapshotError> {
+        let bytes = fs::read(path)?;
+        Snapshot::from_bytes(&bytes)
+    }
+
+    /// Parse a snapshot from bytes.
+    ///
+    /// Fails outright only when the header is unusable (wrong magic,
+    /// unsupported version, or too short to carry a header). Structural
+    /// damage further in leaves a partial snapshot with
+    /// [`Snapshot::is_complete`] false and the surviving sections
+    /// readable.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        if bytes.len() < MAGIC.len() + 8 {
+            // Too short even for magic + version + count: if the prefix
+            // matches the magic it is a truncated snapshot, otherwise it
+            // is not a snapshot at all.
+            return if bytes.starts_with(&MAGIC) || MAGIC.starts_with(bytes) {
+                Err(SnapshotError::Truncated)
+            } else {
+                Err(SnapshotError::BadMagic)
+            };
+        }
+        if bytes[..MAGIC.len()] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != FORMAT_VERSION {
+            return Err(SnapshotError::VersionSkew {
+                found: version,
+                expected: FORMAT_VERSION,
+            });
+        }
+        let declared = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
+
+        // The trailer covers everything before itself; a file shorter than
+        // its declared structure simply fails the walk below.
+        let file_crc_ok = bytes.len() >= 4 && {
+            let body = &bytes[..bytes.len() - 4];
+            let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+            crc32(body) == stored
+        };
+
+        let mut sections = Vec::new();
+        let mut pos = 16usize;
+        let mut complete = true;
+        // The last 4 bytes are the trailer; sections must fit before it.
+        let body_end = bytes.len().saturating_sub(4);
+        for _ in 0..declared {
+            let Some(parsed) = parse_section(bytes, body_end, &mut pos) else {
+                complete = false;
+                break;
+            };
+            sections.push(parsed);
+        }
+        if pos != body_end {
+            // Trailing garbage between the last section and the trailer.
+            complete = false;
+        }
+        Ok(Snapshot {
+            sections,
+            complete,
+            file_crc_ok,
+        })
+    }
+
+    /// True when every declared section parsed and the file trailer
+    /// checksum verified — the file is exactly as written.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.complete && self.file_crc_ok
+    }
+
+    /// Names of the sections that parsed structurally, in file order.
+    #[must_use]
+    pub fn section_names(&self) -> Vec<&str> {
+        self.sections.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// The payload of a named section, checksum-verified.
+    ///
+    /// Distinguishes "the section is gone" ([`SnapshotError::SectionMissing`],
+    /// also the answer for sections lost to a truncated tail) from "the
+    /// section is present but damaged" ([`SnapshotError::ChecksumMismatch`]).
+    pub fn section(&self, name: &str) -> Result<&[u8], SnapshotError> {
+        match self.sections.iter().find(|s| s.name == name) {
+            None => Err(SnapshotError::SectionMissing {
+                section: name.to_string(),
+            }),
+            Some(section) if !section.crc_ok => Err(SnapshotError::ChecksumMismatch {
+                section: name.to_string(),
+            }),
+            Some(section) => Ok(&section.payload),
+        }
+    }
+}
+
+/// Parse one section at `*pos`; `None` when the file ends first.
+fn parse_section(bytes: &[u8], body_end: usize, pos: &mut usize) -> Option<ParsedSection> {
+    let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+        // checked: a crafted payload length near u64::MAX must read as
+        // truncation, not wrap around and panic on the slice below.
+        let end = pos.checked_add(n)?;
+        if end > body_end {
+            return None;
+        }
+        let slice = &bytes[*pos..end];
+        *pos = end;
+        Some(slice)
+    };
+    let name_len = u16::from_le_bytes(take(pos, 2)?.try_into().expect("2 bytes")) as usize;
+    let name = std::str::from_utf8(take(pos, name_len)?).ok()?.to_string();
+    let payload_len = u64::from_le_bytes(take(pos, 8)?.try_into().expect("8 bytes"));
+    let payload_len = usize::try_from(payload_len).ok()?;
+    let stored_crc = u32::from_le_bytes(take(pos, 4)?.try_into().expect("4 bytes"));
+    let payload = take(pos, payload_len)?.to_vec();
+    let crc_ok = crc32(&payload) == stored_crc;
+    Some(ParsedSection {
+        name,
+        payload,
+        crc_ok,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_snapshot() -> Vec<u8> {
+        let mut builder = SnapshotBuilder::new();
+        builder.section("alpha", b"first payload".to_vec());
+        builder.section("beta", b"second, longer payload with more bytes".to_vec());
+        builder.section("empty", Vec::new());
+        builder.to_bytes()
+    }
+
+    #[test]
+    fn roundtrip_preserves_sections() {
+        let bytes = demo_snapshot();
+        let snap = Snapshot::from_bytes(&bytes).unwrap();
+        assert!(snap.is_complete());
+        assert_eq!(snap.section_names(), vec!["alpha", "beta", "empty"]);
+        assert_eq!(snap.section("alpha").unwrap(), b"first payload");
+        assert_eq!(snap.section("empty").unwrap(), b"");
+        assert!(matches!(
+            snap.section("gamma"),
+            Err(SnapshotError::SectionMissing { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = demo_snapshot();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::BadMagic)
+        ));
+        assert!(matches!(
+            Snapshot::from_bytes(b"not a snapshot at all"),
+            Err(SnapshotError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn version_skew_is_rejected() {
+        let mut bytes = demo_snapshot();
+        bytes[8] = 0xEE; // future version
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::VersionSkew { found, .. }) if found != FORMAT_VERSION
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_only_that_section() {
+        let full = demo_snapshot();
+        let snap = Snapshot::from_bytes(&full).unwrap();
+        let beta_payload = snap.section("beta").unwrap().to_vec();
+        // Find beta's payload in the raw bytes and flip a bit of it.
+        let at = full
+            .windows(beta_payload.len())
+            .position(|w| w == beta_payload)
+            .expect("payload present verbatim");
+        let mut damaged = full.clone();
+        damaged[at] ^= 0x01;
+
+        let snap = Snapshot::from_bytes(&damaged).unwrap();
+        assert!(!snap.is_complete(), "file checksum must catch the flip");
+        assert_eq!(snap.section("alpha").unwrap(), b"first payload");
+        assert!(matches!(
+            snap.section("beta"),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+        assert_eq!(snap.section("empty").unwrap(), b"");
+    }
+
+    #[test]
+    fn truncation_loses_the_tail_but_keeps_the_head() {
+        let full = demo_snapshot();
+        // Cut inside beta's payload: alpha stays intact; beta's truncated
+        // bytes can no longer be parsed (and must not be trusted anyway).
+        let cut = full.len() - 30;
+        let snap = Snapshot::from_bytes(&full[..cut]).unwrap();
+        assert!(!snap.is_complete());
+        assert_eq!(snap.section("alpha").unwrap(), b"first payload");
+        assert!(snap.section("beta").is_err());
+        // Truncating into the header is fatal.
+        assert!(matches!(
+            Snapshot::from_bytes(&full[..6]),
+            Err(SnapshotError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join(format!(
+            "kizzle-snapshot-test-{}",
+            std::process::id()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.snap");
+
+        let mut builder = SnapshotBuilder::new();
+        builder.section("v", b"one".to_vec());
+        builder.write_atomic(&path).unwrap();
+        let first = Snapshot::read(&path).unwrap();
+        assert_eq!(first.section("v").unwrap(), b"one");
+
+        let mut builder = SnapshotBuilder::new();
+        builder.section("v", b"two".to_vec());
+        builder.write_atomic(&path).unwrap();
+        let second = Snapshot::read(&path).unwrap();
+        assert_eq!(second.section("v").unwrap(), b"two");
+
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "tmp file left behind");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate snapshot section")]
+    fn duplicate_section_names_panic() {
+        let mut builder = SnapshotBuilder::new();
+        builder.section("x", Vec::new());
+        builder.section("x", Vec::new());
+    }
+}

@@ -1,0 +1,150 @@
+//! The human-readable manifest sidecar.
+//!
+//! A snapshot directory carries a `MANIFEST` file next to the binary
+//! snapshot: plain `key = value` lines an operator can `cat` to learn what
+//! state is on disk (format version, config fingerprint, last processed
+//! day, byte size, checksum) without a binary reader. The manifest is
+//! *descriptive*, never authoritative — loaders read the snapshot itself
+//! and must survive a missing or damaged manifest.
+
+use crate::container::write_atomic;
+use crate::SnapshotError;
+use std::path::Path;
+
+/// Header line identifying a manifest file.
+const HEADER: &str = "# kizzle-snapshot manifest v1";
+
+/// An ordered list of `key = value` string pairs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    entries: Vec<(String, String)>,
+}
+
+impl Manifest {
+    /// Create an empty manifest.
+    #[must_use]
+    pub fn new() -> Self {
+        Manifest::default()
+    }
+
+    /// Set a key, replacing any previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key or value contains a newline or the key contains
+    /// `=` (they would corrupt the line format).
+    pub fn set(&mut self, key: &str, value: impl ToString) {
+        let value = value.to_string();
+        assert!(
+            !key.contains(['\n', '=']) && !value.contains('\n'),
+            "manifest entries must be single-line and keys must not contain '='"
+        );
+        if let Some(entry) = self.entries.iter_mut().find(|(k, _)| k == key) {
+            entry.1 = value;
+        } else {
+            self.entries.push((key.to_string(), value));
+        }
+    }
+
+    /// Look up a key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All entries in insertion order.
+    #[must_use]
+    pub fn entries(&self) -> &[(String, String)] {
+        &self.entries
+    }
+
+    /// Render to the on-disk text form.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::from(HEADER);
+        out.push('\n');
+        for (key, value) in &self.entries {
+            out.push_str(key);
+            out.push_str(" = ");
+            out.push_str(value);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the on-disk text form.
+    pub fn from_text(text: &str) -> Result<Self, SnapshotError> {
+        let mut lines = text.lines();
+        if lines.next() != Some(HEADER) {
+            return Err(SnapshotError::Corrupt("manifest header missing".into()));
+        }
+        let mut manifest = Manifest::new();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((key, value)) = line.split_once(" = ") else {
+                return Err(SnapshotError::Corrupt(format!(
+                    "manifest line without ' = ': {line:?}"
+                )));
+            };
+            // set() asserts this invariant; a damaged file must error.
+            if key.contains('=') {
+                return Err(SnapshotError::Corrupt(format!(
+                    "manifest key contains '=': {line:?}"
+                )));
+            }
+            manifest.set(key, value);
+        }
+        Ok(manifest)
+    }
+
+    /// Write the manifest atomically.
+    pub fn write_atomic(&self, path: &Path) -> std::io::Result<()> {
+        write_atomic(path, self.to_text().as_bytes())
+    }
+
+    /// Read a manifest file.
+    pub fn read(path: &Path) -> Result<Self, SnapshotError> {
+        let text = std::fs::read_to_string(path)?;
+        Manifest::from_text(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_text() {
+        let mut m = Manifest::new();
+        m.set("format_version", 1);
+        m.set("config_fingerprint", format!("{:#018x}", 0xDEAD_BEEFu64));
+        m.set("last_day", "2014-08-16");
+        m.set("last_day", "2014-08-17"); // replaces
+        let text = m.to_text();
+        let back = Manifest::from_text(&text).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.get("last_day"), Some("2014-08-17"));
+        assert_eq!(back.get("missing"), None);
+        assert_eq!(back.entries().len(), 3);
+    }
+
+    #[test]
+    fn damaged_text_is_an_error() {
+        assert!(Manifest::from_text("").is_err());
+        assert!(Manifest::from_text("wrong header\nk = v\n").is_err());
+        let bad_line = format!("{HEADER}\nno separator here\n");
+        assert!(Manifest::from_text(&bad_line).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "single-line")]
+    fn newline_in_value_panics() {
+        Manifest::new().set("k", "a\nb");
+    }
+}

@@ -156,6 +156,22 @@ impl Fingerprint {
     pub fn iter(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
         self.counts.iter().map(|(h, c)| (*h, *c))
     }
+
+    /// Reassemble a fingerprint from `(hash, count)` pairs, as produced by
+    /// [`Fingerprint::iter`] — the reconstruction half of persisting a
+    /// reference corpus. Counts for a repeated hash accumulate; the total
+    /// is the sum of counts, matching how fingerprints are built and
+    /// merged.
+    #[must_use]
+    pub fn from_counts<I: IntoIterator<Item = (u64, u32)>>(pairs: I) -> Self {
+        let mut counts: HashMap<u64, u32> = HashMap::new();
+        let mut total: u64 = 0;
+        for (hash, count) in pairs {
+            *counts.entry(hash).or_insert(0) += count;
+            total += u64::from(count);
+        }
+        Fingerprint { counts, total }
+    }
 }
 
 impl fmt::Display for Fingerprint {
@@ -235,6 +251,19 @@ mod tests {
         function checkAv(){ try { new ActiveXObject("Kaspersky.IeVirtualKeyboardPlugin.JavaScriptApi"); return true; } catch(e) { return false; } }
         function exploit_2013_2551(){ var spray = []; for (var i = 0; i < 4096; i++) { spray.push(block); } trigger(); }
     "#;
+
+    #[test]
+    fn from_counts_roundtrips_iter() {
+        let config = WinnowConfig::default();
+        let original = Fingerprint::of_text(BODY, &config);
+        let rebuilt = Fingerprint::from_counts(original.iter());
+        assert_eq!(rebuilt.len(), original.len());
+        assert_eq!(rebuilt.distinct(), original.distinct());
+        // Identical multisets behave identically in every comparison.
+        assert_eq!(rebuilt.intersection_size(&original), original.len() as u64);
+        assert!((rebuilt.overlap(&original) - 1.0).abs() < 1e-12);
+        assert!(Fingerprint::from_counts(std::iter::empty()).is_empty());
+    }
 
     #[test]
     fn config_guarantee_threshold() {

@@ -3,20 +3,33 @@
 //!
 //! This is a miniature of the paper's month-long evaluation (Figs. 6/13),
 //! centered on the August 13 Angler change that opened the commercial AV's
-//! window of vulnerability. The compiler is reused across days, so the
-//! corpus store and neighbor index stay warm from day to day.
+//! window of vulnerability. By default the compiler is reused across days,
+//! so the corpus store and neighbor index stay warm from day to day.
+//!
+//! `--state-dir DIR` persists the compiler state after every day;
+//! `--restart-each-day` additionally **drops the compiler between days**
+//! and reloads it from the snapshot — the production cron deployment in
+//! miniature. Its report table is byte-identical to the long-lived run
+//! (CI diffs the two). `--window-cluster` adds the multi-day eval mode: a
+//! `window` column with the cluster count over the whole retention window.
 //!
 //! ```bash
 //! cargo run --release -p kizzle-sim --example daily_pipeline -- \
 //!     --days 7 --samples-per-day 150 --seed 11
+//! cargo run --release -p kizzle-sim --example daily_pipeline -- \
+//!     --days 3 --state-dir /tmp/kizzle-state --restart-each-day
 //! ```
 
 use kizzle_eval::{EvalConfig, MonthlyEvaluation};
+use std::path::PathBuf;
 
 struct Args {
     days: u32,
     samples_per_day: usize,
     seed: u64,
+    state_dir: Option<PathBuf>,
+    restart_each_day: bool,
+    window_cluster: bool,
 }
 
 fn parse_args() -> Args {
@@ -24,6 +37,9 @@ fn parse_args() -> Args {
         days: 7,
         samples_per_day: 150,
         seed: 11,
+        state_dir: None,
+        restart_each_day: false,
+        window_cluster: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -37,10 +53,17 @@ fn parse_args() -> Args {
                 args.samples_per_day = parse(&value("--samples-per-day"), "--samples-per-day");
             }
             "--seed" => args.seed = parse(&value("--seed"), "--seed"),
+            "--state-dir" => args.state_dir = Some(PathBuf::from(value("--state-dir"))),
+            "--restart-each-day" => args.restart_each_day = true,
+            "--window-cluster" => args.window_cluster = true,
             "--help" | "-h" => {
                 println!(
                     "usage: daily_pipeline [--days N] [--samples-per-day M] [--seed S]\n\
-                     defaults: --days 7 --samples-per-day 150 --seed 11"
+                     \x20                     [--state-dir DIR [--restart-each-day]] [--window-cluster]\n\
+                     defaults: --days 7 --samples-per-day 150 --seed 11\n\
+                     --state-dir DIR       persist compiler state (snapshot + MANIFEST) after each day\n\
+                     --restart-each-day    drop + reload the compiler between days (cron simulation)\n\
+                     --window-cluster      also cluster the whole retention window each day"
                 );
                 std::process::exit(0);
             }
@@ -49,6 +72,9 @@ fn parse_args() -> Args {
     }
     if args.days == 0 {
         die("--days must be at least 1");
+    }
+    if args.restart_each_day && args.state_dir.is_none() {
+        die("--restart-each-day needs --state-dir (state must live somewhere between runs)");
     }
     args
 }
@@ -68,20 +94,41 @@ fn main() {
     let args = parse_args();
     let mut config = EvalConfig::quick(args.seed);
     config.stream.samples_per_day = args.samples_per_day;
+    config.window_cluster = args.window_cluster;
     let mut end = config.start;
     for _ in 1..args.days {
         end = end.next();
     }
     config.end = end;
 
-    let result = MonthlyEvaluation::new(config).run();
+    let evaluation = MonthlyEvaluation::new(config);
+    // Mode notes go to stderr so the stdout report stays byte-comparable
+    // between the long-lived and restart-each-day runs (CI diffs them).
+    let result = match (&args.state_dir, args.restart_each_day) {
+        (None, _) => evaluation.run(),
+        (Some(dir), false) => {
+            eprintln!("persisting compiler state to {} after each day", dir.display());
+            evaluation.run_persisting(dir)
+        }
+        (Some(dir), true) => {
+            eprintln!(
+                "cron simulation: dropping and reloading the compiler from {} between days",
+                dir.display()
+            );
+            evaluation.run_restarting(dir)
+        }
+    };
 
+    let window_header = if args.window_cluster { "  window" } else { "" };
     println!(
-        "day      samples  clusters  corpus  | Kizzle FP%  FN%   | AV FP%   FN%   | new signatures"
+        "day      samples  clusters{window_header}  corpus  | Kizzle FP%  FN%   | AV FP%   FN%   | new signatures"
     );
     for day in &result.days {
+        let window_cell = day
+            .window_clusters
+            .map_or_else(String::new, |w| format!("  {w:6}"));
         println!(
-            "{:>6}  {:7}  {:8}  {:6}  | {:8.3}  {:5.1} | {:6.3}  {:5.1} | {}",
+            "{:>6}  {:7}  {:8}{window_cell}  {:6}  | {:8.3}  {:5.1} | {:6.3}  {:5.1} | {}",
             day.date.axis_label(),
             day.samples,
             day.clusters,
@@ -91,6 +138,25 @@ fn main() {
             day.av.fp_rate() * 100.0,
             day.av.fn_rate() * 100.0,
             day.new_signatures.join(" "),
+        );
+    }
+    if args.window_cluster {
+        let fragmented: Vec<String> = result
+            .days
+            .iter()
+            .filter_map(|d| d.window_clusters.map(|w| (d, w)))
+            .map(|(d, w)| {
+                format!(
+                    "{}: {} per-day vs {} window",
+                    d.date.axis_label(),
+                    d.clusters,
+                    w
+                )
+            })
+            .collect();
+        println!(
+            "\nwindow clustering (whole retention window as one batch): {}",
+            fragmented.join("; ")
         );
     }
 
