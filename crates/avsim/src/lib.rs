@@ -189,10 +189,7 @@ impl AvEngine {
                 } else {
                     // The analyst's eventual response: a structural match on
                     // the hex-chunk decoder.
-                    vec![
-                        "window[\"ev\" + \"al\"]".to_string(),
-                        ", 16))".to_string(),
-                    ]
+                    vec!["window[\"ev\" + \"al\"]".to_string(), ", 16))".to_string()]
                 }
             }
         };
@@ -250,14 +247,20 @@ mod tests {
         let engine = AvEngine::default();
         // Before the change: detected via the exposed marker.
         let before = page(KitFamily::Angler, 8, 12, 1);
-        assert_eq!(engine.scan(SimDate::new(2014, 8, 12), &before), Some(KitFamily::Angler));
+        assert_eq!(
+            engine.scan(SimDate::new(2014, 8, 12), &before),
+            Some(KitFamily::Angler)
+        );
         // Right after the change: the deployed signature still expects the
         // marker, which is gone -> false negative.
         let after = page(KitFamily::Angler, 8, 14, 2);
         assert_eq!(engine.scan(SimDate::new(2014, 8, 14), &after), None);
         // Once the analyst reacts (delay days later), detection resumes.
         let later = page(KitFamily::Angler, 8, 24, 3);
-        assert_eq!(engine.scan(SimDate::new(2014, 8, 24), &later), Some(KitFamily::Angler));
+        assert_eq!(
+            engine.scan(SimDate::new(2014, 8, 24), &later),
+            Some(KitFamily::Angler)
+        );
     }
 
     #[test]
@@ -323,9 +326,17 @@ mod tests {
     fn other_benign_kinds_are_clean() {
         let engine = AvEngine::default();
         let mut rng = ChaCha8Rng::seed_from_u64(10);
-        for kind in [BenignKind::PluginDetect, BenignKind::Analytics, BenignKind::FormGlue] {
+        for kind in [
+            BenignKind::PluginDetect,
+            BenignKind::Analytics,
+            BenignKind::FormGlue,
+        ] {
             let benign = generate_benign(kind, &mut rng);
-            assert_eq!(engine.scan(SimDate::new(2014, 8, 10), &benign), None, "{kind}");
+            assert_eq!(
+                engine.scan(SimDate::new(2014, 8, 10), &benign),
+                None,
+                "{kind}"
+            );
         }
     }
 
@@ -335,7 +346,10 @@ mod tests {
         let view = engine.analyst_view(KitFamily::Nuclear, SimDate::new(2014, 8, 20));
         // 8/20 - 6 days = 8/14: the delimiter change of 8/17 and 8/19 are
         // not yet reflected.
-        assert_eq!(view, KitState::on_date(KitFamily::Nuclear, SimDate::new(2014, 8, 14)));
+        assert_eq!(
+            view,
+            KitState::on_date(KitFamily::Nuclear, SimDate::new(2014, 8, 14))
+        );
     }
 
     #[test]

@@ -88,5 +88,9 @@ fn bench_neighbor_query(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(clustering_indexed_vs_naive, bench_clustering, bench_neighbor_query);
+criterion_group!(
+    clustering_indexed_vs_naive,
+    bench_clustering,
+    bench_neighbor_query
+);
 criterion_main!(clustering_indexed_vs_naive);

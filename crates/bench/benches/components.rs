@@ -9,9 +9,14 @@ use kizzle_winnow::{Fingerprint, WinnowConfig};
 use std::hint::black_box;
 use std::time::Duration;
 
-fn group<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+fn group<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
     let mut g = c.benchmark_group(name);
-    g.sample_size(20).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    g.sample_size(20)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
     g
 }
 
@@ -49,12 +54,15 @@ fn bench_winnowing(c: &mut Criterion) {
 fn bench_scanning(c: &mut Criterion) {
     let mut g = group(c, "scanning");
     let samples = tokenized(&packed_samples(KitFamily::Nuclear, 26, 6), 600);
-    let signature = generate_signature("bench.sig", &samples, &SignatureConfig::default())
-        .expect("signature");
+    let signature =
+        generate_signature("bench.sig", &samples, &SignatureConfig::default()).expect("signature");
     let benign_doc = {
         use rand::SeedableRng;
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
-        kizzle_corpus::benign::generate_benign(kizzle_corpus::benign::BenignKind::PluginDetect, &mut rng)
+        kizzle_corpus::benign::generate_benign(
+            kizzle_corpus::benign::BenignKind::PluginDetect,
+            &mut rng,
+        )
     };
     let benign_stream = kizzle_js::tokenize_document(&benign_doc);
     g.bench_function("match_hit", |b| {

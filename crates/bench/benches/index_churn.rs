@@ -101,9 +101,7 @@ fn bench_index_churn(c: &mut Criterion) {
                     replaced
                         .iter()
                         .enumerate()
-                        .map(|(r, &pos)| {
-                            (SampleId::new(pos as u32), Arc::from(&pool[n + r][..]))
-                        })
+                        .map(|(r, &pos)| (SampleId::new(pos as u32), Arc::from(&pool[n + r][..])))
                         .collect(),
                 );
                 black_box(index.len())

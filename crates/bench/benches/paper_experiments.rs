@@ -7,8 +7,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kizzle::{KizzleCompiler, KizzleConfig, ReferenceCorpus};
 use kizzle_bench::{class_strings, packed_samples, tokenized};
-use kizzle_cluster::{dbscan, DbscanParams, DistributedClusterer, DistributedConfig};
 use kizzle_cluster::distance::normalized_edit_distance;
+use kizzle_cluster::{dbscan, DbscanParams, DistributedClusterer, DistributedConfig};
 use kizzle_corpus::{GraywareStream, KitFamily, SimDate, StreamConfig};
 use kizzle_eval::similarity::similarity_over_time;
 use kizzle_signature::{generate_signature, SignatureConfig};
@@ -21,7 +21,10 @@ fn configured<'a>(
     name: &str,
 ) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
     let mut group = c.benchmark_group(name);
-    group.sample_size(10).measurement_time(Duration::from_secs(4)).warm_up_time(Duration::from_secs(1));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_secs(1));
     group
 }
 
@@ -67,7 +70,10 @@ fn fig06_12_13_14_monthly_day(c: &mut Criterion) {
             let reference = ReferenceCorpus::seeded_from_models(date, &config);
             let mut compiler = KizzleCompiler::new(config, reference);
             compiler.process_day(date, &day);
-            let hits = day.iter().filter(|s| compiler.scan(&s.html).is_some()).count();
+            let hits = day
+                .iter()
+                .filter(|s| compiler.scan(&s.html).is_some())
+                .count();
             black_box(hits)
         })
     });
@@ -164,7 +170,11 @@ fn perf_clustering(c: &mut Criterion) {
                     DbscanParams::kizzle_default(),
                     7,
                 ));
-                b.iter(|| black_box(clusterer.cluster_token_strings(&strings)).0.cluster_count())
+                b.iter(|| {
+                    black_box(clusterer.cluster_token_strings(&strings))
+                        .0
+                        .cluster_count()
+                })
             },
         );
     }
@@ -175,7 +185,14 @@ fn perf_clustering(c: &mut Criterion) {
 fn cycle_adversarial(c: &mut Criterion) {
     let mut group = configured(c, "cycle_adversarial");
     group.bench_function("nuclear_month_4_samples_per_day", |b| {
-        b.iter(|| black_box(kizzle_eval::adversarial::run_cycle(KitFamily::Nuclear, 4, 3)).mutations)
+        b.iter(|| {
+            black_box(kizzle_eval::adversarial::run_cycle(
+                KitFamily::Nuclear,
+                4,
+                3,
+            ))
+            .mutations
+        })
     });
     group.finish();
 }
@@ -189,14 +206,18 @@ fn ablation_epsilon(c: &mut Criterion) {
     }
     let strings = class_strings(&docs, 500);
     for eps in [0.05f64, 0.10, 0.20] {
-        group.bench_with_input(BenchmarkId::new("eps", format!("{eps:.2}")), &eps, |b, &eps| {
-            b.iter(|| {
-                let result = dbscan(&strings, &DbscanParams::new(eps, 3), |a, b| {
-                    normalized_edit_distance(a, b)
-                });
-                black_box(result.cluster_count())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("eps", format!("{eps:.2}")),
+            &eps,
+            |b, &eps| {
+                b.iter(|| {
+                    let result = dbscan(&strings, &DbscanParams::new(eps, 3), |a, b| {
+                        normalized_edit_distance(a, b)
+                    });
+                    black_box(result.cluster_count())
+                })
+            },
+        );
     }
     group.finish();
 }

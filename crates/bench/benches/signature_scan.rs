@@ -67,7 +67,10 @@ fn bench_scan(c: &mut Criterion) {
         })
         .collect();
     for stream in &benign_streams {
-        assert!(set.scan_stream(stream).is_none(), "benign doc must not match");
+        assert!(
+            set.scan_stream(stream).is_none(),
+            "benign doc must not match"
+        );
     }
 
     // A matching document, built from signature #250's shape.

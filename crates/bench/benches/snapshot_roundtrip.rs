@@ -1,14 +1,25 @@
-//! Snapshot round-trip cost (ISSUE 3): how much does durable warm-state
-//! persistence cost to write, how fast does it come back, and how does a
-//! resumed day compare against the cold rebuild it replaces?
+//! Snapshot round-trip cost (ISSUE 3, extended by ISSUE 4): how much does
+//! durable warm-state persistence cost to write, how fast does it come
+//! back, and how does a resumed day compare against the cold rebuild it
+//! replaces?
 //!
-//! Three measurements, recorded in `BENCH_clustering.json` and discussed
-//! in PERF.md §PR 3:
+//! Measurements, recorded in `BENCH_clustering.json` and discussed in
+//! PERF.md §PR 3 / §PR 4:
 //!
 //! * `save` — [`CorpusEngine::snapshot`]: encode store + index (with every
-//!   memoized neighborhood) and write it atomically (temp, fsync, rename).
+//!   memoized neighborhood, gap-encoded) and write it atomically (temp,
+//!   fsync, rename).
 //! * `load` — [`CorpusEngine::resume`]: read, checksum-verify and decode
 //!   the same file back into a warm engine.
+//! * `save_delta` / `load_chain` — the ISSUE 4 incremental path: a warm
+//!   day-2 engine persists only its churned sections as a delta against
+//!   the day-1 base ([`CorpusEngine::snapshot_delta`]), and
+//!   [`CorpusEngine::resume_chain`] overlays base + delta back into the
+//!   identical warm engine.
+//! * `encode_sections` — the in-memory codec alone (no filesystem), the
+//!   arm that scales with `KIZZLE_RAYON_THREADS`: section encoders run
+//!   through the rayon pool, so this measures the parallel-codec win on
+//!   multi-core machines (and the absence of a loss on one core).
 //! * `resume_vs_cold` — the cron-restart comparison: time back to a fully
 //!   warm engine (every sample indexed, every neighborhood memoized).
 //!   `resume` loads the snapshot; `cold_rebuild` re-adds every raw
@@ -50,7 +61,11 @@ fn warm_engine(n: usize) -> CorpusEngine {
     let strings = distinct_day_class_strings(n, 900);
     let mut engine = CorpusEngine::new(engine_config());
     engine.add_batch(1, &strings);
-    assert_eq!(engine.index().cached_count(), n, "fixture must dedup nothing");
+    assert_eq!(
+        engine.index().cached_count(),
+        n,
+        "fixture must dedup nothing"
+    );
     engine
 }
 
@@ -95,23 +110,72 @@ fn bench_snapshot_roundtrip(c: &mut Criterion) {
             })
         });
 
+        group.bench_with_input(
+            BenchmarkId::new("encode_sections", n),
+            &engine,
+            |b, engine| b.iter(|| black_box(engine.encode_sections().len())),
+        );
+
+        // The incremental chain: day 2 churns 10% of the corpus, then
+        // persists only what changed against the day-1 base.
+        let churn = (n / 10).max(1);
+        let mut day2 = engine.clone();
+        let strings = distinct_day_class_strings(n + churn, 900);
+        for id in day2.store().live_ids().into_iter().take(churn) {
+            day2.remove(id);
+        }
+        day2.add_batch(2, &strings[n..]);
+        let chain_dir =
+            std::env::temp_dir().join(format!("kizzle-bench-chain-{}-{n}", std::process::id()));
+        std::fs::remove_dir_all(&chain_dir).ok();
+        engine.snapshot_delta(&chain_dir, 8).expect("base written");
+        let manifest_path = chain_dir.join("MANIFEST");
+        let base_manifest = std::fs::read(&manifest_path).expect("manifest exists");
+
+        group.bench_with_input(BenchmarkId::new("save_delta", n), &day2, |b, day2| {
+            b.iter(|| {
+                // Rewind the chain record to just-after-base so every
+                // iteration writes the same delta-1.
+                std::fs::write(&manifest_path, &base_manifest).expect("manifest reset");
+                let save = day2
+                    .snapshot_delta(black_box(&chain_dir), 8)
+                    .expect("delta");
+                assert!(!save.wrote_base, "delta expected: {save:?}");
+                black_box(save.bytes)
+            })
+        });
+
+        {
+            std::fs::write(&manifest_path, &base_manifest).expect("manifest reset");
+            let save = day2.snapshot_delta(&chain_dir, 8).expect("delta");
+            eprintln!(
+                "snapshot_roundtrip/delta_bytes_on_disk/{n}: {} bytes in {} changed section(s) \
+                 (10% churn vs full base above)",
+                save.bytes, save.sections_written
+            );
+        }
+
+        group.bench_with_input(BenchmarkId::new("load_chain", n), &chain_dir, |b, dir| {
+            b.iter(|| {
+                let (engine, report) = CorpusEngine::resume_chain(engine_config(), black_box(dir));
+                assert!(report.is_warm(), "chain must resume warm: {report:?}");
+                black_box(engine.len())
+            })
+        });
+        std::fs::remove_dir_all(&chain_dir).ok();
+
         // The cron-restart comparison at the base size only: the cold arm
         // pays one eps-ball query per sample (the cost this subsystem
         // exists to avoid) and is too slow to sample at 5k.
         if n == base {
-            group.bench_with_input(
-                BenchmarkId::new("resume_warm", n),
-                &path,
-                |b, path| {
-                    b.iter(|| {
-                        let (engine, report) =
-                            CorpusEngine::resume(engine_config(), black_box(path));
-                        assert!(report.index_restored, "must resume warm: {report:?}");
-                        assert_eq!(engine.index().cached_count(), n);
-                        black_box(engine.len())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new("resume_warm", n), &path, |b, path| {
+                b.iter(|| {
+                    let (engine, report) = CorpusEngine::resume(engine_config(), black_box(path));
+                    assert!(report.index_restored, "must resume warm: {report:?}");
+                    assert_eq!(engine.index().cached_count(), n);
+                    black_box(engine.len())
+                })
+            });
 
             let strings = distinct_day_class_strings(n, 900);
             group.bench_with_input(

@@ -1,0 +1,272 @@
+//! CI perf-regression gate: compare a smoke-bench run against committed
+//! thresholds.
+//!
+//! The vendored criterion harness appends one JSON object per benchmark to
+//! the file named by `KIZZLE_BENCH_OUT`
+//! (`{"name":…,"mean_ns":…,"min_ns":…,"max_ns":…,"samples":…}`). This
+//! binary reads that file plus the committed `crates/bench/thresholds.json`
+//! (a flat `{"bench name": threshold_mean_ns}` object) and exits non-zero
+//! when any gated benchmark regressed more than the allowed margin over
+//! its threshold, or when a gated benchmark is missing from the run (a
+//! silently dropped bench must not pass the gate).
+//!
+//! ```text
+//! usage: bench_check <bench-out.json> <thresholds.json> [--max-regression PCT]
+//! ```
+//!
+//! Thresholds are ceilings on the *mean*, set from measured CI numbers
+//! with headroom for machine variance; the default margin on top is 25%.
+//! Benches observed in the run but absent from the thresholds file are
+//! reported informationally and never fail the gate — new benches opt in
+//! by committing a threshold.
+//!
+//! No `serde_json`: the workspace has no crate registry, and both formats
+//! are flat enough for the hand-rolled readers below (which reject
+//! anything they do not understand rather than guessing).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = Vec::new();
+    let mut max_regression_pct = 25.0f64;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--max-regression" {
+            let value = iter.next().unwrap_or_default();
+            match value.parse::<f64>() {
+                Ok(pct) if pct >= 0.0 => max_regression_pct = pct,
+                _ => return usage(&format!("--max-regression: bad value {value:?}")),
+            }
+        } else {
+            positional.push(arg);
+        }
+    }
+    let [results_path, thresholds_path] = positional.as_slice() else {
+        return usage("expected <bench-out.json> <thresholds.json>");
+    };
+
+    let results = match read_results(results_path) {
+        Ok(results) => results,
+        Err(err) => return fail(&format!("{results_path}: {err}")),
+    };
+    let thresholds = match read_thresholds(thresholds_path) {
+        Ok(thresholds) => thresholds,
+        Err(err) => return fail(&format!("{thresholds_path}: {err}")),
+    };
+    if thresholds.is_empty() {
+        return fail(&format!("{thresholds_path}: no thresholds — nothing gated"));
+    }
+
+    let margin = 1.0 + max_regression_pct / 100.0;
+    let mut failures = 0usize;
+    for (name, &threshold_ns) in &thresholds {
+        let Some(&observed_ns) = results.get(name) else {
+            eprintln!("FAIL {name}: gated benchmark missing from the run");
+            failures += 1;
+            continue;
+        };
+        let limit = threshold_ns * margin;
+        let ratio = observed_ns / threshold_ns;
+        if observed_ns > limit {
+            eprintln!(
+                "FAIL {name}: {} observed vs {} threshold ({:+.1}% > +{max_regression_pct:.0}% allowed)",
+                fmt_ns(observed_ns),
+                fmt_ns(threshold_ns),
+                (ratio - 1.0) * 100.0
+            );
+            failures += 1;
+        } else {
+            println!(
+                "ok   {name}: {} vs {} threshold ({:+.1}%)",
+                fmt_ns(observed_ns),
+                fmt_ns(threshold_ns),
+                (ratio - 1.0) * 100.0
+            );
+        }
+    }
+    for name in results.keys() {
+        if !thresholds.contains_key(name) {
+            println!("note {name}: observed but not gated (no committed threshold)");
+        }
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "bench_check: {failures} of {} gated benchmark(s) failed",
+            thresholds.len()
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "bench_check: all {} gated benchmark(s) within +{max_regression_pct:.0}% of threshold",
+            thresholds.len()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!(
+        "bench_check: {problem}\n\
+         usage: bench_check <bench-out.json> <thresholds.json> [--max-regression PCT]"
+    );
+    ExitCode::FAILURE
+}
+
+fn fail(problem: &str) -> ExitCode {
+    eprintln!("bench_check: {problem}");
+    ExitCode::FAILURE
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Read the harness's JSON-lines output: `name` → `mean_ns`. A bench that
+/// ran several times (several samples-size invocations appending to one
+/// file) keeps its *last* observation.
+fn read_results(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|err| err.to_string())?;
+    let mut results = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let object =
+            parse_flat_object(line).map_err(|err| format!("line {}: {err}", lineno + 1))?;
+        let name = match object.get("name") {
+            Some(Value::Str(name)) => name.clone(),
+            _ => return Err(format!("line {}: no \"name\" string", lineno + 1)),
+        };
+        let mean = match object.get("mean_ns") {
+            Some(Value::Num(mean)) => *mean,
+            _ => return Err(format!("line {}: no \"mean_ns\" number", lineno + 1)),
+        };
+        results.insert(name, mean);
+    }
+    Ok(results)
+}
+
+/// Read the committed thresholds: a flat JSON object mapping bench names
+/// to mean-ns ceilings. String values are ignored (comment keys).
+fn read_thresholds(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|err| err.to_string())?;
+    let object = parse_flat_object(text.trim())?;
+    Ok(object
+        .into_iter()
+        .filter_map(|(key, value)| match value {
+            Value::Num(ns) => Some((key, ns)),
+            Value::Str(_) => None,
+        })
+        .collect())
+}
+
+enum Value {
+    Str(String),
+    Num(f64),
+}
+
+/// Parse one flat JSON object of string/number values — the only JSON
+/// shape this tool consumes. Nested structures are a parse error.
+fn parse_flat_object(text: &str) -> Result<BTreeMap<String, Value>, String> {
+    let mut chars = text.chars().peekable();
+    let mut object = BTreeMap::new();
+    skip_ws(&mut chars);
+    expect(&mut chars, '{')?;
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+        return finish(chars, object);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        expect(&mut chars, ':')?;
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some('"') => Value::Str(parse_string(&mut chars)?),
+            Some(c) if c.is_ascii_digit() || *c == '-' => Value::Num(parse_number(&mut chars)?),
+            other => return Err(format!("unsupported value starting with {other:?}")),
+        };
+        object.insert(key, value);
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => return finish(chars, object),
+            other => return Err(format!("expected ',' or '}}', found {other:?}")),
+        }
+    }
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+fn finish(
+    mut chars: Chars<'_>,
+    object: BTreeMap<String, Value>,
+) -> Result<BTreeMap<String, Value>, String> {
+    skip_ws(&mut chars);
+    match chars.next() {
+        None => Ok(object),
+        Some(c) => Err(format!("trailing {c:?} after object")),
+    }
+}
+
+fn skip_ws(chars: &mut Chars<'_>) {
+    while chars.peek().is_some_and(|c| c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn expect(chars: &mut Chars<'_>, want: char) -> Result<(), String> {
+    match chars.next() {
+        Some(c) if c == want => Ok(()),
+        other => Err(format!("expected {want:?}, found {other:?}")),
+    }
+}
+
+fn parse_string(chars: &mut Chars<'_>) -> Result<String, String> {
+    expect(chars, '"')?;
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            None => return Err("unterminated string".to_string()),
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('/') => out.push('/'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                other => return Err(format!("unsupported escape {other:?}")),
+            },
+            Some(c) => out.push(c),
+        }
+    }
+}
+
+fn parse_number(chars: &mut Chars<'_>) -> Result<f64, String> {
+    let mut text = String::new();
+    while chars
+        .peek()
+        .is_some_and(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E' | '_'))
+    {
+        let c = chars.next().expect("peeked");
+        if c != '_' {
+            text.push(c);
+        }
+    }
+    text.parse::<f64>()
+        .map_err(|err| format!("bad number {text:?}: {err}"))
+}

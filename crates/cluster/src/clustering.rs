@@ -44,7 +44,12 @@ impl Cluster {
     /// over an evenly-spaced subsample to bound the quadratic cost; this is
     /// the same engineering concession a production deployment makes, and
     /// the medoid of a tight cluster is insensitive to it.
-    pub fn compute_prototype<T, D>(&mut self, samples: &[T], distance: D, sample_cap: usize) -> Option<usize>
+    pub fn compute_prototype<T, D>(
+        &mut self,
+        samples: &[T],
+        distance: D,
+        sample_cap: usize,
+    ) -> Option<usize>
     where
         D: Fn(&T, &T) -> f64,
     {
@@ -231,11 +236,8 @@ mod tests {
 
     #[test]
     fn significant_clusters_sorted_by_size() {
-        let clustering = Clustering::from_members(
-            vec![vec![0], vec![1, 2, 3], vec![4, 5]],
-            vec![6],
-            7,
-        );
+        let clustering =
+            Clustering::from_members(vec![vec![0], vec![1, 2, 3], vec![4, 5]], vec![6], 7);
         let sig = clustering.significant_clusters(2);
         assert_eq!(sig.len(), 2);
         assert_eq!(sig[0].len(), 3);
@@ -246,11 +248,7 @@ mod tests {
     fn significant_clusters_never_yields_empty_members() {
         // Regression: an empty cluster slipping through `min_size == 0`
         // panicked the pipeline's `members[0]` prototype fallback.
-        let clustering = Clustering::from_members(
-            vec![vec![], vec![0, 1], vec![]],
-            vec![2],
-            3,
-        );
+        let clustering = Clustering::from_members(vec![vec![], vec![0, 1], vec![]], vec![2], 3);
         let sig = clustering.significant_clusters(0);
         assert_eq!(sig.len(), 1);
         assert!(sig.iter().all(|c| !c.is_empty()));

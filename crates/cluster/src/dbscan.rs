@@ -39,7 +39,10 @@ impl DbscanParams {
     /// Panics if `eps` is negative or NaN, or `min_points` is zero.
     #[must_use]
     pub fn new(eps: f64, min_points: usize) -> Self {
-        assert!(eps >= 0.0 && eps.is_finite(), "eps must be a non-negative number");
+        assert!(
+            eps >= 0.0 && eps.is_finite(),
+            "eps must be a non-negative number"
+        );
         assert!(min_points >= 1, "min_points must be at least 1");
         DbscanParams { eps, min_points }
     }

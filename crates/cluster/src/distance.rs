@@ -236,7 +236,11 @@ impl BitParallelPattern {
                 // Horizontal delta leaving the top of this block: read at
                 // the last *used* pattern row, not bit 63, for the final
                 // block — rows past `m` are fictional.
-                let out_bit = if w == last_block { score_bit } else { 1u64 << 63 };
+                let out_bit = if w == last_block {
+                    score_bit
+                } else {
+                    1u64 << 63
+                };
                 let hout: i32 = if ph & out_bit != 0 {
                     1
                 } else {
@@ -342,7 +346,10 @@ mod tests {
 
     #[test]
     fn symmetric() {
-        assert_eq!(edit_distance(b"abcdef", b"azced"), edit_distance(b"azced", b"abcdef"));
+        assert_eq!(
+            edit_distance(b"abcdef", b"azced"),
+            edit_distance(b"azced", b"abcdef")
+        );
     }
 
     #[test]
@@ -393,7 +400,10 @@ mod tests {
     #[test]
     fn normalized_bounded_empty_strings() {
         assert_eq!(normalized_edit_distance_bounded(b"", b"", 0.1), Some(0.0));
-        assert_eq!(normalized_edit_distance_bounded(b"", b"abcdefghij", 0.1), None);
+        assert_eq!(
+            normalized_edit_distance_bounded(b"", b"abcdefghij", 0.1),
+            None
+        );
     }
 
     #[test]

@@ -86,6 +86,12 @@ pub struct DistributedStats {
     /// Reduce sub-phase: merged-cluster medoids plus the re-adoption of
     /// noise points near a merged prototype.
     pub adopt_time: Duration,
+    /// Wall-clock time of the *final* per-cluster prototype computation
+    /// (`compute_prototypes` in the reduce epilogue). It is all-pairs per
+    /// (capped) cluster and dominates days with large clusters, but ran
+    /// after `reduce_time` was stamped — untimed until ISSUE 4 made it
+    /// visible.
+    pub prototype_time: Duration,
     /// Number of clusters found in each partition, before reconciliation.
     pub per_partition_clusters: Vec<usize>,
     /// Number of clusters after reconciliation.
@@ -101,10 +107,10 @@ pub struct DistributedStats {
 }
 
 impl DistributedStats {
-    /// Total wall-clock time of the run.
+    /// Total wall-clock time of the run, final prototype pass included.
     #[must_use]
     pub fn total_time(&self) -> Duration {
-        self.partition_time + self.map_time + self.reduce_time
+        self.partition_time + self.map_time + self.reduce_time + self.prototype_time
     }
 }
 
@@ -202,11 +208,13 @@ where
 /// order both reduce variants share: members ascending, clusters ordered by
 /// smallest member index.
 fn assemble_merged(all_clusters: &[Vec<usize>], uf: &mut UnionFind) -> Vec<Vec<usize>> {
-    let mut merged: std::collections::HashMap<usize, Vec<usize>> =
-        std::collections::HashMap::new();
+    let mut merged: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
     for (idx, members) in all_clusters.iter().enumerate() {
         let root = uf.find(idx);
-        merged.entry(root).or_default().extend(members.iter().copied());
+        merged
+            .entry(root)
+            .or_default()
+            .extend(members.iter().copied());
     }
     let mut merged_clusters: Vec<Vec<usize>> = merged.into_values().collect();
     for m in &mut merged_clusters {
@@ -240,7 +248,12 @@ where
     stats.noise = remaining_noise.len();
 
     let mut clustering = Clustering::from_members(merged_clusters, remaining_noise, samples.len());
+    // Timed separately from the reduce phases: this final all-pairs pass
+    // dominates days with large clusters (ROADMAP), and an untimed hotspot
+    // cannot be optimized against a baseline.
+    let t_prototypes = Instant::now();
     clustering.compute_prototypes(samples, distance);
+    stats.prototype_time = t_prototypes.elapsed();
     clustering
 }
 
@@ -293,7 +306,14 @@ where
     }
     stats.adopt_time = t_adopt.elapsed();
 
-    finish_reduce(samples, distance, merged_clusters, remaining_noise, t_reduce, stats)
+    finish_reduce(
+        samples,
+        distance,
+        merged_clusters,
+        remaining_noise,
+        t_reduce,
+        stats,
+    )
 }
 
 /// Index-routed reduce for token-string workloads: identical merge and
@@ -373,7 +393,14 @@ where
     stats.reduce_index.merge(&adopt_index.take_stats());
     stats.adopt_time = t_adopt.elapsed();
 
-    finish_reduce(samples, &distance, merged_clusters, remaining_noise, t_reduce, stats)
+    finish_reduce(
+        samples,
+        &distance,
+        merged_clusters,
+        remaining_noise,
+        t_reduce,
+        stats,
+    )
 }
 
 /// The distributed clustering driver.

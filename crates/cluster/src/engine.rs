@@ -29,7 +29,10 @@ use crate::distributed::{
 };
 use crate::index::NeighborIndex;
 use crate::store::{CorpusStore, SampleId};
-use kizzle_snapshot::{Decoder, Encoder, Snapshot, SnapshotBuilder, SnapshotError};
+use kizzle_snapshot::{
+    ChainSave, ChainWriter, ChainedSnapshot, Decoder, Encoder, SectionSource, Snapshot,
+    SnapshotBuilder, SnapshotError,
+};
 use rayon::prelude::*;
 use std::collections::HashMap;
 use std::path::Path;
@@ -40,6 +43,9 @@ use std::time::Instant;
 pub const STORE_SECTION: &str = "corpus-store";
 /// Snapshot section holding the [`NeighborIndex`] (caches, no bytes).
 pub const INDEX_SECTION: &str = "neighbor-index";
+/// Chain file prefix of [`CorpusEngine::snapshot_delta`] state
+/// (`engine.snap` + `engine.delta-N.snap`).
+pub const ENGINE_CHAIN_PREFIX: &str = "engine";
 
 /// What a [`CorpusEngine::resume`] actually managed to restore.
 ///
@@ -166,14 +172,35 @@ impl CorpusEngine {
         retired.len()
     }
 
+    /// Serialize the warm stack as named section payloads. The store and
+    /// index encoders are independent, so they run through the rayon pool
+    /// — on a multi-core box the snapshot encode costs max(store, index)
+    /// instead of their sum.
+    #[must_use]
+    pub fn encode_sections(&self) -> Vec<(String, Vec<u8>)> {
+        let (store_bytes, index_bytes) = rayon::join(
+            || {
+                let mut enc = Encoder::new();
+                self.store.encode_into(&mut enc);
+                enc.into_bytes()
+            },
+            || {
+                let mut enc = Encoder::new();
+                self.index.encode_into(&mut enc);
+                enc.into_bytes()
+            },
+        );
+        vec![
+            (STORE_SECTION.to_string(), store_bytes),
+            (INDEX_SECTION.to_string(), index_bytes),
+        ]
+    }
+
     /// Serialize the warm stack (store + index) as snapshot sections.
     pub fn write_sections(&self, builder: &mut SnapshotBuilder) {
-        let mut enc = Encoder::new();
-        self.store.encode_into(&mut enc);
-        builder.section(STORE_SECTION, enc.into_bytes());
-        let mut enc = Encoder::new();
-        self.index.encode_into(&mut enc);
-        builder.section(INDEX_SECTION, enc.into_bytes());
+        for (name, payload) in self.encode_sections() {
+            builder.section(&name, payload);
+        }
     }
 
     /// Write a standalone engine snapshot, atomically (temp then rename).
@@ -181,6 +208,30 @@ impl CorpusEngine {
         let mut builder = SnapshotBuilder::new();
         self.write_sections(&mut builder);
         builder.write_atomic(path)
+    }
+
+    /// Persist the engine as the next link of a base→delta snapshot chain
+    /// in `dir` (base `engine.snap`, deltas `engine.delta-N.snap`, chain
+    /// and section fingerprints recorded in the `MANIFEST` sidecar):
+    /// only the sections whose content fingerprint changed since the base
+    /// manifest's record are written. Once the chain carries `max_deltas`
+    /// deltas, the next save compacts back to a fresh full base.
+    ///
+    /// [`CorpusEngine::resume_chain`] follows the recorded chain back.
+    pub fn snapshot_delta(&self, dir: &Path, max_deltas: usize) -> std::io::Result<ChainSave> {
+        ChainWriter::new(dir, ENGINE_CHAIN_PREFIX).save(
+            self.encode_sections(),
+            max_deltas,
+            |manifest, save| {
+                manifest.set("live_samples", self.len());
+                manifest.set("cached_neighborhoods", self.index.cached_count());
+                manifest.set(
+                    "written_file",
+                    save.file.as_deref().unwrap_or("none (no sections changed)"),
+                );
+                manifest.set("written_bytes", save.bytes);
+            },
+        )
     }
 
     /// Resume an engine from a snapshot file. Never fails: any damage
@@ -191,30 +242,54 @@ impl CorpusEngine {
             Ok(snapshot) => CorpusEngine::resume_from_sections(config, &snapshot),
             Err(err) => {
                 let mut report = ResumeReport::default();
-                report.notes.push(format!("snapshot unreadable, cold start: {err}"));
+                report
+                    .notes
+                    .push(format!("snapshot unreadable, cold start: {err}"));
                 (CorpusEngine::new(config), report)
             }
         }
     }
 
-    /// Resume from already-parsed snapshot sections (the compiler embeds
-    /// the engine sections in its own state file). See
-    /// [`CorpusEngine::resume`] for the fallback behavior.
+    /// Resume an engine from a [`CorpusEngine::snapshot_delta`] chain in
+    /// `dir`. The ladder gains one rung above [`CorpusEngine::resume`]'s:
+    /// a broken delta truncates the chain (resume the base — an older but
+    /// self-consistent state), then section damage degrades per section,
+    /// then cold. Never fails.
+    #[must_use]
+    pub fn resume_chain(config: DistributedConfig, dir: &Path) -> (Self, ResumeReport) {
+        match ChainedSnapshot::open(dir, ENGINE_CHAIN_PREFIX) {
+            Ok(chained) => {
+                let (engine, mut report) = CorpusEngine::resume_from_sections(config, &chained);
+                report.notes.extend(chained.notes().iter().cloned());
+                (engine, report)
+            }
+            Err(err) => {
+                let mut report = ResumeReport::default();
+                report
+                    .notes
+                    .push(format!("snapshot chain unreadable, cold start: {err}"));
+                (CorpusEngine::new(config), report)
+            }
+        }
+    }
+
+    /// Resume from already-parsed snapshot sections — a single [`Snapshot`]
+    /// or a chained overlay (the compiler embeds the engine sections in its
+    /// own state chain). See [`CorpusEngine::resume`] for the fallback
+    /// behavior.
     #[must_use]
     pub fn resume_from_sections(
         config: DistributedConfig,
-        snapshot: &Snapshot,
+        snapshot: &impl SectionSource,
     ) -> (Self, ResumeReport) {
         let mut report = ResumeReport::default();
 
-        let store = match snapshot
-            .section(STORE_SECTION)
-            .and_then(|payload| {
-                let mut dec = Decoder::new(payload);
-                let store = CorpusStore::decode_from(&mut dec)?;
-                dec.finish()?;
-                Ok(store)
-            }) {
+        let store = match snapshot.section(STORE_SECTION).and_then(|payload| {
+            let mut dec = Decoder::new(payload);
+            let store = CorpusStore::decode_from(&mut dec)?;
+            dec.finish()?;
+            Ok(store)
+        }) {
             Ok(store) => {
                 report.store_restored = true;
                 store
@@ -263,9 +338,9 @@ impl CorpusEngine {
                 index
             }
             Err(err) => {
-                report.notes.push(format!(
-                    "index section lost, rebuilding from store: {err}"
-                ));
+                report
+                    .notes
+                    .push(format!("index section lost, rebuilding from store: {err}"));
                 let mut rebuilt = NeighborIndex::new(config.dbscan.eps);
                 rebuilt.insert_batch_unmemoized(
                     store
@@ -612,18 +687,24 @@ mod tests {
         let path = temp_path("rebuilt.snap");
         rebuilt.snapshot(&path).expect("snapshot written");
         let (mut resumed, report) = CorpusEngine::resume(cfg(), &path);
-        assert!(report.is_warm(), "cache-less index is still restorable: {report:?}");
+        assert!(
+            report.is_warm(),
+            "cache-less index is still restorable: {report:?}"
+        );
         assert_eq!(report.cached_neighborhoods, 0);
         let ids2 = resumed.add_batch(1, &day);
         assert_eq!(ids, ids2);
         let (got, stats) = resumed.cluster_day(&ids2);
         assert_eq!(want, got);
-        assert!(stats.index.queries > 0, "nothing was cached, so queries were paid");
+        assert!(
+            stats.index.queries > 0,
+            "nothing was cached, so queries were paid"
+        );
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
-    fn corrupt_store_section_degrades_to_cold(){
+    fn corrupt_store_section_degrades_to_cold() {
         let mut builder = kizzle_snapshot::SnapshotBuilder::new();
         builder.section(STORE_SECTION, b"\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF".to_vec());
         let snapshot = Snapshot::from_bytes(&builder.to_bytes()).expect("parses");

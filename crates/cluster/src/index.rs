@@ -155,7 +155,10 @@ impl NeighborIndex {
     /// Panics if `eps` is negative or NaN.
     #[must_use]
     pub fn new(eps: f64) -> Self {
-        assert!(eps >= 0.0 && eps.is_finite(), "eps must be a non-negative number");
+        assert!(
+            eps >= 0.0 && eps.is_finite(),
+            "eps must be a non-negative number"
+        );
         NeighborIndex {
             eps,
             entries: Vec::new(),
@@ -563,24 +566,34 @@ impl NeighborIndex {
     /// [`CorpusStore`](crate::store::CorpusStore) snapshot section and are
     /// re-linked at decode time, so an engine snapshot stores each sample
     /// once.
+    ///
+    /// Live slots are emitted ascending as varint gaps, and each memoized
+    /// neighborhood — a strictly ascending, mostly dense id list — as a
+    /// varint gap list ([`Encoder::gap_list`]): ~1 byte per neighbor
+    /// instead of 4, which is what caps the snapshot's superlinear growth
+    /// (the eps-balls grow with the corpus; their encoding no longer
+    /// does, per id).
     pub fn encode_into(&self, enc: &mut Encoder) {
         enc.f64(self.eps);
-        enc.usize(self.width);
+        enc.varint_usize(self.width);
         for slot in self.slot_of {
             enc.u16(slot);
         }
-        enc.usize(self.live);
+        enc.varint_usize(self.live);
+        let mut prev_slot: Option<u32> = None;
         for (slot, entry) in self.entries.iter().enumerate() {
             let Some(entry) = entry else { continue };
-            enc.u32(u32::try_from(slot).expect("slots fit u32"));
+            let slot = u32::try_from(slot).expect("slots fit u32");
+            match prev_slot {
+                None => enc.varint(u64::from(slot)),
+                Some(p) => enc.varint(u64::from(slot - p) - 1),
+            }
+            prev_slot = Some(slot);
             match &entry.cache {
                 None => enc.bool(false),
                 Some(cache) => {
                     enc.bool(true);
-                    enc.usize(cache.len());
-                    for &neighbor in cache {
-                        enc.u32(neighbor);
-                    }
+                    enc.gap_list(cache);
                 }
             }
         }
@@ -606,7 +619,7 @@ impl NeighborIndex {
         if !(eps >= 0.0 && eps.is_finite()) {
             return Err(corrupt("eps out of range"));
         }
-        let width = dec.usize()?;
+        let width = dec.varint_usize()?;
         if width > 256 {
             return Err(corrupt("alphabet width exceeds 256"));
         }
@@ -631,59 +644,77 @@ impl NeighborIndex {
         index.slot_of = slot_of;
         index.width = width;
 
-        let live_count = dec.usize()?;
-        let mut caches: Vec<(u32, Vec<u32>)> = Vec::new();
+        // Pass 1 — structural decode: slots come as ascending varint gaps
+        // (duplicates are unrepresentable), caches as gap lists (strict
+        // ascension is structural there too).
+        type DecodedEntry = (u32, Arc<[u8]>, Option<Vec<u32>>);
+        let live_count = dec.varint_usize()?;
+        let mut decoded: Vec<DecodedEntry> = Vec::with_capacity(live_count.min(1 << 20));
+        let mut prev_slot: Option<u32> = None;
         for _ in 0..live_count {
-            let slot = dec.u32()?;
-            let data = lookup(SampleId::new(slot)).ok_or_else(|| corrupt("entry without sample bytes"))?;
-            if index.entries.len() <= slot as usize {
-                index.entries.resize(slot as usize + 1, None);
+            let raw = dec.varint()?;
+            let slot = match prev_slot {
+                None => Some(raw),
+                Some(p) => raw.checked_add(1).and_then(|g| u64::from(p).checked_add(g)),
             }
-            if index.entries[slot as usize].is_some() {
-                return Err(corrupt("slot duplicated"));
-            }
-            // Histogram under the *restored* assignment — a faithful
-            // snapshot covers every live symbol, so an unassigned one
-            // means the sections do not belong together.
-            let mut hist = vec![0u32; width];
-            for &sym in data.iter() {
-                let hist_slot = index.slot_of[sym as usize];
-                if hist_slot == UNASSIGNED {
-                    return Err(corrupt("sample symbol outside restored alphabet"));
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or_else(|| corrupt("slot exceeds u32"))?;
+            prev_slot = Some(slot);
+            let data =
+                lookup(SampleId::new(slot)).ok_or_else(|| corrupt("entry without sample bytes"))?;
+            let cache = if dec.bool()? {
+                Some(dec.gap_list()?)
+            } else {
+                None
+            };
+            decoded.push((slot, data, cache));
+        }
+
+        // Pass 2 — recompute every histogram under the *restored* alphabet
+        // assignment, in parallel (the per-entry scans are independent and
+        // dominate decode at large corpora). A symbol outside the restored
+        // alphabet means the sections do not belong together.
+        let slot_table = index.slot_of;
+        let hists: Vec<Option<Vec<u32>>> = decoded
+            .par_iter()
+            .map(|(_, data, _)| {
+                let mut hist = vec![0u32; width];
+                for &sym in data.iter() {
+                    let hist_slot = slot_table[sym as usize];
+                    if hist_slot == UNASSIGNED {
+                        return None;
+                    }
+                    hist[hist_slot as usize] += 1;
                 }
-                hist[hist_slot as usize] += 1;
+                Some(hist)
+            })
+            .collect();
+
+        // Pass 3 — assemble live entries, then attach caches (they may
+        // reference entries decoded later, so validation runs once every
+        // entry exists).
+        for ((slot, data, _), hist) in decoded.iter().zip(hists) {
+            let hist = hist.ok_or_else(|| corrupt("sample symbol outside restored alphabet"))?;
+            let slot = *slot as usize;
+            if index.entries.len() <= slot {
+                index.entries.resize(slot + 1, None);
             }
-            index.by_len.insert((data.len(), slot));
-            if dec.bool()? {
-                let len = dec.usize()?;
-                let mut cache = Vec::with_capacity(len.min(1 << 20));
-                for _ in 0..len {
-                    cache.push(dec.u32()?);
-                }
-                caches.push((slot, cache));
-            }
-            index.entries[slot as usize] = Some(IndexEntry {
-                data,
+            index.by_len.insert((data.len(), slot as u32));
+            index.entries[slot] = Some(IndexEntry {
+                data: Arc::clone(data),
                 hist,
                 cache: None,
             });
             index.live += 1;
         }
-        // Caches may only name live entries, in strictly ascending order,
-        // never the entry itself — anything else would poison DBSCAN.
-        for (slot, cache) in caches {
-            for pair in cache.windows(2) {
-                if pair[0] >= pair[1] {
-                    return Err(corrupt("cached neighborhood not strictly ascending"));
-                }
-            }
-            if cache.iter().any(|&n| {
-                n == slot
-                    || index
-                        .entries
-                        .get(n as usize)
-                        .is_none_or(|e| e.is_none())
-            }) {
+        // Caches may only name live entries, never the entry itself —
+        // anything else would poison DBSCAN.
+        for (slot, _, cache) in decoded {
+            let Some(cache) = cache else { continue };
+            if cache
+                .iter()
+                .any(|&n| n == slot || index.entries.get(n as usize).is_none_or(|e| e.is_none()))
+            {
                 return Err(corrupt("cached neighborhood names a dead entry"));
             }
             index.entries[slot as usize]
@@ -864,13 +895,13 @@ mod tests {
         let hits = index.query(&alien);
         let expected: Vec<usize> = (0..samples.len())
             .filter(|&j| {
-                normalized_edit_distance_bounded(&alien, &samples[j], 0.10)
-                    .unwrap_or(1.0)
-                    <= 0.10
+                normalized_edit_distance_bounded(&alien, &samples[j], 0.10).unwrap_or(1.0) <= 0.10
             })
             .collect();
         assert_eq!(
-            hits.into_iter().map(|id| id.raw() as usize).collect::<Vec<_>>(),
+            hits.into_iter()
+                .map(|id| id.raw() as usize)
+                .collect::<Vec<_>>(),
             expected
         );
     }

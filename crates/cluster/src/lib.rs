@@ -60,12 +60,14 @@ pub mod index;
 pub mod store;
 
 pub use clustering::{Cluster, Clustering};
-pub use dbscan::{dbscan, dbscan_indexed, dbscan_with_neighborhoods, DbscanParams, DbscanResult, Label};
+pub use dbscan::{
+    dbscan, dbscan_indexed, dbscan_with_neighborhoods, DbscanParams, DbscanResult, Label,
+};
 pub use distance::{
     edit_distance, edit_distance_bitparallel_bounded, edit_distance_bounded,
     normalized_edit_distance, BitParallelPattern,
 };
 pub use distributed::{DistributedClusterer, DistributedConfig, DistributedStats};
-pub use engine::{CorpusEngine, ResumeReport, INDEX_SECTION, STORE_SECTION};
+pub use engine::{CorpusEngine, ResumeReport, ENGINE_CHAIN_PREFIX, INDEX_SECTION, STORE_SECTION};
 pub use index::{IndexStats, NeighborIndex};
 pub use store::{CorpusStore, SampleId};

@@ -102,7 +102,10 @@ impl CorpusStore {
     /// The class-string behind `id`, if live.
     #[must_use]
     pub fn get(&self, id: SampleId) -> Option<&[u8]> {
-        self.slots.get(id.raw() as usize)?.as_ref().map(|e| &*e.data)
+        self.slots
+            .get(id.raw() as usize)?
+            .as_ref()
+            .map(|e| &*e.data)
     }
 
     /// Shared handle to the class-string behind `id`, if live.
@@ -202,18 +205,28 @@ impl CorpusStore {
     /// order** — slot reuse pops from the end, so preserving the order is
     /// what makes a resumed store allocate the same ids a long-lived one
     /// would.
+    ///
+    /// The ascending live-slot run travels as varint gaps and stamps as
+    /// varints (day numbers are small); the free list keeps its order, so
+    /// its slots are plain varints, not gaps.
     pub fn encode_into(&self, enc: &mut Encoder) {
-        enc.usize(self.live);
+        enc.varint_usize(self.live);
+        let mut prev_slot: Option<u32> = None;
         for (slot, entry) in self.slots.iter().enumerate() {
             if let Some(e) = entry {
-                enc.u32(u32::try_from(slot).expect("slots fit u32"));
-                enc.u64(e.stamp);
+                let slot = u32::try_from(slot).expect("slots fit u32");
+                match prev_slot {
+                    None => enc.varint(u64::from(slot)),
+                    Some(p) => enc.varint(u64::from(slot - p) - 1),
+                }
+                prev_slot = Some(slot);
+                enc.varint(e.stamp);
                 enc.bytes(&e.data);
             }
         }
-        enc.usize(self.free.len());
+        enc.varint_usize(self.free.len());
         for &slot in &self.free {
-            enc.u32(slot);
+            enc.varint(u64::from(slot));
         }
     }
 
@@ -223,18 +236,29 @@ impl CorpusStore {
     /// duplicated content) are rejected as [`SnapshotError::Corrupt`].
     pub fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, SnapshotError> {
         let corrupt = |what: &str| SnapshotError::Corrupt(format!("corpus store: {what}"));
-        let live_count = dec.usize()?;
-        let mut live_entries: Vec<(u32, u64, Vec<u8>)> = Vec::with_capacity(live_count.min(1 << 20));
+        let live_count = dec.varint_usize()?;
+        let mut live_entries: Vec<(u32, u64, Vec<u8>)> =
+            Vec::with_capacity(live_count.min(1 << 20));
+        let mut prev_slot: Option<u32> = None;
         for _ in 0..live_count {
-            let slot = dec.u32()?;
-            let stamp = dec.u64()?;
+            let raw = dec.varint()?;
+            let slot = match prev_slot {
+                None => Some(raw),
+                Some(p) => raw.checked_add(1).and_then(|g| u64::from(p).checked_add(g)),
+            }
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or_else(|| corrupt("live slot exceeds u32"))?;
+            prev_slot = Some(slot);
+            let stamp = dec.varint()?;
             let data = dec.bytes()?.to_vec();
             live_entries.push((slot, stamp, data));
         }
-        let free_count = dec.usize()?;
+        let free_count = dec.varint_usize()?;
         let mut free = Vec::with_capacity(free_count.min(1 << 20));
         for _ in 0..free_count {
-            free.push(dec.u32()?);
+            let slot =
+                u32::try_from(dec.varint()?).map_err(|_| corrupt("free slot exceeds u32"))?;
+            free.push(slot);
         }
 
         // Invariant of the live store: every allocated slot is either live

@@ -53,6 +53,6 @@ pub mod snapshot;
 pub use config::KizzleConfig;
 pub use pipeline::{ClusterVerdict, DayReport, KizzleCompiler};
 pub use reference::ReferenceCorpus;
-pub use snapshot::{config_fingerprint, read_signatures, ResumeReport};
+pub use snapshot::{config_fingerprint, read_signatures, ResumeReport, DEFAULT_MAX_DELTAS};
 
 pub use kizzle_signature::SignatureSet;

@@ -191,7 +191,11 @@ impl KizzleCompiler {
         samples: &[Sample],
         streams: &[TokenStream],
     ) -> DayReport {
-        assert_eq!(samples.len(), streams.len(), "samples and streams must be parallel");
+        assert_eq!(
+            samples.len(),
+            streams.len(),
+            "samples and streams must be parallel"
+        );
         let class_strings: Vec<Vec<u8>> = streams.iter().map(TokenStream::class_codes).collect();
 
         // Thread the day through the warm engine: retire samples that aged
@@ -205,7 +209,8 @@ impl KizzleCompiler {
         // Day views age out with the same cutoff as their samples: a view
         // inside the window only names ids whose stamps are at or above
         // its own, so every id it holds is still live.
-        self.day_views.retain(|(view_stamp, _)| *view_stamp >= cutoff);
+        self.day_views
+            .retain(|(view_stamp, _)| *view_stamp >= cutoff);
         let day_ids = self.engine.add_batch(stamp, &class_strings);
         self.day_views.push((stamp, day_ids.clone()));
         let (clustering, stats) = self.engine.cluster_day(&day_ids);
@@ -213,9 +218,7 @@ impl KizzleCompiler {
         let mut verdicts = Vec::new();
         let mut new_signatures = Vec::new();
         for cluster in clustering.significant_clusters(self.config.min_cluster_size) {
-            let prototype_idx = cluster
-                .prototype
-                .unwrap_or_else(|| cluster.members[0]);
+            let prototype_idx = cluster.prototype.unwrap_or_else(|| cluster.members[0]);
             let (_, unpacked) = kizzle_unpack::unpack_or_passthrough(&samples[prototype_idx].html);
             let labeled = self.reference.label(&unpacked);
 
@@ -427,7 +430,8 @@ mod tests {
     fn token_cap_is_applied() {
         let compiler = compiler();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let html = KitModel::new(KitFamily::Rig).generate_sample(SimDate::new(2014, 8, 3), &mut rng);
+        let html =
+            KitModel::new(KitFamily::Rig).generate_sample(SimDate::new(2014, 8, 3), &mut rng);
         let stream = compiler.tokenize_capped(&html);
         assert!(stream.len() <= compiler.config().token_cap);
     }
@@ -481,7 +485,11 @@ mod tests {
         );
         assert!(second.clustering_stats.index.cache_hits > 0);
         let sizes = |report: &DayReport| {
-            report.verdicts.iter().map(|v| (v.size, v.family)).collect::<Vec<_>>()
+            report
+                .verdicts
+                .iter()
+                .map(|v| (v.size, v.family))
+                .collect::<Vec<_>>()
         };
         assert_eq!(sizes(&second), sizes(&first));
     }

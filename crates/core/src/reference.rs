@@ -168,8 +168,8 @@ impl ReferenceCorpus {
         let mut corpus = ReferenceCorpus::new(WinnowConfig::new(k, window));
         let entry_count = dec.usize()?;
         for _ in 0..entry_count {
-            let family = family_from_code(dec.u8()?)
-                .ok_or_else(|| corrupt("unknown family code"))?;
+            let family =
+                family_from_code(dec.u8()?).ok_or_else(|| corrupt("unknown family code"))?;
             if corpus.entries.iter().any(|e| e.family == family) {
                 return Err(corrupt("family duplicated"));
             }
@@ -249,8 +249,14 @@ mod tests {
         );
         let text = kizzle_unpack::script_text(&benign);
         let overlap = c.overlap_with(KitFamily::Nuclear, &text);
-        assert!(overlap > 0.3, "expected substantial overlap, got {overlap:.2}");
-        assert!(overlap < 0.95, "should not be a perfect match, got {overlap:.2}");
+        assert!(
+            overlap > 0.3,
+            "expected substantial overlap, got {overlap:.2}"
+        );
+        assert!(
+            overlap < 0.95,
+            "should not be a perfect match, got {overlap:.2}"
+        );
     }
 
     #[test]

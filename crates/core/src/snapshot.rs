@@ -5,10 +5,14 @@
 //! the warm corpus engine, the cumulative [`SignatureSet`], the evolving
 //! reference corpus, the per-family signature counters — died with each
 //! run until this module existed. [`KizzleCompiler::save_state`] writes
-//! all of it into one [`kizzle_snapshot`] container (plus a human-readable
-//! `MANIFEST`), and [`KizzleCompiler::load_state`] brings a fresh process
-//! back to exactly the state the previous run saved: restart-each-day runs
-//! are byte-identical to a long-lived warm process (held to that by
+//! all of it as the next link of a [`kizzle_snapshot`] **base→delta
+//! chain** (a full base container, then per-day deltas holding only the
+//! sections whose content fingerprint changed, compacted back to a fresh
+//! base every [`DEFAULT_MAX_DELTAS`] saves; the `MANIFEST` sidecar
+//! records the chain). [`KizzleCompiler::load_state`] overlays the chain
+//! latest-wins and brings a fresh process back to exactly the state the
+//! previous run saved: restart-each-day runs are byte-identical to a
+//! long-lived warm process (held to that by
 //! `save_load_resumes_exactly_like_a_long_lived_process` below and
 //! `restart_each_day_matches_the_long_lived_run` in `kizzle-eval`).
 //!
@@ -26,12 +30,15 @@
 //!
 //! Loading **refuses** a snapshot whose config fingerprint disagrees with
 //! the loading configuration — clustering parameters shape every piece of
-//! persisted state, so mixing them would silently corrupt results. Within
-//! a fingerprint-matched snapshot, damage degrades per section: a lost
-//! index rebuilds from the store, a lost store empties the engine (cold
-//! rebuild), while damage to `meta`/`signatures`/`reference` fails the
-//! load as a whole — those cannot be reconstructed, and a caller falls
-//! back to a fresh compiler exactly as if no snapshot existed.
+//! persisted state, so mixing them would silently corrupt results. The
+//! damage ladder, top rung first: a broken **delta** truncates the chain
+//! to its intact prefix (the run resumes the base — an older but
+//! self-consistent state); within the resulting snapshot, damage degrades
+//! per section: a lost index rebuilds from the store, a lost store
+//! empties the engine (cold rebuild), while damage to
+//! `meta`/`signatures`/`reference` fails the load as a whole — those
+//! cannot be reconstructed, and a caller falls back to a fresh compiler
+//! exactly as if no snapshot existed.
 
 use crate::config::KizzleConfig;
 use crate::pipeline::KizzleCompiler;
@@ -41,15 +48,24 @@ pub use kizzle_cluster::ResumeReport;
 use kizzle_corpus::{KitFamily, SimDate};
 use kizzle_signature::{CharClass, Element, Signature, SignatureSet};
 use kizzle_snapshot::{
-    crc32, Decoder, Encoder, Manifest, Snapshot, SnapshotBuilder, SnapshotError, FORMAT_VERSION,
+    ChainWriter, ChainedSnapshot, Decoder, Encoder, SectionSource, Snapshot, SnapshotError,
+    FORMAT_VERSION,
 };
+use rayon::prelude::*;
 use std::collections::HashMap;
 use std::path::Path;
 
-/// Name of the binary state file inside a state directory.
+/// Chain file prefix of the compiler state (base file
+/// `kizzle-state.snap`, deltas `kizzle-state.delta-N.snap`).
+pub const STATE_CHAIN_PREFIX: &str = "kizzle-state";
+/// Name of the base binary state file inside a state directory.
 pub const STATE_FILE: &str = "kizzle-state.snap";
 /// Name of the human-readable manifest sidecar.
 pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// Deltas a state chain accumulates before [`KizzleCompiler::save_state`]
+/// compacts back to a full base — a weekly cadence at one save per day.
+pub const DEFAULT_MAX_DELTAS: usize = 6;
 
 /// Section holding fingerprint, day counter and signature counters.
 pub const META_SECTION: &str = "meta";
@@ -248,8 +264,7 @@ fn decode_meta(dec: &mut Decoder<'_>) -> Result<Meta, SnapshotError> {
     let mut counters = HashMap::new();
     for _ in 0..counter_count {
         let family = family_from_code(dec.u8()?).ok_or_else(|| corrupt("unknown family code"))?;
-        let count =
-            usize::try_from(dec.u64()?).map_err(|_| corrupt("counter exceeds usize"))?;
+        let count = usize::try_from(dec.u64()?).map_err(|_| corrupt("counter exceeds usize"))?;
         if counters.insert(family, count).is_some() {
             return Err(corrupt("family counter duplicated"));
         }
@@ -262,75 +277,141 @@ fn decode_meta(dec: &mut Decoder<'_>) -> Result<Meta, SnapshotError> {
 }
 
 impl KizzleCompiler {
-    /// Persist the complete compiler state into `state_dir`: the binary
-    /// snapshot ([`STATE_FILE`]) and the [`MANIFEST_FILE`] sidecar, both
-    /// written atomically so a crash mid-save leaves the previous state
-    /// loadable.
-    pub fn save_state(&self, state_dir: &Path) -> std::io::Result<()> {
-        std::fs::create_dir_all(state_dir)?;
-        let mut builder = SnapshotBuilder::new();
-        let mut enc = Encoder::new();
-        encode_meta(self, &mut enc);
-        builder.section(META_SECTION, enc.into_bytes());
-        let mut enc = Encoder::new();
-        encode_signature_set(&self.signatures, &mut enc);
-        builder.section(SIGNATURES_SECTION, enc.into_bytes());
-        let mut enc = Encoder::new();
-        self.reference.encode_into(&mut enc);
-        builder.section(REFERENCE_SECTION, enc.into_bytes());
-        let mut enc = Encoder::new();
-        enc.usize(self.day_views.len());
-        for (stamp, ids) in &self.day_views {
-            enc.u64(*stamp);
-            enc.usize(ids.len());
-            for id in ids {
-                enc.u32(id.raw());
-            }
-        }
-        builder.section(WINDOW_SECTION, enc.into_bytes());
-        self.engine.write_sections(&mut builder);
-        let bytes = builder.to_bytes();
-        kizzle_snapshot::write_atomic(&state_dir.join(STATE_FILE), &bytes)?;
-
-        let mut manifest = Manifest::new();
-        manifest.set("snapshot_file", STATE_FILE);
-        manifest.set("format_version", FORMAT_VERSION);
-        manifest.set(
-            "config_fingerprint",
-            format!("{:#018x}", config_fingerprint(&self.config)),
+    /// Serialize every compiler section. The six payloads are independent,
+    /// so they encode through the rayon pool — a multi-core save costs the
+    /// slowest section, not the sum.
+    fn encode_state_sections(&self) -> Vec<(String, Vec<u8>)> {
+        type Job<'a> = (&'a str, Box<dyn Fn() -> Vec<u8> + Sync + 'a>);
+        let jobs: Vec<Job<'_>> = vec![
+            (
+                META_SECTION,
+                Box::new(|| {
+                    let mut enc = Encoder::new();
+                    encode_meta(self, &mut enc);
+                    enc.into_bytes()
+                }),
+            ),
+            (
+                SIGNATURES_SECTION,
+                Box::new(|| {
+                    let mut enc = Encoder::new();
+                    encode_signature_set(&self.signatures, &mut enc);
+                    enc.into_bytes()
+                }),
+            ),
+            (
+                REFERENCE_SECTION,
+                Box::new(|| {
+                    let mut enc = Encoder::new();
+                    self.reference.encode_into(&mut enc);
+                    enc.into_bytes()
+                }),
+            ),
+            (
+                WINDOW_SECTION,
+                Box::new(|| {
+                    let mut enc = Encoder::new();
+                    enc.varint_usize(self.day_views.len());
+                    for (stamp, ids) in &self.day_views {
+                        enc.varint(*stamp);
+                        enc.varint_usize(ids.len());
+                        for id in ids {
+                            enc.varint(u64::from(id.raw()));
+                        }
+                    }
+                    enc.into_bytes()
+                }),
+            ),
+        ];
+        // The engine owns its own section layout (names and payloads) —
+        // `CorpusEngine::encode_sections` is the single producer, run
+        // concurrently with the compiler-level jobs.
+        let (payloads, engine_sections) = rayon::join(
+            || -> Vec<Vec<u8>> { jobs.par_iter().map(|(_, job)| job()).collect() },
+            || self.engine.encode_sections(),
         );
-        manifest.set(
-            "last_day",
-            self.last_day
-                .map_or_else(|| "none".to_string(), |d| d.to_string()),
-        );
-        manifest.set("live_samples", self.engine.len());
-        manifest.set("cached_neighborhoods", self.engine.index().cached_count());
-        manifest.set("signatures", self.signatures.len());
-        manifest.set("bytes", bytes.len());
-        // The file's trailer checksum (CRC over everything before it) —
-        // hashing the whole file would fold the trailer in and collapse to
-        // the constant CRC-32 residue.
-        manifest.set(
-            "crc32",
-            format!("{:#010x}", crc32(&bytes[..bytes.len() - 4])),
-        );
-        manifest.write_atomic(&state_dir.join(MANIFEST_FILE))
+        let mut sections: Vec<(String, Vec<u8>)> = jobs
+            .iter()
+            .map(|(name, _)| (*name).to_string())
+            .zip(payloads)
+            .collect();
+        sections.extend(engine_sections);
+        sections
     }
 
-    /// Load compiler state saved by [`KizzleCompiler::save_state`].
+    /// Persist the complete compiler state into `state_dir` with the
+    /// default compaction cadence ([`DEFAULT_MAX_DELTAS`]). See
+    /// [`KizzleCompiler::save_state_compacting`].
+    pub fn save_state(&self, state_dir: &Path) -> std::io::Result<()> {
+        self.save_state_compacting(state_dir, DEFAULT_MAX_DELTAS)
+    }
+
+    /// Persist the complete compiler state into `state_dir` as the next
+    /// link of a base→delta snapshot chain: a full base file
+    /// ([`STATE_FILE`]) on the first save, afterwards a delta holding only
+    /// the sections whose content fingerprint changed since the previous
+    /// save (on heavily overlapping days the reference and signature
+    /// sections are usually byte-identical). Once the chain carries
+    /// `max_deltas` deltas the next save **compacts**: the full base is
+    /// rewritten and the stale deltas removed; `max_deltas == 0` writes a
+    /// full snapshot every time (the PR 3 behavior). Every file and the
+    /// [`MANIFEST_FILE`] sidecar are written atomically, so a crash
+    /// mid-save leaves the previous state loadable.
+    pub fn save_state_compacting(
+        &self,
+        state_dir: &Path,
+        max_deltas: usize,
+    ) -> std::io::Result<()> {
+        let sections = self.encode_state_sections();
+        ChainWriter::new(state_dir, STATE_CHAIN_PREFIX).save(
+            sections,
+            max_deltas,
+            |manifest, save| {
+                manifest.set("snapshot_file", STATE_FILE);
+                manifest.set("format_version", FORMAT_VERSION);
+                manifest.set(
+                    "config_fingerprint",
+                    format!("{:#018x}", config_fingerprint(&self.config)),
+                );
+                manifest.set(
+                    "last_day",
+                    self.last_day
+                        .map_or_else(|| "none".to_string(), |d| d.to_string()),
+                );
+                manifest.set("live_samples", self.engine.len());
+                manifest.set("cached_neighborhoods", self.engine.index().cached_count());
+                manifest.set("signatures", self.signatures.len());
+                // What *this* save put on disk — the base on day 1 and
+                // after compaction, otherwise a delta (or nothing on a
+                // no-change day). The logical state spans the whole
+                // `chain`, so a single "size of the snapshot" number no
+                // longer exists.
+                manifest.set(
+                    "written_file",
+                    save.file.as_deref().unwrap_or("none (no sections changed)"),
+                );
+                manifest.set("written_bytes", save.bytes);
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Load compiler state saved by [`KizzleCompiler::save_state`],
+    /// following the base→delta chain recorded in the manifest.
     ///
     /// Refuses snapshots whose config fingerprint differs from `config`
-    /// ([`SnapshotError::ConfigMismatch`]). Engine damage degrades per
-    /// section (see [`ResumeReport`]); damage to the meta, signature or
-    /// reference sections fails the load — the caller starts a fresh
+    /// ([`SnapshotError::ConfigMismatch`]). The fallback ladder, top rung
+    /// first: a broken delta truncates the chain (the run resumes the
+    /// base — an older but self-consistent state); engine damage degrades
+    /// per section (see [`ResumeReport`]); damage to the meta, signature
+    /// or reference sections fails the load — the caller starts a fresh
     /// compiler, exactly as if no snapshot existed.
     pub fn load_state(
         state_dir: &Path,
         config: KizzleConfig,
     ) -> Result<(Self, ResumeReport), SnapshotError> {
         let config = config.validated();
-        let snapshot = Snapshot::read(&state_dir.join(STATE_FILE))?;
+        let snapshot = ChainedSnapshot::open(state_dir, STATE_CHAIN_PREFIX)?;
 
         let mut dec = Decoder::new(snapshot.section(META_SECTION)?);
         let meta = decode_meta(&mut dec)?;
@@ -352,40 +433,41 @@ impl KizzleCompiler {
         dec.finish()?;
 
         let (engine, mut report) = CorpusEngine::resume_from_sections(config.clustering, &snapshot);
+        report.notes.extend(snapshot.notes().iter().cloned());
 
         // Day views are only meaningful against the engine they were saved
         // with: if the engine degraded (or the section is damaged), window
         // clustering starts over rather than pointing at dead ids.
-        let day_views = snapshot
-            .section(WINDOW_SECTION)
-            .and_then(|payload| {
-                let mut dec = Decoder::new(payload);
-                let view_count = dec.usize()?;
-                let mut views = Vec::with_capacity(view_count.min(1 << 10));
-                for _ in 0..view_count {
-                    let stamp = dec.u64()?;
-                    let id_count = dec.usize()?;
-                    let mut ids = Vec::with_capacity(id_count.min(1 << 20));
-                    for _ in 0..id_count {
-                        let id = kizzle_cluster::SampleId::new(dec.u32()?);
-                        if !engine.store().contains(id) {
-                            return Err(SnapshotError::Corrupt(
-                                "window view names a dead sample".into(),
-                            ));
-                        }
-                        ids.push(id);
+        let day_views = snapshot.section(WINDOW_SECTION).and_then(|payload| {
+            let mut dec = Decoder::new(payload);
+            let view_count = dec.varint_usize()?;
+            let mut views = Vec::with_capacity(view_count.min(1 << 10));
+            for _ in 0..view_count {
+                let stamp = dec.varint()?;
+                let id_count = dec.varint_usize()?;
+                let mut ids = Vec::with_capacity(id_count.min(1 << 20));
+                for _ in 0..id_count {
+                    let raw = u32::try_from(dec.varint()?)
+                        .map_err(|_| SnapshotError::Corrupt("window view id exceeds u32".into()))?;
+                    let id = kizzle_cluster::SampleId::new(raw);
+                    if !engine.store().contains(id) {
+                        return Err(SnapshotError::Corrupt(
+                            "window view names a dead sample".into(),
+                        ));
                     }
-                    views.push((stamp, ids));
+                    ids.push(id);
                 }
-                dec.finish()?;
-                Ok(views)
-            });
+                views.push((stamp, ids));
+            }
+            dec.finish()?;
+            Ok(views)
+        });
         let day_views = match day_views {
             Ok(views) => views,
             Err(err) => {
-                report
-                    .notes
-                    .push(format!("window views lost, window clustering starts over: {err}"));
+                report.notes.push(format!(
+                    "window views lost, window clustering starts over: {err}"
+                ));
                 Vec::new()
             }
         };
@@ -432,9 +514,27 @@ impl KizzleCompiler {
 /// Read just the signature set out of a compiler state snapshot — what
 /// `examples/signature_inspect` uses to inspect deployed signatures
 /// without recompiling them.
+///
+/// Chain-aware: pointed at a chain's base file (`kizzle-state.snap` next
+/// to its `MANIFEST`), the recorded deltas are overlaid so the *newest*
+/// signature section answers; a bare snapshot file without a chain reads
+/// as itself.
 pub fn read_signatures(state_file: &Path) -> Result<SignatureSet, SnapshotError> {
-    let snapshot = Snapshot::read(state_file)?;
-    let mut dec = Decoder::new(snapshot.section(SIGNATURES_SECTION)?);
+    let chained = state_file
+        .file_name()
+        .and_then(|n| n.to_str())
+        .and_then(|n| n.strip_suffix(".snap"))
+        .zip(state_file.parent())
+        .and_then(|(prefix, dir)| ChainedSnapshot::open(dir, prefix).ok());
+    let payload_owner;
+    let payload = match &chained {
+        Some(chain) => chain.section(SIGNATURES_SECTION)?,
+        None => {
+            payload_owner = Snapshot::read(state_file)?;
+            payload_owner.section(SIGNATURES_SECTION)?
+        }
+    };
+    let mut dec = Decoder::new(payload);
     let set = decode_signature_set(&mut dec)?;
     dec.finish()?;
     Ok(set)
@@ -444,6 +544,7 @@ pub fn read_signatures(state_file: &Path) -> Result<SignatureSet, SnapshotError>
 mod tests {
     use super::*;
     use kizzle_corpus::{GraywareStream, Sample, StreamConfig};
+    use kizzle_snapshot::Manifest;
 
     fn test_day(date: SimDate, seed: u64) -> Vec<Sample> {
         let config = StreamConfig {
@@ -466,10 +567,8 @@ mod tests {
     }
 
     fn state_dir(name: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "kizzle-state-test-{}-{name}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("kizzle-state-test-{}-{name}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         dir
     }
@@ -592,12 +691,33 @@ mod tests {
             Some(format!("{:#018x}", config_fingerprint(compiler.config())).as_str())
         );
         assert_eq!(manifest.get("last_day"), Some("8/5/14"));
-        let bytes: usize = manifest.get("bytes").unwrap().parse().expect("numeric");
+        // Day 1 wrote the full base; `written_*` describe that save.
+        assert_eq!(manifest.get("written_file"), Some(STATE_FILE));
+        let bytes: usize = manifest
+            .get("written_bytes")
+            .unwrap()
+            .parse()
+            .expect("numeric");
+        assert_eq!(bytes, std::fs::read(dir.join(STATE_FILE)).unwrap().len());
+        // A second day's save extends the chain with a delta, and the
+        // manifest must describe *that* file — not misquote the base.
+        let d2 = SimDate::new(2014, 8, 6);
+        compiler.process_day(d2, &test_day(d2, 4));
+        compiler.save_state(&dir).expect("state saved");
+        let manifest = Manifest::read(&dir.join(MANIFEST_FILE)).expect("manifest");
+        let written = manifest.get("written_file").expect("written_file");
+        assert_ne!(written, STATE_FILE, "day 2 must be a delta");
+        let bytes: usize = manifest
+            .get("written_bytes")
+            .unwrap()
+            .parse()
+            .expect("numeric");
+        assert_eq!(bytes, std::fs::read(dir.join(written)).unwrap().len());
         assert_eq!(
-            bytes,
-            std::fs::read(dir.join(STATE_FILE)).unwrap().len()
+            manifest.get("chain"),
+            Some(format!("{STATE_FILE} {written}").as_str())
         );
-        // read_signatures pulls the deployed set straight from the file.
+        // read_signatures follows the chain from the base file.
         let set = read_signatures(&dir.join(STATE_FILE)).expect("signatures");
         assert_eq!(&set, compiler.signatures());
         std::fs::remove_dir_all(&dir).ok();

@@ -108,7 +108,11 @@ fn library_boilerplate<R: Rng + ?Sized>(rng: &mut R) -> String {
     // its fromCharCode/split combination is what the simulated commercial
     // AV's legacy heuristic (rarely) false-positives on, mirroring the small
     // but nonzero AV FP rate of paper Fig. 13(a).
-    let entity_helper = if rng.gen_bool(0.03) { ENTITY_DECODER_HELPER } else { "" };
+    let entity_helper = if rng.gen_bool(0.03) {
+        ENTITY_DECODER_HELPER
+    } else {
+        ""
+    };
     format!(
         r#"var {ns} = (function() {{
   var {cache} = {{}};
@@ -200,7 +204,11 @@ window.onload = {handler};
 }
 
 fn analytics_snippet<R: Rng + ?Sized>(rng: &mut R) -> String {
-    let account = format!("UA-{}-{}", rng.gen_range(100_000..999_999), rng.gen_range(1..9));
+    let account = format!(
+        "UA-{}-{}",
+        rng.gen_range(100_000..999_999),
+        rng.gen_range(1..9)
+    );
     let queue = random_identifier(rng, 4..8);
     let host = random_host(rng);
     format!(
@@ -335,7 +343,8 @@ mod tests {
 
     #[test]
     fn kind_names_are_unique() {
-        let names: std::collections::HashSet<_> = BenignKind::ALL.iter().map(|k| k.name()).collect();
+        let names: std::collections::HashSet<_> =
+            BenignKind::ALL.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), BenignKind::ALL.len());
     }
 }

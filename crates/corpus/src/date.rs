@@ -174,7 +174,10 @@ mod tests {
         let b = SimDate::new(2014, 8, 13);
         assert_eq!(b.days_since(a), 12);
         assert_eq!(a.days_since(b), -12);
-        assert_eq!(SimDate::new(2014, 7, 1).days_since(SimDate::new(2014, 6, 1)), 30);
+        assert_eq!(
+            SimDate::new(2014, 7, 1).days_since(SimDate::new(2014, 6, 1)),
+            30
+        );
     }
 
     #[test]

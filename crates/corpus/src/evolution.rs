@@ -47,7 +47,9 @@ impl ChangeKind {
     pub fn is_payload_change(&self) -> bool {
         matches!(
             self,
-            ChangeKind::ExploitAppended(_) | ChangeKind::AvDetectionAdded | ChangeKind::JavaMarkerHidden
+            ChangeKind::ExploitAppended(_)
+                | ChangeKind::AvDetectionAdded
+                | ChangeKind::JavaMarkerHidden
         )
     }
 }

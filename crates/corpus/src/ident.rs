@@ -17,8 +17,14 @@ const IDENT_CONT: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ
 /// # Panics
 ///
 /// Panics if the range is empty or starts at zero.
-pub fn random_identifier<R: Rng + ?Sized>(rng: &mut R, len_range: std::ops::Range<usize>) -> String {
-    assert!(!len_range.is_empty() && len_range.start > 0, "invalid length range");
+pub fn random_identifier<R: Rng + ?Sized>(
+    rng: &mut R,
+    len_range: std::ops::Range<usize>,
+) -> String {
+    assert!(
+        !len_range.is_empty() && len_range.start > 0,
+        "invalid length range"
+    );
     let len = rng.gen_range(len_range);
     let mut out = String::with_capacity(len);
     out.push(IDENT_START[rng.gen_range(0..IDENT_START.len())] as char);

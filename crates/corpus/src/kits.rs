@@ -128,7 +128,10 @@ mod tests {
         assert_ne!(a, b, "the daily URL must rotate");
         // The shared portion dominates: strip the URL lines and compare.
         let strip = |s: &str| -> String {
-            s.lines().filter(|l| !l.contains("gateUrls")).collect::<Vec<_>>().join("\n")
+            s.lines()
+                .filter(|l| !l.contains("gateUrls"))
+                .collect::<Vec<_>>()
+                .join("\n")
         };
         assert_eq!(strip(&a), strip(&b));
     }
@@ -178,7 +181,10 @@ mod tests {
             let html = KitModel::new(family).generate_sample(SimDate::new(2014, 8, 8), &mut rng(9));
             assert!(html.starts_with("<html>"), "{family}");
             assert!(html.contains("</html>"), "{family}");
-            assert!(html.contains("<script type=\"text/javascript\">"), "{family}");
+            assert!(
+                html.contains("<script type=\"text/javascript\">"),
+                "{family}"
+            );
         }
     }
 

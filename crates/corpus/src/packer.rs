@@ -241,7 +241,9 @@ fn pack_sweet_orange<R: Rng + ?Sized>(state: &KitState, payload: &str, rng: &mut
         out.push_str(&format!("{arr}.push(\"{chunk}\");\n"));
     }
     out.push_str(&format!("function {decoder}() {{\n"));
-    out.push_str(&format!("  var ok = {arr}.join(\"\").split(\"{delim}\");\n"));
+    out.push_str(&format!(
+        "  var ok = {arr}.join(\"\").split(\"{delim}\");\n"
+    ));
     out.push_str(&format!("  var {acc} = \"\";\n"));
     out.push_str(&format!(
         "  for (var {q} = {zero}; {q} < ok.length - {one}; {q}++) {{ {acc} += String.fromCharCode(ok.charAt ? parseInt(ok[{q}], 10) : ok[{q}]); }}\n",
@@ -289,7 +291,10 @@ mod tests {
                 !packed.contains("PluginProbe.getVersion"),
                 "{family}: payload text leaked into packed form"
             );
-            assert!(packed.len() > PAYLOAD.len(), "{family}: packed form too small");
+            assert!(
+                packed.len() > PAYLOAD.len(),
+                "{family}: packed form too small"
+            );
         }
     }
 
@@ -383,7 +388,11 @@ mod tests {
             for date in SimDate::evolution_start().range_inclusive(SimDate::evaluation_end()) {
                 let s = KitState::on_date(family, date);
                 let first = s.delimiter.chars().next().expect("non-empty delimiter");
-                assert!(!first.is_ascii_digit(), "{family} {date}: delimiter {}", s.delimiter);
+                assert!(
+                    !first.is_ascii_digit(),
+                    "{family} {date}: delimiter {}",
+                    s.delimiter
+                );
             }
         }
     }

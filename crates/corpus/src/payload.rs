@@ -141,7 +141,11 @@ pub fn build_payload(state: &KitState, urls: &[String]) -> String {
 
     // Embedded URLs: RIG's payload is short and URL-heavy, which is what
     // makes its unpacked similarity churn in Fig. 11(d).
-    let url_count = if state.family == KitFamily::Rig { urls.len() } else { urls.len().min(1) };
+    let url_count = if state.family == KitFamily::Rig {
+        urls.len()
+    } else {
+        urls.len().min(1)
+    };
     out.push_str("var gateUrls = [");
     for url in urls.iter().take(url_count.max(1)) {
         out.push_str(&format!("\"{url}\", "));
@@ -354,7 +358,10 @@ mod tests {
     #[test]
     fn payload_is_deterministic_for_fixed_inputs() {
         let state = KitState::on_date(KitFamily::SweetOrange, SimDate::new(2014, 8, 10));
-        assert_eq!(build_payload(&state, &urls()), build_payload(&state, &urls()));
+        assert_eq!(
+            build_payload(&state, &urls()),
+            build_payload(&state, &urls())
+        );
     }
 
     #[test]

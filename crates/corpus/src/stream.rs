@@ -209,10 +209,7 @@ impl GraywareStream {
     }
 
     fn day_rng(&self, date: SimDate) -> ChaCha8Rng {
-        let seed = self
-            .config
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        let seed = self.config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
             ^ (u64::from(date.year) << 20)
             ^ (u64::from(date.ordinal()) << 4);
         ChaCha8Rng::seed_from_u64(seed)

@@ -43,7 +43,10 @@ impl CycleResult {
     /// Number of days on which Kizzle detected the majority of samples.
     #[must_use]
     pub fn kizzle_winning_days(&self) -> usize {
-        self.days.iter().filter(|d| d.kizzle_detection > 0.5).count()
+        self.days
+            .iter()
+            .filter(|d| d.kizzle_detection > 0.5)
+            .count()
     }
 
     /// Number of days on which the lagged AV detected the majority of
@@ -82,7 +85,9 @@ pub fn run_cycle(family: KitFamily, samples_per_day: usize, seed: u64) -> CycleR
         if attacker_mutated {
             mutations += 1;
             // Re-randomize the packer output (fresh identifiers / chunking).
-            rng = ChaCha8Rng::seed_from_u64(seed ^ (mutations as u64) << 32 ^ u64::from(date.ordinal()));
+            rng = ChaCha8Rng::seed_from_u64(
+                seed ^ (mutations as u64) << 32 ^ u64::from(date.ordinal()),
+            );
         }
 
         let samples: Vec<Sample> = (0..samples_per_day)
@@ -98,8 +103,14 @@ pub fn run_cycle(family: KitFamily, samples_per_day: usize, seed: u64) -> CycleR
             .collect();
 
         compiler.process_day(date, &samples);
-        let kizzle_hits = samples.iter().filter(|s| compiler.scan(&s.html).is_some()).count();
-        let av_hits = samples.iter().filter(|s| av.scan(date, &s.html).is_some()).count();
+        let kizzle_hits = samples
+            .iter()
+            .filter(|s| compiler.scan(&s.html).is_some())
+            .count();
+        let av_hits = samples
+            .iter()
+            .filter(|s| av.scan(date, &s.html).is_some())
+            .count();
         let kizzle_detection = kizzle_hits as f64 / samples_per_day as f64;
         let av_detection = av_hits as f64 / samples_per_day as f64;
         detected_yesterday = kizzle_detection > 0.5;

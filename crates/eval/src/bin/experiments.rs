@@ -18,7 +18,9 @@ use kizzle_eval::experiments;
 use kizzle_eval::{EvalConfig, MonthlyEvaluation};
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "quick".to_string());
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "quick".to_string());
     let seed = std::env::args()
         .nth(2)
         .and_then(|s| s.parse().ok())

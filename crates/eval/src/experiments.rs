@@ -16,7 +16,10 @@ use std::fmt::Write as _;
 /// E1 / Fig. 2 — the CVE-per-kit table.
 #[must_use]
 pub fn exp_cve_table() -> String {
-    format!("[E1 / Fig. 2] CVEs used by each exploit kit\n{}", cve_table())
+    format!(
+        "[E1 / Fig. 2] CVEs used by each exploit kit\n{}",
+        cve_table()
+    )
 }
 
 /// E2 / Fig. 5 — the Nuclear evolution timeline.
@@ -29,7 +32,10 @@ pub fn exp_evolution_timeline() -> String {
 #[must_use]
 pub fn exp_tokenization() -> String {
     let stream = kizzle_js::tokenize(r#"var Euur1V = this["l9D"]("ev#333399al")"#);
-    format!("[E4 / Fig. 8] Tokenization in action\n{}", stream.to_table())
+    format!(
+        "[E4 / Fig. 8] Tokenization in action\n{}",
+        stream.to_table()
+    )
 }
 
 /// E5 / Figs. 9–10 — signature generation for each kit from a small
@@ -125,7 +131,9 @@ pub fn exp_false_positive_case() -> String {
 #[must_use]
 pub fn exp_adversarial_cycle() -> String {
     let result = run_cycle(KitFamily::Nuclear, 6, 7);
-    let mut out = String::from("[E12 / Fig. 1] Adversarial cycle: mutating Nuclear vs Kizzle and lagged AV\n");
+    let mut out = String::from(
+        "[E12 / Fig. 1] Adversarial cycle: mutating Nuclear vs Kizzle and lagged AV\n",
+    );
     let _ = writeln!(
         out,
         "attacker mutations: {}; days Kizzle detected majority: {}/31; AV: {}/31",
@@ -277,7 +285,8 @@ pub fn run_all(seed: u64, quick: bool) -> String {
     out.push_str(&exp_adversarial_cycle());
 
     // Seed-corpus sanity: the reference corpus labels every kit payload.
-    let reference = ReferenceCorpus::seeded_from_models(SimDate::evaluation_start(), &KizzleConfig::paper());
+    let reference =
+        ReferenceCorpus::seeded_from_models(SimDate::evaluation_start(), &KizzleConfig::paper());
     let _ = writeln!(
         out,
         "\nreference corpus: {} families seeded",
@@ -304,7 +313,10 @@ mod tests {
         for family in KitFamily::ALL {
             assert!(report.contains(family.name()), "{family} missing");
         }
-        assert!(report.contains("(?<var0>"), "no generalized variables rendered");
+        assert!(
+            report.contains("(?<var0>"),
+            "no generalized variables rendered"
+        );
         assert!(!report.contains("generation failed"), "{report}");
     }
 

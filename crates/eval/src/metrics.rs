@@ -109,8 +109,13 @@ pub struct DailyMetrics {
     pub signature_lengths: Vec<(KitFamily, usize)>,
     /// Names of signatures Kizzle issued today.
     pub new_signatures: Vec<String>,
-    /// Wall-clock seconds spent in the clustering stage.
+    /// Wall-clock seconds spent in the clustering stage (final prototype
+    /// pass included).
     pub clustering_seconds: f64,
+    /// Wall-clock seconds of the final per-cluster prototype computation
+    /// alone — the formerly untimed hotspot called out on the ROADMAP; it
+    /// is part of `clustering_seconds`.
+    pub prototype_seconds: f64,
     /// Live samples held by the warm corpus engine after the day ran
     /// (today's batch plus the retained overlap window).
     pub live_corpus: usize,
@@ -185,6 +190,7 @@ mod tests {
             signature_lengths: vec![(KitFamily::Nuclear, 123)],
             new_signatures: vec![],
             clustering_seconds: 0.1,
+            prototype_seconds: 0.02,
             live_corpus: 10,
             window_clusters: None,
         };

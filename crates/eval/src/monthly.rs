@@ -24,6 +24,11 @@ pub struct EvalConfig {
     /// — the ROADMAP's multi-day eval mode, showing how much the day
     /// boundary fragments slow-moving families.
     pub window_cluster: bool,
+    /// Snapshot-chain compaction cadence for the persisting run modes:
+    /// the state chain accumulates up to this many delta files before a
+    /// save rewrites the full base. `0` writes a full snapshot every day
+    /// (the pre-chain behavior).
+    pub compact_every: usize,
 }
 
 impl EvalConfig {
@@ -41,6 +46,7 @@ impl EvalConfig {
             start: SimDate::evaluation_start(),
             end: SimDate::evaluation_end(),
             window_cluster: false,
+            compact_every: kizzle::DEFAULT_MAX_DELTAS,
         }
     }
 
@@ -59,6 +65,7 @@ impl EvalConfig {
             start: SimDate::new(2014, 8, 10),
             end: SimDate::new(2014, 8, 16),
             window_cluster: false,
+            compact_every: kizzle::DEFAULT_MAX_DELTAS,
         }
     }
 }
@@ -187,7 +194,7 @@ impl MonthlyEvaluation {
             days.push(metrics);
             if let Some(dir) = state_dir {
                 compiler
-                    .save_state(dir)
+                    .save_state_compacting(dir, self.config.compact_every)
                     .expect("failed to write compiler state snapshot");
             }
             if restart {
@@ -294,6 +301,7 @@ impl MonthlyEvaluation {
             signature_lengths,
             new_signatures: report.new_signatures.clone(),
             clustering_seconds: report.clustering_stats.total_time().as_secs_f64(),
+            prototype_seconds: report.clustering_stats.prototype_time.as_secs_f64(),
             live_corpus: compiler.engine().len(),
             window_clusters,
         }
@@ -354,6 +362,7 @@ mod tests {
         days.iter()
             .map(|d| DailyMetrics {
                 clustering_seconds: 0.0,
+                prototype_seconds: 0.0,
                 ..d.clone()
             })
             .collect()
@@ -369,10 +378,8 @@ mod tests {
     #[test]
     fn restart_each_day_matches_the_long_lived_run() {
         let config = three_day_config(5);
-        let state_dir = std::env::temp_dir().join(format!(
-            "kizzle-eval-restart-test-{}",
-            std::process::id()
-        ));
+        let state_dir =
+            std::env::temp_dir().join(format!("kizzle-eval-restart-test-{}", std::process::id()));
         std::fs::remove_dir_all(&state_dir).ok();
 
         let long_lived = MonthlyEvaluation::new(config.clone()).run();
@@ -389,10 +396,8 @@ mod tests {
     #[test]
     fn corrupting_the_snapshot_mid_window_degrades_not_panics() {
         let config = three_day_config(6);
-        let state_dir = std::env::temp_dir().join(format!(
-            "kizzle-eval-corrupt-test-{}",
-            std::process::id()
-        ));
+        let state_dir =
+            std::env::temp_dir().join(format!("kizzle-eval-corrupt-test-{}", std::process::id()));
         std::fs::remove_dir_all(&state_dir).ok();
 
         // Day 1 only, to leave a snapshot behind…
@@ -449,9 +454,7 @@ mod tests {
         let result = MonthlyEvaluation::new(EvalConfig::quick(3)).run();
         let last = result.days.last().unwrap();
         assert!(
-            KitFamily::ALL
-                .iter()
-                .any(|f| last.signature_length(*f) > 0),
+            KitFamily::ALL.iter().any(|f| last.signature_length(*f) > 0),
             "no signatures at all after a week"
         );
     }

@@ -95,9 +95,16 @@ mod tests {
         let (start, end) = august();
         let cfg = WinnowConfig::default();
         let rig = similarity_over_time(KitFamily::Rig, start, end, &cfg);
-        let avg: f64 = rig.iter().map(|p| p.max_overlap_with_history).sum::<f64>() / rig.len() as f64;
-        assert!(avg < 0.85, "RIG average similarity {avg:.2} should be well below the others");
-        assert!(avg > 0.2, "RIG should still share its stable body, got {avg:.2}");
+        let avg: f64 =
+            rig.iter().map(|p| p.max_overlap_with_history).sum::<f64>() / rig.len() as f64;
+        assert!(
+            avg < 0.85,
+            "RIG average similarity {avg:.2} should be well below the others"
+        );
+        assert!(
+            avg > 0.2,
+            "RIG should still share its stable body, got {avg:.2}"
+        );
     }
 
     #[test]

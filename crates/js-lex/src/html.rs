@@ -96,8 +96,7 @@ fn extract_attr(tag: &str, name: &str) -> Option<String> {
     while let Some(rel) = lower[search..].find(name) {
         let at = search + rel;
         // Must be preceded by whitespace to be an attribute name.
-        let prev_ok = at == 0
-            || lower.as_bytes()[at - 1].is_ascii_whitespace();
+        let prev_ok = at == 0 || lower.as_bytes()[at - 1].is_ascii_whitespace();
         let after = at + name.len();
         let rest = lower[after..].trim_start();
         if prev_ok && rest.starts_with('=') {

@@ -29,9 +29,9 @@ impl std::error::Error for LexError {}
 /// Multi-character punctuation, longest first so the scanner can do a
 /// longest-match scan.
 const MULTI_PUNCT: &[&str] = &[
-    ">>>=", "===", "!==", ">>>", "**=", "...", "<<=", ">>=", "&&=", "||=", "??=", "=>", "==",
-    "!=", "<=", ">=", "&&", "||", "??", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
-    "^=", "<<", ">>", "**",
+    ">>>=", "===", "!==", ">>>", "**=", "...", "<<=", ">>=", "&&=", "||=", "??=", "=>", "==", "!=",
+    "<=", ">=", "&&", "||", "??", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<",
+    ">>", "**",
 ];
 
 /// Single-character punctuation.
@@ -150,7 +150,9 @@ impl<'a> Lexer<'a> {
 
             let token = if b == b'"' || b == b'\'' || b == b'`' {
                 Some(self.scan_string(b))
-            } else if b.is_ascii_digit() || (b == b'.' && self.peek_at(1).is_some_and(|c| c.is_ascii_digit())) {
+            } else if b.is_ascii_digit()
+                || (b == b'.' && self.peek_at(1).is_some_and(|c| c.is_ascii_digit()))
+            {
                 Some(self.scan_number())
             } else if b == b'_' || b == b'$' || b.is_ascii_alphabetic() || b >= 0x80 {
                 Some(self.scan_word())
@@ -181,7 +183,9 @@ impl<'a> Lexer<'a> {
     fn regex_allowed(&self) -> bool {
         match self.prev {
             None => true,
-            Some(TokenClass::Punctuation) | Some(TokenClass::Keyword) => self.prev_text_allows_regex,
+            Some(TokenClass::Punctuation) | Some(TokenClass::Keyword) => {
+                self.prev_text_allows_regex
+            }
             _ => false,
         }
     }
@@ -211,18 +215,12 @@ impl<'a> Lexer<'a> {
         if !terminated {
             self.error(start, "unterminated string literal");
         }
-        Token::new(
-            TokenClass::String,
-            &self.source[start..self.pos],
-            start,
-        )
+        Token::new(TokenClass::String, &self.source[start..self.pos], start)
     }
 
     fn scan_number(&mut self) -> Token {
         let start = self.pos;
-        if self.peek() == Some(b'0')
-            && matches!(self.peek_at(1), Some(b'x') | Some(b'X'))
-        {
+        if self.peek() == Some(b'0') && matches!(self.peek_at(1), Some(b'x') | Some(b'X')) {
             self.pos += 2;
             while self.peek().is_some_and(|b| b.is_ascii_hexdigit()) {
                 self.pos += 1;
@@ -253,11 +251,7 @@ impl<'a> Lexer<'a> {
                 }
             }
         }
-        Token::new(
-            TokenClass::Number,
-            &self.source[start..self.pos],
-            start,
-        )
+        Token::new(TokenClass::Number, &self.source[start..self.pos], start)
     }
 
     fn scan_word(&mut self) -> Token {
@@ -395,7 +389,9 @@ mod tests {
             texts("1 0xFF 3.14 1e10 2.5e-3 .5"),
             vec!["1", "0xFF", "3.14", "1e10", "2.5e-3", ".5"]
         );
-        assert!(classes("0xDEADbeef").iter().all(|c| *c == TokenClass::Number));
+        assert!(classes("0xDEADbeef")
+            .iter()
+            .all(|c| *c == TokenClass::Number));
     }
 
     #[test]
@@ -469,7 +465,10 @@ mod tests {
     #[test]
     fn dollar_and_underscore_identifiers() {
         use TokenClass::*;
-        assert_eq!(classes("$ _x $y1"), vec![Identifier, Identifier, Identifier]);
+        assert_eq!(
+            classes("$ _x $y1"),
+            vec![Identifier, Identifier, Identifier]
+        );
     }
 
     #[test]

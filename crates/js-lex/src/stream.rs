@@ -104,7 +104,15 @@ impl TokenStream {
         out.push_str("Token            Class\n");
         for t in &self.tokens {
             let text = if t.text.len() > 16 {
-                format!("{}…", &t.text[..t.text.char_indices().take(15).last().map_or(0, |(i, c)| i + c.len_utf8())])
+                format!(
+                    "{}…",
+                    &t.text[..t
+                        .text
+                        .char_indices()
+                        .take(15)
+                        .last()
+                        .map_or(0, |(i, c)| i + c.len_utf8())]
+                )
             } else {
                 t.text.clone()
             };

@@ -54,7 +54,10 @@ pub struct CommonWindow {
 ///
 /// Returns `None` when no window of length at least 1 qualifies.
 #[must_use]
-pub fn find_common_window(samples: &[&TokenStream], config: &SignatureConfig) -> Option<CommonWindow> {
+pub fn find_common_window(
+    samples: &[&TokenStream],
+    config: &SignatureConfig,
+) -> Option<CommonWindow> {
     if samples.is_empty() || samples.iter().any(|s| s.is_empty()) {
         return None;
     }
@@ -98,7 +101,9 @@ fn window_of_length(class_strings: &[Vec<u8>], len: usize) -> Option<CommonWindo
         }
         let mut map: HashMap<&[u8], Vec<usize>> = HashMap::new();
         for start in 0..=classes.len() - len {
-            map.entry(&classes[start..start + len]).or_default().push(start);
+            map.entry(&classes[start..start + len])
+                .or_default()
+                .push(start);
         }
         per_sample.push(map);
     }
@@ -112,14 +117,12 @@ fn window_of_length(class_strings: &[Vec<u8>], len: usize) -> Option<CommonWindo
         if !seen.insert(window) {
             continue;
         }
-        let unique_everywhere = per_sample
-            .iter()
-            .all(|map| map.get(window).is_some_and(|positions| positions.len() == 1));
+        let unique_everywhere = per_sample.iter().all(|map| {
+            map.get(window)
+                .is_some_and(|positions| positions.len() == 1)
+        });
         if unique_everywhere {
-            let starts = per_sample
-                .iter()
-                .map(|map| map[window][0])
-                .collect();
+            let starts = per_sample.iter().map(|map| map[window][0]).collect();
             return Some(CommonWindow { len, starts });
         }
     }
@@ -182,12 +185,11 @@ pub fn generate_signature(
         usable
     };
 
-    let window = find_common_window(&subsampled, config).ok_or(
-        GenerateError::NoCommonSubsequence {
+    let window =
+        find_common_window(&subsampled, config).ok_or(GenerateError::NoCommonSubsequence {
             longest_found: 0,
             required: config.min_tokens,
-        },
-    )?;
+        })?;
     if window.len < config.min_tokens {
         return Err(GenerateError::NoCommonSubsequence {
             longest_found: window.len,
@@ -222,7 +224,13 @@ mod tests {
         // All 10 tokens form the window; identifiers and the obfuscated
         // string generalize, punctuation and `this` stay literal.
         assert_eq!(sig.len(), 10);
-        assert!(matches!(sig.elements[0], Element::Class { class: CharClass::AlphaNum, .. }));
+        assert!(matches!(
+            sig.elements[0],
+            Element::Class {
+                class: CharClass::AlphaNum,
+                ..
+            }
+        ));
         assert_eq!(sig.elements[1], Element::Literal("=".to_string()));
         assert_eq!(sig.elements[2], Element::Literal("this".to_string()));
         assert!(matches!(sig.elements[4], Element::Class { .. }));
@@ -251,8 +259,10 @@ mod tests {
     fn window_must_be_unique_in_every_sample() {
         // `f("x");` appears twice in the first sample, so the unique common
         // window is forced to include the distinguishing suffix.
-        let samples = [tokenize(r#"f("x"); f("x"); var q = 3;"#),
-            tokenize(r#"f("y"); var q = 3;"#)];
+        let samples = [
+            tokenize(r#"f("x"); f("x"); var q = 3;"#),
+            tokenize(r#"f("y"); var q = 3;"#),
+        ];
         let refs: Vec<&TokenStream> = samples.iter().collect();
         let window = find_common_window(&refs, &SignatureConfig::default()).unwrap();
         // The chosen window must occur exactly once in sample 0.
@@ -282,7 +292,10 @@ mod tests {
     #[test]
     fn repetitive_samples_have_no_unique_window() {
         // Every window of every length occurs many times: no signature.
-        let samples = vec![tokenize(&"a(1); ".repeat(30)), tokenize(&"a(1); ".repeat(40))];
+        let samples = vec![
+            tokenize(&"a(1); ".repeat(30)),
+            tokenize(&"a(1); ".repeat(40)),
+        ];
         let config = SignatureConfig {
             min_tokens: 3,
             ..SignatureConfig::default()
@@ -313,13 +326,16 @@ mod tests {
     fn empty_cluster_is_an_error() {
         let err = generate_signature("x", &[], &SignatureConfig::default()).unwrap_err();
         assert_eq!(err, GenerateError::EmptyCluster);
-        let err = generate_signature("x", &[tokenize("")], &SignatureConfig::default()).unwrap_err();
+        let err =
+            generate_signature("x", &[tokenize("")], &SignatureConfig::default()).unwrap_err();
         assert_eq!(err, GenerateError::EmptyCluster);
     }
 
     #[test]
     fn single_sample_cluster_yields_an_all_literal_signature() {
-        let samples = vec![tokenize(r#"collect("47y642y6100y6"); pieces = buffer.split(delim);"#)];
+        let samples = vec![tokenize(
+            r#"collect("47y642y6100y6"); pieces = buffer.split(delim);"#,
+        )];
         let config = SignatureConfig {
             min_tokens: 5,
             ..SignatureConfig::default()
@@ -377,7 +393,9 @@ mod tests {
         let sig = generate_signature("NEK.sig1", &samples, &config).unwrap();
         let string_offset = 7; // ident = this [ str ] ( STR ) ;
         match &sig.elements[string_offset] {
-            Element::Class { min_len, max_len, .. } => {
+            Element::Class {
+                min_len, max_len, ..
+            } => {
                 assert_eq!((*min_len, *max_len), (11, 11));
             }
             other => panic!("expected a class element, got {other:?}"),

@@ -68,9 +68,7 @@ fn anchor_of(signature: &Signature) -> Option<(usize, &str)> {
         .iter()
         .enumerate()
         .filter_map(|(offset, element)| match element {
-            Element::Literal(text) if text.len() >= MIN_ANCHOR_LEN => {
-                Some((offset, text.as_str()))
-            }
+            Element::Literal(text) if text.len() >= MIN_ANCHOR_LEN => Some((offset, text.as_str())),
             _ => None,
         })
         .max_by_key(|(_, text)| text.len())
@@ -109,7 +107,10 @@ impl SignatureSet {
     pub fn add(&mut self, label: impl Into<String>, signature: Signature) -> bool {
         let label = label.into();
         let index = self.signatures.len();
-        let bucket = self.dedup.entry(dedup_key(&label, &signature.elements)).or_default();
+        let bucket = self
+            .dedup
+            .entry(dedup_key(&label, &signature.elements))
+            .or_default();
         if bucket.iter().any(|&i| {
             let existing = &self.signatures[i];
             existing.label == label && existing.signature.elements == signature.elements
@@ -140,12 +141,20 @@ impl SignatureSet {
     /// Signatures carrying a specific label.
     #[must_use]
     pub fn for_label(&self, label: &str) -> Vec<&LabeledSignature> {
-        self.signatures.iter().filter(|s| s.label == label).collect()
+        self.signatures
+            .iter()
+            .filter(|s| s.label == label)
+            .collect()
     }
 
     /// Does `signature` match `stream` with its element at `offset` placed
     /// on the token at `position`?
-    fn window_matches(signature: &Signature, stream: &TokenStream, position: usize, offset: usize) -> bool {
+    fn window_matches(
+        signature: &Signature,
+        stream: &TokenStream,
+        position: usize,
+        offset: usize,
+    ) -> bool {
         let Some(start) = position.checked_sub(offset) else {
             return false;
         };
@@ -180,8 +189,12 @@ impl SignatureSet {
                     if best.is_some_and(|b| idx >= b) {
                         continue;
                     }
-                    if Self::window_matches(&self.signatures[idx].signature, stream, position, offset)
-                    {
+                    if Self::window_matches(
+                        &self.signatures[idx].signature,
+                        stream,
+                        position,
+                        offset,
+                    ) {
                         consider(idx, &mut best);
                         if best == Some(0) {
                             // Signature 0 is first in insertion order;
@@ -210,7 +223,9 @@ impl SignatureSet {
     /// against.
     #[must_use]
     pub fn scan_stream_linear(&self, stream: &TokenStream) -> Option<&LabeledSignature> {
-        self.signatures.iter().find(|s| s.signature.matches_stream(stream))
+        self.signatures
+            .iter()
+            .find(|s| s.signature.matches_stream(stream))
     }
 
     /// Scan a raw HTML/JavaScript document.
@@ -371,7 +386,10 @@ mod tests {
         let mut reversed = SignatureSet::new();
         reversed.add("B", early);
         reversed.add("A", late);
-        assert_eq!(reversed.scan_stream(&stream).unwrap().signature.name, "early");
+        assert_eq!(
+            reversed.scan_stream(&stream).unwrap().signature.name,
+            "early"
+        );
     }
 
     #[test]

@@ -183,7 +183,10 @@ impl Signature {
     /// Panics if `elements` is empty.
     #[must_use]
     pub fn new(name: impl Into<String>, elements: Vec<Element>, support: usize) -> Self {
-        assert!(!elements.is_empty(), "a signature needs at least one element");
+        assert!(
+            !elements.is_empty(),
+            "a signature needs at least one element"
+        );
         Signature {
             name: name.into(),
             elements,
@@ -301,7 +304,10 @@ mod tests {
         assert_eq!(CharClass::infer(["abc", "zzz"]), Some(CharClass::Lower));
         assert_eq!(CharClass::infer(["abc", "ZZZ"]), Some(CharClass::Alpha));
         assert_eq!(CharClass::infer(["123", "456"]), Some(CharClass::Digits));
-        assert_eq!(CharClass::infer(["1a2b", "ffff"]), Some(CharClass::HexLower));
+        assert_eq!(
+            CharClass::infer(["1a2b", "ffff"]),
+            Some(CharClass::HexLower)
+        );
         assert_eq!(CharClass::infer(["a1B2", "Zz9"]), Some(CharClass::AlphaNum));
         assert_eq!(
             CharClass::infer(["http://x.com/a?b=1", "path_2"]),
@@ -378,10 +384,14 @@ mod tests {
     fn figure_9_signature_rejects_structurally_different_code() {
         let sig = example_signature();
         assert!(!sig.matches_stream(&tokenize(r#"x = other("l9D")("ev#333399al");"#)));
-        assert!(!sig.matches_stream(&tokenize(r#"Euur1V = this["l9D"]"#)), "truncated");
-        assert!(!sig.matches_stream(&tokenize(
-            r#"Euur1V = this["l9D"]("short");"#
-        )), "payload length differs");
+        assert!(
+            !sig.matches_stream(&tokenize(r#"Euur1V = this["l9D"]"#)),
+            "truncated"
+        );
+        assert!(
+            !sig.matches_stream(&tokenize(r#"Euur1V = this["l9D"]("short");"#)),
+            "payload length differs"
+        );
     }
 
     #[test]
@@ -409,11 +419,7 @@ mod tests {
 
     #[test]
     fn render_escapes_metacharacters_in_literals() {
-        let sig = Signature::new(
-            "x",
-            vec![Element::Literal("a.b(c)*".to_string())],
-            1,
-        );
+        let sig = Signature::new("x", vec![Element::Literal("a.b(c)*".to_string())], 1);
         assert_eq!(sig.render(), "a\\.b\\(c\\)\\*");
     }
 

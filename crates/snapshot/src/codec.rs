@@ -99,6 +99,48 @@ impl Encoder {
     pub fn str(&mut self, v: &str) {
         self.bytes(v.as_bytes());
     }
+
+    /// Write a `u64` as a LEB128 varint: 7 value bits per byte, the high
+    /// bit flags continuation. Small values — counts, stamps, id gaps —
+    /// take 1–2 bytes instead of a fixed 8.
+    pub fn varint(&mut self, mut v: u64) {
+        while v >= 0x80 {
+            self.buf.push((v as u8 & 0x7F) | 0x80);
+            v >>= 7;
+        }
+        self.buf.push(v as u8);
+    }
+
+    /// Write a `usize` as a varint.
+    pub fn varint_usize(&mut self, v: usize) {
+        self.varint(v as u64);
+    }
+
+    /// Write a strictly ascending id list as varint gaps: count, first
+    /// value, then `gap − 1` per successor (ascending strictness makes
+    /// every gap ≥ 1, so the common dense run encodes as zero bytes of
+    /// value payload — one `0x00` per id). Neighborhoods and live-slot
+    /// runs are dense id ranges, which is what turns the memoized
+    /// neighborhood sections from 4 bytes per id into ~1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` is not strictly ascending — the caller's invariant,
+    /// not a decode-time concern.
+    pub fn gap_list(&mut self, ids: &[u32]) {
+        self.varint_usize(ids.len());
+        let mut prev: Option<u32> = None;
+        for &id in ids {
+            match prev {
+                None => self.varint(u64::from(id)),
+                Some(p) => {
+                    assert!(id > p, "gap_list input must be strictly ascending");
+                    self.varint(u64::from(id - p) - 1);
+                }
+            }
+            prev = Some(id);
+        }
+    }
 }
 
 /// Cursor-based little-endian reader over a payload slice.
@@ -154,22 +196,30 @@ impl<'a> Decoder<'a> {
 
     /// Read a `u16`.
     pub fn u16(&mut self) -> Result<u16, SnapshotError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
     }
 
     /// Read a `u32`.
     pub fn u32(&mut self) -> Result<u32, SnapshotError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     /// Read a `u64`.
     pub fn u64(&mut self) -> Result<u64, SnapshotError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Read an `i64`.
     pub fn i64(&mut self) -> Result<i64, SnapshotError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Read a `usize` written as `u64`.
@@ -202,6 +252,62 @@ impl<'a> Decoder<'a> {
     pub fn str(&mut self) -> Result<&'a str, SnapshotError> {
         std::str::from_utf8(self.bytes()?)
             .map_err(|_| SnapshotError::Corrupt("invalid utf-8 string".into()))
+    }
+
+    /// Read a LEB128 varint written by [`Encoder::varint`].
+    ///
+    /// Truncation mid-varint reads as [`SnapshotError::Truncated`]; a
+    /// varint running past 10 bytes or carrying bits beyond `u64` is
+    /// [`SnapshotError::Corrupt`] (it cannot have come from the encoder,
+    /// which always emits the canonical minimal form).
+    pub fn varint(&mut self) -> Result<u64, SnapshotError> {
+        let mut value: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8()?;
+            let payload = u64::from(byte & 0x7F);
+            if shift == 63 && payload > 1 {
+                return Err(SnapshotError::Corrupt("varint overflows u64".into()));
+            }
+            value |= payload << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+        }
+        Err(SnapshotError::Corrupt("varint longer than 10 bytes".into()))
+    }
+
+    /// Read a varint-encoded `usize`.
+    pub fn varint_usize(&mut self) -> Result<usize, SnapshotError> {
+        usize::try_from(self.varint()?)
+            .map_err(|_| SnapshotError::Corrupt("varint count exceeds usize".into()))
+    }
+
+    /// Read a gap list written by [`Encoder::gap_list`] back into absolute
+    /// ids. The gap form makes strict ascension structural — a decoded
+    /// list is ascending by construction — but accumulated gaps running
+    /// past `u32::MAX` are rejected as [`SnapshotError::Corrupt`].
+    pub fn gap_list(&mut self) -> Result<Vec<u32>, SnapshotError> {
+        let count = self.varint_usize()?;
+        // A gap-encoded id is at least one byte; cap the preallocation by
+        // what the payload could actually hold so a forged count cannot
+        // balloon memory before the reads start failing.
+        let mut ids = Vec::with_capacity(count.min(self.remaining()));
+        let mut prev: Option<u32> = None;
+        for _ in 0..count {
+            let raw = self.varint()?;
+            let absolute = match prev {
+                None => Some(raw),
+                // p < 2^32 and the sum is checked, so a forged huge gap
+                // surfaces as Corrupt instead of overflowing.
+                Some(p) => raw.checked_add(1).and_then(|g| u64::from(p).checked_add(g)),
+            };
+            let id = absolute
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or_else(|| SnapshotError::Corrupt("gap list id exceeds u32".into()))?;
+            ids.push(id);
+            prev = Some(id);
+        }
+        Ok(ids)
     }
 }
 
@@ -266,6 +372,103 @@ mod tests {
         let bytes = enc.into_bytes();
         let mut dec = Decoder::new(&bytes);
         assert!(matches!(dec.str(), Err(SnapshotError::Corrupt(_))));
+    }
+
+    #[test]
+    fn varints_roundtrip_at_every_width() {
+        let values = [
+            0u64,
+            1,
+            0x7F,
+            0x80,
+            300,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut enc = Encoder::new();
+        for &v in &values {
+            enc.varint(v);
+        }
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        for &v in &values {
+            assert_eq!(dec.varint().unwrap(), v);
+        }
+        dec.finish().unwrap();
+        // Width sanity: one byte below 0x80, ten at the top.
+        let mut enc = Encoder::new();
+        enc.varint(0x7F);
+        assert_eq!(enc.len(), 1);
+        let mut enc = Encoder::new();
+        enc.varint(u64::MAX);
+        assert_eq!(enc.len(), 10);
+    }
+
+    #[test]
+    fn varint_truncation_and_overflow_are_clean_errors() {
+        // Continuation bit set on the final byte: truncated mid-varint.
+        let mut dec = Decoder::new(&[0x80, 0x80]);
+        assert!(matches!(dec.varint(), Err(SnapshotError::Truncated)));
+        // Ten continuation bytes never terminate a u64.
+        let mut dec = Decoder::new(&[0x80; 11]);
+        assert!(matches!(dec.varint(), Err(SnapshotError::Corrupt(_))));
+        // Tenth byte carrying bits beyond u64.
+        let mut overlong = vec![0xFF; 9];
+        overlong.push(0x02);
+        let mut dec = Decoder::new(&overlong);
+        assert!(matches!(dec.varint(), Err(SnapshotError::Corrupt(_))));
+    }
+
+    #[test]
+    fn gap_lists_roundtrip() {
+        let cases: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![0],
+            vec![42],
+            vec![u32::MAX],
+            vec![0, 1, 2, 3, 4, 5],
+            vec![0, u32::MAX],
+            vec![7, 9, 100, 101, 102, 4_000_000_000],
+        ];
+        for ids in &cases {
+            let mut enc = Encoder::new();
+            enc.gap_list(ids);
+            let bytes = enc.into_bytes();
+            let mut dec = Decoder::new(&bytes);
+            assert_eq!(&dec.gap_list().unwrap(), ids, "case {ids:?}");
+            dec.finish().unwrap();
+        }
+        // A dense run costs ~1 byte per id after the first.
+        let dense: Vec<u32> = (1000..2000).collect();
+        let mut enc = Encoder::new();
+        enc.gap_list(&dense);
+        assert!(enc.len() < 1100, "dense run took {} bytes", enc.len());
+    }
+
+    #[test]
+    fn gap_list_rejects_forged_payloads_without_panicking() {
+        // An id pushed past u32 by its gap.
+        let mut enc = Encoder::new();
+        enc.varint_usize(2);
+        enc.varint(u64::from(u32::MAX));
+        enc.varint(0); // gap of 1 overflows u32
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(dec.gap_list(), Err(SnapshotError::Corrupt(_))));
+        // A count larger than the payload reads as truncation.
+        let mut enc = Encoder::new();
+        enc.varint_usize(1_000_000);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(dec.gap_list(), Err(SnapshotError::Truncated)));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn gap_list_panics_on_unsorted_input() {
+        let mut enc = Encoder::new();
+        enc.gap_list(&[3, 3]);
     }
 
     #[test]

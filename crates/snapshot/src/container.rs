@@ -38,7 +38,13 @@ use std::path::Path;
 pub const MAGIC: [u8; 8] = *b"KIZSNAP1";
 
 /// Current container format version. Bump on any layout change.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// Version 2 (ISSUE 4): section payloads written by the domain crates
+/// switched sorted id runs to varint gap encoding, and snapshot state may
+/// span a base→delta chain. Version-1 files are refused with
+/// [`SnapshotError::VersionSkew`] and every loader degrades to a cold
+/// rebuild — the same answer as any other unusable snapshot.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Accumulates named sections and serializes them into one container.
 #[derive(Debug, Default)]
@@ -74,9 +80,17 @@ impl SnapshotBuilder {
         let mut out = Vec::new();
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
-        out.extend_from_slice(&u32::try_from(self.sections.len()).expect("u32 sections").to_le_bytes());
+        out.extend_from_slice(
+            &u32::try_from(self.sections.len())
+                .expect("u32 sections")
+                .to_le_bytes(),
+        );
         for (name, payload) in &self.sections {
-            out.extend_from_slice(&u16::try_from(name.len()).expect("checked in section()").to_le_bytes());
+            out.extend_from_slice(
+                &u16::try_from(name.len())
+                    .expect("checked in section()")
+                    .to_le_bytes(),
+            );
             out.extend_from_slice(name.as_bytes());
             out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
             out.extend_from_slice(&crc32(payload).to_le_bytes());
@@ -127,6 +141,10 @@ pub struct Snapshot {
     complete: bool,
     /// The whole-file trailer checksum verified.
     file_crc_ok: bool,
+    /// The stored trailer checksum, when the file was long enough to
+    /// carry one — the chain layer binds each delta to this value of its
+    /// predecessor.
+    trailer_crc: Option<u32>,
 }
 
 impl Snapshot {
@@ -168,11 +186,10 @@ impl Snapshot {
 
         // The trailer covers everything before itself; a file shorter than
         // its declared structure simply fails the walk below.
-        let file_crc_ok = bytes.len() >= 4 && {
-            let body = &bytes[..bytes.len() - 4];
-            let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
-            crc32(body) == stored
-        };
+        let trailer_crc = (bytes.len() >= 4)
+            .then(|| u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes")));
+        let file_crc_ok =
+            trailer_crc.is_some_and(|stored| crc32(&bytes[..bytes.len() - 4]) == stored);
 
         let mut sections = Vec::new();
         let mut pos = 16usize;
@@ -194,6 +211,7 @@ impl Snapshot {
             sections,
             complete,
             file_crc_ok,
+            trailer_crc,
         })
     }
 
@@ -202,6 +220,21 @@ impl Snapshot {
     #[must_use]
     pub fn is_complete(&self) -> bool {
         self.complete && self.file_crc_ok
+    }
+
+    /// The trailer checksum stored in the file, if present. This is the
+    /// identity the delta chain binds to: a delta records its
+    /// predecessor's trailer and is rejected when they disagree.
+    #[must_use]
+    pub fn trailer_crc(&self) -> Option<u32> {
+        self.trailer_crc
+    }
+
+    /// True if a section of this name parsed structurally (its payload
+    /// may still fail its checksum — [`Snapshot::section`] decides that).
+    #[must_use]
+    pub fn has_section(&self, name: &str) -> bool {
+        self.sections.iter().any(|s| s.name == name)
     }
 
     /// Names of the sections that parsed structurally, in file order.
@@ -347,10 +380,7 @@ mod tests {
 
     #[test]
     fn write_atomic_replaces_and_leaves_no_tmp() {
-        let dir = std::env::temp_dir().join(format!(
-            "kizzle-snapshot-test-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("kizzle-snapshot-test-{}", std::process::id()));
         fs::create_dir_all(&dir).unwrap();
         let path = dir.join("state.snap");
 

@@ -28,6 +28,11 @@
 //! * [`manifest`] — [`Manifest`]: a `key = value` sidecar describing the
 //!   snapshot (format version, config fingerprint, last day, size,
 //!   checksum) so operators can inspect state without a binary reader.
+//! * [`chain`] — [`ChainWriter`]/[`ChainedSnapshot`]: day-over-day
+//!   incremental persistence. A full *base* file plus deltas of only the
+//!   sections whose content fingerprint changed, recorded in the
+//!   manifest; readers overlay the chain latest-wins and truncate it at
+//!   the first broken delta (resume the base) instead of failing.
 //!
 //! All files are written **atomically**: to a `.tmp` sibling first, synced,
 //! then renamed over the destination — a crash mid-write leaves the
@@ -54,15 +59,33 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chain;
 pub mod codec;
 pub mod container;
 pub mod manifest;
 
+pub use chain::{ChainSave, ChainWriter, ChainedSnapshot};
 pub use codec::{Decoder, Encoder};
 pub use container::{write_atomic, Snapshot, SnapshotBuilder, FORMAT_VERSION};
 pub use manifest::Manifest;
 
 use std::fmt;
+
+/// Anything a loader can pull named sections out of: a single parsed
+/// [`Snapshot`], or the latest-wins overlay of a base→delta
+/// [`ChainedSnapshot`]. Domain loaders are written against this trait so
+/// the same resume code serves both shapes.
+pub trait SectionSource {
+    /// The payload of a named section, checksum-verified — the same
+    /// contract as [`Snapshot::section`].
+    fn section(&self, name: &str) -> Result<&[u8], SnapshotError>;
+}
+
+impl SectionSource for Snapshot {
+    fn section(&self, name: &str) -> Result<&[u8], SnapshotError> {
+        Snapshot::section(self, name)
+    }
+}
 
 /// Everything that can go wrong while writing or reading a snapshot.
 ///
@@ -113,7 +136,10 @@ impl fmt::Display for SnapshotError {
             SnapshotError::Io(err) => write!(f, "snapshot io error: {err}"),
             SnapshotError::BadMagic => write!(f, "not a kizzle snapshot (bad magic)"),
             SnapshotError::VersionSkew { found, expected } => {
-                write!(f, "snapshot format version {found}, this build reads {expected}")
+                write!(
+                    f,
+                    "snapshot format version {found}, this build reads {expected}"
+                )
             }
             SnapshotError::Truncated => write!(f, "snapshot is truncated"),
             SnapshotError::ChecksumMismatch { section } => {
@@ -193,9 +219,14 @@ mod tests {
 
     #[test]
     fn errors_render_helpfully() {
-        let err = SnapshotError::VersionSkew { found: 9, expected: 1 };
+        let err = SnapshotError::VersionSkew {
+            found: 9,
+            expected: 1,
+        };
         assert!(err.to_string().contains("version 9"));
-        let err = SnapshotError::ChecksumMismatch { section: "store".into() };
+        let err = SnapshotError::ChecksumMismatch {
+            section: "store".into(),
+        };
         assert!(err.to_string().contains("store"));
     }
 }

@@ -1,0 +1,138 @@
+//! Property-based tests for the varint / gap-list codec primitives
+//! (ISSUE 4) — the encoding every sorted `SampleId` run in a snapshot now
+//! travels through.
+//!
+//! Contracts:
+//!
+//! 1. **Round trip is identity** for arbitrary `u64`s and arbitrary
+//!    strictly-ascending id sets, across the edges (empty, singleton,
+//!    maximal gap, `u32::MAX`).
+//! 2. **Truncation decodes to a clean error.** Cutting an encoded stream
+//!    at *any* byte offset yields `Truncated`/`Corrupt`, never a panic
+//!    and never a silently short list.
+//! 3. **Gap lists never beat plain `u32`s by losing information** — the
+//!    decoded list is exactly the input, and dense runs actually compress
+//!    (the point of the encoding).
+
+use kizzle_snapshot::{Decoder, Encoder, SnapshotError};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn sorted_ids() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(any::<u32>(), 0..200).prop_map(|raw| {
+        let set: BTreeSet<u32> = raw.into_iter().collect();
+        set.into_iter().collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn varints_roundtrip(values in prop::collection::vec(any::<u64>(), 0..64)) {
+        let mut enc = Encoder::new();
+        for &v in &values {
+            enc.varint(v);
+        }
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        for &v in &values {
+            prop_assert_eq!(dec.varint().unwrap(), v);
+        }
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn gap_lists_roundtrip_arbitrary_sorted_id_sets(ids in sorted_ids()) {
+        let mut enc = Encoder::new();
+        enc.gap_list(&ids);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        prop_assert_eq!(dec.gap_list().unwrap(), ids);
+        dec.finish().unwrap();
+    }
+
+    /// Truncating an encoded gap list at any offset is a clean error:
+    /// either the count itself is cut, or the ids run out early. Nothing
+    /// panics, and no prefix ever decodes to a *full-length* list.
+    #[test]
+    fn truncated_gap_lists_error_cleanly(ids in sorted_ids()) {
+        let mut enc = Encoder::new();
+        enc.gap_list(&ids);
+        let bytes = enc.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut dec = Decoder::new(&bytes[..cut]);
+            match dec.gap_list() {
+                Err(SnapshotError::Truncated) | Err(SnapshotError::Corrupt(_)) => {}
+                Err(other) => prop_assert!(false, "unexpected error {:?} at cut {}", other, cut),
+                Ok(decoded) => prop_assert!(
+                    false,
+                    "truncated stream decoded {} ids at cut {} of {}",
+                    decoded.len(),
+                    cut,
+                    bytes.len()
+                ),
+            }
+        }
+    }
+
+    /// Same for bare varints: every proper prefix of an encoded varint is
+    /// `Truncated`, never a value and never a panic.
+    #[test]
+    fn truncated_varints_error_cleanly(value in any::<u64>()) {
+        let mut enc = Encoder::new();
+        enc.varint(value);
+        let bytes = enc.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut dec = Decoder::new(&bytes[..cut]);
+            prop_assert!(matches!(dec.varint(), Err(SnapshotError::Truncated)));
+        }
+    }
+
+    /// Arbitrary foreign bytes fed to the gap-list decoder never panic —
+    /// they decode to some list or to a clean error.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let mut dec = Decoder::new(&bytes);
+        match dec.gap_list() {
+            Ok(ids) => {
+                // Whatever decoded must honor the structural invariant.
+                for pair in ids.windows(2) {
+                    prop_assert!(pair[0] < pair[1], "decoded list not strictly ascending");
+                }
+            }
+            Err(SnapshotError::Truncated) | Err(SnapshotError::Corrupt(_)) => {}
+            Err(other) => prop_assert!(false, "unexpected error {:?}", other),
+        }
+    }
+}
+
+#[test]
+fn edge_lists_roundtrip() {
+    for ids in [
+        vec![],
+        vec![0],
+        vec![u32::MAX],
+        vec![0, u32::MAX],               // maximal single gap
+        (0..1000).collect::<Vec<u32>>(), // maximal density
+    ] {
+        let mut enc = Encoder::new();
+        enc.gap_list(&ids);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.gap_list().unwrap(), ids);
+        dec.finish().unwrap();
+    }
+}
+
+#[test]
+fn dense_runs_compress() {
+    let dense: Vec<u32> = (10_000..20_000).collect();
+    let mut enc = Encoder::new();
+    enc.gap_list(&dense);
+    // 10,000 ids in ~1 byte each (plus count + first id) vs 40,000 bytes
+    // as plain u32s.
+    assert!(
+        enc.len() < 10_100,
+        "dense gap list took {} bytes",
+        enc.len()
+    );
+}

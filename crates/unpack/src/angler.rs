@@ -100,7 +100,10 @@ mod tests {
     fn hex_chunk_predicate() {
         assert!(is_hex_chunk("00ff12ab"));
         assert!(!is_hex_chunk("00ff12a"), "odd length");
-        assert!(!is_hex_chunk("00FF12AB"), "uppercase is not produced by the packer");
+        assert!(
+            !is_hex_chunk("00FF12AB"),
+            "uppercase is not produced by the packer"
+        );
         assert!(!is_hex_chunk("short"));
     }
 }

@@ -204,8 +204,8 @@ mod tests {
         for family in KitFamily::ALL {
             for day in [1, 8, 13, 20, 27, 31] {
                 let html = sample(family, day, u64::from(day) * 31);
-                let unpacked = unpack(family, &html)
-                    .unwrap_or_else(|e| panic!("{family} 8/{day}: {e}"));
+                let unpacked =
+                    unpack(family, &html).unwrap_or_else(|e| panic!("{family} 8/{day}: {e}"));
                 assert!(
                     unpacked.contains("PluginProbe"),
                     "{family} 8/{day}: payload body missing"

@@ -155,7 +155,10 @@ mod tests {
         let key: String = ('!'..='~').filter(|c| *c != '"' && *c != '\\').collect();
         let js = format!("var k = \"{key}\";");
         let err = unpack(&js).unwrap_err();
-        assert_eq!(err, UnpackError::MissingComponent("Nuclear encoded payload"));
+        assert_eq!(
+            err,
+            UnpackError::MissingComponent("Nuclear encoded payload")
+        );
     }
 
     #[test]

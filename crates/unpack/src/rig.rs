@@ -47,7 +47,8 @@ pub fn unpack(js: &str) -> Result<String> {
         .filter(|lit| {
             lit.previous.as_deref() == Some("(")
                 && is_digits_and(&lit.value, &delimiter)
-                && (lit.value.len() >= MIN_CHUNK_LEN || lit.value.chars().any(|c| c.is_ascii_digit()))
+                && (lit.value.len() >= MIN_CHUNK_LEN
+                    || lit.value.chars().any(|c| c.is_ascii_digit()))
         })
         .map(|lit| lit.value.as_str())
         .collect();
@@ -68,7 +69,10 @@ mod tests {
 
     /// A hand-written miniature of the paper's Fig. 4(a).
     fn figure_4a(payload: &str, delim: &str) -> String {
-        let encoded: String = payload.chars().map(|c| format!("{}{delim}", c as u32)).collect();
+        let encoded: String = payload
+            .chars()
+            .map(|c| format!("{}{delim}", c as u32))
+            .collect();
         let (a, b) = encoded.split_at(encoded.len() / 2);
         format!(
             r#"var buffer="";

@@ -86,7 +86,10 @@ mod tests {
     fn hand_written_sample_decodes() {
         let payload = "var player = document.getElementById(\"vid\"); player.play();";
         let delim = "bEW";
-        let encoded: String = payload.chars().map(|c| format!("{}{delim}", c as u32)).collect();
+        let encoded: String = payload
+            .chars()
+            .map(|c| format!("{}{delim}", c as u32))
+            .collect();
         let js = format!(
             "var ar = [];\nar.push(\"{encoded}\");\nfunction dec() {{\n  var ok = ar.join(\"\").split(\"{delim}\");\n  var s = \"\";\n  for (var q = Math.sqrt(0); q < ok.length - Math.sqrt(1); q++) {{ s += String.fromCharCode(parseInt(ok[q], 10)); }}\n  return s;\n}}\nwindow[\"ev\" + \"al\"](dec());"
         );
@@ -103,6 +106,9 @@ mod tests {
     fn missing_chunks_is_reported() {
         let js = "var ok = x.split(\"bEW\"); var y = 1;";
         let err = unpack(js).unwrap_err();
-        assert_eq!(err, UnpackError::MissingComponent("Sweet Orange encoded chunks"));
+        assert_eq!(
+            err,
+            UnpackError::MissingComponent("Sweet Orange encoded chunks")
+        );
     }
 }

@@ -344,7 +344,10 @@ mod tests {
         let cfg = WinnowConfig::default();
         let mut family = Fingerprint::of_text(BODY, &cfg);
         let before = family.len();
-        let other = Fingerprint::of_text("var unrelatedcode = somethingcompletelydifferent(12345);", &cfg);
+        let other = Fingerprint::of_text(
+            "var unrelatedcode = somethingcompletelydifferent(12345);",
+            &cfg,
+        );
         family.merge(&other);
         assert_eq!(family.len(), before + other.len());
         // The merged reference still fully contains the original sample.

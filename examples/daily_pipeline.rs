@@ -30,6 +30,7 @@ struct Args {
     state_dir: Option<PathBuf>,
     restart_each_day: bool,
     window_cluster: bool,
+    compact_every: usize,
 }
 
 fn parse_args() -> Args {
@@ -40,6 +41,7 @@ fn parse_args() -> Args {
         state_dir: None,
         restart_each_day: false,
         window_cluster: false,
+        compact_every: kizzle::DEFAULT_MAX_DELTAS,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -56,13 +58,19 @@ fn parse_args() -> Args {
             "--state-dir" => args.state_dir = Some(PathBuf::from(value("--state-dir"))),
             "--restart-each-day" => args.restart_each_day = true,
             "--window-cluster" => args.window_cluster = true,
+            "--compact-every" => {
+                args.compact_every = parse(&value("--compact-every"), "--compact-every");
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: daily_pipeline [--days N] [--samples-per-day M] [--seed S]\n\
-                     \x20                     [--state-dir DIR [--restart-each-day]] [--window-cluster]\n\
+                     \x20                     [--state-dir DIR [--restart-each-day] [--compact-every N]]\n\
+                     \x20                     [--window-cluster]\n\
                      defaults: --days 7 --samples-per-day 150 --seed 11\n\
-                     --state-dir DIR       persist compiler state (snapshot + MANIFEST) after each day\n\
+                     --state-dir DIR       persist compiler state (snapshot chain + MANIFEST) after each day\n\
                      --restart-each-day    drop + reload the compiler between days (cron simulation)\n\
+                     --compact-every N     rewrite the full base once the chain holds N delta files\n\
+                     \x20                     (0 = full snapshot every day); default 6\n\
                      --window-cluster      also cluster the whole retention window each day"
                 );
                 std::process::exit(0);
@@ -95,6 +103,7 @@ fn main() {
     let mut config = EvalConfig::quick(args.seed);
     config.stream.samples_per_day = args.samples_per_day;
     config.window_cluster = args.window_cluster;
+    config.compact_every = args.compact_every;
     let mut end = config.start;
     for _ in 1..args.days {
         end = end.next();
@@ -107,7 +116,10 @@ fn main() {
     let result = match (&args.state_dir, args.restart_each_day) {
         (None, _) => evaluation.run(),
         (Some(dir), false) => {
-            eprintln!("persisting compiler state to {} after each day", dir.display());
+            eprintln!(
+                "persisting compiler state to {} after each day",
+                dir.display()
+            );
             evaluation.run_persisting(dir)
         }
         (Some(dir), true) => {
@@ -159,6 +171,20 @@ fn main() {
             fragmented.join("; ")
         );
     }
+
+    // Timings go to stderr: the stdout table must stay byte-comparable
+    // between the long-lived and restart-each-day runs (CI diffs them).
+    let clustering_total: f64 = result.days.iter().map(|d| d.clustering_seconds).sum();
+    let prototype_total: f64 = result.days.iter().map(|d| d.prototype_seconds).sum();
+    eprintln!(
+        "clustering wall clock: {clustering_total:.3}s total, of which final prototype pass \
+         {prototype_total:.3}s ({:.0}%)",
+        if clustering_total > 0.0 {
+            prototype_total / clustering_total * 100.0
+        } else {
+            0.0
+        }
+    );
 
     let kizzle = result.kizzle_total();
     let av = result.av_total();

@@ -76,5 +76,7 @@ fn main() {
             (GroundTruth::Benign, None) => {}
         }
     }
-    println!("\nsame-day scan: {detected} detected, {missed} missed, {false_positives} false positives");
+    println!(
+        "\nsame-day scan: {detected} detected, {missed} missed, {false_positives} false positives"
+    );
 }

@@ -52,7 +52,10 @@ fn inspect_snapshot(path: &str) {
         set.labels().join(", ")
     );
     for labeled in set.iter() {
-        println!("=== [{}] {} (support {}) ===", labeled.label, labeled.signature.name, labeled.signature.support);
+        println!(
+            "=== [{}] {} (support {}) ===",
+            labeled.label, labeled.signature.name, labeled.signature.support
+        );
         describe(&labeled.signature);
         println!();
     }
@@ -86,7 +89,11 @@ fn main() {
             })
             .collect();
 
-        match generate_signature(&format!("{}.sig1", family.short_code()), &samples, &config.signature) {
+        match generate_signature(
+            &format!("{}.sig1", family.short_code()),
+            &samples,
+            &config.signature,
+        ) {
             Ok(sig) => {
                 println!("=== {family} ===");
                 describe(&sig);

@@ -4,9 +4,7 @@
 use kizzle::{KizzleCompiler, KizzleConfig, ReferenceCorpus};
 use kizzle_avsim::{AvConfig, AvEngine};
 use kizzle_cluster::{DbscanParams, DistributedClusterer, DistributedConfig};
-use kizzle_corpus::{
-    GraywareStream, GroundTruth, KitFamily, KitModel, SimDate, StreamConfig,
-};
+use kizzle_corpus::{GraywareStream, GroundTruth, KitFamily, KitModel, SimDate, StreamConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -55,14 +53,14 @@ fn packed_samples_cluster_by_family_at_the_paper_threshold() {
         })
         .collect();
 
-    let clusterer = DistributedClusterer::new(DistributedConfig::new(
-        2,
-        DbscanParams::new(0.10, 3),
-        1,
-    ));
+    let clusterer =
+        DistributedClusterer::new(DistributedConfig::new(2, DbscanParams::new(0.10, 3), 1));
     let (clustering, _) = clusterer.cluster_token_strings(&token_strings);
     assert!(clustering.is_partition());
-    assert!(clustering.cluster_count() >= 3, "expected at least 3 clusters");
+    assert!(
+        clustering.cluster_count() >= 3,
+        "expected at least 3 clusters"
+    );
     // Every cluster must be pure with respect to the ground truth label.
     for cluster in &clustering.clusters {
         let labels: std::collections::HashSet<_> =
@@ -216,7 +214,10 @@ fn resigning_after_a_packer_rotation_restores_detection() {
     let sigs_after_d20 = compiler.signatures().len();
     assert!(sigs_after_d20 > 0);
     let (hits, malicious) = detection(&compiler, &day20);
-    assert!(hits * 2 > malicious, "{hits}/{malicious} on the signing day");
+    assert!(
+        hits * 2 > malicious,
+        "{hits}/{malicious} on the signing day"
+    );
 
     // Day after the rotation: re-process, detection recovers the same day.
     let d23 = SimDate::new(2014, 8, 23);

@@ -27,7 +27,9 @@ fn nuclear_evolution_matches_the_figure_5_narrative() {
     // Payload evolution is append-only: the CVE set never shrinks.
     let mut previous = 0usize;
     for date in SimDate::evolution_start().range_inclusive(SimDate::evaluation_end()) {
-        let count = kizzle_corpus::KitState::on_date(KitFamily::Nuclear, date).cves.len();
+        let count = kizzle_corpus::KitState::on_date(KitFamily::Nuclear, date)
+            .cves
+            .len();
         assert!(count >= previous, "payload shrank on {date}");
         previous = count;
     }
@@ -47,7 +49,11 @@ fn unpacked_similarity_shape_matches_figure_11() {
         )
     };
     let avg = |series: &[kizzle_eval::similarity::SimilarityPoint]| {
-        series.iter().map(|p| p.max_overlap_with_history).sum::<f64>() / series.len() as f64
+        series
+            .iter()
+            .map(|p| p.max_overlap_with_history)
+            .sum::<f64>()
+            / series.len() as f64
     };
     let nuclear = avg(&window(KitFamily::Nuclear));
     let angler = avg(&window(KitFamily::Angler));
@@ -56,8 +62,14 @@ fn unpacked_similarity_shape_matches_figure_11() {
     assert!(nuclear > 0.95, "Nuclear {nuclear:.2}");
     assert!(angler > 0.95, "Angler {angler:.2}");
     assert!(sweet > 0.8, "Sweet Orange {sweet:.2}");
-    assert!(rig < nuclear && rig < angler && rig < sweet, "RIG must be the outlier");
-    assert!(rig < 0.85, "RIG {rig:.2} should churn far more than the others");
+    assert!(
+        rig < nuclear && rig < angler && rig < sweet,
+        "RIG must be the outlier"
+    );
+    assert!(
+        rig < 0.85,
+        "RIG {rig:.2} should churn far more than the others"
+    );
 }
 
 /// Fig. 15: the representative false positive is a PluginDetect file with a

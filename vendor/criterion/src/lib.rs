@@ -205,6 +205,37 @@ fn report(name: &str, samples: &[Duration]) {
         fmt_duration(max),
         samples.len()
     );
+    write_machine_readable(name, mean, min, max, samples.len());
+}
+
+/// When `KIZZLE_BENCH_OUT` names a file, every benchmark result is also
+/// appended there as one JSON object per line — the machine-readable feed
+/// the CI perf-regression gate (`kizzle-bench`'s `bench_check` binary)
+/// compares against its committed thresholds. Append semantics let several
+/// bench binaries share one output file within a CI job.
+fn write_machine_readable(name: &str, mean: Duration, min: Duration, max: Duration, n: usize) {
+    let Ok(path) = std::env::var("KIZZLE_BENCH_OUT") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let line = format!(
+        "{{\"name\":\"{}\",\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{}}}\n",
+        name.replace('\\', "\\\\").replace('"', "\\\""),
+        mean.as_nanos(),
+        min.as_nanos(),
+        max.as_nanos(),
+        n
+    );
+    let appended = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| std::io::Write::write_all(&mut file, line.as_bytes()));
+    if let Err(err) = appended {
+        eprintln!("criterion: cannot append to KIZZLE_BENCH_OUT={path}: {err}");
+    }
 }
 
 fn fmt_duration(d: Duration) -> String {

@@ -12,6 +12,33 @@ pub trait Strategy {
 
     /// Draw one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every generated value through `f`, mirroring
+    /// `proptest::strategy::Strategy::prop_map`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {

@@ -45,7 +45,10 @@ impl<'a> Parser<'a> {
     }
 
     fn unsupported(&self, what: &str) -> ! {
-        panic!("proptest stand-in: unsupported regex {what} in pattern {:?}", self.pattern)
+        panic!(
+            "proptest stand-in: unsupported regex {what} in pattern {:?}",
+            self.pattern
+        )
     }
 
     /// Parse alternatives until end of input or an unconsumed `)`.
@@ -61,7 +64,9 @@ impl<'a> Parser<'a> {
                 _ => {
                     let atom = self.atom();
                     let (min, max) = self.quantifier();
-                    alts.last_mut().expect("at least one alternative").push((atom, min, max));
+                    alts.last_mut()
+                        .expect("at least one alternative")
+                        .push((atom, min, max));
                 }
             }
         }
@@ -82,17 +87,16 @@ impl<'a> Parser<'a> {
                 Some('P') | Some('p') => {
                     // `\PC` / `\p{...}`-style: consume the category name.
                     match self.chars.next() {
-                        Some('{') => {
-                            while self.chars.next().is_some_and(|c| c != '}') {}
-                        }
+                        Some('{') => while self.chars.next().is_some_and(|c| c != '}') {},
                         Some(_) => {}
                         None => self.unsupported("dangling \\P"),
                     }
                     Node::Printable
                 }
-                Some(c @ ('.' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '*' | '+' | '?' | '\\' | '-' | '^' | '$')) => {
-                    Node::Literal(c)
-                }
+                Some(
+                    c @ ('.' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '*' | '+' | '?' | '\\'
+                    | '-' | '^' | '$'),
+                ) => Node::Literal(c),
                 Some('n') => Node::Literal('\n'),
                 Some('t') => Node::Literal('\t'),
                 other => self.unsupported(&format!("escape \\{other:?}")),
@@ -136,7 +140,10 @@ impl<'a> Parser<'a> {
                     }
                 }
                 Some('\\') => {
-                    let c = self.chars.next().unwrap_or_else(|| self.unsupported("dangling class escape"));
+                    let c = self
+                        .chars
+                        .next()
+                        .unwrap_or_else(|| self.unsupported("dangling class escape"));
                     if let Some(p) = pending.replace(c) {
                         ranges.push((p, p));
                     }
@@ -223,12 +230,18 @@ fn generate(node: &Node, rng: &mut TestRng, out: &mut String) {
             }
         }
         Node::Class(ranges) => {
-            let total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+            let total: u32 = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                .sum();
             let mut pick = rng.inner().gen_range(0..total);
             for (lo, hi) in ranges {
                 let span = *hi as u32 - *lo as u32 + 1;
                 if pick < span {
-                    out.push(char::from_u32(*lo as u32 + pick).expect("class range stays in valid chars"));
+                    out.push(
+                        char::from_u32(*lo as u32 + pick)
+                            .expect("class range stays in valid chars"),
+                    );
                     return;
                 }
                 pick -= span;
@@ -241,7 +254,9 @@ fn generate(node: &Node, rng: &mut TestRng, out: &mut String) {
             if rng.inner().gen_bool(0.05) {
                 out.push(MULTIBYTE[rng.inner().gen_range(0..MULTIBYTE.len())]);
             } else {
-                out.push(char::from_u32(rng.inner().gen_range(0x20u32..0x7F)).expect("printable ASCII"));
+                out.push(
+                    char::from_u32(rng.inner().gen_range(0x20u32..0x7F)).expect("printable ASCII"),
+                );
             }
         }
     }
@@ -318,12 +333,15 @@ mod tests {
     #[test]
     fn class_with_trailing_literal_dash() {
         all_match("[a-zA-Z0-9#@ _.%-]{1,64}", |s| {
-            s.chars().all(|c| c.is_ascii_alphanumeric() || "#@ _.%-".contains(c))
+            s.chars()
+                .all(|c| c.is_ascii_alphanumeric() || "#@ _.%-".contains(c))
         });
     }
 
     #[test]
     fn space_to_tilde_covers_ascii_printable() {
-        all_match("[ -~]{0,300}", |s| s.chars().all(|c| (' '..='~').contains(&c)));
+        all_match("[ -~]{0,300}", |s| {
+            s.chars().all(|c| (' '..='~').contains(&c))
+        });
     }
 }

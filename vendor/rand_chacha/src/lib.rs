@@ -140,6 +140,9 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1234);
         let ones: u32 = (0..1000).map(|_| rng.next_u64().count_ones()).sum();
         let total = 64_000;
-        assert!((total / 2 - 2000..total / 2 + 2000).contains(&ones), "ones = {ones}");
+        assert!(
+            (total / 2 - 2000..total / 2 + 2000).contains(&ones),
+            "ones = {ones}"
+        );
     }
 }

@@ -46,9 +46,19 @@ where
     F: Fn(usize, &'a T) -> R + Sync,
 {
     let n = items.len();
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    // `KIZZLE_RAYON_THREADS` overrides the pool width — how the benches
+    // measure serial vs pooled codec paths on the same machine (real rayon
+    // reads RAYON_NUM_THREADS; the kizzle-specific name avoids surprising
+    // anyone swapping the genuine crate back in).
+    let threads = std::env::var("KIZZLE_RAYON_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
         .min(n);
     if threads <= 1 || IN_WORKER.with(Cell::get) {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();

@@ -111,7 +111,8 @@ fn parse_target(input: &TokenStream) -> Target {
                     current.push(trees[i].clone());
                 }
                 TokenTree::Punct(p)
-                    if p.as_char() == '>' && closes_bracket(i.checked_sub(1).map(|k| &trees[k])) =>
+                    if p.as_char() == '>'
+                        && closes_bracket(i.checked_sub(1).map(|k| &trees[k])) =>
                 {
                     depth -= 1;
                     if depth == 0 {
@@ -194,5 +195,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 /// Derive a no-op `serde::Deserialize` marker impl.
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    marker_impl(&parse_target(&input), "serde::Deserialize<'de>", Some("'de"))
+    marker_impl(
+        &parse_target(&input),
+        "serde::Deserialize<'de>",
+        Some("'de"),
+    )
 }
