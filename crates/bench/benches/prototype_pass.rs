@@ -1,0 +1,134 @@
+//! The reduce epilogue's final prototype pass, before/after ISSUE 5.
+//!
+//! PR 4 stamped `finish_reduce`'s `compute_prototypes` as
+//! `prototype_time` and found it dominating large-cluster days: a serial
+//! loop over clusters, each a capped all-pairs medoid scan. ISSUE 5
+//! routes it through the rayon pool with early-abandoned partial sums —
+//! answer-identical (asserted below), so the gain is pure.
+//!
+//! * `serial_allpairs` — the PR 4 behavior, kept as the ungated baseline.
+//! * `parallel_early_abandon` — `Clustering::compute_prototypes` as
+//!   shipped (gated in `thresholds.json`).
+//!
+//! `KIZZLE_BENCH_SAMPLES` scales the day (default 1000).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kizzle_bench::synthetic_day_class_strings;
+use kizzle_cluster::distance::normalized_edit_distance_bounded;
+use kizzle_cluster::{DbscanParams, DistributedClusterer, DistributedConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+const EPS: f64 = 0.10;
+
+fn day_size() -> usize {
+    std::env::var("KIZZLE_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000)
+}
+
+/// The pre-ISSUE-5 pass: serial over clusters, exhaustive capped all-pairs
+/// medoid per cluster (no early abandon).
+fn serial_allpairs(
+    members_per_cluster: &[Vec<usize>],
+    samples: &[Vec<u8>],
+    distance: impl Fn(&Vec<u8>, &Vec<u8>) -> f64,
+) -> Vec<Option<usize>> {
+    members_per_cluster
+        .iter()
+        .map(|members| {
+            if members.is_empty() {
+                return None;
+            }
+            if members.len() == 1 {
+                return Some(members[0]);
+            }
+            let cap = 64;
+            let pool: Vec<usize> = if members.len() > cap {
+                let step = members.len() / cap;
+                members.iter().step_by(step.max(1)).copied().collect()
+            } else {
+                members.clone()
+            };
+            let mut best = pool[0];
+            let mut best_sum = f64::INFINITY;
+            for &cand in &pool {
+                let sum: f64 = pool
+                    .iter()
+                    .filter(|&&other| other != cand)
+                    .map(|&other| distance(&samples[cand], &samples[other]))
+                    .sum();
+                if sum < best_sum {
+                    best_sum = sum;
+                    best = cand;
+                }
+            }
+            Some(best)
+        })
+        .collect()
+}
+
+fn bench_prototype_pass(c: &mut Criterion) {
+    let n = day_size();
+    let samples = synthetic_day_class_strings(n, 900);
+    let distance =
+        |a: &Vec<u8>, b: &Vec<u8>| normalized_edit_distance_bounded(a, b, EPS).unwrap_or(1.0);
+
+    // One clustered day's member lists — the exact input finish_reduce
+    // hands to the prototype pass.
+    let cfg = DistributedConfig::new(4, DbscanParams::new(EPS, 4), 0);
+    let (clustering, _) = DistributedClusterer::new(cfg).cluster_token_strings(&samples);
+    assert!(clustering.cluster_count() > 0, "day must form clusters");
+    let members: Vec<Vec<usize>> = clustering
+        .clusters
+        .iter()
+        .map(|cl| cl.members.clone())
+        .collect();
+
+    // Answer-identity: the shipped pass picks the same medoids the
+    // exhaustive serial scan does.
+    let want = serial_allpairs(&members, &samples, distance);
+    let mut check = kizzle_cluster::Clustering::from_members(
+        members.clone(),
+        clustering.noise.clone(),
+        samples.len(),
+    );
+    check.compute_prototypes(&samples, distance);
+    let got: Vec<Option<usize>> = check.clusters.iter().map(|cl| cl.prototype).collect();
+    assert_eq!(want, got, "optimized pass changed a medoid");
+
+    let mut group = c.benchmark_group("prototype");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8))
+        .warm_up_time(Duration::from_secs(1));
+
+    group.bench_with_input(
+        BenchmarkId::new("serial_allpairs", n),
+        &members,
+        |b, members| {
+            b.iter(|| black_box(serial_allpairs(members, &samples, distance)));
+        },
+    );
+
+    group.bench_with_input(
+        BenchmarkId::new("parallel_early_abandon", n),
+        &members,
+        |b, members| {
+            b.iter(|| {
+                let mut clustering = kizzle_cluster::Clustering::from_members(
+                    members.clone(),
+                    Vec::new(),
+                    samples.len(),
+                );
+                clustering.compute_prototypes(&samples, distance);
+                black_box(clustering.clusters.last().and_then(|cl| cl.prototype))
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_prototype_pass);
+criterion_main!(benches);

@@ -5,6 +5,7 @@
 //! the prototype, and generates one signature per malicious cluster.
 
 use crate::dbscan::{DbscanResult, Label};
+use rayon::prelude::*;
 
 /// A single cluster of sample indices.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -44,6 +45,17 @@ impl Cluster {
     /// over an evenly-spaced subsample to bound the quadratic cost; this is
     /// the same engineering concession a production deployment makes, and
     /// the medoid of a tight cluster is insensitive to it.
+    ///
+    /// Candidates are **early-abandoned**, which requires `distance` to be
+    /// **non-negative** (every in-repo distance is in `[0, 1]`): a
+    /// candidate whose partial sum already reaches the best full sum cannot
+    /// win, and the rest of its row is skipped. A signed "distance" breaks
+    /// that pruning argument — a negative later term could bring the full
+    /// sum back under — and may silently select a different medoid than the
+    /// exhaustive scan would. For non-negative distances the selected
+    /// medoid is identical to the exhaustive scan (ties resolve to the
+    /// earliest pool member either way), but on tight clusters — where one
+    /// good candidate appears early — most rows stop after a few terms.
     pub fn compute_prototype<T, D>(
         &mut self,
         samples: &[T],
@@ -53,35 +65,55 @@ impl Cluster {
     where
         D: Fn(&T, &T) -> f64,
     {
-        if self.members.is_empty() {
-            return None;
-        }
-        if self.members.len() == 1 {
-            self.prototype = Some(self.members[0]);
-            return self.prototype;
-        }
-        let pool: Vec<usize> = if self.members.len() > sample_cap && sample_cap > 0 {
-            let step = self.members.len() / sample_cap;
-            self.members.iter().step_by(step.max(1)).copied().collect()
-        } else {
-            self.members.clone()
-        };
-        let mut best = pool[0];
-        let mut best_sum = f64::INFINITY;
-        for &cand in &pool {
-            let sum: f64 = pool
-                .iter()
-                .filter(|&&other| other != cand)
-                .map(|&other| distance(&samples[cand], &samples[other]))
-                .sum();
-            if sum < best_sum {
-                best_sum = sum;
-                best = cand;
-            }
-        }
-        self.prototype = Some(best);
+        self.prototype = medoid_of(&self.members, samples, &distance, sample_cap);
         self.prototype
     }
+}
+
+/// The medoid scan behind [`Cluster::compute_prototype`], over borrowed
+/// member lists so the parallel pass below needs no scratch clusters.
+fn medoid_of<T, D>(
+    members: &[usize],
+    samples: &[T],
+    distance: &D,
+    sample_cap: usize,
+) -> Option<usize>
+where
+    D: Fn(&T, &T) -> f64,
+{
+    if members.is_empty() {
+        return None;
+    }
+    if members.len() == 1 {
+        return Some(members[0]);
+    }
+    let pool: Vec<usize> = if members.len() > sample_cap && sample_cap > 0 {
+        let step = members.len() / sample_cap;
+        members.iter().step_by(step.max(1)).copied().collect()
+    } else {
+        members.to_vec()
+    };
+    let mut best = pool[0];
+    let mut best_sum = f64::INFINITY;
+    for &cand in &pool {
+        let mut sum = 0.0f64;
+        for &other in &pool {
+            if other == cand {
+                continue;
+            }
+            sum += distance(&samples[cand], &samples[other]);
+            if sum >= best_sum {
+                // A partial sum at or above the incumbent can only grow;
+                // the full sum would lose the strict `<` below too.
+                break;
+            }
+        }
+        if sum < best_sum {
+            best_sum = sum;
+            best = cand;
+        }
+    }
+    Some(best)
 }
 
 /// A full clustering of a sample collection.
@@ -132,13 +164,24 @@ impl Clustering {
         self.clusters.len()
     }
 
-    /// Compute prototypes for every cluster.
+    /// Compute prototypes for every cluster, in parallel: clusters are
+    /// independent, so the per-cluster medoid scans (each capped all-pairs,
+    /// see [`Cluster::compute_prototype`], including its non-negativity
+    /// requirement on `distance`) run through the rayon pool — the final
+    /// prototype pass of a large-cluster day costs the slowest cluster,
+    /// not the sum.
     pub fn compute_prototypes<T, D>(&mut self, samples: &[T], distance: D)
     where
-        D: Fn(&T, &T) -> f64 + Copy,
+        T: Sync,
+        D: Fn(&T, &T) -> f64 + Copy + Sync,
     {
-        for cluster in &mut self.clusters {
-            cluster.compute_prototype(samples, distance, 64);
+        let prototypes: Vec<Option<usize>> = self
+            .clusters
+            .par_iter()
+            .map(|cluster| medoid_of(&cluster.members, samples, &distance, 64))
+            .collect();
+        for (cluster, prototype) in self.clusters.iter_mut().zip(prototypes) {
+            cluster.prototype = prototype;
         }
     }
 

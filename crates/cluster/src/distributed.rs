@@ -1,13 +1,18 @@
 //! Distributed clustering: partition → per-partition DBSCAN → reduce.
 //!
-//! The Kizzle deployment randomly partitions each day's samples across a
-//! cluster of ~50 machines, runs the clustering independently per partition,
-//! and reconciles the partition-level clusters in a final reduce step (paper
+//! The Kizzle deployment partitions each day's samples across a cluster of
+//! ~50 machines, runs the clustering independently per partition, and
+//! reconciles the partition-level clusters in a final reduce step (paper
 //! §III-A, Fig. 7; the reduce step is reported as the scalability
 //! bottleneck in §IV). This module reproduces that dataflow with a
 //! rayon-parallel map: the algorithmic structure — including the
 //! reduce-side reconciliation by prototype distance — is identical, only
-//! the transport differs.
+//! the transport differs. Token-string paths assign partitions by
+//! **content key** ([`partition_key`]): the same sample lands in the same
+//! partition every day regardless of the day's size, which is what lets
+//! per-partition state memoize across the heavily overlapping daily
+//! corpora (the generic callback path, which has no content to key on,
+//! keeps the legacy seeded shuffle).
 //!
 //! Token-string workloads ([`DistributedClusterer::cluster_token_strings`],
 //! the path the daily pipeline takes) are a thin wrapper over the
@@ -17,7 +22,7 @@
 //! multi-day path are literally the same code. The reduce step no longer
 //! reconciles merged prototypes all-pairs: prototype merge edges and noise
 //! re-adoption lookups are routed through a small
-//! [`NeighborIndex`](crate::index::NeighborIndex) (the paper names exactly
+//! [`NeighborIndex`] (the paper names exactly
 //! this reconciliation as its bottleneck), with the reconciliation and
 //! adoption phases timed separately in [`DistributedStats`].
 
@@ -119,9 +124,14 @@ impl DistributedStats {
 pub(crate) type PartitionOutcome = (Vec<Vec<usize>>, Vec<usize>);
 
 /// Seeded random partitioning of `0..n` into at most `partitions` chunks —
-/// shared by the one-shot driver and the warm engine so both see the same
-/// partition assignment for a given day size.
+/// the legacy assignment of the generic distance-callback path, where no
+/// content is available to key on.
 pub(crate) fn partition_indices(n: usize, partitions: usize, seed: u64) -> Vec<Vec<usize>> {
+    if n == 0 {
+        // `chunks` panics on a zero chunk size; an empty day partitions
+        // into nothing.
+        return Vec::new();
+    }
     let mut indices: Vec<usize> = (0..n).collect();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     indices.shuffle(&mut rng);
@@ -129,6 +139,45 @@ pub(crate) fn partition_indices(n: usize, partitions: usize, seed: u64) -> Vec<V
         .chunks(n.div_ceil(partitions))
         .map(<[usize]>::to_vec)
         .collect()
+}
+
+/// Stable 64-bit content key for partition assignment: FNV-1a over the
+/// sample bytes. Deliberately *not* the std hasher — the key must be
+/// identical across processes, platforms and Rust releases, because
+/// partition assignment shapes clustering results that snapshots and CI
+/// golden reports pin byte-for-byte.
+#[must_use]
+pub fn partition_key(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Content-stable partition assignment: sample `i` lands in partition
+/// `mix(keys[i], seed) % partitions`, so the *same content* maps to the
+/// *same partition* on every day, at every day size (the legacy shuffle
+/// re-dealt everything whenever `n` changed). That stability is what lets
+/// per-partition neighborhoods memoize across heavily overlapping days —
+/// the first ROADMAP follow-up from PR 2. Duplicated content shares a key
+/// and therefore a partition; empty partitions are kept (their DBSCAN run
+/// is a no-op) so the outcome count stays `partitions` regardless of the
+/// key distribution.
+pub(crate) fn partition_by_key(keys: &[u64], partitions: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut parts: Vec<Vec<usize>> = vec![Vec::new(); partitions];
+    for (i, &key) in keys.iter().enumerate() {
+        // splitmix64-style finalizer over (key, seed): the raw FNV key is
+        // well-distributed in the low bits but the modulo must also move
+        // when the seed does.
+        let mut h = key ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        parts[(h % partitions as u64) as usize].push(i);
+    }
+    parts
 }
 
 /// Translate a partition-local DBSCAN result back to global sample indices.
@@ -436,16 +485,57 @@ impl DistributedClusterer {
         T: Sync,
         D: Fn(&T, &T) -> f64 + Sync,
     {
+        let t0 = Instant::now();
+        let partitions = partition_indices(samples.len(), self.config.partitions, self.config.seed);
+        self.cluster_partitioned(samples, partitions, t0.elapsed(), distance)
+    }
+
+    /// Like [`DistributedClusterer::cluster_with`], but with the
+    /// content-stable partition assignment: `keys[i]` is the partition key
+    /// of `samples[i]` (see [`partition_key`]), and the assignment depends
+    /// only on `(key, seed, partitions)` — never on the day size. This is
+    /// the partitioning the engine paths use; routing the generic callback
+    /// path through the same keys keeps the two byte-identical (the
+    /// `indexed_path_matches_generic_path` property).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` and `samples` have different lengths.
+    pub fn cluster_with_keys<T, D>(
+        &self,
+        samples: &[T],
+        keys: &[u64],
+        distance: D,
+    ) -> (Clustering, DistributedStats)
+    where
+        T: Sync,
+        D: Fn(&T, &T) -> f64 + Sync,
+    {
+        assert_eq!(samples.len(), keys.len(), "one key per sample");
+        let t0 = Instant::now();
+        let partitions = partition_by_key(keys, self.config.partitions, self.config.seed);
+        self.cluster_partitioned(samples, partitions, t0.elapsed(), distance)
+    }
+
+    /// Shared map + reduce over an already-computed partition assignment.
+    fn cluster_partitioned<T, D>(
+        &self,
+        samples: &[T],
+        partitions: Vec<Vec<usize>>,
+        partition_time: Duration,
+        distance: D,
+    ) -> (Clustering, DistributedStats)
+    where
+        T: Sync,
+        D: Fn(&T, &T) -> f64 + Sync,
+    {
         let mut stats = DistributedStats::default();
         if samples.is_empty() {
             return (Clustering::default(), stats);
         }
+        stats.partition_time = partition_time;
 
         let params = self.config.dbscan;
-        let t0 = Instant::now();
-        let partitions = partition_indices(samples.len(), self.config.partitions, self.config.seed);
-        stats.partition_time = t0.elapsed();
-
         let t1 = Instant::now();
         let outcomes: Vec<PartitionOutcome> = partitions
             .par_iter()
@@ -577,20 +667,75 @@ mod tests {
         // The engine-backed token-string path (memoized index queries,
         // index-routed reduce) must produce the same clustering as routing
         // the bounded distance through the generic callback path (what the
-        // seed implementation did).
+        // seed implementation did), given the same content-keyed partition
+        // assignment.
         let (mut samples, _) = synthetic_samples(7);
         samples.push((0..40).map(|i| (i % 3) as u8 + 6).collect());
         samples.push(Vec::new());
+        let keys: Vec<u64> = samples.iter().map(|s| partition_key(s)).collect();
         for partitions in [1, 3, 5] {
             let cfg = DistributedConfig::new(partitions, DbscanParams::new(0.10, 2), 11);
             let clusterer = DistributedClusterer::new(cfg);
             let (indexed, _) = clusterer.cluster_token_strings(&samples);
             let eps = cfg.dbscan.eps;
-            let (generic, _) = clusterer.cluster_with(&samples, |a: &Vec<u8>, b: &Vec<u8>| {
-                crate::distance::normalized_edit_distance_bounded(a, b, eps).unwrap_or(1.0)
-            });
+            let (generic, _) =
+                clusterer.cluster_with_keys(&samples, &keys, |a: &Vec<u8>, b: &Vec<u8>| {
+                    crate::distance::normalized_edit_distance_bounded(a, b, eps).unwrap_or(1.0)
+                });
             assert_eq!(indexed, generic, "partitions = {partitions}");
         }
+    }
+
+    #[test]
+    fn partition_assignment_is_content_stable() {
+        // The same content must land in the same partition regardless of
+        // how many *other* samples share the day — the property that lets
+        // per-partition state memoize across overlapping days.
+        let (samples, _) = synthetic_samples(6);
+        let keys: Vec<u64> = samples.iter().map(|s| partition_key(s)).collect();
+        let partitions = 4;
+        let seed = 42;
+        let full = partition_by_key(&keys, partitions, seed);
+        let part_of = |parts: &[Vec<usize>], i: usize| {
+            parts
+                .iter()
+                .position(|p| p.contains(&i))
+                .expect("every index assigned")
+        };
+        // Drop half the day: the survivors keep their partitions.
+        let survivors: Vec<usize> = (0..samples.len()).filter(|i| i % 2 == 0).collect();
+        let kept_keys: Vec<u64> = survivors.iter().map(|&i| keys[i]).collect();
+        let reduced = partition_by_key(&kept_keys, partitions, seed);
+        for (new_pos, &old_pos) in survivors.iter().enumerate() {
+            assert_eq!(
+                part_of(&full, old_pos),
+                part_of(&reduced, new_pos),
+                "sample {old_pos} moved partitions when the day shrank"
+            );
+        }
+        // The seed still matters: a different seed deals a different hand
+        // for at least one sample (overwhelmingly likely at this size).
+        let reseeded = partition_by_key(&keys, partitions, seed ^ 0xDEAD);
+        assert_ne!(full, reseeded);
+        // Duplicated content shares a partition by construction.
+        let dup_keys = vec![keys[0], keys[1], keys[0]];
+        let dup = partition_by_key(&dup_keys, partitions, seed);
+        assert_eq!(part_of(&dup, 0), part_of(&dup, 2));
+    }
+
+    #[test]
+    fn empty_input_clusters_to_nothing_on_every_path() {
+        let cfg = DistributedConfig::new(3, DbscanParams::new(0.10, 2), 5);
+        let clusterer = DistributedClusterer::new(cfg);
+        let none: &[Vec<u8>] = &[];
+        let (clustering, _) =
+            clusterer.cluster_with(none, |a, b| crate::normalized_edit_distance(a, b));
+        assert_eq!(clustering, Clustering::default());
+        let (clustering, _) =
+            clusterer.cluster_with_keys(none, &[], |a, b| crate::normalized_edit_distance(a, b));
+        assert_eq!(clustering, Clustering::default());
+        let (clustering, _) = clusterer.cluster_token_strings::<Vec<u8>>(&[]);
+        assert_eq!(clustering, Clustering::default());
     }
 
     #[test]

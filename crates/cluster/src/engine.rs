@@ -24,7 +24,7 @@
 use crate::clustering::Clustering;
 use crate::dbscan::dbscan_with_neighborhoods;
 use crate::distributed::{
-    partition_indices, partition_outcome, reduce_token, DistributedConfig, DistributedStats,
+    partition_by_key, partition_outcome, reduce_token, DistributedConfig, DistributedStats,
     PartitionOutcome,
 };
 use crate::index::NeighborIndex;
@@ -420,10 +420,18 @@ impl CorpusEngine {
             })
             .collect();
 
-        // Partition and cluster each partition on its induced subgraph —
+        // Partition by content key — the same class-string lands in the
+        // same partition every day (content-stable, not an `n`-dependent
+        // shuffle) — and cluster each partition on its induced subgraph,
         // the same label computation a fresh per-partition index performs.
         let t0 = Instant::now();
-        let partitions = partition_indices(n, self.config.partitions, self.config.seed);
+        // Keys were hashed once at store-insert; the daily pass is O(n)
+        // lookups, not O(total bytes) re-hashing.
+        let keys: Vec<u64> = day_ids
+            .iter()
+            .map(|&id| self.store.partition_key(id).expect("day id is live"))
+            .collect();
+        let partitions = partition_by_key(&keys, self.config.partitions, self.config.seed);
         stats.partition_time = t0.elapsed();
 
         let outcomes: Vec<PartitionOutcome> = partitions

@@ -20,7 +20,7 @@
 //! * [`engine`] — the [`CorpusEngine`]: store + index threaded through
 //!   consecutive days, clustering any day view byte-identically to a cold
 //!   one-shot run while only the churned fraction pays query cost.
-//! * [`dbscan`] — a generic DBSCAN over any distance function, plus the
+//! * [`dbscan`](mod@dbscan) — a generic DBSCAN over any distance function, plus the
 //!   indexed variant that is label-identical and vastly faster on token
 //!   strings.
 //! * [`clustering`] — cluster bookkeeping: members, medoid prototypes,
@@ -67,7 +67,7 @@ pub use distance::{
     edit_distance, edit_distance_bitparallel_bounded, edit_distance_bounded,
     normalized_edit_distance, BitParallelPattern,
 };
-pub use distributed::{DistributedClusterer, DistributedConfig, DistributedStats};
+pub use distributed::{partition_key, DistributedClusterer, DistributedConfig, DistributedStats};
 pub use engine::{CorpusEngine, ResumeReport, ENGINE_CHAIN_PREFIX, INDEX_SECTION, STORE_SECTION};
 pub use index::{IndexStats, NeighborIndex};
 pub use store::{CorpusStore, SampleId};

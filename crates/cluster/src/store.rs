@@ -50,6 +50,10 @@ struct StoreEntry {
     data: Arc<[u8]>,
     stamp: u64,
     hash: u64,
+    /// Content-stable partition key ([`crate::partition_key`]), computed
+    /// once here — content is immutable per id, so the daily partitioning
+    /// pass looks keys up instead of re-hashing every live sample.
+    key: u64,
 }
 
 /// Owns token class-strings under stable [`SampleId`]s, with content
@@ -123,6 +127,13 @@ impl CorpusStore {
         self.slots.get(id.raw() as usize)?.as_ref().map(|e| e.stamp)
     }
 
+    /// The content-stable partition key of `id`, if live — computed once
+    /// at insert ([`crate::partition_key`] over the sample bytes).
+    #[must_use]
+    pub fn partition_key(&self, id: SampleId) -> Option<u64> {
+        self.slots.get(id.raw() as usize)?.as_ref().map(|e| e.key)
+    }
+
     /// Add a sample, deduplicating by content.
     ///
     /// If a live entry already holds identical bytes, its stamp is raised to
@@ -154,6 +165,7 @@ impl CorpusStore {
             data: Arc::from(data),
             stamp,
             hash,
+            key: crate::partition_key(data),
         });
         self.by_hash.entry(hash).or_default().push(slot);
         self.live += 1;
@@ -291,6 +303,7 @@ impl CorpusStore {
                 data: Arc::from(&data[..]),
                 stamp,
                 hash,
+                key: crate::partition_key(&data),
             });
         }
         for &slot in &free {

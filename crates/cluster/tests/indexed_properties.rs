@@ -145,7 +145,8 @@ proptest! {
 
     /// The distributed token-string driver (indexed per-partition engine)
     /// produces the same clustering as the generic callback driver the
-    /// seed used, for any partition count and seed.
+    /// seed used, for any partition count and seed, given the same
+    /// content-keyed partition assignment.
     #[test]
     fn distributed_indexed_matches_generic(
         samples in prop::collection::vec(token_string(), 0..20),
@@ -155,7 +156,8 @@ proptest! {
         let cfg = DistributedConfig::new(partitions, DbscanParams::new(0.10, 2), seed);
         let clusterer = DistributedClusterer::new(cfg);
         let (indexed, _) = clusterer.cluster_token_strings(&samples);
-        let (generic, _) = clusterer.cluster_with(&samples, |a: &Vec<u8>, b: &Vec<u8>| {
+        let keys: Vec<u64> = samples.iter().map(|s| kizzle_cluster::partition_key(s)).collect();
+        let (generic, _) = clusterer.cluster_with_keys(&samples, &keys, |a: &Vec<u8>, b: &Vec<u8>| {
             normalized_edit_distance_bounded(a, b, 0.10).unwrap_or(1.0)
         });
         prop_assert_eq!(&indexed, &generic);

@@ -1,5 +1,13 @@
 //! Pipeline configuration.
+//!
+//! [`KizzleConfig::paper`] and [`KizzleConfig::fast`] are the two curated
+//! operating points; everything else goes through
+//! [`KizzleConfig::builder`], whose setters are validated at
+//! [`KizzleConfigBuilder::build`] — the typed replacement for mutating
+//! flat struct literals and hoping [`KizzleConfig::validated`] doesn't
+//! panic later.
 
+use crate::error::KizzleError;
 use kizzle_cluster::{DbscanParams, DistributedConfig};
 use kizzle_signature::SignatureConfig;
 use kizzle_winnow::WinnowConfig;
@@ -70,26 +78,170 @@ impl KizzleConfig {
         }
     }
 
+    /// Start from the paper's operating point and adjust fields through
+    /// validated setters; [`KizzleConfigBuilder::build`] returns
+    /// [`KizzleError::Config`] instead of panicking on a bad combination.
+    #[must_use]
+    pub fn builder() -> KizzleConfigBuilder {
+        KizzleConfigBuilder {
+            config: KizzleConfig::paper(),
+        }
+    }
+
+    /// Validate invariants that cross module boundaries, returning the
+    /// configuration unchanged when they hold and
+    /// [`KizzleError::Config`] naming the violated invariant otherwise.
+    /// Every service entry point (`new`/`open`/`load`) and the panicking
+    /// [`KizzleConfig::validated`] run the same checks, so a config that
+    /// was hand-mutated past the builder still cannot reach the pipeline
+    /// invalid.
+    pub fn validate(self) -> Result<Self, KizzleError> {
+        let fail = |what: &str| Err(KizzleError::Config(what.to_string()));
+        if self.clustering.partitions < 1 {
+            return fail("at least one partition is required");
+        }
+        if !(self.clustering.dbscan.eps > 0.0 && self.clustering.dbscan.eps < 1.0) {
+            return fail("eps must be in (0, 1)");
+        }
+        if self.clustering.dbscan.min_points < 1 {
+            return fail("min_points must be >= 1");
+        }
+        if !(self.label_threshold > 0.0 && self.label_threshold <= 1.0) {
+            return fail("label_threshold must be in (0, 1]");
+        }
+        if self.token_cap < self.signature.max_tokens {
+            return fail("token_cap must be at least the signature token cap");
+        }
+        if self.min_cluster_size < 1 {
+            return fail("min_cluster_size must be >= 1");
+        }
+        if self.retention_days < 1 {
+            return fail("retention_days must be >= 1");
+        }
+        Ok(self)
+    }
+
     /// Validate invariants that cross module boundaries.
     ///
     /// # Panics
     ///
     /// Panics if the label threshold is outside `(0, 1]`, the token cap is
     /// smaller than the signature cap, the minimum cluster size is zero, or
-    /// the retention window is zero.
+    /// the retention window is zero. [`KizzleConfig::validate`] is the
+    /// non-panicking form.
     #[must_use]
     pub fn validated(self) -> Self {
-        assert!(
-            self.label_threshold > 0.0 && self.label_threshold <= 1.0,
-            "label_threshold must be in (0, 1]"
-        );
-        assert!(
-            self.token_cap >= self.signature.max_tokens,
-            "token_cap must be at least the signature token cap"
-        );
-        assert!(self.min_cluster_size >= 1, "min_cluster_size must be >= 1");
-        assert!(self.retention_days >= 1, "retention_days must be >= 1");
+        match self.validate() {
+            Ok(config) => config,
+            Err(err) => panic!("{err}"),
+        }
+    }
+}
+
+/// Builder for [`KizzleConfig`], created by [`KizzleConfig::builder`].
+///
+/// Starts from [`KizzleConfig::paper`]; every setter adjusts one knob and
+/// [`KizzleConfigBuilder::build`] validates the combination. Field-level
+/// range errors (a zero partition count, a negative eps) surface from
+/// `build` as [`KizzleError::Config`] rather than panicking mid-setter, so
+/// a service can refuse a bad config file gracefully.
+///
+/// ```
+/// use kizzle::{KizzleConfig, KizzleError};
+///
+/// let config = KizzleConfig::builder()
+///     .partitions(8)
+///     .eps(0.10)
+///     .retention_days(5)
+///     .token_cap(700)
+///     .build()?;
+/// assert_eq!(config.retention_days, 5);
+///
+/// // Invariants are checked at build time:
+/// let err = KizzleConfig::builder().retention_days(0).build().unwrap_err();
+/// assert!(matches!(err, KizzleError::Config(_)));
+/// # Ok::<(), KizzleError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct KizzleConfigBuilder {
+    config: KizzleConfig,
+}
+
+impl KizzleConfigBuilder {
+    /// Number of clustering partitions ("machines").
+    #[must_use]
+    pub fn partitions(mut self, partitions: usize) -> Self {
+        self.config.clustering.partitions = partitions;
         self
+    }
+
+    /// DBSCAN neighborhood radius (the paper runs at 0.10).
+    #[must_use]
+    pub fn eps(mut self, eps: f64) -> Self {
+        self.config.clustering.dbscan.eps = eps;
+        self
+    }
+
+    /// DBSCAN core-point threshold.
+    #[must_use]
+    pub fn min_points(mut self, min_points: usize) -> Self {
+        self.config.clustering.dbscan.min_points = min_points;
+        self
+    }
+
+    /// Seed of the content-key partition mix (reproducibility knob).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.clustering.seed = seed;
+        self
+    }
+
+    /// Maximum tokens per sample used for clustering.
+    #[must_use]
+    pub fn token_cap(mut self, token_cap: usize) -> Self {
+        self.config.token_cap = token_cap;
+        self
+    }
+
+    /// Minimum cluster size before a signature is generated.
+    #[must_use]
+    pub fn min_cluster_size(mut self, min_cluster_size: usize) -> Self {
+        self.config.min_cluster_size = min_cluster_size;
+        self
+    }
+
+    /// Days of samples the warm engine retains (including the current one).
+    #[must_use]
+    pub fn retention_days(mut self, retention_days: usize) -> Self {
+        self.config.retention_days = retention_days;
+        self
+    }
+
+    /// Winnowing parameters for cluster labeling.
+    #[must_use]
+    pub fn winnow(mut self, winnow: WinnowConfig) -> Self {
+        self.config.winnow = winnow;
+        self
+    }
+
+    /// Winnow-overlap threshold above which a prototype labels a family.
+    #[must_use]
+    pub fn label_threshold(mut self, label_threshold: f64) -> Self {
+        self.config.label_threshold = label_threshold;
+        self
+    }
+
+    /// Signature generation parameters.
+    #[must_use]
+    pub fn signature(mut self, signature: SignatureConfig) -> Self {
+        self.config.signature = signature;
+        self
+    }
+
+    /// Validate the accumulated configuration (the same checks as
+    /// [`KizzleConfig::validate`]).
+    pub fn build(self) -> Result<KizzleConfig, KizzleError> {
+        self.config.validate()
     }
 }
 

@@ -23,36 +23,80 @@
 //! The active set is cumulative across days, which is what gives Kizzle its
 //! same-day response to packer churn (the paper's Fig. 12).
 //!
-//! ## Example
+//! ## The service façade
+//!
+//! The deployment is two-sided — a slow compiler re-clustering daily, a
+//! fast matcher scanning live traffic — and the public API mirrors that:
+//! [`KizzleService`] owns the warm compiler, [`KizzleService::begin_day`]
+//! opens a streaming [`DaySession`] that ingests mini-batches as they
+//! arrive, and [`KizzleService::matcher`] hands out cloneable
+//! `Send + Sync` [`Matcher`] read handles that keep scanning — lock-free
+//! in the steady state — while a day seals, picking up each newly
+//! published signature set atomically. Configuration goes through
+//! [`KizzleConfig::builder`], and every fallible operation returns the
+//! unified [`KizzleError`]. The one-object [`KizzleCompiler`] survives
+//! underneath (and [`KizzleCompiler::process_day`] is now a thin wrapper
+//! over the same session phases) for harnesses that want the monolith.
+//!
+//! ## Quickstart
 //!
 //! ```
-//! use kizzle::{KizzleCompiler, KizzleConfig, ReferenceCorpus};
+//! use kizzle::prelude::*;
 //! use kizzle_corpus::{GraywareStream, SimDate, StreamConfig};
 //!
+//! // Seed with known, unpacked kits and start the service.
 //! let date = SimDate::new(2014, 8, 5);
-//! let reference = ReferenceCorpus::seeded_from_models(date, &KizzleConfig::default());
-//! let mut compiler = KizzleCompiler::new(KizzleConfig::fast(), reference);
+//! let config = KizzleConfig::fast();
+//! let reference = ReferenceCorpus::seeded_from_models(date, &config);
+//! let mut service = KizzleService::new(config, reference)?;
 //!
-//! let stream = GraywareStream::new(StreamConfig::small(7));
-//! let day = stream.generate_day(date);
-//! let report = compiler.process_day(date, &day);
+//! // Serving side: a matcher handle per worker thread.
+//! let matcher = service.matcher();
+//!
+//! // Ingest side: one session per day, fed in mini-batches as the
+//! // telemetry arrives; sealing clusters, labels and publishes.
+//! let day = GraywareStream::new(StreamConfig::small(7)).generate_day(date);
+//! let mut session = service.begin_day(date)?;
+//! for batch in day.chunks(16) {
+//!     session.ingest(batch);
+//! }
+//! let report = session.seal();
 //! assert!(report.clusters > 0);
-//! // The signatures generated today already detect today's samples.
-//! let detected = day.iter().filter(|s| compiler.scan(&s.html).is_some()).count();
+//!
+//! // The signatures generated today already detect today's samples —
+//! // through the handle issued before the day was sealed.
+//! let detected = day.iter().filter(|s| matcher.scan(&s.html).is_some()).count();
 //! assert!(detected > 0);
+//! # Ok::<(), KizzleError>(())
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod error;
 pub mod pipeline;
 pub mod reference;
+pub mod service;
 pub mod snapshot;
 
-pub use config::KizzleConfig;
+pub use config::{KizzleConfig, KizzleConfigBuilder};
+pub use error::KizzleError;
 pub use pipeline::{ClusterVerdict, DayReport, KizzleCompiler};
 pub use reference::ReferenceCorpus;
+pub use service::{DaySession, KizzleService, Matcher};
 pub use snapshot::{config_fingerprint, read_signatures, ResumeReport, DEFAULT_MAX_DELTAS};
 
 pub use kizzle_signature::SignatureSet;
+
+pub mod prelude {
+    //! One-line import of the curated service API:
+    //! `use kizzle::prelude::*;`.
+    pub use crate::config::{KizzleConfig, KizzleConfigBuilder};
+    pub use crate::error::KizzleError;
+    pub use crate::pipeline::{ClusterVerdict, DayReport, KizzleCompiler};
+    pub use crate::reference::ReferenceCorpus;
+    pub use crate::service::{DaySession, KizzleService, Matcher};
+    pub use crate::snapshot::ResumeReport;
+    pub use kizzle_signature::SignatureSet;
+}

@@ -163,17 +163,18 @@ impl KizzleCompiler {
     /// Tokenize a document and truncate it to the configured prefix length.
     #[must_use]
     pub fn tokenize_capped(&self, document: &str) -> TokenStream {
-        let stream = kizzle_js::tokenize_document(document);
-        if stream.len() > self.config.token_cap {
-            stream.slice(0, self.config.token_cap)
-        } else {
-            stream
-        }
+        kizzle_js::tokenize_document_capped(document, self.config.token_cap)
     }
 
     /// Process one day of samples: cluster, label, and generate signatures.
     /// The generated signatures are added to the active set immediately
     /// (Kizzle's same-day response).
+    ///
+    /// A thin wrapper over the crate-internal session phases (open →
+    /// ingest → seal) that [`DaySession`](crate::DaySession) drives
+    /// incrementally — here one ingest covers the whole day. The
+    /// mini-batched session produces a byte-identical report
+    /// (property-tested in `tests/service_properties.rs`).
     pub fn process_day(&mut self, date: SimDate, samples: &[Sample]) -> DayReport {
         let streams: Vec<TokenStream> = samples
             .iter()
@@ -196,12 +197,17 @@ impl KizzleCompiler {
             streams.len(),
             "samples and streams must be parallel"
         );
-        let class_strings: Vec<Vec<u8>> = streams.iter().map(TokenStream::class_codes).collect();
+        let stamp = self.open_day(date);
+        let day_ids = self.ingest_streams(stamp, streams);
+        self.seal_day(date, stamp, samples, streams, day_ids)
+    }
 
-        // Thread the day through the warm engine: retire samples that aged
-        // out of the retention window, deposit today's class-strings
-        // (carry-over content becomes a cache hit), and cluster today's
-        // view of the corpus.
+    /// Session phase 1 — open a day: advance the day counter, retire
+    /// samples (and day views) that aged out of the retention window, and
+    /// return the day's stamp. Front half of the old monolithic
+    /// `process_day`, split out so ingest can start before the day's data
+    /// has fully arrived.
+    pub(crate) fn open_day(&mut self, date: SimDate) -> u64 {
         let stamp = u64::try_from(date.absolute_day()).unwrap_or(0);
         self.last_day = Some(date);
         let cutoff = stamp.saturating_sub(self.config.retention_days as u64 - 1);
@@ -211,7 +217,38 @@ impl KizzleCompiler {
         // its own, so every id it holds is still live.
         self.day_views
             .retain(|(view_stamp, _)| *view_stamp >= cutoff);
-        let day_ids = self.engine.add_batch(stamp, &class_strings);
+        stamp
+    }
+
+    /// Session phase 2 — ingest a mini-batch of tokenized streams: deposit
+    /// their class-strings into the warm engine (carry-over content becomes
+    /// a cache hit; fresh content is indexed eagerly, so the day's front
+    /// half amortizes while later batches are still arriving) and return
+    /// the batch's sample ids. Callable any number of times per open day.
+    pub(crate) fn ingest_streams(&mut self, stamp: u64, streams: &[TokenStream]) -> Vec<SampleId> {
+        let class_strings: Vec<Vec<u8>> = streams.iter().map(TokenStream::class_codes).collect();
+        self.engine.add_batch(stamp, &class_strings)
+    }
+
+    /// Session phase 3 — seal the day: record the day view, cluster the
+    /// accumulated ids, label prototypes against the reference corpus, and
+    /// generate signatures. `samples`/`streams`/`day_ids` are the
+    /// position-parallel concatenation of every ingested batch.
+    ///
+    /// Re-sealing a day *replaces* its view: a crashed cron job that
+    /// re-runs the same date (allowed by the service's monotone check)
+    /// must not leave the day counted twice in `cluster_window` or in
+    /// persisted snapshots.
+    pub(crate) fn seal_day(
+        &mut self,
+        date: SimDate,
+        stamp: u64,
+        samples: &[Sample],
+        streams: &[TokenStream],
+        day_ids: Vec<SampleId>,
+    ) -> DayReport {
+        self.day_views
+            .retain(|(view_stamp, _)| *view_stamp != stamp);
         self.day_views.push((stamp, day_ids.clone()));
         let (clustering, stats) = self.engine.cluster_day(&day_ids);
 

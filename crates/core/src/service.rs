@@ -1,0 +1,699 @@
+//! The service façade: session-based streaming ingest on the compiler
+//! side, lock-free cloneable read handles on the serving side.
+//!
+//! The paper's pipeline is explicitly two-sided — a slow compiler that
+//! re-clusters daily and a fast matcher that scans live traffic — but the
+//! pre-façade API was a single `KizzleCompiler` monolith: `process_day`
+//! demanded the whole day up front, and `scan` was unusable while a day
+//! compiled because both borrowed the same object. [`KizzleService`]
+//! splits the two sides:
+//!
+//! * **Ingest** is a session: [`KizzleService::begin_day`] opens a
+//!   [`DaySession`] that accepts mini-batches as they arrive
+//!   ([`DaySession::ingest`] tokenizes, deduplicates and store-inserts
+//!   eagerly, amortizing the day's front half across the arrival window)
+//!   and [`DaySession::seal`] runs cluster → winnow-label → signature
+//!   generation. Sealing is byte-identical to the old single-shot
+//!   `process_day` over the same sample sequence — held to that by the
+//!   property tests in `tests/service_properties.rs` — and
+//!   [`KizzleCompiler::process_day`] survives as a thin wrapper over the
+//!   same phases.
+//! * **Serving** is a handle: [`KizzleService::matcher`] hands out cheap,
+//!   cloneable, `Send + Sync` [`Matcher`]s over an epoch-swapped
+//!   `Arc<SignatureSet>`. Scans keep running against the previous day's
+//!   published set while a seal is in flight and pick up the new set
+//!   atomically at publish — a scan observes the old set or the new set,
+//!   never a torn mixture. The steady-state read path is lock-free: one
+//!   atomic epoch load plus an uncontended per-handle cache; a handle
+//!   touches the shared `RwLock` only on its *first* scan after a publish
+//!   (once a day in production, against a writer that holds it for a
+//!   pointer swap).
+//!
+//! ```
+//! use kizzle::prelude::*;
+//! use kizzle_corpus::{GraywareStream, SimDate, StreamConfig};
+//!
+//! let date = SimDate::new(2014, 8, 5);
+//! let config = KizzleConfig::fast();
+//! let reference = ReferenceCorpus::seeded_from_models(date, &config);
+//! let mut service = KizzleService::new(config, reference)?;
+//!
+//! // Serving side: handles scan concurrently with compilation.
+//! let matcher = service.matcher();
+//!
+//! // Ingest side: the day arrives in mini-batches.
+//! let day = GraywareStream::new(StreamConfig::small(7)).generate_day(date);
+//! let mut session = service.begin_day(date)?;
+//! for batch in day.chunks(16) {
+//!     session.ingest(batch);
+//! }
+//! let report = session.seal();
+//! assert!(report.clusters > 0);
+//!
+//! // The seal published atomically: the pre-existing handle now detects
+//! // today's kits.
+//! let detected = day.iter().filter(|s| matcher.scan(&s.html).is_some()).count();
+//! assert!(detected > 0);
+//! # Ok::<(), KizzleError>(())
+//! ```
+
+use crate::config::KizzleConfig;
+use crate::error::KizzleError;
+use crate::pipeline::{family_from_label, DayReport, KizzleCompiler};
+use crate::reference::ReferenceCorpus;
+use crate::snapshot::ResumeReport;
+use kizzle_cluster::{Clustering, CorpusEngine, DistributedStats, SampleId};
+use kizzle_corpus::{KitFamily, Sample, SimDate};
+use kizzle_js::TokenStream;
+use kizzle_signature::SignatureSet;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// The epoch-swapped publication point shared by a service and every
+/// [`Matcher`] handle it has issued.
+///
+/// The `(epoch, set)` pair lives under one `RwLock`, so a reader never
+/// observes an epoch that disagrees with the set it tags — a writer bumps
+/// both inside the write lock (held only for a counter increment and a
+/// pointer swap). The `epoch_hint` atomic is exactly that, a *hint*: the
+/// lock-free fast path compares it against a handle's cached epoch and
+/// skips the lock entirely when nothing was published. A hint read that
+/// races a publish at worst serves the previous — complete and
+/// consistent — set for one more scan.
+#[derive(Debug)]
+struct Published {
+    epoch_hint: AtomicU64,
+    set: RwLock<(u64, Arc<SignatureSet>)>,
+    /// Token cap the signatures were compiled under; scans truncate
+    /// documents the same way the compiler did.
+    token_cap: usize,
+}
+
+impl Published {
+    fn new(set: SignatureSet, token_cap: usize) -> Self {
+        Published {
+            epoch_hint: AtomicU64::new(0),
+            set: RwLock::new((0, Arc::new(set))),
+            token_cap,
+        }
+    }
+
+    fn publish(&self, set: SignatureSet) {
+        let mut slot = self.set.write().expect("signature publication lock");
+        slot.0 += 1;
+        slot.1 = Arc::new(set);
+        self.epoch_hint.store(slot.0, Ordering::Release);
+    }
+
+    fn load(&self) -> (u64, Arc<SignatureSet>) {
+        let slot = self.set.read().expect("signature publication lock");
+        (slot.0, Arc::clone(&slot.1))
+    }
+}
+
+/// The two-sided Kizzle service: session-based streaming ingest over the
+/// warm [`KizzleCompiler`], and [`Matcher`] read handles over the
+/// epoch-swapped published signature set. See the [module docs](self) for
+/// the full picture and a usage example.
+#[derive(Debug)]
+pub struct KizzleService {
+    compiler: KizzleCompiler,
+    shared: Arc<Published>,
+}
+
+impl KizzleService {
+    /// Create a service from a validated configuration and a seeded
+    /// reference corpus. Returns [`KizzleError::Config`] instead of
+    /// panicking when the configuration violates an invariant.
+    pub fn new(config: KizzleConfig, reference: ReferenceCorpus) -> Result<Self, KizzleError> {
+        let config = config.validate()?;
+        Ok(KizzleService::from_compiler(KizzleCompiler::new(
+            config, reference,
+        )))
+    }
+
+    /// Wrap an existing compiler (e.g. one restored by
+    /// [`KizzleCompiler::load_state`]), publishing its current signature
+    /// set as epoch 0.
+    #[must_use]
+    pub fn from_compiler(compiler: KizzleCompiler) -> Self {
+        let shared = Arc::new(Published::new(
+            compiler.signatures().clone(),
+            compiler.config().token_cap,
+        ));
+        KizzleService { compiler, shared }
+    }
+
+    /// Load persisted service state from `state_dir`, or start fresh when
+    /// no usable snapshot exists (`reference` seeds the fresh service; it
+    /// is a closure because seeding winnow-fingerprints every kit model —
+    /// a cost the warm path must not pay). The cron-job entry point; the
+    /// report says which resume rung was reached.
+    pub fn open(
+        state_dir: &Path,
+        config: KizzleConfig,
+        reference: impl FnOnce() -> ReferenceCorpus,
+    ) -> Result<(Self, ResumeReport), KizzleError> {
+        let config = config.validate()?;
+        let (compiler, report) = KizzleCompiler::load_or_new(state_dir, config, reference);
+        Ok((KizzleService::from_compiler(compiler), report))
+    }
+
+    /// Load persisted service state, refusing to start without it. Unlike
+    /// [`KizzleService::open`] this propagates every load failure —
+    /// [`KizzleError::ConfigFingerprint`] when the snapshot was written
+    /// under a different configuration, [`KizzleError::Snapshot`] for
+    /// damage.
+    pub fn load(
+        state_dir: &Path,
+        config: KizzleConfig,
+    ) -> Result<(Self, ResumeReport), KizzleError> {
+        let (compiler, report) = KizzleCompiler::load_state(state_dir, config)?;
+        Ok((KizzleService::from_compiler(compiler), report))
+    }
+
+    /// Persist the complete service state into `state_dir` as the next
+    /// link of the snapshot chain (see [`KizzleCompiler::save_state`]).
+    pub fn save(&self, state_dir: &Path) -> Result<(), KizzleError> {
+        self.compiler.save_state(state_dir)
+    }
+
+    /// Like [`KizzleService::save`] with an explicit chain-compaction
+    /// cadence (`max_deltas == 0` writes a full snapshot every time).
+    pub fn save_compacting(&self, state_dir: &Path, max_deltas: usize) -> Result<(), KizzleError> {
+        self.compiler.save_state_compacting(state_dir, max_deltas)
+    }
+
+    /// Open a streaming ingest session for `date`. Mini-batches go in via
+    /// [`DaySession::ingest`]; [`DaySession::seal`] compiles and publishes.
+    ///
+    /// Returns [`KizzleError::Ingest`] when `date` precedes the last
+    /// opened day — the retention window and day views are keyed on a
+    /// monotone day counter, so replaying the past would silently corrupt
+    /// the warm state. (Re-running the *same* date is allowed: a crashed
+    /// cron job may legitimately re-run a day.)
+    ///
+    /// `begin_day` itself is free of side effects: the day cursor only
+    /// advances — and samples aged out of the retention window are only
+    /// retired — on the session's **first non-empty ingest** (or at seal,
+    /// for an empty day). A session dropped before ingesting anything therefore
+    /// leaves the warm state untouched; once a batch has been ingested the
+    /// day is committed (its stamped samples are live in the store) and
+    /// abandoning the session no longer rolls that back.
+    pub fn begin_day(&mut self, date: SimDate) -> Result<DaySession<'_>, KizzleError> {
+        self.check_monotone(date)?;
+        Ok(DaySession {
+            service: self,
+            date,
+            stamp: None,
+            samples: Vec::new(),
+            streams: Vec::new(),
+            day_ids: Vec::new(),
+        })
+    }
+
+    fn check_monotone(&self, date: SimDate) -> Result<(), KizzleError> {
+        if let Some(last) = self.compiler.last_processed_day() {
+            if date < last {
+                return Err(KizzleError::Ingest(format!(
+                    "day {date} precedes the last opened day {last}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Single-shot convenience: process the whole day through the same
+    /// phases the session drives (no buffering — the samples are borrowed
+    /// straight through the compiler) and publish the grown set.
+    /// Byte-identical to mini-batched ingest of the same sequence.
+    pub fn process_day(
+        &mut self,
+        date: SimDate,
+        samples: &[Sample],
+    ) -> Result<DayReport, KizzleError> {
+        self.check_monotone(date)?;
+        let report = self.compiler.process_day(date, samples);
+        self.shared.publish(self.compiler.signatures().clone());
+        Ok(report)
+    }
+
+    /// Like [`KizzleService::process_day`] with already tokenized streams
+    /// (the evaluation harness tokenizes once and shares the streams
+    /// between Kizzle and its metrics). `samples` and `streams` must be
+    /// parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn process_day_tokenized(
+        &mut self,
+        date: SimDate,
+        samples: &[Sample],
+        streams: &[TokenStream],
+    ) -> Result<DayReport, KizzleError> {
+        self.check_monotone(date)?;
+        let report = self.compiler.process_day_tokenized(date, samples, streams);
+        self.shared.publish(self.compiler.signatures().clone());
+        Ok(report)
+    }
+
+    /// A cheap, cloneable, `Send + Sync` read handle over the published
+    /// signature set. Handles stay valid for the life of the process —
+    /// they keep scanning the previous set lock-free while a seal is in
+    /// flight and observe each publication atomically.
+    #[must_use]
+    pub fn matcher(&self) -> Matcher {
+        let cached = self.shared.load();
+        Matcher {
+            shared: Arc::clone(&self.shared),
+            cached: Mutex::new(cached),
+        }
+    }
+
+    /// The signatures the service has published so far (the compiler-side
+    /// view; [`Matcher::signatures`] is the serving-side snapshot).
+    #[must_use]
+    pub fn signatures(&self) -> &SignatureSet {
+        self.compiler.signatures()
+    }
+
+    /// The reference corpus (grows as labeled clusters are absorbed).
+    #[must_use]
+    pub fn reference(&self) -> &ReferenceCorpus {
+        self.compiler.reference()
+    }
+
+    /// The warm corpus engine (live store size, index state) — exposed for
+    /// observability and tests.
+    #[must_use]
+    pub fn engine(&self) -> &CorpusEngine {
+        self.compiler.engine()
+    }
+
+    /// The pipeline configuration.
+    #[must_use]
+    pub fn config(&self) -> &KizzleConfig {
+        self.compiler.config()
+    }
+
+    /// The last *opened* day, if any (advanced by a session's first ingest
+    /// or a single-shot `process_day`, even when the session is later
+    /// abandoned without sealing) — the date [`KizzleService::begin_day`]'s
+    /// monotone check compares against. Survives snapshot save/load.
+    #[must_use]
+    pub fn last_processed_day(&self) -> Option<SimDate> {
+        self.compiler.last_processed_day()
+    }
+
+    /// Cluster the entire retention window as one batch (the multi-day
+    /// eval mode) — see [`KizzleCompiler::cluster_window`].
+    pub fn cluster_window(&mut self) -> (Clustering, DistributedStats) {
+        self.compiler.cluster_window()
+    }
+
+    /// Borrow the underlying compiler (escape hatch for evaluation
+    /// harnesses that need pipeline internals the façade does not carry).
+    #[must_use]
+    pub fn compiler(&self) -> &KizzleCompiler {
+        &self.compiler
+    }
+
+    /// Unwrap the service back into its compiler.
+    #[must_use]
+    pub fn into_compiler(self) -> KizzleCompiler {
+        self.compiler
+    }
+}
+
+/// A streaming ingest session for one day, opened by
+/// [`KizzleService::begin_day`].
+///
+/// Mini-batches are tokenized, deduplicated and store-inserted **eagerly**
+/// on [`DaySession::ingest`] — by the time the day's tail arrives, its
+/// front half has already been indexed, so [`DaySession::seal`] pays only
+/// clustering, labeling and signature generation. The first *non-empty*
+/// ingest also *opens* the day (advances the day cursor, retires samples
+/// that aged out of the retention window); dropping a session before that
+/// first ingest is a complete no-op. Dropping it afterwards abandons the day:
+/// already-ingested samples stay in the warm store (where retention will
+/// age them out) but no clustering runs, no day view is recorded and
+/// nothing is published.
+///
+/// The session buffers its own copy of every ingested sample and token
+/// stream until seal — cluster member indices are day-positional, and
+/// labeling/signature generation need the originals — so a session's
+/// memory footprint is one day of traffic on top of the warm store. An
+/// owned/`Arc`-shared ingest variant that drops the copy is a noted
+/// ROADMAP follow-up alongside the async frontend.
+#[derive(Debug)]
+pub struct DaySession<'a> {
+    service: &'a mut KizzleService,
+    date: SimDate,
+    /// Set when the day has been opened (first ingest, or seal of an
+    /// empty day) — the point after which the day is committed.
+    stamp: Option<u64>,
+    samples: Vec<Sample>,
+    streams: Vec<TokenStream>,
+    day_ids: Vec<SampleId>,
+}
+
+impl DaySession<'_> {
+    /// The day this session ingests.
+    #[must_use]
+    pub fn date(&self) -> SimDate {
+        self.date
+    }
+
+    /// Number of samples ingested so far.
+    #[must_use]
+    pub fn ingested(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Open the day on first use: advance the day cursor and run the
+    /// retention sweep, exactly as single-shot `process_day` does before
+    /// its adds.
+    fn open_stamp(&mut self) -> u64 {
+        match self.stamp {
+            Some(stamp) => stamp,
+            None => {
+                let stamp = self.service.compiler.open_day(self.date);
+                self.stamp = Some(stamp);
+                stamp
+            }
+        }
+    }
+
+    /// Ingest a mini-batch: tokenize each sample (capped at the configured
+    /// prefix), deposit the class-strings into the warm engine (duplicate
+    /// content — intra-day or carried over from recent days — dedups onto
+    /// the live entry), and index fresh content immediately.
+    pub fn ingest(&mut self, samples: &[Sample]) {
+        let streams: Vec<TokenStream> = samples
+            .iter()
+            .map(|s| self.service.compiler.tokenize_capped(&s.html))
+            .collect();
+        self.ingest_tokenized(samples, &streams);
+    }
+
+    /// Like [`DaySession::ingest`] with already tokenized streams (the
+    /// evaluation harness tokenizes once and shares the streams between
+    /// Kizzle and its metrics). `samples` and `streams` must be parallel.
+    ///
+    /// An empty batch is a no-op: it does **not** open the day, so a
+    /// frontend that flushes on a timer and sends empty ticks never
+    /// commits a day (or runs its retention sweep) ahead of real traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn ingest_tokenized(&mut self, samples: &[Sample], streams: &[TokenStream]) {
+        assert_eq!(
+            samples.len(),
+            streams.len(),
+            "samples and streams must be parallel"
+        );
+        if samples.is_empty() {
+            return;
+        }
+        let stamp = self.open_stamp();
+        let ids = self.service.compiler.ingest_streams(stamp, streams);
+        self.samples.extend_from_slice(samples);
+        self.streams.extend_from_slice(streams);
+        self.day_ids.extend(ids);
+    }
+
+    /// Seal the day: cluster the accumulated samples, label cluster
+    /// prototypes against the reference corpus, generate signatures for
+    /// malicious clusters, and **publish** the grown signature set to
+    /// every [`Matcher`] handle atomically. Byte-identical to single-shot
+    /// [`KizzleCompiler::process_day`] over the same sample sequence.
+    ///
+    /// Sealing is an explicit commit even when nothing was ingested: a
+    /// quiet cron day still advances the day cursor and runs the retention
+    /// sweep, exactly like `process_day(date, &[])`. Only *implicit*
+    /// empty ticks ([`DaySession::ingest`] of an empty batch) are no-ops —
+    /// don't call `seal` on a session you meant to abandon.
+    #[must_use = "the day report is the output of the whole session"]
+    pub fn seal(mut self) -> DayReport {
+        let stamp = self.open_stamp();
+        let DaySession {
+            service,
+            date,
+            samples,
+            streams,
+            day_ids,
+            ..
+        } = self;
+        let report = service
+            .compiler
+            .seal_day(date, stamp, &samples, &streams, day_ids);
+        service
+            .shared
+            .publish(service.compiler.signatures().clone());
+        report
+    }
+}
+
+/// A cheap, cloneable, `Send + Sync` read handle over the service's
+/// published signature set, issued by [`KizzleService::matcher`].
+///
+/// Scanning is lock-free in the steady state: each scan is one atomic
+/// epoch load plus an uncontended per-handle mutex around the cached
+/// `Arc`. When a seal publishes a new set, the next scan on each handle
+/// notices the epoch moved and refreshes its cache under the shared read
+/// lock — held by the writer only for the duration of a pointer swap. A
+/// scan therefore always runs against one complete, immutable set: the
+/// previous day's until publication, the new one after, never a torn
+/// mixture.
+///
+/// Clone one handle per worker thread; clones share the publication point
+/// but each carries its own cache, so workers never contend with each
+/// other.
+#[derive(Debug)]
+pub struct Matcher {
+    shared: Arc<Published>,
+    cached: Mutex<(u64, Arc<SignatureSet>)>,
+}
+
+impl Clone for Matcher {
+    fn clone(&self) -> Self {
+        let cached = self.shared.load();
+        Matcher {
+            shared: Arc::clone(&self.shared),
+            cached: Mutex::new(cached),
+        }
+    }
+}
+
+impl Matcher {
+    /// The current published `(epoch, set)` pair, refreshing the handle's
+    /// cache if the epoch hint says a publication happened since the last
+    /// call. One cache lock per call; the pair is always consistent
+    /// because it is read as a unit from the shared slot.
+    fn current_pair(&self) -> (u64, Arc<SignatureSet>) {
+        let hint = self.shared.epoch_hint.load(Ordering::Acquire);
+        let mut cached = self.cached.lock().expect("matcher cache lock");
+        if cached.0 != hint {
+            *cached = self.shared.load();
+        }
+        (cached.0, Arc::clone(&cached.1))
+    }
+
+    /// Scan an already tokenized sample against the published signatures.
+    #[must_use]
+    pub fn scan_stream(&self, stream: &TokenStream) -> Option<KitFamily> {
+        self.current_pair()
+            .1
+            .scan_stream(stream)
+            .and_then(|hit| family_from_label(&hit.label))
+    }
+
+    /// Scan a raw document against the published signatures, tokenizing
+    /// with the same prefix cap the compiler used.
+    #[must_use]
+    pub fn scan(&self, document: &str) -> Option<KitFamily> {
+        self.scan_stream(&kizzle_js::tokenize_document_capped(
+            document,
+            self.shared.token_cap,
+        ))
+    }
+
+    /// A consistent snapshot of the published set — stays valid (and
+    /// unchanged) however many publications happen after.
+    #[must_use]
+    pub fn signatures(&self) -> Arc<SignatureSet> {
+        self.current_pair().1
+    }
+
+    /// The publication epoch of the set this handle currently scans with
+    /// (0 until the first seal). Monotone; mostly useful in tests and
+    /// metrics.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.current_pair().0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kizzle_corpus::{GraywareStream, StreamConfig};
+
+    fn test_service() -> KizzleService {
+        let config = KizzleConfig::fast();
+        let reference = ReferenceCorpus::seeded_from_models(SimDate::new(2014, 8, 1), &config);
+        KizzleService::new(config, reference).expect("fast config is valid")
+    }
+
+    fn test_day(date: SimDate, seed: u64) -> Vec<Sample> {
+        let config = StreamConfig {
+            samples_per_day: 48,
+            malicious_fraction: 0.5,
+            family_weights: vec![
+                (KitFamily::Angler, 0.4),
+                (KitFamily::Nuclear, 0.3),
+                (KitFamily::SweetOrange, 0.3),
+            ],
+            seed,
+        };
+        GraywareStream::new(config).generate_day(date)
+    }
+
+    #[test]
+    fn mini_batched_session_matches_single_shot() {
+        let date = SimDate::new(2014, 8, 5);
+        let day = test_day(date, 3);
+
+        let mut single = test_service();
+        let want = single.process_day(date, &day).expect("day processes");
+
+        let mut batched = test_service();
+        let mut session = batched.begin_day(date).expect("day opens");
+        for chunk in day.chunks(7) {
+            session.ingest(chunk);
+        }
+        assert_eq!(session.ingested(), day.len());
+        let got = session.seal();
+
+        let normalize = |mut report: DayReport| {
+            report.clustering_stats = Default::default();
+            report
+        };
+        assert_eq!(normalize(want), normalize(got));
+        assert_eq!(single.signatures(), batched.signatures());
+        assert_eq!(single.engine().len(), batched.engine().len());
+    }
+
+    #[test]
+    fn matcher_picks_up_the_seal_atomically() {
+        let mut service = test_service();
+        let matcher = service.matcher();
+        assert_eq!(matcher.epoch(), 0);
+        assert!(matcher.signatures().is_empty());
+
+        let date = SimDate::new(2014, 8, 5);
+        let day = test_day(date, 4);
+        // A handle cloned before the seal...
+        let clone = matcher.clone();
+        let report = service.process_day(date, &day).expect("day processes");
+        assert!(!report.new_signatures.is_empty());
+        // ...sees the published set afterwards without being re-issued.
+        assert_eq!(matcher.epoch(), 1);
+        assert_eq!(clone.epoch(), 1);
+        assert_eq!(matcher.signatures().len(), service.signatures().len());
+        let detected = day.iter().filter(|s| clone.scan(&s.html).is_some()).count();
+        assert!(detected > 0);
+    }
+
+    #[test]
+    fn out_of_order_day_is_refused() {
+        let mut service = test_service();
+        let d2 = SimDate::new(2014, 8, 6);
+        service
+            .process_day(d2, &test_day(d2, 3))
+            .expect("day processes");
+        let err = service.begin_day(SimDate::new(2014, 8, 5)).unwrap_err();
+        assert!(matches!(err, KizzleError::Ingest(_)), "err: {err}");
+        // The same day again is fine (cron re-run after a crash).
+        assert!(service.begin_day(d2).is_ok());
+    }
+
+    #[test]
+    fn session_dropped_before_first_ingest_is_a_no_op() {
+        let mut service = test_service();
+        let d1 = SimDate::new(2014, 8, 6);
+        service
+            .process_day(d1, &test_day(d1, 3))
+            .expect("day processes");
+        let live_before = service.engine().len();
+
+        // A mistaken far-future open, dropped before any ingest: the day
+        // cursor has not advanced and the retention sweep has not run.
+        // Empty batches — a frontend flushing on a timer with no traffic —
+        // must not open the day either.
+        let far = SimDate::new(2014, 9, 20);
+        {
+            let mut session = service.begin_day(far).expect("monotone date opens");
+            session.ingest(&[]);
+            session.ingest_tokenized(&[], &[]);
+            assert_eq!(session.ingested(), 0);
+        }
+        assert_eq!(service.last_processed_day(), Some(d1));
+        assert_eq!(service.engine().len(), live_before, "retention swept early");
+
+        // The next legitimate day is therefore still accepted.
+        let d2 = SimDate::new(2014, 8, 7);
+        let report = service.process_day(d2, &test_day(d2, 4)).expect("day 2");
+        assert!(report.clusters > 0);
+    }
+
+    #[test]
+    fn abandoned_session_publishes_nothing() {
+        let mut service = test_service();
+        let matcher = service.matcher();
+        let date = SimDate::new(2014, 8, 5);
+        let day = test_day(date, 3);
+        {
+            let mut session = service.begin_day(date).expect("day opens");
+            session.ingest(&day);
+            // dropped without seal
+        }
+        assert_eq!(matcher.epoch(), 0);
+        assert!(service.signatures().is_empty());
+        // The abandoned samples sit in the warm store until retention ages
+        // them out; re-running the day dedups onto them and seals normally.
+        let report = service.process_day(date, &day).expect("day processes");
+        assert!(report.clusters > 0);
+        assert_eq!(matcher.epoch(), 1);
+    }
+
+    #[test]
+    fn re_sealing_a_day_replaces_its_window_view() {
+        // The crash-recovery flow: the same date sealed twice (allowed by
+        // the monotone check) must not double-count the day in the
+        // retention-window clustering.
+        let mut service = test_service();
+        let date = SimDate::new(2014, 8, 5);
+        let day = test_day(date, 3);
+        service.process_day(date, &day).expect("first seal");
+        let (first, _) = service.cluster_window();
+        service.process_day(date, &day).expect("re-run seal");
+        let (second, _) = service.cluster_window();
+        assert_eq!(first.sample_count, second.sample_count);
+        assert_eq!(first.cluster_count(), second.cluster_count());
+    }
+
+    #[test]
+    fn invalid_config_is_a_typed_error() {
+        let mut config = KizzleConfig::fast();
+        config.retention_days = 0;
+        let reference =
+            ReferenceCorpus::seeded_from_models(SimDate::new(2014, 8, 1), &KizzleConfig::fast());
+        let err = KizzleService::new(config, reference).unwrap_err();
+        assert!(matches!(err, KizzleError::Config(_)), "err: {err}");
+        assert!(err.to_string().contains("retention_days"));
+    }
+}

@@ -41,6 +41,7 @@
 //! exactly as if no snapshot existed.
 
 use crate::config::KizzleConfig;
+use crate::error::KizzleError;
 use crate::pipeline::KizzleCompiler;
 use crate::reference::ReferenceCorpus;
 use kizzle_cluster::CorpusEngine;
@@ -342,7 +343,7 @@ impl KizzleCompiler {
     /// Persist the complete compiler state into `state_dir` with the
     /// default compaction cadence ([`DEFAULT_MAX_DELTAS`]). See
     /// [`KizzleCompiler::save_state_compacting`].
-    pub fn save_state(&self, state_dir: &Path) -> std::io::Result<()> {
+    pub fn save_state(&self, state_dir: &Path) -> Result<(), KizzleError> {
         self.save_state_compacting(state_dir, DEFAULT_MAX_DELTAS)
     }
 
@@ -361,7 +362,7 @@ impl KizzleCompiler {
         &self,
         state_dir: &Path,
         max_deltas: usize,
-    ) -> std::io::Result<()> {
+    ) -> Result<(), KizzleError> {
         let sections = self.encode_state_sections();
         ChainWriter::new(state_dir, STATE_CHAIN_PREFIX).save(
             sections,
@@ -400,7 +401,7 @@ impl KizzleCompiler {
     /// following the base→delta chain recorded in the manifest.
     ///
     /// Refuses snapshots whose config fingerprint differs from `config`
-    /// ([`SnapshotError::ConfigMismatch`]). The fallback ladder, top rung
+    /// ([`KizzleError::ConfigFingerprint`]). The fallback ladder, top rung
     /// first: a broken delta truncates the chain (the run resumes the
     /// base — an older but self-consistent state); engine damage degrades
     /// per section (see [`ResumeReport`]); damage to the meta, signature
@@ -409,8 +410,8 @@ impl KizzleCompiler {
     pub fn load_state(
         state_dir: &Path,
         config: KizzleConfig,
-    ) -> Result<(Self, ResumeReport), SnapshotError> {
-        let config = config.validated();
+    ) -> Result<(Self, ResumeReport), KizzleError> {
+        let config = config.validate()?;
         let snapshot = ChainedSnapshot::open(state_dir, STATE_CHAIN_PREFIX)?;
 
         let mut dec = Decoder::new(snapshot.section(META_SECTION)?);
@@ -418,7 +419,7 @@ impl KizzleCompiler {
         dec.finish()?;
         let expected = config_fingerprint(&config);
         if meta.fingerprint != expected {
-            return Err(SnapshotError::ConfigMismatch {
+            return Err(KizzleError::ConfigFingerprint {
                 found: meta.fingerprint,
                 expected,
             });
@@ -519,7 +520,7 @@ impl KizzleCompiler {
 /// to its `MANIFEST`), the recorded deltas are overlaid so the *newest*
 /// signature section answers; a bare snapshot file without a chain reads
 /// as itself.
-pub fn read_signatures(state_file: &Path) -> Result<SignatureSet, SnapshotError> {
+pub fn read_signatures(state_file: &Path) -> Result<SignatureSet, KizzleError> {
     let chained = state_file
         .file_name()
         .and_then(|n| n.to_str())
@@ -623,7 +624,7 @@ mod tests {
         other.retention_days += 1;
         assert!(matches!(
             KizzleCompiler::load_state(&dir, other),
-            Err(SnapshotError::ConfigMismatch { .. })
+            Err(KizzleError::ConfigFingerprint { .. })
         ));
         // load_or_new degrades to a fresh compiler instead.
         let reference = ReferenceCorpus::seeded_from_models(SimDate::new(2014, 8, 1), &other);
@@ -663,7 +664,7 @@ mod tests {
         std::fs::write(&path, &skewed).expect("rewrite");
         assert!(matches!(
             KizzleCompiler::load_state(&dir, KizzleConfig::fast()),
-            Err(SnapshotError::VersionSkew { .. })
+            Err(KizzleError::Snapshot(SnapshotError::VersionSkew { .. }))
         ));
 
         // A flipped byte somewhere in the sections: either the damaged

@@ -9,7 +9,7 @@
 //! against (a) Kizzle, which re-clusters and re-signs the same day, and
 //! (b) a manual-AV defender who reacts with a fixed delay.
 
-use kizzle::{KizzleCompiler, KizzleConfig, ReferenceCorpus};
+use kizzle::prelude::*;
 use kizzle_avsim::{AvConfig, AvEngine};
 use kizzle_corpus::{GroundTruth, KitFamily, KitModel, Sample, SampleId, SimDate};
 use rand::SeedableRng;
@@ -70,7 +70,10 @@ pub fn run_cycle(family: KitFamily, samples_per_day: usize, seed: u64) -> CycleR
     let config = KizzleConfig::fast();
     let start = SimDate::evaluation_start();
     let reference = ReferenceCorpus::seeded_from_models(start, &config);
-    let mut compiler = KizzleCompiler::new(config, reference);
+    let mut service = KizzleService::new(config, reference).expect("fast config is valid");
+    // The defender's scanner fleet holds matcher handles; each day's seal
+    // republishes and the handles pick the new set up atomically.
+    let matcher = service.matcher();
     let av = AvEngine::new(AvConfig::default());
     let model = KitModel::new(family);
 
@@ -102,10 +105,12 @@ pub fn run_cycle(family: KitFamily, samples_per_day: usize, seed: u64) -> CycleR
             })
             .collect();
 
-        compiler.process_day(date, &samples);
+        service
+            .process_day(date, &samples)
+            .expect("cycle days are monotone");
         let kizzle_hits = samples
             .iter()
-            .filter(|s| compiler.scan(&s.html).is_some())
+            .filter(|s| matcher.scan(&s.html).is_some())
             .count();
         let av_hits = samples
             .iter()

@@ -1,7 +1,7 @@
 //! The month-long evaluation: Kizzle vs. the baseline AV over August 2014.
 
 use crate::metrics::{DailyMetrics, DetectorCounts, FamilyCounts};
-use kizzle::{KizzleCompiler, KizzleConfig, ReferenceCorpus};
+use kizzle::prelude::*;
 use kizzle_avsim::{AvConfig, AvEngine};
 use kizzle_corpus::{GraywareStream, GroundTruth, KitFamily, SimDate, StreamConfig};
 use serde::Serialize;
@@ -29,6 +29,13 @@ pub struct EvalConfig {
     /// save rewrites the full base. `0` writes a full snapshot every day
     /// (the pre-chain behavior).
     pub compact_every: usize,
+    /// Streaming-ingest mini-batch size: each day is fed to the
+    /// [`DaySession`] in chunks of this many samples, as a live frontend
+    /// would. `0` ingests the whole day in one call — the single-shot
+    /// semantics of the pre-façade `process_day`. Both shapes seal to
+    /// byte-identical reports (the façade's core property), which the CI
+    /// examples smoke diffs end to end.
+    pub ingest_batch: usize,
 }
 
 impl EvalConfig {
@@ -47,6 +54,7 @@ impl EvalConfig {
             end: SimDate::evaluation_end(),
             window_cluster: false,
             compact_every: kizzle::DEFAULT_MAX_DELTAS,
+            ingest_batch: 0,
         }
     }
 
@@ -66,6 +74,7 @@ impl EvalConfig {
             end: SimDate::new(2014, 8, 16),
             window_cluster: false,
             compact_every: kizzle::DEFAULT_MAX_DELTAS,
+            ingest_batch: 0,
         }
     }
 }
@@ -149,10 +158,10 @@ impl MonthlyEvaluation {
     }
 
     /// Run the evaluation the way the production cron deployment actually
-    /// executes: the compiler is **dropped after every day** and
+    /// executes: the service is **dropped after every day** and
     /// reconstructed for the next one from the state snapshot in
-    /// `state_dir` ([`KizzleCompiler::save_state`] /
-    /// [`KizzleCompiler::load_or_new`]). With an intact snapshot chain the
+    /// `state_dir` ([`KizzleService::save`] / [`KizzleService::open`]).
+    /// With an intact snapshot chain the
     /// per-day results are byte-identical to [`MonthlyEvaluation::run`]
     /// (modulo wall-clock timings); a missing or damaged snapshot degrades
     /// to a cold rebuild for that day instead of failing the run.
@@ -177,40 +186,58 @@ impl MonthlyEvaluation {
             .map(|f| (*f, FamilyCounts::default()))
             .collect();
 
-        // Long-lived modes keep one resident compiler; restart mode
+        // Long-lived modes keep one resident service; restart mode
         // rebuilds it from disk every day and drops it after saving.
-        let mut resident: Option<KizzleCompiler> = None;
+        let mut resident: Option<KizzleService> = None;
         for date in self.config.start.range_inclusive(self.config.end) {
             let seeded_reference =
                 || ReferenceCorpus::seeded_from_models(self.config.start, &self.config.kizzle);
-            let mut compiler = match (resident.take(), state_dir, restart) {
-                (Some(compiler), _, _) => compiler,
+            let mut service = match (resident.take(), state_dir, restart) {
+                (Some(service), _, _) => service,
                 (None, Some(dir), true) => {
-                    KizzleCompiler::load_or_new(dir, self.config.kizzle, seeded_reference).0
+                    KizzleService::open(dir, self.config.kizzle, seeded_reference)
+                        .expect("evaluation config is valid")
+                        .0
                 }
-                (None, _, _) => KizzleCompiler::new(self.config.kizzle, seeded_reference()),
+                (None, _, _) => KizzleService::new(self.config.kizzle, seeded_reference())
+                    .expect("evaluation config is valid"),
             };
-            let metrics = self.process_one_day(&mut compiler, &av, &stream, date, &mut per_family);
+            // A resumed snapshot can sit *ahead* of the day being replayed
+            // — e.g. a damaged chain truncated to a base that was saved
+            // after this date, now being re-run from the top. Sessions
+            // refuse time travel ([`KizzleError::Ingest`]), so replaying
+            // the past means deciding explicitly to start from scratch.
+            if service.last_processed_day().is_some_and(|last| last > date) {
+                service = KizzleService::new(
+                    self.config.kizzle,
+                    ReferenceCorpus::seeded_from_models(self.config.start, &self.config.kizzle),
+                )
+                .expect("evaluation config is valid");
+            }
+            let metrics = self.process_one_day(&mut service, &av, &stream, date, &mut per_family);
             days.push(metrics);
             if let Some(dir) = state_dir {
-                compiler
-                    .save_state_compacting(dir, self.config.compact_every)
-                    .expect("failed to write compiler state snapshot");
+                service
+                    .save_compacting(dir, self.config.compact_every)
+                    .expect("failed to write service state snapshot");
             }
             if restart {
-                drop(compiler); // the simulated process exit
+                drop(service); // the simulated process exit
             } else {
-                resident = Some(compiler);
+                resident = Some(service);
             }
         }
 
         MonthlyResult { days, per_family }
     }
 
-    /// One simulated day against one compiler: process, scan, account.
+    /// One simulated day against one service: stream the day into a
+    /// session (mini-batched per [`EvalConfig::ingest_batch`]), seal, then
+    /// scan every sample through a matcher handle over the freshly
+    /// published set.
     fn process_one_day(
         &self,
-        compiler: &mut KizzleCompiler,
+        service: &mut KizzleService,
         av: &AvEngine,
         stream: &GraywareStream,
         date: SimDate,
@@ -219,9 +246,26 @@ impl MonthlyEvaluation {
         let samples = stream.generate_day(date);
         let streams: Vec<_> = samples
             .iter()
-            .map(|s| compiler.tokenize_capped(&s.html))
+            .map(|s| service.compiler().tokenize_capped(&s.html))
             .collect();
-        let report = compiler.process_day_tokenized(date, &samples, &streams);
+        let report = match self.config.ingest_batch {
+            // Single-shot: borrow the slices straight through (no session
+            // buffering) — the pre-façade semantics.
+            0 => service
+                .process_day_tokenized(date, &samples, &streams)
+                .expect("evaluation days are monotone"),
+            chunk => {
+                let mut session = service
+                    .begin_day(date)
+                    .expect("evaluation days are monotone");
+                for (sample_chunk, stream_chunk) in samples.chunks(chunk).zip(streams.chunks(chunk))
+                {
+                    session.ingest_tokenized(sample_chunk, stream_chunk);
+                }
+                session.seal()
+            }
+        };
+        let matcher = service.matcher();
 
         let mut kizzle_counts = DetectorCounts::default();
         let mut av_counts = DetectorCounts::default();
@@ -230,7 +274,7 @@ impl MonthlyEvaluation {
 
         for (sample, stream_tokens) in samples.iter().zip(&streams) {
             let truth_malicious = sample.truth.is_malicious();
-            let kizzle_hit = compiler.scan_stream(stream_tokens);
+            let kizzle_hit = matcher.scan_stream(stream_tokens);
             let av_hit = av.scan(date, &sample.html);
 
             kizzle_counts.record(truth_malicious, kizzle_hit.is_some());
@@ -276,7 +320,7 @@ impl MonthlyEvaluation {
         let signature_lengths = KitFamily::ALL
             .iter()
             .map(|family| {
-                let len = compiler
+                let len = service
                     .signatures()
                     .for_label(family.name())
                     .last()
@@ -288,7 +332,7 @@ impl MonthlyEvaluation {
         let window_clusters = self
             .config
             .window_cluster
-            .then(|| compiler.cluster_window().0.cluster_count());
+            .then(|| service.cluster_window().0.cluster_count());
 
         DailyMetrics {
             date,
@@ -302,7 +346,7 @@ impl MonthlyEvaluation {
             new_signatures: report.new_signatures.clone(),
             clustering_seconds: report.clustering_stats.total_time().as_secs_f64(),
             prototype_seconds: report.clustering_stats.prototype_time.as_secs_f64(),
-            live_corpus: compiler.engine().len(),
+            live_corpus: service.engine().len(),
             window_clusters,
         }
     }
@@ -438,6 +482,19 @@ mod tests {
         // Without the flag the column stays empty.
         let result = MonthlyEvaluation::new(three_day_config(5)).run();
         assert!(result.days.iter().all(|d| d.window_clusters.is_none()));
+    }
+
+    #[test]
+    fn mini_batched_ingest_matches_single_shot_end_to_end() {
+        // The façade's core property, exercised through the whole eval
+        // harness: streaming each day in mini-batches produces the same
+        // report table as single-shot ingest.
+        let single = MonthlyEvaluation::new(three_day_config(5)).run();
+        let mut batched_config = three_day_config(5);
+        batched_config.ingest_batch = 7;
+        let batched = MonthlyEvaluation::new(batched_config).run();
+        assert_eq!(normalized(&single.days), normalized(&batched.days));
+        assert_eq!(single.per_family, batched.per_family);
     }
 
     #[test]

@@ -149,6 +149,20 @@ pub fn tokenize_document(document: &str) -> TokenStream {
     out
 }
 
+/// [`tokenize_document`] truncated to a `cap`-token prefix — the one
+/// definition of the cap semantics shared by the compiler's ingest
+/// tokenization and the matcher's scan path, which must agree on it for
+/// compiled signatures to fire on scanned documents.
+#[must_use]
+pub fn tokenize_document_capped(document: &str, cap: usize) -> TokenStream {
+    let stream = tokenize_document(document);
+    if stream.len() > cap {
+        stream.slice(0, cap)
+    } else {
+        stream
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

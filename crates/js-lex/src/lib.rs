@@ -42,7 +42,7 @@ pub mod lexer;
 pub mod stream;
 pub mod token;
 
-pub use html::{extract_scripts, tokenize_document};
+pub use html::{extract_scripts, tokenize_document, tokenize_document_capped};
 pub use lexer::{LexError, Lexer};
 pub use stream::TokenStream;
 pub use token::{Token, TokenClass};

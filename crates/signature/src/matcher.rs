@@ -6,7 +6,7 @@
 //! against the active set.
 //!
 //! Scanning is **anchored**: every signature with a selective literal
-//! element (at least [`MIN_ANCHOR_LEN`] chars; longest text wins — long
+//! element (at least `MIN_ANCHOR_LEN` chars; longest text wins — long
 //! literals are the most selective) registers that literal in an inverted
 //! index from literal text to `(signature, offset)`. A scan walks the
 //! document's tokens once, looks each token up in the index, and only

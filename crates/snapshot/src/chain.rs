@@ -11,7 +11,7 @@
 //!
 //! ## On-disk shape
 //!
-//! Every chain file is an ordinary [`Snapshot`](crate::Snapshot)
+//! Every chain file is an ordinary [`Snapshot`]
 //! container. A delta additionally carries a [`DELTA_META_SECTION`]
 //! recording its 1-based sequence number and the trailer CRC-32 of its
 //! predecessor, so a delta can never be applied to a base it was not

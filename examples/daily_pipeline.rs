@@ -6,12 +6,16 @@
 //! window of vulnerability. By default the compiler is reused across days,
 //! so the corpus store and neighbor index stay warm from day to day.
 //!
-//! `--state-dir DIR` persists the compiler state after every day;
-//! `--restart-each-day` additionally **drops the compiler between days**
+//! `--state-dir DIR` persists the service state after every day;
+//! `--restart-each-day` additionally **drops the service between days**
 //! and reloads it from the snapshot — the production cron deployment in
 //! miniature. Its report table is byte-identical to the long-lived run
 //! (CI diffs the two). `--window-cluster` adds the multi-day eval mode: a
 //! `window` column with the cluster count over the whole retention window.
+//! `--ingest-batch N` streams each day into the `DaySession` in
+//! mini-batches of N samples, as a live frontend would; the report table
+//! is byte-identical to the default single-shot ingest (CI diffs that
+//! pair too — the façade's core property, end to end).
 //!
 //! ```bash
 //! cargo run --release -p kizzle-sim --example daily_pipeline -- \
@@ -31,6 +35,7 @@ struct Args {
     restart_each_day: bool,
     window_cluster: bool,
     compact_every: usize,
+    ingest_batch: usize,
 }
 
 fn parse_args() -> Args {
@@ -42,6 +47,7 @@ fn parse_args() -> Args {
         restart_each_day: false,
         window_cluster: false,
         compact_every: kizzle::DEFAULT_MAX_DELTAS,
+        ingest_batch: 0,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -61,17 +67,22 @@ fn parse_args() -> Args {
             "--compact-every" => {
                 args.compact_every = parse(&value("--compact-every"), "--compact-every");
             }
+            "--ingest-batch" => {
+                args.ingest_batch = parse(&value("--ingest-batch"), "--ingest-batch");
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: daily_pipeline [--days N] [--samples-per-day M] [--seed S]\n\
                      \x20                     [--state-dir DIR [--restart-each-day] [--compact-every N]]\n\
-                     \x20                     [--window-cluster]\n\
+                     \x20                     [--window-cluster] [--ingest-batch N]\n\
                      defaults: --days 7 --samples-per-day 150 --seed 11\n\
                      --state-dir DIR       persist compiler state (snapshot chain + MANIFEST) after each day\n\
                      --restart-each-day    drop + reload the compiler between days (cron simulation)\n\
                      --compact-every N     rewrite the full base once the chain holds N delta files\n\
                      \x20                     (0 = full snapshot every day); default 6\n\
-                     --window-cluster      also cluster the whole retention window each day"
+                     --window-cluster      also cluster the whole retention window each day\n\
+                     --ingest-batch N      stream each day into the session in mini-batches of N\n\
+                     \x20                     samples (0 = single-shot, the default)"
                 );
                 std::process::exit(0);
             }
@@ -104,6 +115,7 @@ fn main() {
     config.stream.samples_per_day = args.samples_per_day;
     config.window_cluster = args.window_cluster;
     config.compact_every = args.compact_every;
+    config.ingest_batch = args.ingest_batch;
     let mut end = config.start;
     for _ in 1..args.days {
         end = end.next();

@@ -1,28 +1,33 @@
-//! Quickstart: seed Kizzle with known kits, feed it one day of grayware,
-//! and look at the signatures it emits.
+//! Quickstart: seed Kizzle with known kits, stream one day of grayware
+//! into a session, and scan it with the signatures the seal publishes.
 //!
 //! ```bash
-//! cargo run --release -p kizzle-eval --example quickstart
+//! cargo run --release -p kizzle-sim --example quickstart
 //! ```
 
-use kizzle::{KizzleCompiler, KizzleConfig, ReferenceCorpus};
+use kizzle::prelude::*;
 use kizzle_corpus::{GraywareStream, GroundTruth, SimDate, StreamConfig};
 
-fn main() {
-    // 1. The day we are processing and the pipeline configuration (the
-    //    paper's operating point: DBSCAN at 0.10, 200-token signatures).
+fn main() -> Result<(), KizzleError> {
+    // 1. The day we are processing and the pipeline configuration — the
+    //    paper's operating point (DBSCAN at 0.10, 200-token signatures)
+    //    via the validated builder.
     let date = SimDate::new(2014, 8, 5);
-    let config = KizzleConfig::paper();
+    let config = KizzleConfig::builder().partitions(4).eps(0.10).build()?;
 
     // 2. Kizzle must be seeded with known, unpacked exploit kits — it
     //    automates the analyst's signature writing, it does not replace the
     //    analyst's initial triage.
     let reference = ReferenceCorpus::seeded_from_models(date, &config);
-    let mut compiler = KizzleCompiler::new(config, reference);
+    let mut service = KizzleService::new(config, reference)?;
 
-    // 3. One day of "grayware": mostly benign pages with a minority of
+    // 3. The serving side is up before the first compile: matcher handles
+    //    are cheap, cloneable and Send + Sync — one per scanner thread.
+    let matcher = service.matcher();
+
+    // 4. One day of "grayware": mostly benign pages with a minority of
     //    exploit-kit landing pages (synthetic stand-in for the paper's IE
-    //    telemetry stream).
+    //    telemetry stream), arriving in mini-batches like live telemetry.
     let stream = GraywareStream::new(StreamConfig {
         samples_per_day: 200,
         seed: 7,
@@ -31,8 +36,16 @@ fn main() {
     let day = stream.generate_day(date);
     println!("processing {} samples captured on {date}", day.len());
 
-    // 4. Cluster, label, and compile signatures.
-    let report = compiler.process_day(date, &day);
+    let mut session = service.begin_day(date)?;
+    for batch in day.chunks(25) {
+        // Tokenize/dedup/store-insert happen eagerly per batch, so the
+        // day's front half is amortized while the tail is still arriving.
+        session.ingest(batch);
+    }
+
+    // 5. Seal: cluster, label, compile signatures — and publish them
+    //    atomically to every matcher handle.
+    let report = session.seal();
     println!("{report}");
     for verdict in &report.verdicts {
         println!(
@@ -49,10 +62,10 @@ fn main() {
         );
     }
 
-    // 5. The emitted signatures, in the regex-like rendering of the paper's
-    //    Fig. 10.
+    // 6. The emitted signatures, in the regex-like rendering of the paper's
+    //    Fig. 10 — read through the matcher's consistent snapshot.
     println!("\ndeployed signatures:");
-    for labeled in compiler.signatures().iter() {
+    for labeled in matcher.signatures().iter() {
         let rendered = labeled.signature.render();
         let preview: String = rendered.chars().take(120).collect();
         println!(
@@ -63,12 +76,13 @@ fn main() {
         );
     }
 
-    // 6. Scan the same day with the freshly compiled signatures.
+    // 7. Scan the same day with the freshly published signatures — the
+    //    handle from step 3 picked up the seal without being re-issued.
     let mut detected = 0;
     let mut missed = 0;
     let mut false_positives = 0;
     for sample in &day {
-        let hit = compiler.scan(&sample.html);
+        let hit = matcher.scan(&sample.html);
         match (sample.truth, hit) {
             (GroundTruth::Malicious(_), Some(_)) => detected += 1,
             (GroundTruth::Malicious(_), None) => missed += 1,
@@ -79,4 +93,5 @@ fn main() {
     println!(
         "\nsame-day scan: {detected} detected, {missed} missed, {false_positives} false positives"
     );
+    Ok(())
 }

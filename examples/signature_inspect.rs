@@ -10,7 +10,7 @@
 //!     --snapshot /tmp/kizzle-state/kizzle-state.snap
 //! ```
 
-use kizzle::KizzleConfig;
+use kizzle::prelude::*;
 use kizzle_corpus::{KitFamily, KitModel, SimDate};
 use kizzle_signature::{generate_signature, Element, Signature};
 use rand::SeedableRng;

@@ -1,10 +1,65 @@
-//! # kizzle-sim — workspace umbrella crate
+//! # kizzle-sim — the workspace façade
 //!
-//! This crate exists so the repository-level `examples/` and `tests/`
-//! directories have a package to live in; it re-exports the member crates
-//! under their natural names for convenience in those harnesses.
+//! The curated entry point to the Kizzle reproduction. The crate used to
+//! be a bare re-export shim; it now surfaces the **service API** the
+//! paper's two-sided deployment wants — a slow compiler that re-clusters
+//! daily behind a streaming ingest session, and a fast matcher side built
+//! from cheap, cloneable read handles:
+//!
+//! * [`KizzleService`] — owns the warm compiler state across days.
+//! * [`DaySession`] — streaming ingest: [`KizzleService::begin_day`],
+//!   mini-batched [`DaySession::ingest`], then [`DaySession::seal`] to
+//!   cluster → label → sign → publish. Byte-identical to single-shot
+//!   [`KizzleCompiler::process_day`] (property-tested).
+//! * [`Matcher`] — `Send + Sync` scan handle over the epoch-swapped
+//!   published signature set; scans stay lock-free while a seal is in
+//!   flight and pick up each publication atomically.
+//! * [`KizzleConfig`] / [`KizzleConfig::builder`] — validated
+//!   configuration; [`KizzleError`] — the one error type every fallible
+//!   operation returns.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use kizzle_sim::prelude::*;
+//! use kizzle_sim::corpus::{GraywareStream, SimDate, StreamConfig};
+//!
+//! let date = SimDate::new(2014, 8, 5);
+//! let config = KizzleConfig::builder().partitions(2).retention_days(2).build()?;
+//! let reference = ReferenceCorpus::seeded_from_models(date, &config);
+//! let mut service = KizzleService::new(config, reference)?;
+//!
+//! let matcher = service.matcher(); // serving side, up before day one
+//!
+//! let day = GraywareStream::new(StreamConfig::small(7)).generate_day(date);
+//! let mut session = service.begin_day(date)?;
+//! for batch in day.chunks(16) {
+//!     session.ingest(batch); // tokenize/dedup/index eagerly, per batch
+//! }
+//! let report = session.seal(); // cluster + winnow + siggen + publish
+//! assert!(report.clusters > 0);
+//! assert!(day.iter().any(|s| matcher.scan(&s.html).is_some()));
+//! # Ok::<(), KizzleError>(())
+//! ```
+//!
+//! The member crates stay reachable under their natural module names
+//! (below) for the repository-level `examples/` and `tests/` harnesses
+//! that exercise pipeline internals.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use kizzle::{
+    config_fingerprint, read_signatures, ClusterVerdict, DayReport, DaySession, KizzleCompiler,
+    KizzleConfig, KizzleConfigBuilder, KizzleError, KizzleService, Matcher, ReferenceCorpus,
+    ResumeReport, SignatureSet,
+};
+
+pub mod prelude {
+    //! One-line import of the curated service API:
+    //! `use kizzle_sim::prelude::*;`.
+    pub use kizzle::prelude::*;
+}
 
 pub use kizzle_avsim as avsim;
 pub use kizzle_cluster as cluster;

@@ -77,7 +77,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Something usable as the size argument of [`vec`]: an exact size or a
+    /// Something usable as the size argument of [`vec()`]: an exact size or a
     /// half-open range.
     pub trait SizeRange {
         /// Draw a concrete length.
@@ -100,7 +100,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S, L> {
         element: S,
         size: L,
