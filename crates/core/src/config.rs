@@ -38,6 +38,17 @@ pub struct KizzleConfig {
     /// day runs. `1` clusters each day fully cold. Does not affect labels —
     /// the day's clustering is restricted to the day's samples either way.
     pub retention_days: usize,
+    /// The furthest ahead (in days) an opened day may be of the last
+    /// opened one. The retention sweep retires everything older than
+    /// `date - retention_days`, so a single mis-parsed far-future date
+    /// would silently discard the whole warm corpus; the service refuses
+    /// such jumps as [`KizzleError::Ingest`] instead. Deliberately
+    /// generous by default (90 days) — weekends, holidays, and pipeline
+    /// outages are normal gaps; a date parser emitting 2034 is not.
+    ///
+    /// Excluded from the snapshot config fingerprint: it gates ingest
+    /// requests, it does not shape any persisted state.
+    pub max_day_advance: usize,
     /// Winnowing parameters for cluster labeling.
     pub winnow: WinnowConfig,
     /// Default winnow-overlap threshold above which a cluster prototype is
@@ -57,6 +68,7 @@ impl KizzleConfig {
             token_cap: 900,
             min_cluster_size: 4,
             retention_days: 3,
+            max_day_advance: 90,
             winnow: WinnowConfig::default(),
             label_threshold: 0.60,
             signature: SignatureConfig::default(),
@@ -72,6 +84,7 @@ impl KizzleConfig {
             token_cap: 500,
             min_cluster_size: 3,
             retention_days: 2,
+            max_day_advance: 90,
             winnow: WinnowConfig::default(),
             label_threshold: 0.60,
             signature: SignatureConfig::default(),
@@ -117,6 +130,9 @@ impl KizzleConfig {
         }
         if self.retention_days < 1 {
             return fail("retention_days must be >= 1");
+        }
+        if self.max_day_advance < 1 {
+            return fail("max_day_advance must be >= 1");
         }
         Ok(self)
     }
@@ -217,6 +233,15 @@ impl KizzleConfigBuilder {
         self
     }
 
+    /// The furthest ahead (in days) an opened day may be of the last one
+    /// — the guard against a mis-parsed far-future date retiring the warm
+    /// corpus (see [`KizzleConfig::max_day_advance`]).
+    #[must_use]
+    pub fn max_day_advance(mut self, max_day_advance: usize) -> Self {
+        self.config.max_day_advance = max_day_advance;
+        self
+    }
+
     /// Winnowing parameters for cluster labeling.
     #[must_use]
     pub fn winnow(mut self, winnow: WinnowConfig) -> Self {
@@ -294,5 +319,19 @@ mod tests {
         let mut cfg = KizzleConfig::paper();
         cfg.retention_days = 0;
         let _ = cfg.validated();
+    }
+
+    #[test]
+    fn zero_max_day_advance_is_refused() {
+        let err = KizzleConfig::builder()
+            .max_day_advance(0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("max_day_advance"), "err: {err}");
+        let cfg = KizzleConfig::builder()
+            .max_day_advance(7)
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.max_day_advance, 7);
     }
 }

@@ -8,6 +8,7 @@ use kizzle_js::TokenStream;
 use kizzle_signature::{generate_signature, SignatureSet};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// What the pipeline decided about one cluster.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,7 +80,12 @@ impl fmt::Display for DayReport {
 pub struct KizzleCompiler {
     pub(crate) config: KizzleConfig,
     pub(crate) reference: ReferenceCorpus,
-    pub(crate) signatures: SignatureSet,
+    /// The cumulative signature set, shared by `Arc` with every epoch the
+    /// service has published: the once-daily append copies the members
+    /// exactly when a published epoch still holds the previous set
+    /// (`Arc::make_mut` copy-on-write), so publishing stopped deep-cloning
+    /// the whole set per day.
+    pub(crate) signatures: Arc<SignatureSet>,
     pub(crate) signature_counters: HashMap<KitFamily, usize>,
     pub(crate) engine: CorpusEngine,
     /// The most recent day threaded through [`KizzleCompiler::process_day`]
@@ -103,7 +109,7 @@ impl KizzleCompiler {
             engine: CorpusEngine::new(config.clustering),
             config,
             reference,
-            signatures: SignatureSet::new(),
+            signatures: Arc::new(SignatureSet::new()),
             signature_counters: HashMap::new(),
             last_day: None,
             day_views: Vec::new(),
@@ -133,6 +139,13 @@ impl KizzleCompiler {
     #[must_use]
     pub fn signatures(&self) -> &SignatureSet {
         &self.signatures
+    }
+
+    /// The signature set as the shared handle the service publishes —
+    /// cloning it is a reference-count bump, not a copy of the set.
+    #[must_use]
+    pub fn signatures_shared(&self) -> Arc<SignatureSet> {
+        Arc::clone(&self.signatures)
     }
 
     /// The most recent day processed, if any — survives snapshot save/load.
@@ -280,7 +293,9 @@ impl KizzleCompiler {
                 let name = format!("{}.sig{}", family.short_code(), *counter + 1);
                 match generate_signature(&name, &member_streams, &self.config.signature) {
                     Ok(signature) => {
-                        if self.signatures.add(family.name(), signature) {
+                        // Copy-on-write: the set only materializes a copy
+                        // when a published epoch still shares it.
+                        if Arc::make_mut(&mut self.signatures).add(family.name(), signature) {
                             *counter += 1;
                             verdict.signature_name = Some(name.clone());
                             new_signatures.push(name);

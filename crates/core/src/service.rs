@@ -91,18 +91,23 @@ struct Published {
 }
 
 impl Published {
-    fn new(set: SignatureSet, token_cap: usize) -> Self {
+    fn new(set: Arc<SignatureSet>, token_cap: usize) -> Self {
         Published {
             epoch_hint: AtomicU64::new(0),
-            set: RwLock::new((0, Arc::new(set))),
+            set: RwLock::new((0, set)),
             token_cap,
         }
     }
 
-    fn publish(&self, set: SignatureSet) {
+    /// Publish a shared handle to the compiler's set. Publication is a
+    /// reference-count bump and a pointer swap — the once-daily deep clone
+    /// of the whole set is gone; the compiler's next append copies the
+    /// members via `Arc::make_mut` instead (and only while an epoch still
+    /// shares them).
+    fn publish(&self, set: Arc<SignatureSet>) {
         let mut slot = self.set.write().expect("signature publication lock");
         slot.0 += 1;
-        slot.1 = Arc::new(set);
+        slot.1 = set;
         self.epoch_hint.store(slot.0, Ordering::Release);
     }
 
@@ -138,10 +143,12 @@ impl KizzleService {
     /// set as epoch 0.
     #[must_use]
     pub fn from_compiler(compiler: KizzleCompiler) -> Self {
-        let shared = Arc::new(Published::new(
-            compiler.signatures().clone(),
-            compiler.config().token_cap,
-        ));
+        let set = compiler.signatures_shared();
+        // Seal at publish time: scans on fresh Matcher handles must never
+        // pay the pipeline build (a resumed set usually arrives pre-sealed
+        // from the snapshot's scan-pipeline section).
+        set.seal();
+        let shared = Arc::new(Published::new(set, compiler.config().token_cap));
         KizzleService { compiler, shared }
     }
 
@@ -220,6 +227,19 @@ impl KizzleService {
                     "day {date} precedes the last opened day {last}"
                 )));
             }
+            // Guard the other direction too: a mis-parsed far-future date
+            // would retire the entire retained corpus in one sweep (every
+            // live sample ages out against the bogus day). Refuse jumps
+            // beyond the configured horizon as a typed ingest error the
+            // caller can fix, instead of silently going cold.
+            let advance = date.absolute_day() - last.absolute_day();
+            let max_advance = i64::try_from(self.config().max_day_advance).unwrap_or(i64::MAX);
+            if advance > max_advance {
+                return Err(KizzleError::Ingest(format!(
+                    "day {date} is {advance} days past the last opened day {last} \
+                     (max_day_advance is {max_advance}); refusing to retire the corpus"
+                )));
+            }
         }
         Ok(())
     }
@@ -235,8 +255,16 @@ impl KizzleService {
     ) -> Result<DayReport, KizzleError> {
         self.check_monotone(date)?;
         let report = self.compiler.process_day(date, samples);
-        self.shared.publish(self.compiler.signatures().clone());
+        self.publish_current();
         Ok(report)
+    }
+
+    /// Publish the compiler's current set: seal its scan pipeline (so no
+    /// scan ever pays the build) and swap the shared handle in.
+    fn publish_current(&self) {
+        let set = self.compiler.signatures_shared();
+        set.seal();
+        self.shared.publish(set);
     }
 
     /// Like [`KizzleService::process_day`] with already tokenized streams
@@ -255,7 +283,7 @@ impl KizzleService {
     ) -> Result<DayReport, KizzleError> {
         self.check_monotone(date)?;
         let report = self.compiler.process_day_tokenized(date, samples, streams);
-        self.shared.publish(self.compiler.signatures().clone());
+        self.publish_current();
         Ok(report)
     }
 
@@ -450,9 +478,7 @@ impl DaySession<'_> {
         let report = service
             .compiler
             .seal_day(date, stamp, &samples, &streams, day_ids);
-        service
-            .shared
-            .publish(service.compiler.signatures().clone());
+        service.publish_current();
         report
     }
 }
@@ -619,6 +645,79 @@ mod tests {
         assert!(matches!(err, KizzleError::Ingest(_)), "err: {err}");
         // The same day again is fine (cron re-run after a crash).
         assert!(service.begin_day(d2).is_ok());
+    }
+
+    #[test]
+    fn far_future_day_is_refused_not_absorbed() {
+        let mut service = test_service();
+        let d1 = SimDate::new(2014, 8, 6);
+        service.process_day(d1, &test_day(d1, 3)).expect("day 1");
+        let live_before = service.engine().len();
+        assert!(live_before > 0);
+
+        // A mis-parsed date years ahead: the old behavior silently retired
+        // the whole retained corpus; now it is a typed ingest error and
+        // the warm state is untouched.
+        let bogus = SimDate::new(2034, 8, 6);
+        let err = service.begin_day(bogus).unwrap_err();
+        assert!(matches!(err, KizzleError::Ingest(_)), "err: {err}");
+        assert!(err.to_string().contains("max_day_advance"), "err: {err}");
+        let err = service.process_day(bogus, &test_day(bogus, 4)).unwrap_err();
+        assert!(matches!(err, KizzleError::Ingest(_)), "err: {err}");
+        assert_eq!(service.engine().len(), live_before);
+        assert_eq!(service.last_processed_day(), Some(d1));
+
+        // A jump inside the default 90-day horizon still works (gap days
+        // are normal: weekends, holidays, pipeline outages).
+        let d2 = SimDate::new(2014, 9, 20);
+        assert!(service.process_day(d2, &test_day(d2, 5)).is_ok());
+    }
+
+    #[test]
+    fn max_day_advance_is_configurable() {
+        let config = KizzleConfig::builder()
+            .max_day_advance(5)
+            .build()
+            .expect("valid config");
+        let reference = ReferenceCorpus::seeded_from_models(SimDate::new(2014, 8, 1), &config);
+        let mut service = KizzleService::new(config, reference).expect("service");
+        let d1 = SimDate::new(2014, 8, 6);
+        service.process_day(d1, &test_day(d1, 3)).expect("day 1");
+        // 6 days ahead exceeds the tightened horizon; 5 is the boundary.
+        assert!(service.begin_day(SimDate::new(2014, 8, 12)).is_err());
+        assert!(service.begin_day(SimDate::new(2014, 8, 11)).is_ok());
+        // The very first day has no baseline, so any date opens.
+        let config = KizzleConfig::builder()
+            .max_day_advance(1)
+            .build()
+            .expect("valid config");
+        let reference = ReferenceCorpus::seeded_from_models(SimDate::new(2014, 8, 1), &config);
+        let mut fresh = KizzleService::new(config, reference).expect("service");
+        assert!(fresh.begin_day(SimDate::new(2034, 1, 1)).is_ok());
+    }
+
+    #[test]
+    fn publish_shares_the_set_instead_of_deep_cloning() {
+        let mut service = test_service();
+        let date = SimDate::new(2014, 8, 5);
+        service
+            .process_day(date, &test_day(date, 3))
+            .expect("day processes");
+        let matcher = service.matcher();
+        // The published epoch and the compiler hold the *same* allocation
+        // (publication is an Arc clone), and it is sealed ready-to-scan.
+        let published = matcher.signatures();
+        assert!(std::ptr::eq(
+            Arc::as_ptr(&published),
+            service.signatures() as *const SignatureSet
+        ));
+        assert!(published.is_sealed(), "publish must seal the pipeline");
+        // The next day's appends copy-on-write: the published snapshot
+        // keeps its set while the compiler's grows independently.
+        let d2 = SimDate::new(2014, 8, 6);
+        let before = published.len();
+        service.process_day(d2, &test_day(d2, 9)).expect("day 2");
+        assert_eq!(published.len(), before, "published snapshot is immutable");
     }
 
     #[test]

@@ -22,9 +22,19 @@
 //! |------------------|-------------------------------------------------------|
 //! | `meta`           | config fingerprint, last processed day, sig counters  |
 //! | `signatures`     | the cumulative signature set, insertion-ordered       |
+//! | `scan-pipeline`  | the sealed scan pipeline (automaton + prefilters)     |
 //! | `reference`      | the reference corpus with its absorbed evolution      |
 //! | `corpus-store`   | the engine's sample store (see `kizzle-cluster`)      |
 //! | `neighbor-index` | memoized neighborhoods (see `kizzle-cluster`)         |
+//!
+//! The `scan-pipeline` section is an accelerator, not state: it ships the
+//! signature set's ready-to-scan Aho–Corasick automaton and prefilter
+//! tables (see `kizzle_signature::matcher`) so a resumed run — and any
+//! scanner fed from the snapshot — skips the seal-time build. It is
+//! versioned independently ([`kizzle_signature::matcher::PIPELINE_VERSION`])
+//! and fully recoverable: a missing, damaged, or version-skewed pipeline
+//! section only adds a [`ResumeReport`] note and the set reseals lazily
+//! from the signatures.
 //!
 //! ## Trust ladder
 //!
@@ -47,7 +57,7 @@ use crate::reference::ReferenceCorpus;
 use kizzle_cluster::CorpusEngine;
 pub use kizzle_cluster::ResumeReport;
 use kizzle_corpus::{KitFamily, SimDate};
-use kizzle_signature::{CharClass, Element, Signature, SignatureSet};
+use kizzle_signature::{ScanPipeline, SignatureSet};
 use kizzle_snapshot::{
     ChainWriter, ChainedSnapshot, Decoder, Encoder, SectionSource, Snapshot, SnapshotError,
     FORMAT_VERSION,
@@ -72,6 +82,8 @@ pub const DEFAULT_MAX_DELTAS: usize = 6;
 pub const META_SECTION: &str = "meta";
 /// Section holding the cumulative signature set.
 pub const SIGNATURES_SECTION: &str = "signatures";
+/// Section holding the sealed scan pipeline (automaton + prefilters).
+pub const SCAN_SECTION: &str = "scan-pipeline";
 /// Section holding the reference corpus.
 pub const REFERENCE_SECTION: &str = "reference";
 /// Section holding the retained day views (for window clustering).
@@ -89,33 +101,6 @@ pub(crate) fn family_code(family: KitFamily) -> u8 {
 /// Inverse of [`family_code`].
 pub(crate) fn family_from_code(code: u8) -> Option<KitFamily> {
     KitFamily::ALL.get(usize::from(code)).copied()
-}
-
-fn char_class_code(class: CharClass) -> u8 {
-    match class {
-        CharClass::Lower => 0,
-        CharClass::Upper => 1,
-        CharClass::Alpha => 2,
-        CharClass::Digits => 3,
-        CharClass::HexLower => 4,
-        CharClass::AlphaNum => 5,
-        CharClass::Wordlike => 6,
-        CharClass::Any => 7,
-    }
-}
-
-fn char_class_from_code(code: u8) -> Option<CharClass> {
-    Some(match code {
-        0 => CharClass::Lower,
-        1 => CharClass::Upper,
-        2 => CharClass::Alpha,
-        3 => CharClass::Digits,
-        4 => CharClass::HexLower,
-        5 => CharClass::AlphaNum,
-        6 => CharClass::Wordlike,
-        7 => CharClass::Any,
-        _ => return None,
-    })
 }
 
 /// Canonical byte encoding of every configuration field that shapes
@@ -150,73 +135,18 @@ pub fn config_fingerprint(config: &KizzleConfig) -> u64 {
 }
 
 /// Serialize a signature set in insertion order (which the scan's
-/// first-match semantics depend on).
+/// first-match semantics depend on). The wire format lives with the set
+/// itself ([`SignatureSet::encode_into`]); this wrapper survives as the
+/// snapshot layer's name for it.
 pub(crate) fn encode_signature_set(set: &SignatureSet, enc: &mut Encoder) {
-    enc.usize(set.len());
-    for labeled in set.iter() {
-        enc.str(&labeled.label);
-        enc.str(&labeled.signature.name);
-        enc.usize(labeled.signature.support);
-        enc.usize(labeled.signature.elements.len());
-        for element in &labeled.signature.elements {
-            match element {
-                Element::Literal(text) => {
-                    enc.u8(0);
-                    enc.str(text);
-                }
-                Element::Class {
-                    class,
-                    min_len,
-                    max_len,
-                } => {
-                    enc.u8(1);
-                    enc.u8(char_class_code(*class));
-                    enc.usize(*min_len);
-                    enc.usize(*max_len);
-                }
-            }
-        }
-    }
+    set.encode_into(enc);
 }
 
 /// Rebuild a signature set from [`encode_signature_set`] output; the
-/// anchor index and dedup tables are re-derived by re-adding in order.
+/// dedup and label tables are re-derived by re-adding in order. Delegates
+/// to [`SignatureSet::decode_from`].
 pub(crate) fn decode_signature_set(dec: &mut Decoder<'_>) -> Result<SignatureSet, SnapshotError> {
-    let corrupt = |what: &str| SnapshotError::Corrupt(format!("signature set: {what}"));
-    let count = dec.usize()?;
-    let mut set = SignatureSet::new();
-    for _ in 0..count {
-        let label = dec.str()?.to_string();
-        let name = dec.str()?.to_string();
-        let support = dec.usize()?;
-        let element_count = dec.usize()?;
-        if element_count == 0 {
-            return Err(corrupt("signature without elements"));
-        }
-        let mut elements = Vec::with_capacity(element_count.min(1 << 16));
-        for _ in 0..element_count {
-            elements.push(match dec.u8()? {
-                0 => Element::Literal(dec.str()?.to_string()),
-                1 => {
-                    let class = char_class_from_code(dec.u8()?)
-                        .ok_or_else(|| corrupt("unknown character class"))?;
-                    let min_len = dec.usize()?;
-                    let max_len = dec.usize()?;
-                    if min_len > max_len {
-                        return Err(corrupt("inverted class length range"));
-                    }
-                    Element::Class {
-                        class,
-                        min_len,
-                        max_len,
-                    }
-                }
-                other => return Err(corrupt(&format!("unknown element tag {other}"))),
-            });
-        }
-        set.add(label, Signature::new(name, elements, support));
-    }
-    Ok(set)
+    SignatureSet::decode_from(dec)
 }
 
 struct Meta {
@@ -297,6 +227,18 @@ impl KizzleCompiler {
                 Box::new(|| {
                     let mut enc = Encoder::new();
                     encode_signature_set(&self.signatures, &mut enc);
+                    enc.into_bytes()
+                }),
+            ),
+            (
+                SCAN_SECTION,
+                Box::new(|| {
+                    // Seal here if no scan did: the build cost lands in
+                    // the save (amortized across the chain — the section
+                    // only re-ships when the set changed), and the next
+                    // run resumes ready to scan.
+                    let mut enc = Encoder::new();
+                    self.signatures.seal().encode_into(&mut enc);
                     enc.into_bytes()
                 }),
             ),
@@ -426,7 +368,7 @@ impl KizzleCompiler {
         }
 
         let mut dec = Decoder::new(snapshot.section(SIGNATURES_SECTION)?);
-        let signatures = decode_signature_set(&mut dec)?;
+        let mut signatures = decode_signature_set(&mut dec)?;
         dec.finish()?;
 
         let mut dec = Decoder::new(snapshot.section(REFERENCE_SECTION)?);
@@ -435,6 +377,30 @@ impl KizzleCompiler {
 
         let (engine, mut report) = CorpusEngine::resume_from_sections(config.clustering, &snapshot);
         report.notes.extend(snapshot.notes().iter().cloned());
+
+        // The scan pipeline is derived state: any failure to restore it
+        // (absent in pre-PR-6 snapshots, damaged, version-skewed, or not
+        // covering this set) just means the set reseals lazily.
+        let pipeline = snapshot.section(SCAN_SECTION).and_then(|payload| {
+            let mut dec = Decoder::new(payload);
+            let pipeline = ScanPipeline::decode_from(&mut dec, signatures.len())?;
+            dec.finish()?;
+            Ok(pipeline)
+        });
+        match pipeline {
+            Ok(pipeline) => {
+                if !signatures.attach_pipeline(pipeline) {
+                    report
+                        .notes
+                        .push("scan pipeline does not cover the set, resealing".to_string());
+                }
+            }
+            Err(err) => {
+                report
+                    .notes
+                    .push(format!("scan pipeline not restored, resealing: {err}"));
+            }
+        }
 
         // Day views are only meaningful against the engine they were saved
         // with: if the engine degraded (or the section is damaged), window
@@ -477,7 +443,7 @@ impl KizzleCompiler {
             KizzleCompiler {
                 config,
                 reference,
-                signatures,
+                signatures: std::sync::Arc::new(signatures),
                 signature_counters: meta.counters,
                 engine,
                 last_day: meta.last_day,
@@ -545,6 +511,7 @@ pub fn read_signatures(state_file: &Path) -> Result<SignatureSet, KizzleError> {
 mod tests {
     use super::*;
     use kizzle_corpus::{GraywareStream, Sample, StreamConfig};
+    use kizzle_signature::{CharClass, Element, Signature};
     use kizzle_snapshot::Manifest;
 
     fn test_day(date: SimDate, seed: u64) -> Vec<Sample> {
@@ -743,18 +710,53 @@ mod tests {
         c.token_cap += 1;
         assert_ne!(fp, config_fingerprint(&c));
         assert_ne!(fp, config_fingerprint(&KizzleConfig::fast()));
+
+        // max_day_advance gates ingest requests but shapes no persisted
+        // state — tightening it must NOT orphan existing snapshots.
+        let mut c = base;
+        c.max_day_advance = 5;
+        assert_eq!(fp, config_fingerprint(&c), "fingerprint must ignore it");
     }
 
     #[test]
-    fn family_and_class_codes_roundtrip() {
+    fn family_codes_roundtrip() {
         for family in KitFamily::ALL {
             assert_eq!(family_from_code(family_code(family)), Some(family));
         }
         assert_eq!(family_from_code(200), None);
-        for class in CharClass::TEMPLATES {
-            assert_eq!(char_class_from_code(char_class_code(class)), Some(class));
-        }
-        assert_eq!(char_class_from_code(99), None);
+    }
+
+    #[test]
+    fn resumed_state_carries_a_sealed_scan_pipeline() {
+        let dir = state_dir("pipeline");
+        let mut compiler = fresh_compiler();
+        let d1 = SimDate::new(2014, 8, 5);
+        compiler.process_day(d1, &test_day(d1, 3));
+        compiler.save_state(&dir).expect("state saved");
+        let (resumed, report) =
+            KizzleCompiler::load_state(&dir, KizzleConfig::fast()).expect("state loads");
+        assert!(report.is_warm(), "report: {report:?}");
+        assert!(
+            resumed.signatures().is_sealed(),
+            "snapshot must ship a ready-to-scan pipeline"
+        );
+        assert_eq!(resumed.signatures(), compiler.signatures());
+
+        // Damage only the scan-pipeline section's payload: the load still
+        // succeeds (it is derived state) and the set reseals lazily.
+        // Overwrite the base with a save whose pipeline bytes are bogus by
+        // truncating the chain's base mid-file — covered by the damage
+        // test above — so here exercise the decode-reject path directly.
+        let mut enc = Encoder::new();
+        compiler.signatures().seal().encode_into(&mut enc);
+        let mut bytes = enc.into_bytes();
+        bytes[0] ^= 0x40; // version skew
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(
+            ScanPipeline::decode_from(&mut dec, compiler.signatures().len()),
+            Err(SnapshotError::VersionSkew { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

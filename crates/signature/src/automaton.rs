@@ -1,0 +1,531 @@
+//! Aho–Corasick automaton over anchor literals — stage 1 of the scan
+//! pipeline.
+//!
+//! One automaton is built over *all* anchor literals of a sealed
+//! [`SignatureSet`](crate::SignatureSet), so the anchor stage costs one
+//! pass over the token stream **regardless of signature count** — the
+//! 100×-signature-scale requirement. Each distinct literal is one
+//! *pattern*; signatures sharing an anchor literal share the pattern and
+//! differ only in the candidate bucket attached to it
+//! ([`crate::matcher::ScanPipeline`]).
+//!
+//! The matcher drives the automaton in **token mode**
+//! ([`AnchorAutomaton::match_token`]): anchors are whole tokens, so every
+//! token restarts at the root and a pattern only fires when the token's
+//! complete (quote-stripped) text equals the pattern. Walking from the
+//! root makes this a pure goto-transition walk — the failure links never
+//! trigger — which is why the hot path is a handful of instructions per
+//! byte with no hashing and no per-signature work. The failure and output
+//! links are still built (classic BFS construction) and power
+//! [`AnchorAutomaton::scan_bytes`], the textbook streaming-substring mode;
+//! the property tests hold it to the brute-force oracle, which in turn
+//! pins down the goto/fail structure `match_token` walks.
+//!
+//! Layout is flattened for scan speed and serialization: a dense 256-way
+//! root table (most tokens die on their first byte, one load), then
+//! per-node sorted edge runs resolved by binary search. The whole
+//! structure is immutable after build and ships through
+//! [`AnchorAutomaton::encode_into`]/[`AnchorAutomaton::decode_from`] so a
+//! published snapshot chain carries ready-to-scan sets.
+
+use kizzle_snapshot::{Decoder, Encoder, SnapshotError};
+
+/// Sentinel for "no node" in the root table and failure links.
+const NO_NODE: u32 = u32::MAX;
+/// Sentinel for "no pattern ends here".
+const NO_PATTERN: u32 = u32::MAX;
+
+/// One interior node of the flattened automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Node {
+    /// First edge of this node's run in [`AnchorAutomaton::edge_bytes`] /
+    /// [`AnchorAutomaton::edge_targets`].
+    edges_start: u32,
+    /// Number of edges in the run.
+    edges_len: u16,
+    /// Failure link (longest proper suffix of this node's path that is
+    /// also a path prefix); `NO_NODE` only during construction.
+    fail: u32,
+    /// Output link: nearest node on the failure chain (self included)
+    /// where a pattern ends, or `NO_NODE`.
+    output: u32,
+    /// Pattern ending exactly at this node, or `NO_PATTERN`.
+    pattern: u32,
+    /// Depth in bytes (== pattern length at terminal nodes).
+    depth: u32,
+}
+
+/// An immutable multi-pattern matcher over anchor literal byte strings.
+///
+/// Build once per sealed signature set with [`AnchorAutomaton::build`];
+/// see the [module docs](self) for the two scan modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnchorAutomaton {
+    /// Dense goto table of the root: byte → node id or `NO_NODE`.
+    root: Vec<u32>,
+    nodes: Vec<Node>,
+    /// Edge labels, one run per node, each run sorted by byte.
+    edge_bytes: Vec<u8>,
+    /// Edge targets, parallel to `edge_bytes`.
+    edge_targets: Vec<u32>,
+    /// Number of patterns the automaton was built from.
+    patterns: u32,
+}
+
+/// A pattern occurrence reported by [`AnchorAutomaton::scan_bytes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Occurrence {
+    /// Id of the pattern (its index in the build slice).
+    pub pattern: u32,
+    /// Byte offset of the *end* of the occurrence (exclusive).
+    pub end: usize,
+}
+
+/// Mutable trie node used only during construction.
+#[derive(Debug, Default)]
+struct BuildNode {
+    /// Sorted `(byte, child)` edges.
+    edges: Vec<(u8, u32)>,
+    pattern: u32,
+    depth: u32,
+}
+
+impl AnchorAutomaton {
+    /// Build the automaton over `patterns`. Duplicate patterns are the
+    /// caller's concern (the pipeline deduplicates literals into shared
+    /// candidate buckets before building); if duplicates are passed, the
+    /// **last** one owns the terminal node. Empty patterns never match
+    /// (no token has empty text) and are ignored.
+    #[must_use]
+    pub fn build<P: AsRef<[u8]>>(patterns: &[P]) -> Self {
+        // Phase 1: byte trie.
+        let mut trie: Vec<BuildNode> = vec![BuildNode {
+            edges: Vec::new(),
+            pattern: NO_PATTERN,
+            depth: 0,
+        }];
+        for (id, pattern) in patterns.iter().enumerate() {
+            let bytes = pattern.as_ref();
+            if bytes.is_empty() {
+                continue;
+            }
+            let mut node = 0usize;
+            for (i, &b) in bytes.iter().enumerate() {
+                node = match trie[node].edges.binary_search_by_key(&b, |e| e.0) {
+                    Ok(pos) => trie[node].edges[pos].1 as usize,
+                    Err(pos) => {
+                        let child = trie.len() as u32;
+                        trie.push(BuildNode {
+                            edges: Vec::new(),
+                            pattern: NO_PATTERN,
+                            depth: i as u32 + 1,
+                        });
+                        trie[node].edges.insert(pos, (b, child));
+                        child as usize
+                    }
+                };
+            }
+            trie[node].pattern = u32::try_from(id).expect("pattern count fits u32");
+        }
+
+        // Phase 2: flatten and wire failure/output links by BFS. Node ids
+        // are already BFS-friendly only for the root's children, so walk
+        // explicitly.
+        let mut nodes: Vec<Node> = trie
+            .iter()
+            .map(|b| Node {
+                edges_start: 0,
+                edges_len: 0,
+                fail: 0,
+                output: NO_NODE,
+                pattern: b.pattern,
+                depth: b.depth,
+            })
+            .collect();
+        let mut edge_bytes = Vec::new();
+        let mut edge_targets = Vec::new();
+        for (id, build) in trie.iter().enumerate() {
+            nodes[id].edges_start = u32::try_from(edge_bytes.len()).expect("edge count fits u32");
+            nodes[id].edges_len = u16::try_from(build.edges.len()).expect("≤256 edges per node");
+            for &(b, to) in &build.edges {
+                edge_bytes.push(b);
+                edge_targets.push(to);
+            }
+        }
+
+        let mut root = vec![NO_NODE; 256];
+        for &(b, to) in &trie[0].edges {
+            root[b as usize] = to;
+        }
+
+        // BFS from the root's children (whose failure link is the root).
+        let mut queue: std::collections::VecDeque<u32> =
+            trie[0].edges.iter().map(|&(_, to)| to).collect();
+        while let Some(id) = queue.pop_front() {
+            let fail = nodes[id as usize].fail;
+            nodes[id as usize].output = if nodes[fail as usize].pattern != NO_PATTERN {
+                fail
+            } else {
+                nodes[fail as usize].output
+            };
+            let run = edge_run(&nodes, id);
+            for pos in run {
+                let (b, child) = (edge_bytes[pos], edge_targets[pos]);
+                // Child's failure: follow this node's failure chain until a
+                // node with a `b` edge exists (the root as last resort).
+                let mut f = fail;
+                let child_fail = loop {
+                    if let Some(next) = lookup(&nodes, &root, &edge_bytes, &edge_targets, f, b) {
+                        if next != child {
+                            break next;
+                        }
+                    }
+                    if f == 0 {
+                        break 0;
+                    }
+                    f = nodes[f as usize].fail;
+                };
+                nodes[child as usize].fail = child_fail;
+                queue.push_back(child);
+            }
+        }
+
+        AnchorAutomaton {
+            root,
+            nodes,
+            edge_bytes,
+            edge_targets,
+            patterns: u32::try_from(patterns.len()).expect("pattern count fits u32"),
+        }
+    }
+
+    /// Number of patterns the automaton was built from.
+    #[must_use]
+    pub fn pattern_count(&self) -> usize {
+        self.patterns as usize
+    }
+
+    /// Number of automaton states (including the root).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Token mode: the pattern equal to the **whole** of `text`, if any.
+    ///
+    /// Starts at the root, so the walk is pure goto transitions — reaching
+    /// a terminal node after consuming every byte means the root-to-node
+    /// path *is* `text`. Signature-count independent: cost is
+    /// `O(text.len())` with one dense load for the first byte and a binary
+    /// search over ≤ alphabet edges per further byte.
+    #[must_use]
+    pub fn match_token(&self, text: &[u8]) -> Option<u32> {
+        let (&first, rest) = text.split_first()?;
+        let mut node = self.root[first as usize];
+        if node == NO_NODE {
+            return None;
+        }
+        for &b in rest {
+            node = self.goto(node, b)?;
+        }
+        let pattern = self.nodes[node as usize].pattern;
+        (pattern != NO_PATTERN).then_some(pattern)
+    }
+
+    /// Streaming substring mode: every occurrence of every pattern in
+    /// `haystack`, in end-offset order — the textbook Aho–Corasick scan
+    /// using the failure and output links. The matcher's token mode does
+    /// not need it (anchors are whole tokens); it exists to pin the
+    /// goto/fail construction to the brute-force oracle in tests and for
+    /// future raw-byte prefilters over untokenized documents.
+    #[must_use]
+    pub fn scan_bytes(&self, haystack: &[u8]) -> Vec<Occurrence> {
+        let mut hits = Vec::new();
+        let mut state = 0u32;
+        for (i, &b) in haystack.iter().enumerate() {
+            state = loop {
+                if let Some(next) = lookup(
+                    &self.nodes,
+                    &self.root,
+                    &self.edge_bytes,
+                    &self.edge_targets,
+                    state,
+                    b,
+                ) {
+                    break next;
+                }
+                if state == 0 {
+                    break 0;
+                }
+                state = self.nodes[state as usize].fail;
+            };
+            // Report the state's own pattern, then walk the output chain.
+            let mut out = state;
+            while out != NO_NODE {
+                let node = &self.nodes[out as usize];
+                if node.pattern != NO_PATTERN {
+                    hits.push(Occurrence {
+                        pattern: node.pattern,
+                        end: i + 1,
+                    });
+                }
+                out = node.output;
+            }
+        }
+        hits
+    }
+
+    /// Goto transition out of `node` on byte `b` (no failure fallback).
+    #[inline]
+    fn goto(&self, node: u32, b: u8) -> Option<u32> {
+        let n = &self.nodes[node as usize];
+        let start = n.edges_start as usize;
+        let run = &self.edge_bytes[start..start + n.edges_len as usize];
+        run.binary_search(&b)
+            .ok()
+            .map(|pos| self.edge_targets[start + pos])
+    }
+
+    /// Serialize the automaton.
+    pub fn encode_into(&self, enc: &mut Encoder) {
+        enc.varint_usize(self.nodes.len());
+        enc.varint(u64::from(self.patterns));
+        for node in &self.nodes {
+            enc.varint(u64::from(node.edges_start));
+            enc.varint(u64::from(node.edges_len));
+            enc.varint(u64::from(node.fail));
+            // NO_NODE / NO_PATTERN travel as 0 with present values shifted
+            // by one, keeping the varints short.
+            enc.varint(option_code(node.output));
+            enc.varint(option_code(node.pattern));
+            enc.varint(u64::from(node.depth));
+        }
+        enc.varint_usize(self.edge_bytes.len());
+        for (&b, &to) in self.edge_bytes.iter().zip(&self.edge_targets) {
+            enc.u8(b);
+            enc.varint(u64::from(to));
+        }
+        // The root table is recovered from the root node's edge run; only
+        // the flattened structure travels.
+    }
+
+    /// Decode an automaton written by [`AnchorAutomaton::encode_into`],
+    /// validating every structural invariant (indices in range, edge runs
+    /// inside the edge table, sorted runs) so a decoded automaton can
+    /// never walk out of bounds.
+    pub fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, SnapshotError> {
+        let corrupt = |what: &str| SnapshotError::Corrupt(format!("anchor automaton: {what}"));
+        let node_count = dec.varint_usize()?;
+        if node_count == 0 {
+            return Err(corrupt("no root node"));
+        }
+        let patterns = u32::try_from(dec.varint()?).map_err(|_| corrupt("pattern count"))?;
+        let mut nodes = Vec::with_capacity(node_count.min(1 << 20));
+        for _ in 0..node_count {
+            let edges_start = u32::try_from(dec.varint()?).map_err(|_| corrupt("edge start"))?;
+            let edges_len = u16::try_from(dec.varint()?).map_err(|_| corrupt("edge len"))?;
+            let fail = u32::try_from(dec.varint()?).map_err(|_| corrupt("fail link"))?;
+            let output = option_decode(dec.varint()?).ok_or_else(|| corrupt("output link"))?;
+            let pattern = option_decode(dec.varint()?).ok_or_else(|| corrupt("pattern id"))?;
+            let depth = u32::try_from(dec.varint()?).map_err(|_| corrupt("depth"))?;
+            nodes.push(Node {
+                edges_start,
+                edges_len,
+                fail,
+                output,
+                pattern,
+                depth,
+            });
+        }
+        let edge_count = dec.varint_usize()?;
+        let mut edge_bytes = Vec::with_capacity(edge_count.min(1 << 20));
+        let mut edge_targets = Vec::with_capacity(edge_count.min(1 << 20));
+        for _ in 0..edge_count {
+            edge_bytes.push(dec.u8()?);
+            edge_targets.push(u32::try_from(dec.varint()?).map_err(|_| corrupt("edge target"))?);
+        }
+
+        let n = nodes.len() as u64;
+        for node in &nodes {
+            let start = u64::from(node.edges_start);
+            let len = u64::from(node.edges_len);
+            if start + len > edge_count as u64 {
+                return Err(corrupt("edge run out of range"));
+            }
+            let run = &edge_bytes
+                [node.edges_start as usize..(node.edges_start as usize + node.edges_len as usize)];
+            if !run.windows(2).all(|w| w[0] < w[1]) {
+                return Err(corrupt("edge run not strictly sorted"));
+            }
+            if u64::from(node.fail) >= n {
+                return Err(corrupt("fail link out of range"));
+            }
+            if node.output != NO_NODE && u64::from(node.output) >= n {
+                return Err(corrupt("output link out of range"));
+            }
+            if node.pattern != NO_PATTERN && node.pattern >= patterns {
+                return Err(corrupt("pattern id out of range"));
+            }
+        }
+        for &to in &edge_targets {
+            if u64::from(to) >= n {
+                return Err(corrupt("edge target out of range"));
+            }
+        }
+
+        let mut root = vec![NO_NODE; 256];
+        let root_node = nodes[0];
+        let start = root_node.edges_start as usize;
+        for pos in start..start + root_node.edges_len as usize {
+            root[edge_bytes[pos] as usize] = edge_targets[pos];
+        }
+
+        Ok(AnchorAutomaton {
+            root,
+            nodes,
+            edge_bytes,
+            edge_targets,
+            patterns,
+        })
+    }
+}
+
+/// `NO_NODE`/`NO_PATTERN` as 0, present ids shifted by one.
+fn option_code(v: u32) -> u64 {
+    if v == u32::MAX {
+        0
+    } else {
+        u64::from(v) + 1
+    }
+}
+
+fn option_decode(code: u64) -> Option<u32> {
+    if code == 0 {
+        Some(u32::MAX)
+    } else {
+        u32::try_from(code - 1).ok()
+    }
+}
+
+/// Index range of a node's edge run.
+fn edge_run(nodes: &[Node], id: u32) -> std::ops::Range<usize> {
+    let n = &nodes[id as usize];
+    let start = n.edges_start as usize;
+    start..start + n.edges_len as usize
+}
+
+/// Goto transition with the dense root table, used during construction and
+/// the streaming scan (where `node` may be the root).
+#[inline]
+fn lookup(
+    nodes: &[Node],
+    root: &[u32],
+    edge_bytes: &[u8],
+    edge_targets: &[u32],
+    node: u32,
+    b: u8,
+) -> Option<u32> {
+    if node == 0 {
+        let next = root[b as usize];
+        return (next != NO_NODE).then_some(next);
+    }
+    let n = &nodes[node as usize];
+    let start = n.edges_start as usize;
+    let run = &edge_bytes[start..start + n.edges_len as usize];
+    run.binary_search(&b)
+        .ok()
+        .map(|pos| edge_targets[start + pos])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patterns() -> Vec<&'static str> {
+        vec!["he", "she", "his", "hers", "decoder_0001"]
+    }
+
+    #[test]
+    fn match_token_is_whole_token_only() {
+        let ac = AnchorAutomaton::build(&patterns());
+        assert_eq!(ac.match_token(b"he"), Some(0));
+        assert_eq!(ac.match_token(b"she"), Some(1));
+        assert_eq!(ac.match_token(b"hers"), Some(3));
+        assert_eq!(ac.match_token(b"her"), None, "prefix of a pattern");
+        assert_eq!(ac.match_token(b"xhe"), None, "suffix embedding ignored");
+        assert_eq!(ac.match_token(b"decoder_0001"), Some(4));
+        assert_eq!(ac.match_token(b"decoder_0002"), None);
+        assert_eq!(ac.match_token(b""), None);
+    }
+
+    #[test]
+    fn scan_bytes_matches_brute_force() {
+        let pats = patterns();
+        let ac = AnchorAutomaton::build(&pats);
+        let haystack = b"ushers said he heard of his decoder_0001x";
+        let mut want = Vec::new();
+        for (id, p) in pats.iter().enumerate() {
+            let p = p.as_bytes();
+            for end in p.len()..=haystack.len() {
+                if &haystack[end - p.len()..end] == p {
+                    want.push((id as u32, end));
+                }
+            }
+        }
+        let mut got: Vec<(u32, usize)> = ac
+            .scan_bytes(haystack)
+            .into_iter()
+            .map(|o| (o.pattern, o.end))
+            .collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_and_degenerate_builds() {
+        let ac = AnchorAutomaton::build::<&str>(&[]);
+        assert_eq!(ac.match_token(b"anything"), None);
+        assert!(ac.scan_bytes(b"anything").is_empty());
+
+        // Empty patterns are ignored, later duplicates win the terminal.
+        let ac = AnchorAutomaton::build(&["", "dup", "dup"]);
+        assert_eq!(ac.match_token(b"dup"), Some(2));
+        assert_eq!(ac.match_token(b""), None);
+    }
+
+    #[test]
+    fn roundtrips_through_the_codec() {
+        let ac = AnchorAutomaton::build(&patterns());
+        let mut enc = Encoder::new();
+        ac.encode_into(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = AnchorAutomaton::decode_from(&mut dec).expect("decodes");
+        dec.finish().expect("fully consumed");
+        assert_eq!(back, ac);
+        assert_eq!(back.match_token(b"hers"), Some(3));
+        assert_eq!(
+            back.scan_bytes(b"ushers").len(),
+            ac.scan_bytes(b"ushers").len()
+        );
+    }
+
+    #[test]
+    fn decode_rejects_structural_damage() {
+        let ac = AnchorAutomaton::build(&patterns());
+        let mut enc = Encoder::new();
+        ac.encode_into(&mut enc);
+        let bytes = enc.into_bytes();
+        // Truncations decode to clean errors, never panics.
+        for cut in 0..bytes.len() {
+            let mut dec = Decoder::new(&bytes[..cut]);
+            let result = AnchorAutomaton::decode_from(&mut dec);
+            if let Ok(decoded) = result {
+                // A prefix that happens to parse must still be structurally
+                // valid — exercised by walking it.
+                let _ = decoded.scan_bytes(b"she sells seashells");
+            }
+        }
+    }
+}

@@ -27,7 +27,15 @@
 //! matches a signature if some window of its token stream satisfies every
 //! element of the signature in sequence. This is deliberately the same
 //! representation the generator works in, so a signature is guaranteed to
-//! match the samples it was generated from.
+//! match the samples it was generated from. At deployment scale (tens of
+//! thousands of compounding daily signatures) the scan runs through a
+//! staged pipeline — an Aho–Corasick anchor automaton
+//! ([`automaton::AnchorAutomaton`]), batched per-window prefilters
+//! ([`prefilter`]), and a literal-confirmation step — that returns
+//! exactly the linear scan's answer at a per-document cost independent
+//! of the signature count (see [`matcher`] for the full cost model).
+//! [`verify`] adds a banded near-miss kernel behind
+//! [`SignatureSet::scan_stream_nearest`].
 //!
 //! ## Example
 //!
@@ -52,10 +60,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod automaton;
 pub mod generate;
 pub mod matcher;
 pub mod pattern;
+pub mod prefilter;
+pub mod verify;
 
+pub use automaton::AnchorAutomaton;
 pub use generate::{generate_signature, GenerateError};
-pub use matcher::SignatureSet;
+pub use matcher::{LabeledSignature, ScanPipeline, SignatureSet};
 pub use pattern::{CharClass, Element, Signature, SignatureConfig};
+pub use verify::NearestMatch;

@@ -1,29 +1,60 @@
-//! A deployable set of labeled signatures.
+//! A deployable set of labeled signatures and its three-stage scan
+//! pipeline.
 //!
 //! This is the consumer side of Kizzle: the signatures the compiler emits
 //! are deployed to a scanner (browser, desktop AV, or CDN-side, per the
 //! paper's deployment-channel discussion) which matches incoming documents
-//! against the active set.
+//! against the active set. The set compounds daily — 50k–500k live
+//! signatures at multi-tenant scale — so the scan must stay cheap in the
+//! *signature count*, not just the document length. Scanning runs through
+//! a [`ScanPipeline`] built once per sealed set:
 //!
-//! Scanning is **anchored**: every signature with a selective literal
-//! element (at least `MIN_ANCHOR_LEN` chars; longest text wins — long
-//! literals are the most selective) registers that literal in an inverted
-//! index from literal text to `(signature, offset)`. A scan walks the
-//! document's tokens once, looks each token up in the index, and only
-//! verifies a full signature window where an anchor literal actually
-//! occurs — so a non-matching document costs `O(tokens)` hash lookups
-//! instead of `O(signatures × tokens × signature_len)` window comparisons.
-//! Signatures with no selective literal (rare: pure character classes, or
-//! only ubiquitous punctuation like `=` and `[`) fall back to the linear
-//! scan.
+//! 1. **Anchor automaton** ([`crate::automaton::AnchorAutomaton`]): every
+//!    signature with a selective literal element (at least
+//!    [`MIN_ANCHOR_LEN`] chars; longest wins — long literals are the most
+//!    selective) contributes that literal to one Aho–Corasick automaton
+//!    over *all* anchor literals. A scan walks the document's tokens once
+//!    through the automaton — `O(token bytes)` total, **independent of
+//!    the signature count** — and each terminal hit yields the bucket of
+//!    `(signature, anchor offset)` candidates sharing that literal.
+//! 2. **Batched prefilter** ([`crate::prefilter`]): each candidate's
+//!    token window is screened against fixed-width, branch-free element
+//!    checks over cheap per-token profiles (length, class-acceptance
+//!    mask, content hash), with a window-level class-histogram bound in
+//!    front when many signatures fan out behind one shared literal. The
+//!    profiles are built lazily, so a document that never hits an anchor
+//!    pays stage 1 only.
+//! 3. **Verification**: `Class` elements are already decided exactly by
+//!    stage 2; only `Literal` elements need their text confirmed (the
+//!    profile compares a 32-bit hash). Signatures with no selective
+//!    literal (rare: pure character classes, or only ubiquitous
+//!    punctuation like `=` and `[`) fall back to a linear scan.
+//!
+//! The result is byte-identical to [`SignatureSet::scan_stream_linear`]
+//! — first match in insertion order — property-tested in
+//! `tests/signature_properties.rs`. The pipeline (automaton, buckets,
+//! filters) serializes through [`ScanPipeline::encode_into`] /
+//! [`ScanPipeline::decode_from`] so published snapshot chains ship
+//! ready-to-scan sets; it is immutable once built, and
+//! [`SignatureSet::add`] invalidates it so a mutated set reseals.
+//!
+//! Beyond the exact scan, [`SignatureSet::scan_stream_nearest`] grades
+//! near-misses with the adaptive banded kernel in [`crate::verify`]: the
+//! edit-distance band narrows as the running best improves across the
+//! set.
 
-use crate::pattern::{Element, Signature};
+use crate::automaton::AnchorAutomaton;
+use crate::pattern::{CharClass, Element, Signature};
+use crate::prefilter::{SigFilter, StreamProfile};
+use crate::verify::{nearest_in_stream, stream_deficit, NearestMatch, StreamSummary};
 use kizzle_js::{tokenize_document, TokenStream};
+use kizzle_snapshot::{Decoder, Encoder, SnapshotError};
 use serde::Serialize;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
 
 /// A signature together with the label of the family it detects.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
@@ -35,7 +66,7 @@ pub struct LabeledSignature {
 }
 
 /// A collection of labeled signatures with scan helpers.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Default, Serialize)]
 pub struct SignatureSet {
     signatures: Vec<LabeledSignature>,
     /// Exact-duplicate filter: hash of `(label, elements)` → indices into
@@ -46,11 +77,27 @@ pub struct SignatureSet {
     /// Distinct labels in first-insertion order (what [`SignatureSet::labels`]
     /// returns without rescanning).
     label_order: Vec<String>,
-    /// Anchor index: literal token text → every `(signature index, element
-    /// offset of that literal)` that chose it as its anchor.
-    anchors: HashMap<String, Vec<(usize, usize)>>,
-    /// Indices of signatures with no literal element, scanned linearly.
-    unanchored: Vec<usize>,
+    /// The sealed scan pipeline, built on first scan (or eagerly via
+    /// [`SignatureSet::seal`]) and dropped by [`SignatureSet::add`] —
+    /// derived state, never part of equality or serde.
+    pipeline: OnceLock<Arc<ScanPipeline>>,
+}
+
+impl Clone for SignatureSet {
+    fn clone(&self) -> Self {
+        SignatureSet {
+            signatures: self.signatures.clone(),
+            dedup: self.dedup.clone(),
+            label_order: self.label_order.clone(),
+            // The pipeline is immutable and index-compatible with the
+            // cloned members, so the clone shares it by `Arc` — cloning a
+            // sealed set stays O(members), not O(rebuild).
+            pipeline: match self.pipeline.get() {
+                Some(pipeline) => OnceLock::from(Arc::clone(pipeline)),
+                None => OnceLock::new(),
+            },
+        }
+    }
 }
 
 /// Shortest literal worth anchoring on. Literals below this (single
@@ -58,7 +105,7 @@ pub struct SignatureSet {
 /// in benign documents that every occurrence would trigger a full window
 /// verification, degrading the anchored scan below the linear one; such
 /// signatures go to the `unanchored` fallback instead.
-const MIN_ANCHOR_LEN: usize = 3;
+pub const MIN_ANCHOR_LEN: usize = 3;
 
 /// The anchor of a signature: the offset of its longest literal element, if
 /// that literal is selective enough (see [`MIN_ANCHOR_LEN`]).
@@ -82,6 +129,306 @@ fn dedup_key(label: &str, elements: &[Element]) -> u64 {
     hasher.finish()
 }
 
+/// Does `signature` match `stream` with its element at `offset` placed on
+/// the token at `position`? The aligned-window oracle the staged pipeline
+/// is `debug_assert!`-checked against candidate by candidate.
+fn window_matches(
+    signature: &Signature,
+    stream: &TokenStream,
+    position: usize,
+    offset: usize,
+) -> bool {
+    let Some(start) = position.checked_sub(offset) else {
+        return false;
+    };
+    let tokens = stream.tokens();
+    let n = signature.elements.len();
+    if start + n > tokens.len() {
+        return false;
+    }
+    signature
+        .elements
+        .iter()
+        .zip(&tokens[start..start + n])
+        .all(|(element, token)| element.matches_token(token))
+}
+
+/// Wire version of the serialized pipeline. Bump when the pipeline layout
+/// changes; a version-skewed payload is refused at decode and the loader
+/// falls back to rebuilding from the signatures.
+pub const PIPELINE_VERSION: u16 = 1;
+
+/// Candidate buckets grow a window-histogram pre-gate from this size on:
+/// eight prefix-sum subtractions are only worth it when they can reject
+/// for several fanned-out candidates' element loops at once.
+const HIST_GATE_MIN_SIG_LEN: usize = 8;
+
+/// The sealed, immutable scan structures of one [`SignatureSet`]: the
+/// anchor automaton, the per-literal candidate buckets, the per-signature
+/// prefilters and the unanchored fallback list. Built by
+/// [`SignatureSet::seal`], shared by `Arc` across clones, and shipped
+/// inside snapshots via [`ScanPipeline::encode_into`].
+#[derive(Debug, PartialEq)]
+pub struct ScanPipeline {
+    /// Stage 1: one automaton over every distinct anchor literal.
+    automaton: AnchorAutomaton,
+    /// The distinct anchor literals, indexed by automaton pattern id.
+    literals: Vec<String>,
+    /// Pattern id → `(signature index, anchor element offset)` for every
+    /// signature anchored on that literal, ascending by signature index.
+    buckets: Vec<Vec<(u32, u32)>>,
+    /// Stage 2: one prefilter per signature (aligned with the set).
+    filters: Vec<SigFilter>,
+    /// Signatures with no selective literal, scanned linearly.
+    unanchored: Vec<u32>,
+}
+
+impl ScanPipeline {
+    /// Build the pipeline for a signature slice (insertion order).
+    #[must_use]
+    pub fn build(signatures: &[LabeledSignature]) -> Self {
+        let mut literals: Vec<String> = Vec::new();
+        let mut literal_ids: HashMap<&str, u32> = HashMap::new();
+        let mut buckets: Vec<Vec<(u32, u32)>> = Vec::new();
+        let mut unanchored: Vec<u32> = Vec::new();
+        let mut filters: Vec<SigFilter> = Vec::with_capacity(signatures.len());
+        for (index, labeled) in signatures.iter().enumerate() {
+            let index = u32::try_from(index).expect("signature count fits u32");
+            filters.push(SigFilter::of(&labeled.signature));
+            match anchor_of(&labeled.signature) {
+                Some((offset, text)) => {
+                    let pattern = *literal_ids.entry(text).or_insert_with(|| {
+                        literals.push(text.to_string());
+                        buckets.push(Vec::new());
+                        u32::try_from(literals.len() - 1).expect("literal count fits u32")
+                    });
+                    buckets[pattern as usize]
+                        .push((index, u32::try_from(offset).expect("offset fits u32")));
+                }
+                None => unanchored.push(index),
+            }
+        }
+        let automaton = AnchorAutomaton::build(&literals);
+        ScanPipeline {
+            automaton,
+            literals,
+            buckets,
+            filters,
+            unanchored,
+        }
+    }
+
+    /// The automaton, for observability (state count, pattern count).
+    #[must_use]
+    pub fn automaton(&self) -> &AnchorAutomaton {
+        &self.automaton
+    }
+
+    /// Number of distinct anchor literals.
+    #[must_use]
+    pub fn literal_count(&self) -> usize {
+        self.literals.len()
+    }
+
+    /// Number of signatures on the linear fallback path.
+    #[must_use]
+    pub fn unanchored_count(&self) -> usize {
+        self.unanchored.len()
+    }
+
+    /// The staged scan: returns the index of the first matching signature
+    /// in insertion order — exactly [`SignatureSet::scan_stream_linear`]'s
+    /// answer, reached through the three stages.
+    fn scan(&self, signatures: &[LabeledSignature], stream: &TokenStream) -> Option<usize> {
+        let tokens = stream.tokens();
+        let mut best: Option<usize> = None;
+        // Stage 2's profiles are created on the first automaton hit, so
+        // anchor-free documents never pay for them.
+        let mut profile: Option<StreamProfile> = None;
+        'tokens: for (position, token) in tokens.iter().enumerate() {
+            let Some(pattern) = self.automaton.match_token(token.unquoted().as_bytes()) else {
+                continue;
+            };
+            for &(index, offset) in &self.buckets[pattern as usize] {
+                let index = index as usize;
+                // Buckets ascend by signature index: nothing after this
+                // candidate can beat the running best.
+                if best.is_some_and(|b| index >= b) {
+                    continue 'tokens;
+                }
+                let Some(start) = position.checked_sub(offset as usize) else {
+                    continue;
+                };
+                let filter = &self.filters[index];
+                let n = filter.len();
+                if start + n > tokens.len() {
+                    continue;
+                }
+                let profile = profile.get_or_insert_with(StreamProfile::new);
+                profile.ensure(stream, start + n);
+                if n >= HIST_GATE_MIN_SIG_LEN && filter.hist_rejects(profile, start) {
+                    debug_assert!(!window_matches(
+                        &signatures[index].signature,
+                        stream,
+                        position,
+                        offset as usize
+                    ));
+                    continue;
+                }
+                if !filter.window_passes(profile.window(start, n)) {
+                    debug_assert!(!window_matches(
+                        &signatures[index].signature,
+                        stream,
+                        position,
+                        offset as usize
+                    ));
+                    continue;
+                }
+                // Stage 3: classes are already exact; confirm literal text
+                // (the profile only compared a 32-bit hash).
+                if !confirm_literals(&signatures[index].signature, stream, start) {
+                    continue;
+                }
+                debug_assert!(window_matches(
+                    &signatures[index].signature,
+                    stream,
+                    position,
+                    offset as usize
+                ));
+                best = Some(index);
+                if index == 0 {
+                    // Signature 0 is first in insertion order; nothing can
+                    // beat it, so stop scanning.
+                    return Some(0);
+                }
+            }
+        }
+        // Unanchored signatures cannot use the automaton; check them
+        // directly.
+        for &index in &self.unanchored {
+            let index = index as usize;
+            if best.is_some_and(|b| index >= b) {
+                break;
+            }
+            if signatures[index].signature.matches_stream(stream) {
+                best = Some(index);
+            }
+        }
+        best
+    }
+
+    /// Serialize the pipeline (version-stamped; see [`PIPELINE_VERSION`]).
+    pub fn encode_into(&self, enc: &mut Encoder) {
+        enc.u16(PIPELINE_VERSION);
+        enc.varint_usize(self.filters.len());
+        self.automaton.encode_into(enc);
+        enc.varint_usize(self.literals.len());
+        for (literal, bucket) in self.literals.iter().zip(&self.buckets) {
+            enc.str(literal);
+            enc.varint_usize(bucket.len());
+            for &(index, offset) in bucket {
+                enc.varint(u64::from(index));
+                enc.varint(u64::from(offset));
+            }
+        }
+        for filter in &self.filters {
+            filter.encode_into(enc);
+        }
+        enc.gap_list(&self.unanchored);
+    }
+
+    /// Decode a pipeline written by [`ScanPipeline::encode_into`] for a
+    /// set of `expected_signatures` members, validating the version stamp
+    /// and every index against the set it will serve. A failure here is
+    /// recoverable — the caller rebuilds from the signatures.
+    pub fn decode_from(
+        dec: &mut Decoder<'_>,
+        expected_signatures: usize,
+    ) -> Result<Self, SnapshotError> {
+        let corrupt = |what: &str| SnapshotError::Corrupt(format!("scan pipeline: {what}"));
+        let version = dec.u16()?;
+        if version != PIPELINE_VERSION {
+            return Err(SnapshotError::VersionSkew {
+                found: u32::from(version),
+                expected: u32::from(PIPELINE_VERSION),
+            });
+        }
+        let signature_count = dec.varint_usize()?;
+        if signature_count != expected_signatures {
+            return Err(corrupt("signature count mismatch"));
+        }
+        let automaton = AnchorAutomaton::decode_from(dec)?;
+        let literal_count = dec.varint_usize()?;
+        if literal_count != automaton.pattern_count() {
+            return Err(corrupt("literal count disagrees with automaton"));
+        }
+        let mut literals = Vec::with_capacity(literal_count.min(1 << 20));
+        let mut buckets = Vec::with_capacity(literal_count.min(1 << 20));
+        for _ in 0..literal_count {
+            let literal = dec.str()?.to_string();
+            if literal.len() < MIN_ANCHOR_LEN {
+                return Err(corrupt("anchor literal below minimum length"));
+            }
+            let entry_count = dec.varint_usize()?;
+            let mut bucket: Vec<(u32, u32)> = Vec::with_capacity(entry_count.min(1 << 20));
+            for _ in 0..entry_count {
+                let index = u32::try_from(dec.varint()?).map_err(|_| corrupt("bucket index"))?;
+                if index as usize >= signature_count {
+                    return Err(corrupt("bucket index out of range"));
+                }
+                let offset = u32::try_from(dec.varint()?).map_err(|_| corrupt("anchor offset"))?;
+                if bucket.last().is_some_and(|&(prev, _)| prev >= index) {
+                    return Err(corrupt("bucket not ascending by signature"));
+                }
+                bucket.push((index, offset));
+            }
+            literals.push(literal);
+            buckets.push(bucket);
+        }
+        let mut filters = Vec::with_capacity(signature_count.min(1 << 20));
+        for _ in 0..signature_count {
+            filters.push(SigFilter::decode_from(dec)?);
+        }
+        // Anchor offsets must point inside their signature's window.
+        for bucket in &buckets {
+            for &(index, offset) in bucket {
+                if offset as usize >= filters[index as usize].len() {
+                    return Err(corrupt("anchor offset outside signature"));
+                }
+            }
+        }
+        let unanchored = dec.gap_list()?;
+        if unanchored
+            .iter()
+            .any(|&index| index as usize >= signature_count)
+        {
+            return Err(corrupt("unanchored index out of range"));
+        }
+        Ok(ScanPipeline {
+            automaton,
+            literals,
+            buckets,
+            filters,
+            unanchored,
+        })
+    }
+}
+
+/// Confirm every `Literal` element's text over the window at `start` —
+/// the only part of a prefilter pass that is hash-strength rather than
+/// exact.
+fn confirm_literals(signature: &Signature, stream: &TokenStream, start: usize) -> bool {
+    let tokens = stream.tokens();
+    signature
+        .elements
+        .iter()
+        .zip(&tokens[start..start + signature.elements.len()])
+        .all(|(element, token)| match element {
+            Element::Literal(text) => text == token.unquoted(),
+            Element::Class { .. } => true,
+        })
+}
+
 impl SignatureSet {
     /// Create an empty set.
     #[must_use]
@@ -103,7 +450,8 @@ impl SignatureSet {
 
     /// Add a signature under a family label. If an identical signature is
     /// already present under the same label, the set is unchanged and
-    /// `false` is returned.
+    /// `false` is returned. Adding drops the sealed pipeline; the next
+    /// scan (or explicit [`SignatureSet::seal`]) rebuilds it.
     pub fn add(&mut self, label: impl Into<String>, signature: Signature) -> bool {
         let label = label.into();
         let index = self.signatures.len();
@@ -121,21 +469,45 @@ impl SignatureSet {
         if !self.label_order.contains(&label) {
             self.label_order.push(label.clone());
         }
-        match anchor_of(&signature) {
-            Some((offset, text)) => self
-                .anchors
-                .entry(text.to_string())
-                .or_default()
-                .push((index, offset)),
-            None => self.unanchored.push(index),
-        }
+        self.pipeline.take();
         self.signatures.push(LabeledSignature { label, signature });
         true
+    }
+
+    /// The sealed scan pipeline, building it on first use. Publish paths
+    /// call this eagerly (for the side effect) so the build cost lands at
+    /// compile/publish time, not on the first scanned document.
+    pub fn seal(&self) -> &ScanPipeline {
+        self.pipeline
+            .get_or_init(|| Arc::new(ScanPipeline::build(&self.signatures)))
+    }
+
+    /// True once the pipeline is built (and not invalidated since).
+    #[must_use]
+    pub fn is_sealed(&self) -> bool {
+        self.pipeline.get().is_some()
+    }
+
+    /// Attach a pipeline decoded from a snapshot instead of rebuilding.
+    /// Returns `false` (and keeps the set lazy) if the pipeline does not
+    /// cover exactly this set's signatures or one is already attached.
+    pub fn attach_pipeline(&mut self, pipeline: ScanPipeline) -> bool {
+        if pipeline.filters.len() != self.signatures.len() {
+            return false;
+        }
+        self.pipeline.set(Arc::new(pipeline)).is_ok()
     }
 
     /// Iterate over the labeled signatures.
     pub fn iter(&self) -> std::slice::Iter<'_, LabeledSignature> {
         self.signatures.iter()
+    }
+
+    /// The signature at insertion-order `index` (what
+    /// [`SignatureSet::scan_stream_nearest`] reports).
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<&LabeledSignature> {
+        self.signatures.get(index)
     }
 
     /// Signatures carrying a specific label.
@@ -147,78 +519,17 @@ impl SignatureSet {
             .collect()
     }
 
-    /// Does `signature` match `stream` with its element at `offset` placed
-    /// on the token at `position`?
-    fn window_matches(
-        signature: &Signature,
-        stream: &TokenStream,
-        position: usize,
-        offset: usize,
-    ) -> bool {
-        let Some(start) = position.checked_sub(offset) else {
-            return false;
-        };
-        let tokens = stream.tokens();
-        let n = signature.elements.len();
-        if start + n > tokens.len() {
-            return false;
-        }
-        signature
-            .elements
-            .iter()
-            .zip(&tokens[start..start + n])
-            .all(|(element, token)| element.matches_token(token))
-    }
-
     /// Scan an already tokenized sample; returns the first matching
     /// signature in insertion order (the same answer the linear scan
-    /// gives), located through the anchor index.
+    /// gives), located through the staged pipeline.
     #[must_use]
     pub fn scan_stream(&self, stream: &TokenStream) -> Option<&LabeledSignature> {
-        // Collect candidate signatures whose anchor literal occurs in the
-        // document, with every position it occurs at.
-        let mut best: Option<usize> = None;
-        let consider = |idx: usize, best: &mut Option<usize>| {
-            if best.is_none_or(|b| idx < b) {
-                *best = Some(idx);
-            }
-        };
-        for (position, token) in stream.tokens().iter().enumerate() {
-            if let Some(hits) = self.anchors.get(token.unquoted()) {
-                for &(idx, offset) in hits {
-                    if best.is_some_and(|b| idx >= b) {
-                        continue;
-                    }
-                    if Self::window_matches(
-                        &self.signatures[idx].signature,
-                        stream,
-                        position,
-                        offset,
-                    ) {
-                        consider(idx, &mut best);
-                        if best == Some(0) {
-                            // Signature 0 is first in insertion order;
-                            // nothing can beat it, so stop scanning.
-                            return Some(&self.signatures[0]);
-                        }
-                    }
-                }
-            }
-        }
-        // Unanchored signatures cannot use the index; check them directly.
-        for &idx in &self.unanchored {
-            if best.is_some_and(|b| idx >= b) {
-                continue;
-            }
-            if self.signatures[idx].signature.matches_stream(stream) {
-                consider(idx, &mut best);
-            }
-        }
-        best.map(|idx| &self.signatures[idx])
+        let index = self.seal().scan(&self.signatures, stream)?;
+        Some(&self.signatures[index])
     }
 
     /// Reference linear scan: first signature (in insertion order) matching
-    /// anywhere in the stream. Kept as the oracle the anchored
+    /// anywhere in the stream. Kept as the oracle the staged
     /// [`SignatureSet::scan_stream`] is benchmarked and property-tested
     /// against.
     #[must_use]
@@ -226,6 +537,48 @@ impl SignatureSet {
         self.signatures
             .iter()
             .find(|s| s.signature.matches_stream(stream))
+    }
+
+    /// The signature closest to the stream under the semi-global edit
+    /// distance of [`crate::verify`], within `max_edits`. Ties in distance
+    /// go to the earlier signature; 0 edits coincides with
+    /// [`SignatureSet::scan_stream`]'s match. The cutoff narrows to
+    /// `best - 1` as the running best improves, and signatures whose
+    /// class/literal demands the whole stream provably cannot meet are
+    /// skipped without any DP.
+    #[must_use]
+    pub fn scan_stream_nearest(
+        &self,
+        stream: &TokenStream,
+        max_edits: usize,
+    ) -> Option<NearestMatch> {
+        if self.signatures.is_empty() {
+            return None;
+        }
+        let pipeline = self.seal();
+        let summary = StreamSummary::of(stream);
+        let mut best: Option<NearestMatch> = None;
+        for (index, labeled) in self.signatures.iter().enumerate() {
+            // A later signature only wins with strictly fewer edits.
+            let cutoff = match best {
+                Some(b) => {
+                    if b.edits == 0 {
+                        break;
+                    }
+                    b.edits - 1
+                }
+                None => max_edits,
+            };
+            if stream_deficit(&labeled.signature, &pipeline.filters[index], &summary) > cutoff {
+                continue;
+            }
+            if let Some(edits) =
+                nearest_in_stream(&labeled.signature.elements, stream.tokens(), cutoff)
+            {
+                best = Some(NearestMatch { index, edits });
+            }
+        }
+        best
     }
 
     /// Scan a raw HTML/JavaScript document.
@@ -240,12 +593,118 @@ impl SignatureSet {
     pub fn labels(&self) -> Vec<&str> {
         self.label_order.iter().map(String::as_str).collect()
     }
+
+    /// Serialize the set's members in insertion order (which the scan's
+    /// first-match semantics depend on). The pipeline is **not** included
+    /// — encode it separately via [`SignatureSet::seal`] and
+    /// [`ScanPipeline::encode_into`] when shipping ready-to-scan sets.
+    pub fn encode_into(&self, enc: &mut Encoder) {
+        enc.usize(self.signatures.len());
+        for labeled in &self.signatures {
+            enc.str(&labeled.label);
+            enc.str(&labeled.signature.name);
+            enc.usize(labeled.signature.support);
+            enc.usize(labeled.signature.elements.len());
+            for element in &labeled.signature.elements {
+                match element {
+                    Element::Literal(text) => {
+                        enc.u8(0);
+                        enc.str(text);
+                    }
+                    Element::Class {
+                        class,
+                        min_len,
+                        max_len,
+                    } => {
+                        enc.u8(1);
+                        enc.u8(char_class_code(*class));
+                        enc.usize(*min_len);
+                        enc.usize(*max_len);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rebuild a set from [`SignatureSet::encode_into`] output; the dedup
+    /// and label tables are re-derived by re-adding in order, and the
+    /// pipeline is left unsealed (attach or rebuild separately).
+    pub fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, SnapshotError> {
+        let corrupt = |what: &str| SnapshotError::Corrupt(format!("signature set: {what}"));
+        let count = dec.usize()?;
+        let mut set = SignatureSet::new();
+        for _ in 0..count {
+            let label = dec.str()?.to_string();
+            let name = dec.str()?.to_string();
+            let support = dec.usize()?;
+            let element_count = dec.usize()?;
+            if element_count == 0 {
+                return Err(corrupt("signature without elements"));
+            }
+            let mut elements = Vec::with_capacity(element_count.min(1 << 16));
+            for _ in 0..element_count {
+                elements.push(match dec.u8()? {
+                    0 => Element::Literal(dec.str()?.to_string()),
+                    1 => {
+                        let class = char_class_from_code(dec.u8()?)
+                            .ok_or_else(|| corrupt("unknown character class"))?;
+                        let min_len = dec.usize()?;
+                        let max_len = dec.usize()?;
+                        if min_len > max_len {
+                            return Err(corrupt("inverted class length range"));
+                        }
+                        Element::Class {
+                            class,
+                            min_len,
+                            max_len,
+                        }
+                    }
+                    other => return Err(corrupt(&format!("unknown element tag {other}"))),
+                });
+            }
+            set.add(label, Signature::new(name, elements, support));
+        }
+        Ok(set)
+    }
+}
+
+/// Stable wire code of a [`CharClass`] (part of the signature-set wire
+/// format; distinct from the enum discriminant by design — the wire
+/// format must survive enum reordering).
+#[must_use]
+pub fn char_class_code(class: CharClass) -> u8 {
+    match class {
+        CharClass::Lower => 0,
+        CharClass::Upper => 1,
+        CharClass::Alpha => 2,
+        CharClass::Digits => 3,
+        CharClass::HexLower => 4,
+        CharClass::AlphaNum => 5,
+        CharClass::Wordlike => 6,
+        CharClass::Any => 7,
+    }
+}
+
+/// Inverse of [`char_class_code`].
+#[must_use]
+pub fn char_class_from_code(code: u8) -> Option<CharClass> {
+    Some(match code {
+        0 => CharClass::Lower,
+        1 => CharClass::Upper,
+        2 => CharClass::Alpha,
+        3 => CharClass::Digits,
+        4 => CharClass::HexLower,
+        5 => CharClass::AlphaNum,
+        6 => CharClass::Wordlike,
+        7 => CharClass::Any,
+        _ => return None,
+    })
 }
 
 impl PartialEq for SignatureSet {
     fn eq(&self, other: &Self) -> bool {
-        // The lookup structures are derived from `signatures`; comparing
-        // the members is the whole story.
+        // The lookup structures (dedup, labels, pipeline) are derived from
+        // `signatures`; comparing the members is the whole story.
         self.signatures == other.signatures
     }
 }
@@ -274,7 +733,7 @@ impl fmt::Display for SignatureSet {
 mod tests {
     use super::*;
     use crate::generate::generate_signature;
-    use crate::pattern::{CharClass, SignatureConfig};
+    use crate::pattern::SignatureConfig;
     use kizzle_js::tokenize;
 
     fn nuclear_like_signature() -> Signature {
@@ -344,11 +803,11 @@ mod tests {
             "<script>this this this = = = fromCharCode</script>",
         ] {
             let stream = kizzle_js::tokenize_document(doc);
-            let anchored = set.scan_stream(&stream).map(|s| s.signature.name.clone());
+            let staged = set.scan_stream(&stream).map(|s| s.signature.name.clone());
             let linear = set
                 .scan_stream_linear(&stream)
                 .map(|s| s.signature.name.clone());
-            assert_eq!(anchored, linear, "doc: {doc}");
+            assert_eq!(staged, linear, "doc: {doc}");
         }
     }
 
@@ -414,8 +873,77 @@ mod tests {
         );
         let mut set = SignatureSet::new();
         set.add("X", classes_only);
+        assert_eq!(set.seal().unanchored_count(), 1);
         assert!(set.scan_stream(&tokenize("abc 123")).is_some());
         assert!(set.scan_stream(&tokenize("ABC 123")).is_none());
+    }
+
+    #[test]
+    fn adding_a_signature_invalidates_the_sealed_pipeline() {
+        let mut set = SignatureSet::new();
+        set.add("Nuclear", nuclear_like_signature());
+        assert!(!set.is_sealed());
+        let _ = set.seal();
+        assert!(set.is_sealed());
+        set.add("RIG", rig_like_signature());
+        assert!(!set.is_sealed(), "add must drop the stale pipeline");
+        // The resealed pipeline covers both signatures.
+        let stream = kizzle_js::tokenize_document(
+            r#"<script>piece = buf.split(del); el.text += String.fromCharCode(piece[k]);</script>"#,
+        );
+        assert_eq!(set.scan_stream(&stream).unwrap().label, "RIG");
+    }
+
+    #[test]
+    fn cloning_a_sealed_set_shares_the_pipeline() {
+        let mut set = SignatureSet::new();
+        set.add("Nuclear", nuclear_like_signature());
+        let _ = set.seal();
+        let clone = set.clone();
+        assert!(clone.is_sealed(), "clone keeps the sealed pipeline");
+        assert!(
+            std::ptr::eq(set.seal(), clone.seal()),
+            "shared, not rebuilt"
+        );
+        // An unsealed set clones unsealed.
+        let mut lazy = SignatureSet::new();
+        lazy.add("Nuclear", nuclear_like_signature());
+        assert!(!lazy.clone().is_sealed());
+    }
+
+    #[test]
+    fn shared_anchor_literal_fans_out_through_one_bucket() {
+        // Many signatures anchored on the same literal but with different
+        // class length ranges: the prefilter must pick exactly the right
+        // one, in insertion order.
+        let mut set = SignatureSet::new();
+        for i in 0..50usize {
+            set.add(
+                "X",
+                Signature::new(
+                    format!("shared.sig{i}"),
+                    vec![
+                        Element::Literal("sharedAnchor".to_string()),
+                        Element::Class {
+                            class: CharClass::Digits,
+                            min_len: i + 1,
+                            max_len: i + 1,
+                        },
+                    ],
+                    1,
+                ),
+            );
+        }
+        assert_eq!(set.seal().literal_count(), 1, "one shared literal");
+        // A document whose digit run is 8 long matches exactly sig7.
+        let stream = tokenize("sharedAnchor 12345678");
+        assert_eq!(
+            set.scan_stream(&stream).unwrap().signature.name,
+            "shared.sig7"
+        );
+        let linear = set.scan_stream_linear(&stream).unwrap();
+        assert_eq!(linear.signature.name, "shared.sig7");
+        assert!(set.scan_stream(&tokenize("sharedAnchor x")).is_none());
     }
 
     #[test]
@@ -439,6 +967,8 @@ mod tests {
         assert_eq!(set.labels(), vec!["Nuclear", "RIG"]);
         assert_eq!(set.for_label("Nuclear").len(), 2);
         assert_eq!(set.for_label("Angler").len(), 0);
+        assert_eq!(set.get(0).unwrap().label, "Nuclear");
+        assert!(set.get(3).is_none());
     }
 
     #[test]
@@ -446,6 +976,7 @@ mod tests {
         let set = SignatureSet::new();
         assert!(set.is_empty());
         assert!(set.scan_document("<script>anything()</script>").is_none());
+        assert!(set.scan_stream_nearest(&tokenize("anything"), 10).is_none());
     }
 
     #[test]
@@ -472,5 +1003,156 @@ mod tests {
         let text = set.to_string();
         assert!(text.contains("1 signatures"));
         assert!(text.contains("NEK.sig1"));
+    }
+
+    #[test]
+    fn nearest_scan_agrees_with_exact_scan_on_hits() {
+        let mut set = SignatureSet::new();
+        set.add("Nuclear", nuclear_like_signature());
+        set.add("RIG", rig_like_signature());
+        let stream = kizzle_js::tokenize_document(
+            r#"<script>zZzQ9p = this["abc"]("ev#000000al");</script>"#,
+        );
+        let exact = set.scan_stream(&stream).expect("exact match");
+        let nearest = set.scan_stream_nearest(&stream, 5).expect("nearest");
+        assert_eq!(nearest.edits, 0);
+        assert_eq!(set.get(nearest.index).unwrap().label, exact.label);
+    }
+
+    #[test]
+    fn nearest_scan_grades_near_misses() {
+        let mut set = SignatureSet::new();
+        set.add(
+            "X",
+            Signature::new(
+                "x.sig1",
+                vec![
+                    Element::Literal("decode".to_string()),
+                    Element::Literal("(".to_string()),
+                    Element::Literal("payload".to_string()),
+                    Element::Literal(")".to_string()),
+                ],
+                1,
+            ),
+        );
+        // One token substituted inside the window: distance 1.
+        let stream = tokenize("decode(other)");
+        assert!(set.scan_stream(&stream).is_none(), "not an exact match");
+        let nearest = set.scan_stream_nearest(&stream, 3).expect("graded");
+        assert_eq!(nearest.edits, 1);
+        // Budget below the distance: no hit.
+        assert!(set.scan_stream_nearest(&stream, 0).is_none());
+        // Ties in distance go to the earlier signature; strictly closer
+        // later signatures win.
+        set.add(
+            "Y",
+            Signature::new(
+                "y.sig1",
+                vec![
+                    Element::Literal("decode".to_string()),
+                    Element::Literal("(".to_string()),
+                    Element::Literal("other".to_string()),
+                    Element::Literal(")".to_string()),
+                ],
+                1,
+            ),
+        );
+        let nearest = set.scan_stream_nearest(&stream, 3).expect("graded");
+        assert_eq!((nearest.index, nearest.edits), (1, 0));
+    }
+
+    #[test]
+    fn set_codec_roundtrips_and_rejects_damage() {
+        let mut set = SignatureSet::new();
+        set.add("Nuclear", nuclear_like_signature());
+        set.add("RIG", rig_like_signature());
+        let mut enc = Encoder::new();
+        set.encode_into(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let restored = SignatureSet::decode_from(&mut dec).expect("decodes");
+        dec.finish().expect("fully consumed");
+        assert_eq!(restored, set);
+        assert_eq!(restored.labels(), set.labels());
+        assert!(!restored.is_sealed(), "codec ships members, not pipeline");
+        // Truncations fail cleanly.
+        let mut dec = Decoder::new(&bytes[..bytes.len() - 3]);
+        assert!(SignatureSet::decode_from(&mut dec)
+            .and_then(|_| dec.finish())
+            .is_err());
+    }
+
+    #[test]
+    fn pipeline_codec_roundtrips_and_validates() {
+        let mut set = SignatureSet::new();
+        set.add("Nuclear", nuclear_like_signature());
+        set.add("RIG", rig_like_signature());
+        let pipeline = set.seal();
+        let mut enc = Encoder::new();
+        pipeline.encode_into(&mut enc);
+        let bytes = enc.into_bytes();
+
+        let mut dec = Decoder::new(&bytes);
+        let decoded = ScanPipeline::decode_from(&mut dec, set.len()).expect("decodes");
+        dec.finish().expect("fully consumed");
+        assert_eq!(&decoded, pipeline);
+
+        // Wrong signature count is refused (a pipeline must exactly cover
+        // the set it serves).
+        let mut dec = Decoder::new(&bytes);
+        assert!(ScanPipeline::decode_from(&mut dec, set.len() + 1).is_err());
+
+        // Version skew is a typed error so loaders can fall back.
+        let mut skewed = bytes.clone();
+        skewed[0] ^= 0x40;
+        let mut dec = Decoder::new(&skewed);
+        assert!(matches!(
+            ScanPipeline::decode_from(&mut dec, set.len()),
+            Err(SnapshotError::VersionSkew { .. })
+        ));
+
+        // A decoded pipeline attached to an equal set scans identically.
+        let mut enc = Encoder::new();
+        set.encode_into(&mut enc);
+        let set_bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&set_bytes);
+        let mut restored = SignatureSet::decode_from(&mut dec).expect("set decodes");
+        let mut dec = Decoder::new(&bytes);
+        let decoded = ScanPipeline::decode_from(&mut dec, restored.len()).expect("decodes");
+        assert!(restored.attach_pipeline(decoded));
+        assert!(restored.is_sealed());
+        let doc = r#"<script>zZzQ9p = this["abc"]("ev#000000al");</script>"#;
+        assert_eq!(
+            restored.scan_document(doc).map(|s| s.label.clone()),
+            set.scan_document(doc).map(|s| s.label.clone())
+        );
+
+        // Truncations decode to clean errors.
+        for cut in 0..bytes.len() {
+            let mut dec = Decoder::new(&bytes[..cut]);
+            assert!(
+                ScanPipeline::decode_from(&mut dec, set.len())
+                    .and_then(|_| dec.finish())
+                    .is_err(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn attach_pipeline_refuses_mismatched_coverage() {
+        let mut set = SignatureSet::new();
+        set.add("Nuclear", nuclear_like_signature());
+        let pipeline = ScanPipeline::build(&[]);
+        assert!(!set.attach_pipeline(pipeline), "covers 0 of 1 signatures");
+        assert!(!set.is_sealed());
+    }
+
+    #[test]
+    fn char_class_codes_roundtrip() {
+        for class in CharClass::TEMPLATES {
+            assert_eq!(char_class_from_code(char_class_code(class)), Some(class));
+        }
+        assert_eq!(char_class_from_code(99), None);
     }
 }

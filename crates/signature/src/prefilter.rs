@@ -1,0 +1,528 @@
+//! Batched candidate prefilter — stage 2 of the scan pipeline.
+//!
+//! The anchor automaton (stage 1) reports *where* a signature's anchor
+//! literal occurs; this module decides, cheaply, whether the surrounding
+//! token window can possibly satisfy the whole signature before the exact
+//! verifier (stage 3) touches any string data. It borrows the cluster
+//! index's histogram idiom — compare cheap per-item summaries before the
+//! expensive kernel — and lays everything out SIMD-friendly: fixed-width
+//! [`ElemCheck`] records evaluated in a branch-free loop of integer
+//! compares and mask tests over precomputed [`TokenProfile`]s.
+//!
+//! Two levels, cheapest first:
+//!
+//! 1. **Window class histogram** ([`SigFilter::hist_rejects`]): for each
+//!    of the 8 [`CharClass`]es, the window must contain at least as many
+//!    tokens *acceptable* to class `c` as the signature has `Class`
+//!    elements of class `c`. Eight subtractions against prefix sums —
+//!    `O(1)` in the signature length, so it runs first for long
+//!    signatures fanned out behind a shared anchor literal.
+//! 2. **Element-wise profile check** ([`SigFilter::window_passes`]): one
+//!    fixed-width compare per element against the token profile at its
+//!    offset. For `Class` elements the check is **exact** (length range +
+//!    acceptability bit reproduce `Element::matches_token` precisely);
+//!    for `Literal` elements it compares a 32-bit FNV-1a hash and the
+//!    length, so a pass still needs stage 3's literal text confirmation
+//!    (hash collisions) but a fail is final.
+//!
+//! Profiles are built **lazily**: a document whose tokens never hit the
+//! automaton pays nothing here, keeping the miss path at stage-1 cost.
+
+use crate::pattern::{CharClass, Element, Signature};
+use kizzle_js::TokenStream;
+use kizzle_snapshot::{Decoder, Encoder, SnapshotError};
+
+/// Per-token summary the branch-free checks compare against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TokenProfile {
+    /// Character (not byte) count of the token's unquoted text.
+    pub chars: u32,
+    /// FNV-1a 32-bit hash of the unquoted bytes.
+    pub hash: u32,
+    /// Bit `c` set iff the [`CharClass`] with discriminant `c` accepts
+    /// every character.
+    pub mask: u8,
+}
+
+/// FNV-1a, 32-bit — the literal-hash side of [`TokenProfile`].
+#[must_use]
+pub fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+/// Class-acceptance mask of one character: bit `c` set iff template `c`
+/// accepts it. ASCII goes through a precomputed table; anything beyond
+/// ASCII is accepted only by [`CharClass::Any`].
+#[inline]
+fn char_mask(c: char) -> u8 {
+    const TABLE: [u8; 128] = build_char_table();
+    if (c as u32) < 128 {
+        TABLE[c as usize]
+    } else {
+        1 << (CharClass::Any as u8)
+    }
+}
+
+const fn build_char_table() -> [u8; 128] {
+    let mut table = [0u8; 128];
+    let mut i = 0;
+    while i < 128 {
+        let c = i as u8 as char;
+        let mut mask = 0u8;
+        // Mirrors `CharClass::accepts` exactly; const fn, so spelled out.
+        if c.is_ascii_lowercase() {
+            mask |= 1 << (CharClass::Lower as u8);
+        }
+        if c.is_ascii_uppercase() {
+            mask |= 1 << (CharClass::Upper as u8);
+        }
+        if c.is_ascii_alphabetic() {
+            mask |= 1 << (CharClass::Alpha as u8);
+        }
+        if c.is_ascii_digit() {
+            mask |= 1 << (CharClass::Digits as u8);
+        }
+        if c.is_ascii_digit() || (c as u8 >= b'a' && c as u8 <= b'f') {
+            mask |= 1 << (CharClass::HexLower as u8);
+        }
+        if c.is_ascii_alphanumeric() {
+            mask |= 1 << (CharClass::AlphaNum as u8);
+        }
+        if c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | ':' | '/' | '?' | '=' | '&' | '-') {
+            mask |= 1 << (CharClass::Wordlike as u8);
+        }
+        mask |= 1 << (CharClass::Any as u8);
+        table[i] = mask;
+        i += 1;
+    }
+    table
+}
+
+/// Profile one token's unquoted text.
+#[must_use]
+pub fn profile_text(text: &str) -> TokenProfile {
+    let mut chars: u32 = 0;
+    let mut mask: u8 = 0xFF;
+    for c in text.chars() {
+        chars += 1;
+        mask &= char_mask(c);
+    }
+    // The empty string is accepted by every class (`accepts_all` over no
+    // characters), which `mask = 0xFF` already encodes.
+    TokenProfile {
+        chars,
+        hash: fnv1a32(text.as_bytes()),
+        mask,
+    }
+}
+
+/// Lazily grown per-stream profile table with per-class prefix sums.
+///
+/// Construction cost is strictly proportional to the **profiled prefix**:
+/// [`StreamProfile::ensure`] extends coverage monotonically as the scan
+/// advances, so a document whose first anchor hit is at token `k` only
+/// ever profiles `k + window` tokens — and a document with no anchor hits
+/// never allocates one of these at all (the matcher creates the profile on
+/// first use).
+#[derive(Debug, Default)]
+pub struct StreamProfile {
+    profiles: Vec<TokenProfile>,
+    /// `prefix[i][c]` = number of tokens in `[0, i)` whose mask has bit
+    /// `c`; row `i` exists once token `i - 1` is profiled.
+    prefix: Vec<[u32; 8]>,
+}
+
+impl StreamProfile {
+    /// An empty profile; tokens are summarized on demand via
+    /// [`StreamProfile::ensure`].
+    #[must_use]
+    pub fn new() -> Self {
+        StreamProfile {
+            profiles: Vec::new(),
+            prefix: vec![[0u32; 8]],
+        }
+    }
+
+    /// Number of tokens profiled so far.
+    #[must_use]
+    pub fn covered(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Extend coverage so tokens `[0, upto)` are profiled. `upto` beyond
+    /// the stream length is clamped.
+    pub fn ensure(&mut self, stream: &TokenStream, upto: usize) {
+        let tokens = stream.tokens();
+        let upto = upto.min(tokens.len());
+        while self.profiles.len() < upto {
+            let profile = profile_text(tokens[self.profiles.len()].unquoted());
+            let mut row = *self.prefix.last().expect("row 0 exists");
+            for (c, slot) in row.iter_mut().enumerate() {
+                *slot += u32::from(profile.mask >> c & 1);
+            }
+            self.prefix.push(row);
+            self.profiles.push(profile);
+        }
+    }
+
+    /// Profiles of the window `[start, start + len)` — the caller must
+    /// have [`StreamProfile::ensure`]d coverage.
+    #[must_use]
+    pub fn window(&self, start: usize, len: usize) -> &[TokenProfile] {
+        &self.profiles[start..start + len]
+    }
+
+    /// Count of tokens acceptable to class `c` within `[start, end)`.
+    #[inline]
+    #[must_use]
+    pub fn class_count(&self, c: usize, start: usize, end: usize) -> u32 {
+        self.prefix[end][c] - self.prefix[start][c]
+    }
+}
+
+/// Element kinds in [`ElemCheck::kind`].
+const KIND_LITERAL: u8 = 0;
+const KIND_CLASS: u8 = 1;
+
+/// One fixed-width, branch-free element check. 16 bytes, compared with
+/// two integer range tests, one equality and one mask probe — no string
+/// data touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElemCheck {
+    /// Minimum unquoted character count.
+    min: u32,
+    /// Maximum unquoted character count.
+    max: u32,
+    /// For literals: FNV-1a of the literal bytes. Unused for classes.
+    hash: u32,
+    /// For classes: the class index (bit position). Unused for literals.
+    class_bit: u8,
+    /// [`KIND_LITERAL`] or [`KIND_CLASS`].
+    kind: u8,
+}
+
+impl ElemCheck {
+    fn of(element: &Element) -> Self {
+        match element {
+            Element::Literal(text) => {
+                let chars = u32::try_from(text.chars().count()).unwrap_or(u32::MAX);
+                ElemCheck {
+                    min: chars,
+                    max: chars,
+                    hash: fnv1a32(text.as_bytes()),
+                    class_bit: 0,
+                    kind: KIND_LITERAL,
+                }
+            }
+            Element::Class {
+                class,
+                min_len,
+                max_len,
+            } => ElemCheck {
+                min: u32::try_from(*min_len).unwrap_or(u32::MAX),
+                max: u32::try_from(*max_len).unwrap_or(u32::MAX),
+                hash: 0,
+                class_bit: *class as u8,
+                kind: KIND_CLASS,
+            },
+        }
+    }
+}
+
+/// The prefilter view of one signature: its element checks plus the class
+/// histogram the window-level bound compares against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SigFilter {
+    checks: Vec<ElemCheck>,
+    /// `hist[c]` = number of `Class` elements of class `c`.
+    hist: [u16; 8],
+}
+
+impl SigFilter {
+    /// Build the filter for one signature.
+    #[must_use]
+    pub fn of(signature: &Signature) -> Self {
+        let checks: Vec<ElemCheck> = signature.elements.iter().map(ElemCheck::of).collect();
+        let mut hist = [0u16; 8];
+        for element in &signature.elements {
+            if let Element::Class { class, .. } = element {
+                hist[*class as usize] = hist[*class as usize].saturating_add(1);
+            }
+        }
+        SigFilter { checks, hist }
+    }
+
+    /// Window length the signature needs (its element count).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.checks.len()
+    }
+
+    /// True for the (unconstructible) empty signature.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.checks.is_empty()
+    }
+
+    /// Level 1: can the window `[start, start + len)` be rejected on class
+    /// counts alone? `true` means *reject* — some class is demanded more
+    /// times than the window has acceptable tokens.
+    #[inline]
+    #[must_use]
+    pub fn hist_rejects(&self, profile: &StreamProfile, start: usize) -> bool {
+        let end = start + self.checks.len();
+        let mut deficit = 0u32;
+        for (c, &need) in self.hist.iter().enumerate() {
+            let have = profile.class_count(c, start, end);
+            deficit |= u32::from(have < u32::from(need));
+        }
+        deficit != 0
+    }
+
+    /// Level 2: the branch-free element-wise check over the window's
+    /// profiles. A `false` is a certain rejection; a `true` is exact for
+    /// `Class` elements and hash-strength for `Literal` elements (the
+    /// matcher confirms literal text afterwards).
+    #[inline]
+    #[must_use]
+    pub fn window_passes(&self, window: &[TokenProfile]) -> bool {
+        debug_assert_eq!(window.len(), self.checks.len());
+        let mut ok = 1u8;
+        for (check, p) in self.checks.iter().zip(window) {
+            let len_ok = u8::from(p.chars >= check.min) & u8::from(p.chars <= check.max);
+            let lit_ok = u8::from(p.hash == check.hash);
+            let class_ok = p.mask >> check.class_bit & 1;
+            let is_class = check.kind; // 0 literal, 1 class
+                                       // Literal: length + hash must hold; class test is vacuous.
+                                       // Class: length + acceptance bit must hold; hash is vacuous.
+            ok &= len_ok & (lit_ok | is_class) & (class_ok | (1 - is_class));
+        }
+        ok == 1
+    }
+
+    /// Number of `Class` elements of class `c` (used by the verify
+    /// kernel's fuzzy histogram bound).
+    #[must_use]
+    pub fn class_demand(&self, c: usize) -> u16 {
+        self.hist[c]
+    }
+
+    /// Serialize the filter.
+    pub fn encode_into(&self, enc: &mut Encoder) {
+        enc.varint_usize(self.checks.len());
+        for check in &self.checks {
+            enc.u8(check.kind);
+            enc.varint(u64::from(check.min));
+            enc.varint(u64::from(check.max));
+            match check.kind {
+                KIND_LITERAL => enc.u32(check.hash),
+                _ => enc.u8(check.class_bit),
+            }
+        }
+        // The histogram re-derives from the checks on decode.
+    }
+
+    /// Decode a filter written by [`SigFilter::encode_into`].
+    pub fn decode_from(dec: &mut Decoder<'_>) -> Result<Self, SnapshotError> {
+        let corrupt = |what: &str| SnapshotError::Corrupt(format!("sig filter: {what}"));
+        let count = dec.varint_usize()?;
+        if count == 0 {
+            return Err(corrupt("empty check list"));
+        }
+        let mut checks = Vec::with_capacity(count.min(1 << 16));
+        let mut hist = [0u16; 8];
+        for _ in 0..count {
+            let kind = dec.u8()?;
+            let min = u32::try_from(dec.varint()?).map_err(|_| corrupt("min length"))?;
+            let max = u32::try_from(dec.varint()?).map_err(|_| corrupt("max length"))?;
+            if min > max {
+                return Err(corrupt("inverted length range"));
+            }
+            let (hash, class_bit) = match kind {
+                KIND_LITERAL => (dec.u32()?, 0),
+                KIND_CLASS => {
+                    let bit = dec.u8()?;
+                    if usize::from(bit) >= CharClass::TEMPLATES.len() {
+                        return Err(corrupt("class bit out of range"));
+                    }
+                    hist[usize::from(bit)] = hist[usize::from(bit)].saturating_add(1);
+                    (0, bit)
+                }
+                other => return Err(corrupt(&format!("unknown element kind {other}"))),
+            };
+            checks.push(ElemCheck {
+                min,
+                max,
+                hash,
+                class_bit,
+                kind,
+            });
+        }
+        Ok(SigFilter { checks, hist })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kizzle_js::tokenize;
+
+    fn sig(elements: Vec<Element>) -> Signature {
+        Signature::new("t", elements, 1)
+    }
+
+    #[test]
+    fn char_table_mirrors_char_class_accepts() {
+        for code in 0u32..128 {
+            let c = char::from_u32(code).unwrap();
+            for class in CharClass::TEMPLATES {
+                let expect = class.accepts(c);
+                let got = char_mask(c) >> (class as u8) & 1 == 1;
+                assert_eq!(got, expect, "char {c:?} class {class:?}");
+            }
+        }
+        // Non-ASCII: only Any.
+        assert_eq!(char_mask('é'), 1 << (CharClass::Any as u8));
+    }
+
+    #[test]
+    fn profile_matches_element_semantics_exactly_for_classes() {
+        let stream = tokenize(r#"abc ABC 123 deadbeef a_b "quoted" é"#);
+        for token in stream.tokens() {
+            let profile = profile_text(token.unquoted());
+            for class in CharClass::TEMPLATES {
+                let len = token.unquoted().chars().count();
+                let element = Element::Class {
+                    class,
+                    min_len: len,
+                    max_len: len,
+                };
+                let exact = element.matches_token(token);
+                let window = [profile];
+                let filter = SigFilter::of(&sig(vec![element]));
+                assert_eq!(
+                    filter.window_passes(&window),
+                    exact,
+                    "token {:?} class {class:?}",
+                    token.text
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn literal_check_accepts_equal_and_rejects_different_text() {
+        let filter = SigFilter::of(&sig(vec![Element::Literal("fromCharCode".into())]));
+        assert!(filter.window_passes(&[profile_text("fromCharCode")]));
+        assert!(!filter.window_passes(&[profile_text("fromCharCodf")]));
+        assert!(!filter.window_passes(&[profile_text("fromCharCod")]));
+    }
+
+    #[test]
+    fn stream_profile_grows_lazily_and_counts_classes() {
+        let stream = tokenize("abc 123 XYZ abc9");
+        let mut profile = StreamProfile::new();
+        assert_eq!(profile.covered(), 0);
+        profile.ensure(&stream, 2);
+        assert_eq!(profile.covered(), 2);
+        profile.ensure(&stream, 1); // monotone: never shrinks
+        assert_eq!(profile.covered(), 2);
+        profile.ensure(&stream, 100); // clamped to the stream
+        assert_eq!(profile.covered(), stream.len());
+        // [abc, 123, XYZ, abc9]: Lower accepts only "abc".
+        assert_eq!(
+            profile.class_count(CharClass::Lower as usize, 0, stream.len()),
+            1
+        );
+        assert_eq!(
+            profile.class_count(CharClass::Digits as usize, 0, 2),
+            1,
+            "only `123` in the first two"
+        );
+        assert_eq!(
+            profile.class_count(CharClass::Any as usize, 0, stream.len()),
+            u32::try_from(stream.len()).unwrap()
+        );
+    }
+
+    #[test]
+    fn hist_reject_fires_only_when_a_class_is_underserved() {
+        // Signature demands two Digits tokens; the window has one.
+        let demanding = SigFilter::of(&sig(vec![
+            Element::Class {
+                class: CharClass::Digits,
+                min_len: 1,
+                max_len: 8,
+            },
+            Element::Class {
+                class: CharClass::Digits,
+                min_len: 1,
+                max_len: 8,
+            },
+        ]));
+        let stream = tokenize("123 abc");
+        let mut profile = StreamProfile::new();
+        profile.ensure(&stream, stream.len());
+        assert!(demanding.hist_rejects(&profile, 0));
+
+        let satisfied = SigFilter::of(&sig(vec![
+            Element::Class {
+                class: CharClass::Digits,
+                min_len: 1,
+                max_len: 8,
+            },
+            Element::Class {
+                class: CharClass::Lower,
+                min_len: 1,
+                max_len: 8,
+            },
+        ]));
+        assert!(!satisfied.hist_rejects(&profile, 0));
+    }
+
+    #[test]
+    fn filters_roundtrip_through_the_codec() {
+        let filter = SigFilter::of(&sig(vec![
+            Element::Literal("this".into()),
+            Element::Class {
+                class: CharClass::AlphaNum,
+                min_len: 3,
+                max_len: 5,
+            },
+            Element::Literal("]".into()),
+        ]));
+        let mut enc = Encoder::new();
+        filter.encode_into(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = SigFilter::decode_from(&mut dec).expect("decodes");
+        dec.finish().expect("fully consumed");
+        assert_eq!(back, filter);
+    }
+
+    #[test]
+    fn decode_rejects_damage() {
+        let filter = SigFilter::of(&sig(vec![Element::Literal("x".into())]));
+        let mut enc = Encoder::new();
+        filter.encode_into(&mut enc);
+        let bytes = enc.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut dec = Decoder::new(&bytes[..cut]);
+            assert!(SigFilter::decode_from(&mut dec).is_err(), "cut {cut}");
+        }
+        // Unknown kind tag.
+        let mut enc = Encoder::new();
+        enc.varint_usize(1);
+        enc.u8(9);
+        enc.varint(1);
+        enc.varint(1);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert!(SigFilter::decode_from(&mut dec).is_err());
+    }
+}

@@ -1,8 +1,12 @@
 //! Property-based tests for signature generation and matching.
 
-use kizzle_js::{tokenize, TokenStream};
+use kizzle_js::{tokenize, Token, TokenStream};
 use kizzle_signature::generate::{find_common_window, generate_signature};
-use kizzle_signature::{CharClass, SignatureConfig};
+use kizzle_signature::verify::nearest_in_stream;
+use kizzle_signature::{
+    CharClass, Element, ScanPipeline, Signature, SignatureConfig, SignatureSet,
+};
+use kizzle_snapshot::{Decoder, Encoder};
 use proptest::prelude::*;
 
 /// Generate a cluster of "packed variants": a fixed structural skeleton with
@@ -20,6 +24,119 @@ fn variant(ids: &[String], payload: &str) -> String {
 
 fn ident_strategy() -> impl Strategy<Value = String> {
     "[a-zA-Z][a-zA-Z0-9]{2,7}"
+}
+
+/// A deliberately tiny vocabulary so generated signatures collide: many
+/// signatures anchor on the *same* literal (shared buckets), some literals
+/// are prefixes of others (overlapping automaton paths), and `ab`/`xy`
+/// sit below `MIN_ANCHOR_LEN` (their signatures take the unanchored
+/// fallback unless another literal qualifies).
+const VOCAB: &[&str] = &[
+    "decode",
+    "decoder",
+    "payload",
+    "this",
+    "ab",
+    "xy",
+    "fromCharCode",
+    "split",
+    "eval",
+];
+
+/// Map an integer seed to an element: mostly vocabulary literals (so
+/// anchors collide), otherwise a class with a small length range. A
+/// deterministic mapping keeps the generators within the vendored
+/// proptest stand-in's strategy surface (vec + integer ranges).
+fn element_from_seed(seed: u32) -> Element {
+    let pick = seed / 8;
+    if seed % 8 < 5 {
+        Element::Literal(VOCAB[pick as usize % VOCAB.len()].to_string())
+    } else {
+        const CLASSES: [CharClass; 4] = [
+            CharClass::Lower,
+            CharClass::Digits,
+            CharClass::AlphaNum,
+            CharClass::Any,
+        ];
+        let class = CLASSES[pick as usize % CLASSES.len()];
+        let min_len = 1 + (pick / 4) as usize % 3;
+        Element::Class {
+            class,
+            min_len,
+            max_len: min_len + (pick / 12) as usize % 5,
+        }
+    }
+}
+
+fn element_strategy() -> impl Strategy<Value = Element> {
+    (0u32..1_000_000).prop_map(element_from_seed)
+}
+
+fn signature_set_strategy() -> impl Strategy<Value = SignatureSet> {
+    prop::collection::vec(prop::collection::vec(element_strategy(), 1..5), 0..12).prop_map(
+        |element_lists| {
+            let mut set = SignatureSet::new();
+            for (i, elements) in element_lists.into_iter().enumerate() {
+                set.add(
+                    if i % 2 == 0 { "Even" } else { "Odd" },
+                    Signature::new(format!("prop.sig{i}"), elements, 1),
+                );
+            }
+            set
+        },
+    )
+}
+
+/// Map an integer seed to a document word: mostly vocabulary (so anchors
+/// hit often), otherwise digit runs or short lowercase noise.
+fn word_from_seed(seed: u32) -> String {
+    let pick = seed / 8;
+    match seed % 8 {
+        0..=4 => VOCAB[pick as usize % VOCAB.len()].to_string(),
+        5 => format!("{}", pick % 1_000_000),
+        _ => {
+            let len = 1 + pick as usize % 6;
+            let mut n = pick;
+            (0..len)
+                .map(|_| {
+                    let c = char::from(b'a' + (n % 26) as u8);
+                    n = n / 26 + 7;
+                    c
+                })
+                .collect()
+        }
+    }
+}
+
+/// Documents over the same vocabulary plus digits and noise words —
+/// including the empty document.
+fn document_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u32..1_000_000, 0..30).prop_map(|seeds| {
+        seeds
+            .into_iter()
+            .map(word_from_seed)
+            .collect::<Vec<_>>()
+            .join(" ")
+    })
+}
+
+/// Full, unbanded semi-global DP — the independent oracle the banded
+/// kernel is held to (mirrors `verify::nearest_naive`, reimplemented here
+/// because that one is crate-private).
+fn naive_nearest(elements: &[Element], tokens: &[Token]) -> usize {
+    let m = elements.len();
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut best = m;
+    for token in tokens {
+        let mut cur = vec![0usize; m + 1];
+        for j in 1..=m {
+            let sub = usize::from(!elements[j - 1].matches_token(token));
+            cur[j] = (prev[j - 1] + sub).min(prev[j] + 1).min(cur[j - 1] + 1);
+        }
+        best = best.min(cur[m]);
+        prev = cur;
+    }
+    best
 }
 
 proptest! {
@@ -83,6 +200,112 @@ proptest! {
             prop_assert!(class.accepts_all(v), "{class:?} rejects {v:?}");
         }
         prop_assert!(CharClass::TEMPLATES.contains(&class));
+    }
+
+    /// The tentpole property: the staged pipeline scan (Aho–Corasick
+    /// anchors → batched prefilter → literal confirmation) returns exactly
+    /// the linear oracle's answer on arbitrary sets and documents —
+    /// including duplicate and overlapping anchor literals, signatures
+    /// whose only literals sit below `MIN_ANCHOR_LEN`, and empty streams.
+    #[test]
+    fn staged_scan_equals_linear_oracle(
+        set in signature_set_strategy(),
+        docs in prop::collection::vec(document_strategy(), 1..6),
+    ) {
+        for doc in &docs {
+            let stream = tokenize(doc);
+            let staged = set.scan_stream(&stream).map(|s| s.signature.name.as_str());
+            let linear = set
+                .scan_stream_linear(&stream)
+                .map(|s| s.signature.name.as_str());
+            prop_assert_eq!(staged, linear, "doc: {:?}", doc);
+        }
+        // The empty stream, explicitly.
+        prop_assert!(set.scan_stream(&tokenize("")).is_none());
+    }
+
+    /// A set and pipeline shipped through the codec scan byte-identically
+    /// to the originals on arbitrary documents.
+    #[test]
+    fn codec_roundtrip_preserves_scan_results(
+        set in signature_set_strategy(),
+        docs in prop::collection::vec(document_strategy(), 1..4),
+    ) {
+        let mut enc = Encoder::new();
+        set.encode_into(&mut enc);
+        let set_bytes = enc.into_bytes();
+        let mut enc = Encoder::new();
+        set.seal().encode_into(&mut enc);
+        let pipeline_bytes = enc.into_bytes();
+
+        let mut dec = Decoder::new(&set_bytes);
+        let mut restored = SignatureSet::decode_from(&mut dec).expect("set decodes");
+        dec.finish().expect("set fully consumed");
+        let mut dec = Decoder::new(&pipeline_bytes);
+        let pipeline =
+            ScanPipeline::decode_from(&mut dec, restored.len()).expect("pipeline decodes");
+        dec.finish().expect("pipeline fully consumed");
+        prop_assert_eq!(&restored, &set);
+        prop_assert!(restored.attach_pipeline(pipeline));
+
+        for doc in &docs {
+            let stream = tokenize(doc);
+            prop_assert_eq!(
+                restored.scan_stream(&stream).map(|s| s.signature.name.as_str()),
+                set.scan_stream(&stream).map(|s| s.signature.name.as_str()),
+                "doc: {:?}", doc
+            );
+        }
+    }
+
+    /// The banded verify kernel agrees with the full naive DP at every
+    /// cutoff, and `scan_stream_nearest` reports the lexicographically
+    /// first (edits, index) pair.
+    #[test]
+    fn banded_verify_agrees_with_naive_dp(
+        elements in prop::collection::vec(element_strategy(), 1..6),
+        doc in document_strategy(),
+    ) {
+        let stream = tokenize(&doc);
+        let want = naive_nearest(&elements, stream.tokens());
+        for cutoff in 0..=elements.len() + 2 {
+            let got = nearest_in_stream(&elements, stream.tokens(), cutoff);
+            if want <= cutoff {
+                prop_assert_eq!(got, Some(want), "cutoff {}", cutoff);
+            } else {
+                prop_assert_eq!(got, None, "cutoff {}", cutoff);
+            }
+        }
+    }
+
+    /// Whole-set nearest scan: the winner is the earliest signature at the
+    /// minimum distance, and distance 0 coincides with the exact scan.
+    #[test]
+    fn nearest_scan_is_lexicographically_minimal(
+        set in signature_set_strategy(),
+        doc in document_strategy(),
+    ) {
+        let stream = tokenize(&doc);
+        let max_edits = 3usize;
+        let brute = set
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (naive_nearest(&s.signature.elements, stream.tokens()), i))
+            .filter(|&(d, _)| d <= max_edits)
+            .min();
+        let got = set.scan_stream_nearest(&stream, max_edits);
+        match brute {
+            Some((edits, index)) => {
+                let got = got.expect("a signature within budget");
+                prop_assert_eq!((got.edits, got.index), (edits, index));
+                if edits == 0 {
+                    let exact = set.scan_stream(&stream).expect("exact match at 0 edits");
+                    prop_assert_eq!(&set.get(got.index).unwrap().signature.name,
+                        &exact.signature.name);
+                }
+            }
+            None => prop_assert!(got.is_none()),
+        }
     }
 
     /// Rendering never panics and its length is stable (the Fig. 12 metric
