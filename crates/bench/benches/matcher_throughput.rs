@@ -7,6 +7,9 @@
 //!
 //! * `scan_miss` / `scan_hit` — single-handle latency on pre-tokenized
 //!   benign and malicious streams (the anchored-scan fast paths).
+//! * `scan_punct` — minified-style punctuation-heavy streams where almost
+//!   every token is a one-byte operator: the automaton's first-byte
+//!   skip-loop rejects these before the root goto-table probe (PR 7).
 //! * `parallel_scan_<W>x<K>` — one iteration scans `W × K` streams
 //!   through `W` independently cloned handles on the rayon pool: the
 //!   multi-worker serving loop in miniature. Scans/sec is printed to
@@ -91,6 +94,27 @@ fn bench_matcher(c: &mut Criterion) {
         &packed_samples(kizzle_corpus::KitFamily::Nuclear, 5, n.min(64)),
         cap,
     );
+    // Minified-style pages: long runs of one-byte identifiers and
+    // operators, the worst case for a per-token automaton probe and the
+    // best case for the first-byte skip-loop.
+    let punct: Vec<String> = (0..n)
+        .map(|i| {
+            let mut page = String::from("<html><script>");
+            for k in 0..400 {
+                page.push_str(match (i + k) % 6 {
+                    0 => "a=b;",
+                    1 => "c=(d);",
+                    2 => "e&&f;",
+                    3 => "g[h]=i;",
+                    4 => "j!=k;",
+                    _ => "l+=m;",
+                });
+            }
+            page.push_str("</script></html>");
+            page
+        })
+        .collect();
+    let punct_streams = tokenize_capped(&punct, cap);
 
     let mut group = c.benchmark_group("matcher_throughput");
     group
@@ -111,6 +135,14 @@ fn bench_matcher(c: &mut Criterion) {
         b.iter(|| {
             i = (i + 1) % hit_streams.len();
             black_box(matcher.scan_stream(&hit_streams[i]))
+        })
+    });
+
+    group.bench_function("scan_punct", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % punct_streams.len();
+            black_box(matcher.scan_stream(&punct_streams[i]))
         })
     });
 

@@ -22,7 +22,7 @@
 //! `tests/incremental_properties.rs` hold it to that.
 
 use crate::clustering::Clustering;
-use crate::dbscan::dbscan_with_neighborhoods;
+use crate::dbscan::{dbscan_with_neighborhoods, DbscanParams};
 use crate::distributed::{
     partition_by_key, partition_outcome, reduce_token, DistributedConfig, DistributedStats,
     PartitionOutcome,
@@ -375,14 +375,41 @@ impl CorpusEngine {
     ///
     /// Panics if any id is not live.
     pub fn cluster_day(&mut self, day_ids: &[SampleId]) -> (Clustering, DistributedStats) {
+        self.prepare_day(day_ids).finish()
+    }
+
+    /// Capture one day's clustering inputs under the engine borrow — the
+    /// short phase of [`CorpusEngine::cluster_day`]. The returned
+    /// [`PreparedDay`] owns everything the expensive partition →
+    /// per-partition DBSCAN → reduce dataflow needs ([`Arc`] clones of the
+    /// day's class-strings, day-restricted dense neighborhoods, partition
+    /// keys, drained index stats), so [`PreparedDay::finish`] runs without
+    /// touching the engine at all: the next day can insert, retire, or
+    /// re-cache concurrently and the finished clustering is still
+    /// byte-identical to a serial [`CorpusEngine::cluster_day`] call made
+    /// at capture time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is not live.
+    pub fn prepare_day(&mut self, day_ids: &[SampleId]) -> PreparedDay {
         let n = day_ids.len();
         let mut stats = DistributedStats::default();
-        if n == 0 {
-            return (Clustering::default(), stats);
-        }
         let params = self.config.dbscan;
-
         let t_map = Instant::now();
+        if n == 0 {
+            return PreparedDay {
+                params,
+                partitions: self.config.partitions,
+                seed: self.config.seed,
+                dense: Vec::new(),
+                keys: Vec::new(),
+                day_data: Vec::new(),
+                stats,
+                t_map,
+            };
+        }
+
         // Dense positions of every id in the view (dedup can map several
         // positions to one id).
         let mut positions: HashMap<u32, Vec<usize>> = HashMap::new();
@@ -420,20 +447,74 @@ impl CorpusEngine {
             })
             .collect();
 
+        // Keys were hashed once at store-insert; the daily pass is O(n)
+        // lookups, not O(total bytes) re-hashing. The data Arcs pin the
+        // day's class-strings even if retirement drops them from the store
+        // before `finish` runs.
+        let (keys, day_data) = self.store.day_view(day_ids);
+
+        // Drain the index counters now, while the day still owns them —
+        // queries the *next* day issues while `finish` is in flight must
+        // not be attributed to this day.
+        stats.index.merge(&self.index.take_stats());
+
+        PreparedDay {
+            params,
+            partitions: self.config.partitions,
+            seed: self.config.seed,
+            dense,
+            keys,
+            day_data,
+            stats,
+            t_map,
+        }
+    }
+}
+
+/// One day's clustering inputs, captured by [`CorpusEngine::prepare_day`].
+///
+/// Owns everything the partition/DBSCAN/reduce dataflow needs; `finish`
+/// borrows nothing from the engine, so it can run on another thread while
+/// the engine ingests the next day.
+#[derive(Debug)]
+pub struct PreparedDay {
+    params: DbscanParams,
+    partitions: usize,
+    seed: u64,
+    dense: Vec<Vec<usize>>,
+    keys: Vec<u64>,
+    day_data: Vec<Arc<[u8]>>,
+    stats: DistributedStats,
+    t_map: Instant,
+}
+
+impl PreparedDay {
+    /// Dense positions in the captured view.
+    #[must_use]
+    pub fn sample_count(&self) -> usize {
+        self.day_data.len()
+    }
+
+    /// Run the captured view through partition → per-partition DBSCAN →
+    /// index-routed reduce. Engine-free and byte-identical to the serial
+    /// [`CorpusEngine::cluster_day`] over the same view.
+    #[must_use]
+    pub fn finish(mut self) -> (Clustering, DistributedStats) {
+        let n = self.day_data.len();
+        if n == 0 {
+            return (Clustering::default(), self.stats);
+        }
+        let params = self.params;
+
         // Partition by content key — the same class-string lands in the
         // same partition every day (content-stable, not an `n`-dependent
         // shuffle) — and cluster each partition on its induced subgraph,
         // the same label computation a fresh per-partition index performs.
         let t0 = Instant::now();
-        // Keys were hashed once at store-insert; the daily pass is O(n)
-        // lookups, not O(total bytes) re-hashing.
-        let keys: Vec<u64> = day_ids
-            .iter()
-            .map(|&id| self.store.partition_key(id).expect("day id is live"))
-            .collect();
-        let partitions = partition_by_key(&keys, self.config.partitions, self.config.seed);
-        stats.partition_time = t0.elapsed();
+        let partitions = partition_by_key(&self.keys, self.partitions, self.seed);
+        self.stats.partition_time = t0.elapsed();
 
+        let dense = &self.dense;
         let outcomes: Vec<PartitionOutcome> = partitions
             .par_iter()
             .map(|part| {
@@ -459,19 +540,14 @@ impl CorpusEngine {
                 partition_outcome(&result, part)
             })
             .collect();
-        stats.map_time = t_map.elapsed() - stats.partition_time;
+        self.stats.map_time = self.t_map.elapsed() - self.stats.partition_time;
         for outcome in &outcomes {
-            stats.per_partition_clusters.push(outcome.0.len());
+            self.stats.per_partition_clusters.push(outcome.0.len());
         }
-        stats.index.merge(&self.index.take_stats());
 
         // Index-routed reduce over the dense day view.
-        let day_data: Vec<Arc<[u8]>> = day_ids
-            .iter()
-            .map(|&id| self.store.data(id).expect("day id is live"))
-            .collect();
-        let clustering = reduce_token(&day_data, &params, outcomes, &mut stats);
-        (clustering, stats)
+        let clustering = reduce_token(&self.day_data, &params, outcomes, &mut self.stats);
+        (clustering, self.stats)
     }
 }
 
@@ -539,6 +615,30 @@ mod tests {
             stats2.index
         );
         assert!(stats2.index.cache_hits > 0);
+    }
+
+    #[test]
+    fn prepared_day_finishes_off_thread_while_the_engine_moves_on() {
+        let day1 = family_day(5, 0);
+        let day2 = family_day(4, 7);
+
+        let mut serial = CorpusEngine::new(cfg());
+        let ids1 = serial.add_batch(1, &day1);
+        let (want, _) = serial.cluster_day(&ids1);
+
+        let mut engine = CorpusEngine::new(cfg());
+        let ids1b = engine.add_batch(1, &day1);
+        assert_eq!(ids1, ids1b);
+        let prepared = engine.prepare_day(&ids1b);
+        assert_eq!(prepared.sample_count(), day1.len());
+        let handle = std::thread::spawn(move || prepared.finish());
+        // Mutate the engine while the finish is in flight: insert day 2 and
+        // retire day 1. The captured Arcs keep day 1's bytes alive.
+        engine.add_batch(2, &day2);
+        engine.retire_older_than(2);
+        let (got, stats) = handle.join().expect("finish thread");
+        assert_eq!(want, got);
+        assert!(stats.merged_clusters > 0);
     }
 
     #[test]

@@ -68,6 +68,8 @@ pub use distance::{
     normalized_edit_distance, BitParallelPattern,
 };
 pub use distributed::{partition_key, DistributedClusterer, DistributedConfig, DistributedStats};
-pub use engine::{CorpusEngine, ResumeReport, ENGINE_CHAIN_PREFIX, INDEX_SECTION, STORE_SECTION};
+pub use engine::{
+    CorpusEngine, PreparedDay, ResumeReport, ENGINE_CHAIN_PREFIX, INDEX_SECTION, STORE_SECTION,
+};
 pub use index::{IndexStats, NeighborIndex};
 pub use store::{CorpusStore, SampleId};

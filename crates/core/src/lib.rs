@@ -82,9 +82,9 @@ pub mod snapshot;
 
 pub use config::{KizzleConfig, KizzleConfigBuilder};
 pub use error::KizzleError;
-pub use pipeline::{ClusterVerdict, DayReport, KizzleCompiler};
+pub use pipeline::{ClusterVerdict, DayReport, KizzleCompiler, PipelineStats};
 pub use reference::ReferenceCorpus;
-pub use service::{DaySession, KizzleService, Matcher};
+pub use service::{DaySession, IngestProducer, KizzleService, Matcher, SealHandle};
 pub use snapshot::{config_fingerprint, read_signatures, ResumeReport, DEFAULT_MAX_DELTAS};
 
 pub use kizzle_signature::SignatureSet;
@@ -94,9 +94,9 @@ pub mod prelude {
     //! `use kizzle::prelude::*;`.
     pub use crate::config::{KizzleConfig, KizzleConfigBuilder};
     pub use crate::error::KizzleError;
-    pub use crate::pipeline::{ClusterVerdict, DayReport, KizzleCompiler};
+    pub use crate::pipeline::{ClusterVerdict, DayReport, KizzleCompiler, PipelineStats};
     pub use crate::reference::ReferenceCorpus;
-    pub use crate::service::{DaySession, KizzleService, Matcher};
+    pub use crate::service::{DaySession, IngestProducer, KizzleService, Matcher, SealHandle};
     pub use crate::snapshot::ResumeReport;
     pub use kizzle_signature::SignatureSet;
 }

@@ -24,6 +24,30 @@ pub struct ClusterVerdict {
     pub signature_name: Option<String>,
 }
 
+/// Counters from the session ingest frontend, surfaced per day in the
+/// [`DayReport`] so pipeline overlap and backpressure are measurable.
+///
+/// The single-shot paths ([`KizzleCompiler::process_day`] and friends)
+/// report all zeros; a [`DaySession`](crate::DaySession) counts every
+/// mini-batch, and the bounded-channel frontend additionally records how
+/// often producers stalled on a full channel and how deep the queue got.
+/// Like `clustering_stats`, these are observability fields: they are not
+/// part of the [`fmt::Display`] rendering, and equivalence tests normalize
+/// them away.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Mini-batches submitted for ingest (direct calls and channel sends).
+    pub submitted_batches: u64,
+    /// Mini-batches actually tokenized/deduped/store-inserted. Less than
+    /// `submitted_batches` only when an aborted session discarded work.
+    pub applied_batches: u64,
+    /// Producer sends that found the channel full and had to block — the
+    /// backpressure count.
+    pub producer_stalls: u64,
+    /// High-water mark of mini-batches queued in the channel at once.
+    pub max_queue_depth: u64,
+}
+
 /// The result of processing one day of grayware.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DayReport {
@@ -42,6 +66,8 @@ pub struct DayReport {
     pub new_signatures: Vec<String>,
     /// Timing of the distributed clustering phases.
     pub clustering_stats: DistributedStats,
+    /// Ingest-frontend counters (all zero on the single-shot paths).
+    pub pipeline: PipelineStats,
 }
 
 impl DayReport {
@@ -212,7 +238,7 @@ impl KizzleCompiler {
         );
         let stamp = self.open_day(date);
         let day_ids = self.ingest_streams(stamp, streams);
-        self.seal_day(date, stamp, samples, streams, day_ids)
+        self.seal_day(date, stamp, &samples, streams, day_ids)
     }
 
     /// Session phase 1 — open a day: advance the day counter, retire
@@ -252,24 +278,60 @@ impl KizzleCompiler {
     /// re-runs the same date (allowed by the service's monotone check)
     /// must not leave the day counted twice in `cluster_window` or in
     /// persisted snapshots.
+    ///
+    /// Internally two sub-phases so the service can overlap them with the
+    /// next day: [`KizzleCompiler::seal_view`] captures the clustering
+    /// inputs under the borrow, the engine-free
+    /// [`PreparedDay::finish`](kizzle_cluster::PreparedDay::finish) runs
+    /// the expensive clustering anywhere, and
+    /// [`KizzleCompiler::label_and_sign`] folds the result back in.
     pub(crate) fn seal_day(
         &mut self,
         date: SimDate,
         stamp: u64,
-        samples: &[Sample],
+        samples: &dyn SampleSource,
         streams: &[TokenStream],
         day_ids: Vec<SampleId>,
     ) -> DayReport {
+        let prepared = self.seal_view(stamp, &day_ids);
+        let (clustering, stats) = prepared.finish();
+        self.label_and_sign(date, samples, streams, clustering, stats)
+    }
+
+    /// Seal sub-phase A — record (or replace) the day's retained view and
+    /// capture the clustering inputs while the compiler is borrowed. The
+    /// returned [`PreparedDay`](kizzle_cluster::PreparedDay) owns
+    /// everything the clustering needs, so the borrow can end before the
+    /// expensive work starts.
+    pub(crate) fn seal_view(
+        &mut self,
+        stamp: u64,
+        day_ids: &[SampleId],
+    ) -> kizzle_cluster::PreparedDay {
         self.day_views
             .retain(|(view_stamp, _)| *view_stamp != stamp);
-        self.day_views.push((stamp, day_ids.clone()));
-        let (clustering, stats) = self.engine.cluster_day(&day_ids);
+        self.day_views.push((stamp, day_ids.to_vec()));
+        self.engine.prepare_day(day_ids)
+    }
 
+    /// Seal sub-phase B — label cluster prototypes against the reference
+    /// corpus, absorb labeled prototypes, and generate signatures. Touches
+    /// reference/signatures/counters but **never** the engine, which is
+    /// what lets the next day's ingest mutate the warm store while this
+    /// runs.
+    pub(crate) fn label_and_sign(
+        &mut self,
+        date: SimDate,
+        samples: &dyn SampleSource,
+        streams: &[TokenStream],
+        clustering: Clustering,
+        stats: DistributedStats,
+    ) -> DayReport {
         let mut verdicts = Vec::new();
         let mut new_signatures = Vec::new();
         for cluster in clustering.significant_clusters(self.config.min_cluster_size) {
             let prototype_idx = cluster.prototype.unwrap_or_else(|| cluster.members[0]);
-            let (_, unpacked) = kizzle_unpack::unpack_or_passthrough(&samples[prototype_idx].html);
+            let (_, unpacked) = kizzle_unpack::unpack_or_passthrough(samples.html(prototype_idx));
             let labeled = self.reference.label(&unpacked);
 
             let mut verdict = ClusterVerdict {
@@ -313,12 +375,13 @@ impl KizzleCompiler {
 
         DayReport {
             date,
-            samples: samples.len(),
+            samples: samples.count(),
             clusters: clustering.cluster_count(),
             noise: clustering.noise.len(),
             verdicts,
             new_signatures,
             clustering_stats: stats,
+            pipeline: PipelineStats::default(),
         }
     }
 
@@ -341,6 +404,28 @@ impl KizzleCompiler {
 #[must_use]
 pub fn family_from_label(label: &str) -> Option<KitFamily> {
     KitFamily::ALL.into_iter().find(|f| f.name() == label)
+}
+
+/// Read-only, position-addressed view of a day's buffered samples for the
+/// seal phases. The single-shot paths borrow a contiguous `&[Sample]`; the
+/// session buffers `Arc`-shared chunks (so `ingest_owned`/`ingest_shared`
+/// never copy the day a second time) and exposes them through the same
+/// trait.
+pub(crate) trait SampleSource {
+    /// Number of buffered samples (day positions).
+    fn count(&self) -> usize;
+    /// The raw document at day position `index`.
+    fn html(&self, index: usize) -> &str;
+}
+
+impl SampleSource for &[Sample] {
+    fn count(&self) -> usize {
+        self.len()
+    }
+
+    fn html(&self, index: usize) -> &str {
+        &self[index].html
+    }
 }
 
 #[cfg(test)]

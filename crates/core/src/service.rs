@@ -28,6 +28,20 @@
 //!   touches the shared `RwLock` only on its *first* scan after a publish
 //!   (once a day in production, against a writer that holds it for a
 //!   pointer swap).
+//! * **The ingest side pipelines.** [`DaySession::pipeline`] puts a
+//!   bounded channel and one worker thread in front of the session:
+//!   cloneable [`IngestProducer`]s submit mini-batches
+//!   ([`IngestProducer::send`], `send_owned`, `send_shared` — the
+//!   `Arc<[Sample]>` variant avoids buffering the day twice — or
+//!   `send_tokenized`) and the worker tokenizes/dedups/store-inserts
+//!   off the producers' threads, a full channel blocking them
+//!   (backpressure, counted in [`DayReport`]`.pipeline`). And the seal
+//!   overlaps: [`DaySession::seal_background`] runs the previous day's
+//!   clustering on a background thread while
+//!   [`KizzleService::begin_day`] for the *next* day returns
+//!   immediately — [`SealHandle::wait`] joins the report. Both paths
+//!   stay byte-identical to the synchronous single-shot run (threaded
+//!   property tests in `tests/service_properties.rs`).
 //!
 //! ```
 //! use kizzle::prelude::*;
@@ -56,19 +70,60 @@
 //! assert!(detected > 0);
 //! # Ok::<(), KizzleError>(())
 //! ```
+//!
+//! The pipelined quickstart — producers feed a bounded channel, the
+//! previous day seals in the background while the next day ingests:
+//!
+//! ```
+//! use kizzle::prelude::*;
+//! use kizzle_corpus::{GraywareStream, SimDate, StreamConfig};
+//! use std::sync::Arc;
+//!
+//! let date = SimDate::new(2014, 8, 5);
+//! let config = KizzleConfig::fast();
+//! let reference = ReferenceCorpus::seeded_from_models(date, &config);
+//! let mut service = KizzleService::new(config, reference)?;
+//! let day: Arc<[_]> = GraywareStream::new(StreamConfig::small(7))
+//!     .generate_day(date)
+//!     .into();
+//!
+//! // Day N: mini-batches through the bounded-channel frontend. The
+//! // producer handle is cloneable — one per feeder thread.
+//! let mut session = service.begin_day(date)?;
+//! let producer = session.pipeline(4);
+//! for batch in day.chunks(16) {
+//!     assert!(producer.send(batch));
+//! }
+//! drop(producer);
+//!
+//! // Seal day N off-thread; day N+1 opens immediately and ingests
+//! // while N's clustering runs.
+//! let sealing = session.seal_background();
+//! let mut next = service.begin_day(date.next())?;
+//! next.ingest_shared(Arc::clone(&day));
+//! let report_n = sealing.wait();
+//! let report_n1 = next.seal();
+//! assert_eq!(report_n.samples, day.len());
+//! assert!(report_n1.date > report_n.date);
+//! # Ok::<(), KizzleError>(())
+//! ```
 
 use crate::config::KizzleConfig;
 use crate::error::KizzleError;
-use crate::pipeline::{family_from_label, DayReport, KizzleCompiler};
+use crate::pipeline::{family_from_label, DayReport, KizzleCompiler, PipelineStats, SampleSource};
 use crate::reference::ReferenceCorpus;
 use crate::snapshot::ResumeReport;
 use kizzle_cluster::{Clustering, CorpusEngine, DistributedStats, SampleId};
 use kizzle_corpus::{KitFamily, Sample, SimDate};
 use kizzle_js::TokenStream;
 use kizzle_signature::SignatureSet;
+use std::mem;
+use std::ops::Deref;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+use std::thread::JoinHandle;
 
 /// The epoch-swapped publication point shared by a service and every
 /// [`Matcher`] handle it has issued.
@@ -117,14 +172,71 @@ impl Published {
     }
 }
 
+/// The compiler-side state shared between the service, its ingest
+/// workers, and an in-flight background seal: the warm compiler under a
+/// mutex, plus the publication point. Worker threads hold `Arc` clones,
+/// so an abandoned session's detached worker can finish draining safely
+/// after the session (or even the service) is gone.
+#[derive(Debug)]
+struct ServiceCore {
+    compiler: Mutex<KizzleCompiler>,
+    shared: Arc<Published>,
+}
+
 /// The two-sided Kizzle service: session-based streaming ingest over the
 /// warm [`KizzleCompiler`], and [`Matcher`] read handles over the
 /// epoch-swapped published signature set. See the [module docs](self) for
 /// the full picture and a usage example.
+///
+/// # Pipelined ingest
+///
+/// The front-end is pipelined: [`DaySession::pipeline`] opens a bounded
+/// `sync_channel` whose worker tokenizes/dedups/store-inserts mini-batches
+/// off the callers' threads (cloneable [`IngestProducer`]s submit with
+/// backpressure), and [`DaySession::seal_background`] runs the expensive
+/// clustering of day *d* on a background thread so `begin_day(d+1)` and
+/// its ingest overlap the seal. Every compiler-state accessor first waits
+/// out an in-flight background seal, so observed state is always a
+/// day boundary; only [`KizzleService::begin_day`], ingest itself, and
+/// [`KizzleService::matcher`] scans run concurrently with a seal.
+///
+/// ```
+/// use kizzle::prelude::*;
+/// use kizzle_corpus::{GraywareStream, SimDate, StreamConfig};
+///
+/// let date = SimDate::new(2014, 8, 5);
+/// let config = KizzleConfig::fast();
+/// let reference = ReferenceCorpus::seeded_from_models(date, &config);
+/// let mut service = KizzleService::new(config, reference)?;
+///
+/// let day = GraywareStream::new(StreamConfig::small(7)).generate_day(date);
+/// let mut session = service.begin_day(date)?;
+/// // Bounded-channel frontend: producers submit, the worker ingests.
+/// let producer = session.pipeline(4);
+/// std::thread::scope(|scope| {
+///     for chunk in day.chunks(16) {
+///         let producer = producer.clone();
+///         scope.spawn(move || assert!(producer.send(chunk)));
+///     }
+/// });
+/// drop(producer);
+/// // Seal in the background; day d+1 could begin_day/ingest right here.
+/// let handle = session.seal_background();
+/// let report = handle.wait();
+/// assert_eq!(report.samples, day.len());
+/// assert!(report.pipeline.applied_batches > 0);
+/// # Ok::<(), KizzleError>(())
+/// ```
 #[derive(Debug)]
 pub struct KizzleService {
-    compiler: KizzleCompiler,
-    shared: Arc<Published>,
+    core: Arc<ServiceCore>,
+    /// The previous day's in-flight background seal, if any. Joined
+    /// (drained) before any compiler-state access or new seal; left
+    /// running across `begin_day`/ingest — that is the overlap.
+    pending: Mutex<Option<JoinHandle<()>>>,
+    /// Immutable copy of the validated configuration, readable without
+    /// the compiler lock.
+    config: KizzleConfig,
 }
 
 impl KizzleService {
@@ -148,8 +260,33 @@ impl KizzleService {
         // pay the pipeline build (a resumed set usually arrives pre-sealed
         // from the snapshot's scan-pipeline section).
         set.seal();
-        let shared = Arc::new(Published::new(set, compiler.config().token_cap));
-        KizzleService { compiler, shared }
+        let config = *compiler.config();
+        let shared = Arc::new(Published::new(set, config.token_cap));
+        KizzleService {
+            core: Arc::new(ServiceCore {
+                compiler: Mutex::new(compiler),
+                shared,
+            }),
+            pending: Mutex::new(None),
+            config,
+        }
+    }
+
+    fn lock_compiler(&self) -> MutexGuard<'_, KizzleCompiler> {
+        self.core.compiler.lock().expect("compiler lock")
+    }
+
+    /// Join an in-flight background seal, if any. Every compiler-state
+    /// accessor and every new seal calls this first, so background seals
+    /// serialize and observed state is always a day boundary. A panic on
+    /// the seal thread resurfaces here.
+    fn drain_pending(&self) {
+        let pending = self.pending.lock().expect("pending seal lock").take();
+        if let Some(worker) = pending {
+            if let Err(payload) = worker.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
     }
 
     /// Load persisted service state from `state_dir`, or start fresh when
@@ -182,14 +319,19 @@ impl KizzleService {
 
     /// Persist the complete service state into `state_dir` as the next
     /// link of the snapshot chain (see [`KizzleCompiler::save_state`]).
+    /// Waits out an in-flight background seal first, so what is persisted
+    /// is always a sealed day boundary.
     pub fn save(&self, state_dir: &Path) -> Result<(), KizzleError> {
-        self.compiler.save_state(state_dir)
+        self.drain_pending();
+        self.lock_compiler().save_state(state_dir)
     }
 
     /// Like [`KizzleService::save`] with an explicit chain-compaction
     /// cadence (`max_deltas == 0` writes a full snapshot every time).
     pub fn save_compacting(&self, state_dir: &Path, max_deltas: usize) -> Result<(), KizzleError> {
-        self.compiler.save_state_compacting(state_dir, max_deltas)
+        self.drain_pending();
+        self.lock_compiler()
+            .save_state_compacting(state_dir, max_deltas)
     }
 
     /// Open a streaming ingest session for `date`. Mini-batches go in via
@@ -208,20 +350,34 @@ impl KizzleService {
     /// leaves the warm state untouched; once a batch has been ingested the
     /// day is committed (its stamped samples are live in the store) and
     /// abandoning the session no longer rolls that back.
+    /// `begin_day` does **not** wait for a background seal: that is the
+    /// pipeline overlap — day *d+1* opens and ingests while day *d*'s
+    /// [`DaySession::seal_background`] is still clustering.
     pub fn begin_day(&mut self, date: SimDate) -> Result<DaySession<'_>, KizzleError> {
         self.check_monotone(date)?;
+        let state = Arc::new(SessionState {
+            date,
+            token_cap: self.config.token_cap,
+            core: Arc::clone(&self.core),
+            inner: Mutex::new(SessionInner::default()),
+            abort: AtomicBool::new(false),
+            submitted: AtomicU64::new(0),
+            applied: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
+            queued: AtomicU64::new(0),
+            max_queued: AtomicU64::new(0),
+        });
         Ok(DaySession {
             service: self,
             date,
-            stamp: None,
-            samples: Vec::new(),
-            streams: Vec::new(),
-            day_ids: Vec::new(),
+            state,
+            frontend: None,
+            finished: false,
         })
     }
 
     fn check_monotone(&self, date: SimDate) -> Result<(), KizzleError> {
-        if let Some(last) = self.compiler.last_processed_day() {
+        if let Some(last) = self.lock_compiler().last_processed_day() {
             if date < last {
                 return Err(KizzleError::Ingest(format!(
                     "day {date} precedes the last opened day {last}"
@@ -253,8 +409,9 @@ impl KizzleService {
         date: SimDate,
         samples: &[Sample],
     ) -> Result<DayReport, KizzleError> {
+        self.drain_pending();
         self.check_monotone(date)?;
-        let report = self.compiler.process_day(date, samples);
+        let report = self.lock_compiler().process_day(date, samples);
         self.publish_current();
         Ok(report)
     }
@@ -262,9 +419,9 @@ impl KizzleService {
     /// Publish the compiler's current set: seal its scan pipeline (so no
     /// scan ever pays the build) and swap the shared handle in.
     fn publish_current(&self) {
-        let set = self.compiler.signatures_shared();
+        let set = self.lock_compiler().signatures_shared();
         set.seal();
-        self.shared.publish(set);
+        self.core.shared.publish(set);
     }
 
     /// Like [`KizzleService::process_day`] with already tokenized streams
@@ -281,8 +438,11 @@ impl KizzleService {
         samples: &[Sample],
         streams: &[TokenStream],
     ) -> Result<DayReport, KizzleError> {
+        self.drain_pending();
         self.check_monotone(date)?;
-        let report = self.compiler.process_day_tokenized(date, samples, streams);
+        let report = self
+            .lock_compiler()
+            .process_day_tokenized(date, samples, streams);
         self.publish_current();
         Ok(report)
     }
@@ -293,37 +453,44 @@ impl KizzleService {
     /// flight and observe each publication atomically.
     #[must_use]
     pub fn matcher(&self) -> Matcher {
-        let cached = self.shared.load();
+        let cached = self.core.shared.load();
         Matcher {
-            shared: Arc::clone(&self.shared),
+            shared: Arc::clone(&self.core.shared),
             cached: Mutex::new(cached),
         }
     }
 
     /// The signatures the service has published so far (the compiler-side
-    /// view; [`Matcher::signatures`] is the serving-side snapshot).
+    /// view; [`Matcher::signatures`] is the serving-side snapshot). Waits
+    /// out an in-flight background seal, then holds the compiler lock for
+    /// the guard's lifetime — drop it before ingesting or sealing.
     #[must_use]
-    pub fn signatures(&self) -> &SignatureSet {
-        self.compiler.signatures()
+    pub fn signatures(&self) -> SignaturesRef<'_> {
+        self.drain_pending();
+        SignaturesRef(self.lock_compiler())
     }
 
     /// The reference corpus (grows as labeled clusters are absorbed).
+    /// Guarded like [`KizzleService::signatures`].
     #[must_use]
-    pub fn reference(&self) -> &ReferenceCorpus {
-        self.compiler.reference()
+    pub fn reference(&self) -> ReferenceRef<'_> {
+        self.drain_pending();
+        ReferenceRef(self.lock_compiler())
     }
 
     /// The warm corpus engine (live store size, index state) — exposed for
-    /// observability and tests.
+    /// observability and tests. Guarded like [`KizzleService::signatures`].
     #[must_use]
-    pub fn engine(&self) -> &CorpusEngine {
-        self.compiler.engine()
+    pub fn engine(&self) -> EngineRef<'_> {
+        self.drain_pending();
+        EngineRef(self.lock_compiler())
     }
 
-    /// The pipeline configuration.
+    /// The pipeline configuration (an immutable copy — readable without
+    /// the compiler lock, even while a seal is in flight).
     #[must_use]
     pub fn config(&self) -> &KizzleConfig {
-        self.compiler.config()
+        &self.config
     }
 
     /// The last *opened* day, if any (advanced by a session's first ingest
@@ -332,26 +499,340 @@ impl KizzleService {
     /// monotone check compares against. Survives snapshot save/load.
     #[must_use]
     pub fn last_processed_day(&self) -> Option<SimDate> {
-        self.compiler.last_processed_day()
+        self.lock_compiler().last_processed_day()
     }
 
     /// Cluster the entire retention window as one batch (the multi-day
     /// eval mode) — see [`KizzleCompiler::cluster_window`].
     pub fn cluster_window(&mut self) -> (Clustering, DistributedStats) {
-        self.compiler.cluster_window()
+        self.drain_pending();
+        self.lock_compiler().cluster_window()
     }
 
     /// Borrow the underlying compiler (escape hatch for evaluation
     /// harnesses that need pipeline internals the façade does not carry).
+    /// Guarded like [`KizzleService::signatures`].
     #[must_use]
-    pub fn compiler(&self) -> &KizzleCompiler {
-        &self.compiler
+    pub fn compiler(&self) -> CompilerRef<'_> {
+        self.drain_pending();
+        CompilerRef(self.lock_compiler())
     }
 
     /// Unwrap the service back into its compiler.
     #[must_use]
     pub fn into_compiler(self) -> KizzleCompiler {
-        self.compiler
+        self.drain_pending();
+        match Arc::try_unwrap(self.core) {
+            Ok(core) => core.compiler.into_inner().expect("compiler lock"),
+            // A detached worker from an abandoned session still holds the
+            // core; clone the warm state out instead of waiting for it.
+            Err(core) => core.compiler.lock().expect("compiler lock").clone(),
+        }
+    }
+}
+
+/// Read guard over the service's [`KizzleCompiler`], returned by
+/// [`KizzleService::compiler`]. Holds the compiler lock until dropped.
+#[derive(Debug)]
+pub struct CompilerRef<'a>(MutexGuard<'a, KizzleCompiler>);
+
+impl Deref for CompilerRef<'_> {
+    type Target = KizzleCompiler;
+
+    fn deref(&self) -> &KizzleCompiler {
+        &self.0
+    }
+}
+
+/// Read guard over the compiler's [`SignatureSet`], returned by
+/// [`KizzleService::signatures`]. Holds the compiler lock until dropped.
+#[derive(Debug)]
+pub struct SignaturesRef<'a>(MutexGuard<'a, KizzleCompiler>);
+
+impl Deref for SignaturesRef<'_> {
+    type Target = SignatureSet;
+
+    fn deref(&self) -> &SignatureSet {
+        self.0.signatures()
+    }
+}
+
+/// Read guard over the compiler's [`ReferenceCorpus`], returned by
+/// [`KizzleService::reference`]. Holds the compiler lock until dropped.
+#[derive(Debug)]
+pub struct ReferenceRef<'a>(MutexGuard<'a, KizzleCompiler>);
+
+impl Deref for ReferenceRef<'_> {
+    type Target = ReferenceCorpus;
+
+    fn deref(&self) -> &ReferenceCorpus {
+        self.0.reference()
+    }
+}
+
+/// Read guard over the compiler's [`CorpusEngine`], returned by
+/// [`KizzleService::engine`]. Holds the compiler lock until dropped.
+#[derive(Debug)]
+pub struct EngineRef<'a>(MutexGuard<'a, KizzleCompiler>);
+
+impl Deref for EngineRef<'_> {
+    type Target = CorpusEngine;
+
+    fn deref(&self) -> &CorpusEngine {
+        self.0.engine()
+    }
+}
+
+/// The day's buffered state, shared between the session, its channel
+/// worker, and (briefly) the seal. Cluster member indices are
+/// day-positional, so application order defines the day sequence.
+#[derive(Debug, Default)]
+struct SessionInner {
+    /// Set when the day has been opened (first non-empty batch applied,
+    /// or seal of an empty day) — the point after which the day is
+    /// committed.
+    stamp: Option<u64>,
+    samples: SampleRope,
+    streams: Vec<TokenStream>,
+    day_ids: Vec<SampleId>,
+}
+
+/// State shared by a [`DaySession`], its [`IngestProducer`]s and its
+/// channel worker — `Arc`ed so an abandoned session's worker can drain
+/// and exit on its own.
+#[derive(Debug)]
+struct SessionState {
+    date: SimDate,
+    token_cap: usize,
+    core: Arc<ServiceCore>,
+    inner: Mutex<SessionInner>,
+    /// Raised when the session is dropped unsealed: producers stop
+    /// submitting, the worker discards instead of applying.
+    abort: AtomicBool,
+    submitted: AtomicU64,
+    applied: AtomicU64,
+    stalls: AtomicU64,
+    queued: AtomicU64,
+    max_queued: AtomicU64,
+}
+
+impl SessionState {
+    fn pipeline_stats(&self) -> PipelineStats {
+        PipelineStats {
+            submitted_batches: self.submitted.load(Ordering::Relaxed),
+            applied_batches: self.applied.load(Ordering::Relaxed),
+            producer_stalls: self.stalls.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queued.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The day's samples as `Arc`-shared chunks in application order —
+/// [`DaySession::ingest_owned`]/[`DaySession::ingest_shared`] hand their
+/// allocation straight in, so large days are buffered once, not twice.
+#[derive(Debug, Default)]
+struct SampleRope {
+    chunks: Vec<Arc<[Sample]>>,
+    /// `starts[c]` is the day position of `chunks[c][0]`.
+    starts: Vec<usize>,
+    len: usize,
+}
+
+impl SampleRope {
+    fn push(&mut self, chunk: Arc<[Sample]>) {
+        if chunk.is_empty() {
+            return;
+        }
+        self.starts.push(self.len);
+        self.len += chunk.len();
+        self.chunks.push(chunk);
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl SampleSource for SampleRope {
+    fn count(&self) -> usize {
+        self.len
+    }
+
+    fn html(&self, index: usize) -> &str {
+        let chunk = self.starts.partition_point(|&start| start <= index) - 1;
+        &self.chunks[chunk][index - self.starts[chunk]].html
+    }
+}
+
+/// One unit of work on the ingest channel.
+enum Job {
+    /// Tokenize on the worker, then apply.
+    Raw(Arc<[Sample]>),
+    /// Apply with caller-provided token streams.
+    Tokenized(Arc<[Sample]>, Vec<TokenStream>),
+    /// Seal cutoff: the worker stops reading the channel and exits.
+    Finish,
+}
+
+/// The bounded-channel frontend of one session: the sender side plus the
+/// worker draining it.
+#[derive(Debug)]
+struct Frontend {
+    tx: SyncSender<Job>,
+    worker: Option<JoinHandle<()>>,
+}
+
+/// Tokenize/dedup/store-insert one mini-batch atomically: the whole batch
+/// lands under one compiler lock, so no observer (and no abort) ever sees
+/// a half-inserted batch.
+fn apply_batch(state: &SessionState, samples: Arc<[Sample]>, streams: Vec<TokenStream>) {
+    debug_assert_eq!(samples.len(), streams.len());
+    if samples.is_empty() {
+        return;
+    }
+    let mut compiler = state.core.compiler.lock().expect("compiler lock");
+    let mut inner = state.inner.lock().expect("session buffers lock");
+    let stamp = match inner.stamp {
+        Some(stamp) => stamp,
+        None => {
+            // First non-empty batch opens the day: advance the cursor, run
+            // the retention sweep — same point as the synchronous path.
+            let stamp = compiler.open_day(state.date);
+            inner.stamp = Some(stamp);
+            stamp
+        }
+    };
+    let ids = compiler.ingest_streams(stamp, &streams);
+    inner.day_ids.extend(ids);
+    inner.streams.extend(streams);
+    inner.samples.push(samples);
+    state.applied.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Submit a job with backpressure: try the channel first, count a stall
+/// and block when it is full. `false` means the job was not accepted
+/// (worker gone, or the session aborted).
+fn submit_job(state: &SessionState, tx: &SyncSender<Job>, job: Job) -> bool {
+    if state.abort.load(Ordering::Acquire) {
+        return false;
+    }
+    let depth = state.queued.fetch_add(1, Ordering::Relaxed) + 1;
+    state.max_queued.fetch_max(depth, Ordering::Relaxed);
+    state.submitted.fetch_add(1, Ordering::Relaxed);
+    let job = match tx.try_send(job) {
+        Ok(()) => return true,
+        Err(TrySendError::Full(job)) => {
+            state.stalls.fetch_add(1, Ordering::Relaxed);
+            job
+        }
+        Err(TrySendError::Disconnected(job)) => {
+            drop(job);
+            state.queued.fetch_sub(1, Ordering::Relaxed);
+            state.submitted.fetch_sub(1, Ordering::Relaxed);
+            return false;
+        }
+    };
+    match tx.send(job) {
+        Ok(()) => true,
+        Err(_) => {
+            state.queued.fetch_sub(1, Ordering::Relaxed);
+            state.submitted.fetch_sub(1, Ordering::Relaxed);
+            false
+        }
+    }
+}
+
+/// The channel worker: drain jobs in FIFO order, tokenizing and applying
+/// off the producers' threads, until the seal's `Finish` sentinel or
+/// channel disconnect (every sender gone). An aborted session's jobs are
+/// received and discarded, so a producer blocked on a full channel always
+/// unblocks.
+fn ingest_worker(state: &SessionState, rx: &Receiver<Job>) {
+    while let Ok(job) = rx.recv() {
+        let (samples, streams) = match job {
+            Job::Finish => break,
+            Job::Raw(samples) => {
+                state.queued.fetch_sub(1, Ordering::Relaxed);
+                if state.abort.load(Ordering::Acquire) {
+                    continue;
+                }
+                let streams = samples
+                    .iter()
+                    .map(|s| kizzle_js::tokenize_document_capped(&s.html, state.token_cap))
+                    .collect();
+                (samples, streams)
+            }
+            Job::Tokenized(samples, streams) => {
+                state.queued.fetch_sub(1, Ordering::Relaxed);
+                if state.abort.load(Ordering::Acquire) {
+                    continue;
+                }
+                (samples, streams)
+            }
+        };
+        apply_batch(state, samples, streams);
+    }
+}
+
+/// A cloneable, `Send` handle for submitting mini-batches to a session's
+/// bounded-channel frontend, issued by [`DaySession::pipeline`].
+///
+/// Sends apply backpressure: when the channel is full the send blocks (and
+/// counts a stall) until the worker catches up. Every send returns whether
+/// the batch was accepted — `false` once the session has sealed (the
+/// cutoff) or been dropped. Batches are applied in channel FIFO order,
+/// which defines the day's sample order; with several producers that
+/// interleaving is whatever the threads race to, so callers needing a
+/// deterministic day sequence must order their sends themselves.
+#[derive(Debug, Clone)]
+pub struct IngestProducer {
+    tx: SyncSender<Job>,
+    state: Arc<SessionState>,
+}
+
+impl IngestProducer {
+    /// Submit a mini-batch by copy (the batch is cloned into shared
+    /// storage). Empty batches are accepted no-ops.
+    pub fn send(&self, samples: &[Sample]) -> bool {
+        if samples.is_empty() {
+            return !self.state.abort.load(Ordering::Acquire);
+        }
+        self.send_shared(samples.into())
+    }
+
+    /// Submit an owned mini-batch — moved, not copied.
+    pub fn send_owned(&self, samples: Vec<Sample>) -> bool {
+        if samples.is_empty() {
+            return !self.state.abort.load(Ordering::Acquire);
+        }
+        self.send_shared(samples.into())
+    }
+
+    /// Submit an `Arc`-shared mini-batch — the session buffers the same
+    /// allocation the caller keeps, so the day is never held twice.
+    pub fn send_shared(&self, samples: Arc<[Sample]>) -> bool {
+        if samples.is_empty() {
+            return !self.state.abort.load(Ordering::Acquire);
+        }
+        submit_job(&self.state, &self.tx, Job::Raw(samples))
+    }
+
+    /// Submit an `Arc`-shared mini-batch with already tokenized streams
+    /// (position-parallel with `samples`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn send_tokenized(&self, samples: Arc<[Sample]>, streams: Vec<TokenStream>) -> bool {
+        assert_eq!(
+            samples.len(),
+            streams.len(),
+            "samples and streams must be parallel"
+        );
+        if samples.is_empty() {
+            return !self.state.abort.load(Ordering::Acquire);
+        }
+        submit_job(&self.state, &self.tx, Job::Tokenized(samples, streams))
     }
 }
 
@@ -362,29 +843,43 @@ impl KizzleService {
 /// on [`DaySession::ingest`] — by the time the day's tail arrives, its
 /// front half has already been indexed, so [`DaySession::seal`] pays only
 /// clustering, labeling and signature generation. The first *non-empty*
-/// ingest also *opens* the day (advances the day cursor, retires samples
-/// that aged out of the retention window); dropping a session before that
-/// first ingest is a complete no-op. Dropping it afterwards abandons the day:
-/// already-ingested samples stay in the warm store (where retention will
-/// age them out) but no clustering runs, no day view is recorded and
-/// nothing is published.
+/// batch applied also *opens* the day (advances the day cursor, retires
+/// samples that aged out of the retention window); dropping a session
+/// before that first batch is a complete no-op. Dropping it afterwards
+/// abandons the day: already-applied batches stay in the warm store (where
+/// retention will age them out) but no clustering runs, no day view is
+/// recorded and nothing is published. With the pipelined frontend the
+/// drop additionally aborts cleanly: queued batches are received and
+/// discarded (never half-applied — batches apply atomically), and a
+/// producer blocked on the full channel always unblocks.
 ///
-/// The session buffers its own copy of every ingested sample and token
-/// stream until seal — cluster member indices are day-positional, and
-/// labeling/signature generation need the originals — so a session's
-/// memory footprint is one day of traffic on top of the warm store. An
-/// owned/`Arc`-shared ingest variant that drops the copy is a noted
-/// ROADMAP follow-up alongside the async frontend.
+/// # Pipelined frontend
+///
+/// [`DaySession::pipeline`] bounds a `sync_channel` and spawns a worker
+/// that tokenizes/dedups/store-inserts off the callers' threads;
+/// cloneable [`IngestProducer`]s submit mini-batches with backpressure.
+/// [`DaySession::seal_background`] then runs clustering on a background
+/// thread and returns a [`SealHandle`] — `begin_day(d+1)` and its ingest
+/// proceed immediately, overlapping day *d*'s expensive phase, while
+/// [`Matcher`]s keep scanning the previous published set and pick up the
+/// new one atomically when the background seal publishes. Both async
+/// boundaries are byte-identical to the synchronous path (property-tested
+/// in `tests/service_properties.rs`); the [`DayReport::pipeline`] counters
+/// record how hard the frontend worked.
+///
+/// The direct ingest calls buffer sample and stream copies until seal
+/// (cluster member indices are day-positional, and labeling/signature
+/// generation need the originals); [`DaySession::ingest_owned`] /
+/// [`DaySession::ingest_shared`] move or share the allocation instead, so
+/// a large day is held once, not twice.
 #[derive(Debug)]
 pub struct DaySession<'a> {
     service: &'a mut KizzleService,
     date: SimDate,
-    /// Set when the day has been opened (first ingest, or seal of an
-    /// empty day) — the point after which the day is committed.
-    stamp: Option<u64>,
-    samples: Vec<Sample>,
-    streams: Vec<TokenStream>,
-    day_ids: Vec<SampleId>,
+    state: Arc<SessionState>,
+    frontend: Option<Frontend>,
+    /// Set by the seal paths so `Drop` knows not to abort.
+    finished: bool,
 }
 
 impl DaySession<'_> {
@@ -394,36 +889,89 @@ impl DaySession<'_> {
         self.date
     }
 
-    /// Number of samples ingested so far.
+    /// Number of samples applied to the warm store so far. With a
+    /// pipelined frontend this trails the producers by whatever is still
+    /// queued in the channel.
     #[must_use]
     pub fn ingested(&self) -> usize {
-        self.samples.len()
+        self.state
+            .inner
+            .lock()
+            .expect("session buffers lock")
+            .samples
+            .len()
     }
 
-    /// Open the day on first use: advance the day cursor and run the
-    /// retention sweep, exactly as single-shot `process_day` does before
-    /// its adds.
-    fn open_stamp(&mut self) -> u64 {
-        match self.stamp {
-            Some(stamp) => stamp,
-            None => {
-                let stamp = self.service.compiler.open_day(self.date);
-                self.stamp = Some(stamp);
-                stamp
-            }
+    /// Start (or reuse) the bounded-channel frontend and return a producer
+    /// for it. `channel_bound` caps how many mini-batches may queue before
+    /// senders block (clamped to at least 1); the first call fixes the
+    /// bound, later calls hand out more producers for the same channel.
+    ///
+    /// Producers may be cloned and moved to other threads; the worker
+    /// tokenizes and applies batches in channel FIFO order. Sends racing a
+    /// seal are cut off: once [`DaySession::seal`] or
+    /// [`DaySession::seal_background`] has flushed the channel, further
+    /// sends return `false`.
+    pub fn pipeline(&mut self, channel_bound: usize) -> IngestProducer {
+        if self.frontend.is_none() {
+            let (tx, rx) = std::sync::mpsc::sync_channel(channel_bound.max(1));
+            let state = Arc::clone(&self.state);
+            let worker = std::thread::Builder::new()
+                .name("kizzle-ingest".into())
+                .spawn(move || ingest_worker(&state, &rx))
+                .expect("spawn ingest worker");
+            self.frontend = Some(Frontend {
+                tx,
+                worker: Some(worker),
+            });
+        }
+        let frontend = self.frontend.as_ref().expect("frontend just created");
+        IngestProducer {
+            tx: frontend.tx.clone(),
+            state: Arc::clone(&self.state),
         }
     }
 
     /// Ingest a mini-batch: tokenize each sample (capped at the configured
     /// prefix), deposit the class-strings into the warm engine (duplicate
     /// content — intra-day or carried over from recent days — dedups onto
-    /// the live entry), and index fresh content immediately.
+    /// the live entry), and index fresh content immediately. When the
+    /// pipelined frontend is active the batch rides the channel instead
+    /// (tokenized by the worker), keeping one FIFO order across direct and
+    /// producer submissions.
     pub fn ingest(&mut self, samples: &[Sample]) {
+        if samples.is_empty() {
+            return;
+        }
+        self.ingest_shared(samples.into());
+    }
+
+    /// Like [`DaySession::ingest`], taking ownership of the batch — the
+    /// day is buffered once instead of copied into the session.
+    pub fn ingest_owned(&mut self, samples: Vec<Sample>) {
+        if samples.is_empty() {
+            return;
+        }
+        self.ingest_shared(samples.into());
+    }
+
+    /// Like [`DaySession::ingest`] over an `Arc`-shared batch — the
+    /// session buffers the caller's allocation, so a large day held
+    /// elsewhere is never duplicated.
+    pub fn ingest_shared(&mut self, samples: Arc<[Sample]>) {
+        if samples.is_empty() {
+            return;
+        }
+        if let Some(frontend) = &self.frontend {
+            submit_job(&self.state, &frontend.tx, Job::Raw(samples));
+            return;
+        }
         let streams: Vec<TokenStream> = samples
             .iter()
-            .map(|s| self.service.compiler.tokenize_capped(&s.html))
+            .map(|s| kizzle_js::tokenize_document_capped(&s.html, self.state.token_cap))
             .collect();
-        self.ingest_tokenized(samples, &streams);
+        self.state.submitted.fetch_add(1, Ordering::Relaxed);
+        apply_batch(&self.state, samples, streams);
     }
 
     /// Like [`DaySession::ingest`] with already tokenized streams (the
@@ -446,11 +994,38 @@ impl DaySession<'_> {
         if samples.is_empty() {
             return;
         }
-        let stamp = self.open_stamp();
-        let ids = self.service.compiler.ingest_streams(stamp, streams);
-        self.samples.extend_from_slice(samples);
-        self.streams.extend_from_slice(streams);
-        self.day_ids.extend(ids);
+        if let Some(frontend) = &self.frontend {
+            submit_job(
+                &self.state,
+                &frontend.tx,
+                Job::Tokenized(samples.into(), streams.to_vec()),
+            );
+            return;
+        }
+        self.state.submitted.fetch_add(1, Ordering::Relaxed);
+        apply_batch(&self.state, samples.into(), streams.to_vec());
+    }
+
+    /// Flush the frontend and stop its worker: send the `Finish` sentinel
+    /// (blocking until the channel has room, so every batch queued before
+    /// the cutoff is applied first) and join. Producer sends after the
+    /// cutoff return `false`.
+    fn close_frontend(&mut self) {
+        if let Some(mut frontend) = self.frontend.take() {
+            let _ = frontend.tx.send(Job::Finish);
+            drop(frontend.tx);
+            if let Some(worker) = frontend.worker.take() {
+                if let Err(payload) = worker.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+
+    /// Take the day's buffers out of the shared state for sealing.
+    fn take_buffers(&self) -> SessionInner {
+        let mut inner = self.state.inner.lock().expect("session buffers lock");
+        mem::take(&mut *inner)
     }
 
     /// Seal the day: cluster the accumulated samples, label cluster
@@ -464,22 +1039,217 @@ impl DaySession<'_> {
     /// sweep, exactly like `process_day(date, &[])`. Only *implicit*
     /// empty ticks ([`DaySession::ingest`] of an empty batch) are no-ops —
     /// don't call `seal` on a session you meant to abandon.
+    ///
+    /// Flushes the pipelined frontend first (everything queued before the
+    /// cutoff is applied; later sends return `false`) and waits out a
+    /// previous day's background seal, so seals always serialize.
     #[must_use = "the day report is the output of the whole session"]
     pub fn seal(mut self) -> DayReport {
-        let stamp = self.open_stamp();
-        let DaySession {
-            service,
-            date,
-            samples,
-            streams,
-            day_ids,
-            ..
-        } = self;
-        let report = service
-            .compiler
-            .seal_day(date, stamp, &samples, &streams, day_ids);
-        service.publish_current();
+        self.close_frontend();
+        self.service.drain_pending();
+        let buffers = self.take_buffers();
+        let mut report = {
+            let mut compiler = self.service.lock_compiler();
+            let stamp = buffers
+                .stamp
+                .unwrap_or_else(|| compiler.open_day(self.date));
+            compiler.seal_day(
+                self.date,
+                stamp,
+                &buffers.samples,
+                &buffers.streams,
+                buffers.day_ids,
+            )
+        };
+        report.pipeline = self.state.pipeline_stats();
+        self.service.publish_current();
+        self.finished = true;
         report
+    }
+
+    /// Seal the day on a background thread and return a [`SealHandle`]
+    /// for the report. The cheap borrow phase (frontend flush, day-view
+    /// record, clustering-input capture) runs here; the expensive phase
+    /// (partition → DBSCAN → reduce, then label/sign and the atomic
+    /// publish) runs on the spawned thread. The service is free the moment
+    /// this returns: `begin_day(d+1)` and its ingest overlap the seal,
+    /// which is the pipeline's headline win.
+    ///
+    /// The published result is byte-identical to [`DaySession::seal`].
+    /// Compiler-state accessors ([`KizzleService::signatures`], `save`,
+    /// the next seal, …) wait for the background seal to finish;
+    /// [`Matcher`]s never wait — they scan the previous set until the
+    /// background publish swaps the new one in atomically.
+    #[must_use = "the handle is the only way to get the day report"]
+    pub fn seal_background(mut self) -> SealHandle {
+        self.close_frontend();
+        self.service.drain_pending();
+        let buffers = self.take_buffers();
+        let date = self.date;
+        let prepared = {
+            let mut compiler = self.service.lock_compiler();
+            let stamp = buffers
+                .stamp
+                .unwrap_or_else(|| compiler.open_day(self.date));
+            compiler.seal_view(stamp, &buffers.day_ids)
+        };
+        let slot = SealSlot::new();
+        let core = Arc::clone(&self.service.core);
+        let pipeline = self.state.pipeline_stats();
+        let guard_slot = Arc::clone(&slot);
+        let samples = buffers.samples;
+        let streams = buffers.streams;
+        let worker = std::thread::Builder::new()
+            .name("kizzle-seal".into())
+            .spawn(move || {
+                let guard = SealGuard {
+                    slot: guard_slot,
+                    completed: false,
+                };
+                // The expensive phase: engine-free, runs unlocked, so the
+                // next day's ingest proceeds concurrently.
+                let (clustering, stats) = prepared.finish();
+                let (mut report, set) = {
+                    let mut compiler = core.compiler.lock().expect("compiler lock");
+                    let report =
+                        compiler.label_and_sign(date, &samples, &streams, clustering, stats);
+                    (report, compiler.signatures_shared())
+                };
+                report.pipeline = pipeline;
+                // Seal (pipeline build) outside the lock, then the same
+                // atomic epoch swap as the synchronous path.
+                set.seal();
+                core.shared.publish(set);
+                guard.complete(report);
+            })
+            .expect("spawn seal thread");
+        *self.service.pending.lock().expect("pending seal lock") = Some(worker);
+        self.finished = true;
+        SealHandle { slot }
+    }
+}
+
+impl Drop for DaySession<'_> {
+    fn drop(&mut self) {
+        if self.finished {
+            return;
+        }
+        // Abandoned session: discard queued work instead of applying it.
+        // The worker keeps receiving (so a producer blocked on the full
+        // channel always unblocks) but applies nothing further; batches
+        // already applied stay, exactly the documented abandon semantics.
+        self.state.abort.store(true, Ordering::Release);
+        if let Some(mut frontend) = self.frontend.take() {
+            // Best-effort wake for an idle worker; a full channel is fine —
+            // dropping our sender (plus the producers', eventually)
+            // disconnects the channel and the worker exits on its own.
+            let _ = frontend.tx.try_send(Job::Finish);
+            // Deliberately not joined: the worker may be waiting on
+            // producers that outlive the session.
+            drop(frontend.worker.take());
+        }
+    }
+}
+
+/// Where a background seal deposits its [`DayReport`] — shared by the
+/// [`SealHandle`] and the seal thread.
+#[derive(Debug)]
+struct SealSlot {
+    state: Mutex<SealState>,
+    done: Condvar,
+}
+
+#[derive(Debug)]
+enum SealState {
+    Running,
+    // Boxed: a DayReport is ~300 bytes and the slot spends its life in
+    // the other two variants.
+    Done(Box<Option<DayReport>>),
+    Panicked,
+}
+
+impl SealSlot {
+    fn new() -> Arc<SealSlot> {
+        Arc::new(SealSlot {
+            state: Mutex::new(SealState::Running),
+            done: Condvar::new(),
+        })
+    }
+
+    fn finish(&self, state: SealState) {
+        *self.state.lock().expect("seal slot lock") = state;
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Option<DayReport> {
+        let mut state = self.state.lock().expect("seal slot lock");
+        loop {
+            match &mut *state {
+                SealState::Running => state = self.done.wait(state).expect("seal slot lock"),
+                SealState::Done(report) => return report.take(),
+                SealState::Panicked => panic!("background seal panicked"),
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        !matches!(
+            *self.state.lock().expect("seal slot lock"),
+            SealState::Running
+        )
+    }
+}
+
+/// Marks the slot `Panicked` if the seal thread unwinds before
+/// completing, so a waiting [`SealHandle`] fails fast instead of hanging.
+struct SealGuard {
+    slot: Arc<SealSlot>,
+    completed: bool,
+}
+
+impl SealGuard {
+    fn complete(mut self, report: DayReport) {
+        self.completed = true;
+        self.slot.finish(SealState::Done(Box::new(Some(report))));
+    }
+}
+
+impl Drop for SealGuard {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.slot.finish(SealState::Panicked);
+        }
+    }
+}
+
+/// Handle to an in-flight background seal, returned by
+/// [`DaySession::seal_background`].
+///
+/// [`SealHandle::wait`] blocks until the seal has published and yields
+/// the day's report. Dropping the handle does *not* cancel the seal — the
+/// day still publishes; the service joins the thread at its next
+/// compiler-state access.
+#[derive(Debug)]
+pub struct SealHandle {
+    slot: Arc<SealSlot>,
+}
+
+impl SealHandle {
+    /// Wait for the background seal to publish and return its report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the seal thread panicked.
+    #[must_use = "the day report is the output of the whole session"]
+    pub fn wait(self) -> DayReport {
+        self.slot.wait().expect("seal report already taken")
+    }
+
+    /// True once the seal has published (or failed) — `wait` will not
+    /// block.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.slot.is_done()
     }
 }
 
@@ -606,11 +1376,165 @@ mod tests {
 
         let normalize = |mut report: DayReport| {
             report.clustering_stats = Default::default();
+            report.pipeline = Default::default();
             report
         };
         assert_eq!(normalize(want), normalize(got));
-        assert_eq!(single.signatures(), batched.signatures());
+        assert_eq!(&*single.signatures(), &*batched.signatures());
         assert_eq!(single.engine().len(), batched.engine().len());
+    }
+
+    #[test]
+    fn pipelined_session_matches_single_shot() {
+        let date = SimDate::new(2014, 8, 5);
+        let day = test_day(date, 11);
+
+        let mut single = test_service();
+        let want = single.process_day(date, &day).expect("day processes");
+
+        let mut piped = test_service();
+        let mut session = piped.begin_day(date).expect("day opens");
+        // Tiny channel bound to force producer stalls; a single producer
+        // keeps the batch order (and so the day sequence) deterministic.
+        let producer = session.pipeline(2);
+        for chunk in day.chunks(5) {
+            assert!(producer.send(chunk));
+        }
+        drop(producer);
+        let got = session.seal();
+
+        assert!(got.pipeline.submitted_batches > 0);
+        assert_eq!(got.pipeline.submitted_batches, got.pipeline.applied_batches);
+        let normalize = |mut report: DayReport| {
+            report.clustering_stats = Default::default();
+            report.pipeline = Default::default();
+            report
+        };
+        assert_eq!(normalize(want), normalize(got));
+        assert_eq!(&*single.signatures(), &*piped.signatures());
+        assert_eq!(single.engine().len(), piped.engine().len());
+    }
+
+    #[test]
+    fn background_seal_matches_inline_seal_and_overlaps_next_day() {
+        let d1 = SimDate::new(2014, 8, 5);
+        let d2 = SimDate::new(2014, 8, 6);
+        let day1 = test_day(d1, 21);
+        let day2 = test_day(d2, 22);
+
+        let mut serial = test_service();
+        let want1 = serial.process_day(d1, &day1).expect("day 1");
+        let want2 = serial.process_day(d2, &day2).expect("day 2");
+
+        let mut overlapped = test_service();
+        let mut session = overlapped.begin_day(d1).expect("day opens");
+        session.ingest(&day1);
+        let handle = overlapped_seal(session);
+        // Day d+1 begins and ingests while day d's seal is in flight.
+        let mut next = overlapped.begin_day(d2).expect("next day opens");
+        next.ingest(&day2);
+        let got1 = handle.wait();
+        let got2 = next.seal();
+
+        let normalize = |mut report: DayReport| {
+            report.clustering_stats = Default::default();
+            report.pipeline = Default::default();
+            report
+        };
+        assert_eq!(normalize(want1), normalize(got1));
+        assert_eq!(normalize(want2), normalize(got2));
+        assert_eq!(&*serial.signatures(), &*overlapped.signatures());
+        assert_eq!(serial.engine().len(), overlapped.engine().len());
+    }
+
+    /// Seal in the background (a thin wrapper so the borrow of the service
+    /// ends before `begin_day(d+1)`).
+    fn overlapped_seal(session: DaySession<'_>) -> SealHandle {
+        session.seal_background()
+    }
+
+    #[test]
+    fn producer_sends_after_seal_are_refused() {
+        let date = SimDate::new(2014, 8, 5);
+        let day = test_day(date, 31);
+        let mut service = test_service();
+        let mut session = service.begin_day(date).expect("day opens");
+        let producer = session.pipeline(4);
+        assert!(producer.send(&day[..8]));
+        let report = session.seal();
+        assert_eq!(report.samples, 8);
+        // The seal is the cutoff: the channel is gone, sends are refused.
+        assert!(!producer.send(&day[8..]));
+        assert!(!producer.send_owned(day[8..].to_vec()));
+    }
+
+    #[test]
+    fn dropping_a_session_with_a_full_channel_unblocks_producers() {
+        let date = SimDate::new(2014, 8, 5);
+        let day = Arc::<[Sample]>::from(test_day(date, 41));
+        let mut service = test_service();
+        let live_before = service.engine().len();
+        let matcher = service.matcher();
+        {
+            let mut session = service.begin_day(date).expect("day opens");
+            let producer = session.pipeline(1);
+            // Flood the bound-1 channel from another thread so at least one
+            // send blocks on a full channel, then drop the session.
+            let flooder = {
+                let producer = producer.clone();
+                let day = Arc::clone(&day);
+                std::thread::spawn(move || {
+                    let mut accepted = 0usize;
+                    for chunk_start in (0..day.len()).step_by(4) {
+                        let end = (chunk_start + 4).min(day.len());
+                        if producer.send(&day[chunk_start..end]) {
+                            accepted += 1;
+                        }
+                    }
+                    accepted
+                })
+            };
+            // Give the flooder a moment to fill the channel, then abandon.
+            while session.state.pipeline_stats().submitted_batches < 2 {
+                std::thread::yield_now();
+            }
+            drop(session);
+            // The key assertion: the producer thread terminates rather than
+            // deadlocking on the full channel.
+            flooder.join().expect("producer thread finishes");
+        }
+        // Abandon semantics: nothing published; whatever batches were
+        // applied sit in the warm store until retention ages them out.
+        assert_eq!(matcher.epoch(), 0);
+        assert!(service.signatures().is_empty());
+        let _ = live_before;
+        // The day is still sealable from scratch.
+        let report = service.process_day(date, &day).expect("day processes");
+        assert!(report.clusters > 0);
+    }
+
+    #[test]
+    fn dropping_a_session_while_previous_seal_is_in_flight_is_clean() {
+        let d1 = SimDate::new(2014, 8, 5);
+        let d2 = SimDate::new(2014, 8, 6);
+        let day1 = test_day(d1, 51);
+        let day2 = test_day(d2, 52);
+        let mut service = test_service();
+        let mut session = service.begin_day(d1).expect("day opens");
+        session.ingest(&day1);
+        let handle = session.seal_background();
+        {
+            let mut next = service.begin_day(d2).expect("next day opens");
+            let producer = next.pipeline(2);
+            assert!(producer.send(&day2[..6]));
+            // dropped with the previous day's seal still (possibly) running
+        }
+        let report = handle.wait();
+        assert!(report.clusters > 0);
+        // Day d1 published despite d2's abandonment; d2 can re-run.
+        assert_eq!(service.last_processed_day(), Some(d1));
+        let report2 = service.process_day(d2, &day2).expect("day 2 re-runs");
+        assert!(report2.clusters > 0);
     }
 
     #[test]
@@ -629,7 +1553,7 @@ mod tests {
         // ...sees the published set afterwards without being re-issued.
         assert_eq!(matcher.epoch(), 1);
         assert_eq!(clone.epoch(), 1);
-        assert_eq!(matcher.signatures().len(), service.signatures().len());
+        assert_eq!(matcher.signatures().len(), (*service.signatures()).len());
         let detected = day.iter().filter(|s| clone.scan(&s.html).is_some()).count();
         assert!(detected > 0);
     }
@@ -709,7 +1633,7 @@ mod tests {
         let published = matcher.signatures();
         assert!(std::ptr::eq(
             Arc::as_ptr(&published),
-            service.signatures() as *const SignatureSet
+            &*service.signatures() as *const SignatureSet
         ));
         assert!(published.is_sealed(), "publish must seal the pipeline");
         // The next day's appends copy-on-write: the published snapshot

@@ -42,6 +42,7 @@ fn day_samples(date: SimDate, samples_per_day: usize, seed: u64) -> Vec<Sample> 
 /// ingest shapes — only the wall-clock/work-counter stats are stripped.
 fn normalized(mut report: DayReport) -> DayReport {
     report.clustering_stats = Default::default();
+    report.pipeline = Default::default();
     report
 }
 
@@ -73,7 +74,7 @@ proptest! {
             let got = session.seal();
 
             prop_assert_eq!(normalized(want), normalized(got), "day {}", d);
-            prop_assert_eq!(single.signatures(), batched.signatures());
+            prop_assert_eq!(&*single.signatures(), &*batched.signatures());
             prop_assert_eq!(single.engine().len(), batched.engine().len());
             prop_assert_eq!(
                 single.engine().index().cached_count(),
@@ -86,6 +87,83 @@ proptest! {
         let (window_single, _) = single.cluster_window();
         let (window_batched, _) = batched.cluster_window();
         prop_assert_eq!(window_single, window_batched);
+    }
+
+    /// The pipelined frontend with **multiple producer threads** plus an
+    /// **overlapped background seal** is still byte-identical to the
+    /// single-shot compiler. Producers hand off mini-batches through the
+    /// bounded channel in a rendezvous order (the day's sample sequence is
+    /// defined by channel FIFO order, so the test serializes *sends* while
+    /// still exercising cross-thread submission and backpressure), and
+    /// each day's seal runs concurrently with the next day's ingest.
+    #[test]
+    fn pipelined_multi_producer_with_overlapped_seal_equals_single_shot(
+        day_sizes in prop::collection::vec(8usize..48, 2..4),
+        batch_size in 1usize..16,
+        producers in 2usize..4,
+        channel_bound in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let mut single = fast_service();
+        let mut piped = fast_service();
+        let mut date = SimDate::new(2014, 8, 5);
+        let mut pending: Option<SealHandle> = None;
+        let mut want_reports = Vec::new();
+        let mut got_reports = Vec::new();
+
+        for (d, &size) in day_sizes.iter().enumerate() {
+            let day = day_samples(date, size, seed.wrapping_add(d as u64));
+            want_reports.push(normalized(
+                single.process_day(date, &day).expect("single-shot day"),
+            ));
+
+            // begin_day + pipelined ingest run while the *previous* day's
+            // background seal is (potentially) still in flight.
+            let mut session = piped.begin_day(date).expect("day opens");
+            let producer = session.pipeline(channel_bound);
+            let chunks: Vec<Arc<[Sample]>> =
+                day.chunks(batch_size).map(Arc::from).collect();
+            let turn = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+            std::thread::scope(|scope| {
+                for worker in 0..producers {
+                    let producer = producer.clone();
+                    let turn = Arc::clone(&turn);
+                    let chunks = &chunks;
+                    scope.spawn(move || {
+                        for (i, chunk) in chunks.iter().enumerate() {
+                            if i % producers != worker {
+                                continue;
+                            }
+                            while turn.load(Ordering::Acquire) != i {
+                                std::thread::yield_now();
+                            }
+                            assert!(producer.send_shared(Arc::clone(chunk)));
+                            turn.store(i + 1, Ordering::Release);
+                        }
+                    });
+                }
+            });
+            drop(producer);
+            // Only now collect the previous day's overlapped report.
+            if let Some(handle) = pending.take() {
+                got_reports.push(normalized(handle.wait()));
+            }
+            pending = Some(session.seal_background());
+            let _ = d;
+            date = date.next();
+        }
+        got_reports.push(normalized(pending.take().expect("last handle").wait()));
+
+        prop_assert_eq!(want_reports, got_reports);
+        prop_assert_eq!(&*single.signatures(), &*piped.signatures());
+        prop_assert_eq!(single.engine().len(), piped.engine().len());
+        prop_assert_eq!(
+            single.engine().index().cached_count(),
+            piped.engine().index().cached_count()
+        );
+        let (window_single, _) = single.cluster_window();
+        let (window_piped, _) = piped.cluster_window();
+        prop_assert_eq!(window_single, window_piped);
     }
 }
 
@@ -193,4 +271,74 @@ fn consecutive_seals_publish_monotonically() {
         .expect("day 2");
     assert_eq!(matcher.epoch(), 2);
     assert!(matcher.signatures().len() >= after_day1);
+}
+
+/// Scanner threads hammer matcher clones while a **background** seal is
+/// in flight and the next day is already ingesting — the overlapped
+/// variant of the torn-set property. Every observed set must be a
+/// complete published epoch; the background publish is the same atomic
+/// swap as the synchronous one.
+#[test]
+fn matcher_clones_never_observe_a_torn_set_during_overlapped_seal() {
+    let mut service = fast_service();
+    let d1 = SimDate::new(2014, 8, 5);
+    let d2 = SimDate::new(2014, 8, 6);
+    let day1 = day_samples(d1, 48, 14);
+    let day2 = day_samples(d2, 32, 15);
+    let malicious = day1
+        .iter()
+        .find(|s| s.truth.is_malicious())
+        .expect("malicious sample in a 50% day")
+        .html
+        .clone();
+
+    let matcher = service.matcher();
+    let stop = Arc::new(AtomicBool::new(false));
+    let scanners: Vec<_> = (0..3)
+        .map(|_| {
+            let matcher = matcher.clone();
+            let stop = Arc::clone(&stop);
+            let probe = malicious.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let set = matcher.signatures();
+                    let len_a = set.len();
+                    let hit = set.scan_document(&probe).is_some();
+                    assert_eq!(len_a, set.len(), "set mutated under a reader");
+                    if hit {
+                        assert!(len_a > 0);
+                        assert!(matcher.epoch() >= 1);
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let mut session = service.begin_day(d1).expect("day 1 opens");
+    session.ingest(&day1);
+    let handle = session.seal_background();
+    // Overlap: day 2 ingests while day 1 seals and the scanners scan.
+    let mut next = service.begin_day(d2).expect("day 2 opens");
+    for chunk in day2.chunks(8) {
+        next.ingest(chunk);
+    }
+    let report1 = handle.wait();
+    assert!(
+        !report1.new_signatures.is_empty(),
+        "day 1 produced no signatures; report: {report1}"
+    );
+    let report2 = next.seal();
+    stop.store(true, Ordering::Relaxed);
+    for scanner in scanners {
+        scanner.join().expect("scanner thread panicked");
+    }
+
+    // Both publishes landed in order; the handle converged.
+    assert_eq!(matcher.epoch(), 2);
+    let _ = report2;
+    let detected = day1
+        .iter()
+        .filter(|s| matcher.scan(&s.html).is_some())
+        .count();
+    assert!(detected > 0);
 }

@@ -3,8 +3,10 @@
 use crate::metrics::{DailyMetrics, DetectorCounts, FamilyCounts};
 use kizzle::prelude::*;
 use kizzle_avsim::{AvConfig, AvEngine};
-use kizzle_corpus::{GraywareStream, GroundTruth, KitFamily, SimDate, StreamConfig};
+use kizzle_corpus::{GraywareStream, GroundTruth, KitFamily, Sample, SimDate, StreamConfig};
 use serde::Serialize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Configuration of an evaluation run.
 #[derive(Debug, Clone)]
@@ -36,6 +38,18 @@ pub struct EvalConfig {
     /// byte-identical reports (the façade's core property), which the CI
     /// examples smoke diffs end to end.
     pub ingest_batch: usize,
+    /// Pipelined-frontend producer thread count: with a non-zero value
+    /// (and a non-zero [`EvalConfig::ingest_batch`]) the day's mini-batches
+    /// ride the bounded-channel frontend from this many producer threads
+    /// instead of the caller's thread. The producers rendezvous on a turn
+    /// counter so the day's sample order — and therefore every report —
+    /// stays byte-identical to the serial shapes, which the CI pipelined
+    /// smoke diffs end to end. `0` keeps the direct in-session ingest.
+    pub pipeline_producers: usize,
+    /// Channel bound for the pipelined frontend (mini-batches that may
+    /// queue before producers block); clamped to at least 1 when the
+    /// pipelined mode is on.
+    pub pipeline_bound: usize,
 }
 
 impl EvalConfig {
@@ -55,6 +69,8 @@ impl EvalConfig {
             window_cluster: false,
             compact_every: kizzle::DEFAULT_MAX_DELTAS,
             ingest_batch: 0,
+            pipeline_producers: 0,
+            pipeline_bound: 0,
         }
     }
 
@@ -75,6 +91,8 @@ impl EvalConfig {
             window_cluster: false,
             compact_every: kizzle::DEFAULT_MAX_DELTAS,
             ingest_batch: 0,
+            pipeline_producers: 0,
+            pipeline_bound: 0,
         }
     }
 }
@@ -244,17 +262,23 @@ impl MonthlyEvaluation {
         per_family: &mut [(KitFamily, FamilyCounts)],
     ) -> DailyMetrics {
         let samples = stream.generate_day(date);
-        let streams: Vec<_> = samples
-            .iter()
-            .map(|s| service.compiler().tokenize_capped(&s.html))
-            .collect();
-        let report = match self.config.ingest_batch {
+        let streams: Vec<_> = {
+            // One guard for the whole day's tokenization: the per-call
+            // accessor would lock (and wait out any background seal) once
+            // per sample.
+            let compiler = service.compiler();
+            samples
+                .iter()
+                .map(|s| compiler.tokenize_capped(&s.html))
+                .collect()
+        };
+        let report = match (self.config.ingest_batch, self.config.pipeline_producers) {
             // Single-shot: borrow the slices straight through (no session
             // buffering) — the pre-façade semantics.
-            0 => service
+            (0, _) => service
                 .process_day_tokenized(date, &samples, &streams)
                 .expect("evaluation days are monotone"),
-            chunk => {
+            (chunk, 0) => {
                 let mut session = service
                     .begin_day(date)
                     .expect("evaluation days are monotone");
@@ -262,6 +286,48 @@ impl MonthlyEvaluation {
                 {
                     session.ingest_tokenized(sample_chunk, stream_chunk);
                 }
+                session.seal()
+            }
+            // Pipelined: the mini-batches ride the bounded channel from
+            // `producers` threads. A turn rendezvous serializes the *sends*
+            // (channel FIFO order defines the day's sample order) while
+            // still exercising cross-thread submission and backpressure —
+            // so the sealed report stays byte-identical to the serial
+            // shapes above.
+            (chunk, producers) => {
+                let mut session = service
+                    .begin_day(date)
+                    .expect("evaluation days are monotone");
+                let producer = session.pipeline(self.config.pipeline_bound);
+                let chunks: Vec<(Arc<[Sample]>, &[kizzle_js::TokenStream])> = samples
+                    .chunks(chunk)
+                    .zip(streams.chunks(chunk))
+                    .map(|(s, t)| (Arc::from(s), t))
+                    .collect();
+                let turn = AtomicUsize::new(0);
+                std::thread::scope(|scope| {
+                    for worker in 0..producers {
+                        let producer = producer.clone();
+                        let turn = &turn;
+                        let chunks = &chunks;
+                        scope.spawn(move || {
+                            for (i, (sample_chunk, stream_chunk)) in chunks.iter().enumerate() {
+                                if i % producers != worker {
+                                    continue;
+                                }
+                                while turn.load(Ordering::Acquire) != i {
+                                    std::thread::yield_now();
+                                }
+                                assert!(producer.send_tokenized(
+                                    Arc::clone(sample_chunk),
+                                    stream_chunk.to_vec()
+                                ));
+                                turn.store(i + 1, Ordering::Release);
+                            }
+                        });
+                    }
+                });
+                drop(producer);
                 session.seal()
             }
         };
@@ -495,6 +561,21 @@ mod tests {
         let batched = MonthlyEvaluation::new(batched_config).run();
         assert_eq!(normalized(&single.days), normalized(&batched.days));
         assert_eq!(single.per_family, batched.per_family);
+    }
+
+    #[test]
+    fn pipelined_multi_producer_ingest_matches_single_shot_end_to_end() {
+        // The PR 7 tentpole property through the whole harness: the
+        // bounded-channel frontend with several producer threads and the
+        // serial single-shot runs produce identical report tables.
+        let single = MonthlyEvaluation::new(three_day_config(5)).run();
+        let mut piped_config = three_day_config(5);
+        piped_config.ingest_batch = 7;
+        piped_config.pipeline_producers = 3;
+        piped_config.pipeline_bound = 2;
+        let piped = MonthlyEvaluation::new(piped_config).run();
+        assert_eq!(normalized(&single.days), normalized(&piped.days));
+        assert_eq!(single.per_family, piped.per_family);
     }
 
     #[test]

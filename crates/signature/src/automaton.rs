@@ -70,6 +70,38 @@ pub struct AnchorAutomaton {
     edge_targets: Vec<u32>,
     /// Number of patterns the automaton was built from.
     patterns: u32,
+    /// Skip-loop bitmap: bit `b` set iff some pattern starts with byte
+    /// `b`. 32 bytes — one cache line — versus the 1 KiB root table, so
+    /// [`AnchorAutomaton::match_token`] rejects the common token (anchors
+    /// are rare) without touching the table. **Derived** from the root at
+    /// build *and* decode by the same helper; never serialized, so the
+    /// wire format and [`PIPELINE_VERSION`](crate::PIPELINE_VERSION) are
+    /// unchanged.
+    first_byte: [u64; 4],
+    /// Length of the shortest pattern (`u32::MAX` when empty) — tokens
+    /// shorter than every pattern (single punctuation, short operators)
+    /// can never equal one, so the walk is skipped outright.
+    min_pattern_len: u32,
+}
+
+/// Derive the skip-loop structures ([`AnchorAutomaton::first_byte`],
+/// [`AnchorAutomaton::min_pattern_len`]) from the flattened automaton —
+/// shared by [`AnchorAutomaton::build`] and [`AnchorAutomaton::decode_from`]
+/// so a decoded automaton skips identically to a freshly built one.
+fn derive_skip(root: &[u32], nodes: &[Node]) -> ([u64; 4], u32) {
+    let mut first_byte = [0u64; 4];
+    for (b, &node) in root.iter().enumerate() {
+        if node != NO_NODE {
+            first_byte[b >> 6] |= 1u64 << (b & 63);
+        }
+    }
+    let min_pattern_len = nodes
+        .iter()
+        .filter(|n| n.pattern != NO_PATTERN)
+        .map(|n| n.depth)
+        .min()
+        .unwrap_or(u32::MAX);
+    (first_byte, min_pattern_len)
 }
 
 /// A pattern occurrence reported by [`AnchorAutomaton::scan_bytes`].
@@ -190,12 +222,15 @@ impl AnchorAutomaton {
             }
         }
 
+        let (first_byte, min_pattern_len) = derive_skip(&root, &nodes);
         AnchorAutomaton {
             root,
             nodes,
             edge_bytes,
             edge_targets,
             patterns: u32::try_from(patterns.len()).expect("pattern count fits u32"),
+            first_byte,
+            min_pattern_len,
         }
     }
 
@@ -220,6 +255,9 @@ impl AnchorAutomaton {
     /// search over ≤ alphabet edges per further byte.
     #[must_use]
     pub fn match_token(&self, text: &[u8]) -> Option<u32> {
+        if !self.may_match(text) {
+            return None;
+        }
         let (&first, rest) = text.split_first()?;
         let mut node = self.root[first as usize];
         if node == NO_NODE {
@@ -230,6 +268,23 @@ impl AnchorAutomaton {
         }
         let pattern = self.nodes[node as usize].pattern;
         (pattern != NO_PATTERN).then_some(pattern)
+    }
+
+    /// The skip-loop test in front of [`AnchorAutomaton::match_token`]'s
+    /// goto walk: `false` guarantees no pattern equals `text`, from two
+    /// loads off one 32-byte bitmap — no first-byte pattern starts, or the
+    /// token is shorter than every pattern. Punctuation-heavy token
+    /// streams (minified JS is mostly `=`, `(`, `;`, …, and anchors are ≥
+    /// [`MIN_ANCHOR_LEN`](crate::matcher::MIN_ANCHOR_LEN) chars) die here without
+    /// probing the 1 KiB root table.
+    #[inline]
+    #[must_use]
+    pub fn may_match(&self, text: &[u8]) -> bool {
+        let Some(&first) = text.first() else {
+            return false;
+        };
+        text.len() >= self.min_pattern_len as usize
+            && self.first_byte[usize::from(first >> 6)] >> (first & 63) & 1 == 1
     }
 
     /// Streaming substring mode: every occurrence of every pattern in
@@ -380,12 +435,15 @@ impl AnchorAutomaton {
             root[edge_bytes[pos] as usize] = edge_targets[pos];
         }
 
+        let (first_byte, min_pattern_len) = derive_skip(&root, &nodes);
         Ok(AnchorAutomaton {
             root,
             nodes,
             edge_bytes,
             edge_targets,
             patterns,
+            first_byte,
+            min_pattern_len,
         })
     }
 }
@@ -456,6 +514,51 @@ mod tests {
         assert_eq!(ac.match_token(b"decoder_0001"), Some(4));
         assert_eq!(ac.match_token(b"decoder_0002"), None);
         assert_eq!(ac.match_token(b""), None);
+    }
+
+    #[test]
+    fn skip_loop_never_hides_a_match() {
+        let pats = patterns();
+        let ac = AnchorAutomaton::build(&pats);
+        // Every pattern is its own whole-token match, so may_match must
+        // pass it; and !may_match ⇒ match_token is None, byte-exhaustively
+        // for length-1 and length-2 tokens plus pattern-adjacent probes.
+        for (id, p) in pats.iter().enumerate() {
+            assert!(ac.may_match(p.as_bytes()), "pattern {p:?} skipped");
+            assert_eq!(ac.match_token(p.as_bytes()), Some(id as u32));
+        }
+        for b in 0u8..=255 {
+            for probe in [vec![b], vec![b, b'e'], vec![b, b'h', b'e']] {
+                if !ac.may_match(&probe) {
+                    assert_eq!(ac.match_token(&probe), None, "probe {probe:?}");
+                }
+            }
+        }
+        // Punctuation-heavy tokens die on the skip test: none of the
+        // patterns start with punctuation, and `=`/`;` are shorter than
+        // the shortest pattern anyway.
+        for punct in [&b"="[..], b";", b"(", b"[", b"&&", b"=="] {
+            assert!(!ac.may_match(punct), "punct {punct:?}");
+        }
+        // Shorter than every pattern: skipped even with a viable first
+        // byte ("h" starts "he"/"his"/"hers" but min pattern length is 2).
+        assert!(!ac.may_match(b"h"));
+        assert!(ac.may_match(b"hq"), "length/first-byte both viable");
+        assert_eq!(ac.match_token(b"hq"), None, "walk still decides");
+    }
+
+    #[test]
+    fn skip_loop_is_identical_after_decode() {
+        let ac = AnchorAutomaton::build(&patterns());
+        let mut enc = Encoder::new();
+        ac.encode_into(&mut enc);
+        let bytes = enc.into_bytes();
+        let back = AnchorAutomaton::decode_from(&mut Decoder::new(&bytes)).expect("decodes");
+        for b in 0u8..=255 {
+            for probe in [vec![b], vec![b, b'h'], vec![b, b'e', b'r', b's']] {
+                assert_eq!(ac.may_match(&probe), back.may_match(&probe), "{probe:?}");
+            }
+        }
     }
 
     #[test]

@@ -45,7 +45,7 @@
 
 use crate::automaton::AnchorAutomaton;
 use crate::pattern::{CharClass, Element, Signature};
-use crate::prefilter::{SigFilter, StreamProfile};
+use crate::prefilter::{windows_pass_batch, SigFilter, StreamProfile};
 use crate::verify::{nearest_in_stream, stream_deficit, NearestMatch, StreamSummary};
 use kizzle_js::{tokenize_document, TokenStream};
 use kizzle_snapshot::{Decoder, Encoder, SnapshotError};
@@ -245,16 +245,23 @@ impl ScanPipeline {
         // Stage 2's profiles are created on the first automaton hit, so
         // anchor-free documents never pay for them.
         let mut profile: Option<StreamProfile> = None;
+        // Candidates surviving the cheap gates, gathered per automaton hit
+        // and evaluated lane-parallel (buffer reused across tokens).
+        let mut eligible: Vec<(usize, usize)> = Vec::new();
         'tokens: for (position, token) in tokens.iter().enumerate() {
             let Some(pattern) = self.automaton.match_token(token.unquoted().as_bytes()) else {
                 continue;
             };
+            // Gather pass: bounds, best-index pruning and the histogram
+            // pre-gate stay scalar (they are O(1) each); survivors queue
+            // for the batched window check.
+            eligible.clear();
             for &(index, offset) in &self.buckets[pattern as usize] {
                 let index = index as usize;
                 // Buckets ascend by signature index: nothing after this
                 // candidate can beat the running best.
                 if best.is_some_and(|b| index >= b) {
-                    continue 'tokens;
+                    break;
                 }
                 let Some(start) = position.checked_sub(offset as usize) else {
                     continue;
@@ -275,31 +282,57 @@ impl ScanPipeline {
                     ));
                     continue;
                 }
-                if !filter.window_passes(profile.window(start, n)) {
-                    debug_assert!(!window_matches(
+                eligible.push((index, start));
+            }
+            let Some(profile) = profile.as_ref() else {
+                continue;
+            };
+            // Batched window check: up to 8 candidate windows per group
+            // evaluated lane-parallel over the shared profile, then the
+            // survivors confirmed in ascending signature index order —
+            // the first confirmation is the bucket's best (buckets
+            // ascend), so the rest of the hit is pruned.
+            for group in eligible.chunks(8) {
+                let mut lanes = [(&self.filters[group[0].0], group[0].1); 8];
+                for (lane, &(index, start)) in group.iter().enumerate() {
+                    lanes[lane] = (&self.filters[index], start);
+                }
+                let mask = windows_pass_batch(profile, &lanes[..group.len()]);
+                for (lane, &(index, start)) in group.iter().enumerate() {
+                    let passed = mask >> lane & 1 == 1;
+                    debug_assert_eq!(
+                        passed,
+                        self.filters[index]
+                            .window_passes(profile.window(start, self.filters[index].len())),
+                        "batch lane diverged from the scalar oracle"
+                    );
+                    if !passed {
+                        debug_assert!(!window_matches(
+                            &signatures[index].signature,
+                            stream,
+                            position,
+                            position - start
+                        ));
+                        continue;
+                    }
+                    // Stage 3: classes are already exact; confirm literal
+                    // text (the profile only compared a 32-bit hash).
+                    if !confirm_literals(&signatures[index].signature, stream, start) {
+                        continue;
+                    }
+                    debug_assert!(window_matches(
                         &signatures[index].signature,
                         stream,
                         position,
-                        offset as usize
+                        position - start
                     ));
-                    continue;
-                }
-                // Stage 3: classes are already exact; confirm literal text
-                // (the profile only compared a 32-bit hash).
-                if !confirm_literals(&signatures[index].signature, stream, start) {
-                    continue;
-                }
-                debug_assert!(window_matches(
-                    &signatures[index].signature,
-                    stream,
-                    position,
-                    offset as usize
-                ));
-                best = Some(index);
-                if index == 0 {
-                    // Signature 0 is first in insertion order; nothing can
-                    // beat it, so stop scanning.
-                    return Some(0);
+                    best = Some(index);
+                    if index == 0 {
+                        // Signature 0 is first in insertion order; nothing
+                        // can beat it, so stop scanning.
+                        return Some(0);
+                    }
+                    continue 'tokens;
                 }
             }
         }

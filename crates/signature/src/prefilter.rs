@@ -311,7 +311,58 @@ impl SigFilter {
     pub fn class_demand(&self, c: usize) -> u16 {
         self.hist[c]
     }
+}
 
+/// Evaluate up to 8 candidate windows **lane-parallel** against one shared
+/// [`StreamProfile`]: bit `i` of the result is set iff candidate `i`'s
+/// window passes its filter — exactly [`SigFilter::window_passes`] per
+/// lane (property-tested against it, and `debug_assert`ed at the call
+/// site in the scan pipeline).
+///
+/// Candidates behind a shared anchor literal tend to disagree with the
+/// window at the same early element positions, so the loop runs element
+/// positions outermost with a SIMD-within-a-register liveness mask across
+/// the lanes: each position costs one profile load and a handful of
+/// branch-free integer ops per live lane, and the whole batch retires the
+/// moment every lane is dead — the scalar path has to walk each window to
+/// its end separately. Lanes shorter than the deepest candidate simply
+/// stop contributing once exhausted.
+///
+/// The caller must have [`StreamProfile::ensure`]d coverage through
+/// `start + filter.len()` for every candidate.
+#[must_use]
+pub fn windows_pass_batch(profile: &StreamProfile, candidates: &[(&SigFilter, usize)]) -> u8 {
+    assert!(candidates.len() <= 8, "at most 8 lanes per batch");
+    let mut alive: u8 = match candidates.len() {
+        8 => 0xFF,
+        n => (1u8 << n) - 1,
+    };
+    let deepest = candidates
+        .iter()
+        .map(|(filter, _)| filter.checks.len())
+        .max()
+        .unwrap_or(0);
+    for j in 0..deepest {
+        for (lane, &(filter, start)) in candidates.iter().enumerate() {
+            let Some(check) = filter.checks.get(j) else {
+                continue;
+            };
+            let p = profile.profiles[start + j];
+            let len_ok = u8::from(p.chars >= check.min) & u8::from(p.chars <= check.max);
+            let lit_ok = u8::from(p.hash == check.hash);
+            let class_ok = p.mask >> check.class_bit & 1;
+            let is_class = check.kind; // 0 literal, 1 class
+            let pass = len_ok & (lit_ok | is_class) & (class_ok | (1 - is_class));
+            alive &= !((1 - pass) << lane);
+        }
+        if alive == 0 {
+            break;
+        }
+    }
+    alive
+}
+
+impl SigFilter {
     /// Serialize the filter.
     pub fn encode_into(&self, enc: &mut Encoder) {
         enc.varint_usize(self.checks.len());
@@ -483,6 +534,83 @@ mod tests {
             },
         ]));
         assert!(!satisfied.hist_rejects(&profile, 0));
+    }
+
+    #[test]
+    fn batch_windows_agree_with_the_scalar_oracle() {
+        // Filters of mixed lengths and kinds, placed at every viable start
+        // of a shared stream — every lane must agree with window_passes.
+        let stream = tokenize(
+            r#"pieces = buffer.split(delim); el.text += String.fromCharCode(pieces[i]); x9 = "ab3";"#,
+        );
+        let mut profile = StreamProfile::new();
+        profile.ensure(&stream, stream.len());
+        let filters = vec![
+            SigFilter::of(&sig(vec![Element::Literal("fromCharCode".into())])),
+            SigFilter::of(&sig(vec![
+                Element::Class {
+                    class: CharClass::Wordlike,
+                    min_len: 1,
+                    max_len: 12,
+                },
+                Element::Literal("=".into()),
+            ])),
+            SigFilter::of(&sig(vec![
+                Element::Literal(".".into()),
+                Element::Class {
+                    class: CharClass::Lower,
+                    min_len: 2,
+                    max_len: 8,
+                },
+                Element::Literal("(".into()),
+            ])),
+            SigFilter::of(&sig(vec![Element::Class {
+                class: CharClass::Any,
+                min_len: 0,
+                max_len: 3,
+            }])),
+        ];
+        let mut candidates: Vec<(&SigFilter, usize)> = Vec::new();
+        for filter in &filters {
+            for start in 0..=stream.len().saturating_sub(filter.len()) {
+                candidates.push((filter, start));
+            }
+        }
+        for batch in candidates.chunks(8) {
+            let mask = windows_pass_batch(&profile, batch);
+            for (lane, &(filter, start)) in batch.iter().enumerate() {
+                assert_eq!(
+                    mask >> lane & 1 == 1,
+                    filter.window_passes(profile.window(start, filter.len())),
+                    "lane {lane} start {start} diverged"
+                );
+            }
+        }
+        // Sanity: the batch finds the real hits, not all-zeros.
+        assert!(candidates
+            .chunks(8)
+            .any(|batch| windows_pass_batch(&profile, batch) != 0));
+    }
+
+    #[test]
+    fn batch_handles_partial_and_empty_lane_counts() {
+        let stream = tokenize("abc 123");
+        let mut profile = StreamProfile::new();
+        profile.ensure(&stream, stream.len());
+        assert_eq!(windows_pass_batch(&profile, &[]), 0);
+        let lower = SigFilter::of(&sig(vec![Element::Class {
+            class: CharClass::Lower,
+            min_len: 1,
+            max_len: 8,
+        }]));
+        // One lane: only bit 0 may be set, and it reflects the scalar.
+        let mask = windows_pass_batch(&profile, &[(&lower, 0)]);
+        assert_eq!(mask, 1);
+        let mask = windows_pass_batch(&profile, &[(&lower, 1)]);
+        assert_eq!(mask, 0, "`123` is not Lower");
+        // Dead lanes never leak into live ones.
+        let mask = windows_pass_batch(&profile, &[(&lower, 1), (&lower, 0), (&lower, 1)]);
+        assert_eq!(mask, 0b010);
     }
 
     #[test]

@@ -15,7 +15,11 @@
 //! `--ingest-batch N` streams each day into the `DaySession` in
 //! mini-batches of N samples, as a live frontend would; the report table
 //! is byte-identical to the default single-shot ingest (CI diffs that
-//! pair too — the façade's core property, end to end).
+//! pair too — the façade's core property, end to end). `--producers N`
+//! (with `--ingest-batch`) routes those mini-batches through the
+//! bounded-channel pipelined frontend from N producer threads
+//! (`--channel-bound` sets the channel capacity) — still byte-identical
+//! on stdout, which CI also diffs.
 //!
 //! ```bash
 //! cargo run --release -p kizzle-sim --example daily_pipeline -- \
@@ -36,6 +40,8 @@ struct Args {
     window_cluster: bool,
     compact_every: usize,
     ingest_batch: usize,
+    producers: usize,
+    channel_bound: usize,
 }
 
 fn parse_args() -> Args {
@@ -48,6 +54,8 @@ fn parse_args() -> Args {
         window_cluster: false,
         compact_every: kizzle::DEFAULT_MAX_DELTAS,
         ingest_batch: 0,
+        producers: 0,
+        channel_bound: 2,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -70,6 +78,12 @@ fn parse_args() -> Args {
             "--ingest-batch" => {
                 args.ingest_batch = parse(&value("--ingest-batch"), "--ingest-batch");
             }
+            "--producers" => {
+                args.producers = parse(&value("--producers"), "--producers");
+            }
+            "--channel-bound" => {
+                args.channel_bound = parse(&value("--channel-bound"), "--channel-bound");
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: daily_pipeline [--days N] [--samples-per-day M] [--seed S]\n\
@@ -82,7 +96,10 @@ fn parse_args() -> Args {
                      \x20                     (0 = full snapshot every day); default 6\n\
                      --window-cluster      also cluster the whole retention window each day\n\
                      --ingest-batch N      stream each day into the session in mini-batches of N\n\
-                     \x20                     samples (0 = single-shot, the default)"
+                     \x20                     samples (0 = single-shot, the default)\n\
+                     --producers N         submit the mini-batches from N threads through the\n\
+                     \x20                     bounded-channel pipelined frontend (0 = direct; needs --ingest-batch)\n\
+                     --channel-bound N     pipelined frontend channel capacity in batches; default 2"
                 );
                 std::process::exit(0);
             }
@@ -94,6 +111,9 @@ fn parse_args() -> Args {
     }
     if args.restart_each_day && args.state_dir.is_none() {
         die("--restart-each-day needs --state-dir (state must live somewhere between runs)");
+    }
+    if args.producers > 0 && args.ingest_batch == 0 {
+        die("--producers needs --ingest-batch (the pipelined frontend submits mini-batches)");
     }
     args
 }
@@ -116,6 +136,8 @@ fn main() {
     config.window_cluster = args.window_cluster;
     config.compact_every = args.compact_every;
     config.ingest_batch = args.ingest_batch;
+    config.pipeline_producers = args.producers;
+    config.pipeline_bound = args.channel_bound;
     let mut end = config.start;
     for _ in 1..args.days {
         end = end.next();
