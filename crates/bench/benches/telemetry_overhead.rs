@@ -1,0 +1,132 @@
+//! Telemetry overhead gate (ISSUE 8): scanning with the `kizzle-telemetry`
+//! gate **enabled** must cost at most a few percent over **disabled** —
+//! the counters are plain locals committed through thread-local batched
+//! fronts once per scan, so the hot loop's extra work is one relaxed load
+//! and a handful of predicted branches.
+//!
+//! This is a hand-rolled harness rather than a Criterion group because
+//! the gated quantity is a *ratio* of two measurements taken in the same
+//! process: alternating rounds (to decorrelate frequency/thermal drift),
+//! min-of-rounds per mode (the classic noise floor estimator), then one
+//! synthetic `telemetry_overhead/enabled_over_disabled_pct` line appended
+//! to `$KIZZLE_BENCH_OUT` in the same JSON shape the vendored Criterion
+//! emits — `bench_check` gates it like any other arm, with the ceiling
+//! expressed in percentage points instead of nanoseconds.
+
+use kizzle_corpus::benign::{generate_benign, BenignKind};
+use kizzle_signature::{CharClass, Element, Signature, SignatureSet};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use std::io::Write as _;
+use std::time::Instant;
+
+const SIGNATURES: usize = 5_000;
+const ITERS_PER_ROUND: usize = 1_500;
+const ROUNDS: usize = 12;
+
+fn synthetic_signature(i: usize) -> Signature {
+    Signature::new(
+        format!("SYN.sig{i}"),
+        vec![
+            Element::Class {
+                class: CharClass::AlphaNum,
+                min_len: 5,
+                max_len: 8,
+            },
+            Element::Literal("=".to_string()),
+            Element::Literal(format!("decoder_{i:04}")),
+            Element::Literal("[".to_string()),
+            Element::Class {
+                class: CharClass::AlphaNum,
+                min_len: 3,
+                max_len: 6,
+            },
+            Element::Literal("]".to_string()),
+        ],
+        2,
+    )
+}
+
+/// One workload unit: scan four realistic benign pages (all misses) and
+/// one matching document — the mix a deployed matcher sees.
+fn workload(set: &SignatureSet, streams: &[kizzle_js::TokenStream]) -> usize {
+    let mut hits = 0usize;
+    for stream in streams {
+        hits += usize::from(set.scan_stream(stream).is_some());
+    }
+    hits
+}
+
+/// Mean ns per workload over one round of iterations.
+fn round_ns(set: &SignatureSet, streams: &[kizzle_js::TokenStream]) -> f64 {
+    let start = Instant::now();
+    for _ in 0..ITERS_PER_ROUND {
+        black_box(workload(black_box(set), black_box(streams)));
+    }
+    start.elapsed().as_nanos() as f64 / ITERS_PER_ROUND as f64
+}
+
+fn main() {
+    let mut set = SignatureSet::new();
+    for i in 0..SIGNATURES {
+        set.add(format!("Family{}", i % 8), synthetic_signature(i));
+    }
+    set.seal();
+
+    let mut streams: Vec<_> = (0..4u64)
+        .map(|i| {
+            let mut rng = ChaCha8Rng::seed_from_u64(i);
+            let kind = BenignKind::ALL[i as usize % BenignKind::ALL.len()];
+            kizzle_js::tokenize_document(&generate_benign(kind, &mut rng))
+        })
+        .collect();
+    let mid = SIGNATURES / 2;
+    let hit_doc = format!(
+        r#"<script>var pre = 1; aB3xY = decoder_{mid:04}["k3x"] = 2; var post = 3;</script>"#
+    );
+    streams.push(kizzle_js::tokenize_document(&hit_doc));
+    assert_eq!(workload(&set, &streams), 1, "exactly the hit doc matches");
+
+    // Warm both modes (registry registration, TLS init, caches) before
+    // any timed round.
+    for enabled in [false, true, false, true] {
+        kizzle_telemetry::set_enabled(enabled);
+        black_box(workload(&set, &streams));
+    }
+
+    let mut best_disabled = f64::INFINITY;
+    let mut best_enabled = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        kizzle_telemetry::set_enabled(false);
+        best_disabled = best_disabled.min(round_ns(&set, &streams));
+        kizzle_telemetry::set_enabled(true);
+        best_enabled = best_enabled.min(round_ns(&set, &streams));
+    }
+    kizzle_telemetry::set_enabled(false);
+    kizzle_signature::flush_scan_counters();
+
+    let pct = ((best_enabled - best_disabled) / best_disabled * 100.0).max(0.0);
+    println!(
+        "telemetry_overhead: disabled {best_disabled:.0}ns, enabled {best_enabled:.0}ns \
+         per workload -> {pct:.2}% overhead (min of {ROUNDS} alternating rounds)"
+    );
+
+    if let Ok(path) = std::env::var("KIZZLE_BENCH_OUT") {
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .expect("open KIZZLE_BENCH_OUT");
+        // Informational arms (ungated) plus the gated ratio, in the same
+        // line shape the vendored Criterion writes.
+        for (name, value) in [
+            ("telemetry_overhead/disabled", best_disabled),
+            ("telemetry_overhead/enabled", best_enabled),
+            ("telemetry_overhead/enabled_over_disabled_pct", pct),
+        ] {
+            writeln!(file, "{{\"name\":\"{name}\",\"mean_ns\":{value:.3}}}")
+                .expect("write KIZZLE_BENCH_OUT");
+        }
+    }
+}

@@ -30,12 +30,13 @@ use crate::clustering::{Cluster, Clustering};
 use crate::dbscan::{dbscan, DbscanParams};
 use crate::index::{IndexStats, NeighborIndex};
 use crate::store::SampleId;
+use kizzle_telemetry::trace::SpanGuard;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration of a distributed clustering run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -281,7 +282,7 @@ fn finish_reduce<T, D>(
     distance: &D,
     mut merged_clusters: Vec<Vec<usize>>,
     mut remaining_noise: Vec<usize>,
-    reduce_started: Instant,
+    reduce_span: SpanGuard,
     stats: &mut DistributedStats,
 ) -> Clustering
 where
@@ -292,7 +293,7 @@ where
         m.sort_unstable();
     }
     remaining_noise.sort_unstable();
-    stats.reduce_time = reduce_started.elapsed();
+    stats.reduce_time = reduce_span.finish();
     stats.merged_clusters = merged_clusters.len();
     stats.noise = remaining_noise.len();
 
@@ -300,9 +301,9 @@ where
     // Timed separately from the reduce phases: this final all-pairs pass
     // dominates days with large clusters (ROADMAP), and an untimed hotspot
     // cannot be optimized against a baseline.
-    let t_prototypes = Instant::now();
+    let proto_span = kizzle_telemetry::span!("cluster.prototypes");
     clustering.compute_prototypes(samples, distance);
-    stats.prototype_time = t_prototypes.elapsed();
+    stats.prototype_time = proto_span.finish();
     clustering
 }
 
@@ -321,7 +322,8 @@ where
     T: Sync,
     D: Fn(&T, &T) -> f64 + Sync,
 {
-    let t_reduce = Instant::now();
+    let reduce_span = kizzle_telemetry::span!("cluster.reduce");
+    let reconcile_span = kizzle_telemetry::span!("cluster.reconcile");
     let (all_clusters, all_noise) = flatten_outcomes(partition_results);
 
     let prototypes = parallel_medoids(samples, &all_clusters, distance);
@@ -334,10 +336,10 @@ where
         }
     }
     let mut merged_clusters = assemble_merged(&all_clusters, &mut uf);
-    stats.reconcile_time = t_reduce.elapsed();
+    stats.reconcile_time = reconcile_span.finish();
 
     // Re-adopt noise points that are within eps of a merged prototype.
-    let t_adopt = Instant::now();
+    let adopt_span = kizzle_telemetry::span!("cluster.adopt");
     let merged_prototypes = parallel_medoids(samples, &merged_clusters, distance);
     let mut remaining_noise = Vec::new();
     for idx in all_noise {
@@ -353,14 +355,14 @@ where
             remaining_noise.push(idx);
         }
     }
-    stats.adopt_time = t_adopt.elapsed();
+    stats.adopt_time = adopt_span.finish();
 
     finish_reduce(
         samples,
         distance,
         merged_clusters,
         remaining_noise,
-        t_reduce,
+        reduce_span,
         stats,
     )
 }
@@ -385,7 +387,8 @@ where
         crate::distance::normalized_edit_distance_bounded(a.as_ref(), b.as_ref(), eps)
             .unwrap_or(1.0)
     };
-    let t_reduce = Instant::now();
+    let reduce_span = kizzle_telemetry::span!("cluster.reduce");
+    let reconcile_span = kizzle_telemetry::span!("cluster.reconcile");
     let (all_clusters, all_noise) = flatten_outcomes(partition_results);
 
     let prototypes = parallel_medoids(samples, &all_clusters, &distance);
@@ -408,12 +411,12 @@ where
     }
     stats.reduce_index.merge(&proto_index.take_stats());
     let mut merged_clusters = assemble_merged(&all_clusters, &mut uf);
-    stats.reconcile_time = t_reduce.elapsed();
+    stats.reconcile_time = reconcile_span.finish();
 
     // Re-adopt noise points that are within eps of a merged prototype: each
     // noise sample queries the merged-prototype index and joins the first
     // matching cluster (smallest id), exactly as the all-pairs scan did.
-    let t_adopt = Instant::now();
+    let adopt_span = kizzle_telemetry::span!("cluster.adopt");
     let merged_prototypes = parallel_medoids(samples, &merged_clusters, &distance);
     // Structural insert only: adoption uses external queries, so eagerly
     // memoized prototype-vs-prototype eps-balls would be thrown away.
@@ -440,14 +443,14 @@ where
         }
     }
     stats.reduce_index.merge(&adopt_index.take_stats());
-    stats.adopt_time = t_adopt.elapsed();
+    stats.adopt_time = adopt_span.finish();
 
     finish_reduce(
         samples,
         &distance,
         merged_clusters,
         remaining_noise,
-        t_reduce,
+        reduce_span,
         stats,
     )
 }
@@ -485,9 +488,9 @@ impl DistributedClusterer {
         T: Sync,
         D: Fn(&T, &T) -> f64 + Sync,
     {
-        let t0 = Instant::now();
+        let partition_span = kizzle_telemetry::span!("cluster.partition");
         let partitions = partition_indices(samples.len(), self.config.partitions, self.config.seed);
-        self.cluster_partitioned(samples, partitions, t0.elapsed(), distance)
+        self.cluster_partitioned(samples, partitions, partition_span.finish(), distance)
     }
 
     /// Like [`DistributedClusterer::cluster_with`], but with the
@@ -512,9 +515,9 @@ impl DistributedClusterer {
         D: Fn(&T, &T) -> f64 + Sync,
     {
         assert_eq!(samples.len(), keys.len(), "one key per sample");
-        let t0 = Instant::now();
+        let partition_span = kizzle_telemetry::span!("cluster.partition");
         let partitions = partition_by_key(keys, self.config.partitions, self.config.seed);
-        self.cluster_partitioned(samples, partitions, t0.elapsed(), distance)
+        self.cluster_partitioned(samples, partitions, partition_span.finish(), distance)
     }
 
     /// Shared map + reduce over an already-computed partition assignment.
@@ -536,7 +539,7 @@ impl DistributedClusterer {
         stats.partition_time = partition_time;
 
         let params = self.config.dbscan;
-        let t1 = Instant::now();
+        let map_span = kizzle_telemetry::span!("cluster.map");
         let outcomes: Vec<PartitionOutcome> = partitions
             .par_iter()
             .map(|part| {
@@ -545,7 +548,7 @@ impl DistributedClusterer {
                 partition_outcome(&result, part)
             })
             .collect();
-        stats.map_time = t1.elapsed();
+        stats.map_time = map_span.finish();
         for outcome in &outcomes {
             stats.per_partition_clusters.push(outcome.0.len());
         }

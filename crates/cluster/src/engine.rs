@@ -81,6 +81,19 @@ impl ResumeReport {
     pub fn is_warm(&self) -> bool {
         self.store_restored && self.index_restored
     }
+
+    /// Record one fallback-ladder note. Besides appending to
+    /// [`ResumeReport::notes`], the note is emitted as an
+    /// `engine.resume.note` telemetry event (and counted in
+    /// `kizzle_resume_notes_total`), so a degraded resume is visible in
+    /// the JSONL trace even when no caller prints the report.
+    pub fn note(&mut self, message: String) {
+        if kizzle_telemetry::enabled() {
+            kizzle_telemetry::event("engine.resume.note", message.as_str());
+            kizzle_telemetry::counter("kizzle_resume_notes_total").incr();
+        }
+        self.notes.push(message);
+    }
 }
 
 /// Persistent clustering engine over a corpus that changes incrementally.
@@ -242,9 +255,7 @@ impl CorpusEngine {
             Ok(snapshot) => CorpusEngine::resume_from_sections(config, &snapshot),
             Err(err) => {
                 let mut report = ResumeReport::default();
-                report
-                    .notes
-                    .push(format!("snapshot unreadable, cold start: {err}"));
+                report.note(format!("snapshot unreadable, cold start: {err}"));
                 (CorpusEngine::new(config), report)
             }
         }
@@ -260,14 +271,14 @@ impl CorpusEngine {
         match ChainedSnapshot::open(dir, ENGINE_CHAIN_PREFIX) {
             Ok(chained) => {
                 let (engine, mut report) = CorpusEngine::resume_from_sections(config, &chained);
-                report.notes.extend(chained.notes().iter().cloned());
+                for chain_note in chained.notes() {
+                    report.note(chain_note.clone());
+                }
                 (engine, report)
             }
             Err(err) => {
                 let mut report = ResumeReport::default();
-                report
-                    .notes
-                    .push(format!("snapshot chain unreadable, cold start: {err}"));
+                report.note(format!("snapshot chain unreadable, cold start: {err}"));
                 (CorpusEngine::new(config), report)
             }
         }
@@ -295,9 +306,7 @@ impl CorpusEngine {
                 store
             }
             Err(err) => {
-                report
-                    .notes
-                    .push(format!("store section lost, cold start: {err}"));
+                report.note(format!("store section lost, cold start: {err}"));
                 return (CorpusEngine::new(config), report);
             }
         };
@@ -338,9 +347,7 @@ impl CorpusEngine {
                 index
             }
             Err(err) => {
-                report
-                    .notes
-                    .push(format!("index section lost, rebuilding from store: {err}"));
+                report.note(format!("index section lost, rebuilding from store: {err}"));
                 let mut rebuilt = NeighborIndex::new(config.dbscan.eps);
                 rebuilt.insert_batch_unmemoized(
                     store
@@ -505,14 +512,15 @@ impl PreparedDay {
             return (Clustering::default(), self.stats);
         }
         let params = self.params;
+        let day_span = kizzle_telemetry::span!("day.cluster");
 
         // Partition by content key — the same class-string lands in the
         // same partition every day (content-stable, not an `n`-dependent
         // shuffle) — and cluster each partition on its induced subgraph,
         // the same label computation a fresh per-partition index performs.
-        let t0 = Instant::now();
+        let partition_span = kizzle_telemetry::span!("cluster.partition");
         let partitions = partition_by_key(&self.keys, self.partitions, self.seed);
-        self.stats.partition_time = t0.elapsed();
+        self.stats.partition_time = partition_span.finish();
 
         let dense = &self.dense;
         let outcomes: Vec<PartitionOutcome> = partitions
@@ -541,12 +549,21 @@ impl PreparedDay {
             })
             .collect();
         self.stats.map_time = self.t_map.elapsed() - self.stats.partition_time;
+        // The map measurement starts on the preparing thread (`t_map`) and
+        // closes here, possibly on the seal thread — an RAII guard cannot
+        // cross that boundary, so the already-measured duration is recorded
+        // explicitly.
+        kizzle_telemetry::record_span("cluster.map", self.stats.map_time);
         for outcome in &outcomes {
             self.stats.per_partition_clusters.push(outcome.0.len());
         }
 
         // Index-routed reduce over the dense day view.
         let clustering = reduce_token(&self.day_data, &params, outcomes, &mut self.stats);
+        let day_elapsed = day_span.finish();
+        if kizzle_telemetry::enabled() {
+            kizzle_telemetry::histogram("kizzle_cluster_day_ns").observe_duration(day_elapsed);
+        }
         (clustering, self.stats)
     }
 }

@@ -9,6 +9,7 @@ use kizzle_signature::{generate_signature, SignatureSet};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// What the pipeline decided about one cluster.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +47,44 @@ pub struct PipelineStats {
     pub producer_stalls: u64,
     /// High-water mark of mini-batches queued in the channel at once.
     pub max_queue_depth: u64,
+}
+
+impl PipelineStats {
+    /// A hint for the next run's channel bound, derived from this run's
+    /// backpressure — the first step of the ROADMAP adaptive-channel-bound
+    /// follow-up. `None` when no producer ever stalled: the bound was not
+    /// the bottleneck, so there is nothing to suggest. Otherwise the
+    /// smallest power of two above twice the observed high-water mark —
+    /// producers filled the channel to its bound (that is what a stall
+    /// means), so the mark *is* the current bound and doubling it gives the
+    /// frontend room to absorb the burst that caused the stall.
+    #[must_use]
+    pub fn suggested_bound(&self) -> Option<u64> {
+        if self.producer_stalls == 0 {
+            return None;
+        }
+        Some(
+            self.max_queue_depth
+                .saturating_mul(2)
+                .next_power_of_two()
+                .max(2),
+        )
+    }
+
+    /// Fold these per-day counters into the global telemetry registry
+    /// (`kizzle_ingest_producer_stalls_total`,
+    /// `kizzle_pipeline_max_queue_depth` as a run-level high-water mark).
+    /// No-op while telemetry is disabled.
+    pub fn record_to_registry(&self) {
+        if !kizzle_telemetry::enabled() {
+            return;
+        }
+        kizzle_telemetry::gauge("kizzle_pipeline_max_queue_depth").set_max(self.max_queue_depth);
+        if self.producer_stalls > 0 {
+            kizzle_telemetry::counter("kizzle_ingest_producer_stalls_total")
+                .add(self.producer_stalls);
+        }
+    }
 }
 
 /// The result of processing one day of grayware.
@@ -215,10 +254,13 @@ impl KizzleCompiler {
     /// mini-batched session produces a byte-identical report
     /// (property-tested in `tests/service_properties.rs`).
     pub fn process_day(&mut self, date: SimDate, samples: &[Sample]) -> DayReport {
-        let streams: Vec<TokenStream> = samples
-            .iter()
-            .map(|s| self.tokenize_capped(&s.html))
-            .collect();
+        let streams: Vec<TokenStream> = {
+            let _ingest_span = kizzle_telemetry::span!("day.ingest");
+            samples
+                .iter()
+                .map(|s| self.tokenize_capped(&s.html))
+                .collect()
+        };
         self.process_day_tokenized(date, samples, &streams)
     }
 
@@ -251,6 +293,9 @@ impl KizzleCompiler {
         self.last_day = Some(date);
         let cutoff = stamp.saturating_sub(self.config.retention_days as u64 - 1);
         self.engine.retire_older_than(cutoff);
+        if kizzle_telemetry::enabled() {
+            kizzle_telemetry::gauge("kizzle_corpus_live_samples").set(self.engine.len() as u64);
+        }
         // Day views age out with the same cutoff as their samples: a view
         // inside the window only names ids whose stamps are at or above
         // its own, so every id it holds is still live.
@@ -265,8 +310,17 @@ impl KizzleCompiler {
     /// half amortizes while later batches are still arriving) and return
     /// the batch's sample ids. Callable any number of times per open day.
     pub(crate) fn ingest_streams(&mut self, stamp: u64, streams: &[TokenStream]) -> Vec<SampleId> {
+        let _dedup_span = kizzle_telemetry::span!("day.dedup");
+        if kizzle_telemetry::enabled() {
+            kizzle_telemetry::counter("kizzle_ingest_batches_total").incr();
+            kizzle_telemetry::counter("kizzle_ingest_samples_total").add(streams.len() as u64);
+        }
         let class_strings: Vec<Vec<u8>> = streams.iter().map(TokenStream::class_codes).collect();
-        self.engine.add_batch(stamp, &class_strings)
+        let ids = self.engine.add_batch(stamp, &class_strings);
+        if kizzle_telemetry::enabled() {
+            kizzle_telemetry::gauge("kizzle_corpus_live_samples").set(self.engine.len() as u64);
+        }
+        ids
     }
 
     /// Session phase 3 — seal the day: record the day view, cluster the
@@ -293,9 +347,15 @@ impl KizzleCompiler {
         streams: &[TokenStream],
         day_ids: Vec<SampleId>,
     ) -> DayReport {
+        let seal_span = kizzle_telemetry::span!("day.seal");
         let prepared = self.seal_view(stamp, &day_ids);
         let (clustering, stats) = prepared.finish();
-        self.label_and_sign(date, samples, streams, clustering, stats)
+        let report = self.label_and_sign(date, samples, streams, clustering, stats);
+        let seal_elapsed = seal_span.finish();
+        if kizzle_telemetry::enabled() {
+            kizzle_telemetry::histogram("kizzle_day_seal_ns").observe_duration(seal_elapsed);
+        }
+        report
     }
 
     /// Seal sub-phase A — record (or replace) the day's retained view and
@@ -327,9 +387,18 @@ impl KizzleCompiler {
         clustering: Clustering,
         stats: DistributedStats,
     ) -> DayReport {
+        let tel = kizzle_telemetry::enabled();
         let mut verdicts = Vec::new();
         let mut new_signatures = Vec::new();
+        // The winnow (unpack → reference label → absorb) and siggen
+        // (signature generation → set append) phases interleave per
+        // cluster, so an RAII guard per phase would spray hundreds of
+        // sub-ms spans; accumulate each phase across the loop and record
+        // two per-day spans after it.
+        let mut winnow_time = Duration::ZERO;
+        let mut siggen_time = Duration::ZERO;
         for cluster in clustering.significant_clusters(self.config.min_cluster_size) {
+            let winnow_started = tel.then(Instant::now);
             let prototype_idx = cluster.prototype.unwrap_or_else(|| cluster.members[0]);
             let (_, unpacked) = kizzle_unpack::unpack_or_passthrough(samples.html(prototype_idx));
             let labeled = self.reference.label(&unpacked);
@@ -345,6 +414,10 @@ impl KizzleCompiler {
                 // Track the kit's evolution so tomorrow's variant still
                 // labels correctly.
                 self.reference.absorb(family, &unpacked);
+                if let Some(started) = winnow_started {
+                    winnow_time += started.elapsed();
+                }
+                let siggen_started = tel.then(Instant::now);
 
                 let member_streams: Vec<TokenStream> = cluster
                     .members
@@ -369,8 +442,21 @@ impl KizzleCompiler {
                         // labeled but unsigned.
                     }
                 }
+                if let Some(started) = siggen_started {
+                    siggen_time += started.elapsed();
+                }
+            } else if let Some(started) = winnow_started {
+                winnow_time += started.elapsed();
             }
             verdicts.push(verdict);
+        }
+        if tel {
+            kizzle_telemetry::record_span("day.winnow", winnow_time);
+            kizzle_telemetry::record_span("day.siggen", siggen_time);
+            kizzle_telemetry::counter("kizzle_days_sealed_total").incr();
+            kizzle_telemetry::counter("kizzle_signatures_emitted_total")
+                .add(new_signatures.len() as u64);
+            kizzle_telemetry::gauge("kizzle_signatures_live").set(self.signatures.len() as u64);
         }
 
         DayReport {

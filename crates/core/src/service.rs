@@ -160,10 +160,16 @@ impl Published {
     /// members via `Arc::make_mut` instead (and only while an epoch still
     /// shares them).
     fn publish(&self, set: Arc<SignatureSet>) {
+        let signatures = set.len();
         let mut slot = self.set.write().expect("signature publication lock");
         slot.0 += 1;
         slot.1 = set;
         self.epoch_hint.store(slot.0, Ordering::Release);
+        drop(slot);
+        if kizzle_telemetry::enabled() {
+            kizzle_telemetry::counter("kizzle_publish_epochs_total").incr();
+            kizzle_telemetry::gauge("kizzle_signatures_live").set(signatures as u64);
+        }
     }
 
     fn load(&self) -> (u64, Arc<SignatureSet>) {
@@ -419,6 +425,7 @@ impl KizzleService {
     /// Publish the compiler's current set: seal its scan pipeline (so no
     /// scan ever pays the build) and swap the shared handle in.
     fn publish_current(&self) {
+        let _publish_span = kizzle_telemetry::span!("day.publish");
         let set = self.lock_compiler().signatures_shared();
         set.seal();
         self.core.shared.publish(set);
@@ -756,10 +763,13 @@ fn ingest_worker(state: &SessionState, rx: &Receiver<Job>) {
                 if state.abort.load(Ordering::Acquire) {
                     continue;
                 }
-                let streams = samples
-                    .iter()
-                    .map(|s| kizzle_js::tokenize_document_capped(&s.html, state.token_cap))
-                    .collect();
+                let streams = {
+                    let _ingest_span = kizzle_telemetry::span!("day.ingest");
+                    samples
+                        .iter()
+                        .map(|s| kizzle_js::tokenize_document_capped(&s.html, state.token_cap))
+                        .collect()
+                };
                 (samples, streams)
             }
             Job::Tokenized(samples, streams) => {
@@ -966,10 +976,13 @@ impl DaySession<'_> {
             submit_job(&self.state, &frontend.tx, Job::Raw(samples));
             return;
         }
-        let streams: Vec<TokenStream> = samples
-            .iter()
-            .map(|s| kizzle_js::tokenize_document_capped(&s.html, self.state.token_cap))
-            .collect();
+        let streams: Vec<TokenStream> = {
+            let _ingest_span = kizzle_telemetry::span!("day.ingest");
+            samples
+                .iter()
+                .map(|s| kizzle_js::tokenize_document_capped(&s.html, self.state.token_cap))
+                .collect()
+        };
         self.state.submitted.fetch_add(1, Ordering::Relaxed);
         apply_batch(&self.state, samples, streams);
     }
@@ -1062,6 +1075,7 @@ impl DaySession<'_> {
             )
         };
         report.pipeline = self.state.pipeline_stats();
+        report.pipeline.record_to_registry();
         self.service.publish_current();
         self.finished = true;
         report
@@ -1106,6 +1120,7 @@ impl DaySession<'_> {
                     slot: guard_slot,
                     completed: false,
                 };
+                let seal_span = kizzle_telemetry::span!("day.seal");
                 // The expensive phase: engine-free, runs unlocked, so the
                 // next day's ingest proceeds concurrently.
                 let (clustering, stats) = prepared.finish();
@@ -1116,10 +1131,18 @@ impl DaySession<'_> {
                     (report, compiler.signatures_shared())
                 };
                 report.pipeline = pipeline;
+                report.pipeline.record_to_registry();
+                let seal_elapsed = seal_span.finish();
+                if kizzle_telemetry::enabled() {
+                    kizzle_telemetry::histogram("kizzle_day_seal_ns")
+                        .observe_duration(seal_elapsed);
+                }
                 // Seal (pipeline build) outside the lock, then the same
                 // atomic epoch swap as the synchronous path.
+                let publish_span = kizzle_telemetry::span!("day.publish");
                 set.seal();
                 core.shared.publish(set);
+                publish_span.finish();
                 guard.complete(report);
             })
             .expect("spawn seal thread");

@@ -305,8 +305,9 @@ impl KizzleCompiler {
         state_dir: &Path,
         max_deltas: usize,
     ) -> Result<(), KizzleError> {
+        let snapshot_span = kizzle_telemetry::span!("day.snapshot");
         let sections = self.encode_state_sections();
-        ChainWriter::new(state_dir, STATE_CHAIN_PREFIX).save(
+        let save = ChainWriter::new(state_dir, STATE_CHAIN_PREFIX).save(
             sections,
             max_deltas,
             |manifest, save| {
@@ -336,6 +337,22 @@ impl KizzleCompiler {
                 manifest.set("written_bytes", save.bytes);
             },
         )?;
+        let snapshot_elapsed = snapshot_span.finish();
+        if kizzle_telemetry::enabled() {
+            kizzle_telemetry::counter("kizzle_snapshot_saves_total").incr();
+            kizzle_telemetry::histogram("kizzle_snapshot_save_ns")
+                .observe_duration(snapshot_elapsed);
+            kizzle_telemetry::event(
+                "snapshot.save",
+                format!(
+                    "wrote {} ({} bytes)",
+                    save.file
+                        .as_deref()
+                        .unwrap_or("nothing (no sections changed)"),
+                    save.bytes
+                ),
+            );
+        }
         Ok(())
     }
 
@@ -353,6 +370,10 @@ impl KizzleCompiler {
         state_dir: &Path,
         config: KizzleConfig,
     ) -> Result<(Self, ResumeReport), KizzleError> {
+        let _load_span = kizzle_telemetry::span!("snapshot.load");
+        if kizzle_telemetry::enabled() {
+            kizzle_telemetry::counter("kizzle_snapshot_loads_total").incr();
+        }
         let config = config.validate()?;
         let snapshot = ChainedSnapshot::open(state_dir, STATE_CHAIN_PREFIX)?;
 
@@ -376,7 +397,9 @@ impl KizzleCompiler {
         dec.finish()?;
 
         let (engine, mut report) = CorpusEngine::resume_from_sections(config.clustering, &snapshot);
-        report.notes.extend(snapshot.notes().iter().cloned());
+        for chain_note in snapshot.notes() {
+            report.note(chain_note.clone());
+        }
 
         // The scan pipeline is derived state: any failure to restore it
         // (absent in pre-PR-6 snapshots, damaged, version-skewed, or not
@@ -390,15 +413,11 @@ impl KizzleCompiler {
         match pipeline {
             Ok(pipeline) => {
                 if !signatures.attach_pipeline(pipeline) {
-                    report
-                        .notes
-                        .push("scan pipeline does not cover the set, resealing".to_string());
+                    report.note("scan pipeline does not cover the set, resealing".to_string());
                 }
             }
             Err(err) => {
-                report
-                    .notes
-                    .push(format!("scan pipeline not restored, resealing: {err}"));
+                report.note(format!("scan pipeline not restored, resealing: {err}"));
             }
         }
 
@@ -432,7 +451,7 @@ impl KizzleCompiler {
         let day_views = match day_views {
             Ok(views) => views,
             Err(err) => {
-                report.notes.push(format!(
+                report.note(format!(
                     "window views lost, window clustering starts over: {err}"
                 ));
                 Vec::new()
@@ -469,9 +488,7 @@ impl KizzleCompiler {
             Ok(loaded) => loaded,
             Err(err) => {
                 let mut report = ResumeReport::default();
-                report
-                    .notes
-                    .push(format!("state not loadable, fresh compiler: {err}"));
+                report.note(format!("state not loadable, fresh compiler: {err}"));
                 (KizzleCompiler::new(config, reference()), report)
             }
         }

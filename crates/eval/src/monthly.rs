@@ -263,6 +263,11 @@ impl MonthlyEvaluation {
     ) -> DailyMetrics {
         let samples = stream.generate_day(date);
         let streams: Vec<_> = {
+            // The eval pre-tokenizes the day (both detectors scan the same
+            // token streams), so the service-side ingest sites only ever
+            // see tokenized batches — this block is the day's real ingest
+            // phase, so the span lives here.
+            let _ingest_span = kizzle_telemetry::span!("day.ingest");
             // One guard for the whole day's tokenization: the per-call
             // accessor would lock (and wait out any background seal) once
             // per sample.

@@ -69,6 +69,6 @@ pub mod verify;
 
 pub use automaton::AnchorAutomaton;
 pub use generate::{generate_signature, GenerateError};
-pub use matcher::{LabeledSignature, ScanPipeline, SignatureSet};
+pub use matcher::{flush_scan_counters, LabeledSignature, ScanPipeline, SignatureSet};
 pub use pattern::{CharClass, Element, Signature, SignatureConfig};
 pub use verify::NearestMatch;

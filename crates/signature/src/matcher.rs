@@ -56,6 +56,119 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, OnceLock};
 
+/// Per-stage scan counters (`kizzle_scan_*`), cheap enough for the
+/// ns-scale scan path.
+///
+/// A scan tallies its stage events in plain locals (`ScanCounts`, only
+/// touched when telemetry is enabled — the disabled cost is one relaxed
+/// load and predicted branches), then feeds them into thread-local
+/// [`kizzle_telemetry::metrics::Batched`] fronts at scan exit: the shared
+/// sharded atomics are touched once per [`BATCH`](scan_metrics::BATCH)
+/// events per thread, yet totals are exact once scan threads exit or
+/// [`flush_scan_counters`] runs.
+pub mod scan_metrics {
+    use kizzle_telemetry::counter;
+    use kizzle_telemetry::metrics::Batched;
+
+    /// Events per thread between touches of a shared counter cell (the
+    /// "sampled 1-in-N" rate; remainders flush on thread exit).
+    pub const BATCH: u64 = 256;
+
+    /// Local per-scan tallies; all zero when telemetry is disabled.
+    #[derive(Debug, Default)]
+    pub(super) struct ScanCounts {
+        pub scans: u64,
+        pub anchor_hits: u64,
+        pub prefilter_checked: u64,
+        pub prefilter_rejected: u64,
+        pub verify_confirmed: u64,
+        pub verify_rejected: u64,
+        pub unanchored_checked: u64,
+    }
+
+    struct Tallies {
+        scans: Batched,
+        anchor_hits: Batched,
+        prefilter_checked: Batched,
+        prefilter_rejected: Batched,
+        verify_confirmed: Batched,
+        verify_rejected: Batched,
+        unanchored_checked: Batched,
+    }
+
+    impl Tallies {
+        fn new() -> Self {
+            Tallies {
+                scans: Batched::new(counter("kizzle_scans_total"), BATCH),
+                anchor_hits: Batched::new(counter("kizzle_scan_anchor_hits_total"), BATCH),
+                prefilter_checked: Batched::new(
+                    counter("kizzle_scan_prefilter_checked_total"),
+                    BATCH,
+                ),
+                prefilter_rejected: Batched::new(
+                    counter("kizzle_scan_prefilter_rejected_total"),
+                    BATCH,
+                ),
+                verify_confirmed: Batched::new(
+                    counter("kizzle_scan_verify_confirmed_total"),
+                    BATCH,
+                ),
+                verify_rejected: Batched::new(counter("kizzle_scan_verify_rejected_total"), BATCH),
+                unanchored_checked: Batched::new(
+                    counter("kizzle_scan_unanchored_checked_total"),
+                    BATCH,
+                ),
+            }
+        }
+
+        fn flush(&self) {
+            self.scans.flush();
+            self.anchor_hits.flush();
+            self.prefilter_checked.flush();
+            self.prefilter_rejected.flush();
+            self.verify_confirmed.flush();
+            self.verify_rejected.flush();
+            self.unanchored_checked.flush();
+        }
+    }
+
+    thread_local! {
+        static TALLIES: Tallies = Tallies::new();
+    }
+
+    impl ScanCounts {
+        /// Feed this scan's tallies into the thread-local batched fronts.
+        pub(super) fn commit(&self) {
+            TALLIES.with(|t| {
+                t.scans.bump(self.scans);
+                t.anchor_hits.bump(self.anchor_hits);
+                t.prefilter_checked.bump(self.prefilter_checked);
+                t.prefilter_rejected.bump(self.prefilter_rejected);
+                t.verify_confirmed.bump(self.verify_confirmed);
+                t.verify_rejected.bump(self.verify_rejected);
+                t.unanchored_checked.bump(self.unanchored_checked);
+            });
+        }
+    }
+
+    /// Flush the calling thread's batched scan tallies into the shared
+    /// `kizzle_scan_*` counters now.
+    ///
+    /// Worker threads flush automatically when their TLS is destroyed on
+    /// exit, and [`std::thread::JoinHandle::join`] orders that before the
+    /// join returns. Two cases need an explicit call: long-lived threads
+    /// (the main thread, a serve-daemon worker) before snapshotting the
+    /// registry, and `std::thread::scope` workers before their closure
+    /// returns — the scope wakes its waiter when the closure finishes,
+    /// which does *not* order the worker's TLS destructors before the
+    /// scope exits.
+    pub fn flush_scan_counters() {
+        TALLIES.with(Tallies::flush);
+    }
+}
+
+pub use scan_metrics::flush_scan_counters;
+
 /// A signature together with the label of the family it detects.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct LabeledSignature {
@@ -240,6 +353,25 @@ impl ScanPipeline {
     /// in insertion order — exactly [`SignatureSet::scan_stream_linear`]'s
     /// answer, reached through the three stages.
     fn scan(&self, signatures: &[LabeledSignature], stream: &TokenStream) -> Option<usize> {
+        let tel = kizzle_telemetry::enabled();
+        let mut counts = scan_metrics::ScanCounts::default();
+        if tel {
+            counts.scans = 1;
+        }
+        let best = self.scan_staged(signatures, stream, tel, &mut counts);
+        if tel {
+            counts.commit();
+        }
+        best
+    }
+
+    fn scan_staged(
+        &self,
+        signatures: &[LabeledSignature],
+        stream: &TokenStream,
+        tel: bool,
+        counts: &mut scan_metrics::ScanCounts,
+    ) -> Option<usize> {
         let tokens = stream.tokens();
         let mut best: Option<usize> = None;
         // Stage 2's profiles are created on the first automaton hit, so
@@ -252,6 +384,9 @@ impl ScanPipeline {
             let Some(pattern) = self.automaton.match_token(token.unquoted().as_bytes()) else {
                 continue;
             };
+            if tel {
+                counts.anchor_hits += 1;
+            }
             // Gather pass: bounds, best-index pruning and the histogram
             // pre-gate stay scalar (they are O(1) each); survivors queue
             // for the batched window check.
@@ -280,7 +415,13 @@ impl ScanPipeline {
                         position,
                         offset as usize
                     ));
+                    if tel {
+                        counts.prefilter_rejected += 1;
+                    }
                     continue;
+                }
+                if tel {
+                    counts.prefilter_checked += 1;
                 }
                 eligible.push((index, start));
             }
@@ -313,12 +454,21 @@ impl ScanPipeline {
                             position,
                             position - start
                         ));
+                        if tel {
+                            counts.prefilter_rejected += 1;
+                        }
                         continue;
                     }
                     // Stage 3: classes are already exact; confirm literal
                     // text (the profile only compared a 32-bit hash).
                     if !confirm_literals(&signatures[index].signature, stream, start) {
+                        if tel {
+                            counts.verify_rejected += 1;
+                        }
                         continue;
+                    }
+                    if tel {
+                        counts.verify_confirmed += 1;
                     }
                     debug_assert!(window_matches(
                         &signatures[index].signature,
@@ -342,6 +492,9 @@ impl ScanPipeline {
             let index = index as usize;
             if best.is_some_and(|b| index >= b) {
                 break;
+            }
+            if tel {
+                counts.unanchored_checked += 1;
             }
             if signatures[index].signature.matches_stream(stream) {
                 best = Some(index);

@@ -1,0 +1,289 @@
+//! CI gate for telemetry output: validates a Prometheus-text metrics dump
+//! and a JSONL trace against the checked-in schema
+//! (`crates/telemetry/schema/telemetry.schema`).
+//!
+//! ```text
+//! telemetry_check <schema> <metrics.prom> <trace.jsonl>
+//! ```
+//!
+//! The schema is a line-oriented catalog: `metric <name>`, `span <name>`,
+//! `event <name>` declare names that MUST appear in the corresponding
+//! output; a `?` suffix on the kind (`metric?`, `span?`, `event?`) declares
+//! a name that MAY appear (e.g. degraded-resume events). Any name that
+//! shows up in an output but is not declared at all fails the check — new
+//! instrumentation must be added to the catalog, which is how the schema
+//! and OBSERVABILITY.md stay honest.
+//!
+//! Like `bench_check`, this is std-only with hand-rolled parsers: the
+//! exposition formats are deliberately flat.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::process::ExitCode;
+
+#[derive(Default)]
+struct Schema {
+    /// kind -> (required names, optional names)
+    kinds: BTreeMap<&'static str, (BTreeSet<String>, BTreeSet<String>)>,
+}
+
+impl Schema {
+    fn parse(text: &str, errors: &mut Vec<String>) -> Schema {
+        let mut schema = Schema::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (kind, name) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(kind), Some(name), None) => (kind, name),
+                _ => {
+                    errors.push(format!(
+                        "schema line {}: expected `<kind> <name>`, got {raw:?}",
+                        lineno + 1
+                    ));
+                    continue;
+                }
+            };
+            let (kind, optional) = match kind.strip_suffix('?') {
+                Some(base) => (base, true),
+                None => (kind, false),
+            };
+            let kind = match kind {
+                "metric" => "metric",
+                "span" => "span",
+                "event" => "event",
+                other => {
+                    errors.push(format!(
+                        "schema line {}: unknown kind {other:?}",
+                        lineno + 1
+                    ));
+                    continue;
+                }
+            };
+            let slot = schema.kinds.entry(kind).or_default();
+            if optional {
+                slot.1.insert(name.to_string());
+            } else {
+                slot.0.insert(name.to_string());
+            }
+        }
+        schema
+    }
+
+    fn check(&self, kind: &str, observed: &BTreeSet<String>, errors: &mut Vec<String>) {
+        let (required, optional) = self.kinds.get(kind).cloned().unwrap_or_default();
+        for name in &required {
+            if !observed.contains(name) {
+                errors.push(format!("missing required {kind} {name:?}"));
+            }
+        }
+        for name in observed {
+            if !required.contains(name) && !optional.contains(name) {
+                errors.push(format!(
+                    "undeclared {kind} {name:?} (add it to the schema catalog)"
+                ));
+            }
+        }
+    }
+}
+
+/// Parse Prometheus text exposition: family names from `# TYPE` lines,
+/// sample lines validated as `name[{labels}] value`.
+fn parse_metrics(text: &str, errors: &mut Vec<String>) -> BTreeSet<String> {
+    let mut families = BTreeSet::new();
+    let mut typed: BTreeSet<String> = BTreeSet::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some(name), Some("counter" | "gauge" | "histogram"), None) => {
+                    families.insert(name.to_string());
+                    typed.insert(name.to_string());
+                }
+                _ => errors.push(format!(
+                    "metrics line {}: malformed TYPE line {raw:?}",
+                    lineno + 1
+                )),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        // Sample line: `name{labels} value` or `name value`.
+        let name_end = line
+            .find(|c: char| c == '{' || c.is_whitespace())
+            .unwrap_or(line.len());
+        let name = &line[..name_end];
+        let value = line
+            .rsplit(|c: char| c.is_whitespace())
+            .next()
+            .unwrap_or("");
+        if name.is_empty() || value.parse::<f64>().is_err() {
+            errors.push(format!(
+                "metrics line {}: malformed sample {raw:?}",
+                lineno + 1
+            ));
+            continue;
+        }
+        // Histogram samples expose `<family>_bucket/_sum/_count`; fold them
+        // back onto the family name for catalog matching.
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|base| typed.contains(*base))
+            .unwrap_or(name);
+        if !typed.contains(family) {
+            errors.push(format!(
+                "metrics line {}: sample {name:?} has no preceding TYPE line",
+                lineno + 1
+            ));
+        }
+        families.insert(family.to_string());
+    }
+    families
+}
+
+/// Extract the value of a `"key":"…"` string field from a flat JSON line.
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => {
+                chars.next();
+                out.push('_'); // escaped char, content irrelevant here
+            }
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+fn json_has_num_field(line: &str, key: &str) -> bool {
+    let pat = format!("\"{key}\":");
+    match line.find(&pat) {
+        Some(idx) => line[idx + pat.len()..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_digit() || c == '-'),
+        None => false,
+    }
+}
+
+/// Parse the JSONL trace: returns (span names, event names).
+fn parse_trace(text: &str, errors: &mut Vec<String>) -> (BTreeSet<String>, BTreeSet<String>) {
+    let mut spans = BTreeSet::new();
+    let mut events = BTreeSet::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !line.starts_with('{') || !line.ends_with('}') {
+            errors.push(format!(
+                "trace line {}: not a JSON object: {raw:?}",
+                lineno + 1
+            ));
+            continue;
+        }
+        let kind = json_str_field(line, "type");
+        let name = json_str_field(line, "name");
+        let (Some(kind), Some(name)) = (kind, name) else {
+            errors.push(format!(
+                "trace line {}: missing \"type\"/\"name\": {raw:?}",
+                lineno + 1
+            ));
+            continue;
+        };
+        let required_nums: &[&str] = match kind.as_str() {
+            "span" => &["thread", "depth", "start_us", "dur_us"],
+            "event" => &["thread", "depth", "at_us"],
+            other => {
+                errors.push(format!(
+                    "trace line {}: unknown record type {other:?}",
+                    lineno + 1
+                ));
+                continue;
+            }
+        };
+        for field in required_nums {
+            if !json_has_num_field(line, field) {
+                errors.push(format!(
+                    "trace line {}: {kind} record missing numeric {field:?}",
+                    lineno + 1
+                ));
+            }
+        }
+        if kind == "event" && json_str_field(line, "message").is_none() {
+            errors.push(format!(
+                "trace line {}: event record missing \"message\"",
+                lineno + 1
+            ));
+        }
+        if kind == "span" {
+            spans.insert(name);
+        } else {
+            events.insert(name);
+        }
+    }
+    (spans, events)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [schema_path, metrics_path, trace_path] = match args.as_slice() {
+        [a, b, c] => [a, b, c],
+        _ => {
+            eprintln!("usage: telemetry_check <schema> <metrics.prom> <trace.jsonl>");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut errors = Vec::new();
+    let read = |path: &str, errors: &mut Vec<String>| match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            errors.push(format!("cannot read {path}: {err}"));
+            String::new()
+        }
+    };
+    let schema_text = read(schema_path, &mut errors);
+    let metrics_text = read(metrics_path, &mut errors);
+    let trace_text = read(trace_path, &mut errors);
+
+    let schema = Schema::parse(&schema_text, &mut errors);
+    let metrics = parse_metrics(&metrics_text, &mut errors);
+    let (spans, events) = parse_trace(&trace_text, &mut errors);
+
+    schema.check("metric", &metrics, &mut errors);
+    schema.check("span", &spans, &mut errors);
+    schema.check("event", &events, &mut errors);
+
+    if errors.is_empty() {
+        println!(
+            "telemetry_check OK: {} metric families, {} span names, {} event names",
+            metrics.len(),
+            spans.len(),
+            events.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for err in &errors {
+            eprintln!("telemetry_check: {err}");
+        }
+        eprintln!("telemetry_check FAILED: {} error(s)", errors.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,191 @@
+//! Unified observability for the Kizzle pipeline: a metrics registry of
+//! named counters/gauges/histograms over sharded relaxed atomics, plus a
+//! span/tracing layer that renders a per-day phase tree and a
+//! machine-readable JSONL event log.
+//!
+//! Like the `vendor/` stand-ins, this crate is hand-rolled against a
+//! registry-less build environment — std only, no dependencies — but it is
+//! a product crate, not a shim: the serve-daemon track and the adaptive
+//! channel-bound work both consume it.
+//!
+//! # Design
+//!
+//! * **Telemetry is opt-in and inert by default.** The global enable flag
+//!   ([`set_enabled`]) starts `false`; a disabled counter bump is one
+//!   relaxed load and a predicted branch, and a disabled span never pushes
+//!   a record. Enabling telemetry must never perturb results — the
+//!   equivalence property tests in `kizzle-core` hold a fully instrumented
+//!   pipelined run byte-identical to an uninstrumented one.
+//! * **Counters are sharded.** Each [`Counter`] spreads its cells over
+//!   [`metrics::SHARDS`] cache-line-padded relaxed atomics indexed by a
+//!   per-thread shard id, so concurrent scan threads do not bounce one
+//!   cache line. Hot paths batch on top of that with [`metrics::Batched`]
+//!   (a thread-local tally that touches the shared cell once per `N`
+//!   events and flushes the remainder on thread exit), which is how the
+//!   ns-scale matcher stage counters stay under the 5% overhead gate while
+//!   remaining exact after threads join.
+//! * **Spans always measure, and only sometimes record.** A
+//!   [`trace::SpanGuard`] captures its start unconditionally —
+//!   [`trace::SpanGuard::finish`] returns the elapsed
+//!   [`Duration`](std::time::Duration) so the
+//!   public stats structs (`DistributedStats`, `PipelineStats`) stay
+//!   populated as *views over the same measurement* even when telemetry is
+//!   off — but the record is buffered per-thread and flushed to the global
+//!   collector only when enabled.
+//! * **Exporters plug in through [`Recorder`].** The serve daemon (ROADMAP
+//!   track 1) registers a recorder once and receives every span/event
+//!   record as it is flushed, without the pipeline knowing the exporter
+//!   exists.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use kizzle_telemetry as telemetry;
+//!
+//! telemetry::set_enabled(true);
+//!
+//! // Metrics: named handles resolved once, cheap to bump from any thread.
+//! let scans = telemetry::counter("demo_scans_total");
+//! scans.add(3);
+//! telemetry::gauge("demo_live").set(7);
+//! telemetry::histogram("demo_latency_ns").observe(12_000);
+//!
+//! // Spans: RAII guards nest into a per-day phase tree; point events ride
+//! // the same log (this is how degraded snapshot resumes surface).
+//! {
+//!     let _day = telemetry::span!("day.demo");
+//!     let inner = telemetry::span!("day.demo.inner");
+//!     telemetry::event("demo.note", "resumed from base snapshot");
+//!     let elapsed = inner.finish(); // Duration, even with telemetry off
+//!     assert!(elapsed.as_nanos() > 0);
+//! }
+//!
+//! // Exposition: Prometheus text, JSON dump, JSONL trace, rendered tree.
+//! let prom = telemetry::render_prometheus();
+//! assert!(prom.contains("demo_scans_total 3"));
+//! assert!(telemetry::render_json().contains("\"demo_live\":7"));
+//!
+//! let records = telemetry::drain();
+//! assert!(records.iter().any(|r| r.name() == "day.demo.inner"));
+//! let jsonl = telemetry::render_jsonl(&records);
+//! assert!(jsonl.contains("\"type\":\"event\""));
+//! # telemetry::set_enabled(false);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod trace;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+pub use metrics::{counter, gauge, histogram, registry, Counter, Gauge, Histogram, Registry};
+pub use trace::{drain, event, record_span, render_jsonl, render_tree, Record};
+
+/// Global telemetry enable flag. Off by default: recording is a no-op and
+/// the hot paths pay one relaxed load.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether telemetry recording is enabled.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn telemetry recording on or off, process-wide.
+///
+/// Flipping the flag never changes pipeline *results* — only whether
+/// counters accumulate and spans/events are recorded.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// An exporter tap: receives every span/event [`Record`] as it is flushed
+/// from a thread's buffer into the global collector.
+///
+/// This is the integration point for the serve-daemon fleet (ROADMAP
+/// track 1): a worker process registers a recorder once at startup and
+/// ships records to its sidecar/aggregator without the instrumented crates
+/// knowing an exporter exists. Metric *values* are pull-style — an exporter
+/// snapshots them with [`render_prometheus`] / [`render_json`] on its own
+/// cadence.
+///
+/// Recorders must be cheap and non-blocking: they run on whatever pipeline
+/// thread happens to flush (worker, seal, or scan threads).
+///
+/// ```
+/// use kizzle_telemetry::{Record, Recorder};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// static SHIPPED: AtomicUsize = AtomicUsize::new(0);
+///
+/// struct CountingExporter;
+/// impl Recorder for CountingExporter {
+///     fn record(&self, _record: &Record) {
+///         SHIPPED.fetch_add(1, Ordering::Relaxed);
+///     }
+/// }
+///
+/// kizzle_telemetry::set_recorder(Box::new(CountingExporter));
+/// kizzle_telemetry::set_enabled(true);
+/// kizzle_telemetry::event("demo.ship", "one record");
+/// kizzle_telemetry::drain();
+/// assert!(SHIPPED.load(Ordering::Relaxed) >= 1);
+/// # kizzle_telemetry::set_enabled(false);
+/// ```
+pub trait Recorder: Send + Sync {
+    /// One span or event record, delivered at flush time.
+    fn record(&self, record: &Record);
+}
+
+static RECORDER: OnceLock<Box<dyn Recorder>> = OnceLock::new();
+
+/// Install the process-wide [`Recorder`]. The first call wins; later calls
+/// return `false` and leave the existing recorder in place.
+pub fn set_recorder(recorder: Box<dyn Recorder>) -> bool {
+    RECORDER.set(recorder).is_ok()
+}
+
+pub(crate) fn recorder() -> Option<&'static dyn Recorder> {
+    RECORDER.get().map(AsRef::as_ref)
+}
+
+/// Prometheus-style text exposition of every registered metric, sorted by
+/// name. See [`Registry::render_prometheus`].
+#[must_use]
+pub fn render_prometheus() -> String {
+    registry().render_prometheus()
+}
+
+/// JSON dump of every registered metric. See [`Registry::render_json`].
+#[must_use]
+pub fn render_json() -> String {
+    registry().render_json()
+}
+
+/// Compact human-readable snapshot of all non-zero metrics, one per line —
+/// the eval loop prints this to stderr after a run.
+#[must_use]
+pub fn render_summary() -> String {
+    registry().render_summary()
+}
+
+/// Reset every registered metric to zero and discard all buffered trace
+/// records. Test/bench helper: the registry is process-global, so
+/// experiments that compare totals start from a clean slate.
+pub fn reset() {
+    registry().reset();
+    let _ = drain();
+}
+
+/// Open a named RAII span: records on close when telemetry is enabled, and
+/// always measures (the guard's `finish()` returns the elapsed
+/// [`Duration`](std::time::Duration)).
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::trace::SpanGuard::enter($name)
+    };
+}

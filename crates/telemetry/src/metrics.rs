@@ -1,0 +1,577 @@
+//! The metrics registry: named counters, gauges and histograms over
+//! sharded relaxed atomics, with Prometheus-text and JSON exposition.
+//!
+//! Handles are `&'static` — a metric is registered once (leaked, like the
+//! real `prometheus` crate's default registry) and looked up by name; hot
+//! paths cache the handle in a `OnceLock` at the use site so the registry
+//! map is touched once per process, not per event.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{OnceLock, RwLock};
+use std::time::Duration;
+
+/// Number of padded atomic cells per counter. Eight covers the worker,
+/// seal, and a handful of scan threads without false sharing; more threads
+/// than shards just share cells (still correct, relaxed adds commute).
+pub const SHARDS: usize = 8;
+
+/// One cache-line-padded atomic cell, so two shards never share a line.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct PaddedCell(AtomicU64);
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread shard index, assigned round-robin on first use.
+    static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+fn shard() -> usize {
+    SHARD.with(|cell| {
+        let mut s = cell.get();
+        if s == usize::MAX {
+            s = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            cell.set(s);
+        }
+        s
+    })
+}
+
+/// A monotone counter, sharded over [`SHARDS`] relaxed atomics.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    cells: [PaddedCell; SHARDS],
+}
+
+impl Counter {
+    fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            cells: Default::default(),
+        }
+    }
+
+    /// The registered metric name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Add `n` to the counter (no-op when `n == 0`, so callers can feed
+    /// deltas unconditionally).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.cells[shard()].0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current total across all shards.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+
+    fn reset(&self) {
+        for cell in &self.cells {
+            cell.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A last-value (or high-water-mark) gauge.
+#[derive(Debug)]
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Gauge {
+    fn new(name: &'static str) -> Self {
+        Gauge {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// The registered metric name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `value` if it is higher (high-water-mark use,
+    /// e.g. the pipeline's max queue depth).
+    #[inline]
+    pub fn set_max(&self, value: u64) {
+        self.value.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Upper bounds (inclusive, in the observed unit — nanoseconds for the
+/// duration histograms) of the fixed decade buckets; an implicit `+Inf`
+/// bucket follows.
+pub const HISTOGRAM_BOUNDS: [u64; 9] = [
+    1_000,           // 1 µs
+    10_000,          // 10 µs
+    100_000,         // 100 µs
+    1_000_000,       // 1 ms
+    10_000_000,      // 10 ms
+    100_000_000,     // 100 ms
+    1_000_000_000,   // 1 s
+    10_000_000_000,  // 10 s
+    100_000_000_000, // 100 s
+];
+
+/// A fixed-bucket (decades) histogram with Prometheus cumulative-bucket
+/// exposition. Observations are `u64` in whatever unit the name declares
+/// (the workspace convention is `_ns` suffixes observing nanoseconds).
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; HISTOGRAM_BOUNDS.len() + 1],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(name: &'static str) -> Self {
+        Histogram {
+            name,
+            buckets: Default::default(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// The registered metric name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, value: u64) {
+        let bucket = HISTOGRAM_BOUNDS
+            .iter()
+            .position(|&bound| value <= bound)
+            .unwrap_or(HISTOGRAM_BOUNDS.len());
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a duration, in nanoseconds.
+    pub fn observe_duration(&self, duration: Duration) {
+        self.observe(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket observation counts (non-cumulative), `+Inf` last.
+    #[must_use]
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    fn reset(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The process-global metric registry: name → leaked `&'static` handle.
+///
+/// Lookup takes the `RwLock` read side; registration (first lookup of a
+/// name) takes the write side once. Hot paths avoid both by caching the
+/// returned handle in a `OnceLock` at the use site.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<&'static str, &'static Counter>>,
+    gauges: RwLock<BTreeMap<&'static str, &'static Gauge>>,
+    histograms: RwLock<BTreeMap<&'static str, &'static Histogram>>,
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+/// The process-global [`Registry`].
+#[must_use]
+pub fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Look up (or register) the named counter in the global registry.
+#[must_use]
+pub fn counter(name: &'static str) -> &'static Counter {
+    registry().counter(name)
+}
+
+/// Look up (or register) the named gauge in the global registry.
+#[must_use]
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    registry().gauge(name)
+}
+
+/// Look up (or register) the named histogram in the global registry.
+#[must_use]
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    registry().histogram(name)
+}
+
+macro_rules! lookup_or_register {
+    ($map:expr, $name:expr, $ty:ident) => {{
+        if let Some(existing) = $map.read().expect("metric registry lock").get($name) {
+            return existing;
+        }
+        let mut map = $map.write().expect("metric registry lock");
+        map.entry($name)
+            .or_insert_with(|| Box::leak(Box::new($ty::new($name))))
+    }};
+}
+
+impl Registry {
+    /// Look up (or register) the named counter.
+    pub fn counter(&self, name: &'static str) -> &'static Counter {
+        lookup_or_register!(self.counters, name, Counter)
+    }
+
+    /// Look up (or register) the named gauge.
+    pub fn gauge(&self, name: &'static str) -> &'static Gauge {
+        lookup_or_register!(self.gauges, name, Gauge)
+    }
+
+    /// Look up (or register) the named histogram.
+    pub fn histogram(&self, name: &'static str) -> &'static Histogram {
+        lookup_or_register!(self.histograms, name, Histogram)
+    }
+
+    fn snapshot(
+        &self,
+    ) -> (
+        Vec<&'static Counter>,
+        Vec<&'static Gauge>,
+        Vec<&'static Histogram>,
+    ) {
+        (
+            self.counters
+                .read()
+                .expect("metric registry lock")
+                .values()
+                .copied()
+                .collect(),
+            self.gauges
+                .read()
+                .expect("metric registry lock")
+                .values()
+                .copied()
+                .collect(),
+            self.histograms
+                .read()
+                .expect("metric registry lock")
+                .values()
+                .copied()
+                .collect(),
+        )
+    }
+
+    /// Reset every registered metric to zero. Registered names stay
+    /// registered (handles are `&'static`).
+    pub fn reset(&self) {
+        let (counters, gauges, histograms) = self.snapshot();
+        for c in counters {
+            c.reset();
+        }
+        for g in gauges {
+            g.reset();
+        }
+        for h in histograms {
+            h.reset();
+        }
+    }
+
+    /// Prometheus text exposition (version 0.0.4): `# TYPE` lines followed
+    /// by samples, families sorted by name, histograms with cumulative
+    /// `_bucket{le=…}` samples plus `_sum`/`_count`.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let (counters, gauges, histograms) = self.snapshot();
+        let mut out = String::new();
+        for c in counters {
+            let _ = writeln!(out, "# TYPE {} counter", c.name());
+            let _ = writeln!(out, "{} {}", c.name(), c.value());
+        }
+        for g in gauges {
+            let _ = writeln!(out, "# TYPE {} gauge", g.name());
+            let _ = writeln!(out, "{} {}", g.name(), g.value());
+        }
+        for h in histograms {
+            let _ = writeln!(out, "# TYPE {} histogram", h.name());
+            let mut cumulative = 0u64;
+            for (bucket, bound) in h.bucket_counts().iter().zip(
+                HISTOGRAM_BOUNDS
+                    .iter()
+                    .map(|b| b.to_string())
+                    .chain(std::iter::once("+Inf".to_string())),
+            ) {
+                cumulative += bucket;
+                let _ = writeln!(out, "{}_bucket{{le=\"{bound}\"}} {cumulative}", h.name());
+            }
+            let _ = writeln!(out, "{}_sum {}", h.name(), h.sum());
+            let _ = writeln!(out, "{}_count {}", h.name(), h.count());
+        }
+        out
+    }
+
+    /// JSON dump of every registered metric:
+    /// `{"counters":{…},"gauges":{…},"histograms":{name:{"count":…,"sum":…,"buckets":[…]}}}`.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let (counters, gauges, histograms) = self.snapshot();
+        let mut out = String::from("{\"counters\":{");
+        for (i, c) in counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", c.name(), c.value());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, g) in gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", g.name(), g.value());
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, h) in histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"sum\":{},\"buckets\":[",
+                h.name(),
+                h.count(),
+                h.sum()
+            );
+            for (j, bucket) in h.bucket_counts().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{bucket}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Human-readable snapshot of all non-zero metrics, one `name value`
+    /// line each, sorted by name.
+    #[must_use]
+    pub fn render_summary(&self) -> String {
+        let (counters, gauges, histograms) = self.snapshot();
+        let mut out = String::new();
+        for c in counters {
+            if c.value() > 0 {
+                let _ = writeln!(out, "{} {}", c.name(), c.value());
+            }
+        }
+        for g in gauges {
+            if g.value() > 0 {
+                let _ = writeln!(out, "{} {}", g.name(), g.value());
+            }
+        }
+        for h in histograms {
+            if h.count() > 0 {
+                let _ = writeln!(
+                    out,
+                    "{} count={} mean={}ns",
+                    h.name(),
+                    h.count(),
+                    h.sum() / h.count().max(1)
+                );
+            }
+        }
+        out
+    }
+}
+
+/// A thread-local batching front for a [`Counter`]: bumps accumulate in a
+/// plain [`Cell`] and hit the shared sharded atomic once per
+/// `batch` events (the "sampled 1-in-N" cost profile the scan path needs),
+/// with the remainder flushed on drop — so totals are exact once the
+/// owning thread exits (or [`Batched::flush`] is called).
+///
+/// Not `Sync`; intended to live inside a `thread_local!`.
+#[derive(Debug)]
+pub struct Batched {
+    counter: &'static Counter,
+    pending: Cell<u64>,
+    batch: u64,
+}
+
+impl Batched {
+    /// Wrap `counter`, flushing every `batch` events (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(counter: &'static Counter, batch: u64) -> Self {
+        Batched {
+            counter,
+            pending: Cell::new(0),
+            batch: batch.max(1),
+        }
+    }
+
+    /// Add `n` to the local tally, flushing to the shared counter when the
+    /// tally reaches the batch size.
+    #[inline]
+    pub fn bump(&self, n: u64) {
+        let pending = self.pending.get() + n;
+        if pending >= self.batch {
+            self.counter.add(pending);
+            self.pending.set(0);
+        } else {
+            self.pending.set(pending);
+        }
+    }
+
+    /// Flush the local tally to the shared counter now.
+    pub fn flush(&self) {
+        self.counter.add(self.pending.replace(0));
+    }
+}
+
+impl Drop for Batched {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let c = counter("test_threads_total");
+        c.reset();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 4000);
+    }
+
+    #[test]
+    fn registry_returns_the_same_handle() {
+        let a = counter("test_same_handle_total");
+        let b = counter("test_same_handle_total");
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn gauge_set_max_is_a_high_water_mark() {
+        let g = gauge("test_depth");
+        g.reset();
+        g.set_max(3);
+        g.set_max(9);
+        g.set_max(5);
+        assert_eq!(g.value(), 9);
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let h = histogram("test_latency_ns");
+        h.reset();
+        h.observe(500); // ≤ 1µs bucket
+        h.observe(5_000_000); // ≤ 10ms bucket
+        h.observe(u64::MAX); // +Inf bucket
+        assert_eq!(h.count(), 3);
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets[0], 1);
+        assert_eq!(buckets[4], 1);
+        assert_eq!(buckets[HISTOGRAM_BOUNDS.len()], 1);
+    }
+
+    #[test]
+    fn batched_flushes_every_n_and_on_drop() {
+        let c = counter("test_batched_total");
+        c.reset();
+        {
+            let batched = Batched::new(c, 10);
+            for _ in 0..25 {
+                batched.bump(1);
+            }
+            // Two full batches flushed, 5 pending.
+            assert_eq!(c.value(), 20);
+        }
+        // Drop flushed the remainder.
+        assert_eq!(c.value(), 25);
+    }
+
+    #[test]
+    fn prometheus_and_json_render_all_types() {
+        counter("test_render_total").reset();
+        counter("test_render_total").add(2);
+        gauge("test_render_gauge").set(7);
+        histogram("test_render_ns").reset();
+        histogram("test_render_ns").observe(1500);
+        let prom = registry().render_prometheus();
+        assert!(prom.contains("# TYPE test_render_total counter"));
+        assert!(prom.contains("test_render_total 2"));
+        assert!(prom.contains("test_render_gauge 7"));
+        assert!(prom.contains("test_render_ns_bucket{le=\"10000\"} 1"));
+        assert!(prom.contains("test_render_ns_count 1"));
+        let json = registry().render_json();
+        assert!(json.contains("\"test_render_total\":2"));
+        assert!(json.contains("\"test_render_gauge\":7"));
+        assert!(json.contains("\"test_render_ns\":{\"count\":1"));
+    }
+}

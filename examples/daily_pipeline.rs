@@ -21,6 +21,13 @@
 //! (`--channel-bound` sets the channel capacity) — still byte-identical
 //! on stdout, which CI also diffs.
 //!
+//! `--metrics-out PATH` / `--trace-out PATH` switch on the
+//! `kizzle-telemetry` layer for the run and dump the metric registry
+//! (Prometheus text exposition) and the span/event trace (JSONL) after
+//! the last day, plus a phase tree and metric summary on stderr. The
+//! stdout table is unchanged — telemetry never touches it (see
+//! OBSERVABILITY.md).
+//!
 //! ```bash
 //! cargo run --release -p kizzle-sim --example daily_pipeline -- \
 //!     --days 7 --samples-per-day 150 --seed 11
@@ -42,6 +49,8 @@ struct Args {
     ingest_batch: usize,
     producers: usize,
     channel_bound: usize,
+    metrics_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -56,6 +65,8 @@ fn parse_args() -> Args {
         ingest_batch: 0,
         producers: 0,
         channel_bound: 2,
+        metrics_out: None,
+        trace_out: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -84,6 +95,8 @@ fn parse_args() -> Args {
             "--channel-bound" => {
                 args.channel_bound = parse(&value("--channel-bound"), "--channel-bound");
             }
+            "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out"))),
+            "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out"))),
             "--help" | "-h" => {
                 println!(
                     "usage: daily_pipeline [--days N] [--samples-per-day M] [--seed S]\n\
@@ -99,7 +112,12 @@ fn parse_args() -> Args {
                      \x20                     samples (0 = single-shot, the default)\n\
                      --producers N         submit the mini-batches from N threads through the\n\
                      \x20                     bounded-channel pipelined frontend (0 = direct; needs --ingest-batch)\n\
-                     --channel-bound N     pipelined frontend channel capacity in batches; default 2"
+                     --channel-bound N     pipelined frontend channel capacity in batches; default 2\n\
+                     --metrics-out PATH    enable telemetry; write the metric registry in Prometheus\n\
+                     \x20                     text exposition format to PATH after the run\n\
+                     --trace-out PATH      enable telemetry; write the span/event trace as JSONL to\n\
+                     \x20                     PATH after the run (either flag also prints a phase\n\
+                     \x20                     tree and metric summary to stderr)"
                 );
                 std::process::exit(0);
             }
@@ -131,6 +149,14 @@ fn die(message: &str) -> ! {
 
 fn main() {
     let args = parse_args();
+    // Telemetry is opt-in: either output flag flips the global gate before
+    // the run starts, so the instrumented layers start recording from the
+    // first ingest batch. All telemetry output goes to files or stderr —
+    // the stdout report table stays byte-comparable across modes.
+    let telemetry = args.metrics_out.is_some() || args.trace_out.is_some();
+    if telemetry {
+        kizzle_telemetry::set_enabled(true);
+    }
     let mut config = EvalConfig::quick(args.seed);
     config.stream.samples_per_day = args.samples_per_day;
     config.window_cluster = args.window_cluster;
@@ -234,4 +260,42 @@ fn main() {
          Angler false-negative window between August 13 and 19 — compare the FN columns above;\n\
          the `corpus` column is the warm engine's live sample store after each day)"
     );
+
+    if telemetry {
+        write_telemetry(&args);
+    }
+}
+
+/// Flush, drain, and write out the telemetry collected during the run.
+/// All output goes to the requested files and stderr — never stdout,
+/// which CI byte-compares across run modes.
+fn write_telemetry(args: &Args) {
+    // Scan counters are batched per thread; the eval loop scans on this
+    // thread, so one flush here makes the registry totals exact.
+    kizzle_signature::flush_scan_counters();
+    let records = kizzle_telemetry::drain();
+
+    if let Some(path) = &args.metrics_out {
+        let prom = kizzle_telemetry::render_prometheus();
+        if let Err(err) = std::fs::write(path, prom) {
+            die(&format!("--metrics-out {}: {err}", path.display()));
+        }
+        eprintln!("metrics written to {}", path.display());
+    }
+    if let Some(path) = &args.trace_out {
+        let jsonl = kizzle_telemetry::render_jsonl(&records);
+        if let Err(err) = std::fs::write(path, jsonl) {
+            die(&format!("--trace-out {}: {err}", path.display()));
+        }
+        eprintln!(
+            "trace written to {} ({} records)",
+            path.display(),
+            records.len()
+        );
+    }
+
+    eprintln!("\nphase tree (per thread, by start time):");
+    eprint!("{}", kizzle_telemetry::render_tree(&records));
+    eprintln!("\nmetric summary (non-zero only):");
+    eprint!("{}", kizzle_telemetry::render_summary());
 }
