@@ -1,0 +1,127 @@
+//! Wire-protocol scan throughput through a live `kizzle-serve` daemon
+//! (ISSUE 9).
+//!
+//! The daemon, its chain, and the clients all live in this process, but
+//! every scan crosses a real loopback TCP socket through the real frame
+//! codec — the measured cost is tokenize + scan + framing + syscalls.
+//!
+//! * `pipelined_scan_256` — one iteration pushes 256 documents through
+//!   one connection with a 32-request pipeline window: the per-scan wire
+//!   cost the protocol adds over the in-process matcher.
+//!
+//! After the gated arm, a 4-connection `kizzle-loadgen` run prints the
+//! saturation scans/sec headline for PERF.md (compare it against the
+//! `matcher_throughput` headline: the acceptance bar is 80%).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kizzle::prelude::*;
+use kizzle_corpus::{GraywareStream, SimDate, StreamConfig};
+use kizzle_serve::{loadgen, LoadgenConfig, ScanClient, ServeConfig, Server};
+use std::hint::black_box;
+use std::path::Path;
+use std::time::Duration;
+
+/// Same three-day compile as `matcher_throughput`, persisted as a chain
+/// for the daemon to tail. Returns the service for the in-process
+/// baseline comparison.
+fn publish_chain(dir: &Path) -> KizzleService {
+    let config = KizzleConfig::fast();
+    let start = SimDate::new(2014, 8, 5);
+    let reference = ReferenceCorpus::seeded_from_models(start, &config);
+    let mut service = KizzleService::new(config, reference).expect("fast config is valid");
+    let mut date = start;
+    for seed in [3u64, 4, 5] {
+        let day = GraywareStream::new(StreamConfig {
+            samples_per_day: 64,
+            malicious_fraction: 0.5,
+            seed,
+            ..StreamConfig::default()
+        })
+        .generate_day(date);
+        let _ = service.process_day(date, &day).expect("day seals");
+        date = date.next();
+    }
+    service.save(dir).expect("chain saved");
+    assert!(
+        !service.signatures().is_empty(),
+        "bench needs a published set"
+    );
+    service
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("kizzle-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let service = publish_chain(&dir);
+
+    let mut serve_config = ServeConfig::new(&dir);
+    serve_config.workers = 4;
+    let server = Server::start(&serve_config).expect("server starts");
+    let addr = server.addr().to_string();
+
+    let documents = loadgen::document_mix(7);
+    let probes: Vec<&str> = documents
+        .iter()
+        .map(String::as_str)
+        .cycle()
+        .take(256)
+        .collect();
+    let mut client = ScanClient::connect(&addr).expect("client connects");
+
+    let mut group = c.benchmark_group("serve_throughput");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_secs(1));
+
+    group.bench_function("pipelined_scan_256", |b| {
+        b.iter(|| {
+            let verdicts = client
+                .scan_batch(probes.iter().copied(), 32)
+                .expect("pipelined scans");
+            assert_eq!(verdicts.len(), probes.len());
+            black_box(verdicts.iter().filter(|v| v.index.is_some()).count())
+        })
+    });
+    group.finish();
+    // Free the worker this connection was pinned to before saturating.
+    drop(client);
+
+    // The honest baseline for the 80% acceptance bar: the in-process
+    // matcher over the *same raw documents* (tokenize + scan, no wire).
+    let matcher = service.matcher();
+    let baseline_start = std::time::Instant::now();
+    let mut baseline_scans = 0u64;
+    while baseline_start.elapsed() < Duration::from_secs(2) {
+        for probe in &probes {
+            black_box(matcher.scan_verdict(probe));
+        }
+        baseline_scans += probes.len() as u64;
+    }
+    let baseline_rate = baseline_scans as f64 / baseline_start.elapsed().as_secs_f64();
+
+    // Headline for PERF.md: a saturation run against the same daemon.
+    let mut load = LoadgenConfig::new(&addr);
+    load.connections = 4;
+    load.requests = 0;
+    load.duration = Some(Duration::from_secs(2));
+    load.window = 32;
+    let report = loadgen::run(&load).expect("load run");
+    assert_eq!(report.errors, 0, "saturation run must not drop scans");
+    eprintln!(
+        "serve_throughput: {:.0} scans/sec over TCP across {} connections ({} scans in {:.2}s); \
+         in-process document baseline {:.0} scans/sec — wire sustains {:.0}%",
+        report.scans_per_sec(),
+        load.connections,
+        report.scans,
+        report.elapsed.as_secs_f64(),
+        baseline_rate,
+        100.0 * report.scans_per_sec() / baseline_rate
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

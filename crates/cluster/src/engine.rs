@@ -297,7 +297,10 @@ impl CorpusEngine {
 
         let store = match snapshot.section(STORE_SECTION).and_then(|payload| {
             let mut dec = Decoder::new(payload);
-            let store = CorpusStore::decode_from(&mut dec)?;
+            let store = CorpusStore::decode_from_versioned(
+                &mut dec,
+                snapshot.section_version(STORE_SECTION),
+            )?;
             dec.finish()?;
             Ok(store)
         }) {
@@ -315,7 +318,11 @@ impl CorpusEngine {
             .section(INDEX_SECTION)
             .and_then(|payload| {
                 let mut dec = Decoder::new(payload);
-                let index = NeighborIndex::decode_from(&mut dec, |id| store.data(id))?;
+                let index = NeighborIndex::decode_from_versioned(
+                    &mut dec,
+                    snapshot.section_version(INDEX_SECTION),
+                    |id| store.data(id),
+                )?;
                 dec.finish()?;
                 Ok(index)
             })

@@ -79,13 +79,18 @@ pub mod pipeline;
 pub mod reference;
 pub mod service;
 pub mod snapshot;
+pub mod source;
 
 pub use config::{KizzleConfig, KizzleConfigBuilder};
 pub use error::KizzleError;
 pub use pipeline::{ClusterVerdict, DayReport, KizzleCompiler, PipelineStats};
 pub use reference::ReferenceCorpus;
-pub use service::{DaySession, IngestProducer, KizzleService, Matcher, SealHandle};
+pub use service::{
+    DaySession, IngestProducer, KizzleService, Matcher, ScanVerdict, SealHandle,
+    DEFAULT_PIPELINE_BOUND,
+};
 pub use snapshot::{config_fingerprint, read_signatures, ResumeReport, DEFAULT_MAX_DELTAS};
+pub use source::{ChainFollower, EpochSource, FollowHandle, SignatureSource};
 
 pub use kizzle_signature::SignatureSet;
 
@@ -96,7 +101,10 @@ pub mod prelude {
     pub use crate::error::KizzleError;
     pub use crate::pipeline::{ClusterVerdict, DayReport, KizzleCompiler, PipelineStats};
     pub use crate::reference::ReferenceCorpus;
-    pub use crate::service::{DaySession, IngestProducer, KizzleService, Matcher, SealHandle};
+    pub use crate::service::{
+        DaySession, IngestProducer, KizzleService, Matcher, ScanVerdict, SealHandle,
+    };
     pub use crate::snapshot::ResumeReport;
+    pub use crate::source::{ChainFollower, EpochSource, SignatureSource};
     pub use kizzle_signature::SignatureSet;
 }

@@ -113,6 +113,7 @@ use crate::error::KizzleError;
 use crate::pipeline::{family_from_label, DayReport, KizzleCompiler, PipelineStats, SampleSource};
 use crate::reference::ReferenceCorpus;
 use crate::snapshot::ResumeReport;
+use crate::source::{EpochSource, SignatureSource};
 use kizzle_cluster::{Clustering, CorpusEngine, DistributedStats, SampleId};
 use kizzle_corpus::{KitFamily, Sample, SimDate};
 use kizzle_js::TokenStream;
@@ -122,61 +123,13 @@ use std::ops::Deref;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
-/// The epoch-swapped publication point shared by a service and every
-/// [`Matcher`] handle it has issued.
-///
-/// The `(epoch, set)` pair lives under one `RwLock`, so a reader never
-/// observes an epoch that disagrees with the set it tags — a writer bumps
-/// both inside the write lock (held only for a counter increment and a
-/// pointer swap). The `epoch_hint` atomic is exactly that, a *hint*: the
-/// lock-free fast path compares it against a handle's cached epoch and
-/// skips the lock entirely when nothing was published. A hint read that
-/// races a publish at worst serves the previous — complete and
-/// consistent — set for one more scan.
-#[derive(Debug)]
-struct Published {
-    epoch_hint: AtomicU64,
-    set: RwLock<(u64, Arc<SignatureSet>)>,
-    /// Token cap the signatures were compiled under; scans truncate
-    /// documents the same way the compiler did.
-    token_cap: usize,
-}
-
-impl Published {
-    fn new(set: Arc<SignatureSet>, token_cap: usize) -> Self {
-        Published {
-            epoch_hint: AtomicU64::new(0),
-            set: RwLock::new((0, set)),
-            token_cap,
-        }
-    }
-
-    /// Publish a shared handle to the compiler's set. Publication is a
-    /// reference-count bump and a pointer swap — the once-daily deep clone
-    /// of the whole set is gone; the compiler's next append copies the
-    /// members via `Arc::make_mut` instead (and only while an epoch still
-    /// shares them).
-    fn publish(&self, set: Arc<SignatureSet>) {
-        let signatures = set.len();
-        let mut slot = self.set.write().expect("signature publication lock");
-        slot.0 += 1;
-        slot.1 = set;
-        self.epoch_hint.store(slot.0, Ordering::Release);
-        drop(slot);
-        if kizzle_telemetry::enabled() {
-            kizzle_telemetry::counter("kizzle_publish_epochs_total").incr();
-            kizzle_telemetry::gauge("kizzle_signatures_live").set(signatures as u64);
-        }
-    }
-
-    fn load(&self) -> (u64, Arc<SignatureSet>) {
-        let slot = self.set.read().expect("signature publication lock");
-        (slot.0, Arc::clone(&slot.1))
-    }
-}
+/// The channel bound [`DaySession::pipeline_auto`] starts from before any
+/// day has produced backpressure evidence — the bound the repo's own
+/// pipelined examples and benches historically used.
+pub const DEFAULT_PIPELINE_BOUND: usize = 4;
 
 /// The compiler-side state shared between the service, its ingest
 /// workers, and an in-flight background seal: the warm compiler under a
@@ -186,7 +139,22 @@ impl Published {
 #[derive(Debug)]
 struct ServiceCore {
     compiler: Mutex<KizzleCompiler>,
-    shared: Arc<Published>,
+    shared: Arc<EpochSource>,
+    /// Channel bound the next [`DaySession::pipeline_auto`] will use —
+    /// each seal folds its day's [`PipelineStats::suggested_bound`] in,
+    /// so a day that stalled producers widens the next day's channel.
+    auto_bound: AtomicU64,
+}
+
+impl ServiceCore {
+    /// Feed a sealed day's backpressure evidence into the adaptive bound.
+    /// `None` (no producer ever stalled) keeps the current bound: it was
+    /// not the bottleneck, so there is nothing to learn.
+    fn store_auto_bound(&self, pipeline: &PipelineStats) {
+        if let Some(bound) = pipeline.suggested_bound() {
+            self.auto_bound.store(bound, Ordering::Relaxed);
+        }
+    }
 }
 
 /// The two-sided Kizzle service: session-based streaming ingest over the
@@ -267,11 +235,12 @@ impl KizzleService {
         // from the snapshot's scan-pipeline section).
         set.seal();
         let config = *compiler.config();
-        let shared = Arc::new(Published::new(set, config.token_cap));
+        let shared = Arc::new(EpochSource::new(set, config.token_cap));
         KizzleService {
             core: Arc::new(ServiceCore {
                 compiler: Mutex::new(compiler),
                 shared,
+                auto_bound: AtomicU64::new(DEFAULT_PIPELINE_BOUND as u64),
             }),
             pending: Mutex::new(None),
             config,
@@ -460,11 +429,18 @@ impl KizzleService {
     /// flight and observe each publication atomically.
     #[must_use]
     pub fn matcher(&self) -> Matcher {
-        let cached = self.core.shared.load();
-        Matcher {
-            shared: Arc::clone(&self.core.shared),
-            cached: Mutex::new(cached),
-        }
+        Matcher::over(Arc::clone(&self.core.shared))
+    }
+
+    /// The channel bound the next [`DaySession::pipeline_auto`] will use:
+    /// [`DEFAULT_PIPELINE_BOUND`] until a sealed day's frontend stalled a
+    /// producer, afterwards that day's
+    /// [`PipelineStats::suggested_bound`]. Mostly useful for
+    /// observability and tests.
+    #[must_use]
+    pub fn auto_pipeline_bound(&self) -> usize {
+        usize::try_from(self.core.auto_bound.load(Ordering::Relaxed))
+            .unwrap_or(DEFAULT_PIPELINE_BOUND)
     }
 
     /// The signatures the service has published so far (the compiler-side
@@ -942,6 +918,20 @@ impl DaySession<'_> {
         }
     }
 
+    /// Like [`DaySession::pipeline`] with the **adaptive** channel bound:
+    /// [`DEFAULT_PIPELINE_BOUND`] on a fresh service, afterwards whatever
+    /// the previous sealed day's backpressure suggested
+    /// ([`PipelineStats::suggested_bound`] — the smallest power of two
+    /// giving the frontend room above the observed high-water mark). A day
+    /// whose producers never stalled leaves the bound unchanged, so the
+    /// bound ratchets to the workload instead of oscillating. Callers that
+    /// know their burst shape keep [`DaySession::pipeline`].
+    pub fn pipeline_auto(&mut self) -> IngestProducer {
+        let bound = usize::try_from(self.state.core.auto_bound.load(Ordering::Relaxed))
+            .unwrap_or(DEFAULT_PIPELINE_BOUND);
+        self.pipeline(bound)
+    }
+
     /// Ingest a mini-batch: tokenize each sample (capped at the configured
     /// prefix), deposit the class-strings into the warm engine (duplicate
     /// content — intra-day or carried over from recent days — dedups onto
@@ -1076,6 +1066,7 @@ impl DaySession<'_> {
         };
         report.pipeline = self.state.pipeline_stats();
         report.pipeline.record_to_registry();
+        self.state.core.store_auto_bound(&report.pipeline);
         self.service.publish_current();
         self.finished = true;
         report
@@ -1109,7 +1100,11 @@ impl DaySession<'_> {
         };
         let slot = SealSlot::new();
         let core = Arc::clone(&self.service.core);
+        // The frontend is closed, so the stats are final: feed the
+        // adaptive bound now — `begin_day(d+1)` may call `pipeline_auto`
+        // before the background thread even starts.
         let pipeline = self.state.pipeline_stats();
+        core.store_auto_bound(&pipeline);
         let guard_slot = Arc::clone(&slot);
         let samples = buffers.samples;
         let streams = buffers.streams;
@@ -1276,47 +1271,73 @@ impl SealHandle {
     }
 }
 
-/// A cheap, cloneable, `Send + Sync` read handle over the service's
-/// published signature set, issued by [`KizzleService::matcher`].
+/// One scan's full answer: what matched, which signature, and which
+/// publication epoch answered — everything the `kizzle-serve` wire
+/// protocol ships per request, read from one consistent set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanVerdict {
+    /// Publication epoch of the set that produced this verdict.
+    pub epoch: u64,
+    /// Index of the first matching signature in the set, if any.
+    pub index: Option<u32>,
+    /// The detected kit family, if the matching signature's label names
+    /// a known one.
+    pub family: Option<KitFamily>,
+}
+
+/// A cheap, cloneable, `Send + Sync` read handle over a published
+/// signature set — issued by [`KizzleService::matcher`] over the
+/// service's in-process [`EpochSource`], or built with [`Matcher::over`]
+/// on any other [`SignatureSource`] (a
+/// [`ChainFollower`](crate::source::ChainFollower) tailing another
+/// process's snapshot chain, say).
 ///
 /// Scanning is lock-free in the steady state: each scan is one atomic
 /// epoch load plus an uncontended per-handle mutex around the cached
-/// `Arc`. When a seal publishes a new set, the next scan on each handle
-/// notices the epoch moved and refreshes its cache under the shared read
-/// lock — held by the writer only for the duration of a pointer swap. A
-/// scan therefore always runs against one complete, immutable set: the
-/// previous day's until publication, the new one after, never a torn
-/// mixture.
+/// `Arc`. When a publication happens, the next scan on each handle
+/// notices the epoch moved and refreshes its cache under the source's
+/// read lock — held by the writer only for the duration of a pointer
+/// swap. A scan therefore always runs against one complete, immutable
+/// set: the previous epoch's until publication, the new one after, never
+/// a torn mixture.
 ///
 /// Clone one handle per worker thread; clones share the publication point
 /// but each carries its own cache, so workers never contend with each
 /// other.
 #[derive(Debug)]
-pub struct Matcher {
-    shared: Arc<Published>,
+pub struct Matcher<S: SignatureSource = EpochSource> {
+    source: Arc<S>,
     cached: Mutex<(u64, Arc<SignatureSet>)>,
 }
 
-impl Clone for Matcher {
+impl<S: SignatureSource> Clone for Matcher<S> {
     fn clone(&self) -> Self {
-        let cached = self.shared.load();
-        Matcher {
-            shared: Arc::clone(&self.shared),
-            cached: Mutex::new(cached),
-        }
+        Matcher::over(Arc::clone(&self.source))
     }
 }
 
-impl Matcher {
+impl<S: SignatureSource> Matcher<S> {
+    /// A read handle over any [`SignatureSource`] — the constructor the
+    /// serving fleet uses to put one matcher per worker thread over a
+    /// shared chain follower.
+    #[must_use]
+    pub fn over(source: Arc<S>) -> Self {
+        let cached = source.current();
+        Matcher {
+            source,
+            cached: Mutex::new(cached),
+        }
+    }
+
     /// The current published `(epoch, set)` pair, refreshing the handle's
     /// cache if the epoch hint says a publication happened since the last
     /// call. One cache lock per call; the pair is always consistent
-    /// because it is read as a unit from the shared slot.
+    /// because it is read as a unit from the source's slot.
     fn current_pair(&self) -> (u64, Arc<SignatureSet>) {
-        let hint = self.shared.epoch_hint.load(Ordering::Acquire);
+        let hint = self.source.epoch_hint();
         let mut cached = self.cached.lock().expect("matcher cache lock");
         if cached.0 != hint {
-            *cached = self.shared.load();
+            *cached = self.source.current();
         }
         (cached.0, Arc::clone(&cached.1))
     }
@@ -1336,7 +1357,35 @@ impl Matcher {
     pub fn scan(&self, document: &str) -> Option<KitFamily> {
         self.scan_stream(&kizzle_js::tokenize_document_capped(
             document,
-            self.shared.token_cap,
+            self.source.token_cap(),
+        ))
+    }
+
+    /// Scan an already tokenized sample, reporting the matching signature
+    /// index and the answering epoch alongside the family — the form the
+    /// `kizzle-serve` wire protocol ships.
+    #[must_use]
+    pub fn scan_stream_verdict(&self, stream: &TokenStream) -> ScanVerdict {
+        let (epoch, set) = self.current_pair();
+        let index = set.scan_stream_index(stream);
+        let family = index
+            .and_then(|i| set.get(i))
+            .and_then(|hit| family_from_label(&hit.label));
+        ScanVerdict {
+            epoch,
+            index: index.map(|i| u32::try_from(i).expect("set indices fit u32")),
+            family,
+        }
+    }
+
+    /// Scan a raw document, reporting signature index and epoch alongside
+    /// the family. Tokenizes with the source's cap, like
+    /// [`Matcher::scan`].
+    #[must_use]
+    pub fn scan_verdict(&self, document: &str) -> ScanVerdict {
+        self.scan_stream_verdict(&kizzle_js::tokenize_document_capped(
+            document,
+            self.source.token_cap(),
         ))
     }
 
@@ -1348,8 +1397,8 @@ impl Matcher {
     }
 
     /// The publication epoch of the set this handle currently scans with
-    /// (0 until the first seal). Monotone; mostly useful in tests and
-    /// metrics.
+    /// (0 until the first publication). Monotone; mostly useful in tests
+    /// and metrics.
     #[must_use]
     pub fn epoch(&self) -> u64 {
         self.current_pair().0
@@ -1436,6 +1485,60 @@ mod tests {
         assert_eq!(normalize(want), normalize(got));
         assert_eq!(&*single.signatures(), &*piped.signatures());
         assert_eq!(single.engine().len(), piped.engine().len());
+    }
+
+    #[test]
+    fn pipeline_auto_feeds_backpressure_into_the_next_day() {
+        let d1 = SimDate::new(2014, 8, 5);
+        let d2 = SimDate::new(2014, 8, 6);
+        let mut service = test_service();
+        assert_eq!(service.auto_pipeline_bound(), DEFAULT_PIPELINE_BOUND);
+
+        let day = test_day(d1, 3);
+        let mut session = service.begin_day(d1).expect("day opens");
+        // Bound 1, and the compiler lock held so the worker cannot drain:
+        // the first batch blocks in apply, the second fills the channel,
+        // the third *must* stall — deterministically, not by racing.
+        let producer = session.pipeline(1);
+        {
+            let guard = session.state.core.compiler.lock().expect("compiler lock");
+            let chunks: Vec<Vec<Sample>> = day.chunks(12).map(<[Sample]>::to_vec).collect();
+            assert!(chunks.len() >= 3, "need enough batches to force a stall");
+            let stalled = producer.clone();
+            let sender = std::thread::spawn(move || {
+                for chunk in chunks {
+                    assert!(stalled.send_owned(chunk));
+                }
+            });
+            while session.state.stalls.load(Ordering::Relaxed) == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            drop(guard);
+            sender.join().expect("sender thread");
+        }
+        drop(producer);
+        let report = session.seal();
+        assert!(report.pipeline.producer_stalls > 0);
+        let suggested = report
+            .pipeline
+            .suggested_bound()
+            .expect("a stalled day suggests a wider bound");
+        assert_eq!(service.auto_pipeline_bound() as u64, suggested);
+
+        // The next day's auto frontend opens at the suggested bound, and
+        // a stall-free day leaves the learned bound in place.
+        let day2 = test_day(d2, 4);
+        let mut next = service.begin_day(d2).expect("day opens");
+        let producer = next.pipeline_auto();
+        for chunk in day2.chunks(12) {
+            assert!(producer.send(chunk));
+        }
+        drop(producer);
+        let report2 = next.seal();
+        assert_eq!(report2.samples, day2.len());
+        if report2.pipeline.producer_stalls == 0 {
+            assert_eq!(service.auto_pipeline_bound() as u64, suggested);
+        }
     }
 
     #[test]

@@ -57,7 +57,7 @@ use crate::reference::ReferenceCorpus;
 use kizzle_cluster::CorpusEngine;
 pub use kizzle_cluster::ResumeReport;
 use kizzle_corpus::{KitFamily, SimDate};
-use kizzle_signature::{ScanPipeline, SignatureSet};
+use kizzle_signature::SignatureSet;
 use kizzle_snapshot::{
     ChainWriter, ChainedSnapshot, Decoder, Encoder, SectionSource, Snapshot, SnapshotError,
     FORMAT_VERSION,
@@ -323,6 +323,8 @@ impl KizzleCompiler {
                         .map_or_else(|| "none".to_string(), |d| d.to_string()),
                 );
                 manifest.set("live_samples", self.engine.len());
+                // Serving-side followers scan with the compile-time cap.
+                manifest.set("token_cap", self.config.token_cap);
                 manifest.set("cached_neighborhoods", self.engine.index().cached_count());
                 manifest.set("signatures", self.signatures.len());
                 // What *this* save put on disk — the base on day 1 and
@@ -388,9 +390,10 @@ impl KizzleCompiler {
             });
         }
 
-        let mut dec = Decoder::new(snapshot.section(SIGNATURES_SECTION)?);
-        let mut signatures = decode_signature_set(&mut dec)?;
-        dec.finish()?;
+        // Signatures + scan pipeline decode through the one shared
+        // section reader (`kizzle::source`) — the same code path the
+        // serving-side `ChainFollower` and `read_signatures` use.
+        let (signatures, signature_notes) = crate::source::decode_signature_sections(&snapshot)?;
 
         let mut dec = Decoder::new(snapshot.section(REFERENCE_SECTION)?);
         let reference = ReferenceCorpus::decode_from(&mut dec)?;
@@ -400,25 +403,11 @@ impl KizzleCompiler {
         for chain_note in snapshot.notes() {
             report.note(chain_note.clone());
         }
-
-        // The scan pipeline is derived state: any failure to restore it
-        // (absent in pre-PR-6 snapshots, damaged, version-skewed, or not
-        // covering this set) just means the set reseals lazily.
-        let pipeline = snapshot.section(SCAN_SECTION).and_then(|payload| {
-            let mut dec = Decoder::new(payload);
-            let pipeline = ScanPipeline::decode_from(&mut dec, signatures.len())?;
-            dec.finish()?;
-            Ok(pipeline)
-        });
-        match pipeline {
-            Ok(pipeline) => {
-                if !signatures.attach_pipeline(pipeline) {
-                    report.note("scan pipeline does not cover the set, resealing".to_string());
-                }
-            }
-            Err(err) => {
-                report.note(format!("scan pipeline not restored, resealing: {err}"));
-            }
+        // Scan-pipeline degradation (absent in pre-PR-6 snapshots,
+        // damaged, version-skewed, or not covering this set) just means
+        // the set reseals lazily.
+        for note in signature_notes {
+            report.note(note);
         }
 
         // Day views are only meaningful against the engine they were saved
@@ -499,28 +488,31 @@ impl KizzleCompiler {
 /// `examples/signature_inspect` uses to inspect deployed signatures
 /// without recompiling them.
 ///
-/// Chain-aware: pointed at a chain's base file (`kizzle-state.snap` next
-/// to its `MANIFEST`), the recorded deltas are overlaid so the *newest*
-/// signature section answers; a bare snapshot file without a chain reads
-/// as itself.
-pub fn read_signatures(state_file: &Path) -> Result<SignatureSet, KizzleError> {
+/// Chain-aware: pointed at a state *directory* or at a chain's base file
+/// (`kizzle-state.snap` next to its `MANIFEST`), the recorded deltas are
+/// overlaid so the *newest* signature section answers; a bare snapshot
+/// file without a chain reads as itself.
+pub fn read_signatures(state_path: &Path) -> Result<SignatureSet, KizzleError> {
+    let state_file = if state_path.is_dir() {
+        state_path.join(STATE_FILE)
+    } else {
+        state_path.to_path_buf()
+    };
+    let state_file = state_file.as_path();
     let chained = state_file
         .file_name()
         .and_then(|n| n.to_str())
         .and_then(|n| n.strip_suffix(".snap"))
         .zip(state_file.parent())
         .and_then(|(prefix, dir)| ChainedSnapshot::open(dir, prefix).ok());
-    let payload_owner;
-    let payload = match &chained {
-        Some(chain) => chain.section(SIGNATURES_SECTION)?,
-        None => {
-            payload_owner = Snapshot::read(state_file)?;
-            payload_owner.section(SIGNATURES_SECTION)?
-        }
+    let chained = match chained {
+        Some(chain) => chain,
+        None => ChainedSnapshot::single(Snapshot::read(state_file)?),
     };
-    let mut dec = Decoder::new(payload);
-    let set = decode_signature_set(&mut dec)?;
-    dec.finish()?;
+    // The one shared section reader (`kizzle::source`) interprets the
+    // layout — it also attaches the snapshot's sealed scan pipeline, so
+    // the returned set is ready to scan without paying the build.
+    let (set, _notes) = crate::source::decode_signature_sections(&chained)?;
     Ok(set)
 }
 
@@ -528,7 +520,7 @@ pub fn read_signatures(state_file: &Path) -> Result<SignatureSet, KizzleError> {
 mod tests {
     use super::*;
     use kizzle_corpus::{GraywareStream, Sample, StreamConfig};
-    use kizzle_signature::{CharClass, Element, Signature};
+    use kizzle_signature::{CharClass, Element, ScanPipeline, Signature};
     use kizzle_snapshot::Manifest;
 
     fn test_day(date: SimDate, seed: u64) -> Vec<Sample> {
@@ -705,6 +697,77 @@ mod tests {
         // read_signatures follows the chain from the base file.
         let set = read_signatures(&dir.join(STATE_FILE)).expect("signatures");
         assert_eq!(&set, compiler.signatures());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v1_snapshot_resumes_warm_and_upgrades_to_v2_on_save() {
+        use kizzle_cluster::{INDEX_SECTION, STORE_SECTION};
+        use kizzle_snapshot::{write_atomic, SnapshotBuilder, MIN_FORMAT_VERSION};
+
+        let dir = state_dir("v1-upgrade");
+        let d1 = SimDate::new(2014, 8, 5);
+        let d2 = SimDate::new(2014, 8, 6);
+        let day1 = test_day(d1, 3);
+        let day2 = test_day(d2, 4);
+
+        // The reference run: both days through one long-lived compiler.
+        let mut long_lived = fresh_compiler();
+        long_lived.process_day(d1, &day1);
+        let want = long_lived.process_day(d2, &day2);
+
+        // Re-create day 1's state and write it as a **v1** base: the
+        // container and section layout are identical; only the
+        // store/index sections differ, carrying sorted id runs as plain
+        // absolute varints (the pre-gap-encoding codec).
+        let mut day1_compiler = fresh_compiler();
+        day1_compiler.process_day(d1, &day1);
+        let mut sections = day1_compiler.encode_state_sections();
+        for (name, payload) in &mut sections {
+            let mut enc = Encoder::new();
+            match name.as_str() {
+                STORE_SECTION => day1_compiler.engine().store().encode_into_v1(&mut enc),
+                INDEX_SECTION => day1_compiler.engine().index().encode_into_v1(&mut enc),
+                _ => continue,
+            }
+            *payload = enc.into_bytes();
+        }
+        let mut builder = SnapshotBuilder::new();
+        for (name, payload) in sections {
+            builder.section(&name, payload);
+        }
+        std::fs::create_dir_all(&dir).expect("state dir");
+        let bytes = builder.to_bytes_with_version(MIN_FORMAT_VERSION);
+        write_atomic(&dir.join(STATE_FILE), &bytes).expect("v1 base written");
+        let on_disk = Snapshot::read(&dir.join(STATE_FILE)).expect("v1 base parses");
+        assert_eq!(on_disk.version(), MIN_FORMAT_VERSION);
+
+        // The v1 snapshot resumes warm — no cold rebuild. (It was written
+        // as a bare base; the absent manifest only adds a note.)
+        let (mut resumed, report) =
+            KizzleCompiler::load_state(&dir, KizzleConfig::fast()).expect("v1 state loads");
+        assert!(report.is_warm(), "report: {report:?}");
+        assert_eq!(resumed.engine().len(), day1_compiler.engine().len());
+        assert_eq!(resumed.signatures(), day1_compiler.signatures());
+
+        // Day 2 through the resumed compiler: byte-identical to the
+        // long-lived run, exactly like a v2 resume.
+        let mut got = resumed.process_day(d2, &day2);
+        let mut want = want;
+        want.clustering_stats = Default::default();
+        got.clustering_stats = Default::default();
+        assert_eq!(want, got);
+        assert_eq!(long_lived.signatures(), resumed.signatures());
+
+        // Saving rewrites the state at the current format version, and
+        // the upgraded chain loads warm again.
+        resumed.save_state(&dir).expect("state saved");
+        let upgraded_base = Snapshot::read(&dir.join(STATE_FILE)).expect("v2 base parses");
+        assert_eq!(upgraded_base.version(), FORMAT_VERSION);
+        let (upgraded, report) =
+            KizzleCompiler::load_state(&dir, KizzleConfig::fast()).expect("v2 state reloads");
+        assert!(report.is_warm(), "report: {report:?}");
+        assert_eq!(upgraded.signatures(), resumed.signatures());
         std::fs::remove_dir_all(&dir).ok();
     }
 

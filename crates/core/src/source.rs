@@ -1,0 +1,650 @@
+//! Signature publication sources: the read side of the compile→serve
+//! split.
+//!
+//! A [`Matcher`](crate::Matcher) does not care *where* published
+//! signature sets come from — only that it can cheaply ask "did the set
+//! change?" and, when it did, fetch a consistent `(epoch, set)` pair.
+//! [`SignatureSource`] is exactly that contract, with two
+//! implementations:
+//!
+//! * [`EpochSource`] — the in-process publication point a
+//!   [`KizzleService`](crate::KizzleService) swaps on every seal. This is
+//!   the pre-existing epoch mechanism, moved here unchanged: publication
+//!   is still a reference-count bump and a pointer swap under a write
+//!   lock held for nanoseconds.
+//! * [`ChainFollower`] — tails a snapshot-chain directory written by
+//!   [`KizzleCompiler::save_state`](crate::KizzleCompiler::save_state)
+//!   on another thread, another process, or another machine's shared
+//!   filesystem. Each [`ChainFollower::poll`] stats the `MANIFEST`,
+//!   diffs the recorded signature-section fingerprints, and only when
+//!   they moved re-opens the chain, decodes the signature and
+//!   scan-pipeline sections, and swaps the new set in **exactly like the
+//!   epoch swap** — scans in flight keep the previous complete set; the
+//!   next scan on each handle picks up the new one atomically.
+//!
+//! The follower is the subscription half of the deployment topology the
+//! paper implies but never names: one compiler sealing days and saving
+//! chains, N scan workers (see `kizzle-serve`) following the chain
+//! directory with zero coupling to the compiler process.
+
+use crate::config::KizzleConfig;
+use crate::error::KizzleError;
+use crate::snapshot::{
+    decode_signature_set, MANIFEST_FILE, SCAN_SECTION, SIGNATURES_SECTION, STATE_CHAIN_PREFIX,
+};
+use kizzle_signature::{ScanPipeline, SignatureSet};
+use kizzle_snapshot::chain::SECTION_KEY_PREFIX;
+use kizzle_snapshot::{crc32, ChainedSnapshot, Decoder, Manifest, SectionSource, SnapshotError};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, SystemTime};
+
+/// Where published signature sets come from — the read-side contract
+/// shared by every [`Matcher`](crate::Matcher).
+///
+/// The two methods split the cost the way the scan hot path needs:
+/// [`SignatureSource::epoch_hint`] is a single atomic load (the lock-free
+/// "did anything change?" fast path, hit once per scan), while
+/// [`SignatureSource::current`] takes whatever lock the source needs to
+/// read the `(epoch, set)` pair as one consistent unit (hit only when the
+/// hint moved). The pair contract is absolute: the epoch returned always
+/// tags exactly the set returned, never a torn mixture — a publication
+/// racing `current` yields either the complete previous pair or the
+/// complete new one.
+pub trait SignatureSource: Send + Sync + 'static {
+    /// The publication epoch, as a lock-free hint. Monotone. A read
+    /// racing a publication may lag by one — the caller then scans the
+    /// previous complete set once more, which is the documented epoch
+    /// semantics, not an error.
+    fn epoch_hint(&self) -> u64;
+
+    /// The current `(epoch, set)` pair, read as a consistent unit.
+    fn current(&self) -> (u64, Arc<SignatureSet>);
+
+    /// Token cap the signatures were compiled under; scans must truncate
+    /// documents the same way the compiler did.
+    fn token_cap(&self) -> usize;
+}
+
+/// The in-process epoch-swapped publication point shared by a
+/// [`KizzleService`](crate::KizzleService) and every
+/// [`Matcher`](crate::Matcher) handle it has issued.
+///
+/// The `(epoch, set)` pair lives under one `RwLock`, so a reader never
+/// observes an epoch that disagrees with the set it tags — a writer bumps
+/// both inside the write lock (held only for a counter increment and a
+/// pointer swap). The `epoch_hint` atomic is exactly that, a *hint*: the
+/// lock-free fast path compares it against a handle's cached epoch and
+/// skips the lock entirely when nothing was published. A hint read that
+/// races a publish at worst serves the previous — complete and
+/// consistent — set for one more scan.
+#[derive(Debug)]
+pub struct EpochSource {
+    epoch_hint: AtomicU64,
+    set: RwLock<(u64, Arc<SignatureSet>)>,
+    /// Token cap the signatures were compiled under; scans truncate
+    /// documents the same way the compiler did.
+    token_cap: usize,
+}
+
+impl EpochSource {
+    pub(crate) fn new(set: Arc<SignatureSet>, token_cap: usize) -> Self {
+        EpochSource {
+            epoch_hint: AtomicU64::new(0),
+            set: RwLock::new((0, set)),
+            token_cap,
+        }
+    }
+
+    /// Publish a shared handle to the compiler's set. Publication is a
+    /// reference-count bump and a pointer swap — the once-daily deep clone
+    /// of the whole set is gone; the compiler's next append copies the
+    /// members via `Arc::make_mut` instead (and only while an epoch still
+    /// shares them).
+    pub(crate) fn publish(&self, set: Arc<SignatureSet>) {
+        let signatures = set.len();
+        let mut slot = self.set.write().expect("signature publication lock");
+        slot.0 += 1;
+        slot.1 = set;
+        self.epoch_hint.store(slot.0, Ordering::Release);
+        drop(slot);
+        if kizzle_telemetry::enabled() {
+            kizzle_telemetry::counter("kizzle_publish_epochs_total").incr();
+            kizzle_telemetry::gauge("kizzle_signatures_live").set(signatures as u64);
+        }
+    }
+}
+
+impl SignatureSource for EpochSource {
+    fn epoch_hint(&self) -> u64 {
+        self.epoch_hint.load(Ordering::Acquire)
+    }
+
+    fn current(&self) -> (u64, Arc<SignatureSet>) {
+        let slot = self.set.read().expect("signature publication lock");
+        (slot.0, Arc::clone(&slot.1))
+    }
+
+    fn token_cap(&self) -> usize {
+        self.token_cap
+    }
+}
+
+/// Decode the serving-side sections of a compiler-state snapshot: the
+/// signature set (required) plus its sealed scan pipeline (an
+/// accelerator — any failure to restore it only adds a note and the set
+/// reseals lazily). This is the **single** reader of those sections:
+/// [`KizzleCompiler::load_state`](crate::KizzleCompiler::load_state),
+/// [`read_signatures`](crate::read_signatures) and the [`ChainFollower`]
+/// all route through it, so the chain layout has exactly one
+/// interpretation.
+pub(crate) fn decode_signature_sections(
+    source: &impl SectionSource,
+) -> Result<(SignatureSet, Vec<String>), SnapshotError> {
+    let mut dec = Decoder::new(source.section(SIGNATURES_SECTION)?);
+    let mut signatures = decode_signature_set(&mut dec)?;
+    dec.finish()?;
+
+    let mut notes = Vec::new();
+    let pipeline = source.section(SCAN_SECTION).and_then(|payload| {
+        let mut dec = Decoder::new(payload);
+        let pipeline = ScanPipeline::decode_from(&mut dec, signatures.len())?;
+        dec.finish()?;
+        Ok(pipeline)
+    });
+    match pipeline {
+        Ok(pipeline) => {
+            if !signatures.attach_pipeline(pipeline) {
+                notes.push("scan pipeline does not cover the set, resealing".to_string());
+            }
+        }
+        Err(err) => {
+            notes.push(format!("scan pipeline not restored, resealing: {err}"));
+        }
+    }
+    Ok((signatures, notes))
+}
+
+/// A `crc/len` section fingerprint in the manifest's format, so locally
+/// computed fingerprints compare against recorded ones as plain strings.
+fn fingerprint(payload: &[u8]) -> String {
+    format!("{:#010x}/{}", crc32(payload), payload.len())
+}
+
+/// Bookkeeping one poll hands the next, under the poll mutex.
+#[derive(Debug, Default)]
+struct FollowState {
+    /// `(mtime, len)` of the manifest at the last completed poll — the
+    /// cheapest "nothing happened" check (the manifest is rewritten
+    /// atomically on every save, so an unchanged stat means no save).
+    manifest_stamp: Option<(SystemTime, u64)>,
+    /// Fingerprint of the signature section currently swapped in.
+    sig_fingerprint: Option<String>,
+    /// Fingerprint of the scan-pipeline section currently swapped in.
+    scan_fingerprint: Option<String>,
+    /// Bounded log of degradations observed while following.
+    notes: Vec<String>,
+}
+
+impl FollowState {
+    const MAX_NOTES: usize = 32;
+
+    fn push_note(&mut self, note: String) {
+        if self.notes.last() == Some(&note) {
+            return;
+        }
+        if self.notes.len() == Self::MAX_NOTES {
+            self.notes.remove(0);
+        }
+        self.notes.push(note);
+    }
+}
+
+/// A [`SignatureSource`] that tails a snapshot-chain directory.
+///
+/// The follower is the serving side of a split deployment: a compiler
+/// process seals days and [`save_state`](crate::KizzleCompiler::save_state)s
+/// into a directory; any number of scan workers hold
+/// [`Matcher::over`](crate::Matcher::over) handles on one shared
+/// `Arc<ChainFollower>` and keep scanning the last published set while
+/// [`ChainFollower::poll`] (called manually, or on the
+/// [`ChainFollower::follow`] background thread) watches for the next
+/// save.
+///
+/// ## Freshness and consistency
+///
+/// `poll` is a stat loop, not inotify: a new save is observed at the next
+/// poll, so staleness is bounded by the poll interval plus one decode.
+/// Consistency is absolute regardless: the chain's files and its manifest
+/// are each written atomically (tmp + rename), the manifest only after
+/// its chain file, so every poll sees either the complete previous save
+/// or the complete new one — and the in-memory swap is the same
+/// epoch-bump-under-write-lock the in-process [`EpochSource`] uses, so a
+/// scan never observes a torn set. A save that only touched non-signature
+/// sections (store/index churn on a day with no new signatures) is
+/// detected by the recorded section fingerprints and skipped without
+/// opening the chain, let alone decoding it.
+///
+/// Damage follows the chain's own degradation ladder: a broken delta
+/// truncates to the intact prefix (the follower serves the older,
+/// self-consistent set and notes it), an unreadable base keeps the
+/// previously decoded set (last-known-good) and returns the error.
+#[derive(Debug)]
+pub struct ChainFollower {
+    dir: PathBuf,
+    prefix: String,
+    epoch_hint: AtomicU64,
+    slot: RwLock<(u64, Arc<SignatureSet>)>,
+    /// Cap read from the manifest's `token_cap` key; until a manifest
+    /// says otherwise, the paper configuration's cap.
+    token_cap: AtomicUsize,
+    state: Mutex<FollowState>,
+}
+
+impl ChainFollower {
+    /// A follower for the standard compiler-state chain
+    /// (`kizzle-state.snap` + deltas) in `dir`. Construction never
+    /// touches the filesystem — a follower may be created before the
+    /// compiler's first save; [`ChainFollower::poll`] reports
+    /// [`KizzleError::Snapshot`] (io not-found) until a base exists,
+    /// and every [`Matcher`](crate::Matcher) scans the empty set
+    /// (epoch 0) meanwhile.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ChainFollower::with_prefix(dir, STATE_CHAIN_PREFIX)
+    }
+
+    /// A follower for the chain `<dir>/<prefix>.snap` + deltas.
+    #[must_use]
+    pub fn with_prefix(dir: impl Into<PathBuf>, prefix: impl Into<String>) -> Self {
+        let empty = SignatureSet::new();
+        empty.seal();
+        ChainFollower {
+            dir: dir.into(),
+            prefix: prefix.into(),
+            epoch_hint: AtomicU64::new(0),
+            slot: RwLock::new((0, Arc::new(empty))),
+            token_cap: AtomicUsize::new(KizzleConfig::paper().token_cap),
+            state: Mutex::new(FollowState::default()),
+        }
+    }
+
+    /// The chain directory being tailed.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Check the chain directory once and swap in a new set if one was
+    /// published. Returns `Ok(true)` when a new epoch was swapped in,
+    /// `Ok(false)` when the published signatures are unchanged (three
+    /// fast paths, cheapest first: manifest stat, recorded section
+    /// fingerprints, locally computed fingerprints of the opened chain).
+    ///
+    /// Concurrent polls serialize on an internal mutex; scans are never
+    /// blocked by a poll except for the final pointer-swap instant.
+    ///
+    /// # Errors
+    ///
+    /// [`KizzleError::Snapshot`] when no chain base is readable (io
+    /// not-found before the compiler's first save — the caller's signal
+    /// to keep waiting) or the signature section of an opened chain is
+    /// damaged. The previously decoded set stays published either way.
+    pub fn poll(&self) -> Result<bool, KizzleError> {
+        let mut state = self.state.lock().expect("chain follower poll lock");
+        let loaded = self.epoch_hint.load(Ordering::Acquire) > 0;
+
+        // Fast path 1: the manifest file did not move since the last
+        // completed poll — no save happened.
+        let manifest_path = self.dir.join(MANIFEST_FILE);
+        let stamp = std::fs::metadata(&manifest_path)
+            .ok()
+            .and_then(|meta| Some((meta.modified().ok()?, meta.len())));
+        if loaded && stamp.is_some() && stamp == state.manifest_stamp {
+            return Ok(false);
+        }
+
+        // Fast path 2: the manifest moved (or stat is unusable), but the
+        // signature fingerprints it records are the ones already swapped
+        // in — the save only touched other sections.
+        let manifest = Manifest::read(&manifest_path).ok();
+        if loaded {
+            if let Some(manifest) = &manifest {
+                let sig = manifest
+                    .get(&format!("{SECTION_KEY_PREFIX}{SIGNATURES_SECTION}"))
+                    .map(str::to_string);
+                let scan = manifest
+                    .get(&format!("{SECTION_KEY_PREFIX}{SCAN_SECTION}"))
+                    .map(str::to_string);
+                if sig.is_some() && sig == state.sig_fingerprint && scan == state.scan_fingerprint {
+                    state.manifest_stamp = stamp;
+                    return Ok(false);
+                }
+            }
+        }
+
+        // Full read: overlay the chain and fingerprint the winning
+        // sections ourselves (covers manifest-less bare bases and
+        // truncated chains, where the recorded fingerprints lie).
+        let snapshot =
+            ChainedSnapshot::open(&self.dir, &self.prefix).map_err(KizzleError::Snapshot)?;
+        let sig_fingerprint = Some(fingerprint(
+            snapshot
+                .section(SIGNATURES_SECTION)
+                .map_err(KizzleError::Snapshot)?,
+        ));
+        let scan_fingerprint = snapshot.section(SCAN_SECTION).ok().map(fingerprint);
+        if loaded
+            && sig_fingerprint == state.sig_fingerprint
+            && scan_fingerprint == state.scan_fingerprint
+        {
+            state.manifest_stamp = stamp;
+            return Ok(false);
+        }
+
+        let (set, decode_notes) =
+            decode_signature_sections(&snapshot).map_err(KizzleError::Snapshot)?;
+        if let Some(cap) = manifest
+            .as_ref()
+            .and_then(|m| m.get("token_cap"))
+            .and_then(|v| v.parse().ok())
+        {
+            self.token_cap.store(cap, Ordering::Relaxed);
+        }
+        // Seal before the swap: no scan on any handle ever pays the
+        // pipeline build (usually free — the scan-pipeline section
+        // already attached one).
+        set.seal();
+        let signatures = set.len();
+        {
+            let mut slot = self.slot.write().expect("chain follower slot lock");
+            slot.0 += 1;
+            slot.1 = Arc::new(set);
+            self.epoch_hint.store(slot.0, Ordering::Release);
+        }
+        state.sig_fingerprint = sig_fingerprint;
+        state.scan_fingerprint = scan_fingerprint;
+        state.manifest_stamp = stamp;
+        for note in snapshot.notes() {
+            state.push_note(note.clone());
+        }
+        for note in decode_notes {
+            state.push_note(note);
+        }
+        if kizzle_telemetry::enabled() {
+            kizzle_telemetry::counter("kizzle_chain_refreshes_total").incr();
+            kizzle_telemetry::gauge("kizzle_signatures_live").set(signatures as u64);
+        }
+        Ok(true)
+    }
+
+    /// Degradations observed while following (chain truncations, lost
+    /// scan pipelines, background poll errors) — newest last, bounded,
+    /// consecutive duplicates collapsed.
+    #[must_use]
+    pub fn notes(&self) -> Vec<String> {
+        self.state
+            .lock()
+            .expect("chain follower poll lock")
+            .notes
+            .clone()
+    }
+
+    /// Spawn a background thread that [`ChainFollower::poll`]s every
+    /// `interval` until the returned handle is dropped or
+    /// [`FollowHandle::shutdown`] is called (both stop promptly — the
+    /// sleep is a condvar wait, not a hard `sleep`). Poll errors are
+    /// recorded as [`ChainFollower::notes`], except not-found (the
+    /// compiler simply has not saved yet).
+    pub fn follow(self: &Arc<Self>, interval: Duration) -> FollowHandle {
+        let follower = Arc::clone(self);
+        let signal = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_signal = Arc::clone(&signal);
+        let worker = std::thread::Builder::new()
+            .name("kizzle-follow".into())
+            .spawn(move || {
+                let (stop, wake) = &*thread_signal;
+                loop {
+                    if let Err(err) = follower.poll() {
+                        let waiting = matches!(
+                            &err,
+                            KizzleError::Snapshot(SnapshotError::Io(io))
+                                if io.kind() == std::io::ErrorKind::NotFound
+                        );
+                        if !waiting {
+                            let mut state =
+                                follower.state.lock().expect("chain follower poll lock");
+                            state.push_note(format!("chain poll failed: {err}"));
+                        }
+                    }
+                    let stopped = stop.lock().expect("follow stop lock");
+                    if *stopped {
+                        return;
+                    }
+                    let (stopped, _) = wake
+                        .wait_timeout(stopped, interval)
+                        .expect("follow stop lock");
+                    if *stopped {
+                        return;
+                    }
+                }
+            })
+            .expect("spawn chain follower thread");
+        FollowHandle {
+            signal,
+            worker: Some(worker),
+        }
+    }
+}
+
+impl SignatureSource for ChainFollower {
+    fn epoch_hint(&self) -> u64 {
+        self.epoch_hint.load(Ordering::Acquire)
+    }
+
+    fn current(&self) -> (u64, Arc<SignatureSet>) {
+        let slot = self.slot.read().expect("chain follower slot lock");
+        (slot.0, Arc::clone(&slot.1))
+    }
+
+    fn token_cap(&self) -> usize {
+        self.token_cap.load(Ordering::Relaxed)
+    }
+}
+
+/// Handle to a [`ChainFollower::follow`] background thread. Dropping it
+/// stops and joins the thread.
+#[derive(Debug)]
+pub struct FollowHandle {
+    signal: Arc<(Mutex<bool>, Condvar)>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl FollowHandle {
+    /// Stop the polling thread and wait for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        let (stop, wake) = &*self.signal;
+        *stop.lock().expect("follow stop lock") = true;
+        wake.notify_all();
+        if let Some(worker) = self.worker.take() {
+            if let Err(payload) = worker.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+impl Drop for FollowHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::ReferenceCorpus;
+    use crate::service::KizzleService;
+    use crate::Matcher;
+    use kizzle_corpus::{GraywareStream, KitFamily, SimDate, StreamConfig};
+
+    fn test_day(date: SimDate, seed: u64) -> Vec<kizzle_corpus::Sample> {
+        let config = StreamConfig {
+            samples_per_day: 48,
+            malicious_fraction: 0.5,
+            family_weights: vec![
+                (KitFamily::Angler, 0.4),
+                (KitFamily::Nuclear, 0.3),
+                (KitFamily::SweetOrange, 0.3),
+            ],
+            seed,
+        };
+        GraywareStream::new(config).generate_day(date)
+    }
+
+    fn test_service() -> KizzleService {
+        let config = KizzleConfig::fast();
+        let reference = ReferenceCorpus::seeded_from_models(SimDate::new(2014, 8, 1), &config);
+        KizzleService::new(config, reference).expect("fast config is valid")
+    }
+
+    fn chain_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("kizzle-source-test-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn follower_waits_until_the_first_save_then_swaps_in() {
+        let dir = chain_dir("first-save");
+        let follower = ChainFollower::new(&dir);
+        // Nothing published yet: poll reports not-found, the matcher
+        // scans the empty set at epoch 0.
+        assert!(matches!(
+            follower.poll(),
+            Err(KizzleError::Snapshot(SnapshotError::Io(_)))
+        ));
+        assert_eq!(follower.current().0, 0);
+        assert!(follower.current().1.is_empty());
+
+        let date = SimDate::new(2014, 8, 5);
+        let mut service = test_service();
+        let day = test_day(date, 3);
+        service.process_day(date, &day).expect("day processes");
+        service.save(&dir).expect("state saved");
+
+        assert!(follower.poll().expect("chain readable"));
+        let (epoch, set) = follower.current();
+        assert_eq!(epoch, 1);
+        assert_eq!(&*set, &*service.signatures());
+        assert!(set.is_sealed(), "scan-pipeline section must pre-seal");
+        // Token cap came from the manifest.
+        assert_eq!(follower.token_cap(), service.config().token_cap);
+        // A second poll with no new save is a cheap no-op.
+        assert!(!follower.poll().expect("chain readable"));
+        assert_eq!(follower.current().0, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn follower_swaps_like_the_epoch_source_and_skips_unchanged_saves() {
+        let dir = chain_dir("parity");
+        let mut service = test_service();
+        let follower = Arc::new(ChainFollower::new(&dir));
+        let tailing: Matcher<ChainFollower> = Matcher::over(Arc::clone(&follower));
+        let in_process = service.matcher();
+
+        let d1 = SimDate::new(2014, 8, 5);
+        let d2 = SimDate::new(2014, 8, 6);
+        for (date, seed) in [(d1, 3), (d2, 4)] {
+            let day = test_day(date, seed);
+            service.process_day(date, &day).expect("day processes");
+            service.save(&dir).expect("state saved");
+            assert!(follower.poll().expect("chain readable"));
+            // Byte-identical verdicts through both sources, and the same
+            // Arc shared by the whole follower (no per-scan clone).
+            assert_eq!(&*tailing.signatures(), &*in_process.signatures());
+            assert!(Arc::ptr_eq(&tailing.signatures(), &follower.current().1));
+            for sample in &day {
+                assert_eq!(tailing.scan(&sample.html), in_process.scan(&sample.html));
+            }
+        }
+        assert_eq!(tailing.epoch(), 2, "one swap per signature change");
+
+        // A save that changes nothing must not bump the follower's epoch
+        // (fingerprint fast path).
+        service.save(&dir).expect("no-change save");
+        assert!(!follower.poll().expect("chain readable"));
+        assert_eq!(tailing.epoch(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn follow_thread_picks_up_saves_and_shuts_down_promptly() {
+        let dir = chain_dir("thread");
+        let follower = Arc::new(ChainFollower::new(&dir));
+        let handle = follower.follow(Duration::from_millis(5));
+
+        let date = SimDate::new(2014, 8, 5);
+        let mut service = test_service();
+        service
+            .process_day(date, &test_day(date, 7))
+            .expect("day processes");
+        service.save(&dir).expect("state saved");
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while follower.epoch_hint() == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "follower never saw the save"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(&*follower.current().1, &*service.signatures());
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn broken_delta_degrades_to_the_intact_prefix_with_a_note() {
+        let dir = chain_dir("damage");
+        let mut service = test_service();
+        let d1 = SimDate::new(2014, 8, 5);
+        service
+            .process_day(d1, &test_day(d1, 3))
+            .expect("day processes");
+        service.save(&dir).expect("base saved");
+        let base_set = service.signatures().clone();
+
+        let d2 = SimDate::new(2014, 8, 6);
+        service
+            .process_day(d2, &test_day(d2, 4))
+            .expect("day processes");
+        service.save(&dir).expect("delta saved");
+
+        // Damage the delta: the follower truncates to the base and says so.
+        let delta = dir.join("kizzle-state.delta-1.snap");
+        let bytes = std::fs::read(&delta).expect("delta bytes");
+        std::fs::write(&delta, &bytes[..bytes.len() / 2]).expect("truncate");
+
+        let follower = ChainFollower::new(&dir);
+        assert!(follower.poll().expect("base still readable"));
+        assert_eq!(&*follower.current().1, &base_set);
+        assert!(
+            follower
+                .notes()
+                .iter()
+                .any(|n| n.contains("delta chain broken")),
+            "notes: {:?}",
+            follower.notes()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

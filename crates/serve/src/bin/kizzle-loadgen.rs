@@ -1,0 +1,123 @@
+//! The `kizzle-loadgen` binary: saturate a `kizzle-serve` daemon with
+//! pipelined scan traffic, report throughput, optionally verify wire
+//! verdicts against an in-process matcher over the same chain, and
+//! optionally ask the daemon to drain afterwards.
+
+use kizzle_serve::{loadgen, LoadgenConfig, ScanClient};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "usage: kizzle-loadgen --addr HOST:PORT [--connections N] [--requests N] \
+[--seconds S] [--window N] [--seed N] [--verify-chain DIR] [--shutdown]";
+
+struct Args {
+    config: LoadgenConfig,
+    verify_chain: Option<PathBuf>,
+    shutdown: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut addr = None;
+    let mut connections = 4usize;
+    let mut requests = 2000usize;
+    let mut seconds = None;
+    let mut window = 32usize;
+    let mut seed = 7u64;
+    let mut verify_chain = None;
+    let mut shutdown = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value\n{USAGE}"));
+        fn parsed<T: std::str::FromStr>(name: &str, raw: String) -> Result<T, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            raw.parse().map_err(|e| format!("{name}: {e}"))
+        }
+        match flag.as_str() {
+            "--addr" => addr = Some(value("--addr")?),
+            "--connections" => connections = parsed("--connections", value("--connections")?)?,
+            "--requests" => requests = parsed("--requests", value("--requests")?)?,
+            "--seconds" => seconds = Some(parsed::<u64>("--seconds", value("--seconds")?)?),
+            "--window" => window = parsed("--window", value("--window")?)?,
+            "--seed" => seed = parsed("--seed", value("--seed")?)?,
+            "--verify-chain" => verify_chain = Some(PathBuf::from(value("--verify-chain")?)),
+            "--shutdown" => shutdown = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+
+    let addr = addr.ok_or(format!("--addr is required\n{USAGE}"))?;
+    let mut config = LoadgenConfig::new(addr);
+    config.connections = connections.max(1);
+    config.requests = requests;
+    config.duration = seconds.map(Duration::from_secs);
+    config.window = window.max(1);
+    config.seed = seed;
+    Ok(Args {
+        config,
+        verify_chain,
+        shutdown,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = match loadgen::run(&args.config) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("kizzle-loadgen: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "scans={} detections={} errors={} elapsed_ms={} scans_per_sec={:.0} epochs={:?}",
+        report.scans,
+        report.detections,
+        report.errors,
+        report.elapsed.as_millis(),
+        report.scans_per_sec(),
+        report.epochs_seen,
+    );
+    let mut failed = report.errors > 0;
+
+    if let Some(chain_dir) = &args.verify_chain {
+        match loadgen::verify(&args.config.addr, chain_dir, args.config.seed) {
+            Ok(verify) => {
+                println!(
+                    "verify compared={} mismatches={}",
+                    verify.compared, verify.mismatches
+                );
+                failed |= verify.mismatches > 0;
+            }
+            Err(err) => {
+                eprintln!("kizzle-loadgen: verify: {err}");
+                failed = true;
+            }
+        }
+    }
+
+    if args.shutdown {
+        let drained = ScanClient::connect(&args.config.addr).and_then(ScanClient::shutdown);
+        if let Err(err) = drained {
+            eprintln!("kizzle-loadgen: shutdown: {err}");
+            failed = true;
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

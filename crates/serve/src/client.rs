@@ -1,0 +1,118 @@
+//! A blocking client for the `kizzle-serve` wire protocol.
+
+use crate::protocol::{
+    decode_scan_reply, read_frame, write_request, FrameRead, OP_METRICS, OP_SCAN, OP_SHUTDOWN,
+    OP_STATUS, ST_OK,
+};
+use crate::server::resolve;
+use kizzle::ScanVerdict;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+/// One connection to a `kizzle-serve` daemon. Requests are answered in
+/// order, so [`ScanClient::scan_batch`] can pipeline a window of
+/// outstanding scans.
+pub struct ScanClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    frame: Vec<u8>,
+}
+
+impl ScanClient {
+    /// Connect to a daemon at `host:port`.
+    pub fn connect(addr: &str) -> io::Result<Self> {
+        let stream = TcpStream::connect(resolve(addr)?)?;
+        stream.set_nodelay(true)?;
+        Ok(ScanClient {
+            reader: BufReader::with_capacity(64 * 1024, stream.try_clone()?),
+            writer: BufWriter::with_capacity(64 * 1024, stream),
+            frame: Vec::new(),
+        })
+    }
+
+    fn read_reply(&mut self) -> io::Result<&[u8]> {
+        match read_frame(&mut self.reader, &mut self.frame)? {
+            FrameRead::Frame => {}
+            FrameRead::Closed | FrameRead::Idle => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ))
+            }
+        }
+        let Some((&status, body)) = self.frame.split_first() else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "empty response frame",
+            ));
+        };
+        if status != ST_OK {
+            return Err(io::Error::other(format!(
+                "server error: {}",
+                String::from_utf8_lossy(body)
+            )));
+        }
+        Ok(body)
+    }
+
+    /// Scan one document; blocks for the verdict.
+    pub fn scan(&mut self, document: &str) -> io::Result<ScanVerdict> {
+        write_request(&mut self.writer, OP_SCAN, document.as_bytes())?;
+        self.writer.flush()?;
+        let body = self.read_reply()?;
+        decode_scan_reply(body)
+    }
+
+    /// Scan many documents with up to `window` requests in flight,
+    /// returning verdicts in document order.
+    pub fn scan_batch<'a>(
+        &mut self,
+        documents: impl IntoIterator<Item = &'a str>,
+        window: usize,
+    ) -> io::Result<Vec<ScanVerdict>> {
+        let window = window.max(1);
+        let mut verdicts = Vec::new();
+        let mut in_flight = 0usize;
+        for document in documents {
+            if in_flight == window {
+                self.writer.flush()?;
+                let body = self.read_reply()?;
+                verdicts.push(decode_scan_reply(body)?);
+                in_flight -= 1;
+            }
+            write_request(&mut self.writer, OP_SCAN, document.as_bytes())?;
+            in_flight += 1;
+        }
+        self.writer.flush()?;
+        while in_flight > 0 {
+            let body = self.read_reply()?;
+            verdicts.push(decode_scan_reply(body)?);
+            in_flight -= 1;
+        }
+        Ok(verdicts)
+    }
+
+    /// Fetch the daemon's Prometheus metrics text.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        write_request(&mut self.writer, OP_METRICS, &[])?;
+        self.writer.flush()?;
+        let body = self.read_reply()?;
+        Ok(String::from_utf8_lossy(body).into_owned())
+    }
+
+    /// Fetch the daemon's `key=value` status lines.
+    pub fn status(&mut self) -> io::Result<String> {
+        write_request(&mut self.writer, OP_STATUS, &[])?;
+        self.writer.flush()?;
+        let body = self.read_reply()?;
+        Ok(String::from_utf8_lossy(body).into_owned())
+    }
+
+    /// Ask the daemon to drain and exit; consumes the connection.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        write_request(&mut self.writer, OP_SHUTDOWN, &[])?;
+        self.writer.flush()?;
+        self.read_reply()?;
+        Ok(())
+    }
+}

@@ -1,0 +1,249 @@
+//! `kizzle-loadgen`: drive a `kizzle-serve` daemon to saturation and
+//! report throughput, plus a verify mode that diffs wire verdicts
+//! against an in-process [`Matcher`] over the same chain.
+//!
+//! The generated traffic is the repo's simulated grayware stream — the
+//! same mixture the compiler trains on — so detections are exercised,
+//! not just misses.
+
+use crate::client::ScanClient;
+use kizzle::{ChainFollower, Matcher};
+use kizzle_corpus::{GraywareStream, SimDate, StreamConfig};
+use std::collections::BTreeSet;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration for [`run`].
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Daemon address (`host:port`).
+    pub addr: String,
+    /// Concurrent connections, one thread each.
+    pub connections: usize,
+    /// Scans per connection; ignored when `duration` is set.
+    pub requests: usize,
+    /// Run each connection until this deadline instead of a fixed count.
+    pub duration: Option<Duration>,
+    /// Pipelining window: outstanding requests per connection.
+    pub window: usize,
+    /// Seed for the generated document mix.
+    pub seed: u64,
+}
+
+impl LoadgenConfig {
+    /// A short saturation run: 4 connections, 2000 scans each,
+    /// 32-request windows.
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> Self {
+        LoadgenConfig {
+            addr: addr.into(),
+            connections: 4,
+            requests: 2000,
+            duration: None,
+            window: 32,
+            seed: 7,
+        }
+    }
+}
+
+/// What a load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Scans answered across all connections.
+    pub scans: u64,
+    /// Scans whose verdict carried a signature index.
+    pub detections: u64,
+    /// Wall-clock of the whole run.
+    pub elapsed: Duration,
+    /// Distinct publication epochs observed in verdicts, ascending. A
+    /// mid-run chain publish shows up as one extra epoch here — and as
+    /// nothing else: no errors, no drops.
+    pub epochs_seen: Vec<u64>,
+    /// Scan requests that failed (any I/O or protocol error aborts the
+    /// connection and counts its remaining scans here).
+    pub errors: u64,
+}
+
+impl LoadgenReport {
+    /// Aggregate scan throughput.
+    #[must_use]
+    pub fn scans_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            // Precision loss is irrelevant at report scale.
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.scans as f64 / secs
+            }
+        }
+    }
+}
+
+/// The document mix a load run scans: one simulated day of grayware.
+#[must_use]
+pub fn document_mix(seed: u64) -> Vec<String> {
+    let config = StreamConfig {
+        samples_per_day: 256,
+        malicious_fraction: 0.5,
+        ..StreamConfig::small(seed)
+    };
+    GraywareStream::new(config)
+        .generate_day(SimDate::new(2014, 8, 5))
+        .into_iter()
+        .map(|sample| sample.html)
+        .collect()
+}
+
+/// Drive the daemon with `connections` pipelined connections and collect
+/// an aggregate report. Connection-level failures are tallied as
+/// `errors`, not propagated — a load run reports, it does not abort.
+pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
+    let documents: Arc<Vec<String>> = Arc::new(document_mix(config.seed));
+    let started = Instant::now();
+    let deadline = config.duration.map(|d| started + d);
+
+    let mut threads = Vec::with_capacity(config.connections.max(1));
+    for conn in 0..config.connections.max(1) {
+        let addr = config.addr.clone();
+        let documents = Arc::clone(&documents);
+        let requests = config.requests;
+        let window = config.window.max(1);
+        threads.push(std::thread::spawn(move || {
+            connection_run(&addr, &documents, conn, requests, deadline, window)
+        }));
+    }
+
+    let mut scans = 0u64;
+    let mut detections = 0u64;
+    let mut errors = 0u64;
+    let mut epochs = BTreeSet::new();
+    for thread in threads {
+        let outcome = thread.join().expect("loadgen connection thread");
+        scans += outcome.scans;
+        detections += outcome.detections;
+        errors += outcome.errors;
+        epochs.extend(outcome.epochs);
+    }
+    Ok(LoadgenReport {
+        scans,
+        detections,
+        elapsed: started.elapsed(),
+        epochs_seen: epochs.into_iter().collect(),
+        errors,
+    })
+}
+
+struct ConnOutcome {
+    scans: u64,
+    detections: u64,
+    errors: u64,
+    epochs: BTreeSet<u64>,
+}
+
+fn connection_run(
+    addr: &str,
+    documents: &[String],
+    conn: usize,
+    requests: usize,
+    deadline: Option<Instant>,
+    window: usize,
+) -> ConnOutcome {
+    let mut outcome = ConnOutcome {
+        scans: 0,
+        detections: 0,
+        errors: 0,
+        epochs: BTreeSet::new(),
+    };
+    let mut client = match ScanClient::connect(addr) {
+        Ok(client) => client,
+        Err(_) => {
+            outcome.errors = requests as u64;
+            return outcome;
+        }
+    };
+    // Offset each connection's walk through the mix so the fleet is not
+    // scanning the same document in lockstep.
+    let mut cursor = (conn * 61) % documents.len().max(1);
+    let batch = window * 4;
+    loop {
+        let done = match deadline {
+            Some(deadline) => Instant::now() >= deadline,
+            None => outcome.scans >= requests as u64,
+        };
+        if done {
+            break;
+        }
+        let take = match deadline {
+            Some(_) => batch,
+            None => batch.min((requests as u64 - outcome.scans) as usize),
+        };
+        let docs: Vec<&str> = (0..take)
+            .map(|i| documents[(cursor + i) % documents.len()].as_str())
+            .collect();
+        cursor = (cursor + take) % documents.len().max(1);
+        match client.scan_batch(docs.iter().copied(), window) {
+            Ok(verdicts) => {
+                for verdict in verdicts {
+                    outcome.scans += 1;
+                    if verdict.index.is_some() {
+                        outcome.detections += 1;
+                    }
+                    outcome.epochs.insert(verdict.epoch);
+                }
+            }
+            Err(_) => {
+                // The connection is broken; everything not yet scanned
+                // on it counts as dropped.
+                outcome.errors += match deadline {
+                    Some(_) => 1,
+                    None => requests as u64 - outcome.scans,
+                };
+                break;
+            }
+        }
+    }
+    outcome
+}
+
+/// What a verify pass found.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Documents compared.
+    pub compared: usize,
+    /// Documents whose wire verdict (signature index + family) differed
+    /// from the in-process matcher's.
+    pub mismatches: usize,
+}
+
+/// Re-scan the document mix through the daemon *and* through an
+/// in-process [`Matcher`] tailing the same chain directory, comparing
+/// verdicts byte for byte (signature index and family; epochs are
+/// counter positions local to each follower and are not compared).
+///
+/// Call this after publishing has quiesced — mid-swap the two sides may
+/// legitimately answer from different epochs.
+pub fn verify(addr: &str, chain_dir: &Path, seed: u64) -> io::Result<VerifyReport> {
+    let follower = Arc::new(ChainFollower::new(chain_dir));
+    follower.poll().map_err(io::Error::other)?;
+    let local = Matcher::over(Arc::clone(&follower));
+
+    let documents = document_mix(seed);
+    let mut client = ScanClient::connect(addr)?;
+    let served = client.scan_batch(documents.iter().map(String::as_str), 32)?;
+
+    let mut mismatches = 0;
+    for (document, wire) in documents.iter().zip(&served) {
+        let expected = local.scan_verdict(document);
+        if (wire.index, wire.family) != (expected.index, expected.family) {
+            mismatches += 1;
+        }
+    }
+    Ok(VerifyReport {
+        compared: documents.len(),
+        mismatches,
+    })
+}

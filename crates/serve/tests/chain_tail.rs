@@ -1,0 +1,149 @@
+//! The chain-tail contract under fire: days are published while a fleet
+//! of connections scans continuously. No scan is dropped, no verdict is
+//! torn (a verdict's signature index always fits the set of the epoch
+//! that answered it), per-connection epochs move monotonically, and
+//! every published epoch is eventually observed by every connection
+//! exactly once.
+
+use kizzle::prelude::*;
+use kizzle_corpus::{GraywareStream, SimDate, StreamConfig};
+use kizzle_serve::{ScanClient, ServeConfig, Server};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const SCANNERS: usize = 3;
+const DAYS: [(u32, u32, u32, u64); 3] = [(2014, 8, 5, 3), (2014, 8, 6, 4), (2014, 8, 7, 5)];
+
+fn chain_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kizzle-chain-tail-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn publishes_under_load_are_atomic_monotone_and_observed_by_every_connection() {
+    let dir = chain_dir("fire");
+    let config = KizzleConfig::fast();
+    let reference = ReferenceCorpus::seeded_from_models(SimDate::new(2014, 8, 1), &config);
+    let mut service = KizzleService::new(config, reference).expect("fast config is valid");
+
+    let serve_config = ServeConfig {
+        workers: SCANNERS,
+        poll_interval: Duration::from_millis(5),
+        ..ServeConfig::new(&dir)
+    };
+    let server = Server::start(&serve_config).expect("server starts");
+    let addr = server.addr().to_string();
+
+    // Published-epoch ledger: epoch N (1-based) -> signature count of the
+    // set it publishes. Filled *before* each save so a scanner can never
+    // observe an epoch the ledger does not yet bound.
+    let ledger: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(vec![0]));
+    let stop = Arc::new(AtomicBool::new(false));
+    let last_seen: Arc<Vec<AtomicU64>> =
+        Arc::new((0..SCANNERS).map(|_| AtomicU64::new(0)).collect());
+
+    let probe_day =
+        GraywareStream::new(StreamConfig::small(9)).generate_day(SimDate::new(2014, 8, 5));
+    let documents: Arc<Vec<String>> =
+        Arc::new(probe_day.into_iter().map(|sample| sample.html).collect());
+
+    let mut scanners = Vec::new();
+    for id in 0..SCANNERS {
+        let addr = addr.clone();
+        let documents = Arc::clone(&documents);
+        let ledger = Arc::clone(&ledger);
+        let stop = Arc::clone(&stop);
+        let last_seen = Arc::clone(&last_seen);
+        scanners.push(std::thread::spawn(move || {
+            let mut client = ScanClient::connect(&addr).expect("scanner connects");
+            let mut observed = BTreeSet::new();
+            let mut previous = 0u64;
+            let mut cursor = id * 17;
+            while !stop.load(Ordering::Acquire) {
+                let batch: Vec<&str> = (0..24)
+                    .map(|i| documents[(cursor + i) % documents.len()].as_str())
+                    .collect();
+                cursor = (cursor + 24) % documents.len();
+                let verdicts = client.scan_batch(batch.iter().copied(), 8).expect("scans");
+                assert_eq!(verdicts.len(), batch.len(), "no dropped scans");
+                for verdict in verdicts {
+                    assert!(
+                        verdict.epoch >= previous,
+                        "epoch went backwards: {} after {previous}",
+                        verdict.epoch
+                    );
+                    previous = verdict.epoch;
+                    observed.insert(verdict.epoch);
+                    if let Some(index) = verdict.index {
+                        let bound = {
+                            let ledger = ledger.lock().expect("ledger");
+                            ledger.get(verdict.epoch as usize).copied()
+                        };
+                        let bound = bound.unwrap_or_else(|| {
+                            panic!("verdict from unpublished epoch {}", verdict.epoch)
+                        });
+                        assert!(
+                            (index as usize) < bound,
+                            "torn verdict: index {index} outside epoch {}'s {bound} signatures",
+                            verdict.epoch
+                        );
+                    }
+                }
+                last_seen[id].store(previous, Ordering::Release);
+            }
+            observed
+        }));
+    }
+
+    // Publish the three days while the fleet scans.
+    for (epoch, (year, month, day, seed)) in DAYS.iter().enumerate() {
+        let date = SimDate::new(*year, *month, *day);
+        let samples = GraywareStream::new(StreamConfig::small(*seed)).generate_day(date);
+        service.process_day(date, &samples).expect("day processes");
+        {
+            let mut ledger = ledger.lock().expect("ledger");
+            assert_eq!(ledger.len(), epoch + 1, "one ledger row per publish");
+            ledger.push(service.signatures().len());
+        }
+        service.save(&dir).expect("state saved");
+
+        // Eventual observation: every connection reaches this epoch
+        // before the next one is published.
+        let target = (epoch + 1) as u64;
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while last_seen
+            .iter()
+            .any(|seen| seen.load(Ordering::Acquire) < target)
+        {
+            assert!(
+                Instant::now() < deadline,
+                "a connection never observed epoch {target}"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    stop.store(true, Ordering::Release);
+    for (id, scanner) in scanners.into_iter().enumerate() {
+        let observed = scanner.join().expect("scanner thread");
+        // Exactly-once: each published epoch appears in the observation
+        // set exactly once (sets dedupe; monotonicity above rules out
+        // revisits), and nothing beyond the published range appears.
+        for epoch in 1..=DAYS.len() as u64 {
+            assert!(
+                observed.contains(&epoch),
+                "connection {id} never observed epoch {epoch}: {observed:?}"
+            );
+        }
+        assert!(
+            observed.iter().all(|epoch| *epoch <= DAYS.len() as u64),
+            "connection {id} saw a phantom epoch: {observed:?}"
+        );
+    }
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,125 @@
+//! End-to-end: a `kizzle-serve` daemon over a published chain answers
+//! byte-identical verdicts to the in-process matcher, exposes metrics
+//! and status over the same socket, and drains gracefully on request.
+
+use kizzle::prelude::*;
+use kizzle_corpus::{GraywareStream, SimDate, StreamConfig};
+use kizzle_serve::{ScanClient, ServeConfig, Server};
+use std::path::PathBuf;
+
+fn chain_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kizzle-serve-test-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn test_service() -> KizzleService {
+    let config = KizzleConfig::fast();
+    let reference = ReferenceCorpus::seeded_from_models(SimDate::new(2014, 8, 1), &config);
+    KizzleService::new(config, reference).expect("fast config is valid")
+}
+
+#[test]
+fn served_verdicts_match_the_in_process_matcher_byte_for_byte() {
+    let dir = chain_dir("roundtrip");
+    let mut service = test_service();
+    let date = SimDate::new(2014, 8, 5);
+    let day = GraywareStream::new(StreamConfig::small(7)).generate_day(date);
+    service.process_day(date, &day).expect("day processes");
+    service.save(&dir).expect("state saved");
+
+    let mut config = ServeConfig::new(&dir);
+    config.workers = 2;
+    let server = Server::start(&config).expect("server starts");
+    let addr = server.addr().to_string();
+
+    let local = service.matcher();
+    let mut client = ScanClient::connect(&addr).expect("client connects");
+
+    // One-at-a-time and pipelined paths agree with the local matcher on
+    // the full verdict: index, family, and epoch (both sides have seen
+    // exactly one publication).
+    let documents: Vec<&str> = day.iter().map(|sample| sample.html.as_str()).collect();
+    let piped = client
+        .scan_batch(documents.iter().copied(), 16)
+        .expect("pipelined scans");
+    assert_eq!(piped.len(), documents.len(), "no dropped scans");
+    let mut detections = 0;
+    for (document, wire) in documents.iter().zip(&piped) {
+        let expected = local.scan_verdict(document);
+        assert_eq!(*wire, expected);
+        assert_eq!(
+            client.scan(document).expect("single scan"),
+            expected,
+            "single-shot path agrees"
+        );
+        if expected.index.is_some() {
+            detections += 1;
+        }
+    }
+    assert!(detections > 0, "the mix must exercise real detections");
+
+    let status = client.status().expect("status");
+    assert!(
+        status.contains("epoch=1"),
+        "status reports the epoch: {status}"
+    );
+    assert!(
+        status.contains("workers=2"),
+        "status reports the fleet: {status}"
+    );
+
+    let metrics = client.metrics().expect("metrics");
+    assert!(
+        metrics.contains("kizzle_serve_scans_total"),
+        "scan counter exported: {metrics}"
+    );
+    assert!(
+        metrics.contains("kizzle_signatures_live"),
+        "follower gauge exported: {metrics}"
+    );
+
+    // Graceful drain over the wire: the daemon acks, finishes, joins.
+    client.shutdown().expect("shutdown acked");
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_server_over_an_empty_chain_serves_epoch_zero_until_the_first_save() {
+    let dir = chain_dir("cold");
+    let config = ServeConfig {
+        workers: 1,
+        poll_interval: std::time::Duration::from_millis(5),
+        ..ServeConfig::new(&dir)
+    };
+    let server = Server::start(&config).expect("server starts on an empty dir");
+    let addr = server.addr().to_string();
+    let mut client = ScanClient::connect(&addr).expect("client connects");
+
+    let verdict = client.scan("var x = 1;").expect("scan on the empty set");
+    assert_eq!(verdict.epoch, 0);
+    assert_eq!(verdict.index, None);
+
+    // First save lands mid-flight; the follow thread hot-swaps it in.
+    let mut service = test_service();
+    let date = SimDate::new(2014, 8, 5);
+    let day = GraywareStream::new(StreamConfig::small(7)).generate_day(date);
+    service.process_day(date, &day).expect("day processes");
+    service.save(&dir).expect("state saved");
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        let verdict = client.scan(&day[0].html).expect("scan");
+        if verdict.epoch >= 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never observed the save"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}

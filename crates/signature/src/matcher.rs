@@ -710,8 +710,17 @@ impl SignatureSet {
     /// gives), located through the staged pipeline.
     #[must_use]
     pub fn scan_stream(&self, stream: &TokenStream) -> Option<&LabeledSignature> {
-        let index = self.seal().scan(&self.signatures, stream)?;
+        let index = self.scan_stream_index(stream)?;
         Some(&self.signatures[index])
+    }
+
+    /// Like [`SignatureSet::scan_stream`] but returning the matching
+    /// signature's *index* into insertion order. The serve-tier wire
+    /// protocol reports hits by index (stable across every worker holding
+    /// the same published set), and [`SignatureSet::get`] resolves it back.
+    #[must_use]
+    pub fn scan_stream_index(&self, stream: &TokenStream) -> Option<usize> {
+        self.seal().scan(&self.signatures, stream)
     }
 
     /// Reference linear scan: first signature (in insertion order) matching

@@ -530,6 +530,18 @@ impl SectionSource for ChainedSnapshot {
             section: name.to_string(),
         })
     }
+
+    /// The format version of the layer that wins the section — per
+    /// section, because an upgraded deployment chains v2 deltas onto a v1
+    /// base until compaction rewrites the base.
+    fn section_version(&self, name: &str) -> u32 {
+        for layer in self.layers.iter().rev() {
+            if layer.has_section(name) {
+                return layer.version();
+            }
+        }
+        crate::FORMAT_VERSION
+    }
 }
 
 #[cfg(test)]

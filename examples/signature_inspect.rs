@@ -1,13 +1,15 @@
 //! Signature inspection: show how signatures generalize (paper Figs.
 //! 9–10) — either by generating one per kit from a small cluster of
-//! same-day packed variants, or, with `--snapshot FILE`, by loading the
+//! same-day packed variants, or, with `--snapshot PATH`, by loading the
 //! *deployed* set straight out of a compiler state snapshot (as written by
-//! `daily_pipeline --state-dir`) instead of recompiling anything.
+//! `daily_pipeline --state-dir`) instead of recompiling anything. `PATH`
+//! may be the state directory itself or a snapshot file inside it; either
+//! way the chain's deltas are overlaid so the newest set answers.
 //!
 //! ```bash
 //! cargo run --release -p kizzle-sim --example signature_inspect
 //! cargo run --release -p kizzle-sim --example signature_inspect -- \
-//!     --snapshot /tmp/kizzle-state/kizzle-state.snap
+//!     --snapshot /tmp/kizzle-state
 //! ```
 
 use kizzle::prelude::*;
@@ -37,7 +39,8 @@ fn describe(sig: &Signature) {
     println!("  {preview}…");
 }
 
-/// Inspect the deployed signature set inside a state snapshot.
+/// Inspect the deployed signature set inside a state snapshot (a state
+/// directory or a snapshot file).
 fn inspect_snapshot(path: &str) {
     let set = match kizzle::read_signatures(std::path::Path::new(path)) {
         Ok(set) => set,
@@ -70,7 +73,7 @@ fn main() {
             return;
         }
         _ => {
-            eprintln!("usage: signature_inspect [--snapshot FILE]");
+            eprintln!("usage: signature_inspect [--snapshot FILE_OR_DIR]");
             std::process::exit(2);
         }
     }
