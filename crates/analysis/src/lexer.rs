@@ -1,0 +1,495 @@
+//! A hand-rolled, total Rust token scanner over raw bytes.
+//!
+//! This is not a compiler front end: it produces exactly the token
+//! granularity the lints need — *which bytes are code, which are
+//! comments, and where the string literals are* — while getting the
+//! genuinely tricky parts of Rust's lexical grammar right:
+//!
+//! * raw strings with arbitrary hash fences (`r#"…"#`, `br##"…"##`,
+//!   `cr"…"`), which may contain quotes and `//` sequences;
+//! * nested block comments (`/* /* */ */`), which plain scanners
+//!   unbalance;
+//! * the lifetime/char-literal ambiguity (`'a` vs `'a'` vs `'\n'`);
+//! * raw identifiers (`r#type`) vs raw strings (`r#"…"#`).
+//!
+//! The scanner is **total**: any byte sequence — including invalid
+//! UTF-8 and truncated literals — lexes to a token stream whose spans
+//! are contiguous, in-bounds, and reconstruct the input exactly. That
+//! property is what lets the lints run on arbitrary working trees
+//! without a panic path of their own (it is property-tested in
+//! `tests/lexer_properties.rs`).
+
+/// The classes of token the lints care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Spaces, tabs, newlines.
+    Whitespace,
+    /// `// …` to end of line (includes `///` and `//!` doc comments —
+    /// doc text, and therefore doctest code, is *not* library code).
+    LineComment,
+    /// `/* … */`, nested; an unterminated comment runs to end of input.
+    BlockComment,
+    /// Any string literal: `"…"`, `b"…"`, `c"…"`, and the raw forms
+    /// `r"…"`, `r#"…"#`, `br#"…"#`, `cr#"…"#` with any fence width.
+    Str,
+    /// A character or byte-character literal: `'x'`, `b'\n'`.
+    Char,
+    /// A lifetime: `'a`, `'static`.
+    Lifetime,
+    /// An identifier or keyword, including raw identifiers (`r#type`).
+    /// Bytes ≥ 0x80 are treated as identifier characters, which groups
+    /// non-ASCII identifiers (and stray binary runs) into single tokens.
+    Ident,
+    /// A numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// A single punctuation byte. Multi-byte operators (`::`, `->`)
+    /// appear as consecutive `Punct` tokens.
+    Punct,
+    /// Any other byte (control bytes outside literals).
+    Unknown,
+}
+
+/// One token: a classification of the byte range `start..end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's bytes within `src` (the same slice it was lexed from).
+    #[must_use]
+    pub fn text<'a>(&self, src: &'a [u8]) -> &'a [u8] {
+        &src[self.start..self.end]
+    }
+
+    /// Whether the token is code rather than whitespace or a comment.
+    #[must_use]
+    pub fn is_code(&self) -> bool {
+        !matches!(
+            self.kind,
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+        )
+    }
+
+    /// For a `Str` token, the literal's content with prefix, fences and
+    /// quotes stripped and (for non-raw strings) simple escapes decoded.
+    /// Returns `None` for other kinds or unterminated literals whose
+    /// shape cannot be recovered.
+    #[must_use]
+    pub fn str_value(&self, src: &[u8]) -> Option<String> {
+        if self.kind != TokenKind::Str {
+            return None;
+        }
+        let text = self.text(src);
+        let mut i = 0;
+        // Skip the b/c/r prefix letters.
+        while i < text.len() && (text[i] == b'b' || text[i] == b'c' || text[i] == b'r') {
+            i += 1;
+        }
+        let raw = text[..i].contains(&b'r');
+        let mut fence = 0;
+        while i < text.len() && text[i] == b'#' {
+            fence += 1;
+            i += 1;
+        }
+        if i >= text.len() || text[i] != b'"' {
+            return None;
+        }
+        i += 1;
+        // Trim the closing quote + fence if the literal is terminated.
+        let close = if raw { fence + 1 } else { 1 };
+        let end = if text.len() >= i + close && text[text.len() - close] == b'"' {
+            text.len() - close
+        } else {
+            text.len()
+        };
+        let body = &text[i..end];
+        let decoded = if raw {
+            body.to_vec()
+        } else {
+            let mut out = Vec::with_capacity(body.len());
+            let mut j = 0;
+            while j < body.len() {
+                if body[j] == b'\\' && j + 1 < body.len() {
+                    out.push(match body[j + 1] {
+                        b'n' => b'\n',
+                        b't' => b'\t',
+                        b'r' => b'\r',
+                        b'0' => 0,
+                        other => other,
+                    });
+                    j += 2;
+                } else {
+                    out.push(body[j]);
+                    j += 1;
+                }
+            }
+            out
+        };
+        Some(String::from_utf8_lossy(&decoded).into_owned())
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    is_ident_start(b) || b.is_ascii_digit()
+}
+
+/// Lex `src` completely. Never panics; the returned spans are
+/// contiguous, start at 0, and end at `src.len()`.
+#[must_use]
+pub fn lex(src: &[u8]) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < src.len() {
+        let start = i;
+        let b = src[i];
+        let kind = if b.is_ascii_whitespace() {
+            while i < src.len() && src[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            TokenKind::Whitespace
+        } else if b == b'/' && src.get(i + 1) == Some(&b'/') {
+            while i < src.len() && src[i] != b'\n' {
+                i += 1;
+            }
+            TokenKind::LineComment
+        } else if b == b'/' && src.get(i + 1) == Some(&b'*') {
+            i += 2;
+            let mut depth = 1usize;
+            while i < src.len() && depth > 0 {
+                if src[i] == b'/' && src.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if src[i] == b'*' && src.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            TokenKind::BlockComment
+        } else if b == b'"' {
+            i = lex_string_body(src, i + 1);
+            TokenKind::Str
+        } else if let Some(end) = try_lex_prefixed_literal(src, i) {
+            i = end.0;
+            end.1
+        } else if b == b'\'' {
+            let (end, kind) = lex_quote(src, i);
+            i = end;
+            kind
+        } else if is_ident_start(b) {
+            while i < src.len() && is_ident_continue(src[i]) {
+                i += 1;
+            }
+            TokenKind::Ident
+        } else if b.is_ascii_digit() {
+            i = lex_number(src, i);
+            TokenKind::Number
+        } else if b.is_ascii_punctuation() {
+            i += 1;
+            TokenKind::Punct
+        } else {
+            i += 1;
+            TokenKind::Unknown
+        };
+        tokens.push(Token {
+            kind,
+            start,
+            end: i,
+        });
+    }
+    tokens
+}
+
+/// From a position *after* an opening `"`, consume to just past the
+/// closing quote (backslash escapes the next byte), or to end of input.
+fn lex_string_body(src: &[u8], mut i: usize) -> usize {
+    while i < src.len() {
+        match src[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    src.len()
+}
+
+/// Try to lex a `b`/`c`/`r`-prefixed literal (raw string, byte string,
+/// byte char, raw identifier) starting at `i`. Returns the end offset
+/// and kind, or `None` when the bytes at `i` are a plain identifier.
+fn try_lex_prefixed_literal(src: &[u8], i: usize) -> Option<(usize, TokenKind)> {
+    let b = src[i];
+    if b != b'b' && b != b'c' && b != b'r' {
+        return None;
+    }
+    // Longest prefix of b/c/r letters that is immediately followed by a
+    // quote or hash fence; everything else is an ordinary identifier.
+    let mut j = i;
+    while j < src.len() && (src[j] == b'b' || src[j] == b'c' || src[j] == b'r') && j - i < 2 {
+        j += 1;
+    }
+    // Walk back: accept `b"`, `c"`, `r"`, `br"`, `cr"`, `rb` is not a
+    // thing upstream but harmless to reject here (falls to ident).
+    while j > i {
+        let prefix = &src[i..j];
+        let has_r = prefix.ends_with(b"r");
+        match src.get(j) {
+            Some(b'"') if !has_r => {
+                return Some((lex_string_body(src, j + 1), TokenKind::Str));
+            }
+            Some(b'"') if has_r => {
+                return Some((lex_raw_string_body(src, j + 1, 0), TokenKind::Str));
+            }
+            Some(b'#') if has_r => {
+                let mut fence = 0;
+                let mut k = j;
+                while src.get(k) == Some(&b'#') {
+                    fence += 1;
+                    k += 1;
+                }
+                if src.get(k) == Some(&b'"') {
+                    return Some((lex_raw_string_body(src, k + 1, fence), TokenKind::Str));
+                }
+                // `r#ident` — a raw identifier (only a single hash is
+                // valid Rust, but totality beats strictness here).
+                if prefix == b"r" && src.get(k).is_some_and(|&b| is_ident_start(b)) {
+                    let mut e = k;
+                    while e < src.len() && is_ident_continue(src[e]) {
+                        e += 1;
+                    }
+                    return Some((e, TokenKind::Ident));
+                }
+                return None;
+            }
+            Some(b'\'') if prefix == b"b" => {
+                let (end, kind) = lex_quote(src, j);
+                // `b'…'` is a byte char; a bare `b'lifetime` still lexes
+                // as whatever lex_quote decides, spans stay exact.
+                return Some((end, kind));
+            }
+            _ => j -= 1,
+        }
+    }
+    None
+}
+
+/// From a position *after* the opening `"` of a raw string with `fence`
+/// hashes, consume past the closing `"###…` of the same width.
+fn lex_raw_string_body(src: &[u8], mut i: usize, fence: usize) -> usize {
+    while i < src.len() {
+        if src[i] == b'"'
+            && src[i + 1..].len() >= fence
+            && src[i + 1..i + 1 + fence].iter().all(|&b| b == b'#')
+        {
+            return i + 1 + fence;
+        }
+        i += 1;
+    }
+    src.len()
+}
+
+/// Disambiguate a `'` at `i`: char literal, lifetime, or lone quote.
+fn lex_quote(src: &[u8], i: usize) -> (usize, TokenKind) {
+    let Some(&next) = src.get(i + 1) else {
+        return (i + 1, TokenKind::Punct);
+    };
+    if next == b'\\' {
+        // Escaped char literal: consume to the closing quote.
+        let mut k = i + 2;
+        while k < src.len() {
+            match src[k] {
+                b'\\' => k += 2,
+                b'\'' => return (k + 1, TokenKind::Char),
+                _ => k += 1,
+            }
+        }
+        return (src.len(), TokenKind::Char);
+    }
+    if is_ident_continue(next) {
+        // `'a'` (char) vs `'a`/`'static` (lifetime): consume the
+        // identifier run and look for a closing quote.
+        let mut e = i + 1;
+        while e < src.len() && is_ident_continue(src[e]) {
+            e += 1;
+        }
+        if src.get(e) == Some(&b'\'') {
+            return (e + 1, TokenKind::Char);
+        }
+        if next.is_ascii_digit() {
+            // `'1` with no closing quote is not a lifetime; emit the
+            // quote alone and let the number lex on its own.
+            return (i + 1, TokenKind::Punct);
+        }
+        return (e, TokenKind::Lifetime);
+    }
+    // `' '`, `'('`, … — single odd byte between quotes is a char.
+    if src.get(i + 2) == Some(&b'\'') {
+        return (i + 3, TokenKind::Char);
+    }
+    (i + 1, TokenKind::Punct)
+}
+
+/// Consume a numeric literal starting at a digit.
+fn lex_number(src: &[u8], mut i: usize) -> usize {
+    let radix_prefix = src[i] == b'0'
+        && matches!(
+            src.get(i + 1),
+            Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B')
+        );
+    if radix_prefix {
+        i += 2;
+        while i < src.len() && (src[i].is_ascii_alphanumeric() || src[i] == b'_') {
+            i += 1;
+        }
+        return i;
+    }
+    while i < src.len() && (src[i].is_ascii_digit() || src[i] == b'_') {
+        i += 1;
+    }
+    // Fractional part only when followed by a digit, so `0..10` and
+    // `1.max(2)` keep their dots as punctuation.
+    if src.get(i) == Some(&b'.') && src.get(i + 1).is_some_and(u8::is_ascii_digit) {
+        i += 1;
+        while i < src.len() && (src[i].is_ascii_digit() || src[i] == b'_') {
+            i += 1;
+        }
+    }
+    // Exponent.
+    if matches!(src.get(i), Some(b'e' | b'E'))
+        && (src.get(i + 1).is_some_and(u8::is_ascii_digit)
+            || (matches!(src.get(i + 1), Some(b'+' | b'-'))
+                && src.get(i + 2).is_some_and(u8::is_ascii_digit)))
+    {
+        i += if src[i + 1].is_ascii_digit() { 2 } else { 3 };
+        while i < src.len() && (src[i].is_ascii_digit() || src[i] == b'_') {
+            i += 1;
+        }
+    }
+    // Type suffix (`u32`, `f64`, …).
+    while i < src.len() && (src[i].is_ascii_alphanumeric() || src[i] == b'_') {
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src.as_bytes())
+            .into_iter()
+            .map(|t| (t.kind, &src[t.start..t.end]))
+            .collect()
+    }
+
+    fn code_kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        kinds(src)
+            .into_iter()
+            .filter(|(k, _)| !matches!(k, TokenKind::Whitespace))
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_hide_comment_markers_and_quotes() {
+        let toks = code_kinds(r####"let x = r#"contains " and // and /*"# ;"####);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.starts_with("r#\"")));
+        assert_eq!(toks.last().unwrap().1, ";");
+    }
+
+    #[test]
+    fn raw_string_fence_widths_must_match() {
+        let src = r#####"r##"inner "# stays"## tail"#####;
+        let toks = code_kinds(src);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[0].1, r#####"r##"inner "# stays"##"#####);
+        assert_eq!(toks[1].1, "tail");
+    }
+
+    #[test]
+    fn nested_block_comments_balance() {
+        let toks = kinds("/* outer /* inner */ still */ code");
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[0].1, "/* outer /* inner */ still */");
+        assert_eq!(toks.last().unwrap().1, "code");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = code_kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+        assert_eq!(chars[0].1, "'a'");
+        assert_eq!(chars[1].1, "'\\n'");
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        let toks = code_kinds("let r#type = r#\"raw\"#;");
+        assert_eq!(toks[1], (TokenKind::Ident, "r#type"));
+        assert_eq!(toks[3], (TokenKind::Str, "r#\"raw\"#"));
+    }
+
+    #[test]
+    fn byte_and_c_strings_lex_as_strings() {
+        for src in ["b\"bytes\"", "br#\"raw bytes\"#", "c\"cstr\"", "cr\"rawc\""] {
+            let toks = code_kinds(src);
+            assert_eq!(toks.len(), 1, "{src}");
+            assert_eq!(toks[0].0, TokenKind::Str, "{src}");
+        }
+        assert_eq!(code_kinds("b'x'")[0].0, TokenKind::Char);
+    }
+
+    #[test]
+    fn str_value_strips_quotes_prefixes_and_fences() {
+        let src = br##"("plain", r#"raw "q" body"#, b"bytes\n")"##.to_vec();
+        let vals: Vec<String> = lex(&src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.str_value(&src).unwrap())
+            .collect();
+        assert_eq!(vals[0], "plain");
+        assert_eq!(vals[1], "raw \"q\" body");
+        assert_eq!(vals[2], "bytes\n");
+    }
+
+    #[test]
+    fn ranges_and_method_calls_keep_their_dots() {
+        let toks = code_kinds("0..10 1.max(2) 1.5e3_f64");
+        assert_eq!(toks[0], (TokenKind::Number, "0"));
+        assert_eq!(toks[1], (TokenKind::Punct, "."));
+        assert_eq!(toks[2], (TokenKind::Punct, "."));
+        assert_eq!(toks[3], (TokenKind::Number, "10"));
+        assert_eq!(toks[4], (TokenKind::Number, "1"));
+        assert_eq!(toks[6], (TokenKind::Ident, "max"));
+        assert_eq!(toks.last().unwrap(), &(TokenKind::Number, "1.5e3_f64"));
+    }
+
+    #[test]
+    fn unterminated_literals_run_to_eof_without_panic() {
+        for src in [
+            "\"open",
+            "r#\"open",
+            "/* open /* deeper",
+            "'\\",
+            "b\"half\\",
+        ] {
+            let toks = lex(src.as_bytes());
+            assert_eq!(toks.last().unwrap().end, src.len(), "{src}");
+        }
+    }
+}

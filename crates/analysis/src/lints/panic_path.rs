@@ -1,0 +1,76 @@
+//! `panic-path`: library code must route failures through `KizzleError`
+//! (or carry a justified allowlist entry), not panic.
+//!
+//! Flags, in non-test, non-vendored **library** code:
+//!
+//! * `.unwrap()` / `.expect(…)` method calls;
+//! * `panic!`, `todo!`, `unimplemented!` macro invocations.
+//!
+//! Deliberately *not* flagged: `unreachable!` (a statically-justified
+//! invariant marker, and the message is the justification),
+//! `debug_assert!`-family macros (compiled out of release builds), test
+//! code in any form, binaries (a CLI's `panic!` is an exit path), and
+//! doc comments (doctest code is documentation).
+
+use crate::lint::{Finding, Severity};
+use crate::lints::finding_at;
+use crate::workspace::{Role, Workspace};
+
+const LINT: &str = "panic-path";
+
+pub fn run(ws: &Workspace, out: &mut Vec<Finding>) {
+    for file in &ws.files {
+        if file.role != Role::Lib || file.vendored {
+            continue;
+        }
+        for i in file.code_token_indices() {
+            let tok = file.tokens[i];
+            if file.in_test_region(tok.start) {
+                continue;
+            }
+            let text = file.token_text(i);
+            match text {
+                b"unwrap" | b"expect" => {
+                    let is_method = file
+                        .prev_code(i)
+                        .is_some_and(|p| file.token_text(p) == b".")
+                        && file
+                            .next_code(i)
+                            .is_some_and(|n| file.token_text(n) == b"(");
+                    if is_method {
+                        let call = String::from_utf8_lossy(text);
+                        out.push(finding_at(
+                            LINT,
+                            Severity::Error,
+                            file,
+                            tok.start,
+                            format!(
+                                "`.{call}()` in a library path — return `KizzleError` \
+                                 (or justify the invariant in analysis/allow.toml)"
+                            ),
+                        ));
+                    }
+                }
+                b"panic" | b"todo" | b"unimplemented" => {
+                    let is_macro = file
+                        .next_code(i)
+                        .is_some_and(|n| file.token_text(n) == b"!");
+                    if is_macro {
+                        let mac = String::from_utf8_lossy(text);
+                        out.push(finding_at(
+                            LINT,
+                            Severity::Error,
+                            file,
+                            tok.start,
+                            format!(
+                                "`{mac}!` in a library path — return `KizzleError` \
+                                 (or justify the invariant in analysis/allow.toml)"
+                            ),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}

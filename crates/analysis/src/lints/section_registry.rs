@@ -1,0 +1,111 @@
+//! `section-registry`: snapshot/chain section names and manifest chain
+//! keys are load-bearing wire-format strings — a writer and a reader
+//! that disagree by one character silently stop exchanging a section.
+//! They must therefore come from exactly one place:
+//! `kizzle-snapshot`'s `sections` module.
+//!
+//! The registry is **self-updating**: this lint reads the canonical
+//! name set out of `crates/snapshot/src/sections.rs` (every `pub const
+//! … : &str = "…";` value), then flags any *other* non-test library or
+//! binary code whose string literal exactly equals a registered name.
+//! Adding a section constant automatically starts policing its literal.
+//!
+//! Test code is exempt: tests legitimately spell out literals to pin
+//! the on-disk format independently of the constants they verify.
+
+use crate::lint::{Finding, Severity};
+use crate::lints::finding_at;
+use crate::workspace::{Role, SourceFile, Workspace};
+use std::collections::BTreeMap;
+
+const LINT: &str = "section-registry";
+const REGISTRY_PATH: &str = "crates/snapshot/src/sections.rs";
+
+pub fn run(ws: &Workspace, out: &mut Vec<Finding>) {
+    let Some(registry_file) = ws.files.iter().find(|f| f.rel_path == REGISTRY_PATH) else {
+        out.push(Finding {
+            lint: LINT,
+            severity: Severity::Error,
+            path: REGISTRY_PATH.into(),
+            line: 0,
+            col: 0,
+            message: "section registry module is missing — the shared constants in \
+                      kizzle-snapshot::sections are the single source of section names"
+                .into(),
+            excerpt: String::new(),
+        });
+        return;
+    };
+
+    // value -> constant identifier, from `pub const IDENT: &str = "…";`.
+    let registry = collect_registry(registry_file);
+    if registry.is_empty() {
+        out.push(Finding {
+            lint: LINT,
+            severity: Severity::Error,
+            path: REGISTRY_PATH.into(),
+            line: 0,
+            col: 0,
+            message: "section registry declares no `pub const … : &str` names".into(),
+            excerpt: String::new(),
+        });
+        return;
+    }
+
+    for file in &ws.files {
+        if !matches!(file.role, Role::Lib | Role::Bin)
+            || file.vendored
+            || file.rel_path == REGISTRY_PATH
+        {
+            continue;
+        }
+        for i in file.code_token_indices() {
+            let tok = file.tokens[i];
+            if file.in_test_region(tok.start) {
+                continue;
+            }
+            let Some(value) = tok.str_value(&file.bytes) else {
+                continue;
+            };
+            if let Some(ident) = registry.get(&value) {
+                out.push(finding_at(
+                    LINT,
+                    Severity::Error,
+                    file,
+                    tok.start,
+                    format!(
+                        "section name literal \"{value}\" — use \
+                         `kizzle_snapshot::sections::{ident}` so writers and readers \
+                         cannot drift apart"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn collect_registry(file: &SourceFile) -> BTreeMap<String, String> {
+    let mut registry = BTreeMap::new();
+    for i in file.code_token_indices() {
+        if file.token_text(i) != b"const" || file.in_test_region(file.tokens[i].start) {
+            continue;
+        }
+        let Some(name_idx) = file.next_code(i) else {
+            continue;
+        };
+        let ident = String::from_utf8_lossy(file.token_text(name_idx)).into_owned();
+        // Take the first string literal before the terminating `;`.
+        let mut j = name_idx;
+        while let Some(n) = file.next_code(j) {
+            if file.token_text(n) == b";" {
+                break;
+            }
+            if let Some(value) = file.tokens[n].str_value(&file.bytes) {
+                registry.insert(value, ident);
+                break;
+            }
+            j = n;
+        }
+    }
+    registry
+}

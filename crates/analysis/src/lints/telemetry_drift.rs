@@ -1,0 +1,145 @@
+//! `telemetry-drift`: the telemetry name catalog
+//! (`crates/telemetry/schema/telemetry.schema`) and the name literals
+//! in code must agree, in **both** directions:
+//!
+//! * every `counter("…")` / `gauge("…")` / `histogram("…")` /
+//!   `event("…", …)` / `record_span("…", …)` / `span!("…")` literal in
+//!   non-test library code must be declared in the schema (required or
+//!   optional) — an undeclared name is a metric the smoke check can
+//!   never validate;
+//! * every **required** schema name must appear at some such call site —
+//!   a declared-but-never-emitted name means the schema is stale and
+//!   the smoke check would fail at runtime anyway.
+//!
+//! `telemetry_check` (PR 8) validates a *run's output*; this lint closes
+//! its code-side blind spot: a renamed span drifts out of the schema at
+//! review time, not the next time CI happens to exercise that path.
+//! Limitation: names built at runtime (`format!`) are invisible here —
+//! the repo has none, and the runtime check still covers them.
+
+use crate::lint::{Finding, Severity};
+use crate::lints::finding_at;
+use crate::workspace::{Role, SourceFile, Workspace};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+
+const LINT: &str = "telemetry-drift";
+const SCHEMA_PATH: &str = "crates/telemetry/schema/telemetry.schema";
+
+/// The telemetry registration/emission entry points whose first string
+/// argument is a catalog name.
+const NAME_SINKS: &[&[u8]] = &[b"counter", b"gauge", b"histogram", b"event", b"record_span"];
+
+pub fn run(ws: &Workspace, out: &mut Vec<Finding>) {
+    let schema_path = ws.root.join(SCHEMA_PATH);
+    let schema_text = match fs::read_to_string(&schema_path) {
+        Ok(text) => text,
+        Err(err) => {
+            out.push(Finding {
+                lint: LINT,
+                severity: Severity::Error,
+                path: SCHEMA_PATH.into(),
+                line: 0,
+                col: 0,
+                message: format!("cannot read telemetry schema: {err}"),
+                excerpt: String::new(),
+            });
+            return;
+        }
+    };
+
+    // name -> (required, schema line)
+    let mut declared: BTreeMap<String, (bool, u32)> = BTreeMap::new();
+    for (idx, raw) in schema_text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(kind), Some(name)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        let required = !kind.ends_with('?');
+        match kind.trim_end_matches('?') {
+            "metric" | "span" | "event" => {
+                declared.insert(name.to_string(), (required, idx as u32 + 1));
+            }
+            _ => {}
+        }
+    }
+
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for file in &ws.files {
+        if file.role != Role::Lib || file.vendored {
+            continue;
+        }
+        for (offset, name) in telemetry_names(file) {
+            if declared.contains_key(&name) {
+                seen.insert(name);
+            } else {
+                out.push(finding_at(
+                    LINT,
+                    Severity::Error,
+                    file,
+                    offset,
+                    format!(
+                        "telemetry name \"{name}\" is not declared in {SCHEMA_PATH} — \
+                         add a `metric`/`span`/`event` line (suffix `?` if the path \
+                         is conditional)"
+                    ),
+                ));
+            }
+        }
+    }
+
+    for (name, (required, line)) in &declared {
+        if *required && !seen.contains(name) {
+            out.push(Finding {
+                lint: LINT,
+                severity: Severity::Error,
+                path: SCHEMA_PATH.into(),
+                line: *line,
+                col: 1,
+                message: format!(
+                    "schema requires \"{name}\" but no library call site emits it — \
+                     remove the stale declaration or restore the emitter"
+                ),
+                excerpt: String::new(),
+            });
+        }
+    }
+}
+
+/// Extract `(offset, name)` for every telemetry name literal in
+/// non-test code of `file`: `sink("name"…` and `span!("name")`.
+fn telemetry_names(file: &SourceFile) -> Vec<(usize, String)> {
+    let mut names = Vec::new();
+    for i in file.code_token_indices() {
+        let tok = file.tokens[i];
+        if file.in_test_region(tok.start) {
+            continue;
+        }
+        let text = file.token_text(i);
+        let lit = if NAME_SINKS.contains(&text) {
+            // `sink` `(` `"name"`
+            file.next_code(i)
+                .filter(|&p| file.token_text(p) == b"(")
+                .and_then(|p| file.next_code(p))
+        } else if text == b"span" {
+            // `span` `!` `(` `"name"`
+            file.next_code(i)
+                .filter(|&b| file.token_text(b) == b"!")
+                .and_then(|b| file.next_code(b))
+                .filter(|&p| file.token_text(p) == b"(")
+                .and_then(|p| file.next_code(p))
+        } else {
+            None
+        };
+        if let Some(l) = lit {
+            if let Some(name) = file.tokens[l].str_value(&file.bytes) {
+                names.push((file.tokens[l].start, name));
+            }
+        }
+    }
+    names
+}

@@ -1,0 +1,387 @@
+//! `threshold-drift`: the CI perf gate (`bench_check` against
+//! `crates/bench/thresholds.json`) fails on a *missing* gated bench, but
+//! nothing ever checked the other structural invariants statically:
+//!
+//! * **Orphan arm** (error): a thresholds key with no bench emitter —
+//!   the gate would fail every CI run, or worse, the arm was renamed
+//!   and its protection silently moved to "missing bench" noise.
+//! * **Ungated arm** (warning): a bench emitter whose full name has no
+//!   thresholds entry — deliberate for comparison baselines (allowlist
+//!   them with the reason), an oversight for product paths.
+//!
+//! Bench names are assembled at runtime as `group/function/parameter`,
+//! so the matcher works on the literals that exist statically: a key is
+//! covered when it can be split into consecutive `/`-separated pieces
+//! that each appear as a string literal in the bench sources, with at
+//! most the final segment dynamic (a `BenchmarkId` parameter) once at
+//! least two literal pieces matched. Emitters are reconstructed from
+//! `benchmark_group("…")` + `bench_function`/`bench_with_input` call
+//! sites; groups bound to non-literal names are skipped (statically
+//! unresolvable, and the runtime gate still covers them).
+
+use crate::lint::{Finding, Severity};
+use crate::lints::finding_at;
+use crate::workspace::{Role, Workspace};
+use std::collections::BTreeSet;
+use std::fs;
+
+const LINT: &str = "threshold-drift";
+const THRESHOLDS_PATH: &str = "crates/bench/thresholds.json";
+
+pub fn run(ws: &Workspace, out: &mut Vec<Finding>) {
+    let path = ws.root.join(THRESHOLDS_PATH);
+    let text = match fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) => {
+            out.push(Finding {
+                lint: LINT,
+                severity: Severity::Error,
+                path: THRESHOLDS_PATH.into(),
+                line: 0,
+                col: 0,
+                message: format!("cannot read thresholds file: {err}"),
+                excerpt: String::new(),
+            });
+            return;
+        }
+    };
+    let keys = match parse_object_keys(&text) {
+        Ok(keys) => keys,
+        Err(msg) => {
+            out.push(Finding {
+                lint: LINT,
+                severity: Severity::Error,
+                path: THRESHOLDS_PATH.into(),
+                line: 0,
+                col: 0,
+                message: format!("thresholds file is not a flat JSON object: {msg}"),
+                excerpt: String::new(),
+            });
+            return;
+        }
+    };
+
+    // Every string literal in the bench sources, the pool arm names are
+    // assembled from.
+    let mut literals: BTreeSet<String> = BTreeSet::new();
+    for file in &ws.files {
+        if file.role != Role::Bench || file.vendored {
+            continue;
+        }
+        for i in file.code_token_indices() {
+            if let Some(value) = file.tokens[i].str_value(&file.bytes) {
+                literals.insert(value);
+            }
+        }
+    }
+
+    // Direction 1: every gated arm must have an emitter.
+    for (key, line) in &keys {
+        if key.starts_with('_') {
+            continue; // `_comment` and friends.
+        }
+        if !covered(key, &literals, 0) {
+            out.push(Finding {
+                lint: LINT,
+                severity: Severity::Error,
+                path: THRESHOLDS_PATH.into(),
+                line: *line,
+                col: 1,
+                message: format!(
+                    "gated arm \"{key}\" has no emitter in crates/bench/benches — \
+                     the perf gate would report it missing on every run"
+                ),
+                excerpt: format!("\"{key}\""),
+            });
+        }
+    }
+
+    // Direction 2: every statically-resolvable bench arm should be gated.
+    let key_names: BTreeSet<&str> = keys.iter().map(|(k, _)| k.as_str()).collect();
+    for file in &ws.files {
+        if file.role != Role::Bench || file.vendored {
+            continue;
+        }
+        let mut group: Option<String> = None;
+        for i in file.code_token_indices() {
+            let text = file.token_text(i);
+            if text == b"benchmark_group" {
+                // `benchmark_group` `(` <literal?> — a non-literal group
+                // makes later arms unresolvable: clear it.
+                group = file
+                    .next_code(i)
+                    .filter(|&p| file.token_text(p) == b"(")
+                    .and_then(|p| file.next_code(p))
+                    .and_then(|l| file.tokens[l].str_value(&file.bytes));
+            } else if text == b"bench_function" || text == b"bench_with_input" {
+                let Some(open) = file.next_code(i).filter(|&p| file.token_text(p) == b"(") else {
+                    continue;
+                };
+                let Some(arg) = file.next_code(open) else {
+                    continue;
+                };
+                // Either a direct `"id"` literal or `BenchmarkId::new("id", param)`.
+                let id_idx = if file.token_text(arg) == b"BenchmarkId" {
+                    let mut j = arg;
+                    let mut found = None;
+                    for _ in 0..6 {
+                        let Some(n) = file.next_code(j) else { break };
+                        if file.tokens[n].str_value(&file.bytes).is_some() {
+                            found = Some(n);
+                            break;
+                        }
+                        j = n;
+                    }
+                    found
+                } else {
+                    Some(arg)
+                };
+                let Some(id_idx) = id_idx else { continue };
+                let Some(id) = file.tokens[id_idx].str_value(&file.bytes) else {
+                    continue;
+                };
+                let Some(g) = &group else { continue };
+                let name = format!("{g}/{id}");
+                let gated = key_names
+                    .iter()
+                    .any(|k| *k == name || k.starts_with(&format!("{name}/")));
+                if !gated {
+                    out.push(finding_at(
+                        LINT,
+                        Severity::Warn,
+                        file,
+                        file.tokens[id_idx].start,
+                        format!(
+                            "bench arm \"{name}\" has no {THRESHOLDS_PATH} gate — gate it, \
+                             or allowlist it as a deliberate comparison baseline"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Whether `key` can be assembled from bench string literals:
+/// consecutive `/`-joined literal pieces, plus at most one dynamic
+/// final segment once two literal pieces (e.g. group + function id)
+/// have matched. A literal containing `format!` placeholders
+/// (`"miss_{label}"`) matches with each `{…}` acting as a wildcard
+/// within one segment.
+fn covered(key: &str, literals: &BTreeSet<String>, depth: usize) -> bool {
+    if literals.iter().any(|l| piece_matches(l, key)) {
+        return true;
+    }
+    // Dynamic final segment: no `/` left, and group+id already matched.
+    if depth >= 2 && !key.contains('/') {
+        return true;
+    }
+    let mut split_at = 0;
+    while let Some(pos) = key[split_at..].find('/') {
+        let boundary = split_at + pos;
+        let (head, tail) = (&key[..boundary], &key[boundary + 1..]);
+        if literals.iter().any(|l| piece_matches(l, head)) && covered(tail, literals, depth + 1) {
+            return true;
+        }
+        split_at = boundary + 1;
+    }
+    false
+}
+
+/// Exact match, or `format!`-template match when the literal carries
+/// `{…}` placeholders (each placeholder spans any run of non-`/` bytes).
+fn piece_matches(literal: &str, part: &str) -> bool {
+    if !literal.contains('{') {
+        return literal == part;
+    }
+    glob_match(literal.as_bytes(), part.as_bytes())
+}
+
+fn glob_match(template: &[u8], s: &[u8]) -> bool {
+    let Some(&t0) = template.first() else {
+        return s.is_empty();
+    };
+    if t0 == b'{' {
+        let rest = match template.iter().position(|&b| b == b'}') {
+            Some(close) => &template[close + 1..],
+            None => b"",
+        };
+        for k in 0..=s.len() {
+            if k > 0 && s[k - 1] == b'/' {
+                break;
+            }
+            if glob_match(rest, &s[k..]) {
+                return true;
+            }
+        }
+        return false;
+    }
+    !s.is_empty() && s[0] == t0 && glob_match(&template[1..], &s[1..])
+}
+
+/// Minimal JSON parser for a flat object: returns `(key, 1-based line)`
+/// per member. Values (numbers, strings, booleans, nested containers)
+/// are skipped structurally.
+fn parse_object_keys(text: &str) -> Result<Vec<(String, u32)>, String> {
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    let mut keys = Vec::new();
+
+    macro_rules! skip_ws {
+        () => {
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                if bytes[i] == b'\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+        };
+    }
+
+    fn parse_string(bytes: &[u8], i: &mut usize) -> Result<String, String> {
+        if bytes.get(*i) != Some(&b'"') {
+            return Err("expected string".into());
+        }
+        *i += 1;
+        let start = *i;
+        while *i < bytes.len() {
+            match bytes[*i] {
+                b'\\' => *i += 2,
+                b'"' => {
+                    let s = String::from_utf8_lossy(&bytes[start..*i]).into_owned();
+                    *i += 1;
+                    return Ok(s);
+                }
+                _ => *i += 1,
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    // Skip any non-container scalar or balanced container.
+    fn skip_value(bytes: &[u8], i: &mut usize, line: &mut u32) -> Result<(), String> {
+        match bytes.get(*i) {
+            Some(b'"') => parse_string(bytes, i).map(|_| ()),
+            Some(b'{' | b'[') => {
+                let mut depth = 0usize;
+                while *i < bytes.len() {
+                    match bytes[*i] {
+                        b'"' => {
+                            parse_string(bytes, i)?;
+                            continue;
+                        }
+                        b'{' | b'[' => depth += 1,
+                        b'}' | b']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                *i += 1;
+                                return Ok(());
+                            }
+                        }
+                        b'\n' => *line += 1,
+                        _ => {}
+                    }
+                    *i += 1;
+                }
+                Err("unterminated container".into())
+            }
+            Some(_) => {
+                while *i < bytes.len() && !matches!(bytes[*i], b',' | b'}' | b']') {
+                    if bytes[*i] == b'\n' {
+                        *line += 1;
+                    }
+                    *i += 1;
+                }
+                Ok(())
+            }
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    skip_ws!();
+    if bytes.get(i) != Some(&b'{') {
+        return Err("expected top-level object".into());
+    }
+    i += 1;
+    loop {
+        skip_ws!();
+        match bytes.get(i) {
+            Some(b'}') => return Ok(keys),
+            Some(b'"') => {
+                let key_line = line;
+                let key = parse_string(bytes, &mut i)?;
+                skip_ws!();
+                if bytes.get(i) != Some(&b':') {
+                    return Err(format!("expected `:` after key {key:?}"));
+                }
+                i += 1;
+                skip_ws!();
+                skip_value(bytes, &mut i, &mut line)?;
+                keys.push((key, key_line));
+                skip_ws!();
+                if bytes.get(i) == Some(&b',') {
+                    i += 1;
+                }
+            }
+            _ => return Err("expected `\"key\"` or `}`".into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_keys_with_lines() {
+        let keys =
+            parse_object_keys("{\n  \"_c\": \"x,y}\",\n  \"a/b/1\": 10,\n  \"z\": 2\n}").unwrap();
+        assert_eq!(
+            keys,
+            vec![("_c".into(), 2), ("a/b/1".into(), 3), ("z".into(), 4)]
+        );
+    }
+
+    #[test]
+    fn coverage_rules() {
+        let lits: BTreeSet<String> = [
+            "clustering",
+            "indexed",
+            "miss_500_sigs/anchored",
+            "full/name/arm",
+            "signature_scan",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        // group + id + dynamic param
+        assert!(covered("clustering/indexed/250", &lits, 0));
+        // group + slash-containing id literal
+        assert!(covered("signature_scan/miss_500_sigs/anchored", &lits, 0));
+        // whole-name literal (manual KIZZLE_BENCH_OUT emitters)
+        assert!(covered("full/name/arm", &lits, 0));
+        // group alone does not cover an unknown id
+        assert!(!covered("clustering/bogus", &lits, 0));
+        assert!(!covered("unknown/indexed/250", &lits, 0));
+    }
+
+    #[test]
+    fn format_templates_act_as_wildcards() {
+        let lits: BTreeSet<String> = [
+            "signature_scan",
+            "miss_{label}",
+            "anchored",
+            "matcher_throughput",
+            "parallel_scan_{workers}x{per_worker}",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert!(covered("signature_scan/miss_50k_sigs/anchored", &lits, 0));
+        assert!(covered("matcher_throughput/parallel_scan_4x64", &lits, 0));
+        // A placeholder never crosses a `/` segment boundary.
+        assert!(!covered("signature_scan/miss_a/b/anchored/extra", &lits, 0));
+        assert!(!piece_matches("miss_{label}", "miss_x/y"));
+    }
+}

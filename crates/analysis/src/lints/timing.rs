@@ -1,0 +1,56 @@
+//! `timing-discipline`: PR 8 replaced hand-threaded `Instant` timing
+//! with telemetry spans; this lint keeps it that way.
+//!
+//! Flags `Instant::now()` in non-test library code of every product
+//! crate except `kizzle-telemetry` itself (the one module that is
+//! *supposed* to own raw clock reads — `SpanGuard` wraps them for
+//! everyone else). The sanctioned escape hatch for phases a RAII guard
+//! cannot span (cross-thread or aggregated measurements feeding
+//! `record_span`) is a justified allowlist entry, so every raw clock
+//! read in the pipeline is on the record.
+
+use crate::lint::{Finding, Severity};
+use crate::lints::finding_at;
+use crate::workspace::{Role, Workspace};
+
+const LINT: &str = "timing-discipline";
+
+pub fn run(ws: &Workspace, out: &mut Vec<Finding>) {
+    for file in &ws.files {
+        if file.role != Role::Lib || file.vendored || file.crate_name == "telemetry" {
+            continue;
+        }
+        for i in file.code_token_indices() {
+            let tok = file.tokens[i];
+            if file.token_text(i) != b"Instant" || file.in_test_region(tok.start) {
+                continue;
+            }
+            // `Instant` `::` `now` — the two colons lex as separate
+            // punctuation tokens.
+            let Some(c1) = file.next_code(i) else {
+                continue;
+            };
+            let Some(c2) = file.next_code(c1) else {
+                continue;
+            };
+            let Some(name) = file.next_code(c2) else {
+                continue;
+            };
+            if file.token_text(c1) == b":"
+                && file.token_text(c2) == b":"
+                && file.token_text(name) == b"now"
+            {
+                out.push(finding_at(
+                    LINT,
+                    Severity::Error,
+                    file,
+                    tok.start,
+                    "raw `Instant::now()` in an instrumented library path — use a \
+                     telemetry span (`telemetry::span!`), or justify the manual \
+                     measurement in analysis/allow.toml"
+                        .into(),
+                ));
+            }
+        }
+    }
+}

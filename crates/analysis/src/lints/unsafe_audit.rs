@@ -1,0 +1,66 @@
+//! `forbid-unsafe-audit`: every workspace crate's library root must
+//! carry `#![forbid(unsafe_code)]` (or a justified allowlist entry).
+//!
+//! The workspace has no `unsafe` anywhere — including the vendored
+//! stand-ins — and `forbid` (unlike `deny`) cannot be overridden
+//! further down the tree, so the attribute turns "we don't use unsafe"
+//! from a review observation into a compiler guarantee. Vendored crates
+//! are audited too: they are workspace members compiled into every
+//! product binary.
+
+use crate::lint::{Finding, Severity};
+use crate::workspace::{Role, SourceFile, Workspace};
+use std::collections::BTreeSet;
+
+const LINT: &str = "forbid-unsafe-audit";
+
+pub fn run(ws: &Workspace, out: &mut Vec<Finding>) {
+    let mut seen_crates: BTreeSet<&str> = BTreeSet::new();
+    for file in &ws.files {
+        if file.role != Role::Lib || !file.rel_path.ends_with("/lib.rs") {
+            continue;
+        }
+        // One lib root per crate: the shortest …/src/lib.rs path wins
+        // (there are no nested lib.rs files in this layout).
+        if !seen_crates.insert(file.crate_name.as_str()) {
+            continue;
+        }
+        if !has_forbid_unsafe(file) {
+            out.push(Finding {
+                lint: LINT,
+                severity: Severity::Error,
+                path: file.rel_path.clone(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "crate `{}` does not forbid unsafe code — add `#![forbid(unsafe_code)]` \
+                     to {} (or justify the exception in analysis/allow.toml)",
+                    file.crate_name, file.rel_path
+                ),
+                excerpt: String::new(),
+            });
+        }
+    }
+}
+
+/// Token-level check for an inner `#![forbid(unsafe_code)]` attribute:
+/// `#` `!` `[` … `forbid` `(` … `unsafe_code` … `]`. Comment mentions
+/// do not count.
+fn has_forbid_unsafe(file: &SourceFile) -> bool {
+    for i in file.code_token_indices() {
+        if file.token_text(i) != b"forbid" {
+            continue;
+        }
+        let mut j = i;
+        for _ in 0..4 {
+            let Some(n) = file.next_code(j) else {
+                return false;
+            };
+            if file.token_text(n) == b"unsafe_code" {
+                return true;
+            }
+            j = n;
+        }
+    }
+    false
+}

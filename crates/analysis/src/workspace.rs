@@ -1,0 +1,391 @@
+//! Workspace discovery: find every Rust source file under the repo
+//! root, classify it (which crate, which target role), lex it once, and
+//! precompute the byte ranges that belong to test code.
+//!
+//! The walker is path-convention based rather than manifest-driven: the
+//! workspace's layout is uniform (`crates/*/src`, `crates/*/tests`,
+//! `vendor/*`, a root umbrella package), and a convention walker keeps
+//! working when a manifest is mid-edit — the analyzer must be able to
+//! explain a broken tree, not fall over with it.
+
+use crate::lexer::{self, Token, TokenKind};
+use std::fs;
+use std::io;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+/// Which compilation target a source file belongs to. Lints scope
+/// themselves by role: `panic-path` only visits `Lib`, `threshold-drift`
+/// only visits `Bench`, and so on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Library code under `src/` — the surface the lints defend.
+    Lib,
+    /// `src/bin/*` binaries (CLI shells; panics are user-facing exits).
+    Bin,
+    /// Integration tests under `tests/`.
+    Test,
+    /// Benchmarks under `benches/`.
+    Bench,
+    /// Examples under `examples/`.
+    Example,
+}
+
+/// One lexed source file.
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel_path: String,
+    /// The crate directory name (`core`, `cluster`, `analysis`, …);
+    /// `kizzle-sim` for the root umbrella package.
+    pub crate_name: String,
+    /// Whether the file lives under `vendor/`.
+    pub vendored: bool,
+    pub role: Role,
+    pub bytes: Vec<u8>,
+    pub tokens: Vec<Token>,
+    /// Byte offset of the start of each line, for diagnostics.
+    line_starts: Vec<usize>,
+    /// Byte ranges covered by `#[cfg(test)]` items and `#[test]`
+    /// functions; lints that exempt test code consult these.
+    test_regions: Vec<Range<usize>>,
+}
+
+impl SourceFile {
+    /// 1-based (line, column) of a byte offset.
+    #[must_use]
+    pub fn line_col(&self, offset: usize) -> (u32, u32) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(idx) => idx + 1,
+            Err(idx) => idx,
+        };
+        let line_start = self.line_starts[line - 1];
+        (line as u32, (offset - line_start) as u32 + 1)
+    }
+
+    /// The full text of the line containing `offset`, for excerpts.
+    #[must_use]
+    pub fn line_text(&self, offset: usize) -> String {
+        let (line, _) = self.line_col(offset);
+        let start = self.line_starts[line as usize - 1];
+        let end = self
+            .line_starts
+            .get(line as usize)
+            .copied()
+            .unwrap_or(self.bytes.len());
+        String::from_utf8_lossy(&self.bytes[start..end])
+            .trim_end()
+            .to_string()
+    }
+
+    /// Whether a byte offset falls inside test code.
+    #[must_use]
+    pub fn in_test_region(&self, offset: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|r| r.start <= offset && offset < r.end)
+    }
+
+    /// Iterator over indices of code tokens (skipping whitespace and
+    /// comments), the granularity every lint pattern-matches at.
+    pub fn code_token_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.tokens.len()).filter(|&i| self.tokens[i].is_code())
+    }
+
+    /// The next code token strictly after index `i`, if any.
+    #[must_use]
+    pub fn next_code(&self, i: usize) -> Option<usize> {
+        ((i + 1)..self.tokens.len()).find(|&j| self.tokens[j].is_code())
+    }
+
+    /// The previous code token strictly before index `i`, if any.
+    #[must_use]
+    pub fn prev_code(&self, i: usize) -> Option<usize> {
+        (0..i).rev().find(|&j| self.tokens[j].is_code())
+    }
+
+    /// The text of token `i`.
+    #[must_use]
+    pub fn token_text(&self, i: usize) -> &[u8] {
+        self.tokens[i].text(&self.bytes)
+    }
+}
+
+/// The lexed workspace a lint run operates on.
+pub struct Workspace {
+    pub root: PathBuf,
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Walk and lex the workspace rooted at `root`.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut files = Vec::new();
+        let mut rs_paths = Vec::new();
+        collect_rs_files(root, &mut rs_paths)?;
+        rs_paths.sort();
+        for path in rs_paths {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let Some((crate_name, vendored, role)) = classify(&rel) else {
+                continue;
+            };
+            let bytes = fs::read(&path)?;
+            let tokens = lexer::lex(&bytes);
+            let line_starts = compute_line_starts(&bytes);
+            let test_regions = find_test_regions(&bytes, &tokens);
+            files.push(SourceFile {
+                rel_path: rel,
+                crate_name,
+                vendored,
+                role,
+                bytes,
+                tokens,
+                line_starts,
+                test_regions,
+            });
+        }
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+        })
+    }
+
+    /// Find the workspace root by walking up from `start` to the first
+    /// directory whose `Cargo.toml` declares `[workspace]`.
+    #[must_use]
+    pub fn find_root(start: &Path) -> Option<PathBuf> {
+        let mut dir = Some(start);
+        while let Some(d) = dir {
+            let manifest = d.join("Cargo.toml");
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d.to_path_buf());
+                }
+            }
+            dir = d.parent();
+        }
+        None
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // Skip build output, VCS state, and the analyzer's own
+            // fixture sandboxes.
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Map a workspace-relative path to (crate name, vendored, role).
+/// Returns `None` for files outside any recognized target layout.
+fn classify(rel: &str) -> Option<(String, bool, Role)> {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let (crate_name, vendored, rest): (String, bool, &[&str]) = match parts.first()? {
+        &"crates" | &"vendor" => {
+            let vendored = parts[0] == "vendor";
+            (parts.get(1)?.to_string(), vendored, parts.get(2..)?)
+        }
+        _ => ("kizzle-sim".to_string(), false, &parts[..]),
+    };
+    let role = match *rest.first()? {
+        "src" => {
+            if rest.get(1) == Some(&"bin") {
+                Role::Bin
+            } else {
+                Role::Lib
+            }
+        }
+        "tests" => Role::Test,
+        "benches" => Role::Bench,
+        "examples" => Role::Example,
+        _ => return None,
+    };
+    Some((crate_name, vendored, role))
+}
+
+fn compute_line_starts(bytes: &[u8]) -> Vec<usize> {
+    let mut starts = vec![0];
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// Locate test code: any attribute that mentions `test` (and not
+/// `not(test)`) claims the item that follows it — to the matching close
+/// brace of its body, or to the terminating semicolon for brace-less
+/// items. This catches `#[test]` functions, `#[cfg(test)] mod tests`,
+/// and `#[cfg(all(test, …))]` blocks without parsing items.
+fn find_test_regions(bytes: &[u8], tokens: &[Token]) -> Vec<Range<usize>> {
+    let mut regions: Vec<Range<usize>> = Vec::new();
+    let code: Vec<usize> = (0..tokens.len()).filter(|&i| tokens[i].is_code()).collect();
+    let mut ci = 0;
+    while ci < code.len() {
+        let ti = code[ci];
+        if tokens[ti].text(bytes) != b"#" {
+            ci += 1;
+            continue;
+        }
+        // `#` `[` … `]` — collect the attribute's identifier set.
+        let Some(&open) = code.get(ci + 1) else { break };
+        if tokens[open].text(bytes) != b"[" {
+            ci += 1;
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut mentions_test = false;
+        let mut mentions_not = false;
+        let mut cj = ci + 1;
+        while cj < code.len() {
+            let t = code[cj];
+            match tokens[t].text(bytes) {
+                b"[" => depth += 1,
+                b"]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                b"test" if tokens[t].kind == TokenKind::Ident => mentions_test = true,
+                b"not" if tokens[t].kind == TokenKind::Ident => mentions_not = true,
+                _ => {}
+            }
+            cj += 1;
+        }
+        if !mentions_test || mentions_not {
+            ci = cj + 1;
+            continue;
+        }
+        // The attribute is a test marker: claim through the item body.
+        let region_start = tokens[ti].start;
+        let mut brace_depth = 0usize;
+        let mut ck = cj + 1;
+        let mut region_end = bytes.len();
+        while ck < code.len() {
+            let t = code[ck];
+            match tokens[t].text(bytes) {
+                b"{" => brace_depth += 1,
+                b"}" => {
+                    brace_depth = brace_depth.saturating_sub(1);
+                    if brace_depth == 0 {
+                        region_end = tokens[t].end;
+                        break;
+                    }
+                }
+                b";" if brace_depth == 0 => {
+                    region_end = tokens[t].end;
+                    break;
+                }
+                _ => {}
+            }
+            ck += 1;
+        }
+        regions.push(region_start..region_end);
+        ci = ck + 1;
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file_from(src: &str) -> SourceFile {
+        let bytes = src.as_bytes().to_vec();
+        let tokens = lexer::lex(&bytes);
+        let line_starts = compute_line_starts(&bytes);
+        let test_regions = find_test_regions(&bytes, &tokens);
+        SourceFile {
+            rel_path: "crates/demo/src/lib.rs".into(),
+            crate_name: "demo".into(),
+            vendored: false,
+            role: Role::Lib,
+            bytes,
+            tokens,
+            line_starts,
+            test_regions,
+        }
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_region() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let f = file_from(src);
+        let unwrap_at = src.find("unwrap").unwrap();
+        assert!(f.in_test_region(unwrap_at));
+        assert!(!f.in_test_region(src.find("live").unwrap()));
+        assert!(!f.in_test_region(src.find("after").unwrap()));
+    }
+
+    #[test]
+    fn test_fn_and_cfg_all_are_test_regions_but_not_cfg_not_test() {
+        let src = "#[test]\nfn a() { inner(); }\n#[cfg(all(test, feature = \"x\"))]\nfn b() {}\n#[cfg(not(test))]\nfn live() {}\n";
+        let f = file_from(src);
+        assert!(f.in_test_region(src.find("inner").unwrap()));
+        assert!(f.in_test_region(src.find("fn b").unwrap()));
+        assert!(!f.in_test_region(src.find("live").unwrap()));
+    }
+
+    #[test]
+    fn braces_inside_strings_do_not_unbalance_regions() {
+        let src = "#[cfg(test)]\nmod tests {\n    const S: &str = \"}\";\n    fn t() { probe(); }\n}\nfn live() {}\n";
+        let f = file_from(src);
+        assert!(f.in_test_region(src.find("probe").unwrap()));
+        assert!(!f.in_test_region(src.find("live").unwrap()));
+    }
+
+    #[test]
+    fn classify_assigns_roles() {
+        assert_eq!(
+            classify("crates/core/src/lib.rs"),
+            Some(("core".into(), false, Role::Lib))
+        );
+        assert_eq!(
+            classify("crates/serve/src/bin/kizzle-serve.rs"),
+            Some(("serve".into(), false, Role::Bin))
+        );
+        assert_eq!(
+            classify("crates/bench/benches/x.rs"),
+            Some(("bench".into(), false, Role::Bench))
+        );
+        assert_eq!(
+            classify("vendor/rayon/src/lib.rs"),
+            Some(("rayon".into(), true, Role::Lib))
+        );
+        assert_eq!(
+            classify("src/lib.rs"),
+            Some(("kizzle-sim".into(), false, Role::Lib))
+        );
+        assert_eq!(
+            classify("examples/quickstart.rs"),
+            Some(("kizzle-sim".into(), false, Role::Example))
+        );
+        assert_eq!(classify("docs/snippet.rs"), None);
+    }
+
+    #[test]
+    fn line_col_is_one_based() {
+        let f = file_from("ab\ncd\n");
+        assert_eq!(f.line_col(0), (1, 1));
+        assert_eq!(f.line_col(3), (2, 1));
+        assert_eq!(f.line_col(4), (2, 2));
+        assert_eq!(f.line_text(4), "cd");
+    }
+}

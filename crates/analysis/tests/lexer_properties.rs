@@ -1,0 +1,60 @@
+//! Property-based tests for the analysis lexer: the scanner is **total**
+//! over arbitrary bytes — it never panics, and its spans tile the input
+//! exactly — which is what lets the lints run over any file the walker
+//! picks up without pre-validating it as UTF-8 or even as Rust.
+
+use kizzle_analyze::lexer::{lex, TokenKind};
+use proptest::prelude::*;
+
+/// Spans are contiguous, in-bounds, non-empty, and reconstruct the source.
+fn assert_tiles(src: &[u8]) {
+    let tokens = lex(src);
+    let mut cursor = 0usize;
+    for t in &tokens {
+        assert_eq!(t.start, cursor, "gap or overlap at byte {cursor}");
+        assert!(t.end > t.start, "empty token at byte {}", t.start);
+        assert!(t.end <= src.len(), "span past EOF");
+        cursor = t.end;
+    }
+    assert_eq!(cursor, src.len(), "tokens do not cover the tail");
+    let rebuilt: Vec<u8> = tokens.iter().flat_map(|t| t.text(src).to_vec()).collect();
+    assert_eq!(rebuilt, src);
+}
+
+proptest! {
+    /// Arbitrary bytes never panic the lexer, and the spans tile the input.
+    #[test]
+    fn arbitrary_bytes_lex_totally(src in prop::collection::vec(any::<u8>(), 0..512)) {
+        assert_tiles(&src);
+    }
+
+    /// Byte soup biased toward Rust's trickiest syntax (quotes, hashes,
+    /// comment openers, backslashes) still lexes totally.
+    #[test]
+    fn adversarial_syntax_soup_lexes_totally(
+        pieces in prop::collection::vec("r#|br|b'|'a|\"|\\\\|/\\*|\\*/|//|#|'|[a-z]{1,3}|[0-9]{1,3}|\n", 0..60)
+    ) {
+        let src = pieces.concat();
+        assert_tiles(src.as_bytes());
+    }
+
+    /// Unterminated strings and comments absorb to EOF instead of panicking.
+    #[test]
+    fn truncation_at_every_boundary_is_total(cut in 0usize..80) {
+        let src = br##"fn f() { let s = r#"raw "x" body"#; /* outer /* inner */ 'a: b'q' } //"##;
+        let cut = cut.min(src.len());
+        assert_tiles(&src[..cut]);
+    }
+
+    /// A lexed string literal's value round-trips: embedding arbitrary
+    /// (escape-free) content in quotes yields one Str token with that value.
+    #[test]
+    fn string_values_round_trip(content in "[a-zA-Z0-9 _.:/-]{0,40}") {
+        let src = format!("let x = \"{content}\";");
+        let bytes = src.as_bytes();
+        let tokens = lex(bytes);
+        let strs: Vec<_> = tokens.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        prop_assert_eq!(strs.len(), 1);
+        prop_assert_eq!(strs[0].str_value(bytes), Some(content));
+    }
+}

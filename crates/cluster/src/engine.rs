@@ -39,10 +39,7 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Snapshot section holding the [`CorpusStore`].
-pub const STORE_SECTION: &str = "corpus-store";
-/// Snapshot section holding the [`NeighborIndex`] (caches, no bytes).
-pub const INDEX_SECTION: &str = "neighbor-index";
+pub use kizzle_snapshot::sections::{INDEX_SECTION, STORE_SECTION};
 /// Chain file prefix of [`CorpusEngine::snapshot_delta`] state
 /// (`engine.snap` + `engine.delta-N.snap`).
 pub const ENGINE_CHAIN_PREFIX: &str = "engine";

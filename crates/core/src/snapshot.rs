@@ -78,16 +78,9 @@ pub const MANIFEST_FILE: &str = "MANIFEST";
 /// compacts back to a full base — a weekly cadence at one save per day.
 pub const DEFAULT_MAX_DELTAS: usize = 6;
 
-/// Section holding fingerprint, day counter and signature counters.
-pub const META_SECTION: &str = "meta";
-/// Section holding the cumulative signature set.
-pub const SIGNATURES_SECTION: &str = "signatures";
-/// Section holding the sealed scan pipeline (automaton + prefilters).
-pub const SCAN_SECTION: &str = "scan-pipeline";
-/// Section holding the reference corpus.
-pub const REFERENCE_SECTION: &str = "reference";
-/// Section holding the retained day views (for window clustering).
-pub const WINDOW_SECTION: &str = "window-views";
+pub use kizzle_snapshot::sections::{
+    META_SECTION, REFERENCE_SECTION, SCAN_SECTION, SIGNATURES_SECTION, WINDOW_SECTION,
+};
 
 /// Stable wire code for a kit family (the paper's Fig. 2 order).
 pub(crate) fn family_code(family: KitFamily) -> u8 {
@@ -326,7 +319,7 @@ impl KizzleCompiler {
                 // Serving-side followers scan with the compile-time cap.
                 manifest.set("token_cap", self.config.token_cap);
                 manifest.set("cached_neighborhoods", self.engine.index().cached_count());
-                manifest.set("signatures", self.signatures.len());
+                manifest.set(SIGNATURES_SECTION, self.signatures.len());
                 // What *this* save put on disk — the base on day 1 and
                 // after compaction, otherwise a delta (or nothing on a
                 // no-change day). The logical state spans the whole
@@ -691,7 +684,7 @@ mod tests {
             .expect("numeric");
         assert_eq!(bytes, std::fs::read(dir.join(written)).unwrap().len());
         assert_eq!(
-            manifest.get("chain"),
+            manifest.get(kizzle_snapshot::sections::CHAIN_KEY),
             Some(format!("{STATE_FILE} {written}").as_str())
         );
         // read_signatures follows the chain from the base file.

@@ -40,16 +40,7 @@ use crate::manifest::Manifest;
 use crate::{crc32, SectionSource, SnapshotError};
 use std::path::{Path, PathBuf};
 
-/// Reserved section carried by every delta file: sequence number and the
-/// predecessor's trailer CRC. The double underscore keeps it out of the
-/// domain crates' namespace.
-pub const DELTA_META_SECTION: &str = "__delta-meta";
-
-/// Manifest key listing the chain files in order, space-separated.
-pub const CHAIN_KEY: &str = "chain";
-
-/// Manifest key prefix for per-section content fingerprints.
-pub const SECTION_KEY_PREFIX: &str = "section.";
+pub use crate::sections::{CHAIN_KEY, DELTA_META_SECTION, HEAD_CRC_KEY, SECTION_KEY_PREFIX};
 
 /// Default manifest file name inside a chain directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
@@ -185,7 +176,7 @@ impl ChainWriter {
             if chain.first().map(String::as_str) != Some(self.base_file().as_str()) {
                 return None;
             }
-            let head_crc = parse_crc(m.get("head_crc")?)?;
+            let head_crc = parse_crc(m.get(HEAD_CRC_KEY)?)?;
             let old_fingerprints: Vec<(String, String)> = sections
                 .iter()
                 .map(|(name, _)| {
@@ -348,13 +339,13 @@ impl ChainWriter {
         let head_crc = head_crc.or_else(|| {
             Manifest::read(path)
                 .ok()
-                .and_then(|m| parse_crc(m.get("head_crc")?))
+                .and_then(|m| parse_crc(m.get(HEAD_CRC_KEY)?))
         });
         // A chain record without a head CRC cannot be extended; recording
         // 0 would be worse (a delta bound to a wrong predecessor), so the
         // key is simply dropped and the next save writes a fresh base.
         if let Some(crc) = head_crc {
-            manifest.set("head_crc", format!("{crc:#010x}"));
+            manifest.set(HEAD_CRC_KEY, format!("{crc:#010x}"));
         }
         for (name, fp) in fingerprints {
             manifest.set(&format!("{SECTION_KEY_PREFIX}{name}"), fp);

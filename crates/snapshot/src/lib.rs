@@ -63,6 +63,7 @@ pub mod chain;
 pub mod codec;
 pub mod container;
 pub mod manifest;
+pub mod sections;
 
 pub use chain::{ChainSave, ChainWriter, ChainedSnapshot};
 pub use codec::{Decoder, Encoder};

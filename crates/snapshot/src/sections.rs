@@ -1,0 +1,41 @@
+//! The single registry of snapshot section names and manifest keys.
+//!
+//! Every named slot in the on-disk format is declared here, once. Domain
+//! crates (`kizzle`, `kizzle-cluster`) re-export the constants they own
+//! so call sites read naturally, but the *values* live in this module
+//! alone: a writer and a reader that disagree on a section name silently
+//! drop state on the floor, so the `section-registry` lint
+//! (`kizzle-analyze`) forbids these string values as literals anywhere
+//! else in library or binary code.
+//!
+//! The module carries names only — no domain types — so the snapshot
+//! crate stays format-level. Adding a section means adding a constant
+//! here; the lint picks the new value up automatically by reading this
+//! file.
+
+/// Section holding fingerprint, day counter and signature counters.
+pub const META_SECTION: &str = "meta";
+/// Section holding the cumulative signature set.
+pub const SIGNATURES_SECTION: &str = "signatures";
+/// Section holding the sealed scan pipeline (automaton + prefilters).
+pub const SCAN_SECTION: &str = "scan-pipeline";
+/// Section holding the reference corpus.
+pub const REFERENCE_SECTION: &str = "reference";
+/// Section holding the retained day views (for window clustering).
+pub const WINDOW_SECTION: &str = "window-views";
+/// Section holding the cluster corpus store (sample bytes + metadata).
+pub const STORE_SECTION: &str = "corpus-store";
+/// Section holding the neighbor index (caches, no sample bytes).
+pub const INDEX_SECTION: &str = "neighbor-index";
+
+/// Reserved section carried by every delta file: sequence number and the
+/// predecessor's trailer CRC. The double underscore keeps it out of the
+/// domain crates' namespace.
+pub const DELTA_META_SECTION: &str = "__delta-meta";
+
+/// Manifest key listing the chain files in order, space-separated.
+pub const CHAIN_KEY: &str = "chain";
+/// Manifest key recording the chain head's trailer CRC.
+pub const HEAD_CRC_KEY: &str = "head_crc";
+/// Manifest key prefix for per-section content fingerprints.
+pub const SECTION_KEY_PREFIX: &str = "section.";

@@ -8,6 +8,8 @@
 //! stripped. Implemented with a hand-rolled token scan instead of
 //! `syn`/`quote`, because the build environment cannot fetch crates.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
 
 /// The pieces of the derive target needed to emit a marker impl.
